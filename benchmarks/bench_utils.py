@@ -1,0 +1,6 @@
+"""Shared benchmark helpers (fixtures live in conftest)."""
+
+
+def run_once(benchmark, fn):
+    """Time one deterministic execution of ``fn`` and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at full
+scale (Table 1 / Table 2 model configurations on their real mesh sizes),
+records the reproduced numbers in ``extra_info``, prints the same
+rows/series the paper reports, and asserts the reproduction-shape
+properties (who wins, by roughly what factor).
+
+Simulations are deterministic, so each benchmark runs a single round.
+"""
+
+import pytest
+
+from repro.experiments.common import clear_cache
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _fresh_cache():
+    clear_cache()
+    yield

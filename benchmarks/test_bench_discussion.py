@@ -1,0 +1,91 @@
+"""Discussion-section studies: Sections 7.2, 7.3 and the design ablations."""
+
+from bench_utils import run_once
+
+from repro.experiments import ablations, interconnect_sweep, pipeline_parallel
+
+
+def test_interconnect_sensitivity(benchmark):
+    """Section 7.2: overlap benefit vs link bandwidth (inverted U)."""
+    rows = run_once(benchmark, interconnect_sweep.run)
+    print()
+    print(interconnect_sweep.format_report(rows))
+
+    for row in rows:
+        benchmark.extra_info[f"{row.link_bandwidth / 1e9:.0f}GBps"] = (
+            f"speedup={row.speedup:.2f}x"
+        )
+    peak = interconnect_sweep.peak_bandwidth(rows)
+    slowest, fastest = rows[0], rows[-1]
+    # The benefit shrinks at both extremes and peaks in between.
+    assert slowest.link_bandwidth < peak < fastest.link_bandwidth
+    assert fastest.speedup < max(r.speedup for r in rows) - 0.05
+
+
+def test_pipeline_parallelism_tradeoff(benchmark):
+    """Section 7.3: overlap changes the pipeline-vs-tensor trade-off."""
+    rows = run_once(benchmark, pipeline_parallel.run)
+    print()
+    print(pipeline_parallel.format_report(rows))
+
+    for row in rows:
+        benchmark.extra_info[f"pp{row.stages}"] = (
+            f"speedup={row.speedup:.2f}x bubble={row.bubble_fraction:.1%}"
+        )
+    # Overlap benefits the wide-tensor-parallel splits the most: its
+    # speedup on the widest split beats the narrowest.
+    assert rows[0].speedup > rows[-1].speedup
+    for row in rows:
+        assert row.overlapped_step <= row.baseline_step
+
+
+def test_future_standalone_overlap(benchmark):
+    """Future work (Section 6.1): decomposing the standalone collectives
+    eliminates all synchronous communication but re-exposes it as
+    critical-path transfer stalls — a near-neutral net, supporting the
+    paper's deferral to communication-offload hardware."""
+    from repro.experiments import future_overlap
+
+    rows = run_once(benchmark, future_overlap.run)
+    print()
+    print(future_overlap.format_report(rows))
+
+    for row in rows:
+        benchmark.extra_info[row.model] = (
+            f"extra_gain={row.extra_gain:.3f}x"
+        )
+        assert row.future.sync_collective_time == 0.0
+        assert 0.9 <= row.extra_gain <= 1.1  # near-neutral at pod scale
+        assert row.future.permute_wait_time > row.paper.permute_wait_time
+
+
+def test_design_ablations(benchmark):
+    """Figure 11 fusion priority, the Section 5.5 gate, and the liveness
+    cost of the overlap schedule."""
+
+    def run_all():
+        return (
+            ablations.fusion_priority(),
+            ablations.cost_gate(),
+            ablations.scheduling_memory(),
+        )
+
+    fusion_rows, gate_rows, memory_rows = run_once(benchmark, run_all)
+    print()
+    print(ablations.format_report())
+
+    for row in fusion_rows:
+        assert row.gain > 1.2  # bad fusion serializes the transfers
+    benchmark.extra_info["fig11_gain"] = f"{fusion_rows[-1].gain:.2f}x"
+
+    # The gate never regresses below the baseline; skipping it can.
+    narrow = gate_rows[0]
+    assert narrow.gated_time <= narrow.baseline_time * 1.001
+    assert narrow.ungated_time > narrow.gated_time
+    benchmark.extra_info["gate_avoids"] = (
+        f"{narrow.ungated_time / narrow.gated_time:.3f}x regression"
+    )
+
+    (memory_row,) = memory_rows
+    assert 1.0 <= memory_row.overhead < 3.0
+    benchmark.extra_info["liveness_overhead"] = f"{memory_row.overhead:.2f}x"

@@ -1,0 +1,20 @@
+"""Section 6.4: energy-consumption reduction equals the speedup band."""
+
+from bench_utils import run_once
+
+from repro.experiments import energy
+
+
+def test_energy_reduction(benchmark):
+    rows = run_once(benchmark, energy.run)
+    print()
+    print(energy.format_report(rows))
+
+    for row in rows:
+        benchmark.extra_info[row.model] = f"reduction={row.reduction:.2f}x"
+        # Paper: 1.14 - 1.38x energy reduction, from the execution-time
+        # improvement at flat power.
+        assert 1.05 <= row.reduction <= 1.50
+        assert row.report.optimized_energy_joules < (
+            row.report.baseline_energy_joules
+        )

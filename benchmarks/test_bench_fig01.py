@@ -1,0 +1,28 @@
+"""Figure 1: baseline step-time breakdown of the six Table 1 models."""
+
+from bench_utils import run_once
+
+from repro.experiments import fig01_breakdown
+
+
+def test_figure01_breakdown(benchmark):
+    rows = run_once(benchmark, fig01_breakdown.run)
+    print()
+    print(fig01_breakdown.format_report(rows))
+
+    for row in rows:
+        benchmark.extra_info[row.model] = (
+            f"comm={row.communication_fraction:.1%}"
+        )
+        # The paper's point: every model spends a substantial share of
+        # the baseline step on communication.
+        assert 0.10 < row.communication_fraction < 0.80
+
+    # The sparse/narrow models (GLaM, BigSSL) are the most
+    # communication-bound.
+    by_name = {row.model: row for row in rows}
+    dense = ["GPT_1T", "Meena_500B", "MLPerf_200B", "T5_300B"]
+    for narrow in ("GLaM_1T", "BigSSL_10B"):
+        assert by_name[narrow].communication_fraction > max(
+            by_name[model].communication_fraction for model in dense
+        )

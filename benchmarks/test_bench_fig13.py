@@ -1,0 +1,24 @@
+"""Figure 13: weak scaling on the GPT family (Table 2).
+
+Paper: the technique consistently improves performance across all sizes,
+with 1.1-1.4x speedup.
+"""
+
+from bench_utils import run_once
+
+from repro.experiments import fig13_weak_scaling
+
+
+def test_figure13_weak_scaling(benchmark):
+    rows = run_once(benchmark, fig13_weak_scaling.run)
+    print()
+    print(fig13_weak_scaling.format_report(rows))
+
+    for row in rows:
+        benchmark.extra_info[row.model] = f"speedup={row.speedup:.2f}x"
+        assert 1.05 <= row.speedup <= 1.45  # paper band 1.1-1.4x
+        assert row.overlapped_utilization > row.baseline_utilization
+
+    # Weak scaling covers 64 to 2048 chips.
+    assert rows[0].num_chips == 64
+    assert rows[-1].num_chips == 2048

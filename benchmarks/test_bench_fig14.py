@@ -1,0 +1,29 @@
+"""Figure 14: loop unrolling ablation on the scaled GPT family.
+
+Paper: unrolling achieves similar improvements across model sizes (it
+removes the loop-carried copies and unblocks ReduceScatter-accumulation
+overlap at every scale).
+"""
+
+from bench_utils import run_once
+
+from repro.experiments import fig14_unrolling
+
+
+def test_figure14_unrolling(benchmark):
+    rows = run_once(benchmark, fig14_unrolling.run)
+    print()
+    print(fig14_unrolling.format_report(rows))
+
+    gains = []
+    for row in rows:
+        benchmark.extra_info[row.model] = f"gain={row.unrolling_gain:.3f}x"
+        assert row.unrolling_gain >= 1.0
+        assert row.normalized_time_with < 1.0  # still beats the baseline
+        gains.append(row.unrolling_gain)
+
+    # "Similar performance improvements across different model sizes":
+    # the spread stays tight around the mean.
+    mean = sum(gains) / len(gains)
+    assert 1.02 < mean < 1.25
+    assert max(gains) - min(gains) < 0.15

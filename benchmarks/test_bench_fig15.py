@@ -1,0 +1,31 @@
+"""Figure 15: bidirectional transfer ablation on the scaled GPT family.
+
+Paper: GPT_32B and GPT_128B gain <5% (their overlapped dimension has few
+partitions, so unidirectional transfers already hide under computation);
+the larger models gain more.
+"""
+
+from bench_utils import run_once
+
+from repro.experiments import fig15_bidirectional
+
+
+def test_figure15_bidirectional(benchmark):
+    rows = run_once(benchmark, fig15_bidirectional.run)
+    print()
+    print(fig15_bidirectional.format_report(rows))
+
+    by_name = {row.model: row for row in rows}
+    for row in rows:
+        benchmark.extra_info[row.model] = (
+            f"gain={row.bidirectional_gain:.3f}x"
+        )
+        assert row.bidirectional_gain >= 1.0
+
+    # Small-partition models barely gain...
+    for small in ("GPT_32B", "GPT_128B"):
+        assert by_name[small].bidirectional_gain < 1.10
+    # ...while the biggest models gain clearly more.
+    for large in ("GPT_512B", "GPT_1T"):
+        assert by_name[large].bidirectional_gain > by_name["GPT_32B"].bidirectional_gain
+        assert by_name[large].bidirectional_gain > 1.10

@@ -1,0 +1,37 @@
+"""Tables 1 and 2: the evaluated model configurations plus a parameter
+audit rebuilding each model's size from its layer hyperparameters."""
+
+import pytest
+
+from bench_utils import run_once
+
+from repro.experiments import tables
+from repro.models.configs import TABLE1, TABLE2
+
+
+def test_table1_configurations(benchmark):
+    rows = run_once(benchmark, tables.table1_rows)
+    print()
+    print(tables.format_table1())
+    assert len(rows) == 6
+    # The dense models' rebuilt parameter counts track the paper's totals.
+    audit = {cfg.name: tables.estimated_parameters(cfg) for cfg in TABLE1}
+    assert audit["GPT_1T"] == pytest.approx(1.03e12, rel=0.05)
+    assert audit["MLPerf_200B"] == pytest.approx(199e9, rel=0.05)
+    assert audit["Meena_500B"] == pytest.approx(507e9, rel=0.15)
+    for cfg in TABLE1:
+        benchmark.extra_info[cfg.name] = f"{audit[cfg.name] / 1e9:.1f}B"
+
+
+def test_table2_configurations(benchmark):
+    rows = run_once(benchmark, tables.table2_rows)
+    print()
+    print(tables.format_table2())
+    assert len(rows) == 6
+    for cfg in TABLE2:
+        rebuilt = tables.estimated_parameters(cfg)
+        benchmark.extra_info[cfg.name] = f"{rebuilt / 1e9:.1f}B"
+        assert rebuilt == pytest.approx(cfg.num_parameters, rel=0.05)
+    # Weak scaling: chips double (roughly) with parameters.
+    chip_counts = [cfg.num_chips for cfg in TABLE2]
+    assert chip_counts == sorted(chip_counts)

@@ -1,0 +1,87 @@
+"""Algorithm 1, literally: the rolled Looped CollectiveEinsum.
+
+The paper's pseudocode builds a *loop* whose body performs one shard's
+partial einsum and one CollectivePermute, with the shard id computed from
+the loop index. This example:
+
+1. rewrites an AllGather-Einsum into that rolled ``while`` form and
+   prints it (note the ``+1*i`` term in the dynamic-update-slice index —
+   the loop-index-dependent shard id);
+2. unrolls it by degree 2 (Section 5.4.1's optimization, as an actual
+   compiler pass: trip count halves, the body doubles, shard indices step
+   by two);
+3. fully unrolls it and shows the guarded final permute disappearing;
+4. executes all three forms plus the original on the multi-device
+   executor and confirms they agree bit-for-bit.
+
+Run:  python examples/algorithm1_loop.py
+"""
+
+import numpy as np
+
+from repro.core import emit_rolled, find_candidates, unroll_while
+from repro.hlo import F32, GraphBuilder, Shape, format_module
+from repro.runtime import run_spmd
+from repro.sharding import DeviceMesh
+
+RING = 4
+
+
+def build_module(mesh):
+    builder = GraphBuilder("allgather-einsum")
+    a = builder.parameter(Shape((16 // RING, 6), F32), name="A")
+    b = builder.parameter(Shape((6, 8), F32), name="B")
+    gathered = builder.all_gather(a, 0, mesh.rings("x"))
+    builder.einsum("bf,fh->bh", gathered, b, name="C")
+    return builder.module
+
+
+def main() -> None:
+    mesh = DeviceMesh.ring(RING, "x")
+
+    rolled = build_module(mesh)
+    (candidate,) = find_candidates(rolled)
+    loop = emit_rolled(rolled, candidate, mesh)
+    print("=== rolled (Algorithm 1) ===")
+    print(format_module(rolled))
+    print()
+    print(f"--- loop body (trip count {loop.attrs['trip_count']}) ---")
+    print(format_module(loop.attrs["body"]))
+    print()
+
+    degree2 = build_module(mesh)
+    (candidate,) = find_candidates(degree2)
+    loop2 = emit_rolled(degree2, candidate, mesh)
+    (loop2,) = unroll_while(degree2, loop2, factor=2)
+    print(f"=== degree-2 unrolled body (trip count "
+          f"{loop2.attrs['trip_count']}) ===")
+    print(format_module(loop2.attrs["body"]))
+    print()
+
+    unrolled = build_module(mesh)
+    (candidate,) = find_candidates(unrolled)
+    unroll_while(unrolled, emit_rolled(unrolled, candidate, mesh))
+    print("=== fully unrolled ===")
+    print(format_module(unrolled))
+    print()
+
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(16, 6))
+    b = rng.normal(size=(6, 8))
+    arguments = {
+        "A": [s.copy() for s in np.split(a, RING, axis=0)],
+        "B": [b.copy() for _ in range(RING)],
+    }
+    original = build_module(mesh)
+    reference = run_spmd(original, arguments, RING)[original.root.name]
+    for tag, module in (
+        ("rolled", rolled), ("degree-2", degree2), ("unrolled", unrolled)
+    ):
+        got = run_spmd(module, arguments, RING)[module.root.name]
+        worst = max(np.abs(x - y).max() for x, y in zip(reference, got))
+        print(f"{tag:9s} max |Δ| vs original = {worst:.2e}")
+        assert worst < 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""Quickstart: decompose one AllGather-Einsum and see the overlap.
+
+Builds the paper's Figure 4 scenario — a sharded operand AllGathered into
+an einsum — then:
+
+1. compiles it with the overlap pipeline (decomposition + async permutes
+   + bottom-up scheduling),
+2. proves on the multi-device functional executor that the transformed
+   program computes exactly the same result,
+3. simulates both versions on the TPU-v4-like performance model and
+   reports the step time and how much transfer time was hidden.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import OverlapConfig, compile_module
+from repro.hlo import BF16, F32, GraphBuilder, Shape, format_module
+from repro.perfsim import simulate
+from repro.runtime import run_spmd
+from repro.sharding import DeviceMesh
+
+NUM_DEVICES = 4
+BATCH, FEATURE, HIDDEN = 4096, 8192, 16384
+
+
+def build_module(mesh: DeviceMesh, dtype=BF16) -> "GraphBuilder.module":
+    """x[B, F] @ AllGather(w[F, H/N]) -> y[B, H]."""
+    builder = GraphBuilder("quickstart")
+    x = builder.parameter(Shape((BATCH, FEATURE), dtype), name="x")
+    w_shard = builder.parameter(
+        Shape((FEATURE, HIDDEN // NUM_DEVICES), dtype), name="w"
+    )
+    w_full = builder.all_gather(w_shard, 1, mesh.rings("x"))
+    builder.einsum("bf,fh->bh", x, w_full)
+    return builder.module
+
+
+def check_numerics(mesh: DeviceMesh) -> None:
+    """Execute original vs compiled at a small size; they must agree."""
+    rng = np.random.default_rng(0)
+    small_batch, small_f, small_h = 8, 6, 16
+
+    def build_small():
+        builder = GraphBuilder("small")
+        x = builder.parameter(Shape((small_batch, small_f), F32), name="x")
+        w = builder.parameter(
+            Shape((small_f, small_h // NUM_DEVICES), F32), name="w"
+        )
+        gathered = builder.all_gather(w, 1, mesh.rings("x"))
+        builder.einsum("bf,fh->bh", x, gathered)
+        return builder.module
+
+    x = rng.normal(size=(small_batch, small_f))
+    w = rng.normal(size=(small_f, small_h))
+    arguments = {
+        "x": [x.copy() for _ in range(NUM_DEVICES)],
+        "w": [s.copy() for s in np.split(w, NUM_DEVICES, axis=1)],
+    }
+
+    reference_module = build_small()
+    reference = run_spmd(reference_module, arguments, NUM_DEVICES)
+    compiled = build_small()
+    compile_module(compiled, mesh, OverlapConfig(use_cost_model=False))
+    transformed = run_spmd(compiled, arguments, NUM_DEVICES)
+
+    worst = max(
+        np.abs(a - b).max()
+        for a, b in zip(
+            reference[reference_module.root.name],
+            transformed[compiled.root.name],
+        )
+    )
+    print(f"numerical check: max |original - decomposed| = {worst:.2e}")
+    assert worst < 1e-9
+
+
+def main() -> None:
+    mesh = DeviceMesh.ring(NUM_DEVICES, "x")
+
+    baseline = build_module(mesh)
+    compile_module(baseline, mesh, OverlapConfig.baseline())
+    baseline_report = simulate(baseline, mesh)
+
+    overlapped = build_module(mesh)
+    result = compile_module(overlapped, mesh, OverlapConfig())
+    overlapped_report = simulate(overlapped, mesh)
+
+    print("=== transformed program (first 24 instructions) ===")
+    print("\n".join(format_module(overlapped).splitlines()[:25]))
+    print("...")
+    print()
+    print(f"candidates found:      {result.candidates_found}")
+    print(f"loops decomposed:      {result.decomposed}")
+    loop = result.loops[0]
+    print(
+        f"loop shape:            {loop.iterations} iterations, "
+        f"{len(loop.permutes)} permutes, bidirectional={loop.bidirectional}"
+    )
+    print()
+    print(f"baseline step:         {baseline_report.total_time * 1e3:8.3f} ms "
+          f"(exposed comm {baseline_report.exposed_communication_time * 1e3:.3f} ms)")
+    print(f"overlapped step:       {overlapped_report.total_time * 1e3:8.3f} ms "
+          f"(exposed comm {overlapped_report.exposed_communication_time * 1e3:.3f} ms)")
+    print(f"hidden transfer time:  {overlapped_report.hidden_transfer_time * 1e3:8.3f} ms")
+    print(f"speedup:               {baseline_report.total_time / overlapped_report.total_time:.2f}x")
+    print()
+    check_numerics(mesh)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Simulate a training step of a Table 2 GPT model, baseline vs overlap.
+
+The paper's headline workload: a weakly scaled GPT with 2D intra-layer
+model parallelism (Figure 3 partitioning). The script compiles one layer
+with and without the overlap pipeline, scales to the full layer stack,
+and prints the step-time breakdown, FLOPS utilization and the list of
+decomposed loops — the same quantities behind Figures 12 and 13.
+
+Run:  python examples/train_gpt_step.py [model-name]
+      (model-name from Table 1/2, default GPT_32B; e.g. GPT_1T, Meena_500B)
+"""
+
+import sys
+
+from repro.core import OverlapConfig
+from repro.models import by_name, simulate_step
+
+
+def describe(tag, simulation):
+    report = simulation.report
+    print(f"--- {tag} ---")
+    print(f"step time:            {report.total_time:9.3f} s")
+    print(f"  compute:            {report.compute_time:9.3f} s")
+    print(f"  exposed collectives:{report.sync_collective_time:9.3f} s")
+    print(f"  exposed transfers:  {report.permute_wait_time:9.3f} s")
+    print(f"  hidden transfers:   {report.hidden_transfer_time:9.3f} s")
+    print(f"FLOPS utilization:    {report.flops_utilization:9.1%}")
+    print()
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "GPT_32B"
+    cfg = by_name(name)
+    print(
+        f"{cfg.name}: {cfg.num_parameters / 1e9:.0f}B parameters, "
+        f"{cfg.num_layers} layers, {cfg.num_chips} chips "
+        f"(mesh {cfg.mesh_x}x{cfg.mesh_y})"
+    )
+    print()
+
+    baseline = simulate_step(cfg, OverlapConfig.baseline())
+    optimized = simulate_step(cfg)
+    describe("baseline compiler", baseline)
+    describe("with overlap (decompose + async schedule)", optimized)
+
+    speedup = baseline.report.total_time / optimized.report.total_time
+    print(f"speedup: {speedup:.2f}x")
+    print()
+    print("decomposed loops per layer type:")
+    for compilation, (kind, repeats, _) in zip(
+        optimized.compilations, optimized.layer_reports
+    ):
+        print(
+            f"  {kind} (x{repeats}): {compilation.decomposed} of "
+            f"{compilation.candidates_found} candidates decomposed, "
+            f"{len(compilation.candidates_skipped)} skipped"
+        )
+        for loop in compilation.loops[:4]:
+            candidate = loop.candidate
+            print(
+                f"      {candidate.kind:24s} ring={candidate.ring_size:3d} "
+                f"iters={loop.iterations:3d} bidirectional={loop.bidirectional}"
+            )
+        if len(compilation.loops) > 4:
+            print(f"      ... and {len(compilation.loops) - 4} more")
+
+
+if __name__ == "__main__":
+    main()

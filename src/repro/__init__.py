@@ -1,0 +1,20 @@
+"""repro — reproduction of the ASPLOS '23 paper "Overlap Communication with
+Dependent Computation via Decomposition in Large Deep Learning Models".
+
+Subpackages:
+
+* :mod:`repro.hlo` — HLO-like SSA IR (einsums, collectives, slices).
+* :mod:`repro.sharding` — device meshes, sharding specs, SPMD partitioner.
+* :mod:`repro.runtime` — functional multi-device executor (numpy), used to
+  validate that graph transformations are semantically equivalent.
+* :mod:`repro.core` — the paper's contribution: Looped CollectiveEinsum
+  decomposition, async CollectivePermute scheduling, unrolling,
+  bidirectional transfer, fusion rewrites, and the cost-model gate.
+* :mod:`repro.perfsim` — discrete-event performance simulator standing in
+  for TPU v4 pods.
+* :mod:`repro.models` — model zoo reproducing Tables 1 and 2.
+* :mod:`repro.experiments` — per-figure/table harnesses for the paper's
+  evaluation (Figures 1, 12-16; Tables 1-2; Sections 6.4 and 7.1).
+"""
+
+__version__ = "1.0.0"

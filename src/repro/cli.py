@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiments`` — list every reproducible artifact.
+* ``run <artifact> [...]`` — print one artifact's report
+  (``fig12``, ``table1``, ``interconnect``, ...; ``all`` runs everything).
+* ``simulate <model> [--baseline] [--scheduler S] [--timeline]`` —
+  compile and simulate one Table 1/2 model's training step.
+* ``dump <model>`` — print the compiled HLO of one layer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import compile_module
+from repro.experiments import (
+    ablations,
+    energy,
+    fig01_breakdown,
+    fig12_overall,
+    fig13_weak_scaling,
+    fig14_unrolling,
+    fig15_bidirectional,
+    fig16_scheduling,
+    future_overlap,
+    inference,
+    interconnect_sweep,
+    pipeline_parallel,
+    tables,
+)
+from repro.hlo.printer import format_module, summarize_opcodes
+from repro.models.configs import TABLE1, TABLE2, by_name
+from repro.models.step import layer_graphs, simulate_step
+from repro.sharding.partitioner import partition
+
+ARTIFACTS: Dict[str, Callable[[], str]] = {
+    "fig1": lambda: fig01_breakdown.format_report(fig01_breakdown.run()),
+    "fig12": lambda: fig12_overall.format_report(fig12_overall.run()),
+    "fig13": lambda: fig13_weak_scaling.format_report(fig13_weak_scaling.run()),
+    "fig14": lambda: fig14_unrolling.format_report(fig14_unrolling.run()),
+    "fig15": lambda: fig15_bidirectional.format_report(
+        fig15_bidirectional.run()
+    ),
+    "fig16": lambda: fig16_scheduling.format_report(fig16_scheduling.run()),
+    "table1": tables.format_table1,
+    "table2": tables.format_table2,
+    "energy": lambda: energy.format_report(energy.run()),
+    "inference": lambda: inference.format_report(inference.run()),
+    "interconnect": lambda: interconnect_sweep.format_report(
+        interconnect_sweep.run()
+    ),
+    "pipeline": lambda: pipeline_parallel.format_report(),
+    "ablations": ablations.format_report,
+    "future": lambda: future_overlap.format_report(future_overlap.run()),
+}
+
+_DESCRIPTIONS = {
+    "fig1": "Figure 1: baseline step-time breakdown",
+    "fig12": "Figure 12: overall performance, six models",
+    "fig13": "Figure 13: GPT weak scaling",
+    "fig14": "Figure 14: loop unrolling ablation",
+    "fig15": "Figure 15: bidirectional transfer ablation",
+    "fig16": "Figure 16: scheduler comparison",
+    "table1": "Table 1: evaluated applications",
+    "table2": "Table 2: scaled GPT configurations",
+    "energy": "Section 6.4: energy reduction",
+    "inference": "Section 7.1: 2-way inference latency",
+    "interconnect": "Section 7.2: interconnect-bandwidth sensitivity",
+    "pipeline": "Section 7.3: pipeline-parallelism trade-off",
+    "ablations": "Design ablations (fusion priority, cost gate, liveness)",
+    "future": "Future work: decomposing standalone collectives",
+}
+
+
+def _cmd_experiments(_args) -> int:
+    width = max(len(name) for name in ARTIFACTS)
+    for name in ARTIFACTS:
+        print(f"{name.ljust(width)}  {_DESCRIPTIONS[name]}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    names = list(ARTIFACTS) if "all" in args.artifact else args.artifact
+    unknown = [n for n in names if n not in ARTIFACTS]
+    if unknown:
+        print(f"unknown artifact(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ARTIFACTS)}", file=sys.stderr)
+        return 2
+    for index, name in enumerate(names):
+        if index:
+            print()
+        print(ARTIFACTS[name]())
+    return 0
+
+
+def _overlap_config(args) -> OverlapConfig:
+    if args.baseline:
+        return OverlapConfig.baseline()
+    return OverlapConfig(scheduler=args.scheduler)
+
+
+def _resolve_model(name: str):
+    try:
+        return by_name(name)
+    except KeyError:
+        known = ", ".join(dict.fromkeys(c.name for c in TABLE1 + TABLE2))
+        print(f"unknown model {name!r}; available: {known}", file=sys.stderr)
+        return None
+
+
+def _cmd_simulate(args) -> int:
+    cfg = _resolve_model(args.model)
+    if cfg is None:
+        return 2
+    simulation = simulate_step(cfg, _overlap_config(args))
+    report = simulation.report
+    print(
+        f"{cfg.name}: {cfg.num_layers} layers on {cfg.num_chips} chips "
+        f"(mesh {cfg.mesh_x}x{cfg.mesh_y})"
+    )
+    print(f"step time:             {report.total_time:9.3f} s")
+    print(f"  compute:             {report.compute_time:9.3f} s")
+    print(f"  exposed collectives: {report.sync_collective_time:9.3f} s")
+    print(f"  exposed transfers:   {report.permute_wait_time:9.3f} s")
+    print(f"  hidden transfers:    {report.hidden_transfer_time:9.3f} s")
+    print(f"FLOPS utilization:     {report.flops_utilization:9.1%}")
+    if args.timeline:
+        from repro.perfsim.simulator import simulate_with_trace
+        from repro.perfsim.trace import format_timeline
+
+        mesh = cfg.mesh()
+        kind, _, graph = layer_graphs(cfg)[0]
+        module = partition(graph, mesh)
+        compile_module(module, mesh, _overlap_config(args))
+        _, trace = simulate_with_trace(module, mesh)
+        print()
+        print(f"timeline of one {kind} layer:")
+        print(format_timeline(trace))
+    return 0
+
+
+def _cmd_dump(args) -> int:
+    cfg = _resolve_model(args.model)
+    if cfg is None:
+        return 2
+    mesh = cfg.mesh()
+    kind, _, graph = layer_graphs(cfg)[0]
+    module = partition(graph, mesh)
+    compile_module(module, mesh, _overlap_config(args))
+    print(f"// one {kind} layer of {cfg.name} after compilation")
+    print(format_module(module))
+    print()
+    print(summarize_opcodes(module))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Overlap Communication with Dependent "
+            "Computation via Decomposition in Large Deep Learning Models' "
+            "(ASPLOS '23)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "experiments", help="list the reproducible artifacts"
+    ).set_defaults(handler=_cmd_experiments)
+
+    run = commands.add_parser("run", help="print one artifact's report")
+    run.add_argument("artifact", nargs="+", help="artifact name(s) or 'all'")
+    run.set_defaults(handler=_cmd_run)
+
+    model_names = ", ".join(
+        dict.fromkeys(c.name for c in TABLE1 + TABLE2)
+    )
+    for name, handler, help_text in (
+        ("simulate", _cmd_simulate, "simulate one model's training step"),
+        ("dump", _cmd_dump, "print one compiled layer's HLO"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("model", help=f"one of: {model_names}")
+        sub.add_argument(
+            "--baseline", action="store_true",
+            help="disable the overlap optimization",
+        )
+        sub.add_argument(
+            "--scheduler", default="bottom_up",
+            choices=("bottom_up", "top_down", "in_order"),
+        )
+        if name == "simulate":
+            sub.add_argument(
+                "--timeline", action="store_true",
+                help="render one layer's ASCII timeline",
+            )
+        sub.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

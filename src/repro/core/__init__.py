@@ -1,0 +1,72 @@
+"""The paper's contribution: decomposition, async scheduling, fusion, gating."""
+
+from repro.core.async_cp import split_collective_permutes
+from repro.core.config import BOTTOM_UP, IN_ORDER, TOP_DOWN, OverlapConfig
+from repro.core.cost_model import CostModel, OverlapEstimate, estimate_overlap
+from repro.core.decompose import (
+    DecomposedLoop,
+    DecompositionError,
+    decompose_candidate,
+    find_ring_axis,
+)
+from repro.core.fusion import clear_fusion, rewrite_concat_as_pad_max, run_fusion
+from repro.core.loop import emit_rolled, unroll_while
+from repro.core.standalone import (
+    StandaloneLoop,
+    decompose_standalone_collectives,
+)
+from repro.core.patterns import (
+    AG_EINSUM,
+    CASE_BATCH,
+    CASE_CONTRACTING,
+    CASE_FREE,
+    EINSUM_RS,
+    Candidate,
+    find_candidates,
+)
+from repro.core.pipeline import CompilationResult, compile_module
+from repro.perfsim.sched_graph import (
+    ScheduleGraph,
+    ScheduleUnit,
+    max_in_flight,
+    validate_unit_order,
+)
+from repro.core.schedule_bottom_up import schedule_bottom_up
+from repro.core.schedule_top_down import schedule_top_down
+
+__all__ = [
+    "AG_EINSUM",
+    "BOTTOM_UP",
+    "CASE_BATCH",
+    "CASE_CONTRACTING",
+    "CASE_FREE",
+    "Candidate",
+    "CompilationResult",
+    "CostModel",
+    "DecomposedLoop",
+    "DecompositionError",
+    "EINSUM_RS",
+    "IN_ORDER",
+    "OverlapConfig",
+    "OverlapEstimate",
+    "ScheduleGraph",
+    "ScheduleUnit",
+    "TOP_DOWN",
+    "clear_fusion",
+    "compile_module",
+    "StandaloneLoop",
+    "decompose_candidate",
+    "decompose_standalone_collectives",
+    "emit_rolled",
+    "estimate_overlap",
+    "find_candidates",
+    "find_ring_axis",
+    "max_in_flight",
+    "rewrite_concat_as_pad_max",
+    "run_fusion",
+    "schedule_bottom_up",
+    "schedule_top_down",
+    "split_collective_permutes",
+    "unroll_while",
+    "validate_unit_order",
+]

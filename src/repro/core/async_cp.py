@@ -1,0 +1,60 @@
+"""Asynchronous CollectivePermute conversion (Section 5.2, first half).
+
+Splits every synchronous ``collective-permute`` into a
+``collective-permute-start`` / ``collective-permute-done`` pair. The start
+merely launches the transfer and costs (almost) nothing on the compute
+stream; the done blocks until the data has arrived. The pair is emitted
+adjacently — with no instructions in between the pair behaves exactly like
+the original blocking permute, and it is the *scheduler's* job to move
+computation into the gap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.hlo.instruction import Instruction
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+
+
+def split_collective_permutes(
+    module: HloModule,
+) -> List[Tuple[Instruction, Instruction]]:
+    """Replace sync permutes with start/done pairs; returns the pairs."""
+    pairs: List[Tuple[Instruction, Instruction]] = []
+    replacement: dict = {}
+    new_order: List[Instruction] = []
+    for instruction in module.instructions:
+        if instruction.opcode is not Opcode.COLLECTIVE_PERMUTE:
+            instruction.operands = [
+                replacement.get(id(op), op) for op in instruction.operands
+            ]
+            new_order.append(instruction)
+            continue
+        attrs = {"pairs": list(instruction.pairs)}
+        if "direction" in instruction.attrs:
+            attrs["direction"] = instruction.attrs["direction"]
+        start = Instruction(
+            name=Instruction.fresh_name("collective-permute-start"),
+            opcode=Opcode.COLLECTIVE_PERMUTE_START,
+            shape=instruction.shape,
+            operands=[
+                replacement.get(id(op), op) for op in instruction.operands
+            ],
+            attrs=attrs,
+        )
+        done = Instruction(
+            name=Instruction.fresh_name("collective-permute-done"),
+            opcode=Opcode.COLLECTIVE_PERMUTE_DONE,
+            shape=instruction.shape,
+            operands=[start],
+        )
+        replacement[id(instruction)] = done
+        new_order.extend([start, done])
+        pairs.append((start, done))
+    root = module.root
+    new_root = replacement.get(id(root), root) if root is not None else None
+    module.rebuild(new_order, new_root)
+    module.verify()
+    return pairs

@@ -1,0 +1,63 @@
+"""Configuration of the overlap optimization pipeline."""
+
+from __future__ import annotations
+
+import dataclasses
+
+BOTTOM_UP = "bottom_up"
+TOP_DOWN = "top_down"
+IN_ORDER = "in_order"
+
+_SCHEDULERS = (BOTTOM_UP, TOP_DOWN, IN_ORDER)
+
+
+@dataclasses.dataclass(frozen=True)
+class OverlapConfig:
+    """Switches for the paper's passes, mirroring its ablations.
+
+    * ``enabled`` — master switch; off reproduces the baseline compiler.
+    * ``unroll`` — loop unrolling degree 2 (Section 5.4.1). Off inserts the
+      loop-carried-aliasing ``Copy`` per iteration and keeps the single
+      ReduceScatter accumulation chain.
+    * ``bidirectional`` — bidirectional data transfer (Section 5.4.2).
+      Requires an even partition count; odd rings fall back silently.
+    * ``scheduler`` — ``bottom_up`` (Algorithm 2), ``top_down``, or
+      ``in_order`` (no reordering: decomposition without overlap).
+    * ``overlap_aware_fusion`` — the Figure 11 fusion-priority fix.
+    * ``use_cost_model`` — gate each candidate on estimated benefit
+      (Section 5.5); off decomposes every matched pattern.
+    * ``max_in_flight`` — asynchronous-collective budget (the sync-flag
+      limit of Section 5.2); ``None`` defers to the chip spec.
+    * ``decompose_standalone`` — the paper's *future work*: also rewrite
+      collectives without a dependent einsum (multi-user gathers,
+      unattached scatters) into asynchronous permute rings so the
+      scheduler can hide them under surrounding computation. Off by
+      default — the paper's evaluated configuration leaves them
+      synchronous.
+    """
+
+    enabled: bool = True
+    unroll: bool = True
+    bidirectional: bool = True
+    scheduler: str = BOTTOM_UP
+    overlap_aware_fusion: bool = True
+    use_cost_model: bool = True
+    max_in_flight: int = 8
+    min_ring_size: int = 2
+    decompose_standalone: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in _SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {_SCHEDULERS}, got {self.scheduler!r}"
+            )
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+
+    @staticmethod
+    def baseline() -> "OverlapConfig":
+        """The unoptimized compiler: no decomposition, no overlap."""
+        return OverlapConfig(enabled=False)
+
+    def replace(self, **changes) -> "OverlapConfig":
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,648 @@
+"""Looped CollectiveEinsum: the decomposition rewrite (Sections 4, 5.1, 5.4).
+
+Rewrites an ``AllGather -> Einsum`` or ``Einsum -> ReduceScatter`` pair
+into an (unrolled) loop of per-shard partial einsums interleaved with ring
+CollectivePermutes, semantically equivalent to the original pair. The
+partition count is a compile-time constant, so the loop is materialized as
+an unrolled SSA sequence — one iteration per shard.
+
+Ring index algebra (device ring position ``r``, ring size ``N``; all
+indices mod N — see DESIGN.md for derivations):
+
+* AllGather: iteration ``i`` computes shard ``r + i``; permutes shift the
+  looped operand one position "left" (toward lower ring coordinates), so
+  N-1 permutes are needed.
+* ReduceScatter: iteration ``i`` computes the partial for shard
+  ``r + i + 1`` and the accumulator is sent *before* the update; after N
+  permutes each device holds exactly its own output shard.
+* Unrolled ReduceScatter (degree 2, N even): two independent accumulation
+  chains on hop-2 rings. Chain A computes shards ``r + 2(t+1)`` and
+  transfers after accumulating (no permute on the last step); chain B
+  computes shards ``r + 2t + 3`` and accumulates after the transfer. Chain
+  B ends holding shard ``r + 1`` and is aligned by an epilogue permute
+  ``{p -> p+1}`` before the final Add (Figure 8).
+* Bidirectional AllGather: a prologue permute shifts the local shard
+  clockwise; iteration ``t`` then computes shards ``r + t`` (buffer moving
+  counterclockwise) and ``r - 1 - t`` (clockwise) as one doubled einsum
+  over concatenated operands (Figure 9).
+* Bidirectional ReduceScatter: iteration ``t`` computes shards
+  ``r + t + 1 + N/2`` (left accumulator) and ``r - t - N/2`` (right); the
+  right accumulator ends holding shard ``r + 1`` and takes the epilogue
+  clockwise shift before the final Add (Figure 10).
+
+When ``config.unroll`` is off, every loop-carried buffer is reassigned
+through an explicit ``Copy`` — the loop-carried-aliasing cost the paper's
+unrolling optimization exists to remove (Section 5.4.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.core.config import OverlapConfig
+from repro.core.patterns import (
+    AG_EINSUM,
+    CASE_BATCH,
+    CASE_CONTRACTING,
+    CASE_FREE,
+    Candidate,
+)
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.einsum_spec import EinsumSpec
+from repro.hlo.instruction import (
+    Instruction,
+    ShardIndex,
+    collective_permute_pairs,
+)
+from repro.hlo.module import HloModule
+from repro.hlo.shapes import Shape
+from repro.perfsim.topology import MINUS, PLUS
+from repro.sharding.mesh import DeviceMesh
+
+
+class DecompositionError(RuntimeError):
+    """Raised when a candidate cannot be decomposed."""
+
+
+@dataclasses.dataclass
+class DecomposedLoop:
+    """Bookkeeping for one rewritten collective/einsum pair."""
+
+    candidate: Candidate
+    result: Instruction
+    permutes: List[Instruction]
+    partial_einsums: List[Instruction]
+    iterations: int
+    bidirectional: bool
+    unrolled: bool
+
+
+def find_ring_axis(mesh: DeviceMesh, groups) -> str:
+    """The mesh axis whose rings equal the collective's replica groups."""
+    wanted = {tuple(g) for g in groups}
+    for axis in mesh.axis_names:
+        if {tuple(g) for g in mesh.rings(axis)} == wanted:
+            return axis
+    raise DecompositionError(
+        f"replica groups {groups} match no mesh axis of {mesh}"
+    )
+
+
+@dataclasses.dataclass
+class _RingContext:
+    """Shared geometry for one decomposition."""
+
+    mesh: DeviceMesh
+    axis: str
+    groups: List[Tuple[int, ...]]
+    n: int
+    div: int  # ShardIndex divisor: (pid // div) mod n == ring position
+
+    @staticmethod
+    def create(mesh: DeviceMesh, groups) -> "_RingContext":
+        axis = find_ring_axis(mesh, groups)
+        return _RingContext(
+            mesh=mesh,
+            axis=axis,
+            groups=[tuple(g) for g in groups],
+            n=len(groups[0]),
+            div=mesh.axis_stride(axis),
+        )
+
+    def shard_index(self, offset: int, shard_size: int) -> ShardIndex:
+        """Start of shard ``(ring_pos + offset) mod n``."""
+        return ShardIndex.shard(
+            coeff=1, offset=offset % self.n, num_shards=self.n,
+            shard_size=shard_size, div=self.div,
+        )
+
+    def permute_pairs(self, shift: int) -> List[Tuple[int, int]]:
+        pairs: List[Tuple[int, int]] = []
+        for group in self.groups:
+            pairs.extend(collective_permute_pairs(group, shift))
+        return pairs
+
+
+class _LoopEmitter:
+    """Emits loop instructions before the consumer and tracks bookkeeping."""
+
+    def __init__(self, module: HloModule, anchor: Instruction, copies: bool):
+        self.builder = GraphBuilder.into(module, anchor)
+        self.copies = copies
+        self.permutes: List[Instruction] = []
+        self.partial_einsums: List[Instruction] = []
+
+    def permute(
+        self, ring: _RingContext, value: Instruction, shift: int
+    ) -> Instruction:
+        """Ring-shift ``value``; an identity shift returns it unchanged.
+
+        Positive shifts move data toward lower ring coordinates (the
+        "minus" link direction), negative shifts the opposite way; the
+        direction is recorded on the instruction so the link model can
+        tell the two apart even on two-device rings.
+        """
+        if shift % ring.n == 0:
+            return value
+        direction = MINUS if shift > 0 else PLUS
+        permute = self.builder.collective_permute(
+            value, ring.permute_pairs(shift), direction=direction
+        )
+        self.permutes.append(permute)
+        if self.copies:
+            # Loop-carried aliasing: the rolled loop must copy the received
+            # buffer before reuse (removed by unrolling, Section 5.4.1).
+            return self.builder.copy(permute)
+        return permute
+
+    def einsum(
+        self,
+        equation: str,
+        operand_index: int,
+        looped: Instruction,
+        other: Instruction,
+    ) -> Instruction:
+        lhs, rhs = (looped, other) if operand_index == 0 else (other, looped)
+        partial = self.builder.einsum(equation, lhs, rhs)
+        self.partial_einsums.append(partial)
+        return partial
+
+
+def decompose_candidate(
+    module: HloModule,
+    candidate: Candidate,
+    mesh: DeviceMesh,
+    config: OverlapConfig,
+) -> DecomposedLoop:
+    """Rewrite one candidate in place; returns the loop bookkeeping."""
+    ring = _RingContext.create(mesh, candidate.collective.groups)
+    if ring.n < config.min_ring_size:
+        raise DecompositionError(f"ring of {ring.n} below minimum")
+    bidirectional = config.bidirectional and ring.n % 2 == 0 and ring.n >= 2
+
+    if candidate.kind == AG_EINSUM:
+        if bidirectional and ring.n == 2:
+            loop = _all_gather_pair_split(module, candidate, ring, config)
+        elif bidirectional:
+            loop = _all_gather_bidirectional(module, candidate, ring, config)
+        else:
+            loop = _all_gather_unidirectional(module, candidate, ring, config)
+    else:
+        if bidirectional:
+            loop = _reduce_scatter_bidirectional(module, candidate, ring, config)
+        elif config.unroll and ring.n % 2 == 0:
+            loop = _reduce_scatter_unrolled(module, candidate, ring, config)
+        else:
+            loop = _reduce_scatter_unidirectional(module, candidate, ring, config)
+    module.verify()
+    return loop
+
+
+# --- AllGather -> Einsum ----------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _GatherParts:
+    """Dissected AllGather-Einsum candidate."""
+
+    spec: EinsumSpec
+    label: str
+    operand_index: int
+    gather_axis: int          # axis of the gathered dim on the looped operand
+    shard_size: int           # looped-operand shard size along gather_axis
+    local: Instruction        # the pre-gather local shard
+    other: Instruction        # the einsum's other operand
+    other_axis: Optional[int]  # axis of the label on the other operand
+    other_slice: Optional[int]  # slice size on the other operand
+    out_axis: Optional[int]   # axis of the label in the output
+    out_shard: Optional[int]  # output shard size along out_axis
+
+
+def _dissect_gather(candidate: Candidate, ring: _RingContext) -> _GatherParts:
+    einsum = candidate.einsum
+    gather = candidate.collective
+    spec = EinsumSpec.parse(einsum.equation)
+    operand_index = candidate.operand_index
+    gather_axis = gather.attrs["dim"]
+    label = spec.operand_labels(operand_index)[gather_axis]
+    local = gather.operands[0]
+    other = einsum.operands[1 - operand_index]
+    shard_size = local.shape.dims[gather_axis]
+
+    other_axis = other_slice = None
+    if candidate.dim_case in (CASE_CONTRACTING, CASE_BATCH):
+        other_axis = spec.axis_of(1 - operand_index, label)
+        other_slice = shard_size
+    out_axis = out_shard = None
+    if candidate.dim_case in (CASE_FREE, CASE_BATCH):
+        out_axis = spec.out_axis_of(label)
+        out_shard = einsum.shape.dims[out_axis] // ring.n
+    return _GatherParts(
+        spec, label, operand_index, gather_axis, shard_size, local, other,
+        other_axis, other_slice, out_axis, out_shard,
+    )
+
+
+def _gather_step(
+    emit: _LoopEmitter,
+    parts: _GatherParts,
+    ring: _RingContext,
+    candidate: Candidate,
+    looped: Instruction,
+    shard_offset: int,
+    result: Instruction,
+) -> Instruction:
+    """One partial computation: consume ``looped`` (shard ``r + offset``)
+    and fold it into ``result``. Returns the updated result."""
+    builder = emit.builder
+    if candidate.dim_case == CASE_FREE:
+        partial = emit.einsum(
+            candidate.einsum.equation, parts.operand_index, looped, parts.other
+        )
+        return builder.dynamic_update_slice(
+            result, partial, parts.out_axis,
+            ring.shard_index(shard_offset, parts.out_shard),
+        )
+    other_slice = builder.dynamic_slice(
+        parts.other, parts.other_axis,
+        ring.shard_index(shard_offset, parts.other_slice), parts.other_slice,
+    )
+    partial = emit.einsum(
+        candidate.einsum.equation, parts.operand_index, looped, other_slice
+    )
+    if candidate.dim_case == CASE_CONTRACTING:
+        return builder.add(result, partial)
+    # CASE_BATCH: slice the other operand *and* update the output slice.
+    return builder.dynamic_update_slice(
+        result, partial, parts.out_axis,
+        ring.shard_index(shard_offset, parts.out_shard),
+    )
+
+
+def _finish_gather(
+    module: HloModule,
+    candidate: Candidate,
+    emit: _LoopEmitter,
+    result: Instruction,
+    ring: _RingContext,
+    config: OverlapConfig,
+    iterations: int,
+    bidirectional: bool,
+) -> DecomposedLoop:
+    emit.builder.flush()
+    module.replace_all_uses(candidate.einsum, result)
+    module.remove(candidate.einsum)
+    module.remove(candidate.collective)
+    return DecomposedLoop(
+        candidate=candidate,
+        result=result,
+        permutes=emit.permutes,
+        partial_einsums=emit.partial_einsums,
+        iterations=iterations,
+        bidirectional=bidirectional,
+        unrolled=config.unroll,
+    )
+
+
+def _all_gather_unidirectional(
+    module: HloModule,
+    candidate: Candidate,
+    ring: _RingContext,
+    config: OverlapConfig,
+) -> DecomposedLoop:
+    parts = _dissect_gather(candidate, ring)
+    emit = _LoopEmitter(module, candidate.einsum, copies=not config.unroll)
+    builder = emit.builder
+
+    result = builder.zeros(candidate.einsum.shape)
+    looped = parts.local
+    for i in range(ring.n):
+        # Send the current shard first so its transfer can overlap the
+        # partial einsum of the same iteration (Algorithm 1).
+        next_looped = emit.permute(ring, looped, +1) if i < ring.n - 1 else None
+        result = _gather_step(emit, parts, ring, candidate, looped, i, result)
+        looped = next_looped
+    return _finish_gather(
+        module, candidate, emit, result, ring, config, ring.n, False
+    )
+
+
+def _all_gather_pair_split(
+    module: HloModule,
+    candidate: Candidate,
+    ring: _RingContext,
+    config: OverlapConfig,
+) -> DecomposedLoop:
+    """Two-device bidirectional AllGather: split the shard across links.
+
+    On a two-device ring both ring directions connect the same pair, so
+    instead of circulating whole shards the peer shard is fetched as two
+    halves travelling on opposite link directions concurrently — the full
+    interconnect is used and the transfer takes half a shard-time. This
+    is the degenerate bidirectional case behind the paper's 2-way
+    inference result (Section 7.1). Requires an even shard size; odd
+    shards fall back to the unidirectional loop.
+    """
+    parts = _dissect_gather(candidate, ring)
+    if parts.shard_size % 2:
+        return _all_gather_unidirectional(module, candidate, ring, config)
+    emit = _LoopEmitter(module, candidate.einsum, copies=not config.unroll)
+    builder = emit.builder
+    half = parts.shard_size // 2
+
+    low = builder.slice(parts.local, parts.gather_axis, 0, half)
+    high = builder.slice(parts.local, parts.gather_axis, half, half)
+    sent_low = emit.permute(ring, low, +1)
+    sent_high = emit.permute(ring, high, -1)
+
+    result = builder.zeros(candidate.einsum.shape)
+    result = _gather_step(emit, parts, ring, candidate, parts.local, 0, result)
+    peer = builder.concatenate([sent_low, sent_high], parts.gather_axis)
+    result = _gather_step(emit, parts, ring, candidate, peer, 1, result)
+    return _finish_gather(
+        module, candidate, emit, result, ring, config, 2, True
+    )
+
+
+def _all_gather_bidirectional(
+    module: HloModule,
+    candidate: Candidate,
+    ring: _RingContext,
+    config: OverlapConfig,
+) -> DecomposedLoop:
+    parts = _dissect_gather(candidate, ring)
+    emit = _LoopEmitter(module, candidate.einsum, copies=not config.unroll)
+    builder = emit.builder
+    half = ring.n // 2
+
+    result = builder.zeros(candidate.einsum.shape)
+    buf_ccw = parts.local                     # shards r, r+1, ... (left)
+    buf_cw = emit.permute(ring, parts.local, -1)  # prologue: shards r-1, r-2, ...
+    for t in range(half):
+        if t < half - 1:
+            next_ccw = emit.permute(ring, buf_ccw, +1)
+            next_cw = emit.permute(ring, buf_cw, -1)
+        else:
+            next_ccw = next_cw = None
+        result = _bidirectional_gather_step(
+            emit, parts, ring, candidate, buf_ccw, buf_cw, t, result
+        )
+        buf_ccw, buf_cw = next_ccw, next_cw
+    return _finish_gather(
+        module, candidate, emit, result, ring, config, half, True
+    )
+
+
+def _bidirectional_gather_step(
+    emit: _LoopEmitter,
+    parts: _GatherParts,
+    ring: _RingContext,
+    candidate: Candidate,
+    buf_ccw: Instruction,
+    buf_cw: Instruction,
+    t: int,
+    result: Instruction,
+) -> Instruction:
+    """One doubled partial: shards ``r + t`` and ``r - 1 - t`` at once.
+
+    The two shard buffers are concatenated so the einsum runs as a single
+    operation of twice the size (Section 5.4.2), then the combined partial
+    is split back into per-shard updates where the output keeps the
+    decomposed dimension.
+    """
+    builder = emit.builder
+    offset_ccw, offset_cw = t, ring.n - 1 - t
+    combined = builder.concatenate([buf_ccw, buf_cw], parts.gather_axis)
+
+    if candidate.dim_case == CASE_FREE:
+        partial = emit.einsum(
+            candidate.einsum.equation, parts.operand_index, combined, parts.other
+        )
+        return _split_update(
+            builder, result, partial, parts.out_axis, parts.out_shard,
+            ring, offset_ccw, offset_cw,
+        )
+
+    slice_ccw = builder.dynamic_slice(
+        parts.other, parts.other_axis,
+        ring.shard_index(offset_ccw, parts.other_slice), parts.other_slice,
+    )
+    slice_cw = builder.dynamic_slice(
+        parts.other, parts.other_axis,
+        ring.shard_index(offset_cw, parts.other_slice), parts.other_slice,
+    )
+    combined_other = builder.concatenate([slice_ccw, slice_cw], parts.other_axis)
+    partial = emit.einsum(
+        candidate.einsum.equation, parts.operand_index, combined, combined_other
+    )
+    if candidate.dim_case == CASE_CONTRACTING:
+        return builder.add(result, partial)
+    return _split_update(
+        builder, result, partial, parts.out_axis, parts.out_shard,
+        ring, offset_ccw, offset_cw,
+    )
+
+
+def _split_update(
+    builder: GraphBuilder,
+    result: Instruction,
+    partial: Instruction,
+    out_axis: int,
+    out_shard: int,
+    ring: _RingContext,
+    offset_ccw: int,
+    offset_cw: int,
+) -> Instruction:
+    """Split a doubled partial along the output axis into two shard updates."""
+    low = builder.slice(partial, out_axis, 0, out_shard)
+    high = builder.slice(partial, out_axis, out_shard, out_shard)
+    result = builder.dynamic_update_slice(
+        result, low, out_axis, ring.shard_index(offset_ccw, out_shard)
+    )
+    return builder.dynamic_update_slice(
+        result, high, out_axis, ring.shard_index(offset_cw, out_shard)
+    )
+
+
+# --- Einsum -> ReduceScatter -------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _ScatterParts:
+    """Dissected Einsum-ReduceScatter candidate."""
+
+    spec: EinsumSpec
+    label: str
+    operand_index: int        # operand carrying the scattered label
+    operand_axis: int         # axis of the label on that operand
+    slice_size: int           # per-shard slice of that operand
+    sliced_operand: Instruction
+    other: Instruction
+    out_shape: Shape          # the scatter's (shard-sized) result shape
+
+
+def _dissect_scatter(candidate: Candidate, ring: _RingContext) -> _ScatterParts:
+    einsum = candidate.einsum
+    scatter = candidate.collective
+    spec = EinsumSpec.parse(einsum.equation)
+    out_dim = scatter.attrs["dim"]
+    label = spec.out_labels[out_dim]
+    operand_index = candidate.operand_index
+    operand_axis = spec.axis_of(operand_index, label)
+    sliced_operand = einsum.operands[operand_index]
+    full = sliced_operand.shape.dims[operand_axis]
+    if full % ring.n:
+        raise DecompositionError(
+            f"scattered dim of size {full} not divisible by ring {ring.n}"
+        )
+    return _ScatterParts(
+        spec, label, operand_index, operand_axis, full // ring.n,
+        sliced_operand, einsum.operands[1 - operand_index], scatter.shape,
+    )
+
+
+def _scatter_partial(
+    emit: _LoopEmitter,
+    parts: _ScatterParts,
+    ring: _RingContext,
+    candidate: Candidate,
+    shard_offset: int,
+) -> Instruction:
+    """The partial einsum for shard ``r + shard_offset``."""
+    operand_slice = emit.builder.dynamic_slice(
+        parts.sliced_operand, parts.operand_axis,
+        ring.shard_index(shard_offset, parts.slice_size), parts.slice_size,
+    )
+    return emit.einsum(
+        candidate.einsum.equation, parts.operand_index, operand_slice, parts.other
+    )
+
+
+def _finish_scatter(
+    module: HloModule,
+    candidate: Candidate,
+    emit: _LoopEmitter,
+    result: Instruction,
+    config: OverlapConfig,
+    iterations: int,
+    bidirectional: bool,
+    unrolled: bool,
+) -> DecomposedLoop:
+    emit.builder.flush()
+    module.replace_all_uses(candidate.collective, result)
+    module.remove(candidate.collective)
+    module.remove(candidate.einsum)
+    return DecomposedLoop(
+        candidate=candidate,
+        result=result,
+        permutes=emit.permutes,
+        partial_einsums=emit.partial_einsums,
+        iterations=iterations,
+        bidirectional=bidirectional,
+        unrolled=unrolled,
+    )
+
+
+def _reduce_scatter_unidirectional(
+    module: HloModule,
+    candidate: Candidate,
+    ring: _RingContext,
+    config: OverlapConfig,
+) -> DecomposedLoop:
+    parts = _dissect_scatter(candidate, ring)
+    emit = _LoopEmitter(module, candidate.einsum, copies=not config.unroll)
+    builder = emit.builder
+
+    acc = builder.zeros(parts.out_shape)
+    for i in range(ring.n):
+        # The accumulator travels before this iteration's update
+        # (Algorithm 1 performs the CollectivePermute before the Update).
+        received = emit.permute(ring, acc, +1)
+        partial = _scatter_partial(emit, parts, ring, candidate, i + 1)
+        acc = builder.add(received, partial)
+    return _finish_scatter(
+        module, candidate, emit, acc, config, ring.n, False, False
+    )
+
+
+def _reduce_scatter_unrolled(
+    module: HloModule,
+    candidate: Candidate,
+    ring: _RingContext,
+    config: OverlapConfig,
+) -> DecomposedLoop:
+    """Degree-2 unrolling: two independent hop-2 accumulation chains.
+
+    Chain A accumulates then transfers (no transfer after the final add);
+    chain B transfers then accumulates. Their independence is what lets an
+    asynchronous permute of one chain overlap the other chain's einsum
+    even when the accumulation is fused with it (Figure 8). The epilogue
+    permute aligns chain B's result one position clockwise before the
+    final Add.
+    """
+    parts = _dissect_scatter(candidate, ring)
+    emit = _LoopEmitter(module, candidate.einsum, copies=False)
+    builder = emit.builder
+    half = ring.n // 2
+
+    acc_a = builder.zeros(parts.out_shape)
+    acc_b = builder.zeros(parts.out_shape)
+    for t in range(half):
+        received_b = emit.permute(ring, acc_b, +2)
+        partial_a = _scatter_partial(emit, parts, ring, candidate, 2 * (t + 1))
+        acc_a = builder.add(acc_a, partial_a)
+        if t < half - 1:
+            acc_a = emit.permute(ring, acc_a, +2)
+        partial_b = _scatter_partial(emit, parts, ring, candidate, 2 * t + 3)
+        acc_b = builder.add(received_b, partial_b)
+    aligned_b = emit.permute(ring, acc_b, -1)
+    result = builder.add(acc_a, aligned_b)
+    return _finish_scatter(
+        module, candidate, emit, result, config, half, False, True
+    )
+
+
+def _reduce_scatter_bidirectional(
+    module: HloModule,
+    candidate: Candidate,
+    ring: _RingContext,
+    config: OverlapConfig,
+) -> DecomposedLoop:
+    parts = _dissect_scatter(candidate, ring)
+    emit = _LoopEmitter(module, candidate.einsum, copies=not config.unroll)
+    builder = emit.builder
+    half = ring.n // 2
+
+    acc_left = builder.zeros(parts.out_shape)
+    acc_right = builder.zeros(parts.out_shape)
+    for t in range(half):
+        received_left = emit.permute(ring, acc_left, +1)
+        received_right = emit.permute(ring, acc_right, -1)
+        offset_left = t + 1 + half
+        offset_right = (ring.n - t - half) % ring.n
+        slice_left = builder.dynamic_slice(
+            parts.sliced_operand, parts.operand_axis,
+            ring.shard_index(offset_left, parts.slice_size), parts.slice_size,
+        )
+        slice_right = builder.dynamic_slice(
+            parts.sliced_operand, parts.operand_axis,
+            ring.shard_index(offset_right, parts.slice_size), parts.slice_size,
+        )
+        combined = builder.concatenate(
+            [slice_left, slice_right], parts.operand_axis
+        )
+        partial = emit.einsum(
+            candidate.einsum.equation, parts.operand_index, combined, parts.other
+        )
+        out_axis = parts.spec.out_axis_of(parts.label)
+        shard = parts.out_shape.dims[out_axis]
+        partial_left = builder.slice(partial, out_axis, 0, shard)
+        partial_right = builder.slice(partial, out_axis, shard, shard)
+        acc_left = builder.add(received_left, partial_left)
+        acc_right = builder.add(received_right, partial_right)
+    aligned_right = emit.permute(ring, acc_right, -1)
+    result = builder.add(acc_left, aligned_right)
+    return _finish_scatter(
+        module, candidate, emit, result, config, half, True, config.unroll
+    )

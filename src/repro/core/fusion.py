@@ -1,0 +1,229 @@
+"""Operation fusion (Section 5.4.3).
+
+Fusion assigns ``fusion_group`` ids; a group is costed and scheduled as a
+single kernel (see :mod:`repro.core.sched_graph`). Two ingredients from
+the paper:
+
+* **Fusion-friendly rewrites** — with bidirectional transfer the einsum's
+  local operand is built by DynamicSlices feeding a Concatenate, which the
+  XLA fusion heuristics cannot absorb into the einsum. The paper rewrites
+  ``Concatenate(a, b)`` into ``Max(PadLow(a), PadHigh(b))`` on an extended
+  dimension. :func:`rewrite_concat_as_pad_max` performs the equivalent
+  rewrite here, after which the pre-processing chain fuses.
+* **Overlap-aware fusion priority** (Figure 11) — an ``Add`` combining two
+  einsum results must fuse with the einsum *that consumes an asynchronous
+  CollectivePermuteDone*; fusing it with the independent einsum makes the
+  fused kernel transitively depend on the done and serializes the very
+  computation that should hide the transfer.
+
+The pass groups producer/consumer chains around each einsum: single-user
+data-movement pre-processing on the input side, and a single elementwise
+combiner (``Add`` / ``Maximum`` / ``DynamicUpdateSlice``) on the output
+side. Absorption is conservative: a consumer joins a group only when its
+other operands are defined before the group's first member, which keeps
+every group contiguous-izable without cycles.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List
+
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.instruction import Instruction
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+
+_PRE_FUSIBLE = frozenset(
+    {
+        Opcode.DYNAMIC_SLICE,
+        Opcode.SLICE,
+        Opcode.CONCATENATE,
+        Opcode.PAD,
+        Opcode.MAXIMUM,
+        Opcode.RESHAPE,
+        Opcode.TRANSPOSE,
+        Opcode.COPY,
+    }
+)
+
+_POST_FUSIBLE = frozenset(
+    {Opcode.ADD, Opcode.MAXIMUM, Opcode.DYNAMIC_UPDATE_SLICE, Opcode.SLICE}
+)
+
+
+def rewrite_concat_as_pad_max(module: HloModule) -> int:
+    """Replace two-operand Concatenates with ``Max(PadLow, PadHigh)``.
+
+    Only concatenates that feed an einsum are rewritten (that is where
+    fusibility matters); returns the number of rewrites.
+    """
+    users = module.user_map()
+    rewritten = 0
+    for concat in module.find(lambda i: i.opcode is Opcode.CONCATENATE):
+        if len(concat.operands) != 2:
+            continue
+        concat_users = users.get(concat, [])
+        if not concat_users or any(
+            u.opcode is not Opcode.EINSUM for u in concat_users
+        ):
+            continue
+        low_op, high_op = concat.operands
+        dim = concat.attrs["dim"]
+        builder = GraphBuilder.into(module, concat)
+        padded_low = builder.pad(
+            low_op, dim, low=0, high=high_op.shape.dims[dim], value=float("-inf")
+        )
+        padded_high = builder.pad(
+            high_op, dim, low=low_op.shape.dims[dim], high=0, value=float("-inf")
+        )
+        merged = builder.maximum(padded_low, padded_high)
+        builder.flush()
+        module.replace_all_uses(concat, merged)
+        module.remove(concat)
+        rewritten += 1
+    return rewritten
+
+
+def run_fusion(module: HloModule, overlap_aware: bool = True) -> int:
+    """Assign fusion groups; returns the number of groups created."""
+    users = module.user_map()
+    position = {id(i): p for p, i in enumerate(module.instructions)}
+    group_ids = itertools.count()
+    group_first: Dict[int, int] = {}  # group id -> position of first member
+
+    def assign(instruction: Instruction, group: int) -> None:
+        instruction.fusion_group = group
+        first = group_first.get(group, position[id(instruction)])
+        group_first[group] = min(first, position[id(instruction)])
+
+    def absorb_inputs(group: int, root: Instruction) -> None:
+        stack = list(root.operands)
+        while stack:
+            operand = stack.pop()
+            if operand.fusion_group is not None:
+                continue
+            if operand.opcode not in _PRE_FUSIBLE:
+                continue
+            operand_users = users.get(operand, [])
+            if len(operand_users) != 1:
+                continue
+            assign(operand, group)
+            stack.extend(operand.operands)
+
+    groups_created = 0
+    for einsum in module.find(lambda i: i.opcode is Opcode.EINSUM):
+        if einsum.fusion_group is not None:
+            continue
+        group = next(group_ids)
+        groups_created += 1
+        assign(einsum, group)
+        absorb_inputs(group, einsum)
+
+    # Output-side combiners: each eligible combiner picks one producer
+    # group to join, steered by the Figure 11 priority. A fused kernel is
+    # scheduled at its last member, so joining is safe when (a) no other
+    # operand of the combiner transitively depends on a group member (no
+    # cycle through the kernel) and (b) no group member has an external
+    # user that must run before the combiner.
+    members_of: Dict[int, List[Instruction]] = {}
+    for instruction in module:
+        if instruction.fusion_group is not None:
+            members_of.setdefault(instruction.fusion_group, []).append(
+                instruction
+            )
+    for combiner in module.find(lambda i: i.opcode in _POST_FUSIBLE):
+        if combiner.fusion_group is not None:
+            continue
+        if combiner.opcode is Opcode.DYNAMIC_UPDATE_SLICE:
+            # A result update fuses with the kernel producing the update
+            # value (operand 1); fusing along the accumulator chain would
+            # weld successive loop iterations into one serial kernel.
+            eligible = combiner.operands[1:2]
+        else:
+            eligible = combiner.operands
+        candidates = [
+            op for op in eligible
+            if op.fusion_group is not None and _is_einsum_group_tail(op)
+        ]
+        if not candidates:
+            continue
+        chosen = _pick_combiner_home(candidates, overlap_aware)
+        group = chosen.fusion_group
+        group_members = members_of[group]
+        if _safe_to_absorb(combiner, group_members, users, position):
+            assign(combiner, group)
+            group_members.append(combiner)
+    return groups_created
+
+
+def _safe_to_absorb(
+    combiner: Instruction,
+    group_members: List[Instruction],
+    users: Dict[Instruction, List[Instruction]],
+    position: Dict[int, int],
+) -> bool:
+    member_ids = {id(m) for m in group_members}
+    # (b) Every member's users are inside the group or are the combiner
+    # itself (or come after it — but an earlier external user would have
+    # to run before the fused kernel completes).
+    combiner_position = position[id(combiner)]
+    for member in group_members:
+        for user in users.get(member, []):
+            if id(user) in member_ids or user is combiner:
+                continue
+            if position[id(user)] < combiner_position:
+                return False
+    # (a) No other operand may transitively depend on a group member.
+    stack = [op for op in combiner.operands if id(op) not in member_ids]
+    visited = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        if id(node) in member_ids:
+            return False
+        stack.extend(node.operands)
+    return True
+
+
+def _is_einsum_group_tail(instruction: Instruction) -> bool:
+    return instruction.opcode in (
+        Opcode.EINSUM,
+        Opcode.ADD,
+        Opcode.MAXIMUM,
+        Opcode.DYNAMIC_UPDATE_SLICE,
+        Opcode.SLICE,
+    )
+
+
+def _pick_combiner_home(
+    candidates: List[Instruction], overlap_aware: bool
+) -> Instruction:
+    """Pick which producer group a combiner fuses into.
+
+    With ``overlap_aware`` the einsum whose operands include an
+    asynchronous CollectivePermuteDone wins (Figure 11 (b)); otherwise the
+    default heuristic keeps the first producer in operand order — which is
+    the independent einsum in the Figure 11 (a) pattern and serializes the
+    overlap.
+    """
+    if overlap_aware:
+        for candidate in candidates:
+            if _consumes_permute_done(candidate):
+                return candidate
+    return candidates[0]
+
+
+def _consumes_permute_done(instruction: Instruction) -> bool:
+    return any(
+        op.opcode is Opcode.COLLECTIVE_PERMUTE_DONE
+        for op in instruction.operands
+    )
+
+
+def clear_fusion(module: HloModule) -> None:
+    """Remove all fusion-group assignments (used by ablations)."""
+    for instruction in module:
+        instruction.fusion_group = None

@@ -1,0 +1,305 @@
+"""Rolled Looped CollectiveEinsum and the loop-unrolling pass.
+
+:mod:`repro.core.decompose` materializes the loop fully unrolled, which is
+what the schedulers and the simulator consume. This module provides the
+*rolled* form the paper's Algorithm 1 actually describes — a ``while``
+instruction whose body performs one iteration's CollectivePermute,
+partial einsum and result update, with the data-shard id "computed based
+on the loop index variable" (``ShardIndex.iter_coeff``) — plus the
+generic unroller that turns it back into straight-line code:
+
+* :func:`emit_rolled` — rewrite an AllGather-Einsum / Einsum-ReduceScatter
+  candidate into a ``while`` loop (unidirectional variants; the
+  bidirectional and dual-chain forms are alternative *emissions*, not
+  unrollings of this loop).
+* :func:`unroll_while` — full unroll (iteration indices folded into the
+  slice offsets; the loop-carried aliasing disappears because the SSA
+  form gives every iteration its own buffer — the double-buffering effect
+  Section 5.4.1 attributes to unrolling) or partial unroll by a factor
+  (the body is cloned ``factor`` times, shard indices re-expressed for a
+  loop that counts by ``factor``).
+
+Fully unrolling the rolled form is semantically equivalent to the direct
+unrolled emission; the equivalence tests execute all three side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.decompose import (
+    DecompositionError,
+    _dissect_gather,
+    _dissect_scatter,
+    _RingContext,
+)
+from repro.core.patterns import (
+    AG_EINSUM,
+    CASE_CONTRACTING,
+    CASE_FREE,
+    Candidate,
+)
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.instruction import Instruction, ShardIndex
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+from repro.sharding.mesh import DeviceMesh
+
+
+def emit_rolled(
+    module: HloModule, candidate: Candidate, mesh: DeviceMesh
+) -> Instruction:
+    """Rewrite ``candidate`` as a rolled ``while`` loop (Algorithm 1)."""
+    ring = _RingContext.create(mesh, candidate.collective.groups)
+    if candidate.kind == AG_EINSUM:
+        loop = _rolled_all_gather(module, candidate, ring)
+    else:
+        loop = _rolled_reduce_scatter(module, candidate, ring)
+    module.verify()
+    return loop
+
+
+def _iter_shard(ring: _RingContext, offset: int, shard_size: int) -> ShardIndex:
+    """Shard ``(ring_pos + i + offset) mod N`` — Algorithm 1's loop-index
+    dependent shard id."""
+    return ShardIndex.shard(
+        coeff=1, offset=offset % ring.n, num_shards=ring.n,
+        shard_size=shard_size, div=ring.div, iter_coeff=1,
+    )
+
+
+def _rolled_all_gather(
+    module: HloModule, candidate: Candidate, ring: _RingContext
+) -> Instruction:
+    parts = _dissect_gather(candidate, ring)
+    body = GraphBuilder(f"{candidate.einsum.name}.body")
+    looped = body.parameter(parts.local.shape, name="looped")
+    other = body.parameter(parts.other.shape, name="other")
+    result = body.parameter(candidate.einsum.shape, name="result")
+
+    # Algorithm 1 guards the permute with `i < N-1`; a rolled body is
+    # uniform, so the final (unused) transfer is emitted too and the
+    # unroller drops it when it has a concrete trip index.
+    next_looped = body.collective_permute(
+        looped, ring.permute_pairs(+1), name="next_looped"
+    )
+    if candidate.dim_case == CASE_FREE:
+        lhs, rhs = (
+            (looped, other) if parts.operand_index == 0 else (other, looped)
+        )
+        partial = body.einsum(candidate.einsum.equation, lhs, rhs, name="partial")
+        updated = body.dynamic_update_slice(
+            result, partial, parts.out_axis,
+            _iter_shard(ring, 0, parts.out_shard), name="updated",
+        )
+    else:
+        other_slice = body.dynamic_slice(
+            other, parts.other_axis, _iter_shard(ring, 0, parts.other_slice),
+            parts.other_slice,
+        )
+        lhs, rhs = (
+            (looped, other_slice) if parts.operand_index == 0
+            else (other_slice, looped)
+        )
+        partial = body.einsum(candidate.einsum.equation, lhs, rhs, name="partial")
+        if candidate.dim_case == CASE_CONTRACTING:
+            updated = body.add(result, partial, name="updated")
+        else:
+            updated = body.dynamic_update_slice(
+                result, partial, parts.out_axis,
+                _iter_shard(ring, 0, parts.out_shard), name="updated",
+            )
+
+    outer = GraphBuilder.into(module, candidate.einsum)
+    zeros = outer.zeros(candidate.einsum.shape)
+    loop = outer.while_loop(
+        trip_count=ring.n,
+        body=body.module,
+        body_outputs=["next_looped", "other", "updated"],
+        initial_state=[parts.local, parts.other, zeros],
+        result_index=2,
+        name=f"{candidate.einsum.name}.loop",
+    )
+    outer.flush()
+    module.replace_all_uses(candidate.einsum, loop)
+    module.remove(candidate.einsum)
+    module.remove(candidate.collective)
+    return loop
+
+
+def _rolled_reduce_scatter(
+    module: HloModule, candidate: Candidate, ring: _RingContext
+) -> Instruction:
+    parts = _dissect_scatter(candidate, ring)
+    body = GraphBuilder(f"{candidate.einsum.name}.body")
+    operand = body.parameter(parts.sliced_operand.shape, name="operand")
+    other = body.parameter(parts.other.shape, name="other")
+    acc = body.parameter(parts.out_shape, name="acc")
+
+    received = body.collective_permute(
+        acc, ring.permute_pairs(+1), name="received"
+    )
+    operand_slice = body.dynamic_slice(
+        operand, parts.operand_axis,
+        _iter_shard(ring, 1, parts.slice_size), parts.slice_size,
+    )
+    lhs, rhs = (
+        (operand_slice, other) if parts.operand_index == 0
+        else (other, operand_slice)
+    )
+    partial = body.einsum(candidate.einsum.equation, lhs, rhs, name="partial")
+    body.add(received, partial, name="updated")
+
+    outer = GraphBuilder.into(module, candidate.einsum)
+    zeros = outer.zeros(parts.out_shape)
+    loop = outer.while_loop(
+        trip_count=ring.n,
+        body=body.module,
+        body_outputs=["operand", "other", "updated"],
+        initial_state=[parts.sliced_operand, parts.other, zeros],
+        result_index=2,
+        name=f"{candidate.einsum.name}.loop",
+    )
+    outer.flush()
+    module.replace_all_uses(candidate.collective, loop)
+    module.remove(candidate.collective)
+    module.remove(candidate.einsum)
+    return loop
+
+
+# --- unrolling -----------------------------------------------------------------
+
+
+def unroll_while(
+    module: HloModule,
+    loop: Instruction,
+    factor: Optional[int] = None,
+) -> List[Instruction]:
+    """Unroll a ``while`` loop in place.
+
+    With ``factor=None`` (or >= the trip count) the loop is fully
+    unrolled into straight-line SSA: each iteration's instructions are
+    cloned with the iteration index folded into every ShardIndex, and
+    permutes whose result feeds nothing (the final guarded transfer of
+    Algorithm 1) are dropped. With a smaller ``factor`` (which must
+    divide the trip count) the body is cloned ``factor`` times into a new
+    body whose shard indices step by ``factor`` — the paper's "loop
+    unrolling with degree of 2".
+
+    Returns the newly created instructions (full unroll) or ``[loop']``
+    (partial unroll).
+    """
+    if loop.opcode is not Opcode.WHILE:
+        raise DecompositionError(f"{loop.name} is not a while loop")
+    trip_count = loop.attrs["trip_count"]
+    if factor is None or factor >= trip_count:
+        return _unroll_fully(module, loop)
+    if trip_count % factor:
+        raise DecompositionError(
+            f"factor {factor} does not divide trip count {trip_count}"
+        )
+    return [_unroll_partially(module, loop, factor)]
+
+
+def _clone_instruction(
+    instruction: Instruction,
+    mapping: Dict[int, Instruction],
+    transform_index,
+) -> Instruction:
+    attrs = dict(instruction.attrs)
+    if isinstance(attrs.get("start"), ShardIndex):
+        attrs["start"] = transform_index(attrs["start"])
+    return Instruction(
+        name=Instruction.fresh_name(instruction.name),
+        opcode=instruction.opcode,
+        shape=instruction.shape,
+        operands=[mapping[id(op)] for op in instruction.operands],
+        attrs=attrs,
+    )
+
+
+def _unroll_fully(module: HloModule, loop: Instruction) -> List[Instruction]:
+    body: HloModule = loop.attrs["body"]
+    body_outputs = loop.attrs["body_outputs"]
+    trip_count = loop.attrs["trip_count"]
+    parameters = body.parameters()
+
+    state: List[Instruction] = list(loop.operands)
+    created: List[Instruction] = []
+    for i in range(trip_count):
+        mapping: Dict[int, Instruction] = {
+            id(parameter): state[index]
+            for index, parameter in enumerate(parameters)
+        }
+        for instruction in body:
+            if instruction.opcode is Opcode.PARAMETER:
+                continue
+            clone = _clone_instruction(
+                instruction, mapping, lambda s: s.at_iteration(i)
+            )
+            mapping[id(instruction)] = clone
+            created.append(clone)
+        state = [mapping[id(body.get(name))] for name in body_outputs]
+
+    module.splice_before(loop, created)
+    result = state[loop.attrs["result_index"]]
+    module.replace_all_uses(loop, result)
+    module.remove(loop)
+    # Drop only the clones that ended up dead (the final iteration's
+    # guarded permute of Algorithm 1) — a module-wide DCE here would also
+    # delete unrelated dead-end values callers may still request as
+    # executor outputs.
+    users = module.user_map()
+    for clone in reversed(created):
+        if clone is not result and not users.get(clone):
+            module.remove(clone)
+            for operand in clone.operands:
+                if operand in users and clone in users[operand]:
+                    users[operand].remove(clone)
+    module.verify()
+    return [i for i in created if i in module]
+
+
+def _unroll_partially(
+    module: HloModule, loop: Instruction, factor: int
+) -> Instruction:
+    body: HloModule = loop.attrs["body"]
+    body_outputs = loop.attrs["body_outputs"]
+    parameters = body.parameters()
+
+    unrolled = GraphBuilder(f"{body.name}.x{factor}")
+    state: List[Instruction] = [
+        unrolled.parameter(parameter.shape, name=parameter.name)
+        for parameter in parameters
+    ]
+    for step in range(factor):
+        mapping: Dict[int, Instruction] = {
+            id(parameter): state[index]
+            for index, parameter in enumerate(parameters)
+        }
+        for instruction in body:
+            if instruction.opcode is Opcode.PARAMETER:
+                continue
+            clone = _clone_instruction(
+                instruction, mapping, lambda s: s.stepped(factor, step)
+            )
+            mapping[id(instruction)] = clone
+            unrolled.module.add(clone)
+        state = [mapping[id(body.get(name))] for name in body_outputs]
+    outputs = [value.name for value in state]
+    unrolled.module.verify()
+
+    outer = GraphBuilder.into(module, loop)
+    new_loop = outer.while_loop(
+        trip_count=loop.attrs["trip_count"] // factor,
+        body=unrolled.module,
+        body_outputs=outputs,
+        initial_state=list(loop.operands),
+        result_index=loop.attrs["result_index"],
+        name=Instruction.fresh_name(loop.name),
+    )
+    outer.flush()
+    module.replace_all_uses(loop, new_loop)
+    module.remove(loop)
+    module.verify()
+    return new_loop

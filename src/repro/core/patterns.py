@@ -1,0 +1,122 @@
+"""Candidate discovery: the collective/einsum pairs worth decomposing.
+
+The paper targets two dataflow patterns (Section 4):
+
+* ``AllGather -> Einsum`` — the gather feeds one operand of the einsum.
+  Classified into three cases by the kind of the gathered dimension
+  (Section 5.1): *free* (non-contracting), *contracting*, *batch*.
+* ``Einsum -> ReduceScatter`` — the scatter consumes the einsum result
+  along one of its non-contracting dimensions.
+
+A candidate is only safe to rewrite when the intermediate value has no
+other users (the gathered tensor / the unreduced einsum result would
+otherwise still be needed in full).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.hlo.einsum_spec import EinsumSpec
+from repro.hlo.instruction import Instruction
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+
+AG_EINSUM = "allgather-einsum"
+EINSUM_RS = "einsum-reducescatter"
+
+CASE_FREE = "free"            # Case 1: non-contracting gathered dim
+CASE_CONTRACTING = "contracting"  # Case 2
+CASE_BATCH = "batch"          # Case 3
+
+
+@dataclasses.dataclass(frozen=True)
+class Candidate:
+    """One decomposable collective/einsum pair."""
+
+    kind: str                   # AG_EINSUM or EINSUM_RS
+    einsum: Instruction
+    collective: Instruction
+    operand_index: int          # which einsum operand the AG feeds /
+                                # which operand carries the scattered label
+    dim_case: str               # CASE_* classification (AG) or CASE_FREE (RS)
+    ring_size: int
+
+    @property
+    def label(self) -> str:
+        """The einsum label of the decomposed dimension."""
+        spec = EinsumSpec.parse(self.einsum.equation)
+        if self.kind == AG_EINSUM:
+            axis = self.collective.attrs["dim"]
+            return spec.operand_labels(self.operand_index)[axis]
+        out_dim = self.collective.attrs["dim"]
+        return spec.out_labels[out_dim]
+
+
+def find_candidates(module: HloModule) -> List[Candidate]:
+    """All decomposable pairs in the module, in program order."""
+    users = module.user_map()
+    candidates: List[Candidate] = []
+    for instruction in module:
+        if instruction.opcode is Opcode.ALL_GATHER:
+            candidate = _match_all_gather(instruction, users)
+        elif instruction.opcode is Opcode.REDUCE_SCATTER:
+            candidate = _match_reduce_scatter(instruction)
+        else:
+            candidate = None
+        if candidate is not None:
+            candidates.append(candidate)
+    return candidates
+
+
+def _match_all_gather(gather: Instruction, users) -> Optional[Candidate]:
+    gather_users = users.get(gather, [])
+    if len(gather_users) != 1:
+        return None
+    einsum = gather_users[0]
+    if einsum.opcode is not Opcode.EINSUM:
+        return None
+    # The gather may feed both operands of a self-product; bail out then —
+    # decomposition assumes exactly one looped operand.
+    feeds = [i for i, op in enumerate(einsum.operands) if op is gather]
+    if len(feeds) != 1:
+        return None
+    operand_index = feeds[0]
+    spec = EinsumSpec.parse(einsum.equation)
+    case = spec.classify(operand_index, gather.attrs["dim"])
+    ring = len(gather.groups[0])
+    return Candidate(AG_EINSUM, einsum, gather, operand_index, case, ring)
+
+
+def _match_reduce_scatter(scatter: Instruction) -> Optional[Candidate]:
+    einsum = scatter.operands[0]
+    if einsum.opcode is not Opcode.EINSUM:
+        return None
+    spec = EinsumSpec.parse(einsum.equation)
+    out_dim = scatter.attrs["dim"]
+    label = spec.out_labels[out_dim]
+    # The scattered label must be a non-contracting dim of exactly one
+    # operand (Section 5.1: "the result is partitioned along a
+    # non-contracting dimension").
+    if label in spec.batch_labels:
+        return None
+    operand_index = 0 if label in spec.lhs_free_labels else 1
+    if label not in spec.operand_labels(operand_index):
+        return None
+    ring = len(scatter.groups[0])
+    return Candidate(
+        EINSUM_RS, einsum, scatter, operand_index, CASE_FREE, ring
+    )
+
+
+def reduce_scatter_blocks_einsum(module: HloModule, candidate: Candidate) -> bool:
+    """True when the einsum result has users besides the reduce-scatter.
+
+    Such an einsum cannot be decomposed: its full (unreduced) result is
+    still needed elsewhere.
+    """
+    if candidate.kind != EINSUM_RS:
+        return False
+    users = module.user_map()
+    return len(users.get(candidate.einsum, [])) != 1

@@ -1,0 +1,198 @@
+"""The end-to-end optimization pipeline (Section 5).
+
+``compile_module`` applies the paper's passes to an SPMD module in the
+order the XLA implementation uses:
+
+1. candidate discovery and cost-model gating (Section 5.5), including the
+   choose-one rule when a single einsum has two candidate collectives;
+2. Looped CollectiveEinsum decomposition (Sections 5.1, 5.4.1, 5.4.2);
+3. fusion-friendly rewrites and fusion with the overlap-aware priority
+   (Section 5.4.3);
+4. asynchronous CollectivePermute splitting (Section 5.2);
+5. instruction scheduling — bottom-up (Algorithm 2), top-down, or the
+   identity order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.core.async_cp import split_collective_permutes
+from repro.core.config import BOTTOM_UP, TOP_DOWN, OverlapConfig
+from repro.core.cost_model import CostModel, OverlapEstimate, estimate_overlap
+from repro.core.decompose import DecomposedLoop, decompose_candidate
+from repro.core.fusion import rewrite_concat_as_pad_max, run_fusion
+from repro.core.patterns import (
+    EINSUM_RS,
+    Candidate,
+    find_candidates,
+    reduce_scatter_blocks_einsum,
+)
+from repro.perfsim.sched_graph import ScheduleGraph, validate_unit_order
+from repro.core.schedule_bottom_up import schedule_bottom_up
+from repro.core.schedule_top_down import schedule_top_down
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+from repro.perfsim.hardware import TPU_V4, ChipSpec
+from repro.sharding.mesh import DeviceMesh
+
+
+@dataclasses.dataclass
+class CompilationResult:
+    """What the pipeline did to a module."""
+
+    module: HloModule
+    config: OverlapConfig
+    loops: List[DecomposedLoop]
+    candidates_found: int
+    candidates_skipped: Dict[str, str]   # candidate description -> reason
+    estimates: List[OverlapEstimate]
+    fusion_groups: int
+    standalone_loops: List = dataclasses.field(default_factory=list)
+
+    @property
+    def decomposed(self) -> int:
+        return len(self.loops)
+
+
+def compile_module(
+    module: HloModule,
+    mesh: DeviceMesh,
+    config: Optional[OverlapConfig] = None,
+    chip: ChipSpec = TPU_V4,
+) -> CompilationResult:
+    """Run the overlap pipeline in place; returns bookkeeping."""
+    config = config or OverlapConfig()
+    cost_model = CostModel(chip)
+    loops: List[DecomposedLoop] = []
+    skipped: Dict[str, str] = {}
+    estimates: List[OverlapEstimate] = []
+
+    if config.enabled:
+        candidates = find_candidates(module)
+        chosen = _select_candidates(
+            module, candidates, cost_model, config, skipped, estimates
+        )
+        for candidate in chosen:
+            loops.append(
+                decompose_candidate(module, candidate, mesh, config)
+            )
+        candidates_found = len(candidates)
+        if config.decompose_standalone:
+            from repro.core.standalone import decompose_standalone_collectives
+
+            standalone_loops = decompose_standalone_collectives(
+                module, mesh, config
+            )
+        else:
+            standalone_loops = []
+    else:
+        candidates_found = 0
+        standalone_loops = []
+
+    rewrite_concat_as_pad_max(module)
+    split_collective_permutes(module)
+    fusion_groups = run_fusion(
+        module, overlap_aware=config.overlap_aware_fusion
+    )
+
+    graph = ScheduleGraph.build(module)
+    if config.scheduler == BOTTOM_UP:
+        order = schedule_bottom_up(graph, cost_model, mesh, config.max_in_flight)
+    elif config.scheduler == TOP_DOWN:
+        order = schedule_top_down(graph, cost_model, mesh, config.max_in_flight)
+    else:
+        order = list(graph.units)
+    validate_unit_order(graph, order)
+    graph.apply(order)
+
+    return CompilationResult(
+        module=module,
+        config=config,
+        loops=loops,
+        candidates_found=candidates_found,
+        candidates_skipped=skipped,
+        estimates=estimates,
+        fusion_groups=fusion_groups,
+        standalone_loops=standalone_loops,
+    )
+
+
+def _select_candidates(
+    module: HloModule,
+    candidates: List[Candidate],
+    cost_model: CostModel,
+    config: OverlapConfig,
+    skipped: Dict[str, str],
+    estimates: List[OverlapEstimate],
+) -> List[Candidate]:
+    """Apply safety checks, the two-candidate rule and the benefit gate."""
+
+    def describe(candidate: Candidate) -> str:
+        return f"{candidate.kind}:{candidate.collective.name}"
+
+    safe: List[Candidate] = []
+    for candidate in candidates:
+        if candidate.ring_size < config.min_ring_size:
+            skipped[describe(candidate)] = "ring below minimum size"
+        elif candidate.kind == EINSUM_RS and reduce_scatter_blocks_einsum(
+            module, candidate
+        ):
+            skipped[describe(candidate)] = "einsum result has other users"
+        else:
+            safe.append(candidate)
+
+    by_einsum: Dict[int, List[Candidate]] = {}
+    for candidate in safe:
+        by_einsum.setdefault(id(candidate.einsum), []).append(candidate)
+
+    chosen: List[Candidate] = []
+    for group in by_einsum.values():
+        candidate = group[0]
+        if len(group) > 1:
+            candidate = _pick_between(group, cost_model, config, skipped, describe)
+        estimate = estimate_overlap(cost_model, candidate, config.bidirectional)
+        estimates.append(estimate)
+        if config.use_cost_model and not estimate.beneficial:
+            skipped[describe(candidate)] = (
+                f"not beneficial: original {estimate.original_time:.3e}s < "
+                f"overlapped {estimate.overlapped_time:.3e}s"
+            )
+            continue
+        chosen.append(candidate)
+    return chosen
+
+
+def _pick_between(
+    group: List[Candidate],
+    cost_model: CostModel,
+    config: OverlapConfig,
+    skipped: Dict[str, str],
+    describe,
+) -> Candidate:
+    """Section 5.5: pick one of two candidate collectives for an einsum.
+
+    The paper "chooses the one that leads to higher benefits": the saved
+    time is the collective's original cost minus the part of the permute
+    chain the einsum cannot cover and minus the prologue/epilogue
+    overhead. On a tie (both fully covered and equally cheap outside the
+    loop) the smaller shard wins — its extra permute outside the loop is
+    cheaper in the worst case.
+    """
+    timed = []
+    for candidate in group:
+        estimate = estimate_overlap(cost_model, candidate, config.bidirectional)
+        if candidate.collective.opcode is Opcode.ALL_GATHER:
+            shard_bytes = candidate.collective.operands[0].shape.byte_size
+        else:
+            shard_bytes = candidate.collective.shape.byte_size
+        benefit = estimate.original_time - estimate.overlapped_time
+        timed.append((candidate, benefit, shard_bytes))
+
+    # Highest benefit first; smaller shard breaks ties.
+    winner = max(timed, key=lambda t: (t[1], -t[2]))[0]
+    for candidate, _, _ in timed:
+        if candidate is not winner:
+            skipped[describe(candidate)] = "lost two-candidate selection"
+    return winner

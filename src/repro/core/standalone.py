@@ -1,0 +1,149 @@
+"""Standalone-collective decomposition (the paper's future work).
+
+The Looped CollectiveEinsum needs a *dependent* einsum to interleave
+with, so multi-user AllGathers (e.g. the activation re-gather shared by
+the q/k/v projections) and other unattached collectives stay synchronous
+— the paper counts them among the communication "that cannot be
+overlapped with the current technique" and points to overlapping
+*independent* communication as future work (Section 6.1).
+
+This pass implements that extension with the machinery already in the
+repository: a standalone AllGather or ReduceScatter is rewritten into the
+same ring of asynchronous CollectivePermutes the looped form uses — just
+without partial einsums between the steps — after which the ordinary
+schedulers hoist the permute starts across whatever *surrounding*
+computation exists (previous layers, independent branches). Disabled by
+default (`OverlapConfig.decompose_standalone=False`) so the paper's
+configuration stays the reference.
+
+Ring algebra matches :mod:`repro.core.decompose`: the unidirectional
+AllGather writes shard ``(r + i) mod N`` at step ``i`` and shifts the
+buffer left; the bidirectional variant runs both directions from a
+prologue shift; the ReduceScatter circulates an accumulator and lands
+shard ``r`` after N steps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.core.config import OverlapConfig
+from repro.core.decompose import _LoopEmitter, _RingContext
+from repro.hlo.instruction import Instruction
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+from repro.sharding.mesh import DeviceMesh
+
+
+@dataclasses.dataclass
+class StandaloneLoop:
+    """Bookkeeping for one rewritten standalone collective."""
+
+    collective: Instruction
+    result: Instruction
+    permutes: List[Instruction]
+    bidirectional: bool
+
+
+def decompose_standalone_collectives(
+    module: HloModule,
+    mesh: DeviceMesh,
+    config: OverlapConfig,
+) -> List[StandaloneLoop]:
+    """Rewrite every remaining AllGather/ReduceScatter into permute rings."""
+    loops: List[StandaloneLoop] = []
+    for collective in module.find(
+        lambda i: i.opcode in (Opcode.ALL_GATHER, Opcode.REDUCE_SCATTER)
+    ):
+        ring = _RingContext.create(mesh, collective.groups)
+        if ring.n < max(config.min_ring_size, 2):
+            continue
+        bidirectional = config.bidirectional and ring.n % 2 == 0 and ring.n > 2
+        if collective.opcode is Opcode.ALL_GATHER:
+            loops.append(
+                _standalone_all_gather(module, collective, ring, bidirectional)
+            )
+        else:
+            loops.append(
+                _standalone_reduce_scatter(module, collective, ring, bidirectional)
+            )
+    module.verify()
+    return loops
+
+
+def _standalone_all_gather(
+    module: HloModule,
+    gather: Instruction,
+    ring: _RingContext,
+    bidirectional: bool,
+) -> StandaloneLoop:
+    emit = _LoopEmitter(module, gather, copies=False)
+    builder = emit.builder
+    local = gather.operands[0]
+    dim = gather.attrs["dim"]
+    shard = local.shape.dims[dim]
+
+    result = builder.zeros(gather.shape)
+    if bidirectional:
+        half = ring.n // 2
+        result = builder.dynamic_update_slice(
+            result, local, dim, ring.shard_index(0, shard)
+        )
+        buf_ccw = local
+        buf_cw = emit.permute(ring, local, -1)
+        result = builder.dynamic_update_slice(
+            result, buf_cw, dim, ring.shard_index(ring.n - 1, shard)
+        )
+        for step in range(1, half):
+            buf_ccw = emit.permute(ring, buf_ccw, +1)
+            result = builder.dynamic_update_slice(
+                result, buf_ccw, dim, ring.shard_index(step, shard)
+            )
+            buf_cw = emit.permute(ring, buf_cw, -1)
+            result = builder.dynamic_update_slice(
+                result, buf_cw, dim, ring.shard_index(ring.n - 1 - step, shard)
+            )
+    else:
+        buffer = local
+        for step in range(ring.n):
+            result = builder.dynamic_update_slice(
+                result, buffer, dim, ring.shard_index(step, shard)
+            )
+            if step < ring.n - 1:
+                buffer = emit.permute(ring, buffer, +1)
+    emit.builder.flush()
+    module.replace_all_uses(gather, result)
+    module.remove(gather)
+    return StandaloneLoop(gather, result, emit.permutes, bidirectional)
+
+
+def _standalone_reduce_scatter(
+    module: HloModule,
+    scatter: Instruction,
+    ring: _RingContext,
+    bidirectional: bool,
+) -> StandaloneLoop:
+    """Accumulator ring: at step ``i`` each device adds the slice for
+    shard ``(r + i + 1) mod N`` of its local input to the received
+    accumulator and passes it on; after N steps device ``r`` holds shard
+    ``r``. (The bidirectional variant is left unidirectional here — the
+    standalone scatter carries one accumulator; splitting it is exactly
+    the dual-chain unrolling already exercised by the looped form.)"""
+    emit = _LoopEmitter(module, scatter, copies=False)
+    builder = emit.builder
+    operand = scatter.operands[0]
+    dim = scatter.attrs["dim"]
+    shard = scatter.shape.dims[dim]
+
+    acc = builder.zeros(scatter.shape)
+    for step in range(ring.n):
+        received = emit.permute(ring, acc, +1)
+        piece = builder.dynamic_slice(
+            operand, dim, ring.shard_index(step + 1, shard), shard
+        )
+        acc = builder.add(received, piece)
+    emit.builder.flush()
+    module.replace_all_uses(scatter, acc)
+    module.remove(scatter)
+    return StandaloneLoop(scatter, acc, emit.permutes, False)

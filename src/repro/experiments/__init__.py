@@ -1,0 +1,59 @@
+"""Per-figure/table experiment harnesses for the paper's evaluation.
+
+Each module exposes ``run()`` (structured rows) and ``format_report()``
+(the text rendering of the paper's artifact):
+
+* :mod:`repro.experiments.fig01_breakdown` — Figure 1.
+* :mod:`repro.experiments.fig12_overall` — Figure 12.
+* :mod:`repro.experiments.fig13_weak_scaling` — Figure 13.
+* :mod:`repro.experiments.fig14_unrolling` — Figure 14.
+* :mod:`repro.experiments.fig15_bidirectional` — Figure 15.
+* :mod:`repro.experiments.fig16_scheduling` — Figure 16.
+* :mod:`repro.experiments.tables` — Tables 1 and 2.
+* :mod:`repro.experiments.energy` — Section 6.4.
+* :mod:`repro.experiments.inference` — Section 7.1.
+"""
+
+from repro.experiments import (
+    ablations,
+    energy,
+    fig01_breakdown,
+    fig12_overall,
+    fig13_weak_scaling,
+    fig14_unrolling,
+    fig15_bidirectional,
+    fig16_scheduling,
+    future_overlap,
+    inference,
+    interconnect_sweep,
+    pipeline_parallel,
+    tables,
+)
+from repro.experiments.common import (
+    Comparison,
+    cached_step,
+    clear_cache,
+    compare,
+    format_table,
+)
+
+__all__ = [
+    "Comparison",
+    "ablations",
+    "cached_step",
+    "clear_cache",
+    "compare",
+    "energy",
+    "fig01_breakdown",
+    "fig12_overall",
+    "fig13_weak_scaling",
+    "fig14_unrolling",
+    "fig15_bidirectional",
+    "fig16_scheduling",
+    "format_table",
+    "future_overlap",
+    "inference",
+    "interconnect_sweep",
+    "pipeline_parallel",
+    "tables",
+]

@@ -1,0 +1,220 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Three studies the paper motivates but does not plot:
+
+* **Fusion priority** (Figure 11 / Section 5.4.3): overlap-aware vs
+  default combiner placement on real layers.
+* **Cost-model gate** (Section 5.5): with the gate off on a slow
+  interconnect, decomposition regresses; the gate prevents it.
+* **Scheduling vs memory** (Section 5.2): the schedulers start from a
+  memory-minimizing order and inevitably extend some live ranges to
+  create overlap windows; this quantifies the liveness cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import compile_module
+from repro.experiments.common import cached_step, format_table, times
+from repro.models.configs import GPT_256B, TABLE2, ModelConfig
+from repro.models.step import layer_graphs
+from repro.perfsim.hardware import SLOW_INTERCONNECT, ChipSpec
+from repro.perfsim.simulator import simulate
+from repro.runtime.memory import profile_memory
+from repro.sharding.partitioner import partition
+
+
+@dataclasses.dataclass(frozen=True)
+class FusionRow:
+    blocks: int
+    time_default: float
+    time_overlap_aware: float
+
+    @property
+    def gain(self) -> float:
+        return self.time_default / self.time_overlap_aware
+
+
+def _figure11_stack(blocks: int, mesh):
+    """A chain of Figure 11 blocks: at each step an independent einsum
+    and a permute-fed einsum are summed. The default fusion heuristic
+    welds the Add to the independent einsum and serializes the transfer."""
+    from repro.hlo.builder import GraphBuilder
+    from repro.hlo.dtypes import BF16
+    from repro.hlo.shapes import Shape
+    from repro.sharding.mesh import DeviceMesh
+
+    builder = GraphBuilder("fig11-stack")
+    value = builder.parameter(Shape((2048, 2048), BF16), name="x")
+    weight = builder.parameter(Shape((2048, 2048), BF16), name="w")
+    pairs = [(0, 3), (1, 0), (2, 1), (3, 2)]
+    for _ in range(blocks):
+        start = builder.collective_permute_start(value, pairs)
+        independent = builder.einsum("bf,fh->bh", value, weight)
+        done = builder.collective_permute_done(start)
+        dependent = builder.einsum("bf,fh->bh", done, weight)
+        value = builder.add(independent, dependent)
+    return builder.module
+
+
+def fusion_priority(blocks: Sequence[int] = (2, 4, 8)) -> List[FusionRow]:
+    from repro.core.fusion import run_fusion
+    from repro.sharding.mesh import DeviceMesh
+
+    mesh = DeviceMesh.ring(4)
+    rows = []
+    for count in blocks:
+        times = {}
+        for aware in (False, True):
+            module = _figure11_stack(count, mesh)
+            run_fusion(module, overlap_aware=aware)
+            times[aware] = simulate(module, mesh).total_time
+        rows.append(FusionRow(count, times[False], times[True]))
+    return rows
+
+
+@dataclasses.dataclass(frozen=True)
+class GateRow:
+    model: str
+    chip: str
+    baseline_time: float
+    gated_time: float
+    ungated_time: float
+
+    @property
+    def gate_saves_regression(self) -> bool:
+        return self.gated_time <= self.ungated_time + 1e-12
+
+
+#: Narrow models on a slow interconnect: the per-shard einsums cannot
+#: cover the stretched unidirectional permute chain — the regime the
+#: Section 5.5 gate exists for.
+GATE_MODELS = (
+    dataclasses.replace(
+        TABLE2[0], name="narrow_4k", d_model=4096, d_ff=16384,
+        batch_size=64, seq_len=512, mesh_x=8, mesh_y=8, num_chips=64,
+        num_layers=8,
+    ),
+    dataclasses.replace(
+        TABLE2[0], name="narrow_8k", d_model=8192, d_ff=32768,
+        batch_size=64, seq_len=512, mesh_x=8, mesh_y=8, num_chips=64,
+        num_layers=8,
+    ),
+)
+
+
+def cost_gate(
+    models: Sequence[ModelConfig] = GATE_MODELS,
+    chip: ChipSpec = SLOW_INTERCONNECT,
+) -> List[GateRow]:
+    """Unidirectional decomposition on a slow interconnect: the permute
+    chain uses half the ring bandwidth, so blindly decomposing everything
+    regresses — the gate declines those candidates and holds the
+    baseline."""
+    rows = []
+    for cfg in models:
+        baseline = cached_step(cfg, OverlapConfig.baseline(), chip).report
+        gated = cached_step(
+            cfg, OverlapConfig(use_cost_model=True, bidirectional=False), chip
+        ).report
+        ungated = cached_step(
+            cfg, OverlapConfig(use_cost_model=False, bidirectional=False), chip
+        ).report
+        rows.append(
+            GateRow(
+                cfg.name, chip.name, baseline.total_time,
+                gated.total_time, ungated.total_time,
+            )
+        )
+    return rows
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryRow:
+    model: str
+    baseline_peak_bytes: int
+    overlapped_peak_bytes: int
+
+    @property
+    def overhead(self) -> float:
+        return self.overlapped_peak_bytes / self.baseline_peak_bytes
+
+
+def scheduling_memory(
+    models: Sequence[ModelConfig] = (GPT_256B,),
+) -> List[MemoryRow]:
+    """Peak liveness of one layer's schedule, baseline vs overlapped."""
+    rows = []
+    for cfg in models:
+        mesh = cfg.mesh()
+        _, _, graph = layer_graphs(cfg)[0]
+        baseline_module = partition(graph, mesh)
+        compile_module(baseline_module, mesh, OverlapConfig.baseline())
+        _, _, graph = layer_graphs(cfg)[0]
+        overlapped_module = partition(graph, mesh)
+        compile_module(overlapped_module, mesh, OverlapConfig())
+        rows.append(
+            MemoryRow(
+                cfg.name,
+                profile_memory(baseline_module).peak_bytes,
+                profile_memory(overlapped_module).peak_bytes,
+            )
+        )
+    return rows
+
+
+def format_report() -> str:
+    parts = []
+    parts.append(
+        format_table(
+            ["figure-11 blocks", "default fusion", "overlap-aware", "gain"],
+            [
+                (
+                    str(r.blocks),
+                    f"{r.time_default * 1e3:.3f}ms",
+                    f"{r.time_overlap_aware * 1e3:.3f}ms",
+                    times(r.gain),
+                )
+                for r in fusion_priority()
+            ],
+            title="Ablation: Figure 11 fusion priority",
+        )
+    )
+    parts.append(
+        format_table(
+            ["model", "chip", "baseline", "gate on", "gate off"],
+            [
+                (
+                    r.model, r.chip,
+                    f"{r.baseline_time:.3f}s",
+                    f"{r.gated_time:.3f}s",
+                    f"{r.ungated_time:.3f}s",
+                )
+                for r in cost_gate()
+            ],
+            title="Ablation: Section 5.5 cost gate on a slow interconnect",
+        )
+    )
+    parts.append(
+        format_table(
+            ["model", "baseline peak", "overlapped peak", "overhead"],
+            [
+                (
+                    r.model,
+                    f"{r.baseline_peak_bytes / 2**30:.2f} GiB",
+                    f"{r.overlapped_peak_bytes / 2**30:.2f} GiB",
+                    f"{r.overhead:.2f}x",
+                )
+                for r in scheduling_memory()
+            ],
+            title="Ablation: per-layer peak liveness under the overlap schedule",
+        )
+    )
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(format_report())

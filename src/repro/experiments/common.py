@@ -1,0 +1,97 @@
+"""Shared harness for the per-figure/table experiments.
+
+Every experiment module exposes ``run()`` returning structured rows and
+``format_report(rows)`` rendering the same table/series the paper shows.
+Step simulations are memoized per (model, overlap-config, chip) within
+the process — the ablation figures re-use each model's baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import OverlapConfig
+from repro.models.configs import ModelConfig
+from repro.models.step import StepSimulation, simulate_step
+from repro.perfsim.hardware import TPU_V4, ChipSpec
+from repro.perfsim.metrics import StepReport
+
+_CACHE: Dict[Tuple, StepSimulation] = {}
+
+
+def cached_step(
+    cfg: ModelConfig,
+    overlap: Optional[OverlapConfig] = None,
+    chip: ChipSpec = TPU_V4,
+) -> StepSimulation:
+    """Memoized :func:`repro.models.step.simulate_step`."""
+    overlap = overlap or OverlapConfig()
+    key = (cfg, overlap, chip)
+    if key not in _CACHE:
+        _CACHE[key] = simulate_step(cfg, overlap, chip)
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+@dataclasses.dataclass(frozen=True)
+class Comparison:
+    """Baseline vs optimized step reports for one model."""
+
+    model: str
+    baseline: StepReport
+    optimized: StepReport
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline.total_time / self.optimized.total_time
+
+    @property
+    def normalized_time(self) -> float:
+        """Optimized step time normalized to the baseline (paper's y-axis
+        in Figures 14-16)."""
+        return self.optimized.total_time / self.baseline.total_time
+
+
+def compare(
+    cfg: ModelConfig,
+    optimized: Optional[OverlapConfig] = None,
+    baseline: Optional[OverlapConfig] = None,
+    chip: ChipSpec = TPU_V4,
+) -> Comparison:
+    baseline = baseline or OverlapConfig.baseline()
+    return Comparison(
+        model=cfg.name,
+        baseline=cached_step(cfg, baseline, chip).report,
+        optimized=cached_step(cfg, optimized, chip).report,
+    )
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[str]], title: str = ""
+) -> str:
+    """Fixed-width text table used by every experiment report."""
+    rows = [list(r) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    return f"{value:.1%}"
+
+
+def times(value: float) -> str:
+    return f"{value:.2f}x"

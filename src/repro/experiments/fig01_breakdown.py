@@ -1,0 +1,65 @@
+"""Figure 1: training step time breakdown of the large models.
+
+The paper's opening figure shows each Table 1 model spending a
+substantial fraction of its (baseline, pre-overlap) step on data
+communication. We reproduce the stacked breakdown: compute fraction vs
+exposed-communication fraction of the baseline step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.core.config import OverlapConfig
+from repro.experiments.common import cached_step, format_table, percent
+from repro.models.configs import TABLE1, ModelConfig
+from repro.perfsim.hardware import TPU_V4, ChipSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class BreakdownRow:
+    model: str
+    num_chips: int
+    step_time: float
+    compute_fraction: float
+    communication_fraction: float
+
+
+def run(
+    models: Sequence[ModelConfig] = TABLE1, chip: ChipSpec = TPU_V4
+) -> List[BreakdownRow]:
+    rows = []
+    for cfg in models:
+        report = cached_step(cfg, OverlapConfig.baseline(), chip).report
+        rows.append(
+            BreakdownRow(
+                model=cfg.name,
+                num_chips=cfg.num_chips,
+                step_time=report.total_time,
+                compute_fraction=1.0 - report.communication_fraction,
+                communication_fraction=report.communication_fraction,
+            )
+        )
+    return rows
+
+
+def format_report(rows: Sequence[BreakdownRow]) -> str:
+    return format_table(
+        ["model", "chips", "step time", "compute", "communication"],
+        [
+            (
+                r.model,
+                str(r.num_chips),
+                f"{r.step_time:.3f}s",
+                percent(r.compute_fraction),
+                percent(r.communication_fraction),
+            )
+            for r in rows
+        ],
+        title="Figure 1: baseline training step time breakdown",
+    )
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

@@ -1,0 +1,76 @@
+"""Figure 12: overall performance of the six evaluated applications.
+
+The paper reports throughput normalized to peak FLOPS (utilization) for
+the baseline and the overlap-optimized compiler, per model. Headlines:
+average ~1.2x speedup, highest utilization 72% (Meena_500B), GLaM/BigSSL
+around 40%.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.experiments.common import compare, format_table, percent, times
+from repro.models.configs import TABLE1, ModelConfig
+from repro.perfsim.hardware import TPU_V4, ChipSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class OverallRow:
+    model: str
+    baseline_utilization: float
+    overlapped_utilization: float
+    speedup: float
+    baseline_comm_fraction: float
+    overlapped_comm_fraction: float
+
+
+def run(
+    models: Sequence[ModelConfig] = TABLE1, chip: ChipSpec = TPU_V4
+) -> List[OverallRow]:
+    rows = []
+    for cfg in models:
+        comparison = compare(cfg, chip=chip)
+        rows.append(
+            OverallRow(
+                model=cfg.name,
+                baseline_utilization=comparison.baseline.flops_utilization,
+                overlapped_utilization=comparison.optimized.flops_utilization,
+                speedup=comparison.speedup,
+                baseline_comm_fraction=comparison.baseline.communication_fraction,
+                overlapped_comm_fraction=comparison.optimized.communication_fraction,
+            )
+        )
+    return rows
+
+
+def average_speedup(rows: Sequence[OverallRow]) -> float:
+    return sum(r.speedup for r in rows) / len(rows)
+
+
+def format_report(rows: Sequence[OverallRow]) -> str:
+    table = format_table(
+        ["model", "baseline util", "overlapped util", "speedup",
+         "baseline comm", "overlapped comm"],
+        [
+            (
+                r.model,
+                percent(r.baseline_utilization),
+                percent(r.overlapped_utilization),
+                times(r.speedup),
+                percent(r.baseline_comm_fraction),
+                percent(r.overlapped_comm_fraction),
+            )
+            for r in rows
+        ],
+        title="Figure 12: performance of the evaluated applications",
+    )
+    return (
+        f"{table}\naverage speedup: {times(average_speedup(rows))}; "
+        f"peak utilization: {percent(max(r.overlapped_utilization for r in rows))}"
+    )
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

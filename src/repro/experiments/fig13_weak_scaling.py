@@ -1,0 +1,62 @@
+"""Figure 13: weak scaling case study on the GPT family (Table 2).
+
+GPT models from 32B to 1T parameters, chips scaled with model size; the
+technique should deliver a consistent 1.1-1.4x speedup at every size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.experiments.common import compare, format_table, percent, times
+from repro.models.configs import TABLE2, ModelConfig
+from repro.perfsim.hardware import TPU_V4, ChipSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingRow:
+    model: str
+    num_chips: int
+    baseline_utilization: float
+    overlapped_utilization: float
+    speedup: float
+
+
+def run(
+    models: Sequence[ModelConfig] = TABLE2, chip: ChipSpec = TPU_V4
+) -> List[ScalingRow]:
+    rows = []
+    for cfg in models:
+        comparison = compare(cfg, chip=chip)
+        rows.append(
+            ScalingRow(
+                model=cfg.name,
+                num_chips=cfg.num_chips,
+                baseline_utilization=comparison.baseline.flops_utilization,
+                overlapped_utilization=comparison.optimized.flops_utilization,
+                speedup=comparison.speedup,
+            )
+        )
+    return rows
+
+
+def format_report(rows: Sequence[ScalingRow]) -> str:
+    return format_table(
+        ["model", "chips", "baseline util", "overlapped util", "speedup"],
+        [
+            (
+                r.model,
+                str(r.num_chips),
+                percent(r.baseline_utilization),
+                percent(r.overlapped_utilization),
+                times(r.speedup),
+            )
+            for r in rows
+        ],
+        title="Figure 13: weakly scaled GPT models",
+    )
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

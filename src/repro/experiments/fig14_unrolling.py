@@ -1,0 +1,68 @@
+"""Figure 14: performance improvements provided by loop unrolling.
+
+Step time with the full optimization, normalized to the baseline, with
+loop unrolling disabled vs enabled on the scaled GPT family. Without
+unrolling every loop iteration pays the loop-carried-aliasing Copy and
+the ReduceScatter accumulation chain serializes its CollectivePermuteDone
+against the fused einsum (Section 5.4.1); the paper sees a similar-sized
+gain at every model size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.core.config import OverlapConfig
+from repro.experiments.common import compare, format_table, times
+from repro.models.configs import TABLE2, ModelConfig
+from repro.perfsim.hardware import TPU_V4, ChipSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class UnrollingRow:
+    model: str
+    normalized_time_without: float  # overlap on, unrolling off
+    normalized_time_with: float     # overlap on, unrolling on
+    unrolling_gain: float           # time_without / time_with
+
+
+def run(
+    models: Sequence[ModelConfig] = TABLE2, chip: ChipSpec = TPU_V4
+) -> List[UnrollingRow]:
+    rows = []
+    for cfg in models:
+        without = compare(cfg, OverlapConfig(unroll=False), chip=chip)
+        with_unroll = compare(cfg, OverlapConfig(unroll=True), chip=chip)
+        rows.append(
+            UnrollingRow(
+                model=cfg.name,
+                normalized_time_without=without.normalized_time,
+                normalized_time_with=with_unroll.normalized_time,
+                unrolling_gain=(
+                    without.optimized.total_time
+                    / with_unroll.optimized.total_time
+                ),
+            )
+        )
+    return rows
+
+
+def format_report(rows: Sequence[UnrollingRow]) -> str:
+    return format_table(
+        ["model", "norm. time (no unroll)", "norm. time (unroll)", "gain"],
+        [
+            (
+                r.model,
+                f"{r.normalized_time_without:.3f}",
+                f"{r.normalized_time_with:.3f}",
+                times(r.unrolling_gain),
+            )
+            for r in rows
+        ],
+        title="Figure 14: loop unrolling (step time normalized to baseline)",
+    )
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

@@ -1,0 +1,68 @@
+"""Figure 15: performance improvements provided by bidirectional transfer.
+
+Step time with the full optimization, normalized to the baseline, with
+bidirectional data transfer disabled vs enabled on the scaled GPT family.
+The paper sees <5% gain on GPT_32B and GPT_128B — their per-overlap
+partition counts are small enough that unidirectional transfers already
+hide under the computation — and larger gains on the bigger models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.core.config import OverlapConfig
+from repro.experiments.common import compare, format_table, times
+from repro.models.configs import TABLE2, ModelConfig
+from repro.perfsim.hardware import TPU_V4, ChipSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class BidirectionalRow:
+    model: str
+    normalized_time_without: float
+    normalized_time_with: float
+    bidirectional_gain: float
+
+
+def run(
+    models: Sequence[ModelConfig] = TABLE2, chip: ChipSpec = TPU_V4
+) -> List[BidirectionalRow]:
+    rows = []
+    for cfg in models:
+        without = compare(cfg, OverlapConfig(bidirectional=False), chip=chip)
+        with_bidir = compare(cfg, OverlapConfig(bidirectional=True), chip=chip)
+        rows.append(
+            BidirectionalRow(
+                model=cfg.name,
+                normalized_time_without=without.normalized_time,
+                normalized_time_with=with_bidir.normalized_time,
+                bidirectional_gain=(
+                    without.optimized.total_time
+                    / with_bidir.optimized.total_time
+                ),
+            )
+        )
+    return rows
+
+
+def format_report(rows: Sequence[BidirectionalRow]) -> str:
+    return format_table(
+        ["model", "norm. time (unidirectional)", "norm. time (bidirectional)",
+         "gain"],
+        [
+            (
+                r.model,
+                f"{r.normalized_time_without:.3f}",
+                f"{r.normalized_time_with:.3f}",
+                times(r.bidirectional_gain),
+            )
+            for r in rows
+        ],
+        title="Figure 15: bidirectional transfer (step time normalized to baseline)",
+    )
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

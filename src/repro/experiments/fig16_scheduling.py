@@ -1,0 +1,71 @@
+"""Figure 16: comparison of the two scheduling approaches (Section 5.2).
+
+Step time of the top-down scheduler relative to the bottom-up scheduler
+(Algorithm 2) on the scaled GPT family. The paper measures the bottom-up
+approach ~5% faster on average and uses it for the overall evaluation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.core.config import BOTTOM_UP, TOP_DOWN, OverlapConfig
+from repro.experiments.common import compare, format_table, times
+from repro.models.configs import TABLE2, ModelConfig
+from repro.perfsim.hardware import TPU_V4, ChipSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedulingRow:
+    model: str
+    normalized_time_bottom_up: float
+    normalized_time_top_down: float
+    bottom_up_advantage: float  # top_down time / bottom_up time
+
+
+def run(
+    models: Sequence[ModelConfig] = TABLE2, chip: ChipSpec = TPU_V4
+) -> List[SchedulingRow]:
+    rows = []
+    for cfg in models:
+        bottom_up = compare(cfg, OverlapConfig(scheduler=BOTTOM_UP), chip=chip)
+        top_down = compare(cfg, OverlapConfig(scheduler=TOP_DOWN), chip=chip)
+        rows.append(
+            SchedulingRow(
+                model=cfg.name,
+                normalized_time_bottom_up=bottom_up.normalized_time,
+                normalized_time_top_down=top_down.normalized_time,
+                bottom_up_advantage=(
+                    top_down.optimized.total_time
+                    / bottom_up.optimized.total_time
+                ),
+            )
+        )
+    return rows
+
+
+def average_advantage(rows: Sequence[SchedulingRow]) -> float:
+    return sum(r.bottom_up_advantage for r in rows) / len(rows)
+
+
+def format_report(rows: Sequence[SchedulingRow]) -> str:
+    table = format_table(
+        ["model", "norm. time (bottom-up)", "norm. time (top-down)",
+         "bottom-up advantage"],
+        [
+            (
+                r.model,
+                f"{r.normalized_time_bottom_up:.3f}",
+                f"{r.normalized_time_top_down:.3f}",
+                times(r.bottom_up_advantage),
+            )
+            for r in rows
+        ],
+        title="Figure 16: scheduling approaches (step time normalized to baseline)",
+    )
+    return f"{table}\naverage bottom-up advantage: {times(average_advantage(rows))}"
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

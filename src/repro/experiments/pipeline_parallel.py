@@ -1,0 +1,161 @@
+"""Section 7.3: combining intra-layer and pipeline model parallelism.
+
+The paper observes that reducing intra-layer communication "changes the
+performance trade-offs between different types of parallelism" and
+"provides new optimization opportunities to find a better parallelism
+combination". This study makes that concrete: a fixed chip budget is
+split between pipeline stages and intra-layer (tensor) parallelism; each
+split is simulated with and without the overlap optimization, using the
+GPipe-style synchronous schedule (periodic flush, bubble fraction
+``(P - 1) / (M + P - 1)`` for P stages and M microbatches).
+
+Bigger tensor-parallel groups mean more communication per layer —
+exactly what overlap hides — so enabling the optimization shifts the
+optimal split toward fewer pipeline stages and wider intra-layer groups.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import OverlapConfig
+from repro.experiments.common import cached_step, format_table, times
+from repro.models.configs import GPT_256B, ModelConfig
+from repro.perfsim.hardware import TPU_V4, ChipSpec
+
+#: (pipeline stages, mesh_x, mesh_y) splits of a 512-chip budget.
+DEFAULT_SPLITS = (
+    (1, 16, 32),
+    (2, 16, 16),
+    (4, 8, 16),
+    (8, 8, 8),
+)
+
+#: Microbatches per pipeline stage count (a common M = 4P choice).
+MICROBATCHES_PER_STAGE = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineRow:
+    stages: int
+    mesh_x: int
+    mesh_y: int
+    microbatches: int
+    baseline_step: float
+    overlapped_step: float
+
+    @property
+    def bubble_fraction(self) -> float:
+        total = self.microbatches + self.stages - 1
+        return (self.stages - 1) / total
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_step / self.overlapped_step
+
+
+def _stage_config(cfg: ModelConfig, stages: int, mesh_x: int, mesh_y: int,
+                  microbatches: int) -> ModelConfig:
+    """One pipeline stage: a slice of the layers on a smaller mesh,
+    processing one microbatch."""
+    if cfg.num_layers % stages:
+        raise ValueError(f"{cfg.num_layers} layers do not split {stages} ways")
+    if cfg.batch_size % microbatches:
+        raise ValueError(
+            f"batch {cfg.batch_size} does not split into {microbatches} "
+            "microbatches"
+        )
+    return dataclasses.replace(
+        cfg,
+        name=f"{cfg.name}[pp{stages}/{mesh_x}x{mesh_y}]",
+        num_layers=cfg.num_layers // stages,
+        batch_size=cfg.batch_size // microbatches,
+        mesh_x=mesh_x,
+        mesh_y=mesh_y,
+        num_chips=mesh_x * mesh_y,
+    )
+
+
+def _pipeline_step_time(
+    stage_time: float, stages: int, microbatches: int
+) -> float:
+    """GPipe synchronous schedule: M microbatches through P stages with a
+    flush — (M + P - 1) stage slots on the critical path."""
+    return (microbatches + stages - 1) * stage_time
+
+
+def run(
+    cfg: ModelConfig = GPT_256B,
+    splits: Sequence[Tuple[int, int, int]] = DEFAULT_SPLITS,
+    chip: ChipSpec = TPU_V4,
+) -> List[PipelineRow]:
+    rows = []
+    for stages, mesh_x, mesh_y in splits:
+        microbatches = MICROBATCHES_PER_STAGE * stages
+        stage_cfg = _stage_config(cfg, stages, mesh_x, mesh_y, microbatches)
+        baseline_stage = cached_step(
+            stage_cfg, OverlapConfig.baseline(), chip
+        ).report.total_time
+        overlapped_stage = cached_step(
+            stage_cfg, OverlapConfig(), chip
+        ).report.total_time
+        rows.append(
+            PipelineRow(
+                stages=stages,
+                mesh_x=mesh_x,
+                mesh_y=mesh_y,
+                microbatches=microbatches,
+                baseline_step=_pipeline_step_time(
+                    baseline_stage, stages, microbatches
+                ),
+                overlapped_step=_pipeline_step_time(
+                    overlapped_stage, stages, microbatches
+                ),
+            )
+        )
+    return rows
+
+
+def best_split(rows: Sequence[PipelineRow], overlapped: bool) -> PipelineRow:
+    key = (lambda r: r.overlapped_step) if overlapped else (
+        lambda r: r.baseline_step
+    )
+    return min(rows, key=key)
+
+
+def format_report(rows: Optional[Sequence[PipelineRow]] = None) -> str:
+    rows = rows if rows is not None else run()
+    table = format_table(
+        ["stages", "tensor mesh", "microbatches", "bubble",
+         "baseline step", "overlapped step", "speedup"],
+        [
+            (
+                str(r.stages),
+                f"{r.mesh_x}x{r.mesh_y}",
+                str(r.microbatches),
+                f"{r.bubble_fraction:.1%}",
+                f"{r.baseline_step:.2f}s",
+                f"{r.overlapped_step:.2f}s",
+                times(r.speedup),
+            )
+            for r in rows
+        ],
+        title=(
+            "Section 7.3: splitting 512 chips between pipeline stages and "
+            "intra-layer parallelism (GPT_256B)"
+        ),
+    )
+    base = best_split(rows, overlapped=False)
+    over = best_split(rows, overlapped=True)
+    return (
+        f"{table}\n"
+        f"best split without overlap: {base.stages} stage(s) "
+        f"({base.mesh_x}x{base.mesh_y} tensor mesh)\n"
+        f"best split with overlap:    {over.stages} stage(s) "
+        f"({over.mesh_x}x{over.mesh_y} tensor mesh)"
+    )
+
+
+if __name__ == "__main__":
+    print(format_report())

@@ -1,0 +1,99 @@
+"""Tables 1 and 2: the evaluated model configurations.
+
+These are configuration tables rather than measurements; the printers
+reproduce the rows (plus the mesh factorization and sequence length this
+reproduction had to choose, which the paper does not publish) and a
+parameter-count audit that rebuilds each model's parameter total from its
+layer shapes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.experiments.common import format_table
+from repro.models.configs import (
+    MOE,
+    SPEECH,
+    TABLE1,
+    TABLE2,
+    ModelConfig,
+)
+
+
+def estimated_parameters(cfg: ModelConfig) -> float:
+    """Parameter count rebuilt from the layer hyperparameters.
+
+    Dense transformer layer: 4*d^2 attention + 2*d*d_ff feedforward.
+    GLaM: half the layers carry expert banks (num_experts * 2*d*d_ff)
+    instead of a dense FFN. BigSSL adds the conformer convolution module.
+    Embeddings are excluded, as in rough audits of the paper's tables.
+    """
+    d, f = cfg.d_model, cfg.d_ff
+    attention = 4 * d * d
+    if cfg.architecture == MOE:
+        dense_layers = cfg.num_layers - cfg.num_layers // 2
+        moe_layers = cfg.num_layers // 2
+        return (
+            cfg.num_layers * attention
+            + dense_layers * 2 * d * f
+            + moe_layers * cfg.num_experts * 2 * d * f
+        )
+    if cfg.architecture == SPEECH:
+        conv = 2 * (d * 2 * d)
+        return cfg.num_layers * (attention + conv + 2 * d * f)
+    return cfg.num_layers * (attention + 2 * d * f)
+
+
+def table1_rows(models: Sequence[ModelConfig] = TABLE1) -> List[List[str]]:
+    return _rows(models)
+
+
+def table2_rows(models: Sequence[ModelConfig] = TABLE2) -> List[List[str]]:
+    return _rows(models)
+
+
+def _rows(models: Sequence[ModelConfig]) -> List[List[str]]:
+    rows = []
+    for cfg in models:
+        rows.append(
+            [
+                cfg.name,
+                f"{cfg.num_parameters / 1e9:.1f}B",
+                f"{estimated_parameters(cfg) / 1e9:.1f}B",
+                str(cfg.num_layers),
+                str(cfg.d_model),
+                str(cfg.d_ff),
+                str(cfg.batch_size),
+                str(cfg.seq_len),
+                str(cfg.num_chips),
+                f"{cfg.mesh_x}x{cfg.mesh_y}"
+                + (f"x{cfg.data_parallel}dp" if cfg.data_parallel > 1 else ""),
+            ]
+        )
+    return rows
+
+
+_HEADERS = [
+    "model", "params (paper)", "params (rebuilt)", "layers", "d_model",
+    "d_ff", "batch", "seq", "chips", "mesh",
+]
+
+
+def format_table1(models: Sequence[ModelConfig] = TABLE1) -> str:
+    return format_table(
+        _HEADERS, table1_rows(models), title="Table 1: evaluated applications"
+    )
+
+
+def format_table2(models: Sequence[ModelConfig] = TABLE2) -> str:
+    return format_table(
+        _HEADERS, table2_rows(models),
+        title="Table 2: GPT models scaled from 32B to 1T parameters",
+    )
+
+
+if __name__ == "__main__":
+    print(format_table1())
+    print()
+    print(format_table2())

@@ -1,0 +1,53 @@
+"""HLO-like intermediate representation.
+
+A small SSA dataflow IR mirroring the XLA ops the paper's compiler passes
+manipulate: einsums, MPI-style collectives, dynamic slice/update, and the
+element-wise / data-movement vocabulary used by the fusion rewrites.
+"""
+
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import BF16, F32, F64, S32, DType, dtype_from_name
+from repro.hlo.einsum_spec import LHS, RHS, EinsumSpec
+from repro.hlo.instruction import Instruction, ShardIndex, collective_permute_pairs
+from repro.hlo.module import HloModule, VerificationError
+from repro.hlo.opcode import (
+    COMMUNICATION_OPS,
+    DATA_MOVEMENT_OPS,
+    ELEMENTWISE_OPS,
+    SOURCE_OPS,
+    SYNC_COLLECTIVES,
+    Opcode,
+)
+from repro.hlo.shapes import Shape
+from repro.hlo.parser import ParseError, parse_module
+from repro.hlo.printer import format_instruction, format_module, summarize_opcodes
+
+__all__ = [
+    "BF16",
+    "COMMUNICATION_OPS",
+    "DATA_MOVEMENT_OPS",
+    "DType",
+    "ELEMENTWISE_OPS",
+    "EinsumSpec",
+    "F32",
+    "F64",
+    "GraphBuilder",
+    "HloModule",
+    "Instruction",
+    "LHS",
+    "Opcode",
+    "ParseError",
+    "RHS",
+    "S32",
+    "Shape",
+    "SOURCE_OPS",
+    "SYNC_COLLECTIVES",
+    "ShardIndex",
+    "VerificationError",
+    "collective_permute_pairs",
+    "dtype_from_name",
+    "format_instruction",
+    "format_module",
+    "parse_module",
+    "summarize_opcodes",
+]

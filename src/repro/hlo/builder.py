@@ -1,0 +1,334 @@
+"""GraphBuilder: a convenience API for constructing HloModules.
+
+All shape inference lives here so passes and model builders never hand-
+compute result shapes. Collective result shapes follow the XLA semantics:
+``AllGather`` multiplies the gathered dimension by the group size,
+``ReduceScatter`` divides the scattered dimension, ``AllReduce``,
+``AllToAll`` and ``CollectivePermute`` preserve shape.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hlo.dtypes import DType
+from repro.hlo.einsum_spec import EinsumSpec
+from repro.hlo.instruction import Instruction, ShardIndex
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+
+Groups = List[Tuple[int, ...]]
+
+
+def _check_groups(groups: Groups) -> None:
+    if not groups:
+        raise ValueError("collective needs at least one replica group")
+    size = len(groups[0])
+    for group in groups:
+        if len(group) != size:
+            raise ValueError("replica groups must have uniform size")
+
+
+class GraphBuilder:
+    """Builds instructions into an :class:`HloModule`.
+
+    Two modes: a fresh builder appends to a new module; :meth:`into`
+    returns a builder that *inserts* each emitted instruction immediately
+    before an anchor instruction of an existing module — the mode the
+    rewrite passes use to splice decomposed loops into place.
+    """
+
+    def __init__(self, name: str = "module") -> None:
+        self.module = HloModule(name)
+        self._anchor: Optional[Instruction] = None
+        self._pending: List[Instruction] = []
+
+    @classmethod
+    def into(cls, module: HloModule, anchor: Instruction) -> "GraphBuilder":
+        """A builder whose emissions are buffered and spliced before
+        ``anchor`` on :meth:`flush` (or implicitly when the rewrite pass
+        finishes through a ``with``-less convention of calling flush)."""
+        builder = cls.__new__(cls)
+        builder.module = module
+        builder._anchor = anchor
+        builder._pending = []
+        return builder
+
+    def flush(self) -> None:
+        """Splice buffered instructions into the module before the anchor."""
+        if self._anchor is not None and self._pending:
+            self.module.splice_before(self._anchor, self._pending)
+            self._pending = []
+
+    def _emit(
+        self,
+        opcode: Opcode,
+        shape: Shape,
+        operands: Sequence[Instruction] = (),
+        name: Optional[str] = None,
+        **attrs,
+    ) -> Instruction:
+        instruction = Instruction(
+            name=name or Instruction.fresh_name(opcode.value),
+            opcode=opcode,
+            shape=shape,
+            operands=list(operands),
+            attrs=attrs,
+        )
+        if self._anchor is not None:
+            self._pending.append(instruction)
+            return instruction
+        return self.module.add(instruction)
+
+    # --- sources ---------------------------------------------------------------
+
+    def parameter(self, shape: Shape, name: Optional[str] = None) -> Instruction:
+        return self._emit(Opcode.PARAMETER, shape, name=name)
+
+    def constant(self, value: np.ndarray, dtype: DType) -> Instruction:
+        array = np.asarray(value)
+        return self._emit(
+            Opcode.CONSTANT, Shape(array.shape, dtype), value=array
+        )
+
+    def zeros(self, shape: Shape, name: Optional[str] = None) -> Instruction:
+        return self._emit(Opcode.ZEROS, shape, name=name)
+
+    # --- element-wise ----------------------------------------------------------
+
+    def _binary(
+        self, opcode: Opcode, a: Instruction, b: Instruction,
+        name: Optional[str] = None,
+    ) -> Instruction:
+        if a.shape.dims != b.shape.dims:
+            raise ValueError(
+                f"{opcode.value} operand shapes differ: {a.shape} vs {b.shape}"
+            )
+        return self._emit(opcode, a.shape, [a, b], name=name)
+
+    def add(
+        self, a: Instruction, b: Instruction, name: Optional[str] = None
+    ) -> Instruction:
+        return self._binary(Opcode.ADD, a, b, name=name)
+
+    def multiply(self, a: Instruction, b: Instruction) -> Instruction:
+        return self._binary(Opcode.MULTIPLY, a, b)
+
+    def maximum(self, a: Instruction, b: Instruction) -> Instruction:
+        return self._binary(Opcode.MAXIMUM, a, b)
+
+    def negate(self, a: Instruction) -> Instruction:
+        return self._emit(Opcode.NEGATE, a.shape, [a])
+
+    def copy(self, a: Instruction) -> Instruction:
+        return self._emit(Opcode.COPY, a.shape, [a])
+
+    # --- einsum ------------------------------------------------------------------
+
+    def einsum(
+        self, equation: str, lhs: Instruction, rhs: Instruction,
+        name: Optional[str] = None,
+    ) -> Instruction:
+        spec = EinsumSpec.parse(equation)
+        out = spec.output_shape(lhs.shape, rhs.shape)
+        return self._emit(
+            Opcode.EINSUM, out, [lhs, rhs], name=name, equation=equation
+        )
+
+    # --- data movement -----------------------------------------------------------
+
+    def reshape(
+        self, a: Instruction, dims: Tuple[int, ...],
+        name: Optional[str] = None,
+    ) -> Instruction:
+        new_shape = Shape(dims, a.shape.dtype)
+        if new_shape.num_elements != a.shape.num_elements:
+            raise ValueError(f"reshape {a.shape} -> {new_shape} changes element count")
+        return self._emit(Opcode.RESHAPE, new_shape, [a], name=name)
+
+    def transpose(self, a: Instruction, perm: Tuple[int, ...]) -> Instruction:
+        if sorted(perm) != list(range(a.shape.rank)):
+            raise ValueError(f"bad permutation {perm} for rank {a.shape.rank}")
+        dims = tuple(a.shape.dims[p] for p in perm)
+        return self._emit(
+            Opcode.TRANSPOSE, Shape(dims, a.shape.dtype), [a], perm=tuple(perm)
+        )
+
+    def slice(self, a: Instruction, dim: int, start: int, size: int) -> Instruction:
+        if start < 0 or start + size > a.shape.dims[dim]:
+            raise ValueError(
+                f"slice [{start}, {start + size}) out of bounds for "
+                f"dim {dim} of {a.shape}"
+            )
+        return self._emit(
+            Opcode.SLICE, a.shape.with_dim(dim, size), [a],
+            dim=dim, start=start, size=size,
+        )
+
+    def pad(
+        self, a: Instruction, dim: int, low: int, high: int, value: float = 0.0
+    ) -> Instruction:
+        new = a.shape.with_dim(dim, a.shape.dims[dim] + low + high)
+        return self._emit(
+            Opcode.PAD, new, [a], dim=dim, low=low, high=high, value=value
+        )
+
+    def concatenate(self, operands: Sequence[Instruction], dim: int) -> Instruction:
+        operands = list(operands)
+        if not operands:
+            raise ValueError("concatenate needs at least one operand")
+        total = sum(op.shape.dims[dim] for op in operands)
+        shape = operands[0].shape.with_dim(dim, total)
+        return self._emit(Opcode.CONCATENATE, shape, operands, dim=dim)
+
+    def dynamic_slice(
+        self, a: Instruction, dim: int, start: ShardIndex, size: int
+    ) -> Instruction:
+        return self._emit(
+            Opcode.DYNAMIC_SLICE, a.shape.with_dim(dim, size), [a],
+            dim=dim, start=start, size=size,
+        )
+
+    def dynamic_update_slice(
+        self, target: Instruction, update: Instruction, dim: int,
+        start: ShardIndex, name: Optional[str] = None,
+    ) -> Instruction:
+        if update.shape.dims[dim] > target.shape.dims[dim]:
+            raise ValueError("update larger than target along the sliced dim")
+        return self._emit(
+            Opcode.DYNAMIC_UPDATE_SLICE, target.shape, [target, update],
+            name=name, dim=dim, start=start,
+        )
+
+    # --- collectives ---------------------------------------------------------------
+
+    def all_gather(
+        self, a: Instruction, dim: int, groups: Groups, name: Optional[str] = None
+    ) -> Instruction:
+        _check_groups(groups)
+        shape = a.shape.scaled_dim(dim, len(groups[0]))
+        return self._emit(
+            Opcode.ALL_GATHER, shape, [a], name=name, dim=dim, groups=groups
+        )
+
+    def reduce_scatter(
+        self, a: Instruction, dim: int, groups: Groups, name: Optional[str] = None
+    ) -> Instruction:
+        _check_groups(groups)
+        shape = a.shape.divided_dim(dim, len(groups[0]))
+        return self._emit(
+            Opcode.REDUCE_SCATTER, shape, [a], name=name, dim=dim, groups=groups
+        )
+
+    def all_reduce(
+        self, a: Instruction, groups: Groups, name: Optional[str] = None
+    ) -> Instruction:
+        _check_groups(groups)
+        return self._emit(Opcode.ALL_REDUCE, a.shape, [a], name=name, groups=groups)
+
+    def all_to_all(
+        self, a: Instruction, split_dim: int, concat_dim: int, groups: Groups,
+        name: Optional[str] = None,
+    ) -> Instruction:
+        _check_groups(groups)
+        n = len(groups[0])
+        shape = a.shape.divided_dim(split_dim, n).scaled_dim(concat_dim, n)
+        return self._emit(
+            Opcode.ALL_TO_ALL, shape, [a], name=name,
+            split_dim=split_dim, concat_dim=concat_dim, groups=groups,
+        )
+
+    def collective_permute(
+        self, a: Instruction, pairs: Sequence[Tuple[int, int]],
+        name: Optional[str] = None, direction: Optional[str] = None,
+    ) -> Instruction:
+        """Point-to-point permute. ``direction`` (``"plus"``/``"minus"``)
+        disambiguates the ring direction when the pairs alone cannot
+        (two-device rings) — see :mod:`repro.perfsim.topology`."""
+        attrs = {"pairs": list(pairs)}
+        if direction is not None:
+            attrs["direction"] = direction
+        return self._emit(
+            Opcode.COLLECTIVE_PERMUTE, a.shape, [a], name=name, **attrs
+        )
+
+    def collective_permute_start(
+        self, a: Instruction, pairs: Sequence[Tuple[int, int]],
+        name: Optional[str] = None, direction: Optional[str] = None,
+    ) -> Instruction:
+        attrs = {"pairs": list(pairs)}
+        if direction is not None:
+            attrs["direction"] = direction
+        return self._emit(
+            Opcode.COLLECTIVE_PERMUTE_START, a.shape, [a], name=name, **attrs
+        )
+
+    def collective_permute_done(
+        self, start: Instruction, name: Optional[str] = None
+    ) -> Instruction:
+        if start.opcode is not Opcode.COLLECTIVE_PERMUTE_START:
+            raise ValueError("collective_permute_done needs a start operand")
+        return self._emit(
+            Opcode.COLLECTIVE_PERMUTE_DONE, start.shape, [start], name=name
+        )
+
+    # --- control flow ---------------------------------------------------------------
+
+    def while_loop(
+        self,
+        trip_count: int,
+        body: HloModule,
+        body_outputs: Sequence[str],
+        initial_state: Sequence[Instruction],
+        result_index: int,
+        name: Optional[str] = None,
+    ) -> Instruction:
+        """A counted loop (the rolled Looped CollectiveEinsum form).
+
+        ``body`` is a separate module whose parameters are the loop-carried
+        state (one per element of ``initial_state``, in order); the
+        iteration index is implicit — body instructions reference it
+        through ``ShardIndex.iter_coeff``. ``body_outputs`` names the body
+        instruction producing each element of the next state. The loop's
+        value is state element ``result_index`` after ``trip_count``
+        iterations.
+        """
+        if trip_count < 1:
+            raise ValueError("trip_count must be at least 1")
+        parameters = body.parameters()
+        if len(parameters) != len(initial_state):
+            raise ValueError(
+                f"body has {len(parameters)} parameters but "
+                f"{len(initial_state)} initial state values were given"
+            )
+        if len(body_outputs) != len(initial_state):
+            raise ValueError(
+                "body_outputs must name one next-state value per state element"
+            )
+        for output, parameter in zip(body_outputs, parameters):
+            if body.get(output).shape.dims != parameter.shape.dims:
+                raise ValueError(
+                    f"body output {output!r} shape does not match the "
+                    f"loop-carried parameter {parameter.name!r}"
+                )
+        for parameter, state in zip(parameters, initial_state):
+            if parameter.shape.dims != state.shape.dims:
+                raise ValueError(
+                    f"state shape {state.shape} does not match body "
+                    f"parameter {parameter.name} ({parameter.shape})"
+                )
+        if not 0 <= result_index < len(initial_state):
+            raise ValueError(f"result_index {result_index} out of range")
+        return self._emit(
+            Opcode.WHILE,
+            initial_state[result_index].shape,
+            list(initial_state),
+            name=name,
+            trip_count=trip_count,
+            body=body,
+            body_outputs=list(body_outputs),
+            result_index=result_index,
+        )

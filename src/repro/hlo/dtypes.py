@@ -1,0 +1,46 @@
+"""Element types supported by the HLO-like IR.
+
+The reproduction only needs the dtypes that matter for the cost model:
+``bf16`` (activations/weights on TPU v4), ``f32`` (accumulators and the
+functional executor's compute type), and a couple of integer types used by
+index arithmetic in tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class DType:
+    """An element type: a name, a byte width and a numpy equivalent.
+
+    The functional executor always computes in float64 for numerical
+    robustness, but byte widths below drive every memory and bandwidth
+    estimate in the cost model and the performance simulator.
+    """
+
+    name: str
+    byte_width: int
+    np_dtype: np.dtype
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+BF16 = DType("bf16", 2, np.dtype(np.float32))  # numpy has no bf16; f32 stands in
+F32 = DType("f32", 4, np.dtype(np.float32))
+F64 = DType("f64", 8, np.dtype(np.float64))
+S32 = DType("s32", 4, np.dtype(np.int32))
+
+_BY_NAME = {dt.name: dt for dt in (BF16, F32, F64, S32)}
+
+
+def dtype_from_name(name: str) -> DType:
+    """Look up a dtype by its short name (e.g. ``"bf16"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown dtype name: {name!r}") from None

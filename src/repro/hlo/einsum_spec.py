@@ -1,0 +1,162 @@
+"""Einsum equation parsing and dimension classification.
+
+The decomposition pass (Section 5.1 of the paper) distinguishes three kinds
+of operand dimensions:
+
+* **batch** — appears in the LHS, the RHS and the output;
+* **contracting** — appears in the LHS and the RHS but not the output;
+* **non-contracting (free)** — appears in exactly one operand and in the
+  output.
+
+This module parses two-operand einsum equations of the explicit form
+``"bf,fh->bh"`` and exposes the classification, output shape inference and
+the FLOP count used by the cost model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import math
+from typing import Dict, Tuple
+
+from repro.hlo.shapes import Shape
+
+LHS = 0
+RHS = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class EinsumSpec:
+    """A parsed two-operand einsum equation."""
+
+    equation: str
+    lhs_labels: str
+    rhs_labels: str
+    out_labels: str
+
+    @staticmethod
+    @functools.lru_cache(maxsize=4096)
+    def parse(equation: str) -> "EinsumSpec":
+        """Parse ``"<lhs>,<rhs>-><out>"`` with single-letter labels.
+
+        Only explicit equations with exactly two operands are supported —
+        that is all intra-layer model parallelism in the paper requires.
+        The parse is cached: specs are immutable and the cost model parses
+        the same few equations millions of times during simulation.
+        """
+        equation = equation.replace(" ", "")
+        if "->" not in equation:
+            raise ValueError(f"einsum equation must be explicit: {equation!r}")
+        inputs, out = equation.split("->")
+        parts = inputs.split(",")
+        if len(parts) != 2:
+            raise ValueError(f"exactly two operands required: {equation!r}")
+        lhs, rhs = parts
+        for labels, side in ((lhs, "lhs"), (rhs, "rhs"), (out, "output")):
+            if len(set(labels)) != len(labels):
+                raise ValueError(f"repeated label in {side} of {equation!r}")
+        lhs_set, rhs_set = set(lhs), set(rhs)
+        for label in out:
+            if label not in lhs_set and label not in rhs_set:
+                raise ValueError(
+                    f"output label {label!r} missing from operands: {equation!r}"
+                )
+        return EinsumSpec(equation, lhs, rhs, out)
+
+    # --- label classification -------------------------------------------------
+
+    @property
+    def batch_labels(self) -> str:
+        out = set(self.out_labels)
+        return "".join(
+            l for l in self.lhs_labels if l in self.rhs_labels and l in out
+        )
+
+    @property
+    def contracting_labels(self) -> str:
+        out = set(self.out_labels)
+        return "".join(
+            l for l in self.lhs_labels if l in self.rhs_labels and l not in out
+        )
+
+    @property
+    def lhs_free_labels(self) -> str:
+        rhs = set(self.rhs_labels)
+        return "".join(l for l in self.lhs_labels if l not in rhs)
+
+    @property
+    def rhs_free_labels(self) -> str:
+        lhs = set(self.lhs_labels)
+        return "".join(l for l in self.rhs_labels if l not in lhs)
+
+    def classify(self, operand: int, axis: int) -> str:
+        """Classify dimension ``axis`` of ``operand`` (LHS=0, RHS=1).
+
+        Returns one of ``"batch"``, ``"contracting"``, ``"free"``.
+        """
+        label = self.operand_labels(operand)[axis]
+        if label in self.batch_labels:
+            return "batch"
+        if label in self.contracting_labels:
+            return "contracting"
+        return "free"
+
+    def operand_labels(self, operand: int) -> str:
+        if operand == LHS:
+            return self.lhs_labels
+        if operand == RHS:
+            return self.rhs_labels
+        raise ValueError(f"operand must be 0 or 1, got {operand}")
+
+    def axis_of(self, operand: int, label: str) -> int:
+        """Axis index of ``label`` in the given operand."""
+        return self.operand_labels(operand).index(label)
+
+    def out_axis_of(self, label: str) -> int:
+        return self.out_labels.index(label)
+
+    def label_in_operand(self, operand: int, label: str) -> bool:
+        return label in self.operand_labels(operand)
+
+    # --- shape inference ------------------------------------------------------
+
+    def label_sizes(self, lhs: Shape, rhs: Shape) -> Dict[str, int]:
+        """Map each label to its dimension size, checking consistency."""
+        if lhs.rank != len(self.lhs_labels) or rhs.rank != len(self.rhs_labels):
+            raise ValueError(
+                f"operand ranks {lhs.rank},{rhs.rank} do not match "
+                f"equation {self.equation!r}"
+            )
+        sizes: Dict[str, int] = {}
+        for labels, shape in ((self.lhs_labels, lhs), (self.rhs_labels, rhs)):
+            for label, size in zip(labels, shape.dims):
+                if sizes.setdefault(label, size) != size:
+                    raise ValueError(
+                        f"label {label!r} has inconsistent sizes "
+                        f"{sizes[label]} vs {size} in {self.equation!r}"
+                    )
+        return sizes
+
+    def output_shape(self, lhs: Shape, rhs: Shape) -> Shape:
+        sizes = self.label_sizes(lhs, rhs)
+        return Shape(tuple(sizes[l] for l in self.out_labels), lhs.dtype)
+
+    def flop_count(self, lhs: Shape, rhs: Shape) -> int:
+        """Multiply-add count: 2 * prod(all label sizes)."""
+        sizes = self.label_sizes(lhs, rhs)
+        return 2 * math.prod(sizes.values())
+
+    def matmul_dims(self, lhs: Shape, rhs: Shape) -> Tuple[int, int, int]:
+        """Collapse to (m, k, n): LHS-free, contracting, RHS-free products.
+
+        Batch dims multiply into ``m`` — on TPUs batched matmuls tile the
+        batch over the MXU the same way as rows. Used by the efficiency
+        model in :mod:`repro.perfsim.efficiency`.
+        """
+        sizes = self.label_sizes(lhs, rhs)
+        m = math.prod([sizes[l] for l in self.lhs_free_labels] or [1])
+        m *= math.prod([sizes[l] for l in self.batch_labels] or [1])
+        k = math.prod([sizes[l] for l in self.contracting_labels] or [1])
+        n = math.prod([sizes[l] for l in self.rhs_free_labels] or [1])
+        return m, k, n

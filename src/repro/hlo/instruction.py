@@ -1,0 +1,189 @@
+"""Instructions of the HLO-like IR.
+
+An :class:`Instruction` is an SSA value: it names an operation, its operand
+instructions and its result shape. Instructions are hashable by identity and
+live inside an :class:`repro.hlo.module.HloModule`, which owns program
+order.
+
+:class:`ShardIndex` captures the partition-id-dependent slice starts the
+paper's looped rewrite needs (DynamicSlice/DynamicUpdateSlice whose offsets
+are affine functions of the device's partition id — footnotes 5 and 6 of
+the paper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+
+_instruction_counter = itertools.count()
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardIndex:
+    """A partition-id- (and loop-iteration-) dependent slice start.
+
+    Evaluates to
+    ``((coeff * (pid // div) + iter_coeff * i + offset) mod modulus) *
+    stride`` where ``i`` is the enclosing loop's iteration index (zero
+    outside any loop). A ``modulus`` of zero disables the wrap-around.
+    ``stride`` is normally the shard size along the sliced dimension, so
+    the expression selects the start element of shard
+    ``(coeff * ring_pos + iter_coeff * i + offset) mod modulus``.
+
+    The ``div`` field exists because on a multi-dimensional row-major mesh
+    a device's coordinate along one axis is ``(pid // div) mod size`` where
+    ``div`` is the product of the sizes of the later axes; with ``div=1``
+    this degenerates to the plain affine form used on 1D rings. The
+    ``iter_coeff`` term is what the *rolled* Looped CollectiveEinsum uses
+    (Algorithm 1's "data shard ID computed based on the loop index
+    variable"); unrolling folds it into ``offset``.
+    """
+
+    coeff: int
+    offset: int
+    modulus: int
+    stride: int
+    div: int = 1
+    iter_coeff: int = 0
+
+    @staticmethod
+    def constant(value: int) -> "ShardIndex":
+        """An index that ignores the partition id."""
+        return ShardIndex(coeff=0, offset=value, modulus=0, stride=1)
+
+    @staticmethod
+    def shard(
+        coeff: int, offset: int, num_shards: int, shard_size: int,
+        div: int = 1, iter_coeff: int = 0,
+    ) -> "ShardIndex":
+        """Start of shard
+        ``(coeff * (pid // div) + iter_coeff * i + offset) mod num_shards``.
+        """
+        return ShardIndex(coeff, offset, num_shards, shard_size, div, iter_coeff)
+
+    def shard_id(self, partition_id: int, iteration: int = 0) -> int:
+        """The shard number this index selects on ``partition_id``."""
+        base = (
+            self.coeff * (partition_id // self.div)
+            + self.iter_coeff * iteration
+            + self.offset
+        )
+        if self.modulus:
+            base %= self.modulus
+        return base
+
+    def evaluate(self, partition_id: int, iteration: int = 0) -> int:
+        return self.shard_id(partition_id, iteration) * self.stride
+
+    def at_iteration(self, iteration: int) -> "ShardIndex":
+        """Fold a concrete iteration index into the offset (unrolling)."""
+        return dataclasses.replace(
+            self,
+            offset=self.iter_coeff * iteration + self.offset,
+            iter_coeff=0,
+        )
+
+    def stepped(self, factor: int, step_offset: int) -> "ShardIndex":
+        """Re-express for a loop counting by ``factor``: iteration
+        ``i = factor * t + step_offset`` (partial unrolling)."""
+        return dataclasses.replace(
+            self,
+            offset=self.iter_coeff * step_offset + self.offset,
+            iter_coeff=self.iter_coeff * factor,
+        )
+
+    def __repr__(self) -> str:
+        mod = f" mod {self.modulus}" if self.modulus else ""
+        pid = "pid" if self.div == 1 else f"(pid//{self.div})"
+        iteration = f"+{self.iter_coeff}*i" if self.iter_coeff else ""
+        return (
+            f"(({self.coeff}*{pid}{iteration}+{self.offset}){mod})"
+            f"*{self.stride}"
+        )
+
+
+@dataclasses.dataclass(eq=False)
+class Instruction:
+    """A single SSA operation.
+
+    ``attrs`` holds opcode-specific attributes; the keys in use are:
+
+    * ``EINSUM``: ``equation`` (str).
+    * ``SLICE``: ``dim``, ``start`` (int), ``size``.
+    * ``DYNAMIC_SLICE``: ``dim``, ``size``, ``start`` (:class:`ShardIndex`).
+    * ``DYNAMIC_UPDATE_SLICE``: ``dim``, ``start`` (:class:`ShardIndex`);
+      operand 0 is the target, operand 1 the update.
+    * ``PAD``: ``dim``, ``low``, ``high``, ``value``.
+    * ``CONCATENATE``: ``dim``.
+    * ``TRANSPOSE``: ``perm``.
+    * ``ALL_GATHER`` / ``REDUCE_SCATTER``: ``dim``, ``groups``.
+    * ``ALL_REDUCE``: ``groups``.
+    * ``ALL_TO_ALL``: ``split_dim``, ``concat_dim``, ``groups``.
+    * ``COLLECTIVE_PERMUTE`` / ``..._START``: ``pairs`` — list of
+      ``(source, destination)`` device-id tuples.
+
+    ``fusion_group`` is an overlay assigned by the fusion pass: instructions
+    sharing a group id are costed as a single fused kernel by the
+    performance simulator. The functional executor ignores it.
+    """
+
+    name: str
+    opcode: Opcode
+    shape: Shape
+    operands: List["Instruction"] = dataclasses.field(default_factory=list)
+    attrs: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    fusion_group: Optional[int] = None
+
+    @staticmethod
+    def fresh_name(prefix: str) -> str:
+        return f"{prefix}.{next(_instruction_counter)}"
+
+    # --- convenience accessors -----------------------------------------------
+
+    @property
+    def equation(self) -> str:
+        return self.attrs["equation"]
+
+    @property
+    def pairs(self) -> List[Tuple[int, int]]:
+        return self.attrs["pairs"]
+
+    @property
+    def groups(self) -> List[Tuple[int, ...]]:
+        return self.attrs["groups"]
+
+    def operand(self, index: int) -> "Instruction":
+        return self.operands[index]
+
+    def replace_operand(self, old: "Instruction", new: "Instruction") -> None:
+        """Swap every occurrence of ``old`` in the operand list for ``new``."""
+        self.operands = [new if op is old else op for op in self.operands]
+
+    def is_communication(self) -> bool:
+        from repro.hlo.opcode import COMMUNICATION_OPS
+
+        return self.opcode in COMMUNICATION_OPS
+
+    def __repr__(self) -> str:
+        ops = ", ".join(op.name for op in self.operands)
+        return f"{self.name} = {self.shape} {self.opcode.value}({ops})"
+
+
+def collective_permute_pairs(
+    group: Sequence[int], shift: int
+) -> List[Tuple[int, int]]:
+    """Ring-shift source/destination pairs within a device group.
+
+    ``shift=+1`` sends each device's data to its *lower*-indexed neighbour
+    (the paper's ``{0, N-1}, {1, 0}, ... {N-1, N-2}`` pattern — data shards
+    circular-shift left). ``shift=-1`` sends clockwise (to the
+    higher-indexed neighbour), and ``shift=+2`` produces the hop-2 rings
+    used by the unrolled ReduceScatter accumulation chains.
+    """
+    n = len(group)
+    return [(group[i], group[(i - shift) % n]) for i in range(n)]

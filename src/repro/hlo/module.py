@@ -1,0 +1,215 @@
+"""HloModule: an ordered SSA program over :class:`Instruction`.
+
+Program order doubles as the instruction schedule: the functional executor
+and the performance simulator both walk the list front to back. The
+scheduling passes therefore work by producing a new order and calling
+:meth:`HloModule.reorder`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.hlo.instruction import Instruction
+from repro.hlo.opcode import Opcode, SOURCE_OPS
+
+
+class VerificationError(RuntimeError):
+    """Raised when an HloModule violates an SSA or shape invariant."""
+
+
+class HloModule:
+    """An ordered list of instructions with SSA def-before-use order."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._by_name: Dict[str, Instruction] = {}
+        self.root: Optional[Instruction] = None
+
+    # --- construction ----------------------------------------------------------
+
+    def add(self, instruction: Instruction) -> Instruction:
+        """Append an instruction; it becomes the module root."""
+        if instruction.name in self._by_name:
+            raise VerificationError(f"duplicate instruction name {instruction.name}")
+        self._instructions.append(instruction)
+        self._by_name[instruction.name] = instruction
+        self.root = instruction
+        return instruction
+
+    def insert_before(self, anchor: Instruction, instruction: Instruction) -> Instruction:
+        """Insert ``instruction`` immediately before ``anchor``."""
+        if instruction.name in self._by_name:
+            raise VerificationError(f"duplicate instruction name {instruction.name}")
+        index = self._instructions.index(anchor)
+        self._instructions.insert(index, instruction)
+        self._by_name[instruction.name] = instruction
+        return instruction
+
+    def splice_before(
+        self, anchor: Instruction, instructions: Iterable[Instruction]
+    ) -> None:
+        """Insert many instructions before ``anchor`` in one pass.
+
+        Equivalent to repeated :meth:`insert_before` but O(n + k) instead of
+        O(n * k) — the rewrite passes splice whole decomposed loops.
+        """
+        instructions = list(instructions)
+        for instruction in instructions:
+            if instruction.name in self._by_name:
+                raise VerificationError(
+                    f"duplicate instruction name {instruction.name}"
+                )
+            self._by_name[instruction.name] = instruction
+        index = self._instructions.index(anchor)
+        self._instructions[index:index] = instructions
+
+    def remove(self, instruction: Instruction) -> None:
+        """Remove an instruction that has no remaining users."""
+        for other in self._instructions:
+            if instruction in other.operands:
+                raise VerificationError(
+                    f"cannot remove {instruction.name}: used by {other.name}"
+                )
+        self._instructions.remove(instruction)
+        del self._by_name[instruction.name]
+        if self.root is instruction:
+            self.root = self._instructions[-1] if self._instructions else None
+
+    def replace_all_uses(self, old: Instruction, new: Instruction) -> None:
+        """Redirect every user of ``old`` to ``new`` (and the root)."""
+        for instruction in self._instructions:
+            if instruction is not new:
+                instruction.replace_operand(old, new)
+        if self.root is old:
+            self.root = new
+
+    # --- queries ---------------------------------------------------------------
+
+    @property
+    def instructions(self) -> List[Instruction]:
+        return list(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def get(self, name: str) -> Instruction:
+        return self._by_name[name]
+
+    def __contains__(self, instruction: Instruction) -> bool:
+        return self._by_name.get(instruction.name) is instruction
+
+    def parameters(self) -> List[Instruction]:
+        return [i for i in self._instructions if i.opcode is Opcode.PARAMETER]
+
+    def users_of(self, instruction: Instruction) -> List[Instruction]:
+        return [i for i in self._instructions if instruction in i.operands]
+
+    def user_map(self) -> Dict[Instruction, List[Instruction]]:
+        """All users of every instruction, computed in one pass."""
+        users: Dict[Instruction, List[Instruction]] = {
+            i: [] for i in self._instructions
+        }
+        for instruction in self._instructions:
+            seen: Set[int] = set()
+            for operand in instruction.operands:
+                if id(operand) not in seen:
+                    seen.add(id(operand))
+                    users[operand].append(instruction)
+        return users
+
+    def find(self, predicate: Callable[[Instruction], bool]) -> List[Instruction]:
+        return [i for i in self._instructions if predicate(i)]
+
+    def count(self, opcode: Opcode) -> int:
+        return sum(1 for i in self._instructions if i.opcode is opcode)
+
+    # --- transformation --------------------------------------------------------
+
+    def reorder(self, sequence: Iterable[Instruction]) -> None:
+        """Replace program order with ``sequence`` (a permutation)."""
+        sequence = list(sequence)
+        if len(sequence) != len(self._instructions) or set(
+            id(i) for i in sequence
+        ) != set(id(i) for i in self._instructions):
+            raise VerificationError("reorder sequence is not a permutation")
+        self._instructions = sequence
+        self.verify()
+
+    def rebuild(
+        self,
+        instructions: List[Instruction],
+        root: Optional[Instruction] = None,
+    ) -> None:
+        """Replace contents wholesale (one-pass rewrites use this).
+
+        Unlike :meth:`reorder`, the new list may add or drop instructions;
+        the caller is responsible for having rewritten all operand links.
+        """
+        self._instructions = list(instructions)
+        self._by_name = {}
+        for instruction in self._instructions:
+            if instruction.name in self._by_name:
+                raise VerificationError(
+                    f"duplicate instruction name {instruction.name}"
+                )
+            self._by_name[instruction.name] = instruction
+        if root is not None:
+            self.root = root
+        elif self.root is not None and self.root.name not in self._by_name:
+            self.root = self._instructions[-1] if self._instructions else None
+
+    def dead_code_eliminate(self) -> int:
+        """Drop instructions unreachable from the root. Returns the count."""
+        if self.root is None:
+            return 0
+        live: Set[int] = set()
+        stack = [self.root]
+        while stack:
+            instruction = stack.pop()
+            if id(instruction) in live:
+                continue
+            live.add(id(instruction))
+            stack.extend(instruction.operands)
+        removed = [i for i in self._instructions if id(i) not in live]
+        self._instructions = [i for i in self._instructions if id(i) in live]
+        for instruction in removed:
+            del self._by_name[instruction.name]
+        return len(removed)
+
+    # --- verification ----------------------------------------------------------
+
+    def verify(self) -> None:
+        """Check SSA def-before-use, operand membership and async pairing."""
+        defined: Set[int] = set()
+        starts_seen: Set[int] = set()
+        for instruction in self._instructions:
+            for operand in instruction.operands:
+                if id(operand) not in defined:
+                    raise VerificationError(
+                        f"{instruction.name} uses {operand.name} before its "
+                        "definition (or operand not in module)"
+                    )
+            if instruction.opcode not in SOURCE_OPS and not instruction.operands:
+                if instruction.opcode is not Opcode.ZEROS:
+                    raise VerificationError(
+                        f"{instruction.name} ({instruction.opcode.value}) has no operands"
+                    )
+            if instruction.opcode is Opcode.COLLECTIVE_PERMUTE_START:
+                starts_seen.add(id(instruction))
+            if instruction.opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+                start = instruction.operands[0]
+                if start.opcode is not Opcode.COLLECTIVE_PERMUTE_START:
+                    raise VerificationError(
+                        f"{instruction.name} must consume a collective-permute-start"
+                    )
+            defined.add(id(instruction))
+        if self.root is not None and id(self.root) not in defined:
+            raise VerificationError("root is not part of the module")
+
+    def __repr__(self) -> str:
+        return f"HloModule({self.name!r}, {len(self._instructions)} instructions)"

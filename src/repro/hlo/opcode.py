@@ -1,0 +1,103 @@
+"""Opcodes for the HLO-like IR and classification helpers."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.Enum):
+    """The operation vocabulary needed by the paper's passes.
+
+    This intentionally mirrors the XLA HLO ops the paper manipulates:
+    ``Einsum`` (dot-general), the MPI-style collectives of Section 2.1, the
+    slice/update ops used by the looped rewrite, and the element-wise and
+    data-movement ops used by the fusion-friendly rewrites of Section 5.4.3.
+    """
+
+    PARAMETER = "parameter"
+    CONSTANT = "constant"
+    ZEROS = "zeros"
+    IOTA = "iota"
+
+    EINSUM = "einsum"
+    ADD = "add"
+    MULTIPLY = "multiply"
+    MAXIMUM = "maximum"
+    NEGATE = "negate"
+    COPY = "copy"
+
+    RESHAPE = "reshape"
+    TRANSPOSE = "transpose"
+    SLICE = "slice"
+    PAD = "pad"
+    CONCATENATE = "concatenate"
+    DYNAMIC_SLICE = "dynamic-slice"
+    DYNAMIC_UPDATE_SLICE = "dynamic-update-slice"
+
+    ALL_GATHER = "all-gather"
+    REDUCE_SCATTER = "reduce-scatter"
+    ALL_REDUCE = "all-reduce"
+    ALL_TO_ALL = "all-to-all"
+    COLLECTIVE_PERMUTE = "collective-permute"
+    COLLECTIVE_PERMUTE_START = "collective-permute-start"
+    COLLECTIVE_PERMUTE_DONE = "collective-permute-done"
+
+    FUSION = "fusion"
+    WHILE = "while"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Opcode.{self.name}"
+
+
+#: Collectives that move data between devices synchronously.
+SYNC_COLLECTIVES = frozenset(
+    {
+        Opcode.ALL_GATHER,
+        Opcode.REDUCE_SCATTER,
+        Opcode.ALL_REDUCE,
+        Opcode.ALL_TO_ALL,
+        Opcode.COLLECTIVE_PERMUTE,
+    }
+)
+
+#: All opcodes that involve inter-device communication.
+COMMUNICATION_OPS = SYNC_COLLECTIVES | {
+    Opcode.COLLECTIVE_PERMUTE_START,
+    Opcode.COLLECTIVE_PERMUTE_DONE,
+}
+
+#: Element-wise ops eligible for fusion.
+ELEMENTWISE_OPS = frozenset(
+    {Opcode.ADD, Opcode.MULTIPLY, Opcode.MAXIMUM, Opcode.NEGATE, Opcode.COPY}
+)
+
+#: Pure data-movement ops (no arithmetic), memory-bandwidth bound.
+DATA_MOVEMENT_OPS = frozenset(
+    {
+        Opcode.RESHAPE,
+        Opcode.TRANSPOSE,
+        Opcode.SLICE,
+        Opcode.PAD,
+        Opcode.CONCATENATE,
+        Opcode.DYNAMIC_SLICE,
+        Opcode.DYNAMIC_UPDATE_SLICE,
+        Opcode.COPY,
+    }
+)
+
+#: Ops that produce values without reading operands.
+SOURCE_OPS = frozenset(
+    {Opcode.PARAMETER, Opcode.CONSTANT, Opcode.ZEROS, Opcode.IOTA}
+)
+
+
+def is_communication(opcode: Opcode) -> bool:
+    return opcode in COMMUNICATION_OPS
+
+
+def is_async_pair_start(opcode: Opcode) -> bool:
+    return opcode is Opcode.COLLECTIVE_PERMUTE_START
+
+
+def is_async_pair_done(opcode: Opcode) -> bool:
+    return opcode is Opcode.COLLECTIVE_PERMUTE_DONE

@@ -1,0 +1,167 @@
+"""Parser for the HLO text format emitted by :mod:`repro.hlo.printer`.
+
+``parse_module(format_module(m))`` reconstructs a structurally identical
+module: same names, opcodes, shapes, operand links, attributes, fusion
+groups and root. Useful for writing programs by hand in tests and for
+snapshotting compiled modules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.hlo.dtypes import dtype_from_name
+from repro.hlo.instruction import Instruction, ShardIndex
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+
+
+class ParseError(ValueError):
+    """Raised when HLO text cannot be parsed."""
+
+
+_HEADER = re.compile(r"^HloModule\s+(?P<name>\S+)\s*\{$")
+_FOOTER = re.compile(r"^\}\s*//\s*root\s*=\s*(?P<root>\S+)$")
+_INSTRUCTION = re.compile(
+    r"^(?P<name>\S+)\s*=\s*(?P<dtype>\w+)\[(?P<dims>[\d,]*)\]\s*"
+    r"(?P<opcode>[\w-]+)\((?P<body>.*)\)"
+    r"(?:\s*#fusion_group=(?P<fusion>\d+))?$"
+)
+_SHARD_INDEX = re.compile(
+    r"^\(\((?P<coeff>-?\d+)\*(?:pid|\(pid//(?P<div>\d+)\))"
+    r"(?:\+(?P<iter>-?\d+)\*i)?"
+    r"\+(?P<offset>-?\d+)\)(?:\s+mod\s+(?P<modulus>\d+))?\)"
+    r"\*(?P<stride>-?\d+)$"
+)
+
+_OPCODES_BY_VALUE = {opcode.value: opcode for opcode in Opcode}
+
+
+def parse_module(text: str) -> HloModule:
+    """Parse an HLO text dump into a fresh :class:`HloModule`."""
+    lines = [line.strip() for line in text.strip().splitlines() if line.strip()]
+    if not lines:
+        raise ParseError("empty module text")
+    header = _HEADER.match(lines[0])
+    if not header:
+        raise ParseError(f"bad module header: {lines[0]!r}")
+    footer = _FOOTER.match(lines[-1])
+    if not footer:
+        raise ParseError(f"bad module footer: {lines[-1]!r}")
+
+    module = HloModule(header.group("name"))
+    by_name: Dict[str, Instruction] = {}
+    for line in lines[1:-1]:
+        instruction = _parse_instruction(line, by_name)
+        by_name[instruction.name] = instruction
+        module.add(instruction)
+
+    root_name = footer.group("root")
+    if root_name != "<none>":
+        try:
+            module.root = by_name[root_name]
+        except KeyError:
+            raise ParseError(f"root {root_name!r} not defined") from None
+    module.verify()
+    return module
+
+
+def _parse_instruction(
+    line: str, by_name: Dict[str, Instruction]
+) -> Instruction:
+    match = _INSTRUCTION.match(line)
+    if not match:
+        raise ParseError(f"bad instruction line: {line!r}")
+    opcode = _OPCODES_BY_VALUE.get(match.group("opcode"))
+    if opcode is None:
+        raise ParseError(f"unknown opcode {match.group('opcode')!r}")
+    dims = tuple(
+        int(d) for d in match.group("dims").split(",") if d
+    )
+    shape = Shape(dims, dtype_from_name(match.group("dtype")))
+
+    operands: List[Instruction] = []
+    attrs: Dict[str, Any] = {}
+    for item in _split_top_level(match.group("body")):
+        if not item:
+            continue
+        key, equals, value = item.partition("=")
+        if equals and _looks_like_attr_key(key):
+            attrs[key.strip()] = _parse_value(value.strip())
+        else:
+            name = item.strip()
+            try:
+                operands.append(by_name[name])
+            except KeyError:
+                raise ParseError(
+                    f"operand {name!r} used before definition"
+                ) from None
+
+    fusion = match.group("fusion")
+    return Instruction(
+        name=match.group("name"),
+        opcode=opcode,
+        shape=shape,
+        operands=operands,
+        attrs=attrs,
+        fusion_group=int(fusion) if fusion is not None else None,
+    )
+
+
+def _looks_like_attr_key(key: str) -> bool:
+    return bool(re.fullmatch(r"\s*[a-z_]+\s*", key))
+
+
+def _split_top_level(body: str) -> List[str]:
+    """Split on commas at bracket/quote depth zero."""
+    items: List[str] = []
+    depth = 0
+    quote: Optional[str] = None
+    current: List[str] = []
+    for char in body:
+        if quote is not None:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in "'\"":
+            quote = char
+            current.append(char)
+        elif char in "([{":
+            depth += 1
+            current.append(char)
+        elif char in ")]}":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            items.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if current:
+        items.append("".join(current).strip())
+    return items
+
+
+def _parse_value(text: str) -> Any:
+    shard = _SHARD_INDEX.match(text)
+    if shard:
+        return ShardIndex(
+            coeff=int(shard.group("coeff")),
+            offset=int(shard.group("offset")),
+            modulus=int(shard.group("modulus") or 0),
+            stride=int(shard.group("stride")),
+            div=int(shard.group("div") or 1),
+            iter_coeff=int(shard.group("iter") or 0),
+        )
+    if text == "-inf":
+        return float("-inf")
+    if text == "inf":
+        return float("inf")
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        raise ParseError(f"cannot parse attribute value {text!r}") from None

@@ -1,0 +1,61 @@
+"""Text rendering of HloModules, in the spirit of XLA's HLO text dumps.
+
+The format round-trips through :mod:`repro.hlo.parser`: string attributes
+are quoted, numeric and structured attributes use their Python literal
+forms, and ShardIndex attributes use their affine expression syntax.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hlo.instruction import Instruction
+from repro.hlo.module import HloModule
+
+_ATTR_ORDER = (
+    "equation", "dim", "split_dim", "concat_dim", "start", "size",
+    "low", "high", "value", "perm", "pairs", "groups", "direction",
+)
+
+
+def _format_attr(value) -> str:
+    if hasattr(value, "tolist"):
+        # numpy payloads (constants) print as nested lists so the text
+        # round-trips through ast.literal_eval in the parser.
+        return repr(value.tolist())
+    return repr(value)
+
+
+def format_instruction(instruction: Instruction) -> str:
+    operands = ", ".join(op.name for op in instruction.operands)
+    parts: List[str] = []
+    for key in _ATTR_ORDER:
+        if key in instruction.attrs:
+            parts.append(f"{key}={_format_attr(instruction.attrs[key])}")
+    attrs = (", " + ", ".join(parts)) if parts else ""
+    fusion = (
+        f"  #fusion_group={instruction.fusion_group}"
+        if instruction.fusion_group is not None
+        else ""
+    )
+    return (
+        f"  {instruction.name} = {instruction.shape} "
+        f"{instruction.opcode.value}({operands}{attrs}){fusion}"
+    )
+
+
+def format_module(module: HloModule) -> str:
+    lines = [f"HloModule {module.name} {{"]
+    lines.extend(format_instruction(i) for i in module)
+    root = module.root.name if module.root is not None else "<none>"
+    lines.append(f"}}  // root = {root}")
+    return "\n".join(lines)
+
+
+def summarize_opcodes(module: HloModule) -> str:
+    """One line per opcode with its occurrence count, sorted by count."""
+    counts = {}
+    for instruction in module:
+        counts[instruction.opcode] = counts.get(instruction.opcode, 0) + 1
+    rows = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0].value))
+    return "\n".join(f"{opcode.value:>28}: {count}" for opcode, count in rows)

@@ -1,0 +1,66 @@
+"""Tensor shapes for the HLO-like IR."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Tuple
+
+from repro.hlo.dtypes import BF16, DType
+
+
+@dataclasses.dataclass(frozen=True)
+class Shape:
+    """A static tensor shape: dimension sizes plus an element type.
+
+    Shapes are immutable and hashable so they can key caches in the cost
+    model and be compared structurally during module verification.
+    """
+
+    dims: Tuple[int, ...]
+    dtype: DType = BF16
+
+    def __post_init__(self) -> None:
+        if any(d < 0 for d in self.dims):
+            raise ValueError(f"negative dimension in shape {self.dims}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def num_elements(self) -> int:
+        return math.prod(self.dims) if self.dims else 1
+
+    @property
+    def byte_size(self) -> int:
+        return self.num_elements * self.dtype.byte_width
+
+    def with_dim(self, axis: int, size: int) -> "Shape":
+        """Return a copy of this shape with dimension ``axis`` resized."""
+        dims = list(self.dims)
+        dims[axis] = size
+        return Shape(tuple(dims), self.dtype)
+
+    def with_dtype(self, dtype: DType) -> "Shape":
+        return Shape(self.dims, dtype)
+
+    def scaled_dim(self, axis: int, factor: int) -> "Shape":
+        """Return a copy with dimension ``axis`` multiplied by ``factor``."""
+        return self.with_dim(axis, self.dims[axis] * factor)
+
+    def divided_dim(self, axis: int, divisor: int) -> "Shape":
+        """Return a copy with dimension ``axis`` divided by ``divisor``.
+
+        Raises ``ValueError`` when the dimension is not divisible, mirroring
+        how the SPMD partitioner requires even shardings.
+        """
+        if self.dims[axis] % divisor != 0:
+            raise ValueError(
+                f"dimension {axis} of {self.dims} not divisible by {divisor}"
+            )
+        return self.with_dim(axis, self.dims[axis] // divisor)
+
+    def __repr__(self) -> str:
+        dims = ",".join(str(d) for d in self.dims)
+        return f"{self.dtype.name}[{dims}]"

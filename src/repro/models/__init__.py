@@ -1,0 +1,66 @@
+"""Model zoo reproducing the paper's Tables 1 and 2."""
+
+from repro.models.configs import (
+    BIGSSL_10B,
+    DECODER,
+    ENCODER,
+    ENCODER_DECODER,
+    GLAM_1T,
+    GPT_1T,
+    GPT_32B,
+    GPT_64B,
+    GPT_128B,
+    GPT_256B,
+    GPT_512B,
+    GPT_1T_SCALED,
+    MEENA_500B,
+    MLPERF_200B,
+    MOE,
+    SPEECH,
+    T5_300B,
+    TABLE1,
+    TABLE2,
+    ModelConfig,
+    by_name,
+)
+from repro.models.mlp import inference_tower_graph, mlp_1d_graph, mlp_2d_graph
+from repro.models.moe import moe_layer_graph
+from repro.models.speech import conformer_layer_graph
+from repro.models.step import StepSimulation, layer_graphs, simulate_step
+from repro.models.transformer import decoder_layer_graph, decoder_stack_graph
+from repro.models.vision import mixer_layer_graph
+
+__all__ = [
+    "BIGSSL_10B",
+    "DECODER",
+    "ENCODER",
+    "ENCODER_DECODER",
+    "GLAM_1T",
+    "GPT_1T",
+    "GPT_1T_SCALED",
+    "GPT_128B",
+    "GPT_256B",
+    "GPT_32B",
+    "GPT_512B",
+    "GPT_64B",
+    "MEENA_500B",
+    "MLPERF_200B",
+    "MOE",
+    "ModelConfig",
+    "SPEECH",
+    "StepSimulation",
+    "T5_300B",
+    "TABLE1",
+    "TABLE2",
+    "by_name",
+    "conformer_layer_graph",
+    "decoder_layer_graph",
+    "decoder_stack_graph",
+    "inference_tower_graph",
+    "mixer_layer_graph",
+    "layer_graphs",
+    "mlp_1d_graph",
+    "mlp_2d_graph",
+    "moe_layer_graph",
+    "simulate_step",
+]

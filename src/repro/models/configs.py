@@ -1,0 +1,156 @@
+"""Model configurations reproducing Tables 1 and 2 of the paper.
+
+Hyperparameters (parameter count, layers, model/feedforward widths, batch,
+chip count) come straight from the tables. The paper does not publish the
+[M, N] mesh factorizations or sequence lengths; we choose conventional
+values (near-square meshes, 2048-token GPT sequences, 512 for the BERT/T5
+workloads) and record them here so every experiment is reproducible.
+
+Mesh convention: axis ``x`` is the dimension the output ReduceScatter runs
+along (weights' feedforward shards), axis ``y`` carries the batch shard
+and the weight AllGathers — matching the Figure 3 partitioning strategy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sharding.mesh import DeviceMesh
+
+DECODER = "decoder"        # GPT / Meena-style autoregressive stacks
+ENCODER = "encoder"        # MLPerf BERT-style encoder stacks
+ENCODER_DECODER = "encdec"  # T5
+MOE = "moe"                # GLaM sparse mixture-of-experts
+SPEECH = "speech"          # BigSSL conformer, 1D partitioning + data parallel
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelConfig:
+    """One evaluated model (a row of Table 1 or Table 2)."""
+
+    name: str
+    architecture: str
+    num_parameters: float        # as reported in the paper's tables
+    num_layers: int
+    d_model: int                 # "size of model dimension"
+    d_ff: int                    # "size of feedforward dimension"
+    batch_size: int              # sequences per step
+    seq_len: int
+    num_chips: int
+    mesh_x: int                  # ReduceScatter / feedforward-shard axis
+    mesh_y: int                  # batch / weight-gather axis
+    num_experts: int = 0         # MoE only
+    data_parallel: int = 1       # extra pure-DP factor (BigSSL)
+    head_dim: int = 128
+    # Fraction of the chip's per-axis link bandwidth this model's logical
+    # mesh actually gets. 2D meshes map each logical axis onto ~2 physical
+    # torus links per direction (the ChipSpec default); BigSSL's 8-way
+    # ring shares the torus with its 16-way data-parallel axis and gets
+    # one link per direction.
+    link_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mesh_x * self.mesh_y * self.data_parallel != self.num_chips:
+            raise ValueError(
+                f"{self.name}: mesh {self.mesh_x}x{self.mesh_y} (x dp "
+                f"{self.data_parallel}) != {self.num_chips} chips"
+            )
+
+    @property
+    def num_heads(self) -> int:
+        return self.d_model // self.head_dim
+
+    @property
+    def tokens_per_step(self) -> int:
+        return self.batch_size * self.seq_len
+
+    def mesh(self) -> DeviceMesh:
+        """The logical device mesh.
+
+        Axis ``x`` (and ``y`` for 2D partitionings) carry the intra-layer
+        model parallelism; a ``dp`` axis appears only when the model adds
+        a pure data-parallel factor (BigSSL), whose sole traffic is the
+        gradient AllReduce the model builder emits explicitly.
+        """
+        axes = {"x": self.mesh_x}
+        if self.mesh_y > 1:
+            axes["y"] = self.mesh_y
+        if self.data_parallel > 1:
+            axes["dp"] = self.data_parallel
+        if len(axes) == 1:
+            return DeviceMesh.ring(self.mesh_x, "x")
+        return DeviceMesh.grid(axes)
+
+
+# --- Table 1: the six evaluated applications -----------------------------------
+
+GPT_1T = ModelConfig(
+    name="GPT_1T", architecture=DECODER, num_parameters=1.03e12,
+    num_layers=142, d_model=24576, d_ff=98304, batch_size=4096,
+    seq_len=2048, num_chips=2048, mesh_x=32, mesh_y=64,
+)
+
+MEENA_500B = ModelConfig(
+    name="Meena_500B", architecture=DECODER, num_parameters=507e9,
+    num_layers=120, d_model=18432, d_ff=65536, batch_size=2048,
+    seq_len=2048, num_chips=1024, mesh_x=16, mesh_y=64,
+    head_dim=96,  # 192 heads divide the head shard evenly; 128 would not
+)
+
+MLPERF_200B = ModelConfig(
+    name="MLPerf_200B", architecture=ENCODER, num_parameters=199e9,
+    num_layers=66, d_model=12288, d_ff=98304, batch_size=4096,
+    seq_len=512, num_chips=1024, mesh_x=32, mesh_y=32,
+)
+
+T5_300B = ModelConfig(
+    name="T5_300B", architecture=ENCODER_DECODER, num_parameters=290e9,
+    num_layers=64, d_model=12288, d_ff=36864, batch_size=3072,
+    seq_len=512, num_chips=512, mesh_x=16, mesh_y=32,
+)
+
+GLAM_1T = ModelConfig(
+    name="GLaM_1T", architecture=MOE, num_parameters=1.16e12,
+    num_layers=32, d_model=8192, d_ff=32768, batch_size=1024,
+    seq_len=1024, num_chips=1024, mesh_x=32, mesh_y=32, num_experts=64,
+)
+
+BIGSSL_10B = ModelConfig(
+    name="BigSSL_10B", architecture=SPEECH, num_parameters=10.4e9,
+    num_layers=48, d_model=3072, d_ff=12288, batch_size=64,
+    seq_len=256, num_chips=128, mesh_x=8, mesh_y=1, data_parallel=16,
+    link_scale=0.33,
+)
+
+TABLE1 = (GPT_1T, MEENA_500B, MLPERF_200B, T5_300B, GLAM_1T, BIGSSL_10B)
+
+
+# --- Table 2: weakly scaled GPT models ------------------------------------------
+
+def _gpt(name, params, layers, d_model, d_ff, batch, chips, mx, my):
+    return ModelConfig(
+        name=name, architecture=DECODER, num_parameters=params,
+        num_layers=layers, d_model=d_model, d_ff=d_ff, batch_size=batch,
+        seq_len=2048, num_chips=chips, mesh_x=mx, mesh_y=my,
+    )
+
+
+GPT_32B = _gpt("GPT_32B", 32.2e9, 40, 8192, 32768, 512, 64, 8, 8)
+GPT_64B = _gpt("GPT_64B", 64.2e9, 51, 10240, 40960, 512, 128, 8, 16)
+# GPT_128B keeps a small ring (8) on the overlapped axis: the paper notes
+# its bidirectional-transfer gain is <5% because "the number of
+# partitioning along the dimension that applies the overlapping technique
+# is relatively small" (Section 6.3).
+GPT_128B = _gpt("GPT_128B", 128.6e9, 71, 12288, 49152, 1024, 256, 8, 32)
+GPT_256B = _gpt("GPT_256B", 257.7e9, 80, 16384, 65536, 2048, 512, 16, 32)
+GPT_512B = _gpt("GPT_512B", 513.4e9, 102, 20480, 81920, 3072, 1024, 32, 32)
+GPT_1T_SCALED = _gpt("GPT_1T", 1.0e12, 142, 24576, 98304, 4096, 2048, 32, 64)
+
+TABLE2 = (GPT_32B, GPT_64B, GPT_128B, GPT_256B, GPT_512B, GPT_1T_SCALED)
+
+
+def by_name(name: str) -> ModelConfig:
+    for config in TABLE1 + TABLE2:
+        if config.name == name:
+            return config
+    raise KeyError(f"unknown model {name!r}")

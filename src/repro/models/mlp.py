@@ -1,0 +1,90 @@
+"""The two-layer MLP examples of Figures 2 and 3.
+
+These small graphs are the paper's running illustration: a 1D
+partitioning that AllGathers weights on demand (Figure 2), and the 2D
+partitioning with gathers along both mesh axes plus the subgroup
+ReduceScatter on the second einsum's output (Figure 3). They are used by
+the quickstart example, the inference case study (Section 7.1) and the
+correctness tests.
+"""
+
+from __future__ import annotations
+
+from repro.hlo.dtypes import DType, F32
+from repro.hlo.shapes import Shape
+from repro.sharding.partitioner import LogicalGraph
+from repro.sharding.spec import ShardingSpec
+
+S = ShardingSpec
+
+
+def mlp_1d_graph(
+    batch: int, feature: int, hidden: int, dtype: DType = F32,
+    backward: bool = False,
+) -> LogicalGraph:
+    """Figure 2: N-way partitioning along one dimension (axis ``x``).
+
+    Activations keep their batch shard; each weight is sharded along one
+    dimension and AllGathered before its einsum. With ``backward`` the
+    weight-gradient einsums are added, whose AllGathers "become
+    ReduceScatters".
+    """
+    graph = LogicalGraph("mlp-1d")
+    graph.add_input("x", Shape((batch, feature), dtype), S(("x", None)))
+    graph.add_input("w1", Shape((feature, hidden), dtype), S((None, "x")))
+    graph.add_input("w2", Shape((hidden, feature), dtype), S(("x", None)))
+    graph.add_einsum("bf,fh->bh", "x", "w1", "h", S(("x", None)))
+    graph.add_einsum("bh,hf->bf", "h", "w2", "y", S(("x", None)))
+    if backward:
+        graph.add_input("dy", Shape((batch, feature), dtype), S(("x", None)))
+        graph.add_einsum("bf,hf->bh", "dy", "w2", "dh", S(("x", None)))
+        graph.add_einsum("bh,bf->hf", "h", "dy", "dw2", S(("x", None)))
+        graph.add_einsum("bf,bh->fh", "x", "dh", "dw1", S((None, "x")))
+    return graph
+
+
+def mlp_2d_graph(
+    batch: int, feature: int, hidden: int, dtype: DType = F32,
+) -> LogicalGraph:
+    """Figure 3: N*M-way partitioning along two dimensions.
+
+    Batch stays sharded on ``y``; the input activation and the first
+    weight are AllGathered along different dimensions before the first
+    einsum; the second einsum contracts a dimension sharded on ``x`` and
+    its output takes the subgroup ReduceScatter along ``x``.
+    """
+    graph = LogicalGraph("mlp-2d")
+    graph.add_input("x", Shape((batch, feature), dtype), S(("y", "x")))
+    graph.add_input("w1", Shape((feature, hidden), dtype), S((None, "x")))
+    graph.add_input("w2", Shape((hidden, feature), dtype), S(("x", None)))
+    graph.add_einsum("bf,fh->bh", "x", "w1", "h", S(("y", "x")))
+    graph.add_einsum("bh,hf->bf", "h", "w2", "y", S(("y", "x")))
+    return graph
+
+
+def inference_tower_graph(
+    batch: int, feature: int, hidden: int, num_layers: int,
+    dtype: DType = F32,
+) -> LogicalGraph:
+    """The Section 7.1 case: a forward-only MLP tower with 2-way
+    intra-layer model parallelism (weights gathered on demand)."""
+    graph = LogicalGraph("inference-tower")
+    graph.add_input("x", Shape((batch, feature), dtype), S(("x", None)))
+    previous = "x"
+    for layer in range(num_layers):
+        graph.add_input(
+            f"w{layer}.up", Shape((feature, hidden), dtype), S((None, "x"))
+        )
+        graph.add_input(
+            f"w{layer}.down", Shape((hidden, feature), dtype), S(("x", None))
+        )
+        graph.add_einsum(
+            "bf,fh->bh", previous, f"w{layer}.up", f"h{layer}", S(("x", None))
+        )
+        graph.add_pointwise(f"h{layer}", f"a{layer}")
+        graph.add_einsum(
+            "bh,hf->bf", f"a{layer}", f"w{layer}.down", f"y{layer}",
+            S(("x", None)),
+        )
+        previous = f"y{layer}"
+    return graph

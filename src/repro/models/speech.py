@@ -1,0 +1,123 @@
+"""BigSSL-style conformer blocks with 1D intra-layer partitioning.
+
+BigSSL_10B is small enough that partitioning along one dimension (8-way
+on the 128-chip mesh) fits the model; the remaining 16-way factor is pure
+data parallelism. The partitioning follows Figure 2: activations keep
+their batch shard, weights are sharded along one dimension and AllGathered
+on demand before each einsum; the backward pass turns those gathers into
+ReduceScatters of the weight gradients. Data parallelism contributes a
+per-step gradient AllReduce over the ``dp`` axis that the overlap passes
+cannot touch.
+
+A conformer block = multi-head self-attention + convolution module
+(modelled as its two pointwise-conv einsums plus a memory-bound depthwise
+pass) + feedforward.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hlo.dtypes import BF16
+from repro.hlo.shapes import Shape
+from repro.models.configs import ModelConfig
+from repro.sharding.partitioner import LogicalGraph
+from repro.sharding.spec import ShardingSpec
+
+S = ShardingSpec
+
+ACT_1D = S(("x", None, None))       # [n, s, d] — batch sharded only
+ATTN_1D = S(("x", None, None, None))  # [n, s, h, e]
+W_QKV_1D = S((None, "x", None))     # [d, h, e] — heads sharded, gathered
+W_OUT_1D = S(("x", None, None))     # [h, e, d]
+W_FF_IN_1D = S((None, "x"))         # [d, f]
+W_FF_OUT_1D = S(("x", None))        # [f, d]
+
+
+def conformer_layer_graph(
+    cfg: ModelConfig, backward: bool = True, name: Optional[str] = None
+) -> LogicalGraph:
+    """One conformer block, forward and backward."""
+    n, s = cfg.batch_size, cfg.seq_len
+    d, f = cfg.d_model, cfg.d_ff
+    h, e = cfg.num_heads, cfg.head_dim
+    graph = LogicalGraph(name or f"{cfg.name}-layer")
+
+    graph.add_input("x", Shape((n, s, d), BF16), ACT_1D)
+    for w in ("wq", "wk", "wv"):
+        graph.add_input(w, Shape((d, h, e), BF16), W_QKV_1D)
+    graph.add_input("wo", Shape((h, e, d), BF16), W_OUT_1D)
+    graph.add_input("w_conv_in", Shape((d, 2 * d), BF16), S((None, "x")))
+    graph.add_input("w_conv_out", Shape((2 * d, d), BF16), S(("x", None)))
+    graph.add_input("w_ff_in", Shape((d, f), BF16), W_FF_IN_1D)
+    graph.add_input("w_ff_out", Shape((f, d), BF16), W_FF_OUT_1D)
+    graph.add_input("d_out", Shape((n, s, d), BF16), ACT_1D)
+
+    # Attention: weights are AllGathered (Figure 2), all compute is local
+    # over the batch shard.
+    for w, out in (("wq", "q"), ("wk", "k"), ("wv", "v")):
+        graph.add_einsum("nsd,dhe->nshe", "x", w, out, ATTN_1D)
+    graph.add_einsum("nshe,nthe->nhst", "q", "k", "scores", ATTN_1D)
+    graph.add_pointwise("scores", "probs")
+    graph.add_einsum("nhst,nthe->nshe", "probs", "v", "ctx", ATTN_1D)
+    graph.add_einsum("nshe,hed->nsd", "ctx", "wo", "attn", ACT_1D)
+    graph.add_pointwise("attn", "attn_out")
+
+    # Convolution module: pointwise conv in (d -> 2d), depthwise conv
+    # (memory-bound pass), pointwise conv out (2d -> d).
+    graph.add_einsum(
+        "nsd,dc->nsc", "attn_out", "w_conv_in", "conv.h", ACT_1D
+    )
+    graph.add_pointwise("conv.h", "conv.depthwise")
+    graph.add_einsum(
+        "nsc,cd->nsd", "conv.depthwise", "w_conv_out", "conv.out", ACT_1D
+    )
+    graph.add_pointwise("conv.out", "conv_res")
+
+    # Feedforward.
+    graph.add_einsum("nsd,df->nsf", "conv_res", "w_ff_in", "ff.h", ACT_1D)
+    graph.add_pointwise("ff.h", "ff.act")
+    graph.add_einsum("nsf,fd->nsd", "ff.act", "w_ff_out", "ff.out", ACT_1D)
+    graph.add_pointwise("ff.out", "y_out")
+
+    if backward:
+        _conformer_backward(graph, cfg)
+    return graph
+
+
+def _conformer_backward(graph: LogicalGraph, cfg: ModelConfig) -> None:
+    """Backward einsums; weight grads ReduceScatter over x, then the pure
+    data-parallel AllReduce over dp."""
+    # Feedforward backward.
+    graph.add_einsum("nsd,fd->nsf", "d_out", "w_ff_out", "d_ff_act", ACT_1D)
+    graph.add_einsum("nsf,nsd->fd", "ff.act", "d_out", "dw_ff_out", W_FF_OUT_1D)
+    graph.add_einsum("nsf,df->nsd", "d_ff_act", "w_ff_in", "d_conv_res", ACT_1D)
+    graph.add_einsum("nsd,nsf->df", "conv_res", "d_ff_act", "dw_ff_in", W_FF_IN_1D)
+
+    # Convolution backward.
+    graph.add_einsum("nsd,cd->nsc", "d_conv_res", "w_conv_out", "d_conv_h", ACT_1D)
+    graph.add_einsum(
+        "nsc,nsd->cd", "conv.depthwise", "d_conv_res", "dw_conv_out", S(("x", None))
+    )
+    graph.add_einsum("nsc,dc->nsd", "d_conv_h", "w_conv_in", "d_attn_out", ACT_1D)
+    graph.add_einsum(
+        "nsd,nsc->dc", "attn_out", "d_conv_h", "dw_conv_in", S((None, "x"))
+    )
+
+    # Attention backward.
+    graph.add_einsum("nsd,hed->nshe", "d_attn_out", "wo", "d_ctx", ATTN_1D)
+    graph.add_einsum("nshe,nsd->hed", "ctx", "d_attn_out", "dwo", W_OUT_1D)
+    graph.add_einsum("nshe,nthe->nhst", "d_ctx", "v", "d_probs", ATTN_1D)
+    graph.add_einsum("nhst,nshe->nthe", "d_probs", "ctx", "d_v", ATTN_1D)
+    graph.add_einsum("nhst,nthe->nshe", "d_probs", "k", "d_q", ATTN_1D)
+    graph.add_einsum("nhst,nshe->nthe", "d_probs", "q", "d_k", ATTN_1D)
+    for grad, weight in (("d_q", "wq"), ("d_k", "wk"), ("d_v", "wv")):
+        graph.add_einsum("nsd,nshe->dhe", "x", grad, f"d{weight}", W_QKV_1D)
+    graph.add_einsum("nshe,dhe->nsd", "d_q", "wq", "d_x", ACT_1D)
+    graph.add_pointwise("d_x", "d_x_out")  # input layer-norm backward
+
+    # Pure data parallelism: gradients AllReduce over the dp axis.
+    if cfg.data_parallel > 1:
+        for grad in ("dw_ff_out", "dw_ff_in", "dw_conv_out", "dw_conv_in",
+                     "dwo", "dwq", "dwk", "dwv"):
+            graph.add_all_reduce(grad, f"{grad}.dp", "dp")

@@ -1,0 +1,120 @@
+"""Whole-training-step simulation for the Table 1 / Table 2 models.
+
+Per SPMD symmetry a step is the per-layer report scaled by the layer
+count (mixing layer types where the architecture requires it: T5 splits
+into encoder and decoder halves, GLaM alternates dense and MoE layers).
+Embeddings and the softmax head are omitted — they are a small, identical
+cost in both the baseline and the overlapped configuration and do not
+change any relative result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import CompilationResult, compile_module
+from repro.models.configs import (
+    DECODER,
+    ENCODER,
+    ENCODER_DECODER,
+    MOE,
+    SPEECH,
+    ModelConfig,
+)
+from repro.models.moe import moe_layer_graph
+from repro.models.speech import conformer_layer_graph
+from repro.models.transformer import decoder_layer_graph
+from repro.perfsim.hardware import TPU_V4, ChipSpec
+from repro.perfsim.metrics import StepReport
+from repro.perfsim.simulator import simulate
+from repro.sharding.partitioner import LogicalGraph, partition
+
+
+@dataclasses.dataclass
+class StepSimulation:
+    """A simulated training step: the scaled report plus bookkeeping."""
+
+    config: ModelConfig
+    overlap: OverlapConfig
+    report: StepReport
+    layer_reports: List[Tuple[str, int, StepReport]]
+    compilations: List[CompilationResult]
+
+
+def layer_graphs(cfg: ModelConfig) -> List[Tuple[str, int, LogicalGraph]]:
+    """The distinct layer types of a model and their repeat counts."""
+    if cfg.architecture in (DECODER, ENCODER):
+        return [("layer", cfg.num_layers, decoder_layer_graph(cfg))]
+    if cfg.architecture == ENCODER_DECODER:
+        half = cfg.num_layers // 2
+        return [
+            ("encoder", half, decoder_layer_graph(cfg, backward_all_to_all=True)),
+            (
+                "decoder",
+                cfg.num_layers - half,
+                decoder_layer_graph(
+                    cfg, cross_attention=True, backward_all_to_all=True
+                ),
+            ),
+        ]
+    if cfg.architecture == MOE:
+        half = cfg.num_layers // 2
+        return [
+            ("dense", cfg.num_layers - half, decoder_layer_graph(cfg)),
+            ("moe", half, moe_layer_graph(cfg)),
+        ]
+    if cfg.architecture == SPEECH:
+        return [("conformer", cfg.num_layers, conformer_layer_graph(cfg))]
+    raise ValueError(f"unknown architecture {cfg.architecture!r}")
+
+
+def simulate_step(
+    cfg: ModelConfig,
+    overlap: Optional[OverlapConfig] = None,
+    chip: ChipSpec = TPU_V4,
+) -> StepSimulation:
+    """Compile and simulate one training step of ``cfg``."""
+    overlap = overlap or OverlapConfig()
+    mesh = cfg.mesh()
+    if cfg.link_scale != 1.0:
+        chip = dataclasses.replace(
+            chip, link_bandwidth=chip.link_bandwidth * cfg.link_scale
+        )
+    total: Optional[StepReport] = None
+    layer_reports: List[Tuple[str, int, StepReport]] = []
+    compilations: List[CompilationResult] = []
+
+    for kind, repeats, graph in layer_graphs(cfg):
+        module = partition(graph, mesh)
+        compilations.append(compile_module(module, mesh, overlap, chip=chip))
+        report = simulate(module, mesh, chip=chip)
+        layer_reports.append((kind, repeats, report))
+        scaled = report.scaled(repeats)
+        total = scaled if total is None else _combine(total, scaled)
+
+    assert total is not None
+    return StepSimulation(
+        config=cfg,
+        overlap=overlap,
+        report=total,
+        layer_reports=layer_reports,
+        compilations=compilations,
+    )
+
+
+def _combine(a: StepReport, b: StepReport) -> StepReport:
+    link_bytes: Dict = dict(a.link_bytes)
+    for key, value in b.link_bytes.items():
+        link_bytes[key] = link_bytes.get(key, 0) + value
+    return StepReport(
+        total_time=a.total_time + b.total_time,
+        compute_time=a.compute_time + b.compute_time,
+        sync_collective_time=a.sync_collective_time + b.sync_collective_time,
+        permute_wait_time=a.permute_wait_time + b.permute_wait_time,
+        transfer_time_total=a.transfer_time_total + b.transfer_time_total,
+        flops=a.flops + b.flops,
+        link_bytes=link_bytes,
+        peak_flops=a.peak_flops,
+    )

@@ -1,0 +1,269 @@
+"""Transformer layer graphs with the Figure 3 partitioning strategy.
+
+One layer (attention + feedforward, forward and backward) is expressed as
+a :class:`LogicalGraph` over the 2D mesh [x, y]:
+
+* activations ``[n, s, d]`` are sharded ``(batch -> y, model dim -> x)``;
+* attention weights ``[d, h, e]`` are sharded ``(d -> y, heads -> x)`` and
+  feedforward weights ``(d -> y, ff -> x)`` / ``(ff -> x, d -> y)``;
+* every einsum therefore AllGathers its weight along ``y`` ("construct
+  the weights on demand", Section 2.2), einsums whose contracting
+  dimension is sharded on ``x`` produce partial sums resolved by a
+  subgroup ReduceScatter along ``x``, and weight gradients ReduceScatter
+  along ``y`` — the backward-pass mirror the paper describes;
+* the activation re-gather of the model dimension feeds several consumers
+  (q/k/v) and is emitted as an explicit reshard: a *multi-user* AllGather
+  the decomposition cannot touch, part of the residual communication the
+  paper attributes to "AllGathers that cannot be decomposed with
+  dependent Einsums".
+
+Softmax, layer norms, activations and residual adds appear as pointwise
+nodes (memory-bound passes), so the compute stream is not artificially
+einsum-only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hlo.dtypes import BF16
+from repro.hlo.shapes import Shape
+from repro.models.configs import ModelConfig
+from repro.sharding.partitioner import LogicalGraph
+from repro.sharding.spec import ShardingSpec
+
+S = ShardingSpec
+
+ACT = S(("y", None, "x"))          # [n, s, d]
+ATTN = S(("y", None, "x", None))   # [n, s, h, e]
+SCORE = S(("y", "x", None, None))  # [n, h, s, t]
+W_QKV = S(("y", "x", None))        # [d, h, e]
+W_OUT = S(("x", None, "y"))        # [h, e, d]
+W_FF_IN = S(("y", "x"))            # [d, f]
+W_FF_OUT = S(("x", "y"))           # [f, d]
+
+
+def decoder_layer_graph(
+    cfg: ModelConfig,
+    backward: bool = True,
+    cross_attention: bool = False,
+    backward_all_to_all: bool = False,
+    name: Optional[str] = None,
+) -> LogicalGraph:
+    """One decoder (or encoder — the graph is identical) layer.
+
+    With ``cross_attention`` a second attention block attends over
+    encoder states of the same sequence length (the T5 decoder shape).
+    ``backward_all_to_all`` injects the activation AllToAlls the paper
+    attributes T5_300B's backward propagation (~10% of its runtime, from
+    a partitioning configuration the authors note could be improved).
+    """
+    n, s, d = cfg.batch_size, cfg.seq_len, cfg.d_model
+    graph = LogicalGraph(name or f"{cfg.name}-layer")
+    graph.add_input("x", Shape((n, s, d), BF16), ACT)
+    graph.add_input("d_out", Shape((n, s, d), BF16), ACT)  # upstream grad
+    add_decoder_layer(
+        graph, cfg, query="x", upstream="d_out", backward=backward,
+        cross_attention=cross_attention,
+        backward_all_to_all=backward_all_to_all,
+    )
+    return graph
+
+
+def decoder_stack_graph(
+    cfg: ModelConfig, num_layers: int, backward: bool = True
+) -> LogicalGraph:
+    """``num_layers`` chained decoder layers in one graph.
+
+    Unlike the single-layer graph scaled by the layer count, the stack
+    exposes cross-layer scheduling opportunities: a layer's leading
+    collectives can hide under its neighbour's computation. Used by the
+    standalone-collective (future work) study.
+    """
+    n, s, d = cfg.batch_size, cfg.seq_len, cfg.d_model
+    graph = LogicalGraph(f"{cfg.name}-stack{num_layers}")
+    graph.add_input("x", Shape((n, s, d), BF16), ACT)
+    graph.add_input("d_out", Shape((n, s, d), BF16), ACT)
+
+    value = "x"
+    outputs = []
+    for layer in range(num_layers):
+        value = _forward_only(graph, cfg, prefix=f"L{layer}.", query=value)
+        outputs.append(value)
+    if backward:
+        grad = "d_out"
+        for layer in reversed(range(num_layers)):
+            grad = _backward_only(graph, cfg, prefix=f"L{layer}.", upstream=grad)
+    return graph
+
+
+def add_decoder_layer(
+    graph: LogicalGraph,
+    cfg: ModelConfig,
+    query: str,
+    upstream: str,
+    backward: bool = True,
+    cross_attention: bool = False,
+    backward_all_to_all: bool = False,
+    prefix: str = "",
+) -> str:
+    """Add one layer's nodes to ``graph``; returns the backward output
+    name (or the forward output when ``backward`` is off)."""
+    attn = _forward_only(
+        graph, cfg, prefix=prefix, query=query,
+        cross_attention=cross_attention, return_attention=True,
+    )
+    attention_out, forward_out = attn
+    if not backward:
+        return forward_out
+    if backward_all_to_all:
+        graph.add_all_to_all(upstream, f"{prefix}d_out_exchanged", 2, 2, "x")
+        upstream = f"{prefix}d_out_exchanged"
+    grad = feedforward_backward(
+        graph, cfg, upstream=upstream, forward_in=attention_out, prefix=prefix
+    )
+    if backward_all_to_all:
+        graph.add_all_to_all(grad, f"{prefix}ff.d_x_exchanged", 2, 2, "x")
+        grad = f"{prefix}ff.d_x_exchanged"
+    if cross_attention:
+        grad = attention_backward(graph, cfg, f"{prefix}cross", upstream=grad)
+    return attention_backward(graph, cfg, f"{prefix}self", upstream=grad)
+
+
+def _forward_only(
+    graph, cfg, prefix, query, cross_attention=False, return_attention=False
+):
+    d, f = cfg.d_model, cfg.d_ff
+    declare_attention_weights(graph, cfg, f"{prefix}self")
+    if cross_attention:
+        n, s = cfg.batch_size, cfg.seq_len
+        graph.add_input(f"{prefix}enc", Shape((n, s, d), BF16), ACT)
+        declare_attention_weights(graph, cfg, f"{prefix}cross")
+    graph.add_input(f"{prefix}w_ff_in", Shape((d, f), BF16), W_FF_IN)
+    graph.add_input(f"{prefix}w_ff_out", Shape((f, d), BF16), W_FF_OUT)
+
+    attn = attention_forward(graph, cfg, f"{prefix}self", query=query, keys=query)
+    if cross_attention:
+        attn = attention_forward(
+            graph, cfg, f"{prefix}cross", query=attn, keys=f"{prefix}enc"
+        )
+    out = feedforward_forward(graph, cfg, attn, prefix=prefix)
+    if return_attention:
+        return attn, out
+    return out
+
+
+def _backward_only(graph, cfg, prefix, upstream):
+    grad = feedforward_backward(
+        graph, cfg, upstream=upstream,
+        forward_in=f"{prefix}self.out", prefix=prefix,
+    )
+    return attention_backward(graph, cfg, f"{prefix}self", upstream=grad)
+
+
+def declare_attention_weights(graph: LogicalGraph, cfg: ModelConfig, p: str) -> None:
+    d, h, e = cfg.d_model, cfg.num_heads, cfg.head_dim
+    for w in ("wq", "wk", "wv"):
+        graph.add_input(f"{p}.{w}", Shape((d, h, e), BF16), W_QKV)
+    graph.add_input(f"{p}.wo", Shape((h, e, d), BF16), W_OUT)
+
+
+def attention_forward(
+    graph: LogicalGraph, cfg: ModelConfig, p: str, query: str, keys: str
+) -> str:
+    """Multi-head attention block; returns the output tensor name.
+
+    The model-dim re-gather (reshard to full ``d``) is shared by the q/k/v
+    projections, so it stays a synchronous multi-user AllGather; the
+    per-projection weight gathers along ``y`` are single-consumer and
+    decomposable (Case 2: contracting dimension).
+    """
+    full_d = S(("y", None, None))
+    graph.add_reshard(query, f"{p}.q_in", full_d)
+    if keys == query:
+        kv_in = f"{p}.q_in"
+    else:
+        graph.add_reshard(keys, f"{p}.kv_in", full_d)
+        kv_in = f"{p}.kv_in"
+
+    graph.add_einsum("nsd,dhe->nshe", f"{p}.q_in", f"{p}.wq", f"{p}.q", ATTN)
+    graph.add_einsum("nsd,dhe->nshe", kv_in, f"{p}.wk", f"{p}.k", ATTN)
+    graph.add_einsum("nsd,dhe->nshe", kv_in, f"{p}.wv", f"{p}.v", ATTN)
+    graph.add_einsum("nshe,nthe->nhst", f"{p}.q", f"{p}.k", f"{p}.scores", SCORE)
+    graph.add_pointwise(f"{p}.scores", f"{p}.probs")  # softmax
+    graph.add_einsum("nhst,nthe->nshe", f"{p}.probs", f"{p}.v", f"{p}.ctx", ATTN)
+    graph.add_einsum("nshe,hed->nsd", f"{p}.ctx", f"{p}.wo", f"{p}.attn", ACT)
+    graph.add_pointwise(f"{p}.attn", f"{p}.out")  # residual + layer norm
+    return f"{p}.out"
+
+
+def feedforward_forward(
+    graph: LogicalGraph, cfg: ModelConfig, src: str, prefix: str = ""
+) -> str:
+    ff = f"{prefix}ff"
+    graph.add_einsum(
+        "nsd,df->nsf", src, f"{prefix}w_ff_in", f"{ff}.h", S(("y", None, "x"))
+    )
+    graph.add_pointwise(f"{ff}.h", f"{ff}.act")  # gelu
+    graph.add_einsum(
+        "nsf,fd->nsd", f"{ff}.act", f"{prefix}w_ff_out", f"{ff}.out", ACT
+    )
+    graph.add_pointwise(f"{ff}.out", f"{prefix}y_out")  # residual + layer norm
+    return f"{prefix}y_out"
+
+
+def feedforward_backward(
+    graph: LogicalGraph, cfg: ModelConfig, upstream: str, forward_in: str,
+    prefix: str = "",
+) -> str:
+    """Backward through the FFN; returns the grad w.r.t. its input."""
+    ff = f"{prefix}ff"
+    graph.add_einsum(
+        "nsd,fd->nsf", upstream, f"{prefix}w_ff_out", f"{ff}.d_act",
+        S(("y", None, "x")),
+    )
+    graph.add_einsum(
+        "nsf,nsd->fd", f"{ff}.act", upstream, f"{ff}.dw_out", W_FF_OUT
+    )
+    graph.add_einsum(
+        "nsf,df->nsd", f"{ff}.d_act", f"{prefix}w_ff_in", f"{ff}.d_in", ACT
+    )
+    graph.add_einsum(
+        "nsd,nsf->df", forward_in, f"{ff}.d_act", f"{ff}.dw_in", W_FF_IN
+    )
+    graph.add_pointwise(f"{ff}.d_in", f"{ff}.d_x")  # layer-norm backward
+    return f"{ff}.d_x"
+
+
+def attention_backward(
+    graph: LogicalGraph, cfg: ModelConfig, p: str, upstream: str
+) -> str:
+    """Backward through an attention block; returns grad w.r.t. its input."""
+    graph.add_einsum(
+        "nsd,hed->nshe", upstream, f"{p}.wo", f"{p}.d_ctx", ATTN
+    )
+    graph.add_einsum(
+        "nshe,nsd->hed", f"{p}.ctx", upstream, f"{p}.dwo", W_OUT
+    )
+    graph.add_einsum(
+        "nshe,nthe->nhst", f"{p}.d_ctx", f"{p}.v", f"{p}.d_probs", SCORE
+    )
+    graph.add_einsum(
+        "nhst,nshe->nthe", f"{p}.probs", f"{p}.d_ctx", f"{p}.d_v", ATTN
+    )
+    graph.add_pointwise(f"{p}.d_probs", f"{p}.d_scores")  # softmax backward
+    graph.add_einsum(
+        "nhst,nthe->nshe", f"{p}.d_scores", f"{p}.k", f"{p}.d_q", ATTN
+    )
+    graph.add_einsum(
+        "nhst,nshe->nthe", f"{p}.d_scores", f"{p}.q", f"{p}.d_k", ATTN
+    )
+    for grad, weight in ((f"{p}.d_q", "wq"), (f"{p}.d_k", "wk"), (f"{p}.d_v", "wv")):
+        graph.add_einsum(
+            "nsd,nshe->dhe", f"{p}.q_in", grad, f"{p}.d{weight}", W_QKV
+        )
+        graph.add_einsum(
+            "nshe,dhe->nsd", grad, f"{p}.{weight}", f"{p}.dx_{weight}", ACT
+        )
+    graph.add_pointwise(f"{p}.dx_wq", f"{p}.d_x")
+    return f"{p}.d_x"

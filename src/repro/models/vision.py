@@ -1,0 +1,103 @@
+"""MLP-Mixer vision layers (Section 7.2's "other models").
+
+The paper's evaluation is NLP/speech, but Section 7.2 argues the
+technique applies to "emerging multilayer-perceptron (MLP)-based ...
+computer vision models that are compute-intensive and require model
+parallelism". This builder provides that workload: an MLP-Mixer block —
+token-mixing MLP across patches, channel-mixing MLP across channels —
+with the same Figure 3 2D partitioning style as the transformer FFN
+(weights gathered along ``y``, partial sums ReduceScattered along ``x``),
+so the overlap passes see the same AllGather-Einsum /
+Einsum-ReduceScatter patterns.
+
+Tensors: activations ``[n, p, c]`` (images, patches, channels) sharded
+``(batch -> y, channels -> x)``; the token-mixing weights ``[p, q]`` are
+sharded on ``y`` and gathered on demand; the channel-mixing weights
+follow the transformer FFN layout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hlo.dtypes import BF16
+from repro.hlo.shapes import Shape
+from repro.models.configs import ModelConfig
+from repro.sharding.partitioner import LogicalGraph
+from repro.sharding.spec import ShardingSpec
+
+S = ShardingSpec
+
+ACT_MIX = S(("y", None, "x"))    # [n, p, c]
+W_TOKEN = S(("y", None))         # [p, q] — gathered along y on demand
+W_CH_IN = S(("y", "x"))          # [c, d]
+W_CH_OUT = S(("x", "y"))         # [d, c]
+
+
+def mixer_layer_graph(
+    cfg: ModelConfig,
+    num_patches: int = 256,
+    backward: bool = True,
+    name: Optional[str] = None,
+) -> LogicalGraph:
+    """One Mixer block: token-mixing + channel-mixing, fwd and bwd.
+
+    ``cfg.d_model`` is the channel width, ``cfg.d_ff`` the channel-MLP
+    hidden width, ``cfg.seq_len`` is unused (patch count is explicit).
+    """
+    n, c, d = cfg.batch_size, cfg.d_model, cfg.d_ff
+    p = num_patches
+    graph = LogicalGraph(name or f"{cfg.name}-mixer-layer")
+
+    graph.add_input("x", Shape((n, p, c), BF16), ACT_MIX)
+    graph.add_input("w_token", Shape((p, p), BF16), W_TOKEN)
+    graph.add_input("w_ch_in", Shape((c, d), BF16), W_CH_IN)
+    graph.add_input("w_ch_out", Shape((d, c), BF16), W_CH_OUT)
+    graph.add_input("d_out", Shape((n, p, c), BF16), ACT_MIX)
+
+    # Token mixing: contract the patch dimension; the token weights are
+    # gathered along y (AllGather-Einsum, contracting case).
+    graph.add_einsum("npc,pq->nqc", "x", "w_token", "token.mixed", ACT_MIX)
+    graph.add_pointwise("token.mixed", "token.out")  # gelu + layer norm
+
+    # Channel mixing: the transformer-FFN pattern (gather weights along
+    # y; the second einsum's partial sums ReduceScatter along x).
+    graph.add_einsum(
+        "npc,cd->npd", "token.out", "w_ch_in", "channel.h", S(("y", None, "x"))
+    )
+    graph.add_pointwise("channel.h", "channel.act")
+    graph.add_einsum(
+        "npd,dc->npc", "channel.act", "w_ch_out", "channel.out", ACT_MIX
+    )
+    graph.add_pointwise("channel.out", "y_out")
+
+    if backward:
+        _mixer_backward(graph, cfg)
+    return graph
+
+
+def _mixer_backward(graph: LogicalGraph, cfg: ModelConfig) -> None:
+    graph.add_einsum(
+        "npc,dc->npd", "d_out", "w_ch_out", "channel.d_act",
+        S(("y", None, "x")),
+    )
+    graph.add_einsum(
+        "npd,npc->dc", "channel.act", "d_out", "channel.dw_out", W_CH_OUT
+    )
+    graph.add_einsum(
+        "npd,cd->npc", "channel.d_act", "w_ch_in", "channel.d_in", ACT_MIX
+    )
+    graph.add_einsum(
+        "npc,npd->cd", "token.out", "channel.d_act", "channel.dw_in", W_CH_IN
+    )
+    graph.add_pointwise("channel.d_in", "token.d_out")
+    # Token-mixing backward: contract q back onto p; weight grad contracts
+    # the (y-sharded) batch and ReduceScatters along y like every other
+    # weight gradient.
+    graph.add_einsum(
+        "nqc,pq->npc", "token.d_out", "w_token", "token.d_x", ACT_MIX
+    )
+    graph.add_einsum(
+        "npc,nqc->pq", "x", "token.d_out", "token.dw", W_TOKEN
+    )
+    graph.add_pointwise("token.d_x", "d_x_out")

@@ -1,0 +1,40 @@
+"""Performance-simulator substrate standing in for TPU v4 pods."""
+
+from repro.perfsim.efficiency import DEFAULT_EFFICIENCY, EfficiencyModel
+from repro.perfsim.hardware import SLOW_INTERCONNECT, TPU_V4, ChipSpec
+from repro.perfsim.metrics import EnergyReport, StepReport
+from repro.perfsim.multidevice import DeviceTimeline, simulate_per_device
+from repro.perfsim.simulator import Simulator, simulate, simulate_with_trace
+from repro.perfsim.trace import Trace, TraceEvent, format_timeline
+from repro.perfsim.topology import (
+    MINUS,
+    PLUS,
+    LinkRoute,
+    TopologyError,
+    classify_permute,
+    ring_size_of_groups,
+)
+
+__all__ = [
+    "DEFAULT_EFFICIENCY",
+    "EfficiencyModel",
+    "EnergyReport",
+    "ChipSpec",
+    "DeviceTimeline",
+    "LinkRoute",
+    "MINUS",
+    "PLUS",
+    "SLOW_INTERCONNECT",
+    "Simulator",
+    "StepReport",
+    "TPU_V4",
+    "TopologyError",
+    "Trace",
+    "TraceEvent",
+    "classify_permute",
+    "format_timeline",
+    "ring_size_of_groups",
+    "simulate",
+    "simulate_per_device",
+    "simulate_with_trace",
+]

@@ -1,0 +1,129 @@
+"""Analytic per-instruction latency estimates.
+
+Used by the performance simulator for kernel durations and by the paper's
+Section 5.5 gating logic (:mod:`repro.core.cost_model`). Einsums are costed
+as FLOPS against achieved matmul efficiency; element-wise and
+data-movement ops against HBM bandwidth; collectives against
+bidirectional-ring algorithm link costs; CollectivePermutes against the
+single link direction they occupy (times their hop distance).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.hlo.einsum_spec import EinsumSpec
+from repro.hlo.instruction import Instruction
+from repro.hlo.opcode import DATA_MOVEMENT_OPS, ELEMENTWISE_OPS, Opcode
+from repro.perfsim.efficiency import DEFAULT_EFFICIENCY, EfficiencyModel
+from repro.perfsim.hardware import ChipSpec
+from repro.perfsim.topology import route_of_permute, ring_size_of_groups
+from repro.sharding.mesh import DeviceMesh
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """Instruction-latency estimates for one chip type."""
+
+    chip: ChipSpec
+    efficiency: EfficiencyModel = DEFAULT_EFFICIENCY
+
+    # --- compute ----------------------------------------------------------------
+
+    def einsum_time(self, instruction: Instruction) -> float:
+        spec = EinsumSpec.parse(instruction.equation)
+        lhs, rhs = instruction.operands[0].shape, instruction.operands[1].shape
+        flops = spec.flop_count(lhs, rhs)
+        m, k, n = spec.matmul_dims(lhs, rhs)
+        achieved = self.chip.peak_flops * self.efficiency(m, k, n)
+        return flops / achieved + self.chip.kernel_overhead
+
+    def memory_bound_time(self, instruction: Instruction) -> float:
+        """HBM traffic time of a memory-bound kernel.
+
+        Slicing ops only touch the slice region (XLA updates
+        DynamicUpdateSlice targets in place and never copies the rest of
+        the buffer), so they are charged for the moved bytes, not the full
+        operand tensors.
+        """
+        opcode = instruction.opcode
+        if opcode is Opcode.DYNAMIC_UPDATE_SLICE:
+            moved = 2 * instruction.operands[1].shape.byte_size
+        elif opcode in (Opcode.DYNAMIC_SLICE, Opcode.SLICE):
+            moved = 2 * instruction.shape.byte_size
+        elif opcode in (Opcode.PAD, Opcode.CONCATENATE, Opcode.RESHAPE,
+                        Opcode.TRANSPOSE):
+            moved = 2 * instruction.shape.byte_size
+        else:
+            read = sum(op.shape.byte_size for op in instruction.operands)
+            moved = read + instruction.shape.byte_size
+        return moved / self.chip.hbm_bandwidth + self.chip.kernel_overhead
+
+    # --- communication ----------------------------------------------------------
+
+    def _ring_collective_time(self, shard_bytes: int, ring: int) -> float:
+        """Bidirectional-ring AllGather/ReduceScatter: (N-1) shard steps
+        split over both link directions."""
+        if ring <= 1:
+            return 0.0
+        return (ring - 1) * shard_bytes / (2 * self.chip.link_bandwidth)
+
+    def collective_time(self, instruction: Instruction) -> float:
+        opcode = instruction.opcode
+        if opcode is Opcode.ALL_GATHER:
+            ring = ring_size_of_groups(instruction.groups)
+            return self._ring_collective_time(
+                instruction.operands[0].shape.byte_size, ring
+            )
+        if opcode is Opcode.REDUCE_SCATTER:
+            ring = ring_size_of_groups(instruction.groups)
+            return self._ring_collective_time(instruction.shape.byte_size, ring)
+        if opcode is Opcode.ALL_REDUCE:
+            ring = ring_size_of_groups(instruction.groups)
+            shard = instruction.shape.byte_size // max(ring, 1)
+            return 2 * self._ring_collective_time(shard, ring)
+        if opcode is Opcode.ALL_TO_ALL:
+            ring = ring_size_of_groups(instruction.groups)
+            if ring <= 1:
+                return 0.0
+            local = instruction.operands[0].shape.byte_size
+            # Each link direction carries ~N/8 of a device's payload on a
+            # ring; small rings degenerate to the pairwise-exchange bound.
+            bisection = local * ring / (8 * self.chip.link_bandwidth)
+            pairwise = (ring - 1) / ring * local / (2 * self.chip.link_bandwidth)
+            return max(bisection, pairwise)
+        raise ValueError(f"not a sync collective: {instruction.opcode.value}")
+
+    def permute_time(self, instruction: Instruction, mesh: DeviceMesh) -> float:
+        """Transfer time of a CollectivePermute('s start/done pair)."""
+        if instruction.opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+            instruction = instruction.operands[0]
+        route = route_of_permute(instruction, mesh)
+        bytes_moved = instruction.operands[0].shape.byte_size
+        return route.hop_distance * bytes_moved / self.chip.link_bandwidth
+
+    # --- generic dispatch ---------------------------------------------------------
+
+    def instruction_time(
+        self, instruction: Instruction, mesh: Optional[DeviceMesh] = None
+    ) -> float:
+        opcode = instruction.opcode
+        if opcode is Opcode.EINSUM:
+            return self.einsum_time(instruction)
+        if opcode in ELEMENTWISE_OPS or opcode in DATA_MOVEMENT_OPS:
+            return self.memory_bound_time(instruction)
+        if opcode in (
+            Opcode.ALL_GATHER,
+            Opcode.REDUCE_SCATTER,
+            Opcode.ALL_REDUCE,
+            Opcode.ALL_TO_ALL,
+        ):
+            return self.collective_time(instruction)
+        if opcode is Opcode.COLLECTIVE_PERMUTE:
+            if mesh is None:
+                raise ValueError("permute timing needs the device mesh")
+            return self.permute_time(instruction, mesh)
+        # parameters, constants, zeros, start/done markers: free on the
+        # compute stream (transfers are modelled by the simulator).
+        return 0.0

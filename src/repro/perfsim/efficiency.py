@@ -1,0 +1,45 @@
+"""Matmul efficiency model.
+
+Achieved matmul FLOPS on a systolic accelerator degrade when any of the
+(m, k, n) extents is small relative to the MXU tile — the effect behind the
+paper's observation that "narrower model architectures" (GLaM, BigSSL)
+reach only ~40% utilization, and behind the benefit of bidirectional
+transfer (doubling the per-iteration operand size raises efficiency,
+Section 5.4.2).
+
+We model the achieved fraction of peak as a separable product of
+saturation terms, one per matmul extent:
+
+    eff(m, k, n) = base * s(m) * s(k) * s(n),   s(d) = d / (d + d_half)
+
+with ``d_half`` the extent at which the dimension reaches half of its
+asymptotic efficiency. This captures the qualitative shape (monotone,
+saturating, multiplicative penalties) without pretending to model a real
+MXU pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class EfficiencyModel:
+    """Separable saturation model of matmul efficiency."""
+
+    base: float = 0.92        # asymptotic fraction of peak for huge matmuls
+    half_point_m: float = 64.0
+    half_point_k: float = 64.0
+    half_point_n: float = 64.0
+
+    def __call__(self, m: int, k: int, n: int) -> float:
+        if min(m, k, n) <= 0:
+            raise ValueError(f"matmul extents must be positive: {(m, k, n)}")
+        eff = self.base
+        eff *= m / (m + self.half_point_m)
+        eff *= k / (k + self.half_point_k)
+        eff *= n / (n + self.half_point_n)
+        return eff
+
+
+DEFAULT_EFFICIENCY = EfficiencyModel()

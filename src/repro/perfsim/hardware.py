@@ -1,0 +1,53 @@
+"""Hardware descriptions for the performance model.
+
+The paper evaluates on TPU v4 pods. We model a chip by the three numbers
+the overlap trade-off depends on: peak matmul FLOPS, HBM bandwidth (cost of
+memory-bound ops and unfused element-wise traffic), and the per-direction
+bandwidth of one InterChip Interconnect (ICI) link. Section 5.4.2 notes the
+ICI provides high bandwidth *in both directions* — each (axis, direction)
+is an independent resource in the simulator.
+
+Numbers are public TPU v4 figures (275 TFLOP/s bf16, ~1.2 TB/s HBM) with an
+ICI per-link-direction bandwidth in the published 40-50 GB/s range. The
+reproduction targets relative behaviour, not absolute step times.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class ChipSpec:
+    """One accelerator chip."""
+
+    name: str
+    peak_flops: float            # FLOP/s at the matmul unit (bf16)
+    hbm_bandwidth: float         # bytes/s
+    link_bandwidth: float        # bytes/s per ICI link per direction
+    kernel_overhead: float       # seconds of fixed launch cost per kernel
+    max_in_flight_collectives: int  # sync-flag budget (Section 5.2)
+
+    def __post_init__(self) -> None:
+        if min(self.peak_flops, self.hbm_bandwidth, self.link_bandwidth) <= 0:
+            raise ValueError("hardware rates must be positive")
+
+
+TPU_V4 = ChipSpec(
+    name="tpu-v4-like",
+    peak_flops=275e12,
+    hbm_bandwidth=1.2e12,
+    # Per logical-mesh-axis direction. The 3D ICI torus gives each chip six
+    # links of ~45 GB/s; a 2D logical mesh maps each logical axis onto
+    # roughly two physical links per direction.
+    link_bandwidth=90e9,
+    kernel_overhead=1.5e-6,
+    max_in_flight_collectives=8,
+)
+
+#: A deliberately communication-starved variant, used by tests and the
+#: discussion-section experiments (Section 7.2: "interconnects with low
+#: performance ... benefits will be reduced").
+SLOW_INTERCONNECT = dataclasses.replace(
+    TPU_V4, name="slow-interconnect", link_bandwidth=5e9
+)

@@ -1,0 +1,93 @@
+"""Step reports produced by the performance simulator."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+
+@dataclasses.dataclass
+class StepReport:
+    """Timing breakdown of one simulated program on one device.
+
+    All times are seconds on the representative device (exact for SPMD
+    programs on symmetric rings). ``exposed`` communication is time the
+    compute stream spent stalled; ``hidden_transfer_time`` is async
+    transfer time that ran under computation — the quantity the paper's
+    technique maximizes.
+    """
+
+    total_time: float
+    compute_time: float
+    sync_collective_time: float
+    permute_wait_time: float
+    transfer_time_total: float
+    flops: float
+    link_bytes: Dict[Tuple[str, str], int]
+    peak_flops: float
+
+    @property
+    def exposed_communication_time(self) -> float:
+        return self.sync_collective_time + self.permute_wait_time
+
+    @property
+    def hidden_transfer_time(self) -> float:
+        return max(0.0, self.transfer_time_total - self.permute_wait_time)
+
+    @property
+    def communication_fraction(self) -> float:
+        if self.total_time <= 0:
+            return 0.0
+        return self.exposed_communication_time / self.total_time
+
+    @property
+    def flops_utilization(self) -> float:
+        """Achieved fraction of the chip's peak FLOPS."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.flops / (self.total_time * self.peak_flops)
+
+    def scaled(self, repeats: int) -> "StepReport":
+        """The report for ``repeats`` back-to-back executions (layers)."""
+        return StepReport(
+            total_time=self.total_time * repeats,
+            compute_time=self.compute_time * repeats,
+            sync_collective_time=self.sync_collective_time * repeats,
+            permute_wait_time=self.permute_wait_time * repeats,
+            transfer_time_total=self.transfer_time_total * repeats,
+            flops=self.flops * repeats,
+            link_bytes={k: v * repeats for k, v in self.link_bytes.items()},
+            peak_flops=self.peak_flops,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StepReport(total={self.total_time * 1e3:.3f}ms, "
+            f"compute={self.compute_time * 1e3:.3f}ms, "
+            f"exposed_comm={self.exposed_communication_time * 1e3:.3f}ms, "
+            f"util={self.flops_utilization:.1%})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyReport:
+    """Section 6.4: power stays flat, so energy follows execution time."""
+
+    baseline_time: float
+    optimized_time: float
+    chip_power_watts: float
+    num_chips: int
+
+    @property
+    def baseline_energy_joules(self) -> float:
+        return self.baseline_time * self.chip_power_watts * self.num_chips
+
+    @property
+    def optimized_energy_joules(self) -> float:
+        return self.optimized_time * self.chip_power_watts * self.num_chips
+
+    @property
+    def energy_reduction(self) -> float:
+        if self.optimized_energy_joules <= 0:
+            return 1.0
+        return self.baseline_energy_joules / self.optimized_energy_joules

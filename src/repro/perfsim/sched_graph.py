@@ -1,0 +1,198 @@
+"""The scheduling graph: fusion groups as atomic units.
+
+Both schedulers (and the performance simulator's notion of a kernel)
+operate on *units*: a fusion group is one indivisible kernel — its members
+stay contiguous in the final order and the kernel starts only when every
+external input is ready. Everything else is a singleton unit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.perfsim.costs import CostModel
+from repro.hlo.instruction import Instruction
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+from repro.sharding.mesh import DeviceMesh
+
+
+@dataclasses.dataclass
+class ScheduleUnit:
+    """One atomic schedulable item (a fused kernel or a lone instruction)."""
+
+    index: int
+    members: List[Instruction]
+
+    @property
+    def head(self) -> Instruction:
+        return self.members[0]
+
+    @property
+    def tail(self) -> Instruction:
+        return self.members[-1]
+
+    @property
+    def is_permute_start(self) -> bool:
+        return (
+            len(self.members) == 1
+            and self.head.opcode is Opcode.COLLECTIVE_PERMUTE_START
+        )
+
+    @property
+    def is_permute_done(self) -> bool:
+        return (
+            len(self.members) == 1
+            and self.head.opcode is Opcode.COLLECTIVE_PERMUTE_DONE
+        )
+
+    def __repr__(self) -> str:
+        names = ",".join(m.name for m in self.members)
+        return f"Unit#{self.index}[{names}]"
+
+
+@dataclasses.dataclass
+class ScheduleGraph:
+    """Units plus their dependence structure over one module."""
+
+    module: HloModule
+    units: List[ScheduleUnit]
+    unit_of: Dict[int, ScheduleUnit]          # id(instruction) -> unit
+    predecessors: Dict[int, List[ScheduleUnit]]  # unit.index -> producer units
+    successors: Dict[int, List[ScheduleUnit]]    # unit.index -> consumer units
+
+    @staticmethod
+    def build(module: HloModule) -> "ScheduleGraph":
+        """Group instructions by ``fusion_group`` (program order within a
+        group is preserved) and derive unit-level dependencies.
+
+        A fused unit is positioned at its *last* member: a group may span
+        values produced between its first and last members (e.g. the two
+        loop-carried copies of a bidirectional loop iteration), and only
+        at the last member's position are all external inputs available.
+        Absorbed members have no external users (fusion only absorbs
+        single-user producers), so delaying them is always legal.
+        """
+        group_members: Dict[int, List[Instruction]] = {}
+        group_last: Dict[int, Instruction] = {}
+        for instruction in module:
+            group = instruction.fusion_group
+            if group is not None:
+                group_members.setdefault(group, []).append(instruction)
+                group_last[group] = instruction
+
+        units: List[ScheduleUnit] = []
+        unit_of: Dict[int, ScheduleUnit] = {}
+
+        def emit(members: List[Instruction]) -> None:
+            unit = ScheduleUnit(index=len(units), members=members)
+            units.append(unit)
+            for member in members:
+                unit_of[id(member)] = unit
+
+        for instruction in module:
+            group = instruction.fusion_group
+            if group is None:
+                emit([instruction])
+            elif group_last[group] is instruction:
+                emit(group_members[group])
+
+        predecessors: Dict[int, List[ScheduleUnit]] = {u.index: [] for u in units}
+        successors: Dict[int, List[ScheduleUnit]] = {u.index: [] for u in units}
+        for unit in units:
+            seen = set()
+            for member in unit.members:
+                for operand in member.operands:
+                    producer = unit_of[id(operand)]
+                    if producer is unit or producer.index in seen:
+                        continue
+                    seen.add(producer.index)
+                    predecessors[unit.index].append(producer)
+                    successors[producer.index].append(unit)
+        return ScheduleGraph(module, units, unit_of, predecessors, successors)
+
+    def compute_time(
+        self, unit: ScheduleUnit, cost_model: CostModel, mesh: DeviceMesh
+    ) -> float:
+        """Compute-stream occupancy of a unit.
+
+        A fused kernel is charged its einsum members plus one kernel
+        overhead; fused element-wise/data-movement members ride along for
+        free (that is what fusion buys, Section 5.4.3). Permute starts and
+        dones occupy (almost) no compute time — the transfer itself is the
+        simulator's business. Remaining sync collectives block for their
+        full estimated time.
+        """
+        if unit.is_permute_start or unit.is_permute_done:
+            return 0.0
+        if len(unit.members) == 1:
+            head = unit.head
+            if head.opcode in (Opcode.SLICE, Opcode.DYNAMIC_SLICE):
+                users = self.successors[unit.index]
+                if users and all(
+                    u.is_permute_start or u.head.is_communication()
+                    for u in users
+                ):
+                    # A slice consumed only by transfers is an aliased
+                    # view — the collective reads the subrange in place.
+                    return 0.0
+            return cost_model.instruction_time(head, mesh)
+        einsum_time = sum(
+            cost_model.einsum_time(m)
+            for m in unit.members
+            if m.opcode is Opcode.EINSUM
+        )
+        if einsum_time > 0.0:
+            return einsum_time
+        return max(
+            cost_model.instruction_time(m, mesh) for m in unit.members
+        )
+
+    def transfer_time(
+        self, unit: ScheduleUnit, cost_model: CostModel, mesh: DeviceMesh
+    ) -> float:
+        """Link occupancy of a permute start/done unit."""
+        member = unit.head
+        if member.opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+            member = member.operands[0]
+        return cost_model.permute_time(member, mesh)
+
+    def flatten(self, unit_order: Sequence[ScheduleUnit]) -> List[Instruction]:
+        """Expand a unit order into an instruction order."""
+        instructions: List[Instruction] = []
+        for unit in unit_order:
+            instructions.extend(unit.members)
+        return instructions
+
+    def apply(self, unit_order: Sequence[ScheduleUnit]) -> None:
+        """Reorder the module according to a unit order."""
+        self.module.reorder(self.flatten(unit_order))
+
+
+def validate_unit_order(
+    graph: ScheduleGraph, unit_order: Sequence[ScheduleUnit]
+) -> None:
+    """Raise if a unit precedes one of its producers."""
+    position = {unit.index: i for i, unit in enumerate(unit_order)}
+    if len(position) != len(graph.units):
+        raise ValueError("unit order is not a permutation of the graph")
+    for unit in unit_order:
+        for producer in graph.predecessors[unit.index]:
+            if position[producer.index] >= position[unit.index]:
+                raise ValueError(
+                    f"{unit} scheduled before its producer {producer}"
+                )
+
+
+def max_in_flight(instructions: Sequence[Instruction]) -> int:
+    """Largest number of simultaneously outstanding async permutes."""
+    outstanding = 0
+    worst = 0
+    for instruction in instructions:
+        if instruction.opcode is Opcode.COLLECTIVE_PERMUTE_START:
+            outstanding += 1
+            worst = max(worst, outstanding)
+        elif instruction.opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+            outstanding -= 1
+    return worst

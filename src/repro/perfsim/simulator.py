@@ -1,0 +1,178 @@
+"""Discrete-event performance simulation of a scheduled SPMD program.
+
+The simulator walks one representative device's instruction schedule (by
+SPMD symmetry every device runs the same program and every torus link in a
+given direction carries the same traffic — exact for uniform-shard ring
+programs):
+
+* **compute stream** — fused kernels, element-wise ops and blocking
+  collectives execute in program order, each starting when its inputs are
+  ready;
+* **link resources** — every (mesh axis, ring direction) pair is an
+  independent bandwidth channel. ``collective-permute-start`` enqueues a
+  transfer on its channel at issue time; the matching ``done`` stalls the
+  compute stream until the transfer completes. Stall time is the *exposed*
+  communication the paper's scheduling tries to eliminate.
+
+Fusion groups are atomic: the kernel starts when all external inputs are
+ready — which is precisely how a bad fusion decision (Figure 11 (a))
+serializes a transfer with computation that should have hidden it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.perfsim.costs import CostModel
+from repro.perfsim.sched_graph import ScheduleGraph, ScheduleUnit
+from repro.hlo.einsum_spec import EinsumSpec
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import SYNC_COLLECTIVES, Opcode
+from repro.perfsim.efficiency import DEFAULT_EFFICIENCY, EfficiencyModel
+from repro.perfsim.hardware import TPU_V4, ChipSpec
+from repro.perfsim.metrics import StepReport
+from repro.perfsim.topology import route_of_permute
+from repro.perfsim.trace import COLLECTIVE, COMPUTE, STALL, TRANSFER, Trace
+from repro.sharding.mesh import DeviceMesh
+
+
+@dataclasses.dataclass
+class _Transfer:
+    """An in-flight asynchronous permute."""
+
+    completes_at: float
+    duration: float
+
+
+class Simulator:
+    """Simulates scheduled modules on a chip/mesh pair."""
+
+    def __init__(
+        self,
+        mesh: DeviceMesh,
+        chip: ChipSpec = TPU_V4,
+        efficiency: Optional[EfficiencyModel] = None,
+    ) -> None:
+        self.mesh = mesh
+        self.chip = chip
+        self.cost_model = CostModel(chip, efficiency or DEFAULT_EFFICIENCY)
+
+    def run(
+        self, module: HloModule, trace: Optional[Trace] = None
+    ) -> StepReport:
+        """Walk the module; optionally record a full timeline in ``trace``."""
+        graph = ScheduleGraph.build(module)
+        cost_model = self.cost_model
+        mesh = self.mesh
+
+        clock = 0.0
+        compute_time = 0.0
+        sync_collective_time = 0.0
+        permute_wait_time = 0.0
+        transfer_time_total = 0.0
+        flops = 0.0
+        link_free: Dict[Tuple[str, str], float] = {}
+        link_bytes: Dict[Tuple[str, str], int] = {}
+        in_flight: Dict[int, _Transfer] = {}  # id(start instruction) -> state
+        finish: Dict[int, float] = {}         # unit.index -> value-ready time
+
+        for unit in graph.units:
+            inputs_ready = max(
+                (finish[p.index] for p in graph.predecessors[unit.index]),
+                default=0.0,
+            )
+            if unit.is_permute_start:
+                issue = max(clock, inputs_ready)
+                route = route_of_permute(unit.head, mesh)
+                duration = graph.transfer_time(unit, cost_model, mesh)
+                resource = route.resource
+                begin = max(issue, link_free.get(resource, 0.0))
+                completes = begin + duration
+                link_free[resource] = completes
+                link_bytes[resource] = link_bytes.get(resource, 0) + (
+                    route.hop_distance * unit.head.operands[0].shape.byte_size
+                )
+                in_flight[id(unit.head)] = _Transfer(completes, duration)
+                transfer_time_total += duration
+                if trace is not None:
+                    trace.add(
+                        unit.head.name, TRANSFER,
+                        f"link:{resource[0]}:{resource[1]}", begin, completes,
+                    )
+                clock = issue
+                finish[unit.index] = issue
+                continue
+            if unit.is_permute_done:
+                transfer = in_flight.pop(id(unit.head.operands[0]))
+                stall = max(0.0, transfer.completes_at - clock)
+                permute_wait_time += stall
+                if trace is not None and stall > 0:
+                    trace.add(
+                        unit.head.name, STALL, "compute",
+                        clock, transfer.completes_at,
+                    )
+                clock = max(clock, transfer.completes_at)
+                finish[unit.index] = clock
+                continue
+
+            duration = graph.compute_time(unit, cost_model, mesh)
+            begin = max(clock, inputs_ready)
+            clock = begin + duration
+            finish[unit.index] = clock
+            if any(m.opcode in SYNC_COLLECTIVES for m in unit.members):
+                sync_collective_time += duration
+                if trace is not None:
+                    trace.add(unit.tail.name, COLLECTIVE, "compute", begin, clock)
+            else:
+                compute_time += duration
+                if trace is not None:
+                    trace.add(unit.tail.name, COMPUTE, "compute", begin, clock)
+            flops += _unit_flops(unit)
+
+        if in_flight:
+            names = ", ".join(str(key) for key in in_flight)
+            raise RuntimeError(f"transfers never completed: {names}")
+        return StepReport(
+            total_time=clock,
+            compute_time=compute_time,
+            sync_collective_time=sync_collective_time,
+            permute_wait_time=permute_wait_time,
+            transfer_time_total=transfer_time_total,
+            flops=flops,
+            link_bytes=link_bytes,
+            peak_flops=self.chip.peak_flops,
+        )
+
+
+def _unit_flops(unit: ScheduleUnit) -> float:
+    total = 0.0
+    for member in unit.members:
+        if member.opcode is Opcode.EINSUM:
+            spec = EinsumSpec.parse(member.equation)
+            total += spec.flop_count(
+                member.operands[0].shape, member.operands[1].shape
+            )
+    return total
+
+
+def simulate(
+    module: HloModule,
+    mesh: DeviceMesh,
+    chip: ChipSpec = TPU_V4,
+    efficiency: Optional[EfficiencyModel] = None,
+) -> StepReport:
+    """One-shot convenience wrapper."""
+    return Simulator(mesh, chip, efficiency).run(module)
+
+
+def simulate_with_trace(
+    module: HloModule,
+    mesh: DeviceMesh,
+    chip: ChipSpec = TPU_V4,
+    efficiency: Optional[EfficiencyModel] = None,
+) -> Tuple[StepReport, Trace]:
+    """Simulate and return the full timeline alongside the report."""
+    trace = Trace()
+    report = Simulator(mesh, chip, efficiency).run(module, trace=trace)
+    return report, trace

@@ -1,0 +1,120 @@
+"""Interconnect topology: mapping CollectivePermutes onto torus links.
+
+The device mesh's axes are physical rings (TPU ICI torus dimensions); each
+(axis, direction) is an independent bandwidth resource on every chip. A
+CollectivePermute whose source/destination pairs shift the ring by ``k``
+positions keeps every link in that direction busy for ``k`` shard-times
+(circular shifts are relayed hop by hop, and by SPMD symmetry every link
+carries the same load).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from typing import Sequence, Tuple
+
+from repro.sharding.mesh import DeviceMesh
+
+#: Ring directions. MINUS is the direction of decreasing ring coordinate
+#: (the paper's counterclockwise / "left" shift), PLUS the opposite.
+MINUS = "minus"
+PLUS = "plus"
+
+
+class TopologyError(ValueError):
+    """Raised when a permute does not map onto a single torus axis."""
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkRoute:
+    """Where a CollectivePermute's traffic flows."""
+
+    axis: str
+    direction: str
+    hop_distance: int
+
+    @property
+    def resource(self) -> Tuple[str, str]:
+        """The (axis, direction) bandwidth resource this route occupies."""
+        return (self.axis, self.direction)
+
+
+def classify_permute(
+    pairs: Sequence[Tuple[int, int]],
+    mesh: DeviceMesh,
+    direction_hint: str = None,
+) -> LinkRoute:
+    """Classify a permute's pairs as a uniform shift along one mesh axis.
+
+    Every pair must move data the same signed distance along the same
+    axis — true for every permute the decomposition emits (ring shifts of
+    distance 1 or 2, in either direction). On a two-device ring the two
+    directions produce identical pairs, so emitters attach an explicit
+    ``direction`` attribute which callers pass as ``direction_hint``. The
+    result is cached on the pair set: a decomposed loop reuses the same
+    few shifts thousands of times during simulation.
+    """
+    return _classify_cached(tuple(pairs), mesh, direction_hint)
+
+
+def route_of_permute(instruction, mesh: DeviceMesh) -> LinkRoute:
+    """Route of a collective-permute(-start/done) instruction."""
+    from repro.hlo.opcode import Opcode
+
+    if instruction.opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+        instruction = instruction.operands[0]
+    return classify_permute(
+        instruction.pairs, mesh, instruction.attrs.get("direction")
+    )
+
+
+@functools.lru_cache(maxsize=4096)
+def _classify_cached(
+    pairs: Tuple[Tuple[int, int], ...],
+    mesh: DeviceMesh,
+    direction_hint: str = None,
+) -> LinkRoute:
+    if not pairs:
+        raise TopologyError("permute has no source/destination pairs")
+    route = None
+    for src, dst in pairs:
+        src_coords = mesh.coordinates(src)
+        dst_coords = mesh.coordinates(dst)
+        changed = [
+            i for i in range(mesh.rank) if src_coords[i] != dst_coords[i]
+        ]
+        if len(changed) != 1:
+            raise TopologyError(
+                f"pair {(src, dst)} changes {len(changed)} axes; expected 1"
+            )
+        axis_index = changed[0]
+        size = mesh.axis_sizes[axis_index]
+        delta = (dst_coords[axis_index] - src_coords[axis_index]) % size
+        # A shift of delta in PLUS direction equals size-delta in MINUS;
+        # honour the emitter's hint, otherwise take the shorter route.
+        if direction_hint == PLUS:
+            this = LinkRoute(mesh.axis_names[axis_index], PLUS, delta)
+        elif direction_hint == MINUS:
+            this = LinkRoute(
+                mesh.axis_names[axis_index], MINUS, (size - delta) % size
+            )
+        elif delta <= size - delta:
+            this = LinkRoute(mesh.axis_names[axis_index], PLUS, delta)
+        else:
+            this = LinkRoute(mesh.axis_names[axis_index], MINUS, size - delta)
+        if route is None:
+            route = this
+        elif route != this:
+            raise TopologyError(
+                f"non-uniform permute: {route} vs {this} in pairs {pairs}"
+            )
+    assert route is not None
+    return route
+
+
+def ring_size_of_groups(groups: Sequence[Tuple[int, ...]]) -> int:
+    """The uniform group size of a subgroup collective."""
+    if not groups:
+        raise TopologyError("collective has no replica groups")
+    return len(groups[0])

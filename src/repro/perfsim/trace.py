@@ -1,0 +1,107 @@
+"""Execution traces: per-kernel/per-transfer timelines from the simulator.
+
+A :class:`Trace` is the simulator's full account of one run — when every
+kernel occupied the compute stream, when every transfer occupied its
+link, and where the compute stream stalled. It backs the ASCII timeline
+renderer used by the examples and gives tests a way to assert *where*
+time went, not just how much.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+COMPUTE = "compute"
+COLLECTIVE = "collective"
+TRANSFER = "transfer"
+STALL = "stall"
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One occupancy interval on one resource."""
+
+    name: str
+    kind: str                      # COMPUTE / COLLECTIVE / TRANSFER / STALL
+    resource: str                  # "compute" or "link:<axis>:<direction>"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclasses.dataclass
+class Trace:
+    """All events of one simulated run, in issue order."""
+
+    events: List[TraceEvent] = dataclasses.field(default_factory=list)
+
+    def add(self, name, kind, resource, start, end) -> None:
+        if end > start:
+            self.events.append(TraceEvent(name, kind, resource, start, end))
+
+    @property
+    def total_time(self) -> float:
+        return max((e.end for e in self.events), default=0.0)
+
+    def on_resource(self, resource: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.resource == resource]
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def busy_time(self, resource: str) -> float:
+        return sum(e.duration for e in self.on_resource(resource))
+
+    def resources(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.resource, None)
+        return list(seen)
+
+    def validate(self) -> None:
+        """No resource may host two overlapping events."""
+        for resource in self.resources():
+            events = sorted(self.on_resource(resource), key=lambda e: e.start)
+            for before, after in zip(events, events[1:]):
+                if after.start < before.end - 1e-12:
+                    raise ValueError(
+                        f"overlap on {resource}: {before.name} "
+                        f"[{before.start:.3e}, {before.end:.3e}) vs "
+                        f"{after.name} [{after.start:.3e}, {after.end:.3e})"
+                    )
+
+
+_KIND_GLYPH = {COMPUTE: "#", COLLECTIVE: "C", TRANSFER: "=", STALL: "."}
+
+
+def format_timeline(
+    trace: Trace, width: int = 72, resources: Optional[Sequence[str]] = None
+) -> str:
+    """Render a trace as one ASCII lane per resource.
+
+    ``#`` compute, ``C`` blocking collective, ``=`` transfer, ``.`` stall;
+    spaces are idle time. Each lane is scaled to the trace's total time.
+    """
+    total = trace.total_time
+    if total <= 0:
+        return "(empty trace)"
+    lanes = resources if resources is not None else trace.resources()
+    label_width = max(len(lane) for lane in lanes)
+    lines = []
+    for lane in lanes:
+        cells = [" "] * width
+        for event in trace.on_resource(lane):
+            lo = int(event.start / total * width)
+            hi = max(lo + 1, int(round(event.end / total * width)))
+            glyph = _KIND_GLYPH.get(event.kind, "?")
+            for cell in range(lo, min(hi, width)):
+                cells[cell] = glyph
+        lines.append(f"{lane.ljust(label_width)} |{''.join(cells)}|")
+    lines.append(
+        f"{''.ljust(label_width)}  0{'-' * (width - 8)}{total * 1e3:6.2f}ms"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Functional multi-device runtime: the correctness oracle."""
+
+from repro.runtime.collectives import (
+    all_gather,
+    all_reduce,
+    all_to_all,
+    collective_permute,
+    reduce_scatter,
+)
+from repro.runtime.executor import ExecutionError, Executor, run_spmd
+from repro.runtime.memory import MemoryProfile, profile_memory
+
+__all__ = [
+    "ExecutionError",
+    "Executor",
+    "MemoryProfile",
+    "all_gather",
+    "all_reduce",
+    "all_to_all",
+    "collective_permute",
+    "profile_memory",
+    "reduce_scatter",
+    "run_spmd",
+]

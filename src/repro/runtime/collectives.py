@@ -1,0 +1,96 @@
+"""Reference numpy implementations of the MPI-style collectives.
+
+Each function maps *per-device* input arrays (indexed by device id) to
+per-device outputs, following the XLA operational semantics the paper's
+Section 2.1 summarizes. These are the ground truth the functional executor
+uses; the decomposed CollectivePermute sequences produced by the overlap
+passes must reproduce them exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+Groups = Sequence[Tuple[int, ...]]
+PerDevice = List[np.ndarray]
+
+
+def _group_of(device: int, groups: Groups) -> Tuple[int, ...]:
+    for group in groups:
+        if device in group:
+            return group
+    raise ValueError(f"device {device} missing from replica groups {groups}")
+
+
+def all_gather(inputs: PerDevice, dim: int, groups: Groups) -> PerDevice:
+    """Concatenate the group's shards along ``dim`` on every member."""
+    outputs: List[np.ndarray] = [None] * len(inputs)  # type: ignore[list-item]
+    for group in groups:
+        gathered = np.concatenate([inputs[d] for d in group], axis=dim)
+        for device in group:
+            outputs[device] = gathered.copy()
+    return outputs
+
+
+def reduce_scatter(inputs: PerDevice, dim: int, groups: Groups) -> PerDevice:
+    """Element-wise sum over the group, then shard along ``dim``."""
+    outputs: List[np.ndarray] = [None] * len(inputs)  # type: ignore[list-item]
+    for group in groups:
+        total = np.sum([inputs[d] for d in group], axis=0)
+        shards = np.split(total, len(group), axis=dim)
+        for position, device in enumerate(group):
+            outputs[device] = shards[position].copy()
+    return outputs
+
+
+def all_reduce(inputs: PerDevice, groups: Groups) -> PerDevice:
+    """Element-wise sum over the group, replicated on every member."""
+    outputs: List[np.ndarray] = [None] * len(inputs)  # type: ignore[list-item]
+    for group in groups:
+        total = np.sum([inputs[d] for d in group], axis=0)
+        for device in group:
+            outputs[device] = total.copy()
+    return outputs
+
+
+def all_to_all(
+    inputs: PerDevice, split_dim: int, concat_dim: int, groups: Groups
+) -> PerDevice:
+    """Device ``i`` of a group sends its ``j``-th split to device ``j``."""
+    outputs: List[np.ndarray] = [None] * len(inputs)  # type: ignore[list-item]
+    for group in groups:
+        splits = {d: np.split(inputs[d], len(group), axis=split_dim) for d in group}
+        for position, device in enumerate(group):
+            received = [splits[peer][position] for peer in group]
+            outputs[device] = np.concatenate(received, axis=concat_dim)
+    return outputs
+
+
+def collective_permute(
+    inputs: PerDevice, pairs: Sequence[Tuple[int, int]]
+) -> PerDevice:
+    """Point-to-point sends; devices receiving nothing get zeros.
+
+    This matches XLA: a device that is not the destination of any pair
+    produces a zero-filled result, and a device may appear as source and
+    destination of different pairs simultaneously (the ring shifts the
+    decomposition emits rely on this).
+    """
+    destinations: Dict[int, int] = {}
+    sources_seen = set()
+    for src, dst in pairs:
+        if dst in destinations:
+            raise ValueError(f"device {dst} is the destination of two pairs")
+        if src in sources_seen:
+            raise ValueError(f"device {src} is the source of two pairs")
+        sources_seen.add(src)
+        destinations[dst] = src
+    outputs: List[np.ndarray] = []
+    for device, value in enumerate(inputs):
+        if device in destinations:
+            outputs.append(inputs[destinations[device]].copy())
+        else:
+            outputs.append(np.zeros_like(value))
+    return outputs

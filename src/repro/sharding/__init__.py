@@ -1,0 +1,43 @@
+"""SPMD sharding substrate: meshes, specs, propagation, partitioner."""
+
+from repro.sharding.mesh import DeviceMesh
+from repro.sharding.partitioner import (
+    LogicalAllReduce,
+    LogicalAllToAll,
+    LogicalEinsum,
+    LogicalGraph,
+    LogicalPointwise,
+    LogicalReshard,
+    LogicalTensor,
+    partition,
+)
+from repro.sharding.propagation import (
+    EinsumShardingPlan,
+    GatherDecision,
+    ReduceDecision,
+    ShardingError,
+    plan_einsum,
+)
+from repro.sharding.sharder import random_arguments, shard_array, unit_mesh_like
+from repro.sharding.spec import ShardingSpec
+
+__all__ = [
+    "DeviceMesh",
+    "EinsumShardingPlan",
+    "GatherDecision",
+    "LogicalAllReduce",
+    "LogicalAllToAll",
+    "LogicalEinsum",
+    "LogicalGraph",
+    "LogicalPointwise",
+    "LogicalReshard",
+    "LogicalTensor",
+    "ReduceDecision",
+    "ShardingError",
+    "ShardingSpec",
+    "partition",
+    "plan_einsum",
+    "random_arguments",
+    "shard_array",
+    "unit_mesh_like",
+]

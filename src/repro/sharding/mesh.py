@@ -1,0 +1,128 @@
+"""Logical device meshes.
+
+Devices form a logical mesh (1D ring, 2D mesh/torus, or higher). Sharding
+specs map tensor dimensions onto mesh axes; collectives operate on the
+*rings* of one axis — the subgroups of devices that differ only in that
+axis's coordinate (Section 2.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+from typing import Dict, List, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceMesh:
+    """An N-dimensional logical mesh of devices.
+
+    ``axis_names`` name the mesh dimensions (the paper uses ``x`` and ``y``
+    for its [M, N] torus); ``axis_sizes`` give the device count along each.
+    Device ids are assigned in row-major order over the coordinates.
+    """
+
+    axis_names: Tuple[str, ...]
+    axis_sizes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.axis_names) != len(self.axis_sizes):
+            raise ValueError("axis_names and axis_sizes must align")
+        if len(set(self.axis_names)) != len(self.axis_names):
+            raise ValueError(f"duplicate axis names: {self.axis_names}")
+        if any(s <= 0 for s in self.axis_sizes):
+            raise ValueError(f"axis sizes must be positive: {self.axis_sizes}")
+
+    @staticmethod
+    def ring(num_devices: int, axis_name: str = "x") -> "DeviceMesh":
+        """A 1D mesh (logical ring) of ``num_devices`` devices."""
+        return DeviceMesh((axis_name,), (num_devices,))
+
+    @staticmethod
+    def grid(shape: Dict[str, int]) -> "DeviceMesh":
+        """A mesh from an ordered ``{axis_name: size}`` mapping."""
+        return DeviceMesh(tuple(shape.keys()), tuple(shape.values()))
+
+    @property
+    def num_devices(self) -> int:
+        return math.prod(self.axis_sizes)
+
+    @property
+    def rank(self) -> int:
+        return len(self.axis_sizes)
+
+    def axis_size(self, axis_name: str) -> int:
+        return self.axis_sizes[self.axis_index(axis_name)]
+
+    def axis_index(self, axis_name: str) -> int:
+        try:
+            return self.axis_names.index(axis_name)
+        except ValueError:
+            raise ValueError(
+                f"unknown mesh axis {axis_name!r}; have {self.axis_names}"
+            ) from None
+
+    def coordinates(self, device_id: int) -> Tuple[int, ...]:
+        """Mesh coordinates of a device id (row-major order)."""
+        if not 0 <= device_id < self.num_devices:
+            raise ValueError(f"device id {device_id} out of range")
+        coords = []
+        remaining = device_id
+        for size in reversed(self.axis_sizes):
+            coords.append(remaining % size)
+            remaining //= size
+        return tuple(reversed(coords))
+
+    def device_id(self, coords: Tuple[int, ...]) -> int:
+        if len(coords) != self.rank:
+            raise ValueError(f"expected {self.rank} coordinates, got {coords}")
+        device = 0
+        for coord, size in zip(coords, self.axis_sizes):
+            if not 0 <= coord < size:
+                raise ValueError(f"coordinate {coords} out of mesh bounds")
+            device = device * size + coord
+        return device
+
+    def rings(self, axis_name: str) -> List[Tuple[int, ...]]:
+        """All device groups along ``axis_name``.
+
+        Each group holds the devices whose coordinates agree on every other
+        axis, ordered by the ``axis_name`` coordinate — the logical ring a
+        subgroup collective (and the decomposed CollectivePermute chain)
+        runs over.
+        """
+        axis = self.axis_index(axis_name)
+        other_axes = [i for i in range(self.rank) if i != axis]
+        groups: List[Tuple[int, ...]] = []
+        other_ranges = [range(self.axis_sizes[i]) for i in other_axes]
+        for other_coords in itertools.product(*other_ranges):
+            group = []
+            for k in range(self.axis_sizes[axis]):
+                coords = [0] * self.rank
+                for other_axis, coord in zip(other_axes, other_coords):
+                    coords[other_axis] = coord
+                coords[axis] = k
+                group.append(self.device_id(tuple(coords)))
+            groups.append(tuple(group))
+        return groups
+
+    def axis_stride(self, axis_name: str) -> int:
+        """Row-major device-id stride of one step along ``axis_name``.
+
+        A device's coordinate along the axis is
+        ``(device_id // stride) mod axis_size`` — the ``div`` field of
+        :class:`repro.hlo.instruction.ShardIndex`.
+        """
+        axis = self.axis_index(axis_name)
+        return math.prod(self.axis_sizes[axis + 1:]) if axis + 1 < self.rank else 1
+
+    def position_in_ring(self, device_id: int, axis_name: str) -> int:
+        """The device's coordinate along ``axis_name`` (its ring index)."""
+        return self.coordinates(device_id)[self.axis_index(axis_name)]
+
+    def __repr__(self) -> str:
+        dims = ", ".join(
+            f"{name}={size}" for name, size in zip(self.axis_names, self.axis_sizes)
+        )
+        return f"DeviceMesh({dims})"

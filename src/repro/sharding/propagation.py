@@ -1,0 +1,158 @@
+"""Einsum sharding resolution.
+
+Given the sharding specs of an einsum's operands and the desired output
+spec, decide which communication the SPMD partitioner must insert:
+
+* operand dimensions that must be **AllGathered** (the "construct the
+  weights on demand" pattern of Section 2.2);
+* mesh axes over which the local einsum produces **partial sums**
+  (contracting dimensions sharded identically on both operands), resolved
+  by a ReduceScatter when the output spec shards some dimension on that
+  axis, or an AllReduce otherwise;
+* dimensions the local einsum keeps sharded without any communication
+  (batch dims and free dims whose sharding matches the output spec).
+
+This is the single-axis subset of GSPMD's einsum handling — exactly what
+the paper's partitioning strategies (Figures 2 and 3) exercise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.hlo.einsum_spec import LHS, RHS, EinsumSpec
+from repro.sharding.spec import ShardingSpec
+
+
+class ShardingError(ValueError):
+    """Raised when operand shardings are inconsistent with the einsum."""
+
+
+@dataclasses.dataclass(frozen=True)
+class GatherDecision:
+    """One AllGather the partitioner must insert on an operand."""
+
+    operand: int          # LHS or RHS
+    dim: int              # operand dimension to gather
+    axis: str             # mesh axis to gather over
+
+
+@dataclasses.dataclass(frozen=True)
+class ReduceDecision:
+    """One partial-sum resolution at the einsum output."""
+
+    axis: str                     # mesh axis the partial sums live on
+    scatter_dim: Optional[int]    # output dim for ReduceScatter, or None
+                                  # for AllReduce
+
+
+@dataclasses.dataclass(frozen=True)
+class EinsumShardingPlan:
+    """The communication plan for one sharded einsum."""
+
+    gathers: Tuple[GatherDecision, ...]
+    reduces: Tuple[ReduceDecision, ...]
+    out_spec: ShardingSpec        # spec of the einsum result after reduces
+
+
+def plan_einsum(
+    spec: EinsumSpec,
+    lhs_spec: ShardingSpec,
+    rhs_spec: ShardingSpec,
+    out_spec: ShardingSpec,
+) -> EinsumShardingPlan:
+    """Resolve operand shardings into a gather/reduce plan.
+
+    The returned plan's ``out_spec`` may still differ from the requested
+    one on replicated-vs-sharded free dimensions; the partitioner handles
+    that residue with an explicit reshard.
+    """
+    gathers: List[GatherDecision] = []
+    reduces: List[ReduceDecision] = []
+
+    def label_axis(operand_spec: ShardingSpec, labels: str, label: str) -> Optional[str]:
+        index = labels.find(label)
+        return None if index < 0 else operand_spec.axis_of_dim(index)
+
+    result_axes: List[Optional[str]] = [None] * len(spec.out_labels)
+
+    # Contracting labels: matched shardings become partial sums; a label
+    # sharded on only one operand forces an AllGather of that operand dim.
+    for label in spec.contracting_labels:
+        lhs_axis = label_axis(lhs_spec, spec.lhs_labels, label)
+        rhs_axis = label_axis(rhs_spec, spec.rhs_labels, label)
+        if lhs_axis is not None and lhs_axis == rhs_axis:
+            scatter_dim = out_spec.dim_of_axis(lhs_axis)
+            reduces.append(ReduceDecision(lhs_axis, scatter_dim))
+            if scatter_dim is not None:
+                result_axes[scatter_dim] = lhs_axis
+            continue
+        if lhs_axis is not None:
+            gathers.append(
+                GatherDecision(LHS, spec.axis_of(LHS, label), lhs_axis)
+            )
+        if rhs_axis is not None:
+            gathers.append(
+                GatherDecision(RHS, spec.axis_of(RHS, label), rhs_axis)
+            )
+
+    # Batch labels must be sharded consistently on both operands (or
+    # gathered when they disagree); a consistent sharding carries through.
+    for label in spec.batch_labels:
+        lhs_axis = label_axis(lhs_spec, spec.lhs_labels, label)
+        rhs_axis = label_axis(rhs_spec, spec.rhs_labels, label)
+        if lhs_axis == rhs_axis:
+            if lhs_axis is not None:
+                result_axes[spec.out_axis_of(label)] = lhs_axis
+            continue
+        # Disagreement: gather whichever side the output does not want.
+        wanted = out_spec.axis_of_dim(spec.out_axis_of(label))
+        if lhs_axis is not None and lhs_axis != wanted:
+            gathers.append(GatherDecision(LHS, spec.axis_of(LHS, label), lhs_axis))
+            lhs_axis = None
+        if rhs_axis is not None and rhs_axis != wanted:
+            gathers.append(GatherDecision(RHS, spec.axis_of(RHS, label), rhs_axis))
+            rhs_axis = None
+        surviving = lhs_axis if lhs_axis is not None else rhs_axis
+        if surviving is not None and lhs_axis != rhs_axis:
+            # One side still sharded: the other side must be gathered too —
+            # a batch dim cannot be half sharded.
+            operand = LHS if lhs_axis is None else RHS
+            raise ShardingError(
+                f"batch label {label!r} sharded on one operand only; "
+                "pre-shard the other operand or replicate both"
+            )
+
+    # Free labels: keep the sharding when the output spec agrees,
+    # otherwise gather the operand dimension.
+    for operand, labels in ((LHS, spec.lhs_free_labels), (RHS, spec.rhs_free_labels)):
+        operand_spec = lhs_spec if operand == LHS else rhs_spec
+        for label in labels:
+            axis = label_axis(
+                operand_spec, spec.operand_labels(operand), label
+            )
+            if axis is None:
+                continue
+            out_dim = spec.out_axis_of(label)
+            if out_spec.axis_of_dim(out_dim) == axis:
+                result_axes[out_dim] = axis
+            else:
+                gathers.append(
+                    GatherDecision(operand, spec.axis_of(operand, label), axis)
+                )
+
+    # An axis cannot shard the result twice and cannot be both kept and
+    # reduced; detect conflicts early with a clear error.
+    used = [a for a in result_axes if a is not None]
+    used += [r.axis for r in reduces if r.scatter_dim is None]
+    if len(set(used)) != len(used):
+        raise ShardingError(
+            f"mesh axis used twice in einsum result sharding: {result_axes}"
+        )
+
+    return EinsumShardingPlan(
+        gathers=tuple(gathers),
+        reduces=tuple(reduces),
+        out_spec=ShardingSpec(tuple(result_axes)),
+    )

@@ -1,0 +1,92 @@
+"""Sharding specifications: how a logical tensor maps onto a device mesh.
+
+A :class:`ShardingSpec` assigns to each tensor dimension either ``None``
+(replicated along that dimension) or a mesh axis name (evenly partitioned
+over that axis). This is the single-axis-per-dimension subset of GSPMD
+sharding, which covers every partitioning strategy in the paper
+(Figures 2 and 3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.hlo.shapes import Shape
+from repro.sharding.mesh import DeviceMesh
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardingSpec:
+    """Per-dimension mesh-axis assignment for one tensor.
+
+    ``dim_axes[i]`` is the mesh axis partitioning tensor dimension ``i``,
+    or ``None`` when that dimension is replicated. An axis may appear at
+    most once (a tensor dimension set cannot reuse a mesh axis).
+    """
+
+    dim_axes: Tuple[Optional[str], ...]
+
+    def __post_init__(self) -> None:
+        used = [a for a in self.dim_axes if a is not None]
+        if len(set(used)) != len(used):
+            raise ValueError(f"mesh axis used twice in sharding {self.dim_axes}")
+
+    @staticmethod
+    def replicated(rank: int) -> "ShardingSpec":
+        return ShardingSpec((None,) * rank)
+
+    @staticmethod
+    def on_dim(rank: int, dim: int, axis: str) -> "ShardingSpec":
+        """Partition exactly one dimension over one mesh axis."""
+        axes: list = [None] * rank
+        axes[dim] = axis
+        return ShardingSpec(tuple(axes))
+
+    @property
+    def rank(self) -> int:
+        return len(self.dim_axes)
+
+    @property
+    def is_replicated(self) -> bool:
+        return all(a is None for a in self.dim_axes)
+
+    def axis_of_dim(self, dim: int) -> Optional[str]:
+        return self.dim_axes[dim]
+
+    def dim_of_axis(self, axis: str) -> Optional[int]:
+        for dim, dim_axis in enumerate(self.dim_axes):
+            if dim_axis == axis:
+                return dim
+        return None
+
+    def sharded_dims(self) -> Tuple[int, ...]:
+        return tuple(d for d, a in enumerate(self.dim_axes) if a is not None)
+
+    def with_dim(self, dim: int, axis: Optional[str]) -> "ShardingSpec":
+        axes = list(self.dim_axes)
+        axes[dim] = axis
+        return ShardingSpec(tuple(axes))
+
+    def shard_shape(self, full: Shape, mesh: DeviceMesh) -> Shape:
+        """The per-device shard shape of a tensor with this sharding."""
+        if full.rank != self.rank:
+            raise ValueError(
+                f"sharding rank {self.rank} does not match shape {full}"
+            )
+        shape = full
+        for dim, axis in enumerate(self.dim_axes):
+            if axis is not None:
+                shape = shape.divided_dim(dim, mesh.axis_size(axis))
+        return shape
+
+    def num_shards(self, mesh: DeviceMesh) -> int:
+        count = 1
+        for axis in self.dim_axes:
+            if axis is not None:
+                count *= mesh.axis_size(axis)
+        return count
+
+    def __repr__(self) -> str:
+        parts = ",".join("*" if a is None else a for a in self.dim_axes)
+        return f"[{parts}]"

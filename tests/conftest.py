@@ -1,0 +1,9 @@
+"""Shared fixtures for the test suite (helpers live in helpers.py)."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20230325)  # the conference date

@@ -1,0 +1,80 @@
+"""Tests for the sync-to-async CollectivePermute conversion."""
+
+import numpy as np
+
+from repro.core.async_cp import split_collective_permutes
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+from repro.runtime.executor import run_spmd
+
+PAIRS = [(0, 1), (1, 0)]
+
+
+def build_module(direction=None):
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((2,), F32), name="a")
+    permute = builder.collective_permute(a, PAIRS, direction=direction)
+    builder.add(permute, a)
+    return builder.module
+
+
+def test_pairs_replace_sync_permutes():
+    module = build_module()
+    pairs = split_collective_permutes(module)
+    assert len(pairs) == 1
+    assert module.count(Opcode.COLLECTIVE_PERMUTE) == 0
+    assert module.count(Opcode.COLLECTIVE_PERMUTE_START) == 1
+    assert module.count(Opcode.COLLECTIVE_PERMUTE_DONE) == 1
+
+
+def test_start_and_done_adjacent():
+    module = build_module()
+    start, done = split_collective_permutes(module)[0]
+    order = module.instructions
+    assert order.index(done) == order.index(start) + 1
+
+
+def test_users_redirected_to_done():
+    module = build_module()
+    start, done = split_collective_permutes(module)[0]
+    add = module.root
+    assert done in add.operands
+    assert start not in add.operands
+
+
+def test_pairs_and_direction_preserved():
+    module = build_module(direction="plus")
+    start, _ = split_collective_permutes(module)[0]
+    assert start.pairs == PAIRS
+    assert start.attrs["direction"] == "plus"
+
+
+def test_root_updated_when_permute_is_root():
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((2,), F32), name="a")
+    builder.collective_permute(a, PAIRS)
+    module = builder.module
+    split_collective_permutes(module)
+    assert module.root.opcode is Opcode.COLLECTIVE_PERMUTE_DONE
+
+
+def test_numerics_unchanged(rng):
+    xs = [rng.normal(size=2), rng.normal(size=2)]
+    sync = build_module()
+    expected = run_spmd(sync, {"a": xs}, 2)[sync.root.name]
+    split_module = build_module()
+    split_collective_permutes(split_module)
+    got = run_spmd(split_module, {"a": xs}, 2)[split_module.root.name]
+    for a, b in zip(expected, got):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_module_without_permutes_untouched():
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((2,), F32), name="a")
+    builder.add(a, a)
+    before = builder.module.instructions
+    assert split_collective_permutes(builder.module) == []
+    assert builder.module.instructions == before

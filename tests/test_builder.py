@@ -1,0 +1,152 @@
+"""Unit tests for GraphBuilder shape inference and validation."""
+
+import numpy as np
+import pytest
+
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.instruction import ShardIndex
+from repro.hlo.module import VerificationError
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+
+
+@pytest.fixture
+def builder():
+    return GraphBuilder("t")
+
+
+@pytest.fixture
+def param(builder):
+    return builder.parameter(Shape((4, 6), F32), name="p")
+
+
+GROUPS = [(0, 1, 2)]
+
+
+class TestElementwise:
+    def test_add_shape(self, builder, param):
+        assert builder.add(param, param).shape.dims == (4, 6)
+
+    def test_add_mismatched_shapes_rejected(self, builder, param):
+        other = builder.parameter(Shape((4, 7), F32))
+        with pytest.raises(ValueError, match="differ"):
+            builder.add(param, other)
+
+    def test_constant_shape_from_value(self, builder):
+        constant = builder.constant(np.ones((2, 3)), F32)
+        assert constant.shape.dims == (2, 3)
+        assert constant.opcode is Opcode.CONSTANT
+
+
+class TestDataMovement:
+    def test_reshape(self, builder, param):
+        assert builder.reshape(param, (24,)).shape.dims == (24,)
+
+    def test_reshape_element_count_checked(self, builder, param):
+        with pytest.raises(ValueError, match="element count"):
+            builder.reshape(param, (23,))
+
+    def test_transpose(self, builder, param):
+        assert builder.transpose(param, (1, 0)).shape.dims == (6, 4)
+
+    def test_transpose_bad_permutation(self, builder, param):
+        with pytest.raises(ValueError, match="permutation"):
+            builder.transpose(param, (0, 0))
+
+    def test_slice(self, builder, param):
+        assert builder.slice(param, 1, 2, 3).shape.dims == (4, 3)
+
+    def test_slice_out_of_bounds(self, builder, param):
+        with pytest.raises(ValueError, match="out of bounds"):
+            builder.slice(param, 1, 5, 3)
+
+    def test_pad(self, builder, param):
+        assert builder.pad(param, 0, 1, 2).shape.dims == (7, 6)
+
+    def test_concatenate(self, builder, param):
+        other = builder.parameter(Shape((4, 2), F32))
+        assert builder.concatenate([param, other], 1).shape.dims == (4, 8)
+
+    def test_concatenate_empty_rejected(self, builder):
+        with pytest.raises(ValueError, match="at least one"):
+            builder.concatenate([], 0)
+
+    def test_dynamic_slice(self, builder, param):
+        ds = builder.dynamic_slice(param, 1, ShardIndex.constant(0), 2)
+        assert ds.shape.dims == (4, 2)
+
+    def test_dynamic_update_slice(self, builder, param):
+        update = builder.parameter(Shape((4, 2), F32))
+        dus = builder.dynamic_update_slice(
+            param, update, 1, ShardIndex.constant(0)
+        )
+        assert dus.shape.dims == (4, 6)
+
+    def test_dynamic_update_slice_oversized_update(self, builder, param):
+        update = builder.parameter(Shape((4, 8), F32))
+        with pytest.raises(ValueError, match="larger"):
+            builder.dynamic_update_slice(param, update, 1, ShardIndex.constant(0))
+
+
+class TestCollectives:
+    def test_all_gather_scales_dim(self, builder, param):
+        assert builder.all_gather(param, 0, GROUPS).shape.dims == (12, 6)
+
+    def test_reduce_scatter_divides_dim(self, builder):
+        value = builder.parameter(Shape((6, 6), F32))
+        assert builder.reduce_scatter(value, 0, GROUPS).shape.dims == (2, 6)
+
+    def test_all_reduce_preserves_shape(self, builder, param):
+        assert builder.all_reduce(param, GROUPS).shape.dims == (4, 6)
+
+    def test_all_to_all_shape(self, builder):
+        value = builder.parameter(Shape((6, 6), F32))
+        result = builder.all_to_all(value, 0, 1, GROUPS)
+        assert result.shape.dims == (2, 18)
+
+    def test_uneven_groups_rejected(self, builder, param):
+        with pytest.raises(ValueError, match="uniform"):
+            builder.all_gather(param, 0, [(0, 1), (2,)])
+
+    def test_empty_groups_rejected(self, builder, param):
+        with pytest.raises(ValueError, match="at least one"):
+            builder.all_reduce(param, [])
+
+    def test_collective_permute(self, builder, param):
+        permute = builder.collective_permute(param, [(0, 1), (1, 0)])
+        assert permute.shape.dims == (4, 6)
+        assert permute.pairs == [(0, 1), (1, 0)]
+
+    def test_collective_permute_direction_attr(self, builder, param):
+        permute = builder.collective_permute(
+            param, [(0, 1), (1, 0)], direction="plus"
+        )
+        assert permute.attrs["direction"] == "plus"
+
+    def test_start_done_pair(self, builder, param):
+        start = builder.collective_permute_start(param, [(0, 1), (1, 0)])
+        done = builder.collective_permute_done(start)
+        assert done.operands == [start]
+        builder.module.verify()
+
+    def test_done_requires_start(self, builder, param):
+        with pytest.raises(ValueError, match="start"):
+            builder.collective_permute_done(param)
+
+
+class TestInsertionMode:
+    def test_into_buffers_until_flush(self, builder, param):
+        anchor = builder.add(param, param)
+        inserter = GraphBuilder.into(builder.module, anchor)
+        copy = inserter.copy(param)
+        assert copy not in builder.module
+        inserter.flush()
+        assert copy in builder.module
+        names = [i.name for i in builder.module]
+        assert names.index(copy.name) == names.index(anchor.name) - 1
+
+    def test_flush_without_pending_is_noop(self, builder, param):
+        anchor = builder.add(param, param)
+        GraphBuilder.into(builder.module, anchor).flush()
+        assert len(builder.module) == 2

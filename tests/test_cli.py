@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ARTIFACTS, build_parser, main
+
+
+class TestParser:
+    def test_all_artifacts_described(self):
+        from repro.cli import _DESCRIPTIONS
+
+        assert set(ARTIFACTS) == set(_DESCRIPTIONS)
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_bad_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "GPT_32B", "--scheduler", "magic"]
+            )
+
+
+class TestCommands:
+    def test_experiments_lists_everything(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for name in ARTIFACTS:
+            assert name in out
+
+    def test_run_unknown_artifact(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "table1", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+
+    def test_simulate_baseline(self, capsys):
+        assert main(["simulate", "GPT_32B", "--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "FLOPS utilization" in out
+        assert "hidden transfers:        0.000 s" in out
+
+    def test_simulate_with_timeline(self, capsys):
+        assert main(["simulate", "GPT_32B", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline" in out
+        assert "link:" in out
+
+    def test_simulate_unknown_model(self, capsys):
+        assert main(["simulate", "GPT_9T"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_dump_shows_hlo(self, capsys):
+        assert main(["dump", "GPT_32B", "--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "HloModule" in out
+        assert "all-gather" in out
+        assert "einsum" in out

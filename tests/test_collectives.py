@@ -1,0 +1,145 @@
+"""Reference-collective semantics (the correctness oracle's own tests)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import collectives
+
+
+def make_inputs(num_devices, shape, rng=None):
+    rng = rng or np.random.default_rng(7)
+    return [rng.normal(size=shape) for _ in range(num_devices)]
+
+
+class TestAllGather:
+    def test_concatenates_in_group_order(self):
+        inputs = [np.full((1, 2), float(d)) for d in range(3)]
+        out = collectives.all_gather(inputs, 0, [(0, 1, 2)])
+        for device in range(3):
+            np.testing.assert_array_equal(out[device][:, 0], [0, 1, 2])
+
+    def test_subgroups_stay_separate(self):
+        inputs = [np.full((1,), float(d)) for d in range(4)]
+        out = collectives.all_gather(inputs, 0, [(0, 1), (2, 3)])
+        np.testing.assert_array_equal(out[0], [0, 1])
+        np.testing.assert_array_equal(out[3], [2, 3])
+
+    def test_gather_along_second_dim(self):
+        inputs = make_inputs(2, (3, 2))
+        out = collectives.all_gather(inputs, 1, [(0, 1)])
+        assert out[0].shape == (3, 4)
+        np.testing.assert_array_equal(out[0][:, :2], inputs[0])
+        np.testing.assert_array_equal(out[0][:, 2:], inputs[1])
+
+
+class TestReduceScatter:
+    def test_sum_then_shard(self):
+        inputs = make_inputs(2, (4,))
+        out = collectives.reduce_scatter(inputs, 0, [(0, 1)])
+        total = inputs[0] + inputs[1]
+        np.testing.assert_allclose(out[0], total[:2])
+        np.testing.assert_allclose(out[1], total[2:])
+
+    def test_inverse_of_all_gather(self):
+        """ReduceScatter(AllGather(x)) recovers N * x shards."""
+        inputs = make_inputs(3, (2, 2))
+        gathered = collectives.all_gather(inputs, 0, [(0, 1, 2)])
+        scattered = collectives.reduce_scatter(gathered, 0, [(0, 1, 2)])
+        for device in range(3):
+            np.testing.assert_allclose(scattered[device], 3 * inputs[device])
+
+
+class TestAllReduce:
+    def test_every_device_gets_sum(self):
+        inputs = make_inputs(3, (2,))
+        out = collectives.all_reduce(inputs, [(0, 1, 2)])
+        total = sum(inputs)
+        for device in range(3):
+            np.testing.assert_allclose(out[device], total)
+
+    def test_equals_reduce_scatter_plus_all_gather(self):
+        """The Section 2.1 identity."""
+        inputs = make_inputs(4, (8,))
+        groups = [(0, 1, 2, 3)]
+        via_identity = collectives.all_gather(
+            collectives.reduce_scatter(inputs, 0, groups), 0, groups
+        )
+        direct = collectives.all_reduce(inputs, groups)
+        for a, b in zip(via_identity, direct):
+            np.testing.assert_allclose(a, b)
+
+
+class TestAllToAll:
+    def test_transpose_of_splits(self):
+        inputs = [np.arange(4, dtype=float) + 10 * d for d in range(2)]
+        out = collectives.all_to_all(inputs, 0, 0, [(0, 1)])
+        np.testing.assert_array_equal(out[0], [0, 1, 10, 11])
+        np.testing.assert_array_equal(out[1], [2, 3, 12, 13])
+
+    def test_involution_on_symmetric_dims(self):
+        inputs = make_inputs(4, (8, 3))
+        once = collectives.all_to_all(inputs, 0, 0, [(0, 1, 2, 3)])
+        twice = collectives.all_to_all(once, 0, 0, [(0, 1, 2, 3)])
+        for a, b in zip(inputs, twice):
+            np.testing.assert_allclose(a, b)
+
+
+class TestCollectivePermute:
+    def test_ring_shift(self):
+        inputs = [np.full((2,), float(d)) for d in range(3)]
+        out = collectives.collective_permute(inputs, [(0, 2), (1, 0), (2, 1)])
+        np.testing.assert_array_equal(out[2], inputs[0])
+        np.testing.assert_array_equal(out[0], inputs[1])
+
+    def test_non_destination_gets_zeros(self):
+        inputs = [np.ones(2), np.ones(2)]
+        out = collectives.collective_permute(inputs, [(0, 1)])
+        np.testing.assert_array_equal(out[0], np.zeros(2))
+        np.testing.assert_array_equal(out[1], np.ones(2))
+
+    def test_duplicate_destination_rejected(self):
+        inputs = [np.ones(1)] * 3
+        with pytest.raises(ValueError, match="destination"):
+            collectives.collective_permute(inputs, [(0, 2), (1, 2)])
+
+    def test_duplicate_source_rejected(self):
+        inputs = [np.ones(1)] * 3
+        with pytest.raises(ValueError, match="source"):
+            collectives.collective_permute(inputs, [(0, 1), (0, 2)])
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_devices=st.sampled_from([2, 3, 4]),
+        rows=st.integers(1, 3),
+        seed=st.integers(0, 2**16),
+    )
+    def test_all_gather_total_content(self, num_devices, rows, seed):
+        rng = np.random.default_rng(seed)
+        inputs = [rng.normal(size=(rows, 2)) for _ in range(num_devices)]
+        out = collectives.all_gather(inputs, 0, [tuple(range(num_devices))])
+        expected = np.concatenate(inputs, axis=0)
+        for device in range(num_devices):
+            np.testing.assert_allclose(out[device], expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_devices=st.sampled_from([2, 3, 4]),
+        rows=st.integers(1, 3),
+        seed=st.integers(0, 2**16),
+    )
+    def test_reduce_scatter_conserves_sum(self, num_devices, rows, seed):
+        rng = np.random.default_rng(seed)
+        inputs = [
+            rng.normal(size=(rows * num_devices, 2))
+            for _ in range(num_devices)
+        ]
+        out = collectives.reduce_scatter(
+            inputs, 0, [tuple(range(num_devices))]
+        )
+        np.testing.assert_allclose(
+            np.concatenate(out, axis=0), np.sum(inputs, axis=0)
+        )

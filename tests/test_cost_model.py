@@ -1,0 +1,191 @@
+"""Tests for the latency cost model and the Section 5.5 gate."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.cost_model import OverlapEstimate, estimate_overlap
+from repro.core.patterns import find_candidates
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import BF16, F32
+from repro.hlo.shapes import Shape
+from repro.perfsim.costs import CostModel
+from repro.perfsim.efficiency import EfficiencyModel
+from repro.perfsim.hardware import SLOW_INTERCONNECT, TPU_V4
+from repro.sharding.mesh import DeviceMesh
+
+COST = CostModel(TPU_V4)
+MESH = DeviceMesh.ring(4)
+RING_PAIRS = [(0, 3), (1, 0), (2, 1), (3, 2)]
+
+
+def _einsum(m=256, k=512, n=1024):
+    builder = GraphBuilder("m")
+    lhs = builder.parameter(Shape((m, k), BF16))
+    rhs = builder.parameter(Shape((k, n), BF16))
+    return builder.einsum("bf,fh->bh", lhs, rhs)
+
+
+class TestComputeCosts:
+    def test_einsum_time_scales_with_flops(self):
+        small = COST.einsum_time(_einsum(m=128))
+        large = COST.einsum_time(_einsum(m=1024))
+        assert large > small
+
+    def test_einsum_time_at_least_kernel_overhead(self):
+        assert COST.einsum_time(_einsum(1, 1, 1)) >= TPU_V4.kernel_overhead
+
+    def test_small_extents_lose_efficiency(self):
+        """Time per FLOP grows when an extent shrinks below the MXU tile."""
+        wide = COST.einsum_time(_einsum(k=4096))
+        narrow = COST.einsum_time(_einsum(k=32))
+        flops_wide = 2 * 256 * 4096 * 1024
+        flops_narrow = 2 * 256 * 32 * 1024
+        assert narrow / flops_narrow > wide / flops_wide
+
+    def test_memory_bound_add(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((1024, 1024), F32))
+        add = builder.add(a, a)
+        expected = 3 * 1024 * 1024 * 4 / TPU_V4.hbm_bandwidth
+        assert COST.memory_bound_time(add) == pytest.approx(
+            expected + TPU_V4.kernel_overhead
+        )
+
+    def test_dynamic_update_slice_charges_update_only(self):
+        from repro.hlo.instruction import ShardIndex
+
+        builder = GraphBuilder("m")
+        target = builder.parameter(Shape((4096, 4096), F32))
+        update = builder.parameter(Shape((4096, 64), F32))
+        dus = builder.dynamic_update_slice(
+            target, update, 1, ShardIndex.constant(0)
+        )
+        expected = 2 * update.shape.byte_size / TPU_V4.hbm_bandwidth
+        assert COST.memory_bound_time(dus) == pytest.approx(
+            expected + TPU_V4.kernel_overhead
+        )
+
+
+class TestCommunicationCosts:
+    def _gather(self, shard_elems=1 << 20, ring=4):
+        builder = GraphBuilder("m")
+        value = builder.parameter(Shape((shard_elems,), BF16))
+        mesh = DeviceMesh.ring(ring)
+        return builder.all_gather(value, 0, mesh.rings("x"))
+
+    def test_all_gather_uses_both_directions(self):
+        gather = self._gather()
+        shard_bytes = gather.operands[0].shape.byte_size
+        expected = 3 * shard_bytes / (2 * TPU_V4.link_bandwidth)
+        assert COST.collective_time(gather) == pytest.approx(expected)
+
+    def test_all_reduce_twice_reduce_scatter(self):
+        builder = GraphBuilder("m")
+        value = builder.parameter(Shape((1 << 20,), BF16))
+        mesh = DeviceMesh.ring(4)
+        rs = builder.reduce_scatter(value, 0, mesh.rings("x"))
+        ar = builder.all_reduce(value, mesh.rings("x"))
+        assert COST.collective_time(ar) == pytest.approx(
+            2 * COST.collective_time(rs), rel=0.05
+        )
+
+    def test_single_device_collective_is_free(self):
+        builder = GraphBuilder("m")
+        value = builder.parameter(Shape((1 << 20,), BF16))
+        gather = builder.all_gather(value, 0, [(0,)])
+        assert COST.collective_time(gather) == 0.0
+
+    def test_permute_time_scales_with_hops(self):
+        builder = GraphBuilder("m")
+        value = builder.parameter(Shape((1 << 20,), BF16))
+        one_hop = builder.collective_permute(
+            value, [(0, 3), (1, 0), (2, 1), (3, 2)]
+        )
+        two_hop = builder.collective_permute(
+            value, [(0, 2), (1, 3), (2, 0), (3, 1)]
+        )
+        assert COST.permute_time(two_hop, MESH) == pytest.approx(
+            2 * COST.permute_time(one_hop, MESH)
+        )
+
+    def test_non_collective_raises(self):
+        with pytest.raises(ValueError, match="not a sync collective"):
+            COST.collective_time(_einsum())
+
+
+class TestGate:
+    def _candidate(self, m, shard_elems, ring=4, chip=TPU_V4):
+        builder = GraphBuilder("g")
+        mesh = DeviceMesh.ring(ring)
+        lhs = builder.parameter(Shape((m, 512), BF16))
+        rhs = builder.parameter(Shape((512, shard_elems), BF16))
+        gathered = builder.all_gather(rhs, 1, mesh.rings("x"))
+        builder.einsum("bf,fh->bh", lhs, gathered)
+        (candidate,) = find_candidates(builder.module)
+        return candidate
+
+    def test_large_compute_enables_overlap(self):
+        # Compute dwarfs the ring time while the original collective is
+        # still worth hiding.
+        candidate = self._candidate(m=16384, shard_elems=32768)
+        estimate = estimate_overlap(COST, candidate, bidirectional=True)
+        assert estimate.beneficial
+        assert estimate.estimated_speedup > 1.0
+
+    def test_tiny_compute_disables_overlap(self):
+        cost = CostModel(SLOW_INTERCONNECT)
+        candidate = self._candidate(m=8, shard_elems=1 << 16)
+        estimate = estimate_overlap(cost, candidate, bidirectional=False)
+        assert not estimate.beneficial
+
+    def test_unidirectional_ring_costs_twice_bidirectional(self):
+        candidate = self._candidate(m=1024, shard_elems=4096, ring=8)
+        uni = estimate_overlap(COST, candidate, bidirectional=False)
+        bidi = estimate_overlap(COST, candidate, bidirectional=True)
+        # 7 unidirectional steps vs 3 bidirectional steps + 1 prologue.
+        assert uni.comm_t_ring == pytest.approx(7 / 3 * bidi.comm_t_ring)
+        assert bidi.extra_t > 0.0
+        assert uni.extra_t == 0.0
+
+    def test_decomposed_compute_slower_than_original(self):
+        """Partial einsums lose matmul efficiency (small extents)."""
+        candidate = self._candidate(m=1024, shard_elems=256, ring=8)
+        estimate = estimate_overlap(COST, candidate, bidirectional=False)
+        assert estimate.comp_t_decomposed > estimate.comp_t
+
+    def test_pair_split_ring2_halves_transfer(self):
+        candidate = self._candidate(m=1024, shard_elems=4096, ring=2)
+        bidi = estimate_overlap(COST, candidate, bidirectional=True)
+        uni = estimate_overlap(COST, candidate, bidirectional=False)
+        assert bidi.comm_t_ring == pytest.approx(uni.comm_t_ring / 2)
+        assert bidi.extra_t == 0.0
+
+    def test_estimate_speedup_of_zero_overlap(self):
+        estimate = OverlapEstimate(
+            comp_t=1.0, comp_t_decomposed=1.0, comm_t=0.5,
+            comm_t_ring=0.4, extra_t=0.0,
+        )
+        assert estimate.estimated_speedup == pytest.approx(1.5)
+
+
+class TestEfficiencyModel:
+    def test_monotone_in_every_extent(self):
+        model = EfficiencyModel()
+        assert model(64, 512, 512) < model(128, 512, 512)
+        assert model(512, 64, 512) < model(512, 128, 512)
+        assert model(512, 512, 64) < model(512, 512, 128)
+
+    def test_bounded_by_base(self):
+        model = EfficiencyModel(base=0.9)
+        assert model(10**6, 10**6, 10**6) < 0.9
+
+    def test_nonpositive_extent_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            EfficiencyModel()(0, 4, 4)
+
+
+class TestHardware:
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            dataclasses.replace(TPU_V4, link_bandwidth=0.0)

@@ -1,0 +1,113 @@
+"""Tests for the Section 7.2/7.3 studies and the design ablations."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import ablations, interconnect_sweep, pipeline_parallel
+from repro.experiments.common import clear_cache
+from repro.models.configs import GPT_32B
+from repro.perfsim.hardware import SLOW_INTERCONNECT
+
+SMALL = dataclasses.replace(
+    GPT_32B, name="small", batch_size=64, seq_len=512, d_model=2048,
+    d_ff=8192, num_layers=4, mesh_x=4, mesh_y=8, num_chips=32,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestInterconnectSweep:
+    def test_comm_fraction_monotone_in_bandwidth(self):
+        rows = interconnect_sweep.run(SMALL, bandwidths=(10e9, 45e9, 180e9))
+        fractions = [r.baseline_comm_fraction for r in rows]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_utilization_monotone_in_bandwidth(self):
+        rows = interconnect_sweep.run(SMALL, bandwidths=(10e9, 45e9, 180e9))
+        utils = [r.overlapped_utilization for r in rows]
+        assert utils == sorted(utils)
+
+    def test_benefit_shrinks_at_the_extremes(self):
+        """Section 7.2: slow links cannot be covered, fast links leave
+        nothing to hide — the benefit peaks in between."""
+        rows = interconnect_sweep.run(
+            SMALL, bandwidths=(5e9, 45e9, 720e9)
+        )
+        middle = rows[1].speedup
+        assert middle >= rows[0].speedup - 0.02
+        assert middle > rows[2].speedup
+        assert rows[2].speedup < 1.10  # fast links: little left to hide
+
+    def test_report_renders(self):
+        rows = interconnect_sweep.run(SMALL, bandwidths=(45e9, 90e9))
+        text = interconnect_sweep.format_report(rows)
+        assert "45.0 GB/s" in text
+
+
+class TestFusionAblation:
+    def test_overlap_aware_fusion_wins(self):
+        rows = ablations.fusion_priority(blocks=(2, 4))
+        for row in rows:
+            assert row.gain > 1.1
+
+    def test_gain_independent_of_chain_length(self):
+        rows = ablations.fusion_priority(blocks=(2, 8))
+        assert rows[0].gain == pytest.approx(rows[1].gain, rel=0.05)
+
+
+class TestCostGateAblation:
+    def test_gate_prevents_regression_on_narrow_model(self):
+        (row, _) = ablations.cost_gate(chip=SLOW_INTERCONNECT)
+        assert row.gated_time <= row.baseline_time * 1.001
+        assert row.gate_saves_regression
+        # Without the gate the decomposition is allowed to regress.
+        assert row.ungated_time > row.gated_time
+
+
+class TestMemoryAblation:
+    def test_overlap_extends_liveness(self):
+        (row,) = ablations.scheduling_memory((SMALL,))
+        assert row.overlapped_peak_bytes >= row.baseline_peak_bytes
+        assert row.overhead < 3.0  # but not unboundedly
+
+    def test_overhead_property(self):
+        row = ablations.MemoryRow("m", 100, 150)
+        assert row.overhead == pytest.approx(1.5)
+
+
+class TestPipelineParallel:
+    SPLITS = ((1, 4, 8), (2, 4, 4), (4, 2, 4))
+
+    def test_step_times_positive_and_finite(self):
+        rows = pipeline_parallel.run(SMALL, splits=self.SPLITS)
+        for row in rows:
+            assert row.baseline_step > 0
+            assert row.overlapped_step > 0
+            assert row.overlapped_step <= row.baseline_step * 1.02
+
+    def test_bubble_fraction_grows_with_stages(self):
+        rows = pipeline_parallel.run(SMALL, splits=self.SPLITS)
+        bubbles = [r.bubble_fraction for r in rows]
+        assert bubbles == sorted(bubbles)
+        assert bubbles[0] == 0.0
+
+    def test_overlap_benefit_larger_with_wider_tensor_parallelism(self):
+        """Section 7.3: the optimization favors splits that lean on
+        intra-layer parallelism (whose communication it can hide)."""
+        rows = pipeline_parallel.run(SMALL, splits=self.SPLITS)
+        assert rows[0].speedup >= rows[-1].speedup - 0.02
+
+    def test_layer_split_must_divide(self):
+        with pytest.raises(ValueError, match="split"):
+            pipeline_parallel.run(SMALL, splits=((3, 4, 8),))
+
+    def test_report_renders(self):
+        rows = pipeline_parallel.run(SMALL, splits=self.SPLITS)
+        text = pipeline_parallel.format_report(rows)
+        assert "best split" in text

@@ -1,0 +1,173 @@
+"""Unit and property tests for einsum equation parsing."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hlo.dtypes import F32
+from repro.hlo.einsum_spec import LHS, RHS, EinsumSpec
+from repro.hlo.shapes import Shape
+
+
+class TestParsing:
+    def test_basic_matmul(self):
+        spec = EinsumSpec.parse("bf,fh->bh")
+        assert spec.lhs_labels == "bf"
+        assert spec.rhs_labels == "fh"
+        assert spec.out_labels == "bh"
+
+    def test_whitespace_tolerated(self):
+        assert EinsumSpec.parse(" bf , fh -> bh ").equation == "bf,fh->bh"
+
+    def test_implicit_equation_rejected(self):
+        with pytest.raises(ValueError, match="explicit"):
+            EinsumSpec.parse("bf,fh")
+
+    def test_single_operand_rejected(self):
+        with pytest.raises(ValueError, match="two operands"):
+            EinsumSpec.parse("bf->b")
+
+    def test_three_operands_rejected(self):
+        with pytest.raises(ValueError, match="two operands"):
+            EinsumSpec.parse("a,b,c->abc")
+
+    def test_repeated_label_rejected(self):
+        with pytest.raises(ValueError, match="repeated"):
+            EinsumSpec.parse("bb,bh->bh")
+
+    def test_unknown_output_label_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            EinsumSpec.parse("bf,fh->bz")
+
+
+class TestClassification:
+    def test_matmul_labels(self):
+        spec = EinsumSpec.parse("bf,fh->bh")
+        assert spec.batch_labels == ""
+        assert spec.contracting_labels == "f"
+        assert spec.lhs_free_labels == "b"
+        assert spec.rhs_free_labels == "h"
+
+    def test_batched_matmul_labels(self):
+        spec = EinsumSpec.parse("gbf,gfh->gbh")
+        assert spec.batch_labels == "g"
+        assert spec.contracting_labels == "f"
+
+    def test_attention_scores_labels(self):
+        spec = EinsumSpec.parse("nshe,nthe->nhst")
+        assert set(spec.batch_labels) == {"n", "h"}
+        assert spec.contracting_labels == "e"
+        assert spec.lhs_free_labels == "s"
+        assert spec.rhs_free_labels == "t"
+
+    def test_classify_per_axis(self):
+        spec = EinsumSpec.parse("gbf,gfh->gbh")
+        assert spec.classify(LHS, 0) == "batch"
+        assert spec.classify(LHS, 1) == "free"
+        assert spec.classify(LHS, 2) == "contracting"
+        assert spec.classify(RHS, 2) == "free"
+
+    def test_classify_bad_operand_raises(self):
+        with pytest.raises(ValueError, match="operand"):
+            EinsumSpec.parse("bf,fh->bh").classify(2, 0)
+
+    def test_axis_of(self):
+        spec = EinsumSpec.parse("bf,fh->bh")
+        assert spec.axis_of(LHS, "f") == 1
+        assert spec.axis_of(RHS, "f") == 0
+        assert spec.out_axis_of("h") == 1
+
+
+class TestShapesAndFlops:
+    def test_output_shape(self):
+        spec = EinsumSpec.parse("bf,fh->bh")
+        out = spec.output_shape(Shape((4, 8), F32), Shape((8, 16), F32))
+        assert out.dims == (4, 16)
+        assert out.dtype is F32
+
+    def test_inconsistent_sizes_raise(self):
+        spec = EinsumSpec.parse("bf,fh->bh")
+        with pytest.raises(ValueError, match="inconsistent"):
+            spec.output_shape(Shape((4, 8), F32), Shape((9, 16), F32))
+
+    def test_rank_mismatch_raises(self):
+        spec = EinsumSpec.parse("bf,fh->bh")
+        with pytest.raises(ValueError, match="rank"):
+            spec.output_shape(Shape((4, 8, 2), F32), Shape((8, 16), F32))
+
+    def test_flop_count_matmul(self):
+        spec = EinsumSpec.parse("bf,fh->bh")
+        flops = spec.flop_count(Shape((4, 8), F32), Shape((8, 16), F32))
+        assert flops == 2 * 4 * 8 * 16
+
+    def test_matmul_dims_collapse(self):
+        spec = EinsumSpec.parse("gbf,gfh->gbh")
+        m, k, n = spec.matmul_dims(Shape((3, 4, 8), F32), Shape((3, 8, 16), F32))
+        assert (m, k, n) == (3 * 4, 8, 16)
+
+    def test_matmul_dims_no_contraction(self):
+        spec = EinsumSpec.parse("b,h->bh")
+        m, k, n = spec.matmul_dims(Shape((4,), F32), Shape((16,), F32))
+        assert (m, k, n) == (4, 1, 16)
+
+    def test_parse_is_cached(self):
+        assert EinsumSpec.parse("bf,fh->bh") is EinsumSpec.parse("bf,fh->bh")
+
+
+@st.composite
+def random_equation_and_shapes(draw):
+    """Random well-formed two-operand einsums with consistent shapes."""
+    alphabet = "abcdefg"
+    num_labels = draw(st.integers(min_value=2, max_value=5))
+    labels = list(alphabet[:num_labels])
+    sizes = {
+        label: draw(st.integers(min_value=1, max_value=5)) for label in labels
+    }
+    lhs = draw(
+        st.lists(st.sampled_from(labels), min_size=1, max_size=3, unique=True)
+    )
+    rhs = draw(
+        st.lists(st.sampled_from(labels), min_size=1, max_size=3, unique=True)
+    )
+    out_pool = sorted(set(lhs) | set(rhs))
+    out = draw(
+        st.lists(st.sampled_from(out_pool), min_size=0, max_size=len(out_pool),
+                 unique=True)
+    )
+    equation = f"{''.join(lhs)},{''.join(rhs)}->{''.join(out)}"
+    lhs_shape = Shape(tuple(sizes[l] for l in lhs), F32)
+    rhs_shape = Shape(tuple(sizes[l] for l in rhs), F32)
+    return equation, lhs_shape, rhs_shape, sizes
+
+
+class TestProperties:
+    @given(random_equation_and_shapes())
+    def test_flops_equal_twice_label_product(self, case):
+        equation, lhs, rhs, sizes = case
+        spec = EinsumSpec.parse(equation)
+        assert spec.flop_count(lhs, rhs) == 2 * math.prod(sizes[l] for l in {
+            *spec.lhs_labels, *spec.rhs_labels
+        })
+
+    @given(random_equation_and_shapes())
+    def test_labels_partition(self, case):
+        """Every operand label is exactly one of batch/contracting/free."""
+        equation, lhs, rhs, _ = case
+        spec = EinsumSpec.parse(equation)
+        for labels in (spec.lhs_labels, spec.rhs_labels):
+            for label in labels:
+                kinds = [
+                    label in spec.batch_labels,
+                    label in spec.contracting_labels,
+                    label in spec.lhs_free_labels + spec.rhs_free_labels,
+                ]
+                assert sum(kinds) == 1
+
+    @given(random_equation_and_shapes())
+    def test_matmul_dims_product_matches_flops(self, case):
+        equation, lhs, rhs, _ = case
+        spec = EinsumSpec.parse(equation)
+        m, k, n = spec.matmul_dims(lhs, rhs)
+        assert 2 * m * k * n == spec.flop_count(lhs, rhs)

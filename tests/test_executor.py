@@ -1,0 +1,179 @@
+"""Tests for the lock-step SPMD executor, including async semantics."""
+
+import numpy as np
+import pytest
+
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.instruction import ShardIndex
+from repro.hlo.shapes import Shape
+from repro.runtime.executor import ExecutionError, Executor, run_spmd
+from repro.sharding.mesh import DeviceMesh
+
+
+def test_parameter_binding_and_add(rng):
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((2,), F32), name="a")
+    b = builder.parameter(Shape((2,), F32), name="b")
+    builder.add(a, b)
+    module = builder.module
+    xs = [rng.normal(size=2) for _ in range(2)]
+    ys = [rng.normal(size=2) for _ in range(2)]
+    out = run_spmd(module, {"a": xs, "b": ys}, 2)[module.root.name]
+    np.testing.assert_allclose(out[0], xs[0] + ys[0])
+    np.testing.assert_allclose(out[1], xs[1] + ys[1])
+
+
+def test_missing_argument_rejected():
+    builder = GraphBuilder("m")
+    builder.parameter(Shape((2,), F32), name="a")
+    with pytest.raises(ExecutionError, match="missing argument"):
+        run_spmd(builder.module, {}, 2)
+
+
+def test_wrong_shard_count_rejected(rng):
+    builder = GraphBuilder("m")
+    builder.parameter(Shape((2,), F32), name="a")
+    with pytest.raises(ExecutionError, match="shards"):
+        run_spmd(builder.module, {"a": [rng.normal(size=2)]}, 2)
+
+
+def test_wrong_shard_shape_rejected(rng):
+    builder = GraphBuilder("m")
+    builder.parameter(Shape((2,), F32), name="a")
+    with pytest.raises(ExecutionError, match="shape"):
+        run_spmd(builder.module, {"a": [rng.normal(size=3)] * 2}, 2)
+
+
+def test_zeros_and_constant():
+    builder = GraphBuilder("m")
+    z = builder.zeros(Shape((2, 2), F32))
+    c = builder.constant(np.eye(2), F32)
+    builder.add(z, c)
+    out = run_spmd(builder.module, {}, 3)[builder.module.root.name]
+    for device in range(3):
+        np.testing.assert_array_equal(out[device], np.eye(2))
+
+
+def test_einsum_matches_numpy(rng):
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((3, 4), F32), name="a")
+    b = builder.parameter(Shape((4, 5), F32), name="b")
+    builder.einsum("ij,jk->ik", a, b)
+    x, y = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+    out = run_spmd(builder.module, {"a": [x], "b": [y]}, 1)
+    np.testing.assert_allclose(out[builder.module.root.name][0], x @ y)
+
+
+def test_dynamic_slice_per_device(rng):
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((4, 2), F32), name="a")
+    builder.dynamic_slice(
+        a, 0, ShardIndex.shard(1, 0, num_shards=2, shard_size=2), 2
+    )
+    x = rng.normal(size=(4, 2))
+    out = run_spmd(builder.module, {"a": [x, x]}, 2)[builder.module.root.name]
+    np.testing.assert_allclose(out[0], x[:2])
+    np.testing.assert_allclose(out[1], x[2:])
+
+
+def test_dynamic_update_slice_per_device(rng):
+    builder = GraphBuilder("m")
+    target = builder.zeros(Shape((4,), F32))
+    update = builder.parameter(Shape((2,), F32), name="u")
+    builder.dynamic_update_slice(
+        target, update, 0, ShardIndex.shard(1, 0, num_shards=2, shard_size=2)
+    )
+    u = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+    out = run_spmd(builder.module, {"u": u}, 2)[builder.module.root.name]
+    np.testing.assert_array_equal(out[0], [1, 2, 0, 0])
+    np.testing.assert_array_equal(out[1], [0, 0, 3, 4])
+
+
+def test_pad_with_value(rng):
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((2,), F32), name="a")
+    builder.pad(a, 0, 1, 1, value=-1.0)
+    x = np.array([5.0, 6.0])
+    out = run_spmd(builder.module, {"a": [x]}, 1)[builder.module.root.name]
+    np.testing.assert_array_equal(out[0], [-1, 5, 6, -1])
+
+
+def test_concat_rewrite_equivalence(rng):
+    """Max(PadLow(a), PadHigh(b)) == Concat(a, b) on real data."""
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((2,), F32), name="a")
+    b = builder.parameter(Shape((3,), F32), name="b")
+    padded_a = builder.pad(a, 0, 0, 3, value=float("-inf"))
+    padded_b = builder.pad(b, 0, 2, 0, value=float("-inf"))
+    builder.maximum(padded_a, padded_b)
+    x, y = rng.normal(size=2), rng.normal(size=3)
+    out = run_spmd(builder.module, {"a": [x], "b": [y]}, 1)
+    np.testing.assert_allclose(
+        out[builder.module.root.name][0], np.concatenate([x, y])
+    )
+
+
+class TestAsyncPermute:
+    def test_start_snapshots_at_issue_time(self, rng):
+        """A write to the operand between start and done must not leak
+        into the transfer — the core async-correctness property."""
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((2,), F32), name="a")
+        start = builder.collective_permute_start(a, [(0, 1), (1, 0)])
+        # Mutation between start and done: a2 = a + a.
+        mutated = builder.add(a, a)
+        done = builder.collective_permute_done(start)
+        builder.add(done, mutated)
+        module = builder.module
+        xs = [rng.normal(size=2), rng.normal(size=2)]
+        out = run_spmd(module, {"a": xs}, 2)[module.root.name]
+        np.testing.assert_allclose(out[0], xs[1] + 2 * xs[0])
+        np.testing.assert_allclose(out[1], xs[0] + 2 * xs[1])
+
+    def test_sync_permute_matches_start_done_pair(self, rng):
+        def build(asynchronous):
+            builder = GraphBuilder("m")
+            a = builder.parameter(Shape((2,), F32), name="a")
+            if asynchronous:
+                start = builder.collective_permute_start(a, [(0, 1), (1, 0)])
+                builder.collective_permute_done(start)
+            else:
+                builder.collective_permute(a, [(0, 1), (1, 0)])
+            return builder.module
+
+        xs = [rng.normal(size=2), rng.normal(size=2)]
+        sync = build(False)
+        asyncm = build(True)
+        a_out = run_spmd(sync, {"a": xs}, 2)[sync.root.name]
+        b_out = run_spmd(asyncm, {"a": xs}, 2)[asyncm.root.name]
+        for x, y in zip(a_out, b_out):
+            np.testing.assert_array_equal(x, y)
+
+
+def test_collectives_through_executor(rng):
+    mesh = DeviceMesh.ring(2)
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((2, 2), F32), name="a")
+    ag = builder.all_gather(a, 0, mesh.rings("x"))
+    builder.reduce_scatter(ag, 0, mesh.rings("x"))
+    xs = [rng.normal(size=(2, 2)) for _ in range(2)]
+    out = run_spmd(builder.module, {"a": xs}, 2)[builder.module.root.name]
+    # RS(AG(x)) = 2 * x on each device.
+    np.testing.assert_allclose(out[0], 2 * xs[0])
+    np.testing.assert_allclose(out[1], 2 * xs[1])
+
+
+def test_selected_outputs(rng):
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((2,), F32), name="a")
+    double = builder.add(a, a)
+    builder.negate(double)
+    xs = [rng.normal(size=2)]
+    out = run_spmd(builder.module, {"a": xs}, 1, outputs=[double.name])
+    np.testing.assert_allclose(out[double.name][0], 2 * xs[0])
+
+
+def test_invalid_device_count():
+    with pytest.raises(ValueError, match="positive"):
+        Executor(0)

@@ -1,0 +1,174 @@
+"""Tests for the experiment harnesses.
+
+Run each figure/table harness on scaled-down model sets and assert the
+*shape* properties the paper reports — these are the repository's
+regression guard for the reproduction itself. The full-size runs live in
+benchmarks/.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import (
+    energy,
+    fig01_breakdown,
+    fig12_overall,
+    fig13_weak_scaling,
+    fig14_unrolling,
+    fig15_bidirectional,
+    fig16_scheduling,
+    inference,
+    tables,
+)
+from repro.experiments.common import Comparison, clear_cache, compare, format_table
+from repro.models.configs import GPT_32B, TABLE1, TABLE2
+
+SMALL = [
+    dataclasses.replace(
+        GPT_32B, name="small_a", batch_size=64, seq_len=512, d_model=2048,
+        d_ff=8192, num_layers=4, mesh_x=4, mesh_y=8, num_chips=32,
+    ),
+    dataclasses.replace(
+        GPT_32B, name="small_b", batch_size=64, seq_len=512, d_model=4096,
+        d_ff=16384, num_layers=4, mesh_x=8, mesh_y=8, num_chips=64,
+    ),
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestFig01:
+    def test_breakdown_fractions_sum_to_one(self):
+        rows = fig01_breakdown.run(models=SMALL)
+        for row in rows:
+            assert row.compute_fraction + row.communication_fraction == (
+                pytest.approx(1.0)
+            )
+            assert 0.0 < row.communication_fraction < 1.0
+
+    def test_report_renders(self):
+        text = fig01_breakdown.format_report(fig01_breakdown.run(models=SMALL))
+        assert "Figure 1" in text
+        assert "small_a" in text
+
+
+class TestFig12:
+    def test_speedups_in_paper_band(self):
+        rows = fig12_overall.run(models=SMALL)
+        for row in rows:
+            assert 1.0 <= row.speedup < 1.6
+            assert row.overlapped_utilization > row.baseline_utilization
+            assert (
+                row.overlapped_comm_fraction < row.baseline_comm_fraction
+            )
+
+    def test_average_speedup(self):
+        rows = fig12_overall.run(models=SMALL)
+        avg = fig12_overall.average_speedup(rows)
+        assert 1.0 < avg < 1.6
+
+
+class TestFig13:
+    def test_consistent_improvement_across_sizes(self):
+        rows = fig13_weak_scaling.run(models=SMALL)
+        assert all(r.speedup >= 1.0 for r in rows)
+
+
+class TestFig14:
+    def test_unrolling_never_hurts(self):
+        rows = fig14_unrolling.run(models=SMALL)
+        for row in rows:
+            assert row.unrolling_gain >= 0.999
+            assert row.normalized_time_with <= row.normalized_time_without + 1e-9
+
+
+class TestFig15:
+    def test_bidirectional_never_hurts(self):
+        rows = fig15_bidirectional.run(models=SMALL)
+        for row in rows:
+            assert row.bidirectional_gain >= 0.999
+
+
+class TestFig16:
+    def test_bottom_up_at_least_as_fast(self):
+        rows = fig16_scheduling.run(models=SMALL)
+        for row in rows:
+            assert row.bottom_up_advantage >= 0.999
+        assert fig16_scheduling.average_advantage(rows) >= 1.0
+
+
+class TestEnergy:
+    def test_energy_reduction_equals_speedup(self):
+        rows = energy.run(models=SMALL)
+        comparisons = [compare(cfg) for cfg in SMALL]
+        for row, comparison in zip(rows, comparisons):
+            assert row.reduction == pytest.approx(comparison.speedup)
+
+    def test_energy_scales_with_chips_and_time(self):
+        (row, _) = energy.run(models=SMALL)
+        expected = (
+            row.report.baseline_time
+            * energy.CHIP_POWER_WATTS
+            * SMALL[0].num_chips
+        )
+        assert row.report.baseline_energy_joules == pytest.approx(expected)
+
+
+class TestInference:
+    def test_two_way_latency_improvement(self):
+        result = inference.run(
+            batch=1280, feature=4096, hidden=16384, num_layers=8
+        )
+        assert result.latency_improvement > 1.3
+        assert (
+            result.overlapped.communication_fraction
+            < result.baseline.communication_fraction
+        )
+
+    def test_report_renders(self):
+        result = inference.run(
+            batch=256, feature=1024, hidden=4096, num_layers=2
+        )
+        assert "latency improvement" in inference.format_report(result)
+
+
+class TestTables:
+    def test_table1_has_six_models(self):
+        assert len(tables.table1_rows()) == 6
+
+    def test_table2_has_six_gpts(self):
+        rows = tables.table2_rows()
+        assert len(rows) == 6
+        assert all(row[0].startswith("GPT") for row in rows)
+
+    def test_rendering(self):
+        assert "Table 1" in tables.format_table1()
+        assert "Table 2" in tables.format_table2()
+
+
+class TestCommon:
+    def test_comparison_properties(self):
+        comparison = compare(SMALL[0])
+        assert isinstance(comparison, Comparison)
+        assert comparison.speedup == pytest.approx(
+            1.0 / comparison.normalized_time
+        )
+
+    def test_cache_reuses_simulations(self):
+        from repro.experiments.common import cached_step
+
+        first = cached_step(SMALL[0])
+        second = cached_step(SMALL[0])
+        assert first is second
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")

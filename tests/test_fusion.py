@@ -1,0 +1,153 @@
+"""Tests for fusion grouping, the concat rewrite, and the Figure 11 rule."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import (
+    clear_fusion,
+    rewrite_concat_as_pad_max,
+    run_fusion,
+)
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.instruction import ShardIndex
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+from repro.runtime.executor import run_spmd
+
+
+class TestConcatRewrite:
+    def _concat_into_einsum(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((2, 3), F32), name="a")
+        b = builder.parameter(Shape((2, 3), F32), name="b")
+        combined = builder.concatenate([a, b], 1)
+        w = builder.parameter(Shape((6, 4), F32), name="w")
+        builder.einsum("bf,fh->bh", combined, w)
+        return builder.module
+
+    def test_rewrites_concat_feeding_einsum(self):
+        module = self._concat_into_einsum()
+        assert rewrite_concat_as_pad_max(module) == 1
+        assert module.count(Opcode.CONCATENATE) == 0
+        assert module.count(Opcode.PAD) == 2
+        assert module.count(Opcode.MAXIMUM) == 1
+
+    def test_rewrite_preserves_numerics(self, rng):
+        arguments = {
+            "a": [rng.normal(size=(2, 3))],
+            "b": [rng.normal(size=(2, 3))],
+            "w": [rng.normal(size=(6, 4))],
+        }
+        original = self._concat_into_einsum()
+        expected = run_spmd(original, arguments, 1)[original.root.name]
+        rewritten = self._concat_into_einsum()
+        rewrite_concat_as_pad_max(rewritten)
+        got = run_spmd(rewritten, arguments, 1)[rewritten.root.name]
+        np.testing.assert_allclose(got[0], expected[0])
+
+    def test_concat_not_feeding_einsum_untouched(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((2,), F32), name="a")
+        combined = builder.concatenate([a, a], 0)
+        builder.negate(combined)
+        assert rewrite_concat_as_pad_max(builder.module) == 0
+
+    def test_three_way_concat_untouched(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((2, 2), F32), name="a")
+        combined = builder.concatenate([a, a, a], 1)
+        w = builder.parameter(Shape((6, 4), F32), name="w")
+        builder.einsum("bf,fh->bh", combined, w)
+        assert rewrite_concat_as_pad_max(builder.module) == 0
+
+
+class TestGrouping:
+    def test_preprocessing_chain_absorbed(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((4, 8), F32), name="a")
+        sliced = builder.dynamic_slice(a, 1, ShardIndex.constant(0), 4)
+        w = builder.parameter(Shape((4, 4), F32), name="w")
+        einsum = builder.einsum("bf,fh->bh", sliced, w)
+        groups = run_fusion(builder.module)
+        assert groups == 1
+        assert sliced.fusion_group == einsum.fusion_group
+
+    def test_multi_user_preprocessing_not_absorbed(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((4, 8), F32), name="a")
+        sliced = builder.dynamic_slice(a, 1, ShardIndex.constant(0), 4)
+        w = builder.parameter(Shape((4, 4), F32), name="w")
+        builder.einsum("bf,fh->bh", sliced, w)
+        builder.negate(sliced)  # second user
+        run_fusion(builder.module)
+        assert sliced.fusion_group is None
+
+    def test_combiner_absorbed_into_einsum_group(self):
+        builder = GraphBuilder("m")
+        acc = builder.parameter(Shape((4, 4), F32), name="acc")
+        lhs = builder.parameter(Shape((4, 8), F32), name="lhs")
+        rhs = builder.parameter(Shape((8, 4), F32), name="rhs")
+        einsum = builder.einsum("bf,fh->bh", lhs, rhs)
+        add = builder.add(acc, einsum)
+        run_fusion(builder.module)
+        assert add.fusion_group == einsum.fusion_group
+
+    def test_combiner_with_independent_late_operand_absorbed(self):
+        """A later-defined independent operand does not block fusion: the
+        fused kernel runs at the combiner's position."""
+        builder = GraphBuilder("m")
+        lhs = builder.parameter(Shape((4, 8), F32), name="lhs")
+        rhs = builder.parameter(Shape((8, 4), F32), name="rhs")
+        einsum = builder.einsum("bf,fh->bh", lhs, rhs)
+        late = builder.einsum("bf,fh->bh", lhs, rhs)
+        add = builder.add(einsum, late)
+        run_fusion(builder.module, overlap_aware=False)
+        assert add.fusion_group == einsum.fusion_group
+
+    def test_combiner_with_dependent_operand_not_absorbed(self):
+        """Fusing would create a cycle: the other operand consumes the
+        chosen group's result."""
+        builder = GraphBuilder("m")
+        lhs = builder.parameter(Shape((4, 8), F32), name="lhs")
+        rhs = builder.parameter(Shape((8, 4), F32), name="rhs")
+        einsum = builder.einsum("bf,fh->bh", lhs, rhs)
+        derived = builder.negate(einsum)  # external user of the group
+        add = builder.add(einsum, derived)
+        run_fusion(builder.module, overlap_aware=False)
+        assert add.fusion_group is None
+
+    def test_clear_fusion(self):
+        builder = GraphBuilder("m")
+        lhs = builder.parameter(Shape((4, 8), F32))
+        rhs = builder.parameter(Shape((8, 4), F32))
+        builder.einsum("bf,fh->bh", lhs, rhs)
+        run_fusion(builder.module)
+        clear_fusion(builder.module)
+        assert all(i.fusion_group is None for i in builder.module)
+
+
+class TestFigure11Priority:
+    """The Add must fuse with the einsum consuming the permute done."""
+
+    def _figure11_module(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((4, 8), F32), name="a")
+        w = builder.parameter(Shape((8, 4), F32), name="w")
+        start = builder.collective_permute_start(a, [(0, 1), (1, 0)])
+        einsum_independent = builder.einsum("bf,fh->bh", a, w)
+        done = builder.collective_permute_done(start)
+        einsum_dependent = builder.einsum("bf,fh->bh", done, w)
+        add = builder.add(einsum_independent, einsum_dependent)
+        return builder.module, einsum_independent, einsum_dependent, add
+
+    def test_overlap_aware_picks_dependent_einsum(self):
+        module, independent, dependent, add = self._figure11_module()
+        run_fusion(module, overlap_aware=True)
+        assert add.fusion_group == dependent.fusion_group
+        assert add.fusion_group != independent.fusion_group
+
+    def test_default_heuristic_picks_first_operand(self):
+        module, independent, dependent, add = self._figure11_module()
+        run_fusion(module, overlap_aware=False)
+        assert add.fusion_group == independent.fusion_group

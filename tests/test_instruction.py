@@ -1,0 +1,101 @@
+"""Unit tests for Instruction, ShardIndex and ring-pair construction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hlo.dtypes import F32
+from repro.hlo.instruction import (
+    Instruction,
+    ShardIndex,
+    collective_permute_pairs,
+)
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+
+
+class TestShardIndex:
+    def test_constant_ignores_partition(self):
+        index = ShardIndex.constant(5)
+        assert index.evaluate(0) == 5
+        assert index.evaluate(17) == 5
+
+    def test_shard_selects_ring_offset(self):
+        # Shard (pid + 2) mod 4, shard size 8.
+        index = ShardIndex.shard(coeff=1, offset=2, num_shards=4, shard_size=8)
+        assert index.shard_id(0) == 2
+        assert index.shard_id(3) == 1
+        assert index.evaluate(3) == 8
+
+    def test_div_extracts_mesh_coordinate(self):
+        # Mesh [x=2, y=4] row-major: coordinate along x is pid // 4.
+        index = ShardIndex.shard(1, 0, num_shards=2, shard_size=3, div=4)
+        assert index.shard_id(0) == 0
+        assert index.shard_id(3) == 0
+        assert index.shard_id(4) == 1
+        assert index.evaluate(7) == 3
+
+    def test_zero_modulus_disables_wraparound(self):
+        index = ShardIndex(coeff=2, offset=1, modulus=0, stride=10)
+        assert index.evaluate(3) == 70
+
+    @given(st.integers(0, 63), st.integers(0, 15), st.integers(1, 16))
+    def test_shard_id_always_in_range(self, pid, offset, num_shards):
+        index = ShardIndex.shard(1, offset, num_shards, shard_size=4)
+        assert 0 <= index.shard_id(pid) < num_shards
+
+
+class TestPermutePairs:
+    def test_shift_plus_one_sends_left(self):
+        # The paper's {0, N-1}, {1, 0}, ... pattern.
+        pairs = collective_permute_pairs((0, 1, 2, 3), shift=1)
+        assert pairs == [(0, 3), (1, 0), (2, 1), (3, 2)]
+
+    def test_shift_minus_one_sends_right(self):
+        pairs = collective_permute_pairs((0, 1, 2, 3), shift=-1)
+        assert pairs == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+    def test_shift_two_hops(self):
+        pairs = collective_permute_pairs((0, 1, 2, 3), shift=2)
+        assert pairs == [(0, 2), (1, 3), (2, 0), (3, 1)]
+
+    def test_non_contiguous_group(self):
+        pairs = collective_permute_pairs((0, 2, 4), shift=1)
+        assert pairs == [(0, 4), (2, 0), (4, 2)]
+
+    @given(st.integers(2, 8), st.integers(-3, 3))
+    def test_pairs_form_permutation(self, size, shift):
+        group = tuple(range(size))
+        pairs = collective_permute_pairs(group, shift)
+        assert sorted(s for s, _ in pairs) == list(group)
+        assert sorted(d for _, d in pairs) == list(group)
+
+
+class TestInstruction:
+    def _make(self, name="a"):
+        return Instruction(name, Opcode.PARAMETER, Shape((2,), F32))
+
+    def test_fresh_names_unique(self):
+        assert Instruction.fresh_name("x") != Instruction.fresh_name("x")
+
+    def test_replace_operand(self):
+        a, b, c = self._make("a"), self._make("b"), self._make("c")
+        add = Instruction("add", Opcode.ADD, Shape((2,), F32), [a, b])
+        add.replace_operand(a, c)
+        assert add.operands == [c, b]
+
+    def test_replace_operand_all_occurrences(self):
+        a, c = self._make("a"), self._make("c")
+        add = Instruction("add", Opcode.ADD, Shape((2,), F32), [a, a])
+        add.replace_operand(a, c)
+        assert add.operands == [c, c]
+
+    def test_identity_equality(self):
+        assert self._make("a") != self._make("a")
+
+    def test_is_communication(self):
+        start = Instruction(
+            "s", Opcode.COLLECTIVE_PERMUTE_START, Shape((2,), F32)
+        )
+        assert start.is_communication()
+        assert not self._make().is_communication()

@@ -1,0 +1,229 @@
+"""Tests for the rolled While form of Algorithm 1 and the unroller."""
+
+import numpy as np
+import pytest
+
+from repro.core.decompose import DecompositionError
+from repro.core.loop import emit_rolled, unroll_while
+from repro.core.patterns import find_candidates
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+from repro.runtime.executor import run_spmd
+from repro.sharding.mesh import DeviceMesh
+
+from helpers import split_shards
+
+
+def build_gather(mesh, case):
+    n = mesh.num_devices
+    builder = GraphBuilder("ag")
+    if case == "free":
+        a = builder.parameter(Shape((24 // n, 5), F32), name="a")
+        w = builder.parameter(Shape((5, 7), F32), name="w")
+        gathered = builder.all_gather(a, 0, mesh.rings("x"))
+        builder.einsum("bf,fh->bh", gathered, w)
+    elif case == "contracting":
+        a = builder.parameter(Shape((6, 24 // n), F32), name="a")
+        w = builder.parameter(Shape((24, 7), F32), name="w")
+        gathered = builder.all_gather(a, 1, mesh.rings("x"))
+        builder.einsum("bf,fh->bh", gathered, w)
+    else:
+        a = builder.parameter(Shape((24 // n, 3, 4), F32), name="a")
+        w = builder.parameter(Shape((24, 4, 5), F32), name="w")
+        gathered = builder.all_gather(a, 0, mesh.rings("x"))
+        builder.einsum("gbf,gfh->gbh", gathered, w)
+    return builder.module
+
+
+def build_scatter(mesh):
+    builder = GraphBuilder("rs")
+    a = builder.parameter(Shape((6, 5), F32), name="a")
+    w = builder.parameter(Shape((5, 24), F32), name="w")
+    out = builder.einsum("bf,fh->bh", a, w)
+    builder.reduce_scatter(out, 1, mesh.rings("x"))
+    return builder.module
+
+
+def gather_arguments(rng, case, n):
+    if case == "free":
+        a, w = rng.normal(size=(24, 5)), rng.normal(size=(5, 7))
+        return {"a": split_shards(a, 0, n), "w": [w.copy()] * n}
+    if case == "contracting":
+        a, w = rng.normal(size=(6, 24)), rng.normal(size=(24, 7))
+        return {"a": split_shards(a, 1, n), "w": [w.copy()] * n}
+    a, w = rng.normal(size=(24, 3, 4)), rng.normal(size=(24, 4, 5))
+    return {"a": split_shards(a, 0, n), "w": [w.copy()] * n}
+
+
+CASES = ["free", "contracting", "batch", "rs"]
+
+
+def run_reference(build, mesh, arguments):
+    module = build()
+    return module, run_spmd(module, arguments, mesh.num_devices)[
+        module.root.name
+    ]
+
+
+@pytest.mark.parametrize("case", CASES)
+@pytest.mark.parametrize("ring", [2, 3, 4, 8])
+class TestRolledEquivalence:
+    def _setup(self, rng, case, ring):
+        mesh = DeviceMesh.ring(ring)
+        if case == "rs":
+            build = lambda: build_scatter(mesh)
+            arguments = {
+                "a": [rng.normal(size=(6, 5)) for _ in range(ring)],
+                "w": [rng.normal(size=(5, 24)) for _ in range(ring)],
+            }
+        else:
+            build = lambda: build_gather(mesh, case)
+            arguments = gather_arguments(rng, case, ring)
+        _, reference = run_reference(build, mesh, arguments)
+        return mesh, build, arguments, reference
+
+    def _check(self, module, mesh, arguments, reference):
+        got = run_spmd(module, arguments, mesh.num_devices)[module.root.name]
+        worst = max(np.abs(a - b).max() for a, b in zip(reference, got))
+        assert worst < 1e-9
+
+    def test_rolled_form(self, rng, case, ring):
+        mesh, build, arguments, reference = self._setup(rng, case, ring)
+        module = build()
+        (candidate,) = find_candidates(module)
+        loop = emit_rolled(module, candidate, mesh)
+        assert loop.opcode is Opcode.WHILE
+        assert loop.attrs["trip_count"] == ring
+        self._check(module, mesh, arguments, reference)
+
+    def test_full_unroll(self, rng, case, ring):
+        mesh, build, arguments, reference = self._setup(rng, case, ring)
+        module = build()
+        (candidate,) = find_candidates(module)
+        loop = emit_rolled(module, candidate, mesh)
+        unroll_while(module, loop)
+        assert module.count(Opcode.WHILE) == 0
+        self._check(module, mesh, arguments, reference)
+
+    def test_degree_two_unroll(self, rng, case, ring):
+        if ring % 2:
+            pytest.skip("degree-2 unrolling needs an even trip count")
+        mesh, build, arguments, reference = self._setup(rng, case, ring)
+        module = build()
+        (candidate,) = find_candidates(module)
+        loop = emit_rolled(module, candidate, mesh)
+        unroll_while(module, loop, factor=2)
+        remaining = module.count(Opcode.WHILE)
+        assert remaining == (0 if ring == 2 else 1)
+        self._check(module, mesh, arguments, reference)
+
+
+class TestUnrollStructure:
+    def test_full_unroll_drops_the_last_permute(self):
+        """Algorithm 1 guards the final AllGather transfer with
+        ``i < N-1``; the unroller recovers the guard by dead-code
+        elimination."""
+        mesh = DeviceMesh.ring(4)
+        module = build_gather(mesh, "free")
+        (candidate,) = find_candidates(module)
+        loop = emit_rolled(module, candidate, mesh)
+        unroll_while(module, loop)
+        assert module.count(Opcode.COLLECTIVE_PERMUTE) == 3
+
+    def test_reduce_scatter_keeps_all_permutes(self):
+        mesh = DeviceMesh.ring(4)
+        module = build_scatter(mesh)
+        (candidate,) = find_candidates(module)
+        loop = emit_rolled(module, candidate, mesh)
+        unroll_while(module, loop)
+        assert module.count(Opcode.COLLECTIVE_PERMUTE) == 4
+
+    def test_partial_unroll_halves_trip_count(self):
+        mesh = DeviceMesh.ring(8)
+        module = build_gather(mesh, "free")
+        (candidate,) = find_candidates(module)
+        loop = emit_rolled(module, candidate, mesh)
+        (new_loop,) = unroll_while(module, loop, factor=2)
+        assert new_loop.attrs["trip_count"] == 4
+        body = new_loop.attrs["body"]
+        assert len(body.find(lambda i: i.opcode is Opcode.EINSUM)) == 2
+
+    def test_partial_unroll_steps_shard_indices(self):
+        mesh = DeviceMesh.ring(8)
+        module = build_gather(mesh, "free")
+        (candidate,) = find_candidates(module)
+        loop = emit_rolled(module, candidate, mesh)
+        (new_loop,) = unroll_while(module, loop, factor=2)
+        body = new_loop.attrs["body"]
+        updates = body.find(
+            lambda i: i.opcode is Opcode.DYNAMIC_UPDATE_SLICE
+        )
+        starts = [u.attrs["start"] for u in updates]
+        assert {s.iter_coeff for s in starts} == {2}
+        assert {s.offset for s in starts} == {0, 1}
+
+    def test_factor_must_divide(self):
+        mesh = DeviceMesh.ring(8)
+        module = build_gather(mesh, "free")
+        (candidate,) = find_candidates(module)
+        loop = emit_rolled(module, candidate, mesh)
+        with pytest.raises(DecompositionError, match="divide"):
+            unroll_while(module, loop, factor=3)
+
+    def test_unroll_requires_while(self):
+        mesh = DeviceMesh.ring(4)
+        module = build_gather(mesh, "free")
+        with pytest.raises(DecompositionError, match="not a while"):
+            unroll_while(module, module.root)
+
+
+class TestWhileExecutor:
+    def test_simple_counted_accumulation(self, rng):
+        """sum over 5 iterations of (state + x) == state0 + 5x."""
+        body = GraphBuilder("body")
+        state = body.parameter(Shape((3,), F32), name="state")
+        x = body.parameter(Shape((3,), F32), name="x")
+        body.add(state, x, name="next")
+
+        builder = GraphBuilder("m")
+        init = builder.parameter(Shape((3,), F32), name="init")
+        step = builder.parameter(Shape((3,), F32), name="step")
+        builder.while_loop(
+            trip_count=5, body=body.module,
+            body_outputs=["next", "x"],
+            initial_state=[init, step], result_index=0,
+        )
+        init_value = rng.normal(size=3)
+        step_value = rng.normal(size=3)
+        out = run_spmd(
+            builder.module, {"init": [init_value], "step": [step_value]}, 1
+        )[builder.module.root.name]
+        np.testing.assert_allclose(out[0], init_value + 5 * step_value)
+
+    def test_state_shape_mismatch_rejected(self):
+        body = GraphBuilder("body")
+        body.parameter(Shape((3,), F32), name="state")
+        body.negate(body.module.get("state"))
+        builder = GraphBuilder("m")
+        wrong = builder.parameter(Shape((4,), F32), name="wrong")
+        with pytest.raises(ValueError, match="shape"):
+            builder.while_loop(
+                trip_count=2, body=body.module,
+                body_outputs=[body.module.root.name],
+                initial_state=[wrong], result_index=0,
+            )
+
+    def test_trip_count_validated(self):
+        body = GraphBuilder("body")
+        state = body.parameter(Shape((3,), F32), name="state")
+        body.negate(state)
+        builder = GraphBuilder("m")
+        init = builder.parameter(Shape((3,), F32), name="init")
+        with pytest.raises(ValueError, match="trip_count"):
+            builder.while_loop(
+                trip_count=0, body=body.module,
+                body_outputs=[body.module.root.name],
+                initial_state=[init], result_index=0,
+            )

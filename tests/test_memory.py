@@ -1,0 +1,79 @@
+"""Tests for the liveness / peak-memory analysis."""
+
+import pytest
+
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.shapes import Shape
+from repro.runtime.memory import profile_memory
+
+
+def test_single_chain_peak():
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((1024,), F32), name="a")  # 4 KiB
+    b = builder.negate(a)
+    builder.negate(b)
+    profile = profile_memory(builder.module)
+    # At most two 4 KiB values live at once (operand + result).
+    assert profile.peak_bytes == 2 * 4096
+
+
+def test_long_lived_value_raises_peak():
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((1024,), F32), name="a")
+    b = builder.negate(a)
+    c = builder.negate(b)
+    builder.add(c, a)  # keeps `a` live across the whole chain
+    profile = profile_memory(builder.module)
+    assert profile.peak_bytes == 3 * 4096
+
+
+def test_schedule_order_changes_peak():
+    """Producing all values up front holds them live simultaneously."""
+
+    def build(interleaved):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((1024,), F32), name="a")
+        if interleaved:
+            total = builder.negate(a)
+            for _ in range(3):
+                total = builder.add(total, builder.negate(a))
+        else:
+            values = [builder.negate(a) for _ in range(4)]
+            total = values[0]
+            for value in values[1:]:
+                total = builder.add(total, value)
+        return builder.module
+
+    eager_peak = profile_memory(build(False)).peak_bytes
+    interleaved_peak = profile_memory(build(True)).peak_bytes
+    assert interleaved_peak < eager_peak
+
+
+def test_in_flight_transfer_keeps_operand_alive():
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((1024,), F32), name="a")
+    start = builder.collective_permute_start(a, [(0, 1), (1, 0)])
+    b = builder.negate(a)
+    c = builder.negate(b)
+    done = builder.collective_permute_done(start)
+    builder.add(done, c)
+    profile = profile_memory(builder.module)
+    # `a` must stay live until the done retires even though its last
+    # direct compute use is earlier.
+    assert profile.peak_bytes >= 3 * 4096
+
+
+def test_trace_length_matches_instructions():
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((8,), F32), name="a")
+    builder.negate(a)
+    profile = profile_memory(builder.module)
+    assert len(profile.live_bytes_trace) == 2
+
+
+def test_peak_mib_conversion():
+    builder = GraphBuilder("m")
+    builder.parameter(Shape((1024 * 1024,), F32), name="a")  # 4 MiB
+    profile = profile_memory(builder.module)
+    assert profile.peak_mib == pytest.approx(4.0)

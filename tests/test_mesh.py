@@ -1,0 +1,105 @@
+"""Unit and property tests for DeviceMesh."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sharding.mesh import DeviceMesh
+
+
+class TestConstruction:
+    def test_ring(self):
+        mesh = DeviceMesh.ring(4)
+        assert mesh.num_devices == 4
+        assert mesh.axis_names == ("x",)
+
+    def test_grid(self):
+        mesh = DeviceMesh.grid({"x": 2, "y": 3})
+        assert mesh.num_devices == 6
+        assert mesh.axis_sizes == (2, 3)
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DeviceMesh(("x", "x"), (2, 2))
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            DeviceMesh(("x",), (0,))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            DeviceMesh(("x", "y"), (2,))
+
+
+class TestCoordinates:
+    def test_row_major_layout(self):
+        mesh = DeviceMesh.grid({"x": 2, "y": 3})
+        assert mesh.coordinates(0) == (0, 0)
+        assert mesh.coordinates(1) == (0, 1)
+        assert mesh.coordinates(3) == (1, 0)
+        assert mesh.coordinates(5) == (1, 2)
+
+    def test_device_id_roundtrip(self):
+        mesh = DeviceMesh.grid({"a": 2, "b": 3, "c": 4})
+        for device in range(mesh.num_devices):
+            assert mesh.device_id(mesh.coordinates(device)) == device
+
+    def test_out_of_range_rejected(self):
+        mesh = DeviceMesh.ring(4)
+        with pytest.raises(ValueError, match="out of range"):
+            mesh.coordinates(4)
+        with pytest.raises(ValueError, match="bounds"):
+            mesh.device_id((4,))
+
+    @given(st.lists(st.integers(1, 5), min_size=1, max_size=3))
+    def test_roundtrip_property(self, sizes):
+        mesh = DeviceMesh(tuple(f"a{i}" for i in range(len(sizes))), tuple(sizes))
+        for device in range(mesh.num_devices):
+            assert mesh.device_id(mesh.coordinates(device)) == device
+
+
+class TestRings:
+    def test_1d_single_ring(self):
+        assert DeviceMesh.ring(4).rings("x") == [(0, 1, 2, 3)]
+
+    def test_2d_rings_along_y(self):
+        mesh = DeviceMesh.grid({"x": 2, "y": 3})
+        assert mesh.rings("y") == [(0, 1, 2), (3, 4, 5)]
+
+    def test_2d_rings_along_x(self):
+        mesh = DeviceMesh.grid({"x": 2, "y": 3})
+        assert mesh.rings("x") == [(0, 3), (1, 4), (2, 5)]
+
+    def test_rings_partition_devices(self):
+        mesh = DeviceMesh.grid({"x": 2, "y": 3, "z": 2})
+        for axis in mesh.axis_names:
+            devices = [d for ring in mesh.rings(axis) for d in ring]
+            assert sorted(devices) == list(range(mesh.num_devices))
+
+    def test_ring_order_matches_axis_coordinate(self):
+        mesh = DeviceMesh.grid({"x": 2, "y": 3})
+        for ring in mesh.rings("y"):
+            positions = [mesh.position_in_ring(d, "y") for d in ring]
+            assert positions == [0, 1, 2]
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown mesh axis"):
+            DeviceMesh.ring(4).rings("z")
+
+
+class TestStrides:
+    def test_axis_stride_row_major(self):
+        mesh = DeviceMesh.grid({"x": 2, "y": 3, "z": 4})
+        assert mesh.axis_stride("z") == 1
+        assert mesh.axis_stride("y") == 4
+        assert mesh.axis_stride("x") == 12
+
+    def test_stride_recovers_coordinate(self):
+        mesh = DeviceMesh.grid({"x": 3, "y": 4})
+        for device in range(mesh.num_devices):
+            for axis in ("x", "y"):
+                stride = mesh.axis_stride(axis)
+                size = mesh.axis_size(axis)
+                assert (device // stride) % size == mesh.position_in_ring(
+                    device, axis
+                )

@@ -1,0 +1,77 @@
+"""Tests for StepReport / EnergyReport metrics."""
+
+import pytest
+
+from repro.perfsim.metrics import EnergyReport, StepReport
+
+
+def make_report(**overrides):
+    base = dict(
+        total_time=2.0,
+        compute_time=1.2,
+        sync_collective_time=0.3,
+        permute_wait_time=0.5,
+        transfer_time_total=1.5,
+        flops=1e15,
+        link_bytes={("x", "minus"): 1000},
+        peak_flops=1e15,
+    )
+    base.update(overrides)
+    return StepReport(**base)
+
+
+class TestStepReport:
+    def test_exposed_communication(self):
+        report = make_report()
+        assert report.exposed_communication_time == pytest.approx(0.8)
+
+    def test_hidden_transfer_time(self):
+        report = make_report()
+        assert report.hidden_transfer_time == pytest.approx(1.0)
+
+    def test_hidden_never_negative(self):
+        report = make_report(transfer_time_total=0.2, permute_wait_time=0.5)
+        assert report.hidden_transfer_time == 0.0
+
+    def test_communication_fraction(self):
+        assert make_report().communication_fraction == pytest.approx(0.4)
+
+    def test_communication_fraction_of_empty_report(self):
+        assert make_report(total_time=0.0).communication_fraction == 0.0
+
+    def test_utilization(self):
+        report = make_report()
+        assert report.flops_utilization == pytest.approx(0.5)
+
+    def test_utilization_of_empty_report(self):
+        assert make_report(total_time=0.0).flops_utilization == 0.0
+
+    def test_scaled_preserves_ratios(self):
+        report = make_report()
+        scaled = report.scaled(7)
+        assert scaled.total_time == pytest.approx(14.0)
+        assert scaled.link_bytes[("x", "minus")] == 7000
+        assert scaled.communication_fraction == pytest.approx(
+            report.communication_fraction
+        )
+        assert scaled.flops_utilization == pytest.approx(
+            report.flops_utilization
+        )
+
+    def test_repr_mentions_utilization(self):
+        assert "util=" in repr(make_report())
+
+
+class TestEnergyReport:
+    def test_energy_follows_time(self):
+        report = EnergyReport(
+            baseline_time=2.0, optimized_time=1.6,
+            chip_power_watts=200.0, num_chips=100,
+        )
+        assert report.baseline_energy_joules == pytest.approx(40000.0)
+        assert report.optimized_energy_joules == pytest.approx(32000.0)
+        assert report.energy_reduction == pytest.approx(1.25)
+
+    def test_zero_optimized_energy(self):
+        report = EnergyReport(1.0, 0.0, 100.0, 1)
+        assert report.energy_reduction == 1.0

@@ -1,0 +1,157 @@
+"""Unit tests for HloModule invariants and transformations."""
+
+import pytest
+
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.instruction import Instruction
+from repro.hlo.module import HloModule, VerificationError
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+
+
+def small_module():
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((4,), F32), name="a")
+    b = builder.parameter(Shape((4,), F32), name="b")
+    add = builder.add(a, b)
+    out = builder.negate(add)
+    return builder.module, (a, b, add, out)
+
+
+class TestConstruction:
+    def test_root_tracks_last_added(self):
+        module, (_, _, _, out) = small_module()
+        assert module.root is out
+
+    def test_duplicate_name_rejected(self):
+        module, _ = small_module()
+        with pytest.raises(VerificationError, match="duplicate"):
+            module.add(Instruction("a", Opcode.PARAMETER, Shape((4,), F32)))
+
+    def test_get_by_name(self):
+        module, (a, *_rest) = small_module()
+        assert module.get("a") is a
+
+    def test_contains(self):
+        module, (a, *_rest) = small_module()
+        assert a in module
+        other = Instruction("zz", Opcode.PARAMETER, Shape((4,), F32))
+        assert other not in module
+
+    def test_insert_before(self):
+        module, (a, b, add, _) = small_module()
+        extra = Instruction("extra", Opcode.COPY, Shape((4,), F32), [a])
+        module.insert_before(add, extra)
+        names = [i.name for i in module]
+        assert names.index("extra") == names.index(add.name) - 1
+        module.verify()
+
+    def test_splice_before_preserves_order(self):
+        module, (a, _, add, _) = small_module()
+        extras = [
+            Instruction(f"x{i}", Opcode.COPY, Shape((4,), F32), [a])
+            for i in range(3)
+        ]
+        module.splice_before(add, extras)
+        names = [i.name for i in module]
+        position = names.index(add.name)
+        assert names[position - 3:position] == ["x0", "x1", "x2"]
+        module.verify()
+
+
+class TestVerification:
+    def test_valid_module_verifies(self):
+        module, _ = small_module()
+        module.verify()
+
+    def test_use_before_def_rejected(self):
+        module, (a, b, add, out) = small_module()
+        module.reorder
+        with pytest.raises(VerificationError, match="before its definition"):
+            module.reorder([add, a, b, out])
+
+    def test_reorder_requires_permutation(self):
+        module, (a, b, add, out) = small_module()
+        with pytest.raises(VerificationError, match="permutation"):
+            module.reorder([a, b, add])
+
+    def test_reorder_valid_permutation(self):
+        module, (a, b, add, out) = small_module()
+        module.reorder([b, a, add, out])
+        assert [i.name for i in module][:2] == ["b", "a"]
+
+    def test_done_requires_start_operand(self):
+        module, (a, *_rest) = small_module()
+        bogus = Instruction(
+            "done", Opcode.COLLECTIVE_PERMUTE_DONE, Shape((4,), F32), [a]
+        )
+        module.add(bogus)
+        with pytest.raises(VerificationError, match="start"):
+            module.verify()
+
+
+class TestMutation:
+    def test_replace_all_uses(self):
+        module, (a, b, add, out) = small_module()
+        builder = GraphBuilder.into(module, add)
+        copy = builder.copy(a)
+        builder.flush()
+        module.replace_all_uses(add, copy)
+        assert out.operands == [copy]
+        module.remove(add)
+        module.verify()
+
+    def test_replace_all_uses_updates_root(self):
+        module, (a, _, _, out) = small_module()
+        module.replace_all_uses(out, a)
+        assert module.root is a
+
+    def test_remove_with_users_rejected(self):
+        module, (a, *_rest) = small_module()
+        with pytest.raises(VerificationError, match="used by"):
+            module.remove(a)
+
+    def test_dead_code_eliminate(self):
+        module, (a, b, add, out) = small_module()
+        builder = GraphBuilder.into(module, out)
+        dead = builder.copy(b)
+        builder.flush()
+        removed = module.dead_code_eliminate()
+        assert removed == 1
+        assert dead not in module
+
+    def test_rebuild_swaps_contents(self):
+        module, (a, b, add, out) = small_module()
+        module.rebuild([a, b, add], root=add)
+        assert module.root is add
+        assert len(module) == 3
+
+    def test_rebuild_duplicate_names_rejected(self):
+        module, (a, b, *_rest) = small_module()
+        clone = Instruction("a", Opcode.PARAMETER, Shape((4,), F32))
+        with pytest.raises(VerificationError, match="duplicate"):
+            module.rebuild([a, b, clone])
+
+
+class TestQueries:
+    def test_users_of(self):
+        module, (a, b, add, out) = small_module()
+        assert module.users_of(a) == [add]
+        assert module.users_of(add) == [out]
+
+    def test_user_map_counts_duplicates_once(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((4,), F32), name="a")
+        add = builder.add(a, a)
+        users = builder.module.user_map()
+        assert users[a] == [add]
+
+    def test_count(self):
+        module, _ = small_module()
+        assert module.count(Opcode.PARAMETER) == 2
+        assert module.count(Opcode.ADD) == 1
+
+    def test_parameters(self):
+        module, (a, b, *_rest) = small_module()
+        assert module.parameters() == [a, b]

@@ -1,0 +1,77 @@
+"""Cross-validation of the symmetric walk against the multi-device mode."""
+
+import pytest
+
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import compile_module
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import BF16
+from repro.hlo.shapes import Shape
+from repro.perfsim.multidevice import simulate_per_device
+from repro.perfsim.simulator import simulate
+from repro.sharding.mesh import DeviceMesh
+
+
+def overlap_module(mesh):
+    n = mesh.num_devices
+    builder = GraphBuilder("m")
+    x = builder.parameter(Shape((1024, 2048), BF16), name="x")
+    w = builder.parameter(Shape((2048, 4096 // n), BF16), name="w")
+    gathered = builder.all_gather(w, 1, mesh.rings("x"))
+    hidden = builder.einsum("bf,fh->bh", x, gathered)
+    w2 = builder.parameter(Shape((4096 // n, 2048), BF16), name="w2")
+    gathered2 = builder.all_gather(w2, 0, mesh.rings("x"))
+    builder.einsum("bh,hf->bf", hidden, gathered2)
+    return builder.module
+
+
+@pytest.mark.parametrize("scheduler", ["in_order", "bottom_up", "top_down"])
+@pytest.mark.parametrize("ring", [2, 4, 8])
+def test_symmetric_walk_matches_per_device(ring, scheduler):
+    """SPMD symmetry: every device's timeline equals the representative
+    walk, for every scheduler."""
+    mesh = DeviceMesh.ring(ring)
+    module = overlap_module(mesh)
+    compile_module(
+        module, mesh, OverlapConfig(use_cost_model=False, scheduler=scheduler)
+    )
+    report = simulate(module, mesh)
+    timelines = simulate_per_device(module, mesh)
+    assert len(timelines) == ring
+    for timeline in timelines:
+        assert timeline.total_time == pytest.approx(report.total_time)
+        assert timeline.permute_wait_time == pytest.approx(
+            report.permute_wait_time
+        )
+
+
+def test_two_dimensional_mesh_symmetry():
+    mesh = DeviceMesh.grid({"x": 2, "y": 4})
+    builder = GraphBuilder("m")
+    x = builder.parameter(Shape((512, 1024), BF16), name="x")
+    w = builder.parameter(Shape((1024, 512), BF16), name="w")
+    gathered = builder.all_gather(w, 1, mesh.rings("y"))
+    builder.einsum("bf,fh->bh", x, gathered)
+    compile_module(builder.module, mesh, OverlapConfig(use_cost_model=False))
+    report = simulate(builder.module, mesh)
+    for timeline in simulate_per_device(builder.module, mesh):
+        assert timeline.total_time == pytest.approx(report.total_time)
+
+
+def test_sync_collective_acts_as_group_barrier():
+    mesh = DeviceMesh.ring(4)
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((1 << 20,), BF16), name="a")
+    builder.all_gather(a, 0, mesh.rings("x"))
+    timelines = simulate_per_device(builder.module, mesh)
+    times = {round(t.total_time, 12) for t in timelines}
+    assert len(times) == 1
+    assert times.pop() > 0.0
+
+
+def test_baseline_has_no_waits():
+    mesh = DeviceMesh.ring(4)
+    module = overlap_module(mesh)
+    compile_module(module, mesh, OverlapConfig.baseline())
+    for timeline in simulate_per_device(module, mesh):
+        assert timeline.permute_wait_time == 0.0

@@ -1,0 +1,161 @@
+"""Round-trip tests for the HLO text parser."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import compile_module
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.instruction import ShardIndex
+from repro.hlo.parser import ParseError, parse_module
+from repro.hlo.printer import format_module
+from repro.hlo.shapes import Shape
+from repro.runtime.executor import run_spmd
+from repro.sharding.mesh import DeviceMesh
+
+
+def assert_round_trip(module):
+    text = format_module(module)
+    parsed = parse_module(text)
+    assert format_module(parsed) == text
+    assert len(parsed) == len(module)
+    for original, rebuilt in zip(module, parsed):
+        assert original.name == rebuilt.name
+        assert original.opcode is rebuilt.opcode
+        assert original.shape == rebuilt.shape
+        assert [o.name for o in original.operands] == [
+            o.name for o in rebuilt.operands
+        ]
+        assert original.fusion_group == rebuilt.fusion_group
+    return parsed
+
+
+class TestRoundTrip:
+    def test_simple_chain(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((4, 6), F32), name="a")
+        builder.negate(builder.add(a, a))
+        assert_round_trip(builder.module)
+
+    def test_collectives_and_attrs(self):
+        builder = GraphBuilder("m")
+        mesh = DeviceMesh.ring(4)
+        a = builder.parameter(Shape((4, 8), F32), name="a")
+        gathered = builder.all_gather(a, 0, mesh.rings("x"))
+        builder.reduce_scatter(gathered, 1, mesh.rings("x"))
+        builder.collective_permute(a, [(0, 1), (1, 0)], direction="plus")
+        parsed = assert_round_trip(builder.module)
+        gather = parsed.get(gathered.name)
+        assert gather.attrs["dim"] == 0
+        assert gather.groups == [(0, 1, 2, 3)]
+
+    def test_shard_index_attrs(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((8, 4), F32), name="a")
+        builder.dynamic_slice(
+            a, 0, ShardIndex.shard(1, 2, num_shards=4, shard_size=2, div=2), 2
+        )
+        parsed = assert_round_trip(builder.module)
+        start = parsed.root.attrs["start"]
+        assert isinstance(start, ShardIndex)
+        assert (start.coeff, start.offset, start.modulus, start.stride,
+                start.div) == (1, 2, 4, 2, 2)
+
+    def test_constant_payload(self):
+        builder = GraphBuilder("m")
+        builder.constant(np.arange(6.0).reshape(2, 3), F32)
+        parsed = assert_round_trip(builder.module)
+        value = np.asarray(parsed.root.attrs["value"])
+        np.testing.assert_array_equal(value, np.arange(6.0).reshape(2, 3))
+
+    def test_pad_with_infinity(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((2,), F32), name="a")
+        builder.pad(a, 0, 1, 1, value=float("-inf"))
+        parsed = assert_round_trip(builder.module)
+        assert parsed.root.attrs["value"] == float("-inf")
+
+    def test_einsum_equation_with_commas(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((2, 3), F32), name="a")
+        b = builder.parameter(Shape((3, 4), F32), name="b")
+        builder.einsum("bf,fh->bh", a, b)
+        parsed = assert_round_trip(builder.module)
+        assert parsed.root.equation == "bf,fh->bh"
+
+    def test_compiled_module_round_trips(self, rng):
+        """A fully compiled (decomposed, fused, scheduled) module survives
+        the text format, including fusion groups, and still executes
+        identically."""
+        mesh = DeviceMesh.ring(4)
+        builder = GraphBuilder("m")
+        x = builder.parameter(Shape((8, 12), F32), name="x")
+        w = builder.parameter(Shape((12, 4), F32), name="w")
+        gathered = builder.all_gather(w, 1, mesh.rings("x"))
+        builder.einsum("bf,fh->bh", x, gathered)
+        module = builder.module
+        compile_module(module, mesh, OverlapConfig(use_cost_model=False))
+        parsed = assert_round_trip(module)
+
+        arguments = {
+            "x": [rng.normal(size=(8, 12)) for _ in range(4)],
+            "w": [rng.normal(size=(12, 4)) for _ in range(4)],
+        }
+        expected = run_spmd(module, arguments, 4)[module.root.name]
+        got = run_spmd(parsed, arguments, 4)[parsed.root.name]
+        for a, b in zip(expected, got):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestErrors:
+    def test_empty_text(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_module("")
+
+    def test_bad_header(self):
+        with pytest.raises(ParseError, match="header"):
+            parse_module("NotAModule {\n}  // root = <none>")
+
+    def test_bad_footer(self):
+        with pytest.raises(ParseError, match="footer"):
+            parse_module("HloModule m {\n}")
+
+    def test_unknown_opcode(self):
+        text = (
+            "HloModule m {\n"
+            "  a = f32[2] warp-drive()\n"
+            "}  // root = a"
+        )
+        with pytest.raises(ParseError, match="unknown opcode"):
+            parse_module(text)
+
+    def test_undefined_operand(self):
+        text = (
+            "HloModule m {\n"
+            "  a = f32[2] negate(ghost)\n"
+            "}  // root = a"
+        )
+        with pytest.raises(ParseError, match="before definition"):
+            parse_module(text)
+
+    def test_undefined_root(self):
+        text = (
+            "HloModule m {\n"
+            "  a = f32[2] parameter()\n"
+            "}  // root = b"
+        )
+        with pytest.raises(ParseError, match="root"):
+            parse_module(text)
+
+    def test_hand_written_program_executes(self, rng):
+        text = (
+            "HloModule hand {\n"
+            "  x = f32[2,3] parameter()\n"
+            "  y = f32[2,3] add(x, x)\n"
+            "}  // root = y"
+        )
+        module = parse_module(text)
+        value = rng.normal(size=(2, 3))
+        out = run_spmd(module, {"x": [value]}, 1)[module.root.name]
+        np.testing.assert_allclose(out[0], 2 * value)

@@ -1,0 +1,204 @@
+"""Tests for the SPMD partitioner: structure and numerics."""
+
+import numpy as np
+import pytest
+
+from repro.hlo.dtypes import F32
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+from repro.runtime.executor import run_spmd
+from repro.sharding.mesh import DeviceMesh
+from repro.sharding.partitioner import LogicalGraph, partition
+from repro.sharding.propagation import ShardingError
+from repro.sharding.spec import ShardingSpec
+
+S = ShardingSpec
+
+
+def fig2_graph(batch=8, feature=6, hidden=12):
+    """Figure 2: weights sharded, gathered on demand; batch-sharded acts."""
+    graph = LogicalGraph("fig2")
+    graph.add_input("x", Shape((batch, feature), F32), S(("x", None)))
+    graph.add_input("w1", Shape((feature, hidden), F32), S((None, "x")))
+    graph.add_input("w2", Shape((hidden, feature), F32), S(("x", None)))
+    graph.add_einsum("bf,fh->bh", "x", "w1", "h", S(("x", None)))
+    graph.add_einsum("bh,hf->bf", "h", "w2", "y", S(("x", None)))
+    return graph
+
+
+class TestFig2:
+    def test_structure_matches_paper(self):
+        mesh = DeviceMesh.ring(4)
+        module = partition(fig2_graph(), mesh)
+        # One AllGather per einsum, no ReduceScatter in forward.
+        assert module.count(Opcode.ALL_GATHER) == 2
+        assert module.count(Opcode.REDUCE_SCATTER) == 0
+        assert module.count(Opcode.EINSUM) == 2
+
+    def test_numerics(self, rng):
+        mesh = DeviceMesh.ring(4)
+        module = partition(fig2_graph(), mesh)
+        x = rng.normal(size=(8, 6))
+        w1 = rng.normal(size=(6, 12))
+        w2 = rng.normal(size=(12, 6))
+        out = run_spmd(
+            module,
+            {
+                "x": np.split(x, 4, 0),
+                "w1": np.split(w1, 4, 1),
+                "w2": np.split(w2, 4, 0),
+            },
+            4,
+        )[module.root.name]
+        np.testing.assert_allclose(
+            np.concatenate(out, axis=0), (x @ w1) @ w2, rtol=1e-10
+        )
+
+
+def fig3_graph(batch=8, feature=8, hidden=16):
+    """Figure 3: 2D partitioning; second einsum ReduceScatters along x."""
+    graph = LogicalGraph("fig3")
+    graph.add_input("x", Shape((batch, feature), F32), S(("y", "x")))
+    graph.add_input("w1", Shape((feature, hidden), F32), S(("y", "x")))
+    graph.add_input("w2", Shape((hidden, feature), F32), S(("x", "y")))
+    graph.add_einsum("bf,fh->bh", "x", "w1", "h", S(("y", "x")))
+    graph.add_einsum("bh,hf->bf", "h", "w2", "out", S(("y", "x")))
+    return graph
+
+
+class TestFig3:
+    def test_structure_matches_paper(self):
+        mesh = DeviceMesh.grid({"x": 2, "y": 2})
+        module = partition(fig3_graph(), mesh)
+        # Einsum 1: activations gathered along x, weights along y;
+        # einsum 2: weights gathered along y, output ReduceScattered on x.
+        assert module.count(Opcode.ALL_GATHER) == 3
+        assert module.count(Opcode.REDUCE_SCATTER) == 1
+
+    def test_numerics(self, rng):
+        mesh = DeviceMesh.grid({"x": 2, "y": 2})
+        module = partition(fig3_graph(), mesh)
+        x = rng.normal(size=(8, 8))
+        w1 = rng.normal(size=(8, 16))
+        w2 = rng.normal(size=(16, 8))
+
+        def shard_2d(full, spec):
+            shards = []
+            for device in range(4):
+                view = full
+                for dim, axis in enumerate(spec.dim_axes):
+                    if axis is None:
+                        continue
+                    count = mesh.axis_size(axis)
+                    pos = mesh.position_in_ring(device, axis)
+                    view = np.split(view, count, axis=dim)[pos]
+                shards.append(view.copy())
+            return shards
+
+        out = run_spmd(
+            module,
+            {
+                "x": shard_2d(x, S(("y", "x"))),
+                "w1": shard_2d(w1, S(("y", "x"))),
+                "w2": shard_2d(w2, S(("x", "y"))),
+            },
+            4,
+        )[module.root.name]
+        expected = (x @ w1) @ w2
+        for device in range(4):
+            ypos = mesh.position_in_ring(device, "y")
+            xpos = mesh.position_in_ring(device, "x")
+            block = np.split(np.split(expected, 2, 0)[ypos], 2, 1)[xpos]
+            np.testing.assert_allclose(out[device], block, rtol=1e-10)
+
+
+class TestExplicitNodes:
+    def test_reshard_gathers(self):
+        mesh = DeviceMesh.ring(2)
+        graph = LogicalGraph("g")
+        graph.add_input("x", Shape((4, 4), F32), S(("x", None)))
+        graph.add_reshard("x", "x_full", S.replicated(2))
+        module = partition(graph, mesh)
+        assert module.count(Opcode.ALL_GATHER) == 1
+        assert module.root.shape.dims == (4, 4)
+
+    def test_reshard_slices_own_shard(self, rng):
+        mesh = DeviceMesh.ring(2)
+        graph = LogicalGraph("g")
+        graph.add_input("x", Shape((4, 4), F32), S.replicated(2))
+        graph.add_reshard("x", "x_sharded", S(("x", None)))
+        module = partition(graph, mesh)
+        assert module.count(Opcode.DYNAMIC_SLICE) == 1
+        x = rng.normal(size=(4, 4))
+        out = run_spmd(module, {"x": [x, x]}, 2)[module.root.name]
+        np.testing.assert_allclose(out[0], x[:2])
+        np.testing.assert_allclose(out[1], x[2:])
+
+    def test_reshard_cross_axis_rejected(self):
+        mesh = DeviceMesh.grid({"x": 2, "y": 2})
+        graph = LogicalGraph("g")
+        graph.add_input("x", Shape((4, 4), F32), S(("x", None)))
+        graph.add_reshard("x", "bad", S(("y", None)))
+        with pytest.raises(ShardingError, match="reshard"):
+            partition(graph, mesh)
+
+    def test_all_to_all_with_reshape(self, rng):
+        mesh = DeviceMesh.ring(2)
+        graph = LogicalGraph("g")
+        graph.add_input("x", Shape((4, 6), F32), S(("x", None)))
+        graph.add_all_to_all(
+            "x", "regrouped", 1, 1, "x",
+            out_shape=Shape((2, 2, 6), F32),
+            out_spec=S(("x", None, None)),
+        )
+        module = partition(graph, mesh)
+        assert module.count(Opcode.ALL_TO_ALL) == 1
+        assert module.count(Opcode.RESHAPE) == 1
+        assert module.root.shape.dims == (1, 2, 6)
+
+    def test_all_to_all_bad_reshape_rejected(self):
+        mesh = DeviceMesh.ring(2)
+        graph = LogicalGraph("g")
+        graph.add_input("x", Shape((4, 6), F32), S(("x", None)))
+        graph.add_all_to_all(
+            "x", "bad", 1, 1, "x",
+            out_shape=Shape((5, 6), F32), out_spec=S((None, None)),
+        )
+        with pytest.raises(ShardingError, match="reshape"):
+            partition(graph, mesh)
+
+    def test_all_reduce_node(self):
+        mesh = DeviceMesh.grid({"x": 2, "dp": 2})
+        graph = LogicalGraph("g")
+        graph.add_input("g1", Shape((4,), F32), S((None,)))
+        graph.add_all_reduce("g1", "g1.summed", "dp")
+        module = partition(graph, mesh)
+        assert module.count(Opcode.ALL_REDUCE) == 1
+        groups = module.root.groups
+        assert groups == [(0, 1), (2, 3)]
+
+    def test_pointwise_node(self):
+        mesh = DeviceMesh.ring(2)
+        graph = LogicalGraph("g")
+        graph.add_input("x", Shape((4,), F32), S(("x",)))
+        graph.add_pointwise("x", "x2")
+        module = partition(graph, mesh)
+        assert module.count(Opcode.ADD) == 1
+
+
+class TestGraphValidation:
+    def test_duplicate_tensor_rejected(self):
+        graph = LogicalGraph("g")
+        graph.add_input("x", Shape((4,), F32), S((None,)))
+        with pytest.raises(ValueError, match="duplicate"):
+            graph.add_input("x", Shape((4,), F32), S((None,)))
+
+    def test_rank_mismatch_rejected(self):
+        graph = LogicalGraph("g")
+        with pytest.raises(ValueError, match="rank"):
+            graph.add_input("x", Shape((4, 4), F32), S((None,)))
+
+    def test_einsums_property_filters(self):
+        graph = fig2_graph()
+        graph.add_pointwise("y", "y2")
+        assert len(graph.einsums) == 2

@@ -1,0 +1,145 @@
+"""Tests for candidate discovery (AllGather-Einsum / Einsum-ReduceScatter)."""
+
+import pytest
+
+from repro.core.patterns import (
+    AG_EINSUM,
+    CASE_BATCH,
+    CASE_CONTRACTING,
+    CASE_FREE,
+    EINSUM_RS,
+    find_candidates,
+    reduce_scatter_blocks_einsum,
+)
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.shapes import Shape
+from repro.sharding.mesh import DeviceMesh
+
+MESH = DeviceMesh.ring(4)
+GROUPS = MESH.rings("x")
+
+
+def _gather_einsum(gather_dim, equation, lhs_dims, rhs_dims, gather_rhs=False):
+    builder = GraphBuilder("m")
+    lhs = builder.parameter(Shape(lhs_dims, F32), name="lhs")
+    rhs = builder.parameter(Shape(rhs_dims, F32), name="rhs")
+    if gather_rhs:
+        rhs = builder.all_gather(rhs, gather_dim, GROUPS)
+    else:
+        lhs = builder.all_gather(lhs, gather_dim, GROUPS)
+    builder.einsum(equation, lhs, rhs)
+    return builder.module
+
+
+class TestAllGatherEinsum:
+    def test_case1_free_dim(self):
+        module = _gather_einsum(0, "bf,fh->bh", (2, 6), (6, 8))
+        (candidate,) = find_candidates(module)
+        assert candidate.kind == AG_EINSUM
+        assert candidate.dim_case == CASE_FREE
+        assert candidate.operand_index == 0
+        assert candidate.ring_size == 4
+        assert candidate.label == "b"
+
+    def test_case2_contracting_dim(self):
+        module = _gather_einsum(1, "bf,fh->bh", (8, 2), (8, 8))
+        (candidate,) = find_candidates(module)
+        assert candidate.dim_case == CASE_CONTRACTING
+        assert candidate.label == "f"
+
+    def test_case3_batch_dim(self):
+        module = _gather_einsum(0, "gbf,gfh->gbh", (1, 2, 3), (4, 3, 5))
+        (candidate,) = find_candidates(module)
+        assert candidate.dim_case == CASE_BATCH
+        assert candidate.label == "g"
+
+    def test_rhs_operand(self):
+        module = _gather_einsum(
+            1, "bf,fh->bh", (4, 6), (6, 2), gather_rhs=True
+        )
+        (candidate,) = find_candidates(module)
+        assert candidate.operand_index == 1
+        assert candidate.dim_case == CASE_FREE
+
+    def test_multi_user_gather_excluded(self):
+        builder = GraphBuilder("m")
+        lhs = builder.parameter(Shape((2, 6), F32))
+        rhs = builder.parameter(Shape((6, 8), F32))
+        gathered = builder.all_gather(lhs, 0, GROUPS)
+        builder.einsum("bf,fh->bh", gathered, rhs)
+        builder.negate(gathered)  # second user
+        assert find_candidates(builder.module) == []
+
+    def test_gather_feeding_non_einsum_excluded(self):
+        builder = GraphBuilder("m")
+        lhs = builder.parameter(Shape((2, 6), F32))
+        gathered = builder.all_gather(lhs, 0, GROUPS)
+        builder.negate(gathered)
+        assert find_candidates(builder.module) == []
+
+    def test_gather_feeding_both_operands_excluded(self):
+        builder = GraphBuilder("m")
+        lhs = builder.parameter(Shape((2, 8), F32))
+        gathered = builder.all_gather(lhs, 0, GROUPS)
+        builder.einsum("bf,fh->bh", gathered, gathered)
+        assert find_candidates(builder.module) == []
+
+
+class TestEinsumReduceScatter:
+    def _einsum_rs(self, scatter_dim):
+        builder = GraphBuilder("m")
+        lhs = builder.parameter(Shape((8, 6), F32))
+        rhs = builder.parameter(Shape((6, 8), F32))
+        out = builder.einsum("bf,fh->bh", lhs, rhs)
+        builder.reduce_scatter(out, scatter_dim, GROUPS)
+        return builder.module
+
+    def test_rhs_free_scatter(self):
+        (candidate,) = find_candidates(self._einsum_rs(1))
+        assert candidate.kind == EINSUM_RS
+        assert candidate.operand_index == 1
+        assert candidate.label == "h"
+
+    def test_lhs_free_scatter(self):
+        (candidate,) = find_candidates(self._einsum_rs(0))
+        assert candidate.operand_index == 0
+        assert candidate.label == "b"
+
+    def test_batch_dim_scatter_excluded(self):
+        builder = GraphBuilder("m")
+        lhs = builder.parameter(Shape((4, 2, 3), F32))
+        rhs = builder.parameter(Shape((4, 3, 5), F32))
+        out = builder.einsum("gbf,gfh->gbh", lhs, rhs)
+        builder.reduce_scatter(out, 0, GROUPS)
+        assert find_candidates(builder.module) == []
+
+    def test_scatter_of_non_einsum_excluded(self):
+        builder = GraphBuilder("m")
+        value = builder.parameter(Shape((8, 4), F32))
+        doubled = builder.add(value, value)
+        builder.reduce_scatter(doubled, 0, GROUPS)
+        assert find_candidates(builder.module) == []
+
+    def test_einsum_with_other_users_flagged(self):
+        builder = GraphBuilder("m")
+        lhs = builder.parameter(Shape((8, 6), F32))
+        rhs = builder.parameter(Shape((6, 8), F32))
+        out = builder.einsum("bf,fh->bh", lhs, rhs)
+        builder.reduce_scatter(out, 1, GROUPS)
+        builder.negate(out)
+        (candidate,) = find_candidates(builder.module)
+        assert reduce_scatter_blocks_einsum(builder.module, candidate)
+
+
+class TestBothCandidates:
+    def test_einsum_with_gather_and_scatter(self):
+        builder = GraphBuilder("m")
+        lhs = builder.parameter(Shape((8, 2), F32))
+        rhs = builder.parameter(Shape((8, 8), F32))
+        gathered = builder.all_gather(lhs, 1, GROUPS)
+        out = builder.einsum("bf,fh->bh", gathered, rhs)
+        builder.reduce_scatter(out, 1, GROUPS)
+        candidates = find_candidates(builder.module)
+        assert {c.kind for c in candidates} == {AG_EINSUM, EINSUM_RS}
+        assert candidates[0].einsum is candidates[1].einsum

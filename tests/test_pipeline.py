@@ -1,0 +1,157 @@
+"""End-to-end tests for the compile pipeline (Section 5's pass order)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import compile_module
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import BF16, F32
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+from repro.perfsim.hardware import SLOW_INTERCONNECT, TPU_V4
+from repro.perfsim.simulator import simulate
+from repro.runtime.executor import run_spmd
+from repro.sharding.mesh import DeviceMesh
+
+from helpers import ALL_OVERLAP_CONFIGS, run_and_compare, split_shards
+
+
+def two_einsums(mesh, dtype=F32, b=8, f=12, h=16):
+    n = mesh.num_devices
+    builder = GraphBuilder("layer")
+    x = builder.parameter(Shape((b // n, f), dtype), name="x")
+    w1 = builder.parameter(Shape((f, h // n), dtype), name="w1")
+    gathered1 = builder.all_gather(w1, 1, mesh.rings("x"))
+    hidden = builder.einsum("bf,fh->bh", x, gathered1)
+    w2 = builder.parameter(Shape((h // n, f), dtype), name="w2")
+    gathered2 = builder.all_gather(w2, 0, mesh.rings("x"))
+    builder.einsum("bh,hf->bf", hidden, gathered2)
+    return builder.module
+
+
+class TestNumericalEquivalence:
+    @pytest.mark.parametrize("ring", [2, 4])
+    def test_all_configs_preserve_semantics(self, rng, ring):
+        mesh = DeviceMesh.ring(ring)
+        x = rng.normal(size=(8, 12))
+        w1 = rng.normal(size=(12, 16))
+        w2 = rng.normal(size=(16, 12))
+        arguments = {
+            "x": split_shards(x, 0, ring),
+            "w1": split_shards(w1, 1, ring),
+            "w2": split_shards(w2, 0, ring),
+        }
+        run_and_compare(lambda: two_einsums(mesh), mesh, arguments)
+
+    def test_with_reduce_scatter(self, rng):
+        mesh = DeviceMesh.ring(4)
+
+        def build():
+            builder = GraphBuilder("bwd")
+            x = builder.parameter(Shape((16, 12), F32), name="x")
+            gy = builder.parameter(Shape((16, 8), F32), name="gy")
+            out = builder.einsum("bf,bh->fh", x, gy)
+            builder.reduce_scatter(out, 1, mesh.rings("x"))
+            return builder.module
+
+        arguments = {
+            "x": [rng.normal(size=(16, 12)) for _ in range(4)],
+            "gy": [rng.normal(size=(16, 8)) for _ in range(4)],
+        }
+        run_and_compare(build, mesh, arguments)
+
+
+class TestBaseline:
+    def test_baseline_config_leaves_collectives(self):
+        mesh = DeviceMesh.ring(4)
+        module = two_einsums(mesh)
+        result = compile_module(module, mesh, OverlapConfig.baseline())
+        assert result.decomposed == 0
+        assert module.count(Opcode.ALL_GATHER) == 2
+        assert module.count(Opcode.COLLECTIVE_PERMUTE_START) == 0
+
+
+class TestGateIntegration:
+    def test_cost_model_skips_unprofitable(self):
+        # Tiny compute on a slow interconnect: nothing should decompose.
+        mesh = DeviceMesh.ring(4)
+        module = two_einsums(mesh, dtype=BF16)
+        result = compile_module(
+            module, mesh, OverlapConfig(), chip=SLOW_INTERCONNECT
+        )
+        assert result.decomposed == 0
+        assert any(
+            "not beneficial" in reason
+            for reason in result.candidates_skipped.values()
+        )
+
+    def test_disabling_cost_model_forces_decomposition(self):
+        mesh = DeviceMesh.ring(4)
+        module = two_einsums(mesh, dtype=BF16)
+        result = compile_module(
+            module, mesh, OverlapConfig(use_cost_model=False),
+            chip=SLOW_INTERCONNECT,
+        )
+        assert result.decomposed == 2
+
+    def test_overlap_never_hurts_with_gate(self):
+        """With the gate on, the optimized schedule is never slower."""
+        mesh = DeviceMesh.ring(4)
+        for chip in (TPU_V4, SLOW_INTERCONNECT):
+            baseline_module = two_einsums(
+                mesh, dtype=BF16, b=256, f=2048, h=8192
+            )
+            compile_module(
+                baseline_module, mesh, OverlapConfig.baseline(), chip=chip
+            )
+            baseline = simulate(baseline_module, mesh, chip=chip)
+            optimized_module = two_einsums(
+                mesh, dtype=BF16, b=256, f=2048, h=8192
+            )
+            compile_module(optimized_module, mesh, OverlapConfig(), chip=chip)
+            optimized = simulate(optimized_module, mesh, chip=chip)
+            assert optimized.total_time <= baseline.total_time * 1.02
+
+
+class TestTwoCandidateRule:
+    def _module_with_both(self, mesh):
+        builder = GraphBuilder("m")
+        # Large activation gather vs tiny weight gather on the same einsum.
+        act = builder.parameter(Shape((4096, 512), BF16), name="act")
+        w = builder.parameter(Shape((2048, 64), BF16), name="w")
+        gathered_act = builder.all_gather(act, 1, mesh.rings("x"))
+        gathered_w = builder.all_gather(w, 1, mesh.rings("x"))
+        builder.einsum("bf,fh->bh", gathered_act, gathered_w)
+        return builder.module
+
+    def test_exactly_one_candidate_decomposed(self):
+        mesh = DeviceMesh.ring(4)
+        module = self._module_with_both(mesh)
+        result = compile_module(
+            module, mesh, OverlapConfig(use_cost_model=False)
+        )
+        assert result.decomposed == 1
+        assert any(
+            "two-candidate" in reason
+            for reason in result.candidates_skipped.values()
+        )
+        # The loser stays behind as a synchronous AllGather.
+        assert module.count(Opcode.ALL_GATHER) == 1
+
+
+class TestBookkeeping:
+    def test_result_records_estimates_and_groups(self):
+        mesh = DeviceMesh.ring(4)
+        module = two_einsums(mesh, dtype=BF16, b=256, f=2048, h=8192)
+        result = compile_module(module, mesh, OverlapConfig())
+        assert result.candidates_found == 2
+        assert len(result.estimates) == 2
+        assert result.fusion_groups > 0
+
+    def test_module_verifies_after_compilation(self):
+        mesh = DeviceMesh.ring(4)
+        for config in ALL_OVERLAP_CONFIGS:
+            module = two_einsums(mesh)
+            compile_module(module, mesh, config)
+            module.verify()

@@ -1,0 +1,78 @@
+"""Tests for the HLO text printer."""
+
+import numpy as np
+
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.instruction import ShardIndex
+from repro.hlo.printer import (
+    format_instruction,
+    format_module,
+    summarize_opcodes,
+)
+from repro.hlo.shapes import Shape
+
+
+def small_module():
+    builder = GraphBuilder("demo")
+    a = builder.parameter(Shape((2, 3), F32), name="a")
+    b = builder.parameter(Shape((3, 4), F32), name="b")
+    builder.einsum("bf,fh->bh", a, b)
+    return builder.module
+
+
+class TestFormatInstruction:
+    def test_operands_listed(self):
+        module = small_module()
+        line = format_instruction(module.root)
+        assert "einsum(a, b" in line
+        assert "equation='bf,fh->bh'" in line
+
+    def test_shape_rendered(self):
+        module = small_module()
+        assert "f32[2,4]" in format_instruction(module.root)
+
+    def test_fusion_group_annotation(self):
+        module = small_module()
+        module.root.fusion_group = 3
+        assert "#fusion_group=3" in format_instruction(module.root)
+
+    def test_shard_index_attr(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((8,), F32), name="a")
+        ds = builder.dynamic_slice(
+            a, 0, ShardIndex.shard(1, 1, num_shards=4, shard_size=2), 2
+        )
+        assert "((1*pid+1) mod 4)*2" in format_instruction(ds)
+
+    def test_numpy_payload_rendered_as_list(self):
+        builder = GraphBuilder("m")
+        constant = builder.constant(np.eye(2), F32)
+        line = format_instruction(constant)
+        assert "[[1.0, 0.0], [0.0, 1.0]]" in line
+
+
+class TestFormatModule:
+    def test_header_and_root(self):
+        module = small_module()
+        text = format_module(module)
+        assert text.startswith("HloModule demo {")
+        assert text.rstrip().endswith(f"// root = {module.root.name}")
+
+    def test_empty_module(self):
+        from repro.hlo.module import HloModule
+
+        text = format_module(HloModule("empty"))
+        assert "<none>" in text
+
+    def test_one_line_per_instruction(self):
+        module = small_module()
+        assert len(format_module(module).splitlines()) == len(module) + 2
+
+
+class TestSummarize:
+    def test_counts_sorted_descending(self):
+        summary = summarize_opcodes(small_module())
+        lines = summary.splitlines()
+        assert "parameter: 2" in lines[0]
+        assert "einsum: 1" in lines[1]

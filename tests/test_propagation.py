@@ -1,0 +1,141 @@
+"""Unit tests for einsum sharding resolution (plan_einsum)."""
+
+import pytest
+
+from repro.hlo.einsum_spec import LHS, RHS, EinsumSpec
+from repro.sharding.propagation import ShardingError, plan_einsum
+from repro.sharding.spec import ShardingSpec
+
+S = ShardingSpec
+MATMUL = EinsumSpec.parse("bf,fh->bh")
+
+
+class TestContracting:
+    def test_matched_contracting_becomes_reduce_scatter(self):
+        plan = plan_einsum(MATMUL, S((None, "x")), S(("x", None)), S((None, "x")))
+        assert not plan.gathers
+        assert len(plan.reduces) == 1
+        assert plan.reduces[0].axis == "x"
+        assert plan.reduces[0].scatter_dim == 1
+
+    def test_matched_contracting_all_reduce_when_output_replicated(self):
+        plan = plan_einsum(
+            MATMUL, S((None, "x")), S(("x", None)), S.replicated(2)
+        )
+        assert plan.reduces[0].scatter_dim is None
+
+    def test_one_sided_contracting_gathers(self):
+        plan = plan_einsum(
+            MATMUL, S((None, "x")), S.replicated(2), S.replicated(2)
+        )
+        assert len(plan.gathers) == 1
+        assert plan.gathers[0].operand == LHS
+        assert plan.gathers[0].dim == 1
+        assert plan.gathers[0].axis == "x"
+
+    def test_mismatched_contracting_gathers_both(self):
+        plan = plan_einsum(
+            MATMUL, S((None, "x")), S(("y", None)), S.replicated(2)
+        )
+        assert len(plan.gathers) == 2
+        assert {g.operand for g in plan.gathers} == {LHS, RHS}
+
+
+class TestFree:
+    def test_matching_free_dim_kept_sharded(self):
+        plan = plan_einsum(
+            MATMUL, S(("y", None)), S.replicated(2), S(("y", None))
+        )
+        assert not plan.gathers
+        assert plan.out_spec.axis_of_dim(0) == "y"
+
+    def test_mismatching_free_dim_gathered(self):
+        plan = plan_einsum(
+            MATMUL, S(("y", None)), S.replicated(2), S.replicated(2)
+        )
+        assert len(plan.gathers) == 1
+        assert plan.gathers[0] .operand == LHS
+        assert plan.gathers[0].dim == 0
+
+    def test_rhs_free_dim_kept(self):
+        plan = plan_einsum(
+            MATMUL, S.replicated(2), S((None, "x")), S((None, "x"))
+        )
+        assert not plan.gathers
+        assert plan.out_spec.axis_of_dim(1) == "x"
+
+
+class TestBatch:
+    BATCHED = EinsumSpec.parse("gbf,gfh->gbh")
+
+    def test_consistent_batch_kept(self):
+        plan = plan_einsum(
+            self.BATCHED,
+            S(("x", None, None)),
+            S(("x", None, None)),
+            S(("x", None, None)),
+        )
+        assert not plan.gathers
+        assert not plan.reduces
+        assert plan.out_spec.axis_of_dim(0) == "x"
+
+    def test_mismatched_batch_gathered_when_output_replicated(self):
+        plan = plan_einsum(
+            self.BATCHED,
+            S(("x", None, None)),
+            S(("y", None, None)),
+            S.replicated(3),
+        )
+        assert len(plan.gathers) == 2
+
+    def test_half_sharded_batch_rejected(self):
+        with pytest.raises(ShardingError, match="batch"):
+            plan_einsum(
+                self.BATCHED,
+                S(("x", None, None)),
+                S.replicated(3),
+                S(("x", None, None)),
+            )
+
+
+class TestFig3Patterns:
+    """The exact resolutions behind the Figure 3 two-layer MLP."""
+
+    def test_first_einsum_gathers_both_operands(self):
+        # x[B/y, D/x] @ W1[D/y, F/x] -> h[B/y, F/x]
+        plan = plan_einsum(
+            EinsumSpec.parse("bd,df->bf"),
+            S(("y", "x")), S(("y", "x")), S(("y", "x")),
+        )
+        gathered = {(g.operand, g.axis) for g in plan.gathers}
+        assert gathered == {(LHS, "x"), (RHS, "y")}
+        assert not plan.reduces
+
+    def test_second_einsum_reduce_scatters_along_x(self):
+        # h[B/y, F/x] @ W2[F/x, D/y] -> out[B/y, D/x]
+        plan = plan_einsum(
+            EinsumSpec.parse("bf,fd->bd"),
+            S(("y", "x")), S(("x", "y")), S(("y", "x")),
+        )
+        assert len(plan.reduces) == 1
+        assert plan.reduces[0].axis == "x"
+        assert plan.reduces[0].scatter_dim == 1
+        gathered = {(g.operand, g.axis) for g in plan.gathers}
+        assert gathered == {(RHS, "y")}
+
+    def test_weight_gradient_reduce_scatters_along_y(self):
+        # x[B/y, D/x] @ dH[B/y, F/x] -> dW[D/y, F/x]
+        plan = plan_einsum(
+            EinsumSpec.parse("bd,bf->df"),
+            S(("y", "x")), S(("y", "x")), S(("y", "x")),
+        )
+        assert any(r.axis == "y" and r.scatter_dim == 0 for r in plan.reduces)
+
+
+class TestConflicts:
+    def test_axis_used_twice_in_result_rejected(self):
+        # Both free dims want the same axis.
+        with pytest.raises(Exception):
+            plan_einsum(
+                MATMUL, S(("x", None)), S((None, "x")), S(("x", "x"))
+            )

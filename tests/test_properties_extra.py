@@ -1,0 +1,151 @@
+"""Additional property and integration tests.
+
+ShardIndex transformation algebra, standalone-pass properties under
+random configurations, decoder-stack chaining, and trace validity on a
+full compiled model layer.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import compile_module
+from repro.core.standalone import decompose_standalone_collectives
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.instruction import ShardIndex
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+from repro.models.configs import GPT_32B
+from repro.models.transformer import decoder_layer_graph, decoder_stack_graph
+from repro.perfsim.simulator import simulate_with_trace
+from repro.runtime.executor import run_spmd
+from repro.sharding.mesh import DeviceMesh
+from repro.sharding.partitioner import partition
+
+
+class TestShardIndexAlgebra:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        coeff=st.integers(0, 3), offset=st.integers(0, 7),
+        modulus=st.sampled_from([0, 2, 4, 8]), stride=st.integers(1, 8),
+        div=st.sampled_from([1, 2, 4]), iter_coeff=st.integers(0, 3),
+        pid=st.integers(0, 31), iteration=st.integers(0, 15),
+    )
+    def test_at_iteration_folds_exactly(
+        self, coeff, offset, modulus, stride, div, iter_coeff, pid, iteration
+    ):
+        index = ShardIndex(coeff, offset, modulus, stride, div, iter_coeff)
+        folded = index.at_iteration(iteration)
+        assert folded.iter_coeff == 0
+        assert folded.evaluate(pid) == index.evaluate(pid, iteration)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        offset=st.integers(0, 7), modulus=st.sampled_from([4, 8, 16]),
+        iter_coeff=st.integers(1, 3), factor=st.sampled_from([2, 4]),
+        step=st.integers(0, 3), outer=st.integers(0, 7),
+        pid=st.integers(0, 15),
+    )
+    def test_stepped_reindexes_exactly(
+        self, offset, modulus, iter_coeff, factor, step, outer, pid
+    ):
+        """i = factor * t + step must give the same shard."""
+        index = ShardIndex(1, offset, modulus, 4, 1, iter_coeff)
+        stepped = index.stepped(factor, step)
+        original_iteration = factor * outer + step
+        assert stepped.evaluate(pid, outer) == index.evaluate(
+            pid, original_iteration
+        )
+
+
+class TestStandaloneProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ring=st.sampled_from([2, 3, 4, 6, 8]),
+        per_shard=st.integers(1, 3),
+        width=st.integers(1, 4),
+        bidirectional=st.booleans(),
+        seed=st.integers(0, 2**16),
+    )
+    def test_multi_user_gather_equivalence(
+        self, ring, per_shard, width, bidirectional, seed
+    ):
+        rng = np.random.default_rng(seed)
+        mesh = DeviceMesh.ring(ring)
+
+        def build():
+            builder = GraphBuilder("p")
+            x = builder.parameter(
+                Shape((per_shard, width), F32), name="x"
+            )
+            gathered = builder.all_gather(x, 0, mesh.rings("x"))
+            builder.add(builder.negate(gathered), gathered)
+            return builder.module
+
+        full = rng.normal(size=(per_shard * ring, width))
+        arguments = {
+            "x": [s.copy() for s in np.split(full, ring, axis=0)]
+        }
+        reference_module = build()
+        reference = run_spmd(
+            reference_module, arguments, ring
+        )[reference_module.root.name]
+
+        module = build()
+        config = OverlapConfig(
+            use_cost_model=False, bidirectional=bidirectional,
+            decompose_standalone=True,
+        )
+        decompose_standalone_collectives(module, mesh, config)
+        assert module.count(Opcode.ALL_GATHER) == 0
+        got = run_spmd(module, arguments, ring)[module.root.name]
+        worst = max(np.abs(a - b).max() for a, b in zip(reference, got))
+        assert worst < 1e-9
+
+
+TINY = dataclasses.replace(
+    GPT_32B, name="tiny", batch_size=8, seq_len=32, d_model=512, d_ff=2048,
+    num_layers=2, mesh_x=2, mesh_y=4, num_chips=8,
+)
+
+
+class TestDecoderStack:
+    def test_stack_chains_layers(self):
+        stack = decoder_stack_graph(TINY, 3)
+        # Layer 1's query is layer 0's output: the forward einsums of
+        # L1 must reference L0.y_out through the shared re-gather.
+        assert "L0.y_out" in stack.tensors
+        assert "L2.y_out" in stack.tensors
+        assert "L1.self.q_in" in stack.tensors
+
+    def test_stack_einsum_count_scales(self):
+        one = decoder_stack_graph(TINY, 1)
+        three = decoder_stack_graph(TINY, 3)
+        assert len(three.einsums) == 3 * len(one.einsums)
+
+    def test_stack_partitions_and_compiles(self):
+        mesh = TINY.mesh()
+        module = partition(decoder_stack_graph(TINY, 2), mesh)
+        result = compile_module(
+            module, mesh, OverlapConfig(use_cost_model=False)
+        )
+        assert result.decomposed > 0
+        module.verify()
+
+
+class TestTraceOnRealLayer:
+    def test_compiled_layer_trace_is_consistent(self):
+        mesh = TINY.mesh()
+        module = partition(decoder_layer_graph(TINY), mesh)
+        compile_module(module, mesh, OverlapConfig(use_cost_model=False))
+        report, trace = simulate_with_trace(module, mesh)
+        trace.validate()
+        assert trace.total_time == pytest.approx(report.total_time)
+        # Transfers occupy both ring directions of both mesh axes.
+        link_lanes = {r for r in trace.resources() if r.startswith("link:")}
+        assert len(link_lanes) >= 2

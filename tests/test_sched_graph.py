@@ -1,0 +1,143 @@
+"""Tests for the scheduling graph (fusion groups as atomic units)."""
+
+import pytest
+
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.shapes import Shape
+from repro.perfsim.costs import CostModel
+from repro.perfsim.hardware import TPU_V4
+from repro.perfsim.sched_graph import (
+    ScheduleGraph,
+    max_in_flight,
+    validate_unit_order,
+)
+from repro.sharding.mesh import DeviceMesh
+
+MESH = DeviceMesh.ring(2)
+
+
+def fused_module():
+    builder = GraphBuilder("m")
+    lhs = builder.parameter(Shape((4, 8), F32), name="lhs")
+    rhs = builder.parameter(Shape((8, 4), F32), name="rhs")
+    einsum = builder.einsum("bf,fh->bh", lhs, rhs)
+    acc = builder.parameter(Shape((4, 4), F32), name="acc")
+    add = builder.add(acc, einsum)
+    einsum.fusion_group = 0
+    add.fusion_group = 0
+    return builder.module, einsum, add
+
+
+class TestBuild:
+    def test_group_members_form_one_unit(self):
+        module, einsum, add = fused_module()
+        graph = ScheduleGraph.build(module)
+        assert graph.unit_of[id(einsum)] is graph.unit_of[id(add)]
+        assert len(graph.unit_of[id(einsum)].members) == 2
+
+    def test_unit_positioned_at_last_member(self):
+        module, einsum, add = fused_module()
+        graph = ScheduleGraph.build(module)
+        fused = graph.unit_of[id(add)]
+        # acc (a parameter) precedes the fused unit in the unit order.
+        acc_unit = graph.unit_of[id(module.get("acc"))]
+        assert graph.units.index(acc_unit) < graph.units.index(fused)
+
+    def test_dependencies_cross_units_only(self):
+        module, einsum, add = fused_module()
+        graph = ScheduleGraph.build(module)
+        fused = graph.unit_of[id(add)]
+        producer_names = {
+            p.head.name for p in graph.predecessors[fused.index]
+        }
+        assert producer_names == {"lhs", "rhs", "acc"}
+
+    def test_flatten_keeps_members_adjacent(self):
+        module, einsum, add = fused_module()
+        graph = ScheduleGraph.build(module)
+        names = [i.name for i in graph.flatten(graph.units)]
+        assert names.index(add.name) == names.index(einsum.name) + 1
+
+
+class TestCosts:
+    def test_fused_unit_costs_only_einsum(self):
+        module, einsum, add = fused_module()
+        graph = ScheduleGraph.build(module)
+        cost_model = CostModel(TPU_V4)
+        fused = graph.unit_of[id(add)]
+        assert graph.compute_time(fused, cost_model, MESH) == pytest.approx(
+            cost_model.einsum_time(einsum)
+        )
+
+    def test_permute_units_are_free_on_compute_stream(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((8,), F32), name="a")
+        start = builder.collective_permute_start(a, [(0, 1), (1, 0)])
+        builder.collective_permute_done(start)
+        graph = ScheduleGraph.build(builder.module)
+        cost_model = CostModel(TPU_V4)
+        for unit in graph.units[1:]:
+            assert graph.compute_time(unit, cost_model, MESH) == 0.0
+            assert graph.transfer_time(unit, cost_model, MESH) > 0.0
+
+    def test_slice_feeding_only_transfers_is_free(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((8,), F32), name="a")
+        sliced = builder.slice(a, 0, 0, 4)
+        start = builder.collective_permute_start(sliced, [(0, 1), (1, 0)])
+        builder.collective_permute_done(start)
+        graph = ScheduleGraph.build(builder.module)
+        cost_model = CostModel(TPU_V4)
+        unit = graph.unit_of[id(sliced)]
+        assert graph.compute_time(unit, cost_model, MESH) == 0.0
+
+    def test_slice_feeding_compute_is_charged(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((8,), F32), name="a")
+        sliced = builder.slice(a, 0, 0, 4)
+        builder.negate(sliced)
+        graph = ScheduleGraph.build(builder.module)
+        cost_model = CostModel(TPU_V4)
+        unit = graph.unit_of[id(sliced)]
+        assert graph.compute_time(unit, cost_model, MESH) > 0.0
+
+
+class TestValidation:
+    def test_valid_order_passes(self):
+        module, *_ = fused_module()
+        graph = ScheduleGraph.build(module)
+        validate_unit_order(graph, graph.units)
+
+    def test_producer_after_consumer_rejected(self):
+        module, *_ = fused_module()
+        graph = ScheduleGraph.build(module)
+        reversed_order = list(reversed(graph.units))
+        with pytest.raises(ValueError, match="before its producer"):
+            validate_unit_order(graph, reversed_order)
+
+    def test_non_permutation_rejected(self):
+        module, *_ = fused_module()
+        graph = ScheduleGraph.build(module)
+        with pytest.raises(ValueError, match="permutation"):
+            validate_unit_order(graph, graph.units[:-1])
+
+
+class TestInFlight:
+    def test_counts_overlapping_transfers(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((4,), F32), name="a")
+        s1 = builder.collective_permute_start(a, [(0, 1), (1, 0)])
+        s2 = builder.collective_permute_start(a, [(0, 1), (1, 0)])
+        builder.collective_permute_done(s1)
+        builder.collective_permute_done(s2)
+        assert max_in_flight(builder.module.instructions) == 2
+
+    def test_sequential_transfers_count_one(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((4,), F32), name="a")
+        s1 = builder.collective_permute_start(a, [(0, 1), (1, 0)])
+        builder.collective_permute_done(s1)
+        s2 = builder.collective_permute_start(a, [(0, 1), (1, 0)])
+        builder.collective_permute_done(s2)
+        assert max_in_flight(builder.module.instructions) == 1

@@ -1,0 +1,74 @@
+"""Unit tests for repro.hlo.shapes and repro.hlo.dtypes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hlo.dtypes import BF16, F32, F64, S32, dtype_from_name
+from repro.hlo.shapes import Shape
+
+
+class TestDtypes:
+    def test_byte_widths(self):
+        assert BF16.byte_width == 2
+        assert F32.byte_width == 4
+        assert F64.byte_width == 8
+        assert S32.byte_width == 4
+
+    def test_lookup_by_name(self):
+        assert dtype_from_name("bf16") is BF16
+        assert dtype_from_name("f32") is F32
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown dtype"):
+            dtype_from_name("fp8")
+
+    def test_repr_is_name(self):
+        assert repr(BF16) == "bf16"
+
+
+class TestShape:
+    def test_num_elements(self):
+        assert Shape((2, 3, 4)).num_elements == 24
+
+    def test_scalar_shape(self):
+        assert Shape(()).num_elements == 1
+        assert Shape(()).rank == 0
+
+    def test_byte_size_uses_dtype(self):
+        assert Shape((10,), BF16).byte_size == 20
+        assert Shape((10,), F32).byte_size == 40
+
+    def test_with_dim(self):
+        assert Shape((2, 3)).with_dim(1, 7).dims == (2, 7)
+
+    def test_scaled_dim(self):
+        assert Shape((2, 3)).scaled_dim(0, 4).dims == (8, 3)
+
+    def test_divided_dim(self):
+        assert Shape((8, 3)).divided_dim(0, 4).dims == (2, 3)
+
+    def test_divided_dim_indivisible_raises(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            Shape((7, 3)).divided_dim(0, 2)
+
+    def test_negative_dim_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            Shape((-1, 3))
+
+    def test_with_dtype(self):
+        assert Shape((2,), BF16).with_dtype(F32).dtype is F32
+
+    def test_repr(self):
+        assert repr(Shape((2, 3), F32)) == "f32[2,3]"
+
+    def test_equality_and_hash(self):
+        assert Shape((2, 3), F32) == Shape((2, 3), F32)
+        assert hash(Shape((2, 3), F32)) == hash(Shape((2, 3), F32))
+        assert Shape((2, 3), F32) != Shape((2, 3), BF16)
+
+    @given(st.lists(st.integers(min_value=0, max_value=64), max_size=4))
+    def test_scale_then_divide_roundtrips(self, dims):
+        shape = Shape(tuple(d + 1 for d in dims))
+        for axis in range(shape.rank):
+            assert shape.scaled_dim(axis, 3).divided_dim(axis, 3) == shape

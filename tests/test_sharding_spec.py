@@ -1,0 +1,60 @@
+"""Unit tests for ShardingSpec."""
+
+import pytest
+
+from repro.hlo.dtypes import F32
+from repro.hlo.shapes import Shape
+from repro.sharding.mesh import DeviceMesh
+from repro.sharding.spec import ShardingSpec
+
+
+class TestShardingSpec:
+    def test_replicated(self):
+        spec = ShardingSpec.replicated(3)
+        assert spec.is_replicated
+        assert spec.sharded_dims() == ()
+
+    def test_on_dim(self):
+        spec = ShardingSpec.on_dim(3, 1, "x")
+        assert spec.axis_of_dim(1) == "x"
+        assert spec.axis_of_dim(0) is None
+        assert spec.dim_of_axis("x") == 1
+        assert spec.dim_of_axis("y") is None
+
+    def test_axis_reuse_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            ShardingSpec(("x", "x"))
+
+    def test_with_dim(self):
+        spec = ShardingSpec.replicated(2).with_dim(0, "y")
+        assert spec.dim_axes == ("y", None)
+
+    def test_shard_shape_1d(self):
+        mesh = DeviceMesh.ring(4)
+        spec = ShardingSpec.on_dim(2, 0, "x")
+        assert spec.shard_shape(Shape((8, 6), F32), mesh).dims == (2, 6)
+
+    def test_shard_shape_2d(self):
+        mesh = DeviceMesh.grid({"x": 2, "y": 3})
+        spec = ShardingSpec(("y", "x"))
+        assert spec.shard_shape(Shape((6, 4), F32), mesh).dims == (2, 2)
+
+    def test_shard_shape_indivisible_rejected(self):
+        mesh = DeviceMesh.ring(4)
+        spec = ShardingSpec.on_dim(1, 0, "x")
+        with pytest.raises(ValueError, match="not divisible"):
+            spec.shard_shape(Shape((6,), F32), mesh)
+
+    def test_shard_shape_rank_mismatch_rejected(self):
+        mesh = DeviceMesh.ring(2)
+        with pytest.raises(ValueError, match="rank"):
+            ShardingSpec.replicated(2).shard_shape(Shape((4,), F32), mesh)
+
+    def test_num_shards(self):
+        mesh = DeviceMesh.grid({"x": 2, "y": 3})
+        assert ShardingSpec(("y", "x")).num_shards(mesh) == 6
+        assert ShardingSpec((None, "x")).num_shards(mesh) == 2
+        assert ShardingSpec.replicated(2).num_shards(mesh) == 1
+
+    def test_repr(self):
+        assert repr(ShardingSpec(("y", None, "x"))) == "[y,*,x]"

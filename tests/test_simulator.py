@@ -1,0 +1,173 @@
+"""Tests for the discrete-event performance simulator.
+
+Conservation laws and overlap behavior on hand-built modules where the
+expected timeline can be computed by hand.
+"""
+
+import pytest
+
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import BF16
+from repro.hlo.shapes import Shape
+from repro.perfsim.costs import CostModel
+from repro.perfsim.hardware import TPU_V4
+from repro.perfsim.simulator import Simulator, simulate
+from repro.perfsim.topology import MINUS, PLUS
+from repro.sharding.mesh import DeviceMesh
+
+MESH = DeviceMesh.ring(4)
+COST = CostModel(TPU_V4)
+RING_PAIRS = [(0, 3), (1, 0), (2, 1), (3, 2)]
+SHAPE = Shape((4096, 4096), BF16)
+
+
+def test_compute_only_module():
+    builder = GraphBuilder("m")
+    a = builder.parameter(SHAPE, name="a")
+    einsum = builder.einsum("bf,fh->bh", a, a)
+    report = simulate(builder.module, MESH)
+    assert report.total_time == pytest.approx(COST.einsum_time(einsum))
+    assert report.exposed_communication_time == 0.0
+    assert report.flops == 2 * 4096**3
+
+
+def test_sync_collective_blocks():
+    builder = GraphBuilder("m")
+    a = builder.parameter(SHAPE, name="a")
+    gather = builder.all_gather(a, 0, MESH.rings("x"))
+    report = simulate(builder.module, MESH)
+    assert report.sync_collective_time == pytest.approx(
+        COST.collective_time(gather)
+    )
+    assert report.total_time == pytest.approx(report.sync_collective_time)
+
+
+def test_adjacent_start_done_fully_exposed():
+    builder = GraphBuilder("m")
+    a = builder.parameter(SHAPE, name="a")
+    start = builder.collective_permute_start(a, RING_PAIRS)
+    builder.collective_permute_done(start)
+    report = simulate(builder.module, MESH)
+    transfer = COST.permute_time(start, MESH)
+    assert report.permute_wait_time == pytest.approx(transfer)
+    assert report.hidden_transfer_time == pytest.approx(0.0)
+
+
+def test_compute_between_start_and_done_hides_transfer():
+    builder = GraphBuilder("m")
+    a = builder.parameter(SHAPE, name="a")
+    start = builder.collective_permute_start(a, RING_PAIRS)
+    einsum = builder.einsum("bf,fh->bh", a, a)
+    done = builder.collective_permute_done(start)
+    builder.add(done, einsum)
+    report = simulate(builder.module, MESH)
+    transfer = COST.permute_time(start, MESH)
+    compute = COST.einsum_time(einsum)
+    assert compute > transfer  # premise of the scenario
+    assert report.permute_wait_time == pytest.approx(0.0)
+    assert report.hidden_transfer_time == pytest.approx(transfer)
+
+
+def test_partial_overlap_exposes_remainder():
+    builder = GraphBuilder("m")
+    big = builder.parameter(SHAPE, name="big")
+    small = builder.parameter(Shape((64, 64), BF16), name="small")
+    start = builder.collective_permute_start(big, RING_PAIRS)
+    tiny = builder.einsum("bf,fh->bh", small, small)
+    done = builder.collective_permute_done(start)
+    builder.module.root = done
+    report = simulate(builder.module, MESH)
+    transfer = COST.permute_time(start, MESH)
+    compute = COST.einsum_time(tiny)
+    assert report.permute_wait_time == pytest.approx(
+        transfer - compute, rel=1e-6
+    )
+
+
+def test_link_contention_serializes_same_direction():
+    builder = GraphBuilder("m")
+    a = builder.parameter(SHAPE, name="a")
+    s1 = builder.collective_permute_start(a, RING_PAIRS)
+    s2 = builder.collective_permute_start(a, RING_PAIRS)
+    builder.collective_permute_done(s1)
+    done2 = builder.collective_permute_done(s2)
+    builder.module.root = done2
+    report = simulate(builder.module, MESH)
+    transfer = COST.permute_time(s1, MESH)
+    assert report.total_time == pytest.approx(2 * transfer)
+
+
+def test_opposite_directions_run_concurrently():
+    builder = GraphBuilder("m")
+    a = builder.parameter(SHAPE, name="a")
+    s1 = builder.collective_permute_start(a, RING_PAIRS, direction=MINUS)
+    reverse = [(d, s) for s, d in RING_PAIRS]
+    s2 = builder.collective_permute_start(a, reverse, direction=PLUS)
+    builder.collective_permute_done(s1)
+    done2 = builder.collective_permute_done(s2)
+    builder.module.root = done2
+    report = simulate(builder.module, MESH)
+    transfer = COST.permute_time(s1, MESH)
+    assert report.total_time == pytest.approx(transfer, rel=1e-6)
+
+
+def test_fused_kernel_waits_for_all_inputs():
+    """The Figure 11 effect: fusing the Add into the independent einsum
+    serializes it behind the transfer."""
+
+    def build(fuse_with_independent):
+        builder = GraphBuilder("m")
+        a = builder.parameter(SHAPE, name="a")
+        w = builder.parameter(SHAPE, name="w")
+        start = builder.collective_permute_start(a, RING_PAIRS)
+        independent = builder.einsum("bf,fh->bh", a, w)
+        done = builder.collective_permute_done(start)
+        dependent = builder.einsum("bf,fh->bh", done, w)
+        add = builder.add(independent, dependent)
+        host = independent if fuse_with_independent else dependent
+        host.fusion_group = 0
+        add.fusion_group = 0
+        return builder.module
+
+    bad = simulate(build(True), MESH)
+    good = simulate(build(False), MESH)
+    assert good.total_time < bad.total_time
+    assert good.permute_wait_time < bad.permute_wait_time
+
+
+def test_unconsumed_transfer_rejected():
+    builder = GraphBuilder("m")
+    a = builder.parameter(SHAPE, name="a")
+    start = builder.collective_permute_start(a, RING_PAIRS)
+    builder.negate(a)
+    with pytest.raises(RuntimeError, match="never completed"):
+        simulate(builder.module, MESH)
+
+
+def test_report_scaling():
+    builder = GraphBuilder("m")
+    a = builder.parameter(SHAPE, name="a")
+    builder.einsum("bf,fh->bh", a, a)
+    report = simulate(builder.module, MESH)
+    scaled = report.scaled(10)
+    assert scaled.total_time == pytest.approx(10 * report.total_time)
+    assert scaled.flops == pytest.approx(10 * report.flops)
+    assert scaled.flops_utilization == pytest.approx(report.flops_utilization)
+
+
+def test_utilization_bounded_by_efficiency():
+    builder = GraphBuilder("m")
+    a = builder.parameter(SHAPE, name="a")
+    builder.einsum("bf,fh->bh", a, a)
+    report = simulate(builder.module, MESH)
+    assert 0.0 < report.flops_utilization < 1.0
+
+
+def test_simulator_reuses_cost_model():
+    simulator = Simulator(MESH)
+    builder = GraphBuilder("m")
+    a = builder.parameter(SHAPE, name="a")
+    builder.einsum("bf,fh->bh", a, a)
+    first = simulator.run(builder.module)
+    second = simulator.run(builder.module)
+    assert first.total_time == second.total_time

@@ -1,0 +1,119 @@
+"""Tests for standalone-collective decomposition (the future-work pass)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import compile_module
+from repro.core.standalone import decompose_standalone_collectives
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+from repro.runtime.executor import run_spmd
+from repro.sharding.mesh import DeviceMesh
+
+
+def multi_user_module(mesh, batch=24, width=24):
+    """An AllGather with two users plus an unattached ReduceScatter —
+    neither is a Looped CollectiveEinsum candidate."""
+    n = mesh.num_devices
+    builder = GraphBuilder("standalone")
+    x = builder.parameter(Shape((batch // n, width), F32), name="x")
+    gathered = builder.all_gather(x, 0, mesh.rings("x"))
+    left = builder.negate(gathered)
+    right = builder.add(gathered, gathered)
+    combined = builder.add(left, right)
+    doubled = builder.add(combined, combined)
+    builder.reduce_scatter(doubled, 0, mesh.rings("x"))
+    return builder.module
+
+
+@pytest.mark.parametrize("ring", [2, 3, 4, 8])
+@pytest.mark.parametrize("bidirectional", [False, True])
+def test_numerical_equivalence(rng, ring, bidirectional):
+    mesh = DeviceMesh.ring(ring)
+    x = rng.normal(size=(24, 24))
+    arguments = {"x": [s.copy() for s in np.split(x, ring, 0)]}
+
+    reference_module = multi_user_module(mesh)
+    reference = run_spmd(
+        reference_module, arguments, ring
+    )[reference_module.root.name]
+
+    module = multi_user_module(mesh)
+    config = OverlapConfig(
+        use_cost_model=False, decompose_standalone=True,
+        bidirectional=bidirectional,
+    )
+    result = compile_module(module, mesh, config)
+    assert len(result.standalone_loops) == 2
+    assert module.count(Opcode.ALL_GATHER) == 0
+    assert module.count(Opcode.REDUCE_SCATTER) == 0
+
+    got = run_spmd(module, arguments, ring)[module.root.name]
+    worst = max(np.abs(a - b).max() for a, b in zip(reference, got))
+    assert worst < 1e-9
+
+
+def test_disabled_by_default():
+    mesh = DeviceMesh.ring(4)
+    module = multi_user_module(mesh)
+    result = compile_module(module, mesh, OverlapConfig(use_cost_model=False))
+    assert result.standalone_loops == []
+    assert module.count(Opcode.ALL_GATHER) == 1
+
+
+def test_permute_counts():
+    mesh = DeviceMesh.ring(8)
+    module = multi_user_module(mesh)
+    config = OverlapConfig(bidirectional=False, min_ring_size=2)
+    loops = decompose_standalone_collectives(module, mesh, config)
+    gather_loop = next(
+        l for l in loops if l.collective.opcode is Opcode.ALL_GATHER
+    )
+    scatter_loop = next(
+        l for l in loops if l.collective.opcode is Opcode.REDUCE_SCATTER
+    )
+    assert len(gather_loop.permutes) == 7   # N-1 ring steps
+    assert len(scatter_loop.permutes) == 8  # accumulator moves every step
+
+
+def test_bidirectional_uses_both_directions():
+    mesh = DeviceMesh.ring(8)
+    module = multi_user_module(mesh)
+    config = OverlapConfig(bidirectional=True, min_ring_size=2)
+    loops = decompose_standalone_collectives(module, mesh, config)
+    gather_loop = next(
+        l for l in loops if l.collective.opcode is Opcode.ALL_GATHER
+    )
+    directions = {p.attrs.get("direction") for p in gather_loop.permutes}
+    assert directions == {"plus", "minus"}
+
+
+def test_small_rings_skipped():
+    mesh = DeviceMesh.ring(2)
+    module = multi_user_module(mesh)
+    config = OverlapConfig(min_ring_size=4)
+    loops = decompose_standalone_collectives(module, mesh, config)
+    assert loops == []
+    assert module.count(Opcode.ALL_GATHER) == 1
+
+
+def test_future_overlap_experiment_runs():
+    import dataclasses
+
+    from repro.experiments import future_overlap
+    from repro.models.configs import GPT_32B
+
+    small = dataclasses.replace(
+        GPT_32B, name="small", batch_size=64, seq_len=256, d_model=2048,
+        d_ff=8192, num_layers=2, mesh_x=4, mesh_y=8, num_chips=32,
+    )
+    (row,) = future_overlap.run(models=[small], stack_depth=2)
+    assert row.paper_speedup > 1.0
+    assert row.future.sync_collective_time == pytest.approx(0.0)
+    # The honest finding: the prototype is ungated and roughly neutral at
+    # best — at this small scale the re-exposed transfers can even lose.
+    assert 0.75 < row.extra_gain < 1.2
+    assert "standalone" in future_overlap.format_report([row])

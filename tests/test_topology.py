@@ -1,0 +1,75 @@
+"""Tests for torus link routing."""
+
+import pytest
+
+from repro.hlo.instruction import collective_permute_pairs
+from repro.perfsim.topology import (
+    MINUS,
+    PLUS,
+    TopologyError,
+    classify_permute,
+    ring_size_of_groups,
+)
+from repro.sharding.mesh import DeviceMesh
+
+RING8 = DeviceMesh.ring(8)
+GRID = DeviceMesh.grid({"x": 2, "y": 4})
+
+
+class TestClassify:
+    def test_shift_left_is_minus(self):
+        pairs = collective_permute_pairs(tuple(range(8)), shift=1)
+        route = classify_permute(pairs, RING8)
+        assert route.direction == MINUS
+        assert route.hop_distance == 1
+        assert route.axis == "x"
+
+    def test_shift_right_is_plus(self):
+        pairs = collective_permute_pairs(tuple(range(8)), shift=-1)
+        route = classify_permute(pairs, RING8)
+        assert route.direction == PLUS
+        assert route.hop_distance == 1
+
+    def test_hop_two(self):
+        pairs = collective_permute_pairs(tuple(range(8)), shift=2)
+        route = classify_permute(pairs, RING8)
+        assert route.hop_distance == 2
+        assert route.direction == MINUS
+
+    def test_second_axis(self):
+        pairs = []
+        for group in GRID.rings("y"):
+            pairs.extend(collective_permute_pairs(group, shift=1))
+        route = classify_permute(pairs, GRID)
+        assert route.axis == "y"
+
+    def test_direction_hint_overrides_tie(self):
+        mesh = DeviceMesh.ring(2)
+        pairs = [(0, 1), (1, 0)]
+        plus = classify_permute(pairs, mesh, direction_hint=PLUS)
+        minus = classify_permute(pairs, mesh, direction_hint=MINUS)
+        assert plus.direction == PLUS
+        assert minus.direction == MINUS
+        assert plus.hop_distance == minus.hop_distance == 1
+        assert plus.resource != minus.resource
+
+    def test_multi_axis_pair_rejected(self):
+        with pytest.raises(TopologyError, match="axes"):
+            classify_permute([(0, 5)], GRID)  # changes x and y
+
+    def test_non_uniform_rejected(self):
+        with pytest.raises(TopologyError, match="non-uniform"):
+            classify_permute([(0, 1), (2, 0)], GRID)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError, match="no source"):
+            classify_permute([], RING8)
+
+
+class TestGroups:
+    def test_ring_size(self):
+        assert ring_size_of_groups([(0, 1, 2)]) == 3
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(TopologyError):
+            ring_size_of_groups([])

@@ -1,0 +1,112 @@
+"""Tests for execution traces and the timeline renderer."""
+
+import pytest
+
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import compile_module
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import BF16
+from repro.hlo.shapes import Shape
+from repro.perfsim.simulator import simulate_with_trace
+from repro.perfsim.trace import (
+    COMPUTE,
+    STALL,
+    TRANSFER,
+    Trace,
+    TraceEvent,
+    format_timeline,
+)
+from repro.sharding.mesh import DeviceMesh
+
+MESH = DeviceMesh.ring(4)
+
+
+def overlap_module():
+    builder = GraphBuilder("m")
+    x = builder.parameter(Shape((2048, 4096), BF16), name="x")
+    w = builder.parameter(Shape((4096, 2048), BF16), name="w")
+    gathered = builder.all_gather(w, 1, MESH.rings("x"))
+    builder.einsum("bf,fh->bh", x, gathered)
+    return builder.module
+
+
+class TestTrace:
+    def test_events_cover_report_times(self):
+        module = overlap_module()
+        compile_module(module, MESH, OverlapConfig(use_cost_model=False))
+        report, trace = simulate_with_trace(module, MESH)
+        compute_total = sum(e.duration for e in trace.of_kind(COMPUTE))
+        assert compute_total == pytest.approx(report.compute_time)
+        transfer_total = sum(e.duration for e in trace.of_kind(TRANSFER))
+        assert transfer_total == pytest.approx(report.transfer_time_total)
+        stall_total = sum(e.duration for e in trace.of_kind(STALL))
+        assert stall_total == pytest.approx(report.permute_wait_time)
+        assert trace.total_time == pytest.approx(report.total_time)
+
+    def test_no_resource_overlaps(self):
+        module = overlap_module()
+        compile_module(module, MESH, OverlapConfig(use_cost_model=False))
+        _, trace = simulate_with_trace(module, MESH)
+        trace.validate()
+
+    def test_transfers_on_link_resources(self):
+        module = overlap_module()
+        compile_module(module, MESH, OverlapConfig(use_cost_model=False))
+        _, trace = simulate_with_trace(module, MESH)
+        for event in trace.of_kind(TRANSFER):
+            assert event.resource.startswith("link:x:")
+
+    def test_transfers_overlap_compute_in_time(self):
+        """The point of it all: transfer intervals intersect compute
+        intervals on the wall clock (different resources)."""
+        module = overlap_module()
+        compile_module(module, MESH, OverlapConfig(use_cost_model=False))
+        _, trace = simulate_with_trace(module, MESH)
+        computes = trace.of_kind(COMPUTE)
+        overlapped = 0.0
+        for transfer in trace.of_kind(TRANSFER):
+            for compute in computes:
+                lo = max(transfer.start, compute.start)
+                hi = min(transfer.end, compute.end)
+                overlapped += max(0.0, hi - lo)
+        assert overlapped > 0.0
+
+    def test_zero_duration_events_dropped(self):
+        trace = Trace()
+        trace.add("x", COMPUTE, "compute", 1.0, 1.0)
+        assert trace.events == []
+
+    def test_validate_rejects_overlap(self):
+        trace = Trace()
+        trace.add("a", COMPUTE, "compute", 0.0, 2.0)
+        trace.add("b", COMPUTE, "compute", 1.0, 3.0)
+        with pytest.raises(ValueError, match="overlap"):
+            trace.validate()
+
+    def test_busy_time(self):
+        trace = Trace()
+        trace.add("a", COMPUTE, "compute", 0.0, 1.0)
+        trace.add("b", COMPUTE, "compute", 2.0, 3.0)
+        assert trace.busy_time("compute") == pytest.approx(2.0)
+
+
+class TestTimeline:
+    def test_renders_one_lane_per_resource(self):
+        module = overlap_module()
+        compile_module(module, MESH, OverlapConfig(use_cost_model=False))
+        _, trace = simulate_with_trace(module, MESH)
+        text = format_timeline(trace, width=40)
+        lines = text.splitlines()
+        assert len(lines) == len(trace.resources()) + 1
+        assert any("#" in line for line in lines)
+        assert any("=" in line for line in lines)
+
+    def test_empty_trace(self):
+        assert format_timeline(Trace()) == "(empty trace)"
+
+    def test_resource_filter(self):
+        trace = Trace()
+        trace.add("a", COMPUTE, "compute", 0.0, 1.0)
+        trace.add("t", TRANSFER, "link:x:plus", 0.0, 1.0)
+        text = format_timeline(trace, resources=["compute"])
+        assert "link" not in text
