@@ -8,6 +8,9 @@ Commands:
 * ``simulate <model> [--baseline] [--scheduler S] [--timeline]`` —
   compile and simulate one Table 1/2 model's training step.
 * ``dump <model>`` — print the compiled HLO of one layer.
+* ``chaos [--runs N] [--seed S] [--intensity I]`` — randomized seeded
+  fault injection over the golden modules; exits non-zero if any run
+  corrupts silently or fails without a typed, replayable error.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from repro.core.config import OverlapConfig
 from repro.core.pipeline import compile_module
 from repro.experiments import (
     ablations,
+    degraded,
     energy,
     fig01_breakdown,
     fig12_overall,
@@ -57,6 +61,7 @@ ARTIFACTS: Dict[str, Callable[[], str]] = {
     "pipeline": lambda: pipeline_parallel.format_report(),
     "ablations": ablations.format_report,
     "future": lambda: future_overlap.format_report(future_overlap.run()),
+    "degraded": lambda: degraded.format_report(degraded.run()),
 }
 
 _DESCRIPTIONS = {
@@ -74,6 +79,7 @@ _DESCRIPTIONS = {
     "pipeline": "Section 7.3: pipeline-parallelism trade-off",
     "ablations": "Design ablations (fusion priority, cost gate, liveness)",
     "future": "Future work: decomposing standalone collectives",
+    "degraded": "Tail effects: decomposed vs baseline on a degraded fabric",
 }
 
 
@@ -159,6 +165,27 @@ def _cmd_dump(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults.chaos import format_report, run_chaos, run_one
+
+    if args.replay is not None:
+        result = run_one(args.replay, intensity=args.intensity)
+        print(
+            f"replay seed={result.seed}: case={result.case} "
+            f"ring={result.ring} scheduler={result.scheduler} "
+            f"plan={result.plan}"
+        )
+        detail = f" {result.error_type}: {result.message}" if result.message else ""
+        print(f"outcome: {result.outcome}{detail}")
+        return 1 if result.is_violation else 0
+    if args.runs < 1:
+        print("--runs must be at least 1", file=sys.stderr)
+        return 2
+    report = run_chaos(args.seed, args.runs, intensity=args.intensity)
+    print(format_report(report))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -201,6 +228,30 @@ def build_parser() -> argparse.ArgumentParser:
                 help="render one layer's ASCII timeline",
             )
         sub.set_defaults(handler=handler)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="randomized seeded fault injection over the golden modules",
+    )
+    chaos.add_argument(
+        "--runs", type=int, default=200,
+        help="number of independent fault schedules (default 200)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=20230325,
+        help="batch seed; every run seed derives from it (logged in the "
+        "report, so failures are replayable)",
+    )
+    chaos.add_argument(
+        "--intensity", type=float, default=0.5,
+        help="expected fault density in [0, 1] (default 0.5)",
+    )
+    chaos.add_argument(
+        "--replay", type=int, default=None, metavar="SEED",
+        help="replay the single run whose failure message said "
+        "'replay with seed=SEED'",
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
     return parser
 
 

@@ -32,9 +32,11 @@ def split_collective_permutes(
             ]
             new_order.append(instruction)
             continue
-        attrs = {"pairs": list(instruction.pairs)}
-        if "direction" in instruction.attrs:
-            attrs["direction"] = instruction.attrs["direction"]
+        # Carry over *every* attribute of the original permute (pairs,
+        # direction, and any custom annotation a pass attached) — the
+        # start instruction is the original transfer, just asynchronous.
+        attrs = dict(instruction.attrs)
+        attrs["pairs"] = list(instruction.pairs)
         start = Instruction(
             name=Instruction.fresh_name("collective-permute-start"),
             opcode=Opcode.COLLECTIVE_PERMUTE_START,

@@ -16,6 +16,7 @@ Each module exposes ``run()`` (structured rows) and ``format_report()``
 
 from repro.experiments import (
     ablations,
+    degraded,
     energy,
     fig01_breakdown,
     fig12_overall,
@@ -43,6 +44,7 @@ __all__ = [
     "cached_step",
     "clear_cache",
     "compare",
+    "degraded",
     "energy",
     "fig01_breakdown",
     "fig12_overall",

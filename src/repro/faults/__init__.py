@@ -1,0 +1,51 @@
+"""Fault injection and resilience for the decomposed-collective runtime.
+
+The paper's looped CollectiveEinsum turns one bulk collective into N
+point-to-point ``CollectivePermute`` steps — N chances for a flaky link,
+a straggling neighbour or a corrupted payload to surface mid-loop. This
+package provides the machinery to *provoke* those faults reproducibly
+and to survive them:
+
+* :mod:`repro.faults.errors` — the typed :class:`FaultError` hierarchy;
+  every runtime failure is structured and carries the seed to replay it.
+* :mod:`repro.faults.plan` — declarative, seeded :class:`FaultPlan`s
+  describing which transfers are delayed/dropped/duplicated/corrupted,
+  which devices straggle or die, and which links go down.
+* :mod:`repro.faults.injector` — the stateful :class:`FaultInjector`
+  that applies a plan to a run.
+* :mod:`repro.faults.conditions` — :class:`ChannelConditions`, the
+  perf-simulator-facing model of degraded bandwidth and stragglers.
+* :mod:`repro.faults.chaos` — the randomized chaos harness behind
+  ``repro chaos`` and ``tests/test_chaos.py``.
+"""
+
+from repro.faults.conditions import ChannelConditions
+from repro.faults.errors import (
+    DeviceFailureError,
+    FaultError,
+    InvalidPermuteError,
+    LinkDownError,
+    PayloadCorruptionError,
+    ReplicaGroupError,
+    ShapeFaultError,
+    TransferTimeoutError,
+)
+from repro.faults.injector import FaultInjector, TransferOutcome
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+__all__ = [
+    "ChannelConditions",
+    "DeviceFailureError",
+    "FaultError",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InvalidPermuteError",
+    "LinkDownError",
+    "PayloadCorruptionError",
+    "ReplicaGroupError",
+    "ShapeFaultError",
+    "TransferOutcome",
+    "TransferTimeoutError",
+]

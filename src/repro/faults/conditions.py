@@ -1,0 +1,134 @@
+"""Degraded-channel model for the performance simulators.
+
+:class:`ChannelConditions` describes a *non-ideal but functioning*
+fabric: links running below nominal bandwidth and devices computing
+slower than spec. The perf simulators consume it to quantify how much
+worse exposed communication gets for decomposed vs. baseline programs
+under tail effects — the functional fault injection lives in
+:mod:`repro.faults.injector`, this module only reshapes *time*.
+
+Scales are speed fractions in (0, 1]: ``0.25`` means the resource runs
+at a quarter of nominal speed (durations multiply by 4). Synchronous
+ring collectives traverse every link of the ring, so they are gated by
+the *slowest* link — :meth:`collective_multiplier` reflects that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional, Tuple
+
+#: (axis, direction) — the simulator's per-link bandwidth resource key.
+Resource = Tuple[str, str]
+
+
+def _check_scales(scales, what: str) -> None:
+    for key, scale in scales.items():
+        if not scale > 0:
+            raise ValueError(f"{what} scale for {key!r} must be > 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelConditions:
+    """Bandwidth/compute degradation applied to a simulated run.
+
+    * ``link_scale`` — per-(axis, direction) bandwidth as a fraction of
+      nominal; missing resources run at ``1.0``.
+    * ``compute_scale`` — the representative device's compute speed
+      fraction (used by the symmetric single-device walk).
+    * ``per_device_compute_scale`` — per-device overrides for the
+      multi-device walk (stragglers); devices not listed use
+      ``compute_scale``.
+    * ``per_device_link_scale`` — extra scale on a device's *outgoing*
+      links (multi-device walk only): one chip with a flaky serdes slows
+      every transfer it sources.
+    """
+
+    link_scale: Mapping[Resource, float] = dataclasses.field(
+        default_factory=dict
+    )
+    compute_scale: float = 1.0
+    per_device_compute_scale: Mapping[int, float] = dataclasses.field(
+        default_factory=dict
+    )
+    per_device_link_scale: Mapping[int, float] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not self.compute_scale > 0:
+            raise ValueError("compute_scale must be > 0")
+        _check_scales(self.link_scale, "link")
+        _check_scales(self.per_device_compute_scale, "compute")
+        _check_scales(self.per_device_link_scale, "device link")
+
+    # --- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def healthy() -> "ChannelConditions":
+        return ChannelConditions()
+
+    @staticmethod
+    def degraded_link(
+        axis: str, direction: str, scale: float
+    ) -> "ChannelConditions":
+        """One (axis, direction) channel at ``scale`` of nominal bandwidth."""
+        return ChannelConditions(link_scale={(axis, direction): scale})
+
+    @staticmethod
+    def straggler(device: int, scale: float) -> "ChannelConditions":
+        """One device computing at ``scale`` of nominal speed."""
+        return ChannelConditions(per_device_compute_scale={device: scale})
+
+    # --- time multipliers -------------------------------------------------------
+
+    def transfer_multiplier(
+        self, resource: Resource, source: Optional[int] = None
+    ) -> float:
+        """Duration multiplier for a transfer on ``resource`` (>= 1 when
+        degraded). ``source`` applies the per-device outgoing-link scale."""
+        scale = self.link_scale.get(resource, 1.0)
+        if source is not None:
+            scale *= self.per_device_link_scale.get(source, 1.0)
+        return 1.0 / scale
+
+    def compute_multiplier(self, device: Optional[int] = None) -> float:
+        """Duration multiplier for computation on ``device`` (or the
+        representative device when ``device`` is None)."""
+        if device is None:
+            return 1.0 / self.compute_scale
+        scale = self.per_device_compute_scale.get(
+            device, self.compute_scale
+        )
+        return 1.0 / scale
+
+    def collective_multiplier(self) -> float:
+        """Duration multiplier for synchronous ring collectives: the ring
+        is gated by its slowest link (and slowest participant's serdes)."""
+        scales = [1.0]
+        scales.extend(self.link_scale.values())
+        scales.extend(self.per_device_link_scale.values())
+        return 1.0 / min(scales)
+
+    @property
+    def is_healthy(self) -> bool:
+        return (
+            not self.link_scale
+            and self.compute_scale == 1.0
+            and not self.per_device_compute_scale
+            and not self.per_device_link_scale
+        )
+
+
+def conditions_from_plan(plan, mesh) -> ChannelConditions:
+    """Project a functional :class:`repro.faults.plan.FaultPlan` onto the
+    timing model: stragglers become per-device compute scales. (Transfer
+    drops/corruption have no steady-state timing analogue beyond the
+    retries the resilient executor already accounts for.)
+    """
+    per_device: Dict[int, float] = {}
+    for device in range(mesh.num_devices):
+        factor = plan.straggler_factor(device)
+        if factor != 1.0:
+            per_device[device] = 1.0 / factor
+    return ChannelConditions(per_device_compute_scale=per_device)

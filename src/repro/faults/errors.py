@@ -1,0 +1,76 @@
+"""Typed fault errors.
+
+Every abnormal condition the resilient runtime can hit maps to exactly
+one class here, and every instance is *replayable*: when the failure was
+produced under a seeded :class:`repro.faults.plan.FaultPlan` the message
+carries the seed, so ``FaultPlan.random(seed, ...)`` regenerates the
+schedule that triggered it. Nothing in the runtime is allowed to fail
+with a bare ``ValueError``/``RuntimeError`` or — worse — to deliver
+corrupted numbers silently: tests assert that every chaos run either
+recovers to oracle-exact output or raises one of these.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class FaultError(RuntimeError):
+    """Base class of every structured fault raised by the runtime.
+
+    ``seed`` is the fault-plan seed that reproduces the failing schedule
+    (``None`` for faults not produced by an injector, e.g. validation
+    errors on hand-written programs). Remaining keyword arguments are
+    kept in ``context`` for programmatic inspection and appended to the
+    message for humans.
+    """
+
+    def __init__(
+        self, message: str, *, seed: Optional[int] = None, **context: Any
+    ) -> None:
+        self.seed = seed
+        self.context = context
+        if context:
+            details = ", ".join(f"{k}={v!r}" for k, v in context.items())
+            message = f"{message} ({details})"
+        if seed is not None:
+            message = f"{message} [replay with seed={seed}]"
+        super().__init__(message)
+
+
+class TransferTimeoutError(FaultError):
+    """A CollectivePermute transfer exhausted its retry budget."""
+
+
+class LinkDownError(FaultError):
+    """A link was flagged bad (persistent failure, not a transient)."""
+
+
+class PayloadCorruptionError(FaultError):
+    """A delivered payload failed the NaN/Inf or checksum guardrail and
+    could not be repaired by retransmission."""
+
+
+class ShapeFaultError(FaultError):
+    """A delivered payload's shape disagrees with the instruction's
+    declared result shape."""
+
+
+class DeviceFailureError(FaultError):
+    """A device died mid-run (unrecoverable by retry or link fallback)."""
+
+
+class InvalidPermuteError(FaultError, ValueError):
+    """Malformed CollectivePermute source→target pairs (duplicate
+    source/target or out-of-range device ids)."""
+
+
+class ReplicaGroupError(FaultError, ValueError):
+    """A device is missing from (or misplaced in) the replica groups of a
+    collective."""
+
+
+#: Faults the graceful-degradation wrapper may recover from by falling
+#: back to the undecomposed program: a bad link only breaks the
+#: point-to-point permute chain, the bulk collective routes around it.
+LINK_FAULTS = (TransferTimeoutError, LinkDownError)

@@ -1,0 +1,145 @@
+"""The stateful fault injector: applies a :class:`FaultPlan` to a run.
+
+The injector is the only mutable piece of the fault machinery. It hands
+out transfer indices in issue order, answers "what happens to attempt
+``a`` of transfer ``t``?", corrupts payloads with its own seeded
+generator (independent of the payload data), and tracks the instruction
+counter that triggers hard device failures. One injector serves exactly
+one run; build a fresh one (same plan) to replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+#: Entropy stream tag for the corruption generator, so corrupted values
+#: are decoupled from the plan-drawing stream but still seed-determined.
+_CORRUPT_STREAM = 0xC0
+
+
+@dataclasses.dataclass(frozen=True)
+class TransferOutcome:
+    """What the fabric does to one delivery attempt of one transfer."""
+
+    delay: float = 0.0
+    dropped: bool = False
+    duplicated: bool = False
+    corrupt: Optional[FaultKind] = None   # CORRUPT_NAN / CORRUPT_BITFLIP
+    link_down: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return (
+            not self.dropped
+            and not self.link_down
+            and self.corrupt is None
+            and self.delay == 0.0
+            and not self.duplicated
+        )
+
+
+CLEAN = TransferOutcome()
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to one run."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._next_transfer = 0
+        self._instructions_executed = 0
+        self._corrupt_rng = np.random.default_rng(
+            [plan.seed, _CORRUPT_STREAM]
+        )
+
+    @property
+    def seed(self) -> int:
+        return self.plan.seed
+
+    # --- transfers --------------------------------------------------------------
+
+    def next_transfer_index(self) -> int:
+        """Allocate the issue-order index of the next permute transfer."""
+        index = self._next_transfer
+        self._next_transfer += 1
+        return index
+
+    def transfer_outcome(
+        self, transfer_index: int, attempt: int
+    ) -> TransferOutcome:
+        """The fabric's behaviour for one delivery attempt.
+
+        Transfer-scoped specs fail the first ``spec.attempts`` attempts
+        and then let retransmission succeed; a LINK_DOWN spec fails every
+        attempt of every transfer at or past its index.
+        """
+        if self.plan.link_down_at(transfer_index) is not None:
+            return TransferOutcome(link_down=True, dropped=True)
+        delay = 0.0
+        dropped = False
+        duplicated = False
+        corrupt: Optional[FaultKind] = None
+        for spec in self.plan.transfer_specs(transfer_index):
+            if attempt >= spec.attempts:
+                continue
+            if spec.kind is FaultKind.DELAY:
+                delay = max(delay, spec.delay)
+            elif spec.kind is FaultKind.DROP:
+                dropped = True
+            elif spec.kind is FaultKind.DUPLICATE:
+                duplicated = True
+            else:  # CORRUPT_NAN / CORRUPT_BITFLIP
+                corrupt = spec.kind
+        return TransferOutcome(
+            delay=delay, dropped=dropped, duplicated=duplicated,
+            corrupt=corrupt,
+        )
+
+    def corrupt_payload(
+        self, payload: np.ndarray, mode: FaultKind
+    ) -> np.ndarray:
+        """Return a corrupted copy of ``payload`` (the input is untouched).
+
+        ``CORRUPT_NAN`` overwrites one element with NaN; ``CORRUPT_BITFLIP``
+        flips one random bit of one element — which may yield NaN, Inf or
+        a perfectly finite wrong number, exactly the case an NaN guard
+        alone would miss (the checksum guardrail catches it).
+        """
+        corrupted = np.array(payload, dtype=np.float64, copy=True)
+        if corrupted.size == 0:
+            return corrupted
+        flat = corrupted.reshape(-1)
+        position = int(self._corrupt_rng.integers(flat.size))
+        if mode is FaultKind.CORRUPT_NAN:
+            flat[position] = np.nan
+        elif mode is FaultKind.CORRUPT_BITFLIP:
+            bits = flat[position : position + 1].view(np.uint64)
+            bits ^= np.uint64(1) << np.uint64(
+                self._corrupt_rng.integers(64)
+            )
+        else:
+            raise ValueError(f"not a corruption mode: {mode}")
+        return corrupted
+
+    def pick(self, n: int) -> int:
+        """Deterministically choose one of ``n`` alternatives (which pair
+        of a permute gets corrupted, etc.)."""
+        return int(self._corrupt_rng.integers(n))
+
+    # --- compute ----------------------------------------------------------------
+
+    def compute_factor(self, device: int) -> float:
+        """Straggler slowdown factor for ``device``."""
+        return self.plan.straggler_factor(device)
+
+    def on_instruction(self) -> Optional[FaultSpec]:
+        """Advance the instruction counter; returns a DEVICE_FAIL spec if
+        the plan kills a device at this instruction index."""
+        spec = self.plan.device_failure_at(self._instructions_executed)
+        self._instructions_executed += 1
+        return spec

@@ -1,0 +1,207 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is a pure description of everything that will go
+wrong during one run: which transfers are delayed, dropped, duplicated
+or corrupted (and for how many retry attempts), which devices straggle
+or fail hard at instruction *k*, and which links are permanently down.
+Plans are frozen and fully determined by their seed —
+``FaultPlan.random(seed, ...)`` always regenerates the same schedule, so
+any failure carrying the seed is replayable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class FaultKind(enum.Enum):
+    """The vocabulary of injectable faults."""
+
+    DELAY = "delay"                  # transfer arrives late
+    DROP = "drop"                    # transfer never arrives (that attempt)
+    DUPLICATE = "duplicate"          # transfer delivered twice
+    CORRUPT_NAN = "corrupt-nan"      # payload element overwritten with NaN
+    CORRUPT_BITFLIP = "corrupt-bitflip"  # one bit of one element flipped
+    STRAGGLER = "straggler"          # device computes slower
+    DEVICE_FAIL = "device-fail"      # device dies at instruction k
+    LINK_DOWN = "link-down"          # link permanently bad from transfer k
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultKind.{self.name}"
+
+
+#: Kinds that target an individual transfer attempt.
+TRANSFER_FAULTS = frozenset(
+    {
+        FaultKind.DELAY,
+        FaultKind.DROP,
+        FaultKind.DUPLICATE,
+        FaultKind.CORRUPT_NAN,
+        FaultKind.CORRUPT_BITFLIP,
+    }
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault.
+
+    * ``transfer_index`` — which CollectivePermute transfer (counted in
+      issue order across the run) the fault hits; transfer faults and
+      ``LINK_DOWN`` use it.
+    * ``attempts`` — how many consecutive delivery attempts the fault
+      keeps failing (retransmission recovers afterwards).
+    * ``delay`` — injected latency in seconds (``DELAY``).
+    * ``magnitude`` — slowdown factor for ``STRAGGLER`` (>= 1).
+    * ``device`` — target device for ``STRAGGLER``/``DEVICE_FAIL``.
+    * ``step`` — instruction index at which ``DEVICE_FAIL`` strikes.
+    """
+
+    kind: FaultKind
+    transfer_index: Optional[int] = None
+    attempts: int = 1
+    delay: float = 0.0
+    magnitude: float = 1.0
+    device: Optional[int] = None
+    step: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if self.kind in TRANSFER_FAULTS or self.kind is FaultKind.LINK_DOWN:
+            if self.transfer_index is None:
+                raise ValueError(f"{self.kind.value} needs a transfer_index")
+        if self.kind in (FaultKind.STRAGGLER, FaultKind.DEVICE_FAIL):
+            if self.device is None:
+                raise ValueError(f"{self.kind.value} needs a device")
+        if self.kind is FaultKind.STRAGGLER and self.magnitude < 1.0:
+            raise ValueError("straggler magnitude must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, reproducible schedule of faults for one run."""
+
+    seed: int
+    specs: Tuple[FaultSpec, ...] = ()
+
+    @staticmethod
+    def healthy(seed: int = 0) -> "FaultPlan":
+        """A plan that injects nothing (useful as a control)."""
+        return FaultPlan(seed=seed, specs=())
+
+    @staticmethod
+    def random(
+        seed: int,
+        num_devices: int,
+        max_transfer_index: int = 24,
+        intensity: float = 0.5,
+        timeout_hint: float = 1e-3,
+    ) -> "FaultPlan":
+        """Draw a reproducible random plan.
+
+        ``intensity`` in [0, 1] scales the expected number of faults;
+        ``timeout_hint`` should match the runtime's per-attempt timeout
+        so injected delays straddle the timeout boundary (some recover,
+        some do not). The same ``(seed, num_devices, max_transfer_index,
+        intensity)`` always yields the same plan.
+        """
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError("intensity must be in [0, 1]")
+        rng = np.random.default_rng(seed)
+        specs: List[FaultSpec] = []
+        num_faults = int(rng.binomial(6, intensity))
+        kinds = list(FaultKind)
+        for _ in range(num_faults):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            transfer = int(rng.integers(max_transfer_index))
+            attempts = int(rng.integers(1, 4))
+            if kind is FaultKind.DELAY:
+                specs.append(
+                    FaultSpec(
+                        kind=kind,
+                        transfer_index=transfer,
+                        attempts=attempts,
+                        delay=float(rng.uniform(0.1, 2.5)) * timeout_hint,
+                    )
+                )
+            elif kind in (
+                FaultKind.DROP,
+                FaultKind.DUPLICATE,
+                FaultKind.CORRUPT_NAN,
+                FaultKind.CORRUPT_BITFLIP,
+            ):
+                specs.append(
+                    FaultSpec(
+                        kind=kind, transfer_index=transfer, attempts=attempts
+                    )
+                )
+            elif kind is FaultKind.STRAGGLER:
+                specs.append(
+                    FaultSpec(
+                        kind=kind,
+                        device=int(rng.integers(num_devices)),
+                        magnitude=float(rng.uniform(1.1, 4.0)),
+                    )
+                )
+            elif kind is FaultKind.DEVICE_FAIL:
+                specs.append(
+                    FaultSpec(
+                        kind=kind,
+                        device=int(rng.integers(num_devices)),
+                        step=int(rng.integers(1, 64)),
+                    )
+                )
+            else:  # LINK_DOWN
+                specs.append(
+                    FaultSpec(kind=kind, transfer_index=transfer)
+                )
+        return FaultPlan(seed=seed, specs=tuple(specs))
+
+    # --- queries ----------------------------------------------------------------
+
+    def transfer_specs(self, transfer_index: int) -> List[FaultSpec]:
+        """Transfer-scoped faults hitting the given transfer."""
+        return [
+            spec
+            for spec in self.specs
+            if spec.kind in TRANSFER_FAULTS
+            and spec.transfer_index == transfer_index
+        ]
+
+    def link_down_at(self, transfer_index: int) -> Optional[FaultSpec]:
+        """The LINK_DOWN spec active at ``transfer_index``, if any.
+
+        A downed link stays down: the first transfer at or after the
+        spec's index (and every later one) fails permanently.
+        """
+        for spec in self.specs:
+            if (
+                spec.kind is FaultKind.LINK_DOWN
+                and transfer_index >= spec.transfer_index
+            ):
+                return spec
+        return None
+
+    def straggler_factor(self, device: int) -> float:
+        """Compound compute-slowdown factor for ``device`` (1.0 = healthy)."""
+        factor = 1.0
+        for spec in self.specs:
+            if spec.kind is FaultKind.STRAGGLER and spec.device == device:
+                factor *= spec.magnitude
+        return factor
+
+    def device_failure_at(self, step: int) -> Optional[FaultSpec]:
+        """The DEVICE_FAIL spec striking at instruction index ``step``."""
+        for spec in self.specs:
+            if spec.kind is FaultKind.DEVICE_FAIL and spec.step == step:
+                return spec
+        return None
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(s.kind.value for s in self.specs) or "healthy"
+        return f"FaultPlan(seed={self.seed}, [{kinds}])"

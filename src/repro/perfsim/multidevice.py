@@ -17,7 +17,10 @@ meshes.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.conditions import ChannelConditions
 
 from repro.perfsim.costs import CostModel
 from repro.perfsim.efficiency import DEFAULT_EFFICIENCY, EfficiencyModel
@@ -42,8 +45,15 @@ def simulate_per_device(
     mesh: DeviceMesh,
     chip: ChipSpec = TPU_V4,
     efficiency: Optional[EfficiencyModel] = None,
+    conditions: Optional["ChannelConditions"] = None,
 ) -> List[DeviceTimeline]:
-    """Simulate every device; returns one timeline per device id."""
+    """Simulate every device; returns one timeline per device id.
+
+    ``conditions`` breaks the SPMD symmetry deliberately: per-device
+    compute scales model stragglers, per-device link scales model one
+    chip's flaky outgoing serdes — the per-device timelines then diverge
+    and the worst device's stall is the step's tail latency.
+    """
     graph = ScheduleGraph.build(module)
     cost_model = CostModel(chip, efficiency or DEFAULT_EFFICIENCY)
     devices = mesh.num_devices
@@ -76,8 +86,13 @@ def simulate_per_device(
                 finish[unit.index][d] = clock[d]
             for source, destination in start.pairs:
                 resource = (source, route.axis, route.direction)
+                effective = duration
+                if conditions is not None:
+                    effective *= conditions.transfer_multiplier(
+                        route.resource, source=source
+                    )
                 begin = max(clock[source], link_free.get(resource, 0.0))
-                completes = begin + duration
+                completes = begin + effective
                 link_free[resource] = completes
                 arrivals[(id(start), destination)] = completes
             continue
@@ -96,17 +111,23 @@ def simulate_per_device(
         is_sync = any(m.opcode in SYNC_COLLECTIVES for m in unit.members)
         finish[unit.index] = [0.0] * devices
         if is_sync:
+            effective = duration
+            if conditions is not None:
+                effective *= conditions.collective_multiplier()
             groups = unit.head.groups
             for group in groups:
                 barrier = max(
                     max(clock[d], ready[d]) for d in group
                 )
                 for d in group:
-                    clock[d] = barrier + duration
+                    clock[d] = barrier + effective
                     finish[unit.index][d] = clock[d]
         else:
             for d in range(devices):
-                clock[d] = max(clock[d], ready[d]) + duration
+                effective = duration
+                if conditions is not None:
+                    effective *= conditions.compute_multiplier(d)
+                clock[d] = max(clock[d], ready[d]) + effective
                 finish[unit.index][d] = clock[d]
 
     return [

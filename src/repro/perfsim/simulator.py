@@ -22,7 +22,10 @@ serializes a transfer with computation that should have hidden it.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.conditions import ChannelConditions
 
 from repro.perfsim.costs import CostModel
 from repro.perfsim.sched_graph import ScheduleGraph, ScheduleUnit
@@ -46,17 +49,27 @@ class _Transfer:
 
 
 class Simulator:
-    """Simulates scheduled modules on a chip/mesh pair."""
+    """Simulates scheduled modules on a chip/mesh pair.
+
+    ``conditions`` (optional :class:`repro.faults.ChannelConditions`)
+    degrades the fabric: per-(axis, direction) bandwidth scales stretch
+    transfers, the compute scale stretches kernels, and synchronous ring
+    collectives are gated by the slowest link. This is how experiments
+    quantify tail effects — exposed communication under degradation —
+    for decomposed vs. baseline programs.
+    """
 
     def __init__(
         self,
         mesh: DeviceMesh,
         chip: ChipSpec = TPU_V4,
         efficiency: Optional[EfficiencyModel] = None,
+        conditions: Optional["ChannelConditions"] = None,
     ) -> None:
         self.mesh = mesh
         self.chip = chip
         self.cost_model = CostModel(chip, efficiency or DEFAULT_EFFICIENCY)
+        self.conditions = conditions
 
     def run(
         self, module: HloModule, trace: Optional[Trace] = None
@@ -87,6 +100,8 @@ class Simulator:
                 route = route_of_permute(unit.head, mesh)
                 duration = graph.transfer_time(unit, cost_model, mesh)
                 resource = route.resource
+                if self.conditions is not None:
+                    duration *= self.conditions.transfer_multiplier(resource)
                 begin = max(issue, link_free.get(resource, 0.0))
                 completes = begin + duration
                 link_free[resource] = completes
@@ -117,10 +132,18 @@ class Simulator:
                 continue
 
             duration = graph.compute_time(unit, cost_model, mesh)
+            is_sync = any(m.opcode in SYNC_COLLECTIVES for m in unit.members)
+            if self.conditions is not None:
+                if is_sync:
+                    # A synchronous ring collective traverses every link of
+                    # the ring, so the slowest link gates the whole op.
+                    duration *= self.conditions.collective_multiplier()
+                else:
+                    duration *= self.conditions.compute_multiplier()
             begin = max(clock, inputs_ready)
             clock = begin + duration
             finish[unit.index] = clock
-            if any(m.opcode in SYNC_COLLECTIVES for m in unit.members):
+            if is_sync:
                 sync_collective_time += duration
                 if trace is not None:
                     trace.add(unit.tail.name, COLLECTIVE, "compute", begin, clock)
@@ -161,9 +184,10 @@ def simulate(
     mesh: DeviceMesh,
     chip: ChipSpec = TPU_V4,
     efficiency: Optional[EfficiencyModel] = None,
+    conditions: Optional["ChannelConditions"] = None,
 ) -> StepReport:
     """One-shot convenience wrapper."""
-    return Simulator(mesh, chip, efficiency).run(module)
+    return Simulator(mesh, chip, efficiency, conditions).run(module)
 
 
 def simulate_with_trace(
@@ -171,8 +195,11 @@ def simulate_with_trace(
     mesh: DeviceMesh,
     chip: ChipSpec = TPU_V4,
     efficiency: Optional[EfficiencyModel] = None,
+    conditions: Optional["ChannelConditions"] = None,
 ) -> Tuple[StepReport, Trace]:
     """Simulate and return the full timeline alongside the report."""
     trace = Trace()
-    report = Simulator(mesh, chip, efficiency).run(module, trace=trace)
+    report = Simulator(mesh, chip, efficiency, conditions).run(
+        module, trace=trace
+    )
     return report, trace

@@ -6,14 +6,26 @@ from repro.runtime.collectives import (
     all_to_all,
     collective_permute,
     reduce_scatter,
+    validate_permute_pairs,
 )
 from repro.runtime.executor import ExecutionError, Executor, run_spmd
 from repro.runtime.memory import MemoryProfile, profile_memory
+from repro.runtime.resilient import (
+    ResilienceStats,
+    ResilientExecutor,
+    ResilientResult,
+    RetryPolicy,
+    run_with_fallback,
+)
 
 __all__ = [
     "ExecutionError",
     "Executor",
     "MemoryProfile",
+    "ResilienceStats",
+    "ResilientExecutor",
+    "ResilientResult",
+    "RetryPolicy",
     "all_gather",
     "all_reduce",
     "all_to_all",
@@ -21,4 +33,6 @@ __all__ = [
     "profile_memory",
     "reduce_scatter",
     "run_spmd",
+    "run_with_fallback",
+    "validate_permute_pairs",
 ]

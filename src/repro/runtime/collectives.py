@@ -9,9 +9,11 @@ passes must reproduce them exactly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.faults.errors import InvalidPermuteError, ReplicaGroupError
 
 Groups = Sequence[Tuple[int, ...]]
 PerDevice = List[np.ndarray]
@@ -21,11 +23,56 @@ def _group_of(device: int, groups: Groups) -> Tuple[int, ...]:
     for group in groups:
         if device in group:
             return group
-    raise ValueError(f"device {device} missing from replica groups {groups}")
+    raise ReplicaGroupError(
+        f"device {device} missing from replica groups "
+        f"{[tuple(g) for g in groups]}",
+        device=device,
+    )
+
+
+def _check_coverage(inputs: PerDevice, groups: Groups) -> None:
+    """Every device must belong to a replica group, or its output would
+    silently stay empty."""
+    for device in range(len(inputs)):
+        _group_of(device, groups)
+
+
+def validate_permute_pairs(
+    pairs: Sequence[Tuple[int, int]], num_devices: Optional[int] = None
+) -> None:
+    """Reject malformed CollectivePermute pairs with a typed error.
+
+    A device may be the source of at most one pair and the destination
+    of at most one pair, and (when ``num_devices`` is known) every id
+    must name an existing device.
+    """
+    destinations = set()
+    sources = set()
+    for src, dst in pairs:
+        if num_devices is not None:
+            for role, device in (("source", src), ("destination", dst)):
+                if not 0 <= device < num_devices:
+                    raise InvalidPermuteError(
+                        f"{role} device {device} out of range for "
+                        f"{num_devices} devices",
+                        pair=(src, dst),
+                    )
+        if dst in destinations:
+            raise InvalidPermuteError(
+                f"device {dst} is the destination of two pairs",
+                pair=(src, dst),
+            )
+        if src in sources:
+            raise InvalidPermuteError(
+                f"device {src} is the source of two pairs", pair=(src, dst)
+            )
+        sources.add(src)
+        destinations.add(dst)
 
 
 def all_gather(inputs: PerDevice, dim: int, groups: Groups) -> PerDevice:
     """Concatenate the group's shards along ``dim`` on every member."""
+    _check_coverage(inputs, groups)
     outputs: List[np.ndarray] = [None] * len(inputs)  # type: ignore[list-item]
     for group in groups:
         gathered = np.concatenate([inputs[d] for d in group], axis=dim)
@@ -36,6 +83,7 @@ def all_gather(inputs: PerDevice, dim: int, groups: Groups) -> PerDevice:
 
 def reduce_scatter(inputs: PerDevice, dim: int, groups: Groups) -> PerDevice:
     """Element-wise sum over the group, then shard along ``dim``."""
+    _check_coverage(inputs, groups)
     outputs: List[np.ndarray] = [None] * len(inputs)  # type: ignore[list-item]
     for group in groups:
         total = np.sum([inputs[d] for d in group], axis=0)
@@ -47,6 +95,7 @@ def reduce_scatter(inputs: PerDevice, dim: int, groups: Groups) -> PerDevice:
 
 def all_reduce(inputs: PerDevice, groups: Groups) -> PerDevice:
     """Element-wise sum over the group, replicated on every member."""
+    _check_coverage(inputs, groups)
     outputs: List[np.ndarray] = [None] * len(inputs)  # type: ignore[list-item]
     for group in groups:
         total = np.sum([inputs[d] for d in group], axis=0)
@@ -59,6 +108,7 @@ def all_to_all(
     inputs: PerDevice, split_dim: int, concat_dim: int, groups: Groups
 ) -> PerDevice:
     """Device ``i`` of a group sends its ``j``-th split to device ``j``."""
+    _check_coverage(inputs, groups)
     outputs: List[np.ndarray] = [None] * len(inputs)  # type: ignore[list-item]
     for group in groups:
         splits = {d: np.split(inputs[d], len(group), axis=split_dim) for d in group}
@@ -78,15 +128,8 @@ def collective_permute(
     destination of different pairs simultaneously (the ring shifts the
     decomposition emits rely on this).
     """
-    destinations: Dict[int, int] = {}
-    sources_seen = set()
-    for src, dst in pairs:
-        if dst in destinations:
-            raise ValueError(f"device {dst} is the destination of two pairs")
-        if src in sources_seen:
-            raise ValueError(f"device {src} is the source of two pairs")
-        sources_seen.add(src)
-        destinations[dst] = src
+    validate_permute_pairs(pairs, len(inputs))
+    destinations: Dict[int, int] = {dst: src for src, dst in pairs}
     outputs: List[np.ndarray] = []
     for device, value in enumerate(inputs):
         if device in destinations:

@@ -78,3 +78,17 @@ def test_module_without_permutes_untouched():
     before = builder.module.instructions
     assert split_collective_permutes(builder.module) == []
     assert builder.module.instructions == before
+
+
+def test_custom_attrs_survive_split():
+    """Every attribute on the sync permute must carry over to the start
+    op — schedulers and fault tooling hang metadata off ``attrs``."""
+    module = build_module(direction="minus")
+    permute = module.find(lambda i: i.opcode == Opcode.COLLECTIVE_PERMUTE)[0]
+    permute.attrs["chunk"] = 3
+    permute.attrs["origin"] = "decompose-ag"
+    start, _ = split_collective_permutes(module)[0]
+    assert start.attrs["chunk"] == 3
+    assert start.attrs["origin"] == "decompose-ag"
+    assert start.attrs["direction"] == "minus"
+    assert start.pairs == PAIRS

@@ -1,0 +1,146 @@
+"""Chaos harness acceptance tests.
+
+The resilience contract: every randomized seeded fault schedule either
+recovers to oracle-exact output (directly or via the undecomposed
+fallback) or raises a typed :class:`FaultError` whose message carries
+the seed to replay it. Zero silent numerical corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import chaos
+from repro.faults.chaos import (
+    FALLBACK,
+    GOLDEN_CASES,
+    RECOVERED,
+    TYPED_FAILURE,
+    format_report,
+    run_chaos,
+    run_one,
+)
+from repro.faults.errors import FaultError
+
+#: The acceptance-criteria batch: at least 200 seeded schedules.
+BATCH_SEED = 20230325
+BATCH_RUNS = 200
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return run_chaos(BATCH_SEED, BATCH_RUNS)
+
+
+class TestContract:
+    def test_two_hundred_runs_zero_silent_corruption(self, batch):
+        assert len(batch.runs) == BATCH_RUNS
+        assert batch.violations == [], format_report(batch)
+        assert batch.ok
+
+    def test_every_outcome_is_recovery_or_typed(self, batch):
+        for run in batch.runs:
+            assert run.outcome in (RECOVERED, FALLBACK, TYPED_FAILURE)
+
+    def test_every_failure_message_contains_its_seed(self, batch):
+        failures = [r for r in batch.runs if r.outcome == TYPED_FAILURE]
+        assert failures, "batch exercised no typed failures"
+        for run in failures:
+            assert f"seed={run.seed}" in run.message
+
+    def test_batch_exercises_all_recovery_paths(self, batch):
+        counts = batch.counts
+        assert counts.get(RECOVERED, 0) > 0
+        assert counts.get(FALLBACK, 0) > 0
+        assert sum(run.retries for run in batch.runs) > 0
+
+    def test_batch_covers_every_golden_case(self, batch):
+        exercised = {run.case for run in batch.runs}
+        assert exercised == {case.name for case in GOLDEN_CASES}
+
+
+class TestDeterminism:
+    def test_same_seed_same_behaviour(self):
+        a = run_chaos(99, 20)
+        b = run_chaos(99, 20)
+        assert [r.signature for r in a.runs] == [r.signature for r in b.runs]
+
+    def test_replaying_a_failure_seed_reproduces_it(self, batch):
+        failures = [r for r in batch.runs if r.outcome == TYPED_FAILURE]
+        replayed = run_one(failures[0].seed)
+        assert replayed.outcome == TYPED_FAILURE
+        assert replayed.error_type == failures[0].error_type
+
+    def test_zero_intensity_all_recover_cleanly(self):
+        report = run_chaos(3, 25, intensity=0.0)
+        assert report.counts == {RECOVERED: 25}
+        assert sum(run.retries for run in report.runs) == 0
+
+
+class TestAuditor:
+    def test_wrong_answer_without_error_is_flagged(self, monkeypatch):
+        """If the resilient runtime ever returned wrong numbers silently,
+        the harness must classify it as corruption, not success."""
+
+        real = chaos.run_with_fallback
+
+        def lying_runtime(*args, **kwargs):
+            result = real(*args, **kwargs)
+            for shard in result.root:
+                shard += 1.0
+            return result
+
+        monkeypatch.setattr(chaos, "run_with_fallback", lying_runtime)
+        result = run_one(123, intensity=0.0)
+        assert result.outcome == chaos.SILENT_CORRUPTION
+        assert result.is_violation
+
+    def test_untyped_exception_is_flagged(self, monkeypatch):
+        def crashing_runtime(*args, **kwargs):
+            raise RuntimeError("segfault-adjacent")
+
+        monkeypatch.setattr(chaos, "run_with_fallback", crashing_runtime)
+        result = run_one(123, intensity=0.0)
+        assert result.outcome == chaos.UNTYPED_FAILURE
+        assert result.is_violation
+
+    def test_fault_error_without_seed_is_flagged(self, monkeypatch):
+        def forgetful_runtime(*args, **kwargs):
+            raise FaultError("link died, good luck finding out why")
+
+        monkeypatch.setattr(chaos, "run_with_fallback", forgetful_runtime)
+        result = run_one(123, intensity=0.0)
+        assert result.outcome == chaos.UNSEEDED_FAILURE
+        assert result.is_violation
+
+
+class TestReport:
+    def test_format_names_batch_seed_and_contract(self, batch):
+        text = format_report(batch)
+        assert f"seed={BATCH_SEED}" in text
+        assert "contract held" in text
+
+    def test_format_lists_violations(self):
+        report = run_chaos(1, 3, intensity=0.0)
+        broken = chaos.ChaosReport(
+            seed=1,
+            intensity=0.0,
+            runs=report.runs
+            + (
+                chaos.ChaosRunResult(
+                    seed=77, case="mlp-chain", ring=2,
+                    scheduler="in_order", unroll=False, bidirectional=False,
+                    plan="FaultPlan(seed=77, [drop])",
+                    outcome=chaos.SILENT_CORRUPTION,
+                    error_type="FaultError", message="diverged",
+                ),
+            ),
+        )
+        text = format_report(broken)
+        assert "CONTRACT VIOLATIONS" in text
+        assert "seed=77" in text
+
+    def test_oracle_agreement_tolerance_is_tight(self):
+        """Sanity: the harness compares at 1e-9, so even tiny corruption
+        would be counted."""
+        result = run_one(2, intensity=0.0)
+        assert result.outcome == RECOVERED

@@ -64,3 +64,31 @@ class TestCommands:
         assert "HloModule" in out
         assert "all-gather" in out
         assert "einsum" in out
+
+
+class TestChaosCommand:
+    def test_clean_batch_exits_zero(self, capsys):
+        assert main(["chaos", "--runs", "5", "--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "seed=11" in out
+        assert "contract held" in out
+
+    def test_report_logs_batch_seed_for_replay(self, capsys):
+        main(["chaos", "--runs", "3", "--seed", "987", "--intensity", "0.2"])
+        assert "seed=987" in capsys.readouterr().out
+
+    def test_zero_runs_rejected(self, capsys):
+        assert main(["chaos", "--runs", "0"]) == 2
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_defaults_meet_acceptance_floor(self):
+        parser = build_parser()
+        args = parser.parse_args(["chaos"])
+        assert args.runs >= 200
+        assert args.seed == 20230325
+
+    def test_replay_reruns_a_single_seed(self, capsys):
+        assert main(["chaos", "--replay", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "replay seed=11" in out
+        assert "outcome:" in out

@@ -143,3 +143,84 @@ class TestProperties:
         np.testing.assert_allclose(
             np.concatenate(out, axis=0), np.sum(inputs, axis=0)
         )
+
+
+class TestReplicaGroupShapes:
+    """Non-contiguous and singleton replica groups (satellite coverage)."""
+
+    def test_all_gather_non_contiguous_groups(self):
+        inputs = [np.full((1,), float(d)) for d in range(4)]
+        out = collectives.all_gather(inputs, 0, [(0, 2), (1, 3)])
+        np.testing.assert_array_equal(out[0], [0, 2])
+        np.testing.assert_array_equal(out[2], [0, 2])
+        np.testing.assert_array_equal(out[1], [1, 3])
+        np.testing.assert_array_equal(out[3], [1, 3])
+
+    def test_reduce_scatter_non_contiguous_groups(self):
+        inputs = [np.full((2,), float(d)) for d in range(4)]
+        out = collectives.reduce_scatter(inputs, 0, [(0, 2), (1, 3)])
+        np.testing.assert_allclose(out[0], [2.0])  # (0 + 2) first half
+        np.testing.assert_allclose(out[2], [2.0])
+        np.testing.assert_allclose(out[1], [4.0])  # (1 + 3)
+        np.testing.assert_allclose(out[3], [4.0])
+
+    def test_all_reduce_non_contiguous_groups(self):
+        inputs = [np.full((2,), float(d)) for d in range(4)]
+        out = collectives.all_reduce(inputs, [(0, 2), (1, 3)])
+        np.testing.assert_allclose(out[0], [2.0, 2.0])
+        np.testing.assert_allclose(out[3], [4.0, 4.0])
+
+    def test_singleton_group_is_identity(self):
+        inputs = [np.arange(3.0)]
+        gathered = collectives.all_gather(inputs, 0, [(0,)])
+        np.testing.assert_array_equal(gathered[0], inputs[0])
+        reduced = collectives.all_reduce(inputs, [(0,)])
+        np.testing.assert_array_equal(reduced[0], inputs[0])
+        scattered = collectives.reduce_scatter(inputs, 0, [(0,)])
+        np.testing.assert_array_equal(scattered[0], inputs[0])
+
+    def test_singleton_group_beside_pair(self):
+        inputs = [np.full((2,), float(d)) for d in range(3)]
+        out = collectives.all_gather(inputs, 0, [(0,), (1, 2)])
+        np.testing.assert_array_equal(out[0], [0, 0])
+        np.testing.assert_array_equal(out[1], [1, 1, 2, 2])
+
+
+class TestTypedValidation:
+    """Hardened error paths: typed errors naming the offender."""
+
+    def test_missing_device_names_device_and_groups(self):
+        from repro.faults.errors import ReplicaGroupError
+
+        inputs = [np.ones(2) for _ in range(3)]
+        with pytest.raises(ReplicaGroupError, match=r"device 2.*\(0, 1\)"):
+            collectives.all_gather(inputs, 0, [(0, 1)])
+
+    def test_missing_device_error_is_a_value_error(self):
+        inputs = [np.ones(2), np.ones(2)]
+        with pytest.raises(ValueError, match="device 1"):
+            collectives.all_reduce(inputs, [(0,)])
+
+    def test_permute_source_out_of_range(self):
+        from repro.faults.errors import InvalidPermuteError
+
+        with pytest.raises(InvalidPermuteError, match="source device 5"):
+            collectives.validate_permute_pairs([(5, 0)], num_devices=2)
+
+    def test_permute_destination_out_of_range(self):
+        from repro.faults.errors import InvalidPermuteError
+
+        inputs = [np.ones(1), np.ones(1)]
+        with pytest.raises(InvalidPermuteError, match="destination"):
+            collectives.collective_permute(inputs, [(0, 7)])
+
+    def test_negative_device_rejected(self):
+        from repro.faults.errors import InvalidPermuteError
+
+        with pytest.raises(InvalidPermuteError):
+            collectives.validate_permute_pairs([(-1, 0)], num_devices=2)
+
+    def test_valid_pairs_accepted(self):
+        collectives.validate_permute_pairs(
+            [(0, 1), (1, 2), (2, 0)], num_devices=3
+        )

@@ -1,0 +1,177 @@
+"""Degraded-fabric simulation: ChannelConditions through both simulators
+plus the tail-effects experiment."""
+
+import pytest
+
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import compile_module
+from repro.experiments import degraded
+from repro.faults.conditions import ChannelConditions
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import BF16
+from repro.hlo.shapes import Shape
+from repro.perfsim.multidevice import simulate_per_device
+from repro.perfsim.simulator import simulate
+from repro.perfsim.topology import MINUS, PLUS
+from repro.sharding.mesh import DeviceMesh
+
+
+def compiled_layer(mesh, config=None):
+    n = mesh.num_devices
+    builder = GraphBuilder("m")
+    x = builder.parameter(Shape((1024, 2048), BF16), name="x")
+    w = builder.parameter(Shape((2048, 4096 // n), BF16), name="w")
+    gathered = builder.all_gather(w, 1, mesh.rings("x"))
+    builder.einsum("bf,fh->bh", x, gathered)
+    module = builder.module
+    compile_module(
+        module, mesh, config or OverlapConfig(use_cost_model=False)
+    )
+    return module
+
+
+class TestSimulatorConditions:
+    def test_no_conditions_equals_healthy(self):
+        mesh = DeviceMesh.ring(4)
+        module = compiled_layer(mesh)
+        plain = simulate(module, mesh)
+        healthy = simulate(
+            module, mesh, conditions=ChannelConditions.healthy()
+        )
+        assert healthy.total_time == pytest.approx(plain.total_time)
+        assert healthy.permute_wait_time == pytest.approx(
+            plain.permute_wait_time
+        )
+
+    def test_degraded_link_slows_decomposed_program(self):
+        mesh = DeviceMesh.ring(4)
+        module = compiled_layer(mesh)
+        plain = simulate(module, mesh)
+        degraded_both = simulate(
+            module,
+            mesh,
+            conditions=ChannelConditions(
+                link_scale={("x", MINUS): 0.1, ("x", PLUS): 0.1}
+            ),
+        )
+        assert degraded_both.total_time > plain.total_time
+        assert (
+            degraded_both.permute_wait_time > plain.permute_wait_time
+        )
+
+    def test_one_direction_hurts_less_than_both(self):
+        """Degrading only MINUS leaves the PLUS half-ring untouched, so
+        the bidirectional decomposition still lands half its transfers at
+        full speed — strictly cheaper than a fabric-wide slowdown."""
+        mesh = DeviceMesh.ring(8)
+        module = compiled_layer(mesh)
+        one_direction = simulate(
+            module,
+            mesh,
+            conditions=ChannelConditions.degraded_link("x", MINUS, 0.25),
+        )
+        both_directions = simulate(
+            module,
+            mesh,
+            conditions=ChannelConditions(
+                link_scale={("x", MINUS): 0.25, ("x", PLUS): 0.25}
+            ),
+        )
+        assert one_direction.total_time < both_directions.total_time
+
+    def test_sync_collective_gated_by_slowest_link(self):
+        mesh = DeviceMesh.ring(4)
+        module = compiled_layer(mesh, OverlapConfig.baseline())
+        plain = simulate(module, mesh)
+        degraded_one = simulate(
+            module,
+            mesh,
+            conditions=ChannelConditions.degraded_link("x", MINUS, 0.25),
+        )
+        assert degraded_one.sync_collective_time == pytest.approx(
+            4.0 * plain.sync_collective_time
+        )
+
+    def test_compute_scale_stretches_kernels(self):
+        mesh = DeviceMesh.ring(4)
+        module = compiled_layer(mesh)
+        plain = simulate(module, mesh)
+        slow = simulate(
+            module, mesh, conditions=ChannelConditions(compute_scale=0.5)
+        )
+        assert slow.compute_time == pytest.approx(2.0 * plain.compute_time)
+
+
+class TestPerDeviceConditions:
+    def test_straggler_breaks_symmetry(self):
+        mesh = DeviceMesh.ring(4)
+        module = compiled_layer(mesh)
+        timelines = simulate_per_device(
+            module, mesh, conditions=ChannelConditions.straggler(2, 0.5)
+        )
+        slowest = max(t.total_time for t in timelines)
+        assert timelines[2].total_time == pytest.approx(slowest)
+        assert timelines[2].total_time > timelines[0].total_time
+
+    def test_flaky_outgoing_link_stalls_the_receiver(self):
+        """Device 1's bad serdes delays the transfers it *sends*; the
+        stall shows up as permute wait somewhere downstream, not on a
+        healthy sender."""
+        mesh = DeviceMesh.ring(4)
+        module = compiled_layer(mesh)
+        healthy = simulate_per_device(module, mesh)
+        flaky = simulate_per_device(
+            module,
+            mesh,
+            conditions=ChannelConditions(per_device_link_scale={1: 0.05}),
+        )
+        assert max(t.total_time for t in flaky) > max(
+            t.total_time for t in healthy
+        )
+        assert sum(t.permute_wait_time for t in flaky) > sum(
+            t.permute_wait_time for t in healthy
+        )
+
+    def test_healthy_conditions_match_symmetric_walk(self):
+        mesh = DeviceMesh.ring(4)
+        module = compiled_layer(mesh)
+        report = simulate(module, mesh)
+        for timeline in simulate_per_device(
+            module, mesh, conditions=ChannelConditions.healthy()
+        ):
+            assert timeline.total_time == pytest.approx(report.total_time)
+
+
+class TestDegradedExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return degraded.run()
+
+    def test_covers_all_scenarios(self, rows):
+        assert [r.scenario for r in rows] == [
+            name for name, _ in degraded.SCENARIOS
+        ]
+
+    def test_fabric_wide_degradation_exposes_the_permute_chain(self, rows):
+        by_name = {r.scenario: r for r in rows}
+        healthy = by_name["healthy fabric"]
+        worst = by_name["both directions at 1/16 bw"]
+        assert worst.overlapped.total_time > healthy.overlapped.total_time
+        index = [r.scenario for r in rows].index(
+            "both directions at 1/16 bw"
+        )
+        assert degraded.exposed_penalty(rows, index) > 2.0
+
+    def test_single_direction_mostly_hidden(self, rows):
+        index = [r.scenario for r in rows].index("one direction at 1/4 bw")
+        both = [r.scenario for r in rows].index("both directions at 1/4 bw")
+        assert degraded.exposed_penalty(rows, index) < degraded.exposed_penalty(
+            rows, both
+        )
+
+    def test_report_renders(self, rows):
+        text = degraded.format_report(rows)
+        assert "Tail effects" in text
+        for name, _ in degraded.SCENARIOS:
+            assert name in text
+        assert "re-exposes" in text

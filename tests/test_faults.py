@@ -1,0 +1,203 @@
+"""Unit tests for the fault subsystem: plans, injector, errors, conditions."""
+
+import numpy as np
+import pytest
+
+from repro.faults.conditions import ChannelConditions, conditions_from_plan
+from repro.faults.errors import (
+    FaultError,
+    InvalidPermuteError,
+    LinkDownError,
+    ReplicaGroupError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.sharding.mesh import DeviceMesh
+
+
+class TestFaultError:
+    def test_seed_lands_in_message(self):
+        error = FaultError("link exploded", seed=1234)
+        assert "replay with seed=1234" in str(error)
+        assert error.seed == 1234
+
+    def test_context_lands_in_message_and_attrs(self):
+        error = FaultError("bad pair", pair=(0, 1), device=3)
+        assert error.context == {"pair": (0, 1), "device": 3}
+        assert "pair=(0, 1)" in str(error)
+
+    def test_no_seed_no_replay_hint(self):
+        assert "replay" not in str(FaultError("oops"))
+
+    def test_typed_errors_are_fault_and_value_errors(self):
+        assert issubclass(InvalidPermuteError, ValueError)
+        assert issubclass(InvalidPermuteError, FaultError)
+        assert issubclass(ReplicaGroupError, ValueError)
+        assert issubclass(LinkDownError, FaultError)
+
+
+class TestFaultSpec:
+    def test_transfer_fault_needs_index(self):
+        with pytest.raises(ValueError, match="transfer_index"):
+            FaultSpec(kind=FaultKind.DROP)
+
+    def test_straggler_needs_device(self):
+        with pytest.raises(ValueError, match="device"):
+            FaultSpec(kind=FaultKind.STRAGGLER)
+
+    def test_straggler_magnitude_at_least_one(self):
+        with pytest.raises(ValueError, match="magnitude"):
+            FaultSpec(kind=FaultKind.STRAGGLER, device=0, magnitude=0.5)
+
+    def test_attempts_positive(self):
+        with pytest.raises(ValueError, match="attempts"):
+            FaultSpec(kind=FaultKind.DROP, transfer_index=0, attempts=0)
+
+
+class TestFaultPlan:
+    def test_random_is_deterministic(self):
+        a = FaultPlan.random(77, num_devices=4)
+        b = FaultPlan.random(77, num_devices=4)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        plans = {FaultPlan.random(s, num_devices=4) for s in range(20)}
+        assert len(plans) > 1
+
+    def test_zero_intensity_is_healthy(self):
+        plan = FaultPlan.random(5, num_devices=4, intensity=0.0)
+        assert plan.specs == ()
+
+    def test_intensity_out_of_range(self):
+        with pytest.raises(ValueError, match="intensity"):
+            FaultPlan.random(5, num_devices=4, intensity=1.5)
+
+    def test_link_down_is_persistent(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(FaultSpec(kind=FaultKind.LINK_DOWN, transfer_index=3),),
+        )
+        assert plan.link_down_at(2) is None
+        assert plan.link_down_at(3) is not None
+        assert plan.link_down_at(100) is not None
+
+    def test_straggler_factors_compound(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(kind=FaultKind.STRAGGLER, device=1, magnitude=2.0),
+                FaultSpec(kind=FaultKind.STRAGGLER, device=1, magnitude=3.0),
+            ),
+        )
+        assert plan.straggler_factor(1) == pytest.approx(6.0)
+        assert plan.straggler_factor(0) == 1.0
+
+    def test_device_failure_lookup(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(kind=FaultKind.DEVICE_FAIL, device=2, step=7),
+            ),
+        )
+        assert plan.device_failure_at(7).device == 2
+        assert plan.device_failure_at(6) is None
+
+
+class TestFaultInjector:
+    def test_transfer_indices_are_sequential(self):
+        injector = FaultInjector(FaultPlan.healthy())
+        assert [injector.next_transfer_index() for _ in range(3)] == [0, 1, 2]
+
+    def test_fault_clears_after_its_attempts(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(
+                    kind=FaultKind.DROP, transfer_index=0, attempts=2
+                ),
+            ),
+        )
+        injector = FaultInjector(plan)
+        assert injector.transfer_outcome(0, 0).dropped
+        assert injector.transfer_outcome(0, 1).dropped
+        assert injector.transfer_outcome(0, 2).clean
+        assert injector.transfer_outcome(1, 0).clean
+
+    def test_corrupt_nan_leaves_original_untouched(self):
+        injector = FaultInjector(FaultPlan.healthy(seed=3))
+        payload = np.ones((2, 3))
+        corrupted = injector.corrupt_payload(payload, FaultKind.CORRUPT_NAN)
+        assert np.isnan(corrupted).sum() == 1
+        assert np.all(np.isfinite(payload))
+
+    def test_corrupt_bitflip_changes_exactly_one_element(self):
+        injector = FaultInjector(FaultPlan.healthy(seed=3))
+        payload = np.full((4,), 1.5)
+        corrupted = injector.corrupt_payload(
+            payload, FaultKind.CORRUPT_BITFLIP
+        )
+        assert (corrupted != payload).sum() == 1
+
+    def test_corruption_is_seed_deterministic(self):
+        payload = np.arange(12.0).reshape(3, 4)
+        a = FaultInjector(FaultPlan.healthy(seed=9)).corrupt_payload(
+            payload, FaultKind.CORRUPT_BITFLIP
+        )
+        b = FaultInjector(FaultPlan.healthy(seed=9)).corrupt_payload(
+            payload, FaultKind.CORRUPT_BITFLIP
+        )
+        np.testing.assert_array_equal(a, b, strict=True)
+
+    def test_on_instruction_triggers_device_failure(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(kind=FaultKind.DEVICE_FAIL, device=1, step=2),
+            ),
+        )
+        injector = FaultInjector(plan)
+        assert injector.on_instruction() is None
+        assert injector.on_instruction() is None
+        assert injector.on_instruction().device == 1
+
+
+class TestChannelConditions:
+    def test_healthy_multipliers_are_one(self):
+        conditions = ChannelConditions.healthy()
+        assert conditions.is_healthy
+        assert conditions.transfer_multiplier(("x", "minus")) == 1.0
+        assert conditions.compute_multiplier() == 1.0
+        assert conditions.collective_multiplier() == 1.0
+
+    def test_degraded_link_stretches_only_that_resource(self):
+        conditions = ChannelConditions.degraded_link("x", "minus", 0.25)
+        assert conditions.transfer_multiplier(("x", "minus")) == 4.0
+        assert conditions.transfer_multiplier(("x", "plus")) == 1.0
+        assert conditions.collective_multiplier() == 4.0
+
+    def test_per_device_link_scale_applies_to_source(self):
+        conditions = ChannelConditions(per_device_link_scale={2: 0.5})
+        assert conditions.transfer_multiplier(("x", "plus"), source=2) == 2.0
+        assert conditions.transfer_multiplier(("x", "plus"), source=0) == 1.0
+
+    def test_straggler_device(self):
+        conditions = ChannelConditions.straggler(1, 0.5)
+        assert conditions.compute_multiplier(1) == 2.0
+        assert conditions.compute_multiplier(0) == 1.0
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            ChannelConditions(link_scale={("x", "plus"): 0.0})
+        with pytest.raises(ValueError, match="compute_scale"):
+            ChannelConditions(compute_scale=0.0)
+
+    def test_conditions_from_plan_maps_stragglers(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(kind=FaultKind.STRAGGLER, device=3, magnitude=2.0),
+            ),
+        )
+        conditions = conditions_from_plan(plan, DeviceMesh.ring(4))
+        assert conditions.compute_multiplier(3) == pytest.approx(2.0)
+        assert conditions.compute_multiplier(0) == 1.0

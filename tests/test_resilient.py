@@ -1,0 +1,287 @@
+"""Tests for the resilient executor: retry/timeout, guardrails, fallback."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import compile_module
+from repro.faults.errors import (
+    DeviceFailureError,
+    LinkDownError,
+    PayloadCorruptionError,
+    ShapeFaultError,
+    TransferTimeoutError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.shapes import Shape
+from repro.runtime.executor import run_spmd
+from repro.runtime.resilient import (
+    ResilientExecutor,
+    RetryPolicy,
+    run_with_fallback,
+)
+from repro.sharding.mesh import DeviceMesh
+
+PAIRS = [(0, 1), (1, 0)]
+
+
+def permute_module():
+    """One async permute (start/done) followed by an add."""
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((2,), F32), name="a")
+    start = builder.collective_permute_start(a, PAIRS)
+    done = builder.collective_permute_done(start)
+    builder.add(done, a)
+    return builder.module
+
+
+def run_resilient(plan=None, policy=None, xs=None):
+    xs = xs if xs is not None else [np.ones(2), 2 * np.ones(2)]
+    module = permute_module()
+    executor = ResilientExecutor(
+        2,
+        injector=FaultInjector(plan) if plan is not None else None,
+        policy=policy,
+    )
+    values = executor.run(module, {"a": xs})[module.root.name]
+    return values, executor.stats
+
+
+def plan_of(*specs, seed=11):
+    return FaultPlan(seed=seed, specs=tuple(specs))
+
+
+def expected_values(xs):
+    module = permute_module()
+    return run_spmd(module, {"a": xs}, 2)[module.root.name]
+
+
+class TestCleanPath:
+    def test_matches_base_executor(self, rng):
+        xs = [rng.normal(size=2), rng.normal(size=2)]
+        got, stats = run_resilient(xs=xs)
+        for a, b in zip(got, expected_values(xs)):
+            np.testing.assert_array_equal(a, b)
+        assert stats.transfers == 1
+        assert stats.retries == 0
+
+    def test_healthy_plan_injects_nothing(self):
+        _, stats = run_resilient(plan=FaultPlan.healthy())
+        assert stats.timeouts == 0
+        assert stats.virtual_delay == 0.0
+
+
+class TestRetryAndTimeout:
+    def test_short_delay_delivered_first_attempt(self):
+        plan = plan_of(
+            FaultSpec(kind=FaultKind.DELAY, transfer_index=0, delay=5e-4)
+        )
+        _, stats = run_resilient(plan=plan)
+        assert stats.retries == 0
+        assert stats.virtual_delay == pytest.approx(5e-4)
+
+    def test_delay_beyond_timeout_retries(self):
+        plan = plan_of(
+            FaultSpec(kind=FaultKind.DELAY, transfer_index=0, delay=5e-3)
+        )
+        _, stats = run_resilient(plan=plan)
+        assert stats.timeouts == 1
+        assert stats.retries == 1
+
+    def test_drop_recovers_via_retransmission(self, rng):
+        xs = [rng.normal(size=2), rng.normal(size=2)]
+        plan = plan_of(
+            FaultSpec(kind=FaultKind.DROP, transfer_index=0, attempts=2)
+        )
+        got, stats = run_resilient(plan=plan, xs=xs)
+        for a, b in zip(got, expected_values(xs)):
+            np.testing.assert_array_equal(a, b)
+        assert stats.timeouts == 2
+        assert stats.retries == 2
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff_base=1e-4, backoff_factor=2.0)
+        assert policy.backoff(0) == pytest.approx(1e-4)
+        assert policy.backoff(2) == pytest.approx(4e-4)
+
+    def test_virtual_delay_includes_timeout_and_backoff(self):
+        policy = RetryPolicy(
+            max_attempts=4, timeout=1e-3, backoff_base=1e-4
+        )
+        plan = plan_of(
+            FaultSpec(kind=FaultKind.DROP, transfer_index=0, attempts=1)
+        )
+        _, stats = run_resilient(plan=plan, policy=policy)
+        assert stats.virtual_delay == pytest.approx(1e-3 + 1e-4)
+
+    def test_exhausted_retries_raise_typed_error_with_seed(self):
+        plan = plan_of(
+            FaultSpec(kind=FaultKind.DROP, transfer_index=0, attempts=9),
+            seed=4242,
+        )
+        with pytest.raises(TransferTimeoutError, match="seed=4242"):
+            run_resilient(plan=plan, policy=RetryPolicy(max_attempts=3))
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="timeout"):
+            RetryPolicy(timeout=0.0)
+
+
+class TestGuardrails:
+    def test_corrupt_nan_repaired_by_retransmission(self, rng):
+        xs = [rng.normal(size=2), rng.normal(size=2)]
+        plan = plan_of(
+            FaultSpec(
+                kind=FaultKind.CORRUPT_NAN, transfer_index=0, attempts=1
+            )
+        )
+        got, stats = run_resilient(plan=plan, xs=xs)
+        for a, b in zip(got, expected_values(xs)):
+            np.testing.assert_array_equal(a, b)
+        assert stats.corrupt_deliveries == 1
+        assert stats.retries == 1
+
+    def test_finite_bitflip_caught_by_checksum(self, rng):
+        """A bit flip that yields a finite value slips past any NaN guard;
+        the end-to-end checksum must still catch it."""
+        xs = [rng.normal(size=2), rng.normal(size=2)]
+        plan = plan_of(
+            FaultSpec(
+                kind=FaultKind.CORRUPT_BITFLIP, transfer_index=0, attempts=1
+            )
+        )
+        got, stats = run_resilient(plan=plan, xs=xs)
+        for a, b in zip(got, expected_values(xs)):
+            np.testing.assert_array_equal(a, b)
+        assert stats.corrupt_deliveries == 1
+
+    def test_duplicate_delivery_is_idempotent(self, rng):
+        xs = [rng.normal(size=2), rng.normal(size=2)]
+        plan = plan_of(
+            FaultSpec(
+                kind=FaultKind.DUPLICATE, transfer_index=0, attempts=1
+            )
+        )
+        got, stats = run_resilient(plan=plan, xs=xs)
+        for a, b in zip(got, expected_values(xs)):
+            np.testing.assert_array_equal(a, b)
+        assert stats.duplicate_deliveries == 1
+
+    def test_nan_at_source_is_unrepairable(self):
+        xs = [np.array([np.nan, 1.0]), np.ones(2)]
+        with pytest.raises(PayloadCorruptionError, match="source"):
+            run_resilient(xs=xs)
+
+    def test_nan_output_raises_instead_of_propagating(self):
+        builder = GraphBuilder("m")
+        a = builder.parameter(Shape((2,), F32), name="a")
+        builder.add(a, a)
+        module = builder.module
+        executor = ResilientExecutor(2)
+        with pytest.raises(PayloadCorruptionError, match="non-finite"):
+            executor.run(module, {"a": [np.array([np.inf, 0.0])] * 2})
+
+    def test_shape_guardrail(self):
+        module = permute_module()
+        done = module.find(
+            lambda i: i.opcode.value == "collective-permute-done"
+        )[0]
+        executor = ResilientExecutor(2)
+        with pytest.raises(ShapeFaultError, match="expected"):
+            executor._check_shapes(done, [np.zeros(3), np.zeros(2)])
+
+
+class TestHardFaults:
+    def test_link_down_raises_typed_error(self):
+        plan = plan_of(
+            FaultSpec(kind=FaultKind.LINK_DOWN, transfer_index=0), seed=5
+        )
+        with pytest.raises(LinkDownError, match="seed=5"):
+            run_resilient(plan=plan)
+
+    def test_device_failure_raises_typed_error(self):
+        plan = plan_of(
+            FaultSpec(kind=FaultKind.DEVICE_FAIL, device=1, step=0), seed=6
+        )
+        with pytest.raises(DeviceFailureError, match="seed=6"):
+            run_resilient(plan=plan)
+
+    def test_straggler_only_slows_never_corrupts(self, rng):
+        xs = [rng.normal(size=2), rng.normal(size=2)]
+        plan = plan_of(
+            FaultSpec(kind=FaultKind.STRAGGLER, device=0, magnitude=3.0)
+        )
+        got, stats = run_resilient(plan=plan, xs=xs)
+        for a, b in zip(got, expected_values(xs)):
+            np.testing.assert_array_equal(a, b)
+        assert stats.compute_slowdown > 0
+
+
+class TestFallback:
+    def build(self, mesh):
+        builder = GraphBuilder("layer")
+        a = builder.parameter(Shape((2, 3), F32), name="a")
+        w = builder.parameter(Shape((3, 5), F32), name="w")
+        gathered = builder.all_gather(a, 0, mesh.rings("x"))
+        builder.einsum("bf,fh->bh", gathered, w)
+        return builder.module
+
+    def arguments(self, mesh, rng):
+        n = mesh.num_devices
+        w = rng.normal(size=(3, 5))
+        return {
+            "a": [rng.normal(size=(2, 3)) for _ in range(n)],
+            "w": [w.copy() for _ in range(n)],
+        }
+
+    def test_link_down_degrades_to_undecomposed_program(self, rng):
+        mesh = DeviceMesh.ring(4)
+        arguments = self.arguments(mesh, rng)
+        oracle_module = self.build(mesh)
+        oracle = run_spmd(oracle_module, arguments, 4)[
+            oracle_module.root.name
+        ]
+
+        primary = self.build(mesh)
+        compile_module(primary, mesh, OverlapConfig(use_cost_model=False))
+        plan = plan_of(
+            FaultSpec(kind=FaultKind.LINK_DOWN, transfer_index=0), seed=8
+        )
+        result = run_with_fallback(
+            primary, self.build(mesh), arguments, 4,
+            injector=FaultInjector(plan),
+        )
+        assert result.used_fallback
+        assert isinstance(result.failure, LinkDownError)
+        for got, want in zip(result.root, oracle):
+            np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_no_fault_keeps_primary(self, rng):
+        mesh = DeviceMesh.ring(4)
+        arguments = self.arguments(mesh, rng)
+        primary = self.build(mesh)
+        compile_module(primary, mesh, OverlapConfig(use_cost_model=False))
+        result = run_with_fallback(
+            primary, self.build(mesh), arguments, 4
+        )
+        assert not result.used_fallback
+        assert result.failure is None
+
+    def test_device_failure_is_not_recoverable_by_fallback(self, rng):
+        mesh = DeviceMesh.ring(4)
+        arguments = self.arguments(mesh, rng)
+        primary = self.build(mesh)
+        compile_module(primary, mesh, OverlapConfig(use_cost_model=False))
+        plan = plan_of(
+            FaultSpec(kind=FaultKind.DEVICE_FAIL, device=0, step=1), seed=9
+        )
+        with pytest.raises(DeviceFailureError):
+            run_with_fallback(
+                primary, self.build(mesh), arguments, 4,
+                injector=FaultInjector(plan),
+            )
