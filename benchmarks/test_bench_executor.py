@@ -1,0 +1,40 @@
+"""Executor engine benchmark: interpreted oracle vs compiled engine.
+
+Unlike the figure/table benchmarks (which reproduce the paper's
+simulated numbers), this one measures the repo's *own* hot path: it
+times real ``Executor.run`` calls against ``CompiledExecutor.run`` on
+the golden modules and their overlap variants, asserts the compiled
+engine's outputs stay bit-identical, and writes ``BENCH_executor.json``
+at the repo root so the speedup trend is tracked run over run.
+"""
+
+import json
+import pathlib
+
+from bench_utils import run_once
+
+from repro.runtime.bench import check_report, format_report, run_bench
+
+REPORT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_executor.json"
+
+
+def test_executor_engine_speedup(benchmark):
+    report = run_once(benchmark, lambda: run_bench(quick=False))
+    print()
+    print(format_report(report))
+
+    summary = report["summary"]
+    benchmark.extra_info["geomean_speedup"] = (
+        f"{summary['geomean_speedup']:.2f}x"
+    )
+    benchmark.extra_info["speedup_at_8plus"] = (
+        f"{summary['speedup_at_8plus']:.2f}x"
+    )
+
+    REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    # Hard gates: never slower than the interpreter, never inexact, and
+    # the headline claim — >= 3x at 8+ simulated devices.
+    assert not check_report(report, min_speedup=1.0)
+    assert summary["all_bit_identical"]
+    assert summary["speedup_at_8plus"] >= 3.0

@@ -11,6 +11,9 @@ Commands:
 * ``chaos [--runs N] [--seed S] [--intensity I]`` — randomized seeded
   fault injection over the golden modules; exits non-zero if any run
   corrupts silently or fails without a typed, replayable error.
+* ``bench [--quick] [--output PATH] [--min-speedup X]`` — time the
+  interpreted executor against the compiled engine on the golden
+  modules and write ``BENCH_executor.json``.
 """
 
 from __future__ import annotations
@@ -186,6 +189,24 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.runtime.bench import (
+        check_report, format_report, run_bench, write_report,
+    )
+
+    report = run_bench(quick=args.quick, repeats=args.repeats)
+    print(format_report(report))
+    if args.output:
+        write_report(report, args.output)
+        print(f"wrote {args.output}")
+    if args.min_speedup is not None:
+        problems = check_report(report, args.min_speedup)
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -252,6 +273,30 @@ def build_parser() -> argparse.ArgumentParser:
         "'replay with seed=SEED'",
     )
     chaos.set_defaults(handler=_cmd_chaos)
+
+    bench = commands.add_parser(
+        "bench",
+        help="time the interpreted vs compiled executor on the golden set",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller grid and fewer repetitions (CI smoke mode)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing windows per measurement; best-of wins (default 3)",
+    )
+    bench.add_argument(
+        "--output", default="BENCH_executor.json", metavar="PATH",
+        help="where to write the JSON report (default BENCH_executor.json; "
+        "empty string disables)",
+    )
+    bench.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless the geomean speedup reaches X and all "
+        "outputs are bit-identical",
+    )
+    bench.set_defaults(handler=_cmd_bench)
     return parser
 
 

@@ -17,6 +17,8 @@ import dataclasses
 import itertools
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.hlo.opcode import Opcode
 from repro.hlo.shapes import Shape
 
@@ -79,6 +81,33 @@ class ShardIndex:
 
     def evaluate(self, partition_id: int, iteration: int = 0) -> int:
         return self.shard_id(partition_id, iteration) * self.stride
+
+    @property
+    def device_dependent(self) -> bool:
+        """True when the index varies with the partition id."""
+        return self.coeff != 0
+
+    @property
+    def iteration_dependent(self) -> bool:
+        """True when the index varies with the enclosing loop iteration."""
+        return self.iter_coeff != 0
+
+    def offsets(self, num_devices: int, iteration: int = 0) -> np.ndarray:
+        """All devices' element offsets at once, as an int64 vector.
+
+        This is the vectorized form of :meth:`evaluate` the compiled
+        execution engine hoists out of its run loop (or, for
+        iteration-dependent indices, evaluates once per call instead of
+        once per device).
+        """
+        base = (
+            self.coeff * (np.arange(num_devices, dtype=np.int64) // self.div)
+            + self.iter_coeff * iteration
+            + self.offset
+        )
+        if self.modulus:
+            base %= self.modulus
+        return base * self.stride
 
     def at_iteration(self, iteration: int) -> "ShardIndex":
         """Fold a concrete iteration index into the offset (unrolling)."""

@@ -45,6 +45,14 @@ class Shape:
     def with_dtype(self, dtype: DType) -> "Shape":
         return Shape(self.dims, dtype)
 
+    def stacked(self, num_devices: int) -> Tuple[int, ...]:
+        """Dimensions of the device-stacked layout: ``(n, *dims)``.
+
+        The compiled execution engine stores all shards of an SPMD value
+        in one array whose leading axis is the device id.
+        """
+        return (num_devices,) + self.dims
+
     def scaled_dim(self, axis: int, factor: int) -> "Shape":
         """Return a copy with dimension ``axis`` multiplied by ``factor``."""
         return self.with_dim(axis, self.dims[axis] * factor)

@@ -8,8 +8,10 @@ from repro.runtime.collectives import (
     reduce_scatter,
     validate_permute_pairs,
 )
+from repro.runtime.compile import CompiledExecutor, lower, run_compiled
 from repro.runtime.executor import ExecutionError, Executor, run_spmd
 from repro.runtime.memory import MemoryProfile, profile_memory
+from repro.runtime.plan import CompiledPlan, PlanStats
 from repro.runtime.resilient import (
     ResilienceStats,
     ResilientExecutor,
@@ -19,9 +21,12 @@ from repro.runtime.resilient import (
 )
 
 __all__ = [
+    "CompiledExecutor",
+    "CompiledPlan",
     "ExecutionError",
     "Executor",
     "MemoryProfile",
+    "PlanStats",
     "ResilienceStats",
     "ResilientExecutor",
     "ResilientResult",
@@ -30,8 +35,10 @@ __all__ = [
     "all_reduce",
     "all_to_all",
     "collective_permute",
+    "lower",
     "profile_memory",
     "reduce_scatter",
+    "run_compiled",
     "run_spmd",
     "run_with_fallback",
     "validate_permute_pairs",

@@ -1,0 +1,255 @@
+"""Benchmark harness: interpreted ``Executor`` vs the compiled engine.
+
+Times both executors on the chaos harness's golden modules (and their
+decomposed/unrolled variants) across a sweep of simulated device counts,
+verifying bit-identical outputs along the way. The point is to pin the
+repo's own hot path — every equivalence test, chaos schedule and
+experiment funnels through the runtime — and to leave a machine-readable
+trail (``BENCH_executor.json``) that CI can track over time.
+
+Methodology: each measurement is the best of ``repeats`` timing windows,
+each window averaging ``inner`` back-to-back ``run()`` calls (plan
+lowering is excluded — the compiled executor caches its plan, and the
+amortized hot path is what the suite actually exercises). Best-of keeps
+scheduler noise out of the trend line.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import compile_module
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.module import HloModule
+from repro.hlo.shapes import Shape
+from repro.runtime.compile import CompiledExecutor
+from repro.runtime.executor import Executor
+from repro.sharding.mesh import DeviceMesh
+
+
+# --- benchmark modules -------------------------------------------------------
+#
+# The chaos harness's golden family, with the reduce-scattered dimension
+# scaled by the ring size so every case runs on any device count (the
+# fixed golden shapes only divide on rings of 2 and 4).
+
+
+def _allgather_einsum(mesh: DeviceMesh) -> HloModule:
+    builder = GraphBuilder("ag_einsum")
+    a = builder.parameter(Shape((2, 3), F32), name="a")
+    w = builder.parameter(Shape((3, 5), F32), name="w")
+    gathered = builder.all_gather(a, 0, mesh.rings("x"))
+    builder.einsum("bf,fh->bh", gathered, w, name="out")
+    return builder.module
+
+
+def _einsum_reducescatter(mesh: DeviceMesh) -> HloModule:
+    n = mesh.num_devices
+    builder = GraphBuilder("einsum_rs")
+    a = builder.parameter(Shape((4, 3), F32), name="a")
+    w = builder.parameter(Shape((3, 2 * n), F32), name="w")
+    out = builder.einsum("bf,fh->bh", a, w, name="partial")
+    builder.reduce_scatter(out, 1, mesh.rings("x"))
+    return builder.module
+
+
+def _mlp_chain(mesh: DeviceMesh) -> HloModule:
+    n = mesh.num_devices
+    builder = GraphBuilder("mlp_chain")
+    a = builder.parameter(Shape((2, 3), F32), name="a")
+    w = builder.parameter(Shape((3, 2 * n), F32), name="w")
+    gathered = builder.all_gather(a, 0, mesh.rings("x"))
+    out = builder.einsum("bf,fh->bh", gathered, w, name="h")
+    builder.reduce_scatter(out, 0, mesh.rings("x"))
+    return builder.module
+
+
+def _arguments(
+    mesh: DeviceMesh, rng: np.random.Generator, module: HloModule
+) -> Dict[str, List[np.ndarray]]:
+    n = mesh.num_devices
+    arguments: Dict[str, List[np.ndarray]] = {}
+    for parameter in module.parameters():
+        if parameter.name == "w":  # replicated weights
+            value = rng.normal(size=parameter.shape.dims)
+            arguments[parameter.name] = [value.copy() for _ in range(n)]
+        else:  # sharded activations
+            arguments[parameter.name] = [
+                rng.normal(size=parameter.shape.dims) for _ in range(n)
+            ]
+    return arguments
+
+
+BENCH_CASES: Tuple[Tuple[str, Callable[[DeviceMesh], HloModule]], ...] = (
+    ("allgather-einsum", _allgather_einsum),
+    ("einsum-reducescatter", _einsum_reducescatter),
+    ("mlp-chain", _mlp_chain),
+)
+
+#: Module variants benchmarked per golden case: the reference program,
+#: the paper's decomposed overlap form, and the most aggressive unrolled
+#: bidirectional form.
+VARIANTS: Tuple[Tuple[str, Optional[OverlapConfig]], ...] = (
+    ("reference", None),
+    ("decomposed", OverlapConfig(use_cost_model=False, scheduler="in_order")),
+    (
+        "unrolled-bidir",
+        OverlapConfig(
+            use_cost_model=False, scheduler="bottom_up",
+            unroll=True, bidirectional=True,
+        ),
+    ),
+)
+
+DEVICE_COUNTS: Tuple[int, ...] = (2, 4, 8, 16)
+QUICK_DEVICE_COUNTS: Tuple[int, ...] = (4, 8)
+
+
+def _best_seconds(fn: Callable[[], None], repeats: int, inner: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        elapsed = (time.perf_counter() - start) / inner
+        best = min(best, elapsed)
+    return best
+
+
+def _bit_identical(a: Dict[str, list], b: Dict[str, list]) -> bool:
+    if a.keys() != b.keys():
+        return False
+    return all(
+        len(a[k]) == len(b[k])
+        and all(np.array_equal(x, y) for x, y in zip(a[k], b[k]))
+        for k in a
+    )
+
+
+def _geomean(values: Sequence[float]) -> float:
+    if not values:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def run_bench(
+    quick: bool = False,
+    repeats: int = 3,
+    inner: int = 10,
+    device_counts: Optional[Sequence[int]] = None,
+) -> Dict:
+    """Run the full benchmark grid; returns the JSON-ready report."""
+    if device_counts is None:
+        device_counts = QUICK_DEVICE_COUNTS if quick else DEVICE_COUNTS
+    if quick:
+        repeats, inner = min(repeats, 2), min(inner, 5)
+
+    rows: List[Dict] = []
+    for case_name, build in BENCH_CASES:
+        for label, config in VARIANTS:
+            for n in device_counts:
+                mesh = DeviceMesh.ring(n)
+                rng = np.random.default_rng([20230325, n])
+                module = build(mesh)
+                arguments = _arguments(mesh, rng, module)
+                if config is not None:
+                    compile_module(module, mesh, config)
+
+                interpreter = Executor(n)
+                compiled = CompiledExecutor(n)
+                reference = interpreter.run(module, arguments)
+                result = compiled.run(module, arguments)  # lowers + caches
+                identical = _bit_identical(reference, result)
+                stats = compiled.plan_for(module).stats
+
+                interpreted_s = _best_seconds(
+                    lambda: interpreter.run(module, arguments), repeats, inner
+                )
+                compiled_s = _best_seconds(
+                    lambda: compiled.run(module, arguments), repeats, inner
+                )
+                rows.append({
+                    "case": case_name,
+                    "variant": label,
+                    "devices": n,
+                    "interpreted_ms": interpreted_s * 1e3,
+                    "compiled_ms": compiled_s * 1e3,
+                    "speedup": interpreted_s / compiled_s,
+                    "bit_identical": identical,
+                    "plan": {
+                        "steps": stats.steps,
+                        "folded": stats.folded,
+                        "cse_eliminated": stats.cse_eliminated,
+                        "copies_elided": stats.copies_elided,
+                        "donations": stats.donations,
+                    },
+                })
+
+    speedups = [row["speedup"] for row in rows]
+    at_8plus = [row["speedup"] for row in rows if row["devices"] >= 8]
+    return {
+        "benchmark": "executor",
+        "quick": quick,
+        "repeats": repeats,
+        "inner": inner,
+        "device_counts": list(device_counts),
+        "rows": rows,
+        "summary": {
+            "geomean_speedup": _geomean(speedups),
+            "speedup_at_8plus": _geomean(at_8plus),
+            "all_bit_identical": all(row["bit_identical"] for row in rows),
+        },
+    }
+
+
+def write_report(report: Dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_report(report: Dict) -> str:
+    lines = [
+        f"{'case':<22} {'variant':<15} {'devs':>4} "
+        f"{'interp ms':>10} {'compiled ms':>12} {'speedup':>8}  exact"
+    ]
+    for row in report["rows"]:
+        lines.append(
+            f"{row['case']:<22} {row['variant']:<15} {row['devices']:>4} "
+            f"{row['interpreted_ms']:>10.3f} {row['compiled_ms']:>12.3f} "
+            f"{row['speedup']:>7.2f}x  {'yes' if row['bit_identical'] else 'NO'}"
+        )
+    summary = report["summary"]
+    lines.append(
+        f"geomean speedup {summary['geomean_speedup']:.2f}x "
+        f"(at 8+ devices: {summary['speedup_at_8plus']:.2f}x), "
+        f"bit-identical: {'yes' if summary['all_bit_identical'] else 'NO'}"
+    )
+    return "\n".join(lines)
+
+
+def check_report(report: Dict, min_speedup: float) -> List[str]:
+    """Gate failures (empty list == pass) for CI and the CLI."""
+    problems = []
+    summary = report["summary"]
+    if not summary["all_bit_identical"]:
+        bad = [
+            f"{r['case']}/{r['variant']}@{r['devices']}"
+            for r in report["rows"] if not r["bit_identical"]
+        ]
+        problems.append(
+            f"compiled outputs diverge from the oracle: {', '.join(bad)}"
+        )
+    if summary["geomean_speedup"] < min_speedup:
+        problems.append(
+            f"geomean speedup {summary['geomean_speedup']:.2f}x below the "
+            f"required {min_speedup:.2f}x"
+        )
+    return problems

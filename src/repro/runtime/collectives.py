@@ -5,6 +5,14 @@ per-device outputs, following the XLA operational semantics the paper's
 Section 2.1 summarizes. These are the ground truth the functional executor
 uses; the decomposed CollectivePermute sequences produced by the overlap
 passes must reproduce them exactly.
+
+Since the compiled-engine work, the uniform case (equal-size replica
+groups, equal shard shapes — everything the SPMD partitioner emits) is
+executed as a single vectorized operation over the device-stacked layout
+of :mod:`repro.runtime.vectorized` instead of a Python loop over devices;
+ragged replica groups (uneven sizes produce per-device output shapes that
+cannot be stacked) fall back to the original per-group path. Both paths
+are bit-identical.
 """
 
 from __future__ import annotations
@@ -35,6 +43,16 @@ def _check_coverage(inputs: PerDevice, groups: Groups) -> None:
     silently stay empty."""
     for device in range(len(inputs)):
         _group_of(device, groups)
+
+
+def _stackable(inputs: PerDevice, groups: Groups) -> bool:
+    """Whether the vectorized device-stacked fast path applies."""
+    from repro.runtime.vectorized import GroupIndex
+
+    return (
+        GroupIndex.uniform(groups)
+        and len({a.shape for a in inputs}) == 1
+    )
 
 
 def validate_permute_pairs(
@@ -72,6 +90,13 @@ def validate_permute_pairs(
 
 def all_gather(inputs: PerDevice, dim: int, groups: Groups) -> PerDevice:
     """Concatenate the group's shards along ``dim`` on every member."""
+    from repro.runtime import vectorized
+
+    if _stackable(inputs, groups):
+        index = vectorized.GroupIndex.build(len(inputs), groups)
+        return vectorized.unstack(
+            vectorized.all_gather(np.stack(inputs), dim, index)
+        )
     _check_coverage(inputs, groups)
     outputs: List[np.ndarray] = [None] * len(inputs)  # type: ignore[list-item]
     for group in groups:
@@ -83,6 +108,13 @@ def all_gather(inputs: PerDevice, dim: int, groups: Groups) -> PerDevice:
 
 def reduce_scatter(inputs: PerDevice, dim: int, groups: Groups) -> PerDevice:
     """Element-wise sum over the group, then shard along ``dim``."""
+    from repro.runtime import vectorized
+
+    if _stackable(inputs, groups):
+        index = vectorized.GroupIndex.build(len(inputs), groups)
+        return vectorized.unstack(
+            vectorized.reduce_scatter(np.stack(inputs), dim, index)
+        )
     _check_coverage(inputs, groups)
     outputs: List[np.ndarray] = [None] * len(inputs)  # type: ignore[list-item]
     for group in groups:
@@ -95,6 +127,13 @@ def reduce_scatter(inputs: PerDevice, dim: int, groups: Groups) -> PerDevice:
 
 def all_reduce(inputs: PerDevice, groups: Groups) -> PerDevice:
     """Element-wise sum over the group, replicated on every member."""
+    from repro.runtime import vectorized
+
+    if _stackable(inputs, groups):
+        index = vectorized.GroupIndex.build(len(inputs), groups)
+        return vectorized.unstack(
+            vectorized.all_reduce(np.stack(inputs), index)
+        )
     _check_coverage(inputs, groups)
     outputs: List[np.ndarray] = [None] * len(inputs)  # type: ignore[list-item]
     for group in groups:
@@ -108,6 +147,13 @@ def all_to_all(
     inputs: PerDevice, split_dim: int, concat_dim: int, groups: Groups
 ) -> PerDevice:
     """Device ``i`` of a group sends its ``j``-th split to device ``j``."""
+    from repro.runtime import vectorized
+
+    if _stackable(inputs, groups):
+        index = vectorized.GroupIndex.build(len(inputs), groups)
+        return vectorized.unstack(
+            vectorized.all_to_all(np.stack(inputs), split_dim, concat_dim, index)
+        )
     _check_coverage(inputs, groups)
     outputs: List[np.ndarray] = [None] * len(inputs)  # type: ignore[list-item]
     for group in groups:
@@ -128,7 +174,16 @@ def collective_permute(
     destination of different pairs simultaneously (the ring shifts the
     decomposition emits rely on this).
     """
+    from repro.runtime import vectorized
+
     validate_permute_pairs(pairs, len(inputs))
+    if len({a.shape for a in inputs}) == 1:
+        sources, destinations = vectorized.permute_index(pairs)
+        return vectorized.unstack(
+            vectorized.collective_permute(
+                np.stack(inputs), sources, destinations
+            )
+        )
     destinations: Dict[int, int] = {dst: src for src, dst in pairs}
     outputs: List[np.ndarray] = []
     for device, value in enumerate(inputs):

@@ -31,6 +31,27 @@ class ExecutionError(RuntimeError):
     """Raised when a module cannot be executed."""
 
 
+def unknown_output_error(name: str, module: HloModule) -> ExecutionError:
+    """The typed error both executors raise for a bad ``outputs`` name."""
+    candidates = ", ".join(i.name for i in module)
+    return ExecutionError(
+        f"unknown output {name!r}: no instruction of that name in module "
+        f"{module.name!r}; candidates: {candidates}"
+    )
+
+
+def _replicated_readonly(value: np.ndarray, n: int) -> PerDevice:
+    """One read-only array shared by every device.
+
+    Safe for device-uniform sources because no opcode mutates its
+    operands (DynamicUpdateSlice copies its target first); freezing the
+    buffer turns any accidental in-place write into an explicit error
+    instead of cross-device corruption.
+    """
+    value.flags.writeable = False
+    return [value] * n
+
+
 class Executor:
     """Executes an SPMD module on ``num_devices`` simulated devices."""
 
@@ -77,7 +98,18 @@ class Executor:
                         f"parameter {parameter.name!r}: shard shape "
                         f"{shard.shape} != declared {parameter.shape.dims}"
                     )
-            values[parameter.name] = [np.asarray(s, dtype=np.float64) for s in shards]
+            if all(
+                isinstance(s, np.ndarray)
+                and s.dtype == np.float64
+                and s.flags.c_contiguous
+                for s in shards
+            ):
+                # Already in execution form — binding is free.
+                values[parameter.name] = list(shards)
+            else:
+                values[parameter.name] = [
+                    np.asarray(s, dtype=np.float64) for s in shards
+                ]
 
         for instruction in module:
             if instruction.opcode is Opcode.PARAMETER:
@@ -87,6 +119,9 @@ class Executor:
             )
 
         wanted = list(outputs) if outputs is not None else [module.root.name]
+        for name in wanted:
+            if name not in values:
+                raise unknown_output_error(name, module)
         return {name: values[name] for name in wanted}
 
     # --- per-opcode dispatch ----------------------------------------------------
@@ -102,17 +137,16 @@ class Executor:
         n = self.num_devices
 
         if opcode is Opcode.CONSTANT:
-            value = np.asarray(instruction.attrs["value"], dtype=np.float64)
-            return [value.copy() for _ in range(n)]
+            # np.array (not asarray): freezing must not reach into attrs.
+            value = np.array(instruction.attrs["value"], dtype=np.float64)
+            return _replicated_readonly(value, n)
         if opcode is Opcode.ZEROS:
-            return [
-                np.zeros(instruction.shape.dims, dtype=np.float64)
-                for _ in range(n)
-            ]
+            return _replicated_readonly(
+                np.zeros(instruction.shape.dims, dtype=np.float64), n
+            )
         if opcode is Opcode.IOTA:
             flat = np.arange(instruction.shape.num_elements, dtype=np.float64)
-            value = flat.reshape(instruction.shape.dims)
-            return [value.copy() for _ in range(n)]
+            return _replicated_readonly(flat.reshape(instruction.shape.dims), n)
 
         if opcode is Opcode.EINSUM:
             equation = instruction.attrs["equation"]

@@ -1,0 +1,172 @@
+"""CompiledPlan: the flat executable form of a lowered HloModule.
+
+A plan is what the one-time lowering pass in ``repro.runtime.compile``
+produces: a straight-line list of step closures over a slot-indexed
+environment of device-stacked arrays. All opcode dispatch, attribute
+lookups, ShardIndex evaluation, replica-group validation and buffer
+(donation) decisions happened at lowering time; running a plan is just
+
+    env = initial_env.copy()
+    bind parameters
+    for step in steps: step(env, iteration)
+
+so per-run cost is one Python call per step plus one vectorized numpy
+call, independent of the device count.
+
+Plans are immutable once built. Constants live pre-broadcast in
+``initial_env`` (read-only ``(n, *shape)`` views); parameter slots are
+filled per run from the caller's per-device shard lists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hlo.shapes import Shape
+
+#: A step mutates the environment in place; ``iteration`` is the
+#: enclosing loop index (plans compiled from While bodies read it).
+Step = Callable[[List[Optional[np.ndarray]], int], None]
+
+PerDevice = List[np.ndarray]
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanStats:
+    """What the lowering pipeline did to one module."""
+
+    instructions: int      # live instructions lowered
+    steps: int             # executable steps emitted
+    dce_eliminated: int    # instructions unreachable from the outputs
+    folded: int            # non-source instructions folded to constants
+    cse_eliminated: int    # instructions deduplicated against an earlier op
+    copies_elided: int     # COPY ops turned into slot aliases
+    donations: int         # steps that may write their result in place
+
+    def merge(self, other: "PlanStats") -> "PlanStats":
+        """Combine with a nested (While-body) plan's stats."""
+        return PlanStats(
+            *(a + b for a, b in zip(
+                dataclasses.astuple(self), dataclasses.astuple(other)
+            ))
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ParamBinding:
+    """Where one parameter's stacked value goes in the environment."""
+
+    name: str
+    shape: Shape
+    slot: int
+
+
+class CompiledPlan:
+    """A lowered, directly executable module (see module docstring)."""
+
+    def __init__(
+        self,
+        module_name: str,
+        num_devices: int,
+        steps: Sequence[Step],
+        labels: Sequence[str],
+        initial_env: Sequence[Optional[np.ndarray]],
+        params: Sequence[ParamBinding],
+        output_slots: Dict[str, int],
+        output_order: Sequence[str],
+        stats: PlanStats,
+    ) -> None:
+        self.module_name = module_name
+        self.num_devices = num_devices
+        self.steps: Tuple[Step, ...] = tuple(steps)
+        self.labels: Tuple[str, ...] = tuple(labels)
+        self.initial_env: List[Optional[np.ndarray]] = list(initial_env)
+        self.params: Tuple[ParamBinding, ...] = tuple(params)
+        self.output_slots = dict(output_slots)
+        self.output_order: Tuple[str, ...] = tuple(output_order)
+        self.stats = stats
+
+    # --- execution --------------------------------------------------------------
+
+    def execute(
+        self, stacked_args: Sequence[np.ndarray], iteration: int = 0
+    ) -> List[np.ndarray]:
+        """Run on pre-stacked arguments (one per parameter, in order).
+
+        This is the zero-validation entry the While-loop step uses to feed
+        loop-carried state through the body plan without restacking.
+        Returns the stacked output values in ``output_order``.
+        """
+        env = self.initial_env.copy()
+        for binding, value in zip(self.params, stacked_args):
+            env[binding.slot] = value
+        for step in self.steps:
+            step(env, iteration)
+        return [env[self.output_slots[name]] for name in self.output_order]
+
+    def run(
+        self,
+        arguments: Dict[str, Sequence[np.ndarray]],
+        iteration: int = 0,
+    ) -> Dict[str, PerDevice]:
+        """Execute with per-device shard lists, like ``Executor.run``.
+
+        Returned shards are row views into the stacked result buffers;
+        treat them as read-only.
+        """
+        from repro.runtime.executor import ExecutionError
+
+        stacked_args = []
+        for binding in self.params:
+            try:
+                shards = arguments[binding.name]
+            except KeyError:
+                raise ExecutionError(
+                    f"missing argument for parameter {binding.name!r}"
+                ) from None
+            if len(shards) != self.num_devices:
+                raise ExecutionError(
+                    f"parameter {binding.name!r}: expected "
+                    f"{self.num_devices} shards, got {len(shards)}"
+                )
+            for shard in shards:
+                if tuple(np.shape(shard)) != binding.shape.dims:
+                    raise ExecutionError(
+                        f"parameter {binding.name!r}: shard shape "
+                        f"{np.shape(shard)} != declared {binding.shape.dims}"
+                    )
+            stacked = np.asarray(shards, dtype=np.float64)
+            if stacked is shards:
+                # Caller handed us an already-stacked float64 array; copy so
+                # buffer donation can never mutate caller-owned memory.
+                stacked = stacked.copy()
+            stacked_args.append(stacked)
+        results = self.execute(stacked_args, iteration)
+        return {
+            name: list(stacked)
+            for name, stacked in zip(self.output_order, results)
+        }
+
+    # --- introspection ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """One line per step — what the run loop will actually do."""
+        header = (
+            f"plan {self.module_name!r} on {self.num_devices} devices: "
+            f"{len(self.steps)} steps, "
+            f"{len(self.initial_env)} slots, "
+            f"{self.stats.donations} in-place, "
+            f"{self.stats.folded} folded, "
+            f"{self.stats.cse_eliminated} cse, "
+            f"{self.stats.dce_eliminated} dce"
+        )
+        return "\n".join([header] + [f"  {label}" for label in self.labels])
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledPlan({self.module_name!r}, {len(self.steps)} steps, "
+            f"{self.num_devices} devices)"
+        )

@@ -177,3 +177,49 @@ def test_selected_outputs(rng):
 def test_invalid_device_count():
     with pytest.raises(ValueError, match="positive"):
         Executor(0)
+
+
+def test_unknown_output_typed_error(rng):
+    builder = GraphBuilder("m")
+    a = builder.parameter(Shape((2,), F32), name="a")
+    builder.add(a, a, name="total")
+    xs = [rng.normal(size=2)]
+    with pytest.raises(ExecutionError, match="unknown output 'missing'") as info:
+        run_spmd(builder.module, {"a": xs}, 1, outputs=["missing"])
+    # The message names the module and lists what *does* exist.
+    assert "candidates" in str(info.value)
+    assert "total" in str(info.value)
+
+
+def test_constant_sources_share_one_readonly_buffer():
+    builder = GraphBuilder("m")
+    builder.zeros(Shape((2, 2), F32))
+    out = run_spmd(builder.module, {}, 4)[builder.module.root.name]
+    assert all(shard is out[0] for shard in out)
+    assert not out[0].flags.writeable
+
+
+def test_readonly_constant_is_safe_as_dus_target(rng):
+    """Ops that write must copy the shared read-only source first."""
+    builder = GraphBuilder("m")
+    target = builder.zeros(Shape((4,), F32))
+    update = builder.parameter(Shape((2,), F32), name="u")
+    builder.dynamic_update_slice(
+        target, update, 0, ShardIndex.constant(1)
+    )
+    xs = [rng.normal(size=2) for _ in range(2)]
+    out = run_spmd(builder.module, {"u": xs}, 2)[builder.module.root.name]
+    for device in range(2):
+        np.testing.assert_array_equal(out[device][1:3], xs[device])
+        np.testing.assert_array_equal(out[device][[0, 3]], [0.0, 0.0])
+
+
+def test_param_binding_skips_conversion_when_already_float64(rng):
+    builder = GraphBuilder("m")
+    builder.parameter(Shape((2,), F32), name="a")
+    xs = [np.ascontiguousarray(rng.normal(size=2)) for _ in range(2)]
+    out = run_spmd(builder.module, {"a": xs}, 2, outputs=["a"])["a"]
+    assert out[0] is xs[0] and out[1] is xs[1]
+    mixed = [xs[0], xs[1].astype(np.float32)]
+    converted = run_spmd(builder.module, {"a": mixed}, 2, outputs=["a"])["a"]
+    assert converted[1].dtype == np.float64
