@@ -12,6 +12,9 @@ Subpackages:
   bidirectional transfer, fusion rewrites, and the cost-model gate.
 * :mod:`repro.perfsim` — discrete-event performance simulator standing in
   for TPU v4 pods.
+* :mod:`repro.obs` — structured observability: one trace-event schema
+  shared by both executors and the simulator, Chrome/Perfetto export,
+  counters, and the hidden-communication overlap summary.
 * :mod:`repro.models` — model zoo reproducing Tables 1 and 2.
 * :mod:`repro.experiments` — per-figure/table harnesses for the paper's
   evaluation (Figures 1, 12-16; Tables 1-2; Sections 6.4 and 7.1).

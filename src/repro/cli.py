@@ -11,9 +11,16 @@ Commands:
 * ``chaos [--runs N] [--seed S] [--intensity I]`` — randomized seeded
   fault injection over the golden modules; exits non-zero if any run
   corrupts silently or fails without a typed, replayable error.
-* ``bench [--quick] [--output PATH] [--min-speedup X]`` — time the
-  interpreted executor against the compiled engine on the golden
-  modules and write ``BENCH_executor.json``.
+* ``bench [--quick] [--output PATH] [--min-speedup X] [--baseline PATH]``
+  — time the interpreted executor against the compiled engine on the
+  golden modules and write ``BENCH_executor.json``; exits non-zero on
+  any bit-identity failure, a missed speedup floor, or a >20% trend
+  regression against a committed baseline report.
+* ``trace [--module M] [--devices N] [--out PATH] [--check]`` — run one
+  golden module (baseline and decomposed) under both executors with a
+  :class:`repro.obs.Tracer`, simulate the same programs in perfsim, and
+  export every timeline into one Chrome ``trace_event`` JSON file that
+  ``chrome://tracing`` or Perfetto loads directly.
 """
 
 from __future__ import annotations
@@ -190,8 +197,10 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    import json
+
     from repro.runtime.bench import (
-        check_report, format_report, run_bench, write_report,
+        check_report, compare_reports, format_report, run_bench, write_report,
     )
 
     report = run_bench(quick=args.quick, repeats=args.repeats)
@@ -199,11 +208,151 @@ def _cmd_bench(args) -> int:
     if args.output:
         write_report(report, args.output)
         print(f"wrote {args.output}")
-    if args.min_speedup is not None:
-        problems = check_report(report, args.min_speedup)
+    # Bit-identity is always a gate — a bench run whose compiled outputs
+    # diverge from the oracle must fail even without an explicit floor.
+    problems = check_report(
+        report, args.min_speedup if args.min_speedup is not None else 0.0
+    )
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            problems.append(
+                f"cannot read baseline report {args.baseline}: {error}"
+            )
+        else:
+            problems.extend(
+                compare_reports(baseline, report, max_drop=args.max_drop)
+            )
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.faults.chaos import GOLDEN_CASES
+    from repro.obs import (
+        Tracer,
+        overlap_summary,
+        to_chrome_trace,
+        validate_chrome_trace,
+    )
+    from repro.perfsim.simulator import simulate_with_trace
+    from repro.runtime.compile import CompiledExecutor
+    from repro.runtime.executor import Executor
+    from repro.sharding.mesh import DeviceMesh
+
+    cases = {case.name: case for case in GOLDEN_CASES}
+    case = cases.get(args.module)
+    if case is None:
+        print(
+            f"unknown module {args.module!r}; available: {', '.join(cases)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.devices not in case.rings:
+        rings = ", ".join(str(r) for r in case.rings)
+        print(
+            f"module {case.name!r} shards only on rings of {rings} devices",
+            file=sys.stderr,
+        )
+        return 2
+
+    mesh = DeviceMesh.ring(args.devices)
+    rng = np.random.default_rng([args.seed, args.devices])
+    arguments = case.make_arguments(mesh, rng)
+
+    variants = (
+        ("baseline", None),
+        (
+            "decomposed",
+            OverlapConfig(use_cost_model=False, scheduler=args.scheduler),
+        ),
+    )
+    engines = ("interpreted", "compiled")
+    streams: Dict[str, list] = {}
+    counters: Dict[str, Dict[str, float]] = {}
+    summaries = {}
+    for variant, config in variants:
+        module = case.build(mesh)
+        if config is not None:
+            compile_module(module, mesh, config)
+        for engine in engines:
+            tracer = Tracer()
+            executor = (
+                Executor(mesh.num_devices, tracer=tracer)
+                if engine == "interpreted"
+                else CompiledExecutor(mesh.num_devices, tracer=tracer)
+            )
+            executor.run(module, arguments)
+            stream = f"{engine}/{variant}"
+            streams[stream] = tracer.events
+            counters[stream] = dict(tracer.counters)
+            summaries[stream] = overlap_summary(tracer.events)
+        _, simulated = simulate_with_trace(module, mesh)
+        stream = f"simulated/{variant}"
+        streams[stream] = simulated.events
+        summaries[stream] = overlap_summary(simulated.events)
+
+    chrome = to_chrome_trace(streams, counters=counters)
+    with open(args.out, "w") as handle:
+        json.dump(chrome, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    with open(args.out) as handle:
+        problems = validate_chrome_trace(json.load(handle))
+    if problems:
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)
-        return 1 if problems else 0
+        return 1
+    print(
+        f"wrote {args.out} ({len(chrome['traceEvents'])} trace events, "
+        f"{len(streams)} streams) — load it in chrome://tracing or Perfetto"
+    )
+    print()
+    print(
+        f"{'stream':<24} {'compute':>10} {'comm':>10} "
+        f"{'hidden':>10} {'hidden %':>9}"
+    )
+    for stream, summary in summaries.items():
+        print(
+            f"{stream:<24} {summary.compute_time * 1e3:>8.3f}ms "
+            f"{summary.communication_time * 1e3:>8.3f}ms "
+            f"{summary.hidden_transfer_time * 1e3:>8.3f}ms "
+            f"{summary.hidden_communication_fraction:>8.1%}"
+        )
+    for stream in sorted(counters):
+        table = counters[stream]
+        if table:
+            row = ", ".join(f"{k}={table[k]:g}" for k in sorted(table))
+            print(f"counters[{stream}]: {row}")
+    if args.check:
+        failures = []
+        for engine in engines:
+            base = summaries[f"{engine}/baseline"]
+            deco = summaries[f"{engine}/decomposed"]
+            if not (
+                deco.hidden_communication_fraction
+                > base.hidden_communication_fraction
+            ):
+                failures.append(
+                    f"{engine}: decomposed hides "
+                    f"{deco.hidden_communication_fraction:.1%} of its "
+                    f"communication, baseline "
+                    f"{base.hidden_communication_fraction:.1%}"
+                )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(
+            "check passed: decomposed hides strictly more communication "
+            "than baseline on both engines"
+        )
     return 0
 
 
@@ -293,10 +442,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--min-speedup", type=float, default=None, metavar="X",
-        help="exit non-zero unless the geomean speedup reaches X and all "
-        "outputs are bit-identical",
+        help="exit non-zero unless the geomean speedup reaches X",
+    )
+    bench.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="committed report to trend-gate against: fail if any shared "
+        "case's speedup drops more than --max-drop or bit-identity flips",
+    )
+    bench.add_argument(
+        "--max-drop", type=float, default=0.2, metavar="F",
+        help="allowed relative speedup drop vs --baseline (default 0.2)",
     )
     bench.set_defaults(handler=_cmd_bench)
+
+    trace = commands.add_parser(
+        "trace",
+        help="record one golden module's timeline as Chrome trace JSON",
+    )
+    trace.add_argument(
+        "--module", default="mlp-chain",
+        help="golden module to trace (default mlp-chain); one of the "
+        "chaos harness's golden cases",
+    )
+    trace.add_argument(
+        "--devices", type=int, default=4,
+        help="ring size to run on (default 4)",
+    )
+    trace.add_argument(
+        "--seed", type=int, default=20230325,
+        help="argument-generation seed (default 20230325)",
+    )
+    trace.add_argument(
+        "--scheduler", default="bottom_up",
+        choices=("bottom_up", "top_down", "in_order"),
+        help="scheduler for the decomposed variant",
+    )
+    trace.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="where to write the Chrome trace_event JSON (default "
+        "trace.json)",
+    )
+    trace.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the decomposed variant hides strictly "
+        "more communication than the baseline on both engines",
+    )
+    trace.set_defaults(handler=_cmd_trace)
     return parser
 
 

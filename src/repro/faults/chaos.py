@@ -28,6 +28,7 @@ from repro.hlo.dtypes import F32
 from repro.hlo.module import HloModule
 from repro.hlo.opcode import Opcode
 from repro.hlo.shapes import Shape
+from repro.obs.tracer import Tracer
 from repro.runtime.compile import run_compiled
 from repro.runtime.resilient import RetryPolicy, run_with_fallback
 from repro.sharding.mesh import DeviceMesh
@@ -159,9 +160,17 @@ class ChaosRunResult:
 
 
 def run_one(
-    seed: int, intensity: float = 0.5, atol: float = 1e-9
+    seed: int,
+    intensity: float = 0.5,
+    atol: float = 1e-9,
+    tracer: Optional[Tracer] = None,
 ) -> ChaosRunResult:
-    """Execute one fully seed-determined chaos schedule."""
+    """Execute one fully seed-determined chaos schedule.
+
+    ``tracer`` (optional) records the resilient run's spans, retry
+    lanes and counters, and tallies the audited outcome under
+    ``chaos.<outcome>`` — so a traced chaos batch shows where faulty
+    schedules spent their time."""
     rng = np.random.default_rng([seed, 1])
     case = GOLDEN_CASES[int(rng.integers(len(GOLDEN_CASES)))]
     ring = int(case.rings[int(rng.integers(len(case.rings)))])
@@ -195,6 +204,8 @@ def run_one(
     )
 
     def describe(outcome, error=None, retries=0, used_fallback=False):
+        if tracer is not None:
+            tracer.count(f"chaos.{outcome}")
         return ChaosRunResult(
             seed=seed,
             case=case.name,
@@ -218,6 +229,7 @@ def run_one(
             mesh.num_devices,
             injector=FaultInjector(plan),
             policy=policy,
+            tracer=tracer,
         )
     except FaultError as error:
         if f"seed={seed}" not in str(error):

@@ -1,0 +1,69 @@
+"""Structured observability: one event schema for every runtime layer.
+
+``repro.obs`` is the shared trace/metrics/profiling substrate consumed
+by the interpreted :class:`~repro.runtime.executor.Executor`, the
+:class:`~repro.runtime.compile.CompiledExecutor`, the
+:class:`~repro.runtime.resilient.ResilientExecutor`, the chaos harness
+and the performance simulator (whose
+:class:`~repro.perfsim.trace.Trace` is built on the same
+:class:`TraceEvent` schema, so simulated and measured timelines can be
+diffed against each other).
+
+Attach a :class:`Tracer` to any executor to record per-instruction
+spans (opcode phase, wall-clock interval, payload bytes) and counters
+(bytes moved per collective kind, retries, fallbacks, donation and
+plan-cache hits); export with :func:`to_chrome_trace` (loadable in
+``chrome://tracing`` / Perfetto), :func:`metrics_dict`, or summarize
+hidden communication with :func:`overlap_summary`. With no tracer
+attached the hot paths are untouched — a single ``is None`` test per
+instruction.
+"""
+
+from repro.obs.events import (
+    ASYNC_DONE,
+    ASYNC_START,
+    COLLECTIVE,
+    COMPUTE,
+    CONTROL,
+    KINDS,
+    RETRY,
+    STALL,
+    TRANSFER,
+    EventLog,
+    TraceEvent,
+    instruction_bytes,
+    phase_of,
+)
+from repro.obs.export import (
+    diff_timelines,
+    events_from_chrome,
+    metrics_dict,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.overlap import OverlapSummary, overlap_summary
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "ASYNC_DONE",
+    "ASYNC_START",
+    "COLLECTIVE",
+    "COMPUTE",
+    "CONTROL",
+    "EventLog",
+    "KINDS",
+    "OverlapSummary",
+    "RETRY",
+    "STALL",
+    "TRANSFER",
+    "TraceEvent",
+    "Tracer",
+    "diff_timelines",
+    "events_from_chrome",
+    "instruction_bytes",
+    "metrics_dict",
+    "overlap_summary",
+    "phase_of",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]

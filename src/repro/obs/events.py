@@ -1,0 +1,166 @@
+"""The canonical timeline event schema.
+
+Every timeline in the repo — measured wall-clock spans from the real
+executors and simulated occupancy intervals from the perfsim — is a
+list of :class:`TraceEvent`. One schema means one exporter, one
+overlap-efficiency summary, and the ability to diff a simulated
+timeline against a measured one event by event.
+
+An event is an interval ``[start, end)`` in seconds on a named
+``resource`` lane, classified by ``kind`` (the *phase* of execution it
+represents). Measured spans may carry the payload ``bytes`` a
+communication op injected into the fabric, and a nesting ``depth``
+(While-loop bodies trace one level deeper than the loop span that
+contains them).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.hlo.opcode import SYNC_COLLECTIVES, Opcode
+
+#: Event kinds (execution phases).
+COMPUTE = "compute"                       # einsums, elementwise, data movement
+COLLECTIVE = "collective"                 # blocking collectives (AG/RS/AR/A2A/CP)
+TRANSFER = "transfer"                     # an async permute's in-flight window
+STALL = "stall"                           # compute stream waiting on a done
+ASYNC_START = "async-permute-start"       # issue of an async transfer
+ASYNC_DONE = "async-permute-done"         # delivery of an async transfer
+RETRY = "retry"                           # a failed delivery attempt
+CONTROL = "control"                       # While loops: a container, not work
+
+#: Every kind the exporters and validators accept.
+KINDS = frozenset(
+    {
+        COMPUTE,
+        COLLECTIVE,
+        TRANSFER,
+        STALL,
+        ASYNC_START,
+        ASYNC_DONE,
+        RETRY,
+        CONTROL,
+    }
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One interval on one resource lane."""
+
+    name: str
+    kind: str                      # one of KINDS
+    resource: str                  # "compute", "link:<id>", "retry:<id>", ...
+    start: float                   # seconds
+    end: float
+    bytes: int = 0                 # fabric payload, 0 for non-communication
+    depth: int = 0                 # span nesting level (0 = top)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class EventLog:
+    """An append-only list of events with the shared query API.
+
+    Base class of both the measured :class:`~repro.obs.tracer.Tracer`
+    and the simulated :class:`~repro.perfsim.trace.Trace`.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def add(
+        self,
+        name: str,
+        kind: str,
+        resource: str,
+        start: float,
+        end: float,
+        bytes: int = 0,
+        depth: int = 0,
+    ) -> None:
+        self.events.append(
+            TraceEvent(name, kind, resource, start, end, bytes, depth)
+        )
+
+    @property
+    def total_time(self) -> float:
+        return max((e.end for e in self.events), default=0.0)
+
+    def on_resource(self, resource: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.resource == resource]
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def busy_time(self, resource: str) -> float:
+        return sum(e.duration for e in self.on_resource(resource))
+
+    def resources(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.resource, None)
+        return list(seen)
+
+    def validate(self) -> None:
+        """No resource may host two overlapping top-level events.
+
+        Nested spans (``depth > 0``) live *inside* their container by
+        construction, so exclusivity is only meaningful per depth-0
+        lane.
+        """
+        for resource in self.resources():
+            events = sorted(
+                (e for e in self.on_resource(resource) if e.depth == 0),
+                key=lambda e: e.start,
+            )
+            for before, after in zip(events, events[1:]):
+                if after.start < before.end - 1e-12:
+                    raise ValueError(
+                        f"overlap on {resource}: {before.name} "
+                        f"[{before.start:.3e}, {before.end:.3e}) vs "
+                        f"{after.name} [{after.start:.3e}, {after.end:.3e})"
+                    )
+
+
+def phase_of(opcode: Opcode) -> str:
+    """The timeline kind one executed instruction belongs to."""
+    if opcode is Opcode.COLLECTIVE_PERMUTE_START:
+        return ASYNC_START
+    if opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+        return ASYNC_DONE
+    if opcode in SYNC_COLLECTIVES:
+        return COLLECTIVE
+    if opcode is Opcode.WHILE:
+        return CONTROL
+    return COMPUTE
+
+
+def instruction_bytes(instr) -> int:
+    """Fabric payload bytes of one communication instruction (0 for
+    non-communication ops). Delegates to the single byte-accounting
+    model in :func:`repro.runtime.collectives.payload_bytes`."""
+    from repro.runtime.collectives import payload_bytes
+
+    opcode = instr.opcode
+    if opcode in (
+        Opcode.COLLECTIVE_PERMUTE,
+        Opcode.COLLECTIVE_PERMUTE_START,
+    ):
+        return payload_bytes(
+            instr.operands[0].shape.byte_size, pairs=instr.pairs
+        )
+    if opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+        start = instr.operands[0]
+        return payload_bytes(
+            start.operands[0].shape.byte_size, pairs=start.pairs
+        )
+    if opcode in SYNC_COLLECTIVES:
+        return payload_bytes(
+            instr.operands[0].shape.byte_size, groups=instr.groups
+        )
+    return 0

@@ -1,0 +1,216 @@
+"""Exporters: Chrome ``trace_event`` JSON, flat metrics, timeline diffs.
+
+:func:`to_chrome_trace` turns one or more event streams into the JSON
+object format consumed by ``chrome://tracing`` and Perfetto: each
+stream becomes a process (``pid``), each resource lane a thread
+(``tid``), each event a complete ``"X"`` slice with microsecond
+timestamps; counters are emitted as ``"C"`` events.
+:func:`validate_chrome_trace` is an *independent* structural validator
+(it shares no code with the emitter) so CI catches exporter drift, and
+:func:`events_from_chrome` parses an exported object back into event
+streams for round-trip tests and cross-trace diffing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.obs.events import KINDS, EventLog, TraceEvent
+
+#: Bumped whenever the emitted structure changes; validators pin it.
+SCHEMA_VERSION = 1
+
+EventStream = Sequence[TraceEvent]
+Streams = Union[EventStream, Mapping[str, EventStream]]
+
+
+def _as_streams(events: Streams) -> "Dict[str, List[TraceEvent]]":
+    if isinstance(events, Mapping):
+        return {name: list(stream) for name, stream in events.items()}
+    return {"trace": list(events)}
+
+
+def to_chrome_trace(
+    events: Streams,
+    counters: Optional[Mapping[str, Mapping[str, float]]] = None,
+) -> Dict:
+    """Build the Chrome trace_event JSON object.
+
+    ``events`` is either one event list or a mapping of stream name
+    (e.g. ``"compiled/decomposed"``) to event list; each stream renders
+    as its own process. ``counters`` optionally maps stream names to
+    counter tables.
+    """
+    streams = _as_streams(events)
+    trace_events: List[Dict] = []
+    for pid, (stream_name, stream) in enumerate(streams.items()):
+        trace_events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": stream_name},
+        })
+        tids: Dict[str, int] = {}
+        for event in stream:
+            if event.resource not in tids:
+                tid = len(tids)
+                tids[event.resource] = tid
+                trace_events.append({
+                    "ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": tid, "args": {"name": event.resource},
+                })
+        for event in stream:
+            trace_events.append({
+                "ph": "X",
+                "name": event.name,
+                "cat": event.kind,
+                "pid": pid,
+                "tid": tids[event.resource],
+                "ts": event.start * 1e6,
+                "dur": event.duration * 1e6,
+                "args": {"bytes": event.bytes, "depth": event.depth},
+            })
+        for key, value in ((counters or {}).get(stream_name) or {}).items():
+            trace_events.append({
+                "ph": "C", "name": key, "pid": pid, "tid": 0,
+                "ts": 0.0, "args": {"value": value},
+            })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "metadata": {"schema_version": SCHEMA_VERSION, "tool": "repro"},
+    }
+
+
+def validate_chrome_trace(obj) -> List[str]:
+    """Structural schema check; returns problems (empty list == valid).
+
+    Deliberately independent of :func:`to_chrome_trace` so a drifting
+    emitter cannot validate its own drift away.
+    """
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if obj.get("metadata", {}).get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"metadata.schema_version != {SCHEMA_VERSION}"
+        )
+    processes = set()
+    threads = set()
+    for i, entry in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = entry.get("ph")
+        if ph == "M":
+            if entry.get("name") not in ("process_name", "thread_name"):
+                problems.append(f"{where}: unknown metadata {entry.get('name')!r}")
+            elif not isinstance(
+                entry.get("args", {}).get("name"), str
+            ):
+                problems.append(f"{where}: metadata without args.name")
+            elif entry["name"] == "process_name":
+                processes.add(entry.get("pid"))
+            else:
+                threads.add((entry.get("pid"), entry.get("tid")))
+        elif ph == "X":
+            if not isinstance(entry.get("name"), str):
+                problems.append(f"{where}: slice without a name")
+            if entry.get("cat") not in KINDS:
+                problems.append(
+                    f"{where}: unknown event kind {entry.get('cat')!r}"
+                )
+            for field in ("ts", "dur"):
+                if not isinstance(entry.get(field), (int, float)):
+                    problems.append(f"{where}: non-numeric {field!r}")
+            if isinstance(entry.get("dur"), (int, float)) and entry["dur"] < 0:
+                problems.append(f"{where}: negative duration")
+            if entry.get("pid") not in processes:
+                problems.append(f"{where}: pid without a process_name")
+            if (entry.get("pid"), entry.get("tid")) not in threads:
+                problems.append(f"{where}: tid without a thread_name")
+            args = entry.get("args")
+            if not isinstance(args, dict) or not isinstance(
+                args.get("bytes"), int
+            ) or not isinstance(args.get("depth"), int):
+                problems.append(f"{where}: args must carry bytes and depth")
+        elif ph == "C":
+            if not isinstance(entry.get("name"), str):
+                problems.append(f"{where}: counter without a name")
+            value = entry.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                problems.append(f"{where}: counter without numeric value")
+        else:
+            problems.append(f"{where}: unsupported phase {ph!r}")
+    return problems
+
+
+def events_from_chrome(obj: Dict) -> Dict[str, List[TraceEvent]]:
+    """Parse an exported object back into per-stream event lists."""
+    process_names: Dict[int, str] = {}
+    thread_names: Dict[Tuple[int, int], str] = {}
+    for entry in obj.get("traceEvents", []):
+        if entry.get("ph") != "M":
+            continue
+        if entry["name"] == "process_name":
+            process_names[entry["pid"]] = entry["args"]["name"]
+        elif entry["name"] == "thread_name":
+            thread_names[(entry["pid"], entry["tid"])] = entry["args"]["name"]
+    streams: Dict[str, List[TraceEvent]] = {
+        name: [] for name in process_names.values()
+    }
+    for entry in obj.get("traceEvents", []):
+        if entry.get("ph") != "X":
+            continue
+        start = entry["ts"] / 1e6
+        args = entry.get("args", {})
+        streams[process_names[entry["pid"]]].append(TraceEvent(
+            name=entry["name"],
+            kind=entry["cat"],
+            resource=thread_names[(entry["pid"], entry["tid"])],
+            start=start,
+            end=start + entry["dur"] / 1e6,
+            bytes=int(args.get("bytes", 0)),
+            depth=int(args.get("depth", 0)),
+        ))
+    return streams
+
+
+def metrics_dict(log: EventLog) -> Dict[str, float]:
+    """Flatten one event log into a metrics dict: every counter, plus
+    total seconds per event kind and the event count."""
+    metrics: Dict[str, float] = {}
+    for event in log.events:
+        key = f"seconds.{event.kind}"
+        metrics[key] = metrics.get(key, 0.0) + event.duration
+    metrics["events"] = float(len(log.events))
+    for key, value in getattr(log, "counters", {}).items():
+        metrics[key] = float(value)
+    return dict(sorted(metrics.items()))
+
+
+def diff_timelines(
+    a: EventStream, b: EventStream
+) -> List[Tuple[str, str, float, float]]:
+    """Compare two timelines sharing the event schema — e.g. simulated
+    vs measured. Returns ``(name, kind, a_seconds, b_seconds)`` rows for
+    every event name present in either stream (0.0 when absent), so a
+    report can show where the simulator and the runtime disagree."""
+
+    def totals(stream: EventStream) -> Dict[Tuple[str, str], float]:
+        table: Dict[Tuple[str, str], float] = {}
+        for event in stream:
+            key = (event.name, event.kind)
+            table[key] = table.get(key, 0.0) + event.duration
+        return table
+
+    left, right = totals(a), totals(b)
+    rows = []
+    for name, kind in sorted(set(left) | set(right)):
+        rows.append(
+            (name, kind, left.get((name, kind), 0.0),
+             right.get((name, kind), 0.0))
+        )
+    return rows

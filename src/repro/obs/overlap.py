@@ -1,0 +1,108 @@
+"""Overlap efficiency: how much communication hid behind computation.
+
+The paper's Figure 12 frames its win as the fraction of transfer time
+that runs *under* dependent computation instead of exposing the compute
+stream to it. This module computes that quantity from any event stream
+in the shared schema — a simulated perfsim timeline (transfers are link
+occupancy intervals) or a measured executor timeline (transfers are the
+synthesized in-flight windows between an async permute's issue and its
+delivery).
+
+``hidden`` time is the wall-clock intersection of TRANSFER intervals
+with the union of compute-stream *work* — COMPUTE kernels and blocking
+COLLECTIVE ops alike, since a transfer in flight while the compute
+stream executes anything at all is hidden on a real machine. Stalls and
+the transfer's own start/done bookkeeping phases are not work. A
+baseline (undecomposed) program has no TRANSFER events at all, so its
+hidden fraction is 0 — the decomposed + async-scheduled variant of the
+same module must report strictly more.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.obs.events import COLLECTIVE, COMPUTE, STALL, TRANSFER, TraceEvent
+
+
+def _merge(intervals: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            last_start, last_end = merged[-1]
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _intersection(
+    interval: Tuple[float, float], merged: Sequence[Tuple[float, float]]
+) -> float:
+    lo, hi = interval
+    covered = 0.0
+    for start, end in merged:
+        if start >= hi:
+            break
+        covered += max(0.0, min(hi, end) - max(lo, start))
+    return covered
+
+
+@dataclasses.dataclass(frozen=True)
+class OverlapSummary:
+    """Communication-hiding summary of one timeline."""
+
+    compute_time: float            # union of compute intervals (no double count)
+    collective_time: float         # blocking collectives: always exposed
+    transfer_time: float           # async in-flight windows
+    hidden_transfer_time: float    # transfer ∩ compute
+    stall_time: float              # simulator-reported waits (0 when measured)
+
+    @property
+    def exposed_transfer_time(self) -> float:
+        return max(0.0, self.transfer_time - self.hidden_transfer_time)
+
+    @property
+    def communication_time(self) -> float:
+        return self.collective_time + self.transfer_time
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Fraction of async transfer time hidden under computation."""
+        if self.transfer_time <= 0:
+            return 0.0
+        return self.hidden_transfer_time / self.transfer_time
+
+    @property
+    def hidden_communication_fraction(self) -> float:
+        """Fraction of *all* communication hidden — the Figure 12 lens."""
+        if self.communication_time <= 0:
+            return 0.0
+        return self.hidden_transfer_time / self.communication_time
+
+
+def overlap_summary(events: Sequence[TraceEvent]) -> OverlapSummary:
+    """Measure hidden communication in one timeline (either engine's
+    measured trace or a simulated perfsim trace)."""
+    compute_intervals = _merge(
+        (e.start, e.end) for e in events if e.kind == COMPUTE
+    )
+    work_intervals = _merge(
+        (e.start, e.end)
+        for e in events
+        if e.kind in (COMPUTE, COLLECTIVE)
+    )
+    transfers = [e for e in events if e.kind == TRANSFER]
+    hidden = sum(
+        _intersection((e.start, e.end), work_intervals) for e in transfers
+    )
+    return OverlapSummary(
+        compute_time=sum(end - start for start, end in compute_intervals),
+        collective_time=sum(
+            e.duration for e in events if e.kind == COLLECTIVE
+        ),
+        transfer_time=sum(e.duration for e in transfers),
+        hidden_transfer_time=hidden,
+        stall_time=sum(e.duration for e in events if e.kind == STALL),
+    )

@@ -1,0 +1,106 @@
+"""The measured-timeline recorder the real executors write into.
+
+A :class:`Tracer` is an :class:`~repro.obs.events.EventLog` with a
+wall clock (zero-based at construction, injectable for deterministic
+tests), a span-nesting depth the executors push/pop around nested
+execution (While bodies, retry loops), and a counter table for the
+quantities that are not intervals: bytes moved per collective kind,
+retries, timeouts, fallbacks, buffer-donation and plan-cache hits.
+
+Executors take ``tracer=None`` by default and guard every recording
+site with a single ``is None`` test, so the untraced hot path stays
+allocation-free — the property the PR 2 benchmark numbers depend on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.obs.events import COMPUTE, EventLog
+
+
+class Tracer(EventLog):
+    """Records wall-clock spans and counters during real execution."""
+
+    def __init__(
+        self, clock: Callable[[], float] = time.perf_counter
+    ) -> None:
+        super().__init__()
+        self.counters: Dict[str, float] = {}
+        self.depth = 0
+        self._clock = clock
+        self._origin = clock()
+        self._issues: Dict[str, float] = {}  # async permute issue times
+
+    # --- clock ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since this tracer was created."""
+        return self._clock() - self._origin
+
+    # --- span nesting -----------------------------------------------------------
+
+    def push(self) -> int:
+        """Enter a nested scope; returns the depth to record the
+        enclosing span at."""
+        depth = self.depth
+        self.depth = depth + 1
+        return depth
+
+    def pop(self) -> None:
+        self.depth -= 1
+
+    @contextlib.contextmanager
+    def span(
+        self,
+        name: str,
+        kind: str = COMPUTE,
+        resource: str = "compute",
+        bytes: int = 0,
+    ) -> Iterator[None]:
+        """Record the enclosed block as one span; nests naturally."""
+        start = self.now()
+        depth = self.push()
+        try:
+            yield
+        finally:
+            self.pop()
+            self.add(
+                name, kind, resource, start, self.now(),
+                bytes=bytes, depth=depth,
+            )
+
+    def add(
+        self,
+        name: str,
+        kind: str,
+        resource: str,
+        start: float,
+        end: float,
+        bytes: int = 0,
+        depth: Optional[int] = None,
+    ) -> None:
+        """Append one span; ``depth`` defaults to the current nesting
+        level (unlike simulated traces, zero-duration spans are kept —
+        a measured op can be faster than the clock tick)."""
+        super().add(
+            name, kind, resource, start, end, bytes=bytes,
+            depth=self.depth if depth is None else depth,
+        )
+
+    # --- counters ---------------------------------------------------------------
+
+    def count(self, key: str, value: float = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    # --- async permute bookkeeping ----------------------------------------------
+
+    def mark_issue(self, transfer: str, at: float) -> None:
+        """Remember when an async permute was issued, so the matching
+        done can synthesize the in-flight TRANSFER window."""
+        self._issues[transfer] = at
+
+    def pop_issue(self, transfer: str, default: float) -> float:
+        return self._issues.pop(transfer, default)

@@ -105,15 +105,17 @@ class Simulator:
                 begin = max(issue, link_free.get(resource, 0.0))
                 completes = begin + duration
                 link_free[resource] = completes
-                link_bytes[resource] = link_bytes.get(resource, 0) + (
+                moved = (
                     route.hop_distance * unit.head.operands[0].shape.byte_size
                 )
+                link_bytes[resource] = link_bytes.get(resource, 0) + moved
                 in_flight[id(unit.head)] = _Transfer(completes, duration)
                 transfer_time_total += duration
                 if trace is not None:
                     trace.add(
                         unit.head.name, TRANSFER,
                         f"link:{resource[0]}:{resource[1]}", begin, completes,
+                        bytes=moved,
                     )
                 clock = issue
                 finish[unit.index] = issue

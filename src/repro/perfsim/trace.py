@@ -5,74 +5,61 @@ kernel occupied the compute stream, when every transfer occupied its
 link, and where the compute stream stalled. It backs the ASCII timeline
 renderer used by the examples and gives tests a way to assert *where*
 time went, not just how much.
+
+Since the observability layer, a simulated trace is just an
+:class:`~repro.obs.events.EventLog` of the same
+:class:`~repro.obs.events.TraceEvent` schema the real executors emit —
+so one :func:`repro.obs.to_chrome_trace` exporter renders both, one
+:func:`repro.obs.overlap_summary` measures hidden communication in
+both, and :func:`repro.obs.diff_timelines` diffs a simulated timeline
+against a measured one.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
-COMPUTE = "compute"
-COLLECTIVE = "collective"
-TRANSFER = "transfer"
-STALL = "stall"
+from repro.obs.events import (
+    COLLECTIVE,
+    COMPUTE,
+    STALL,
+    TRANSFER,
+    EventLog,
+    TraceEvent,
+)
 
-
-@dataclasses.dataclass(frozen=True)
-class TraceEvent:
-    """One occupancy interval on one resource."""
-
-    name: str
-    kind: str                      # COMPUTE / COLLECTIVE / TRANSFER / STALL
-    resource: str                  # "compute" or "link:<axis>:<direction>"
-    start: float
-    end: float
-
-    @property
-    def duration(self) -> float:
-        return self.end - self.start
+__all__ = [
+    "COLLECTIVE",
+    "COMPUTE",
+    "STALL",
+    "TRANSFER",
+    "Trace",
+    "TraceEvent",
+    "format_timeline",
+]
 
 
-@dataclasses.dataclass
-class Trace:
-    """All events of one simulated run, in issue order."""
+class Trace(EventLog):
+    """All events of one simulated run, in issue order.
 
-    events: List[TraceEvent] = dataclasses.field(default_factory=list)
+    Unlike a measured :class:`~repro.obs.Tracer`, simulated occupancy
+    intervals with zero duration carry no information and are dropped.
+    """
 
-    def add(self, name, kind, resource, start, end) -> None:
+    def add(
+        self,
+        name: str,
+        kind: str,
+        resource: str,
+        start: float,
+        end: float,
+        bytes: int = 0,
+        depth: int = 0,
+    ) -> None:
         if end > start:
-            self.events.append(TraceEvent(name, kind, resource, start, end))
-
-    @property
-    def total_time(self) -> float:
-        return max((e.end for e in self.events), default=0.0)
-
-    def on_resource(self, resource: str) -> List[TraceEvent]:
-        return [e for e in self.events if e.resource == resource]
-
-    def of_kind(self, kind: str) -> List[TraceEvent]:
-        return [e for e in self.events if e.kind == kind]
-
-    def busy_time(self, resource: str) -> float:
-        return sum(e.duration for e in self.on_resource(resource))
-
-    def resources(self) -> List[str]:
-        seen: Dict[str, None] = {}
-        for event in self.events:
-            seen.setdefault(event.resource, None)
-        return list(seen)
-
-    def validate(self) -> None:
-        """No resource may host two overlapping events."""
-        for resource in self.resources():
-            events = sorted(self.on_resource(resource), key=lambda e: e.start)
-            for before, after in zip(events, events[1:]):
-                if after.start < before.end - 1e-12:
-                    raise ValueError(
-                        f"overlap on {resource}: {before.name} "
-                        f"[{before.start:.3e}, {before.end:.3e}) vs "
-                        f"{after.name} [{after.start:.3e}, {after.end:.3e})"
-                    )
+            super().add(
+                name, kind, resource, start, end, bytes=bytes, depth=depth
+            )
 
 
 _KIND_GLYPH = {COMPUTE: "#", COLLECTIVE: "C", TRANSFER: "=", STALL: "."}

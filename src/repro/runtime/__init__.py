@@ -5,6 +5,7 @@ from repro.runtime.collectives import (
     all_reduce,
     all_to_all,
     collective_permute,
+    payload_bytes,
     reduce_scatter,
     validate_permute_pairs,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "all_to_all",
     "collective_permute",
     "lower",
+    "payload_bytes",
     "profile_memory",
     "reduce_scatter",
     "run_compiled",

@@ -149,7 +149,10 @@ def run_bench(
     if device_counts is None:
         device_counts = QUICK_DEVICE_COUNTS if quick else DEVICE_COUNTS
     if quick:
-        repeats, inner = min(repeats, 2), min(inner, 5)
+        # Quick mode shrinks the grid and the averaging window but keeps
+        # every best-of repeat: dropping timing windows is what makes
+        # sub-millisecond speedups noisy enough to trip trend gates.
+        inner = min(inner, 5)
 
     rows: List[Dict] = []
     for case_name, build in BENCH_CASES:
@@ -252,4 +255,59 @@ def check_report(report: Dict, min_speedup: float) -> List[str]:
             f"geomean speedup {summary['geomean_speedup']:.2f}x below the "
             f"required {min_speedup:.2f}x"
         )
+    return problems
+
+
+def compare_reports(
+    baseline: Dict, fresh: Dict, max_drop: float = 0.2
+) -> List[str]:
+    """Trend-gate failures (empty list == pass) for a fresh report
+    against a committed baseline.
+
+    Rows are matched on ``(case, variant, devices)`` — only the
+    intersection is compared, so shrinking or growing the grid (e.g.
+    ``--quick`` vs the full sweep) never fails the gate by itself.
+    ``bit_identical`` flipping to false on any matched row fails
+    outright. Speedups are gated per *benchmark case* — the geomean
+    over a ``(case, variant)`` pair's shared device counts — because a
+    single sub-millisecond timing window is too noisy to gate on alone;
+    a case whose geomean drops more than ``max_drop`` (relative) fails.
+    Zero comparable rows is itself a failure: a gate that compares
+    nothing protects nothing.
+    """
+    problems: List[str] = []
+
+    def keyed(report: Dict) -> Dict[Tuple[str, str, int], Dict]:
+        return {
+            (row["case"], row["variant"], row["devices"]): row
+            for row in report["rows"]
+        }
+
+    base_rows, fresh_rows = keyed(baseline), keyed(fresh)
+    shared = sorted(base_rows.keys() & fresh_rows.keys())
+    if not shared:
+        problems.append(
+            "no comparable rows between baseline and fresh reports "
+            "(case/variant/devices grids are disjoint)"
+        )
+        return problems
+    by_case: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    for key in shared:
+        case, variant, devices = key
+        base, new = base_rows[key], fresh_rows[key]
+        if base["bit_identical"] and not new["bit_identical"]:
+            problems.append(
+                f"{case}/{variant}@{devices}: bit_identical flipped to false"
+            )
+        by_case.setdefault((case, variant), []).append(
+            (base["speedup"], new["speedup"])
+        )
+    for (case, variant), pairs in sorted(by_case.items()):
+        base_mean = _geomean([b for b, _ in pairs])
+        new_mean = _geomean([n for _, n in pairs])
+        if new_mean < base_mean * (1.0 - max_drop):
+            problems.append(
+                f"{case}/{variant}: speedup {new_mean:.2f}x dropped more "
+                f"than {max_drop:.0%} below the baseline {base_mean:.2f}x"
+            )
     return problems

@@ -27,6 +27,27 @@ Groups = Sequence[Tuple[int, ...]]
 PerDevice = List[np.ndarray]
 
 
+def payload_bytes(
+    byte_size: int,
+    groups: Optional[Groups] = None,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+) -> int:
+    """Logical payload bytes one collective injects into the fabric.
+
+    The model is routing-independent — what the observability counters
+    track is *payload*, not link occupancy: every member of a replica
+    group contributes its ``byte_size`` shard once, and every permute
+    pair carries one ``byte_size`` shard. (Link-level bytes, including
+    multi-hop routing, are the perfsim's job.)
+    """
+    total = 0
+    if groups is not None:
+        total += byte_size * sum(len(group) for group in groups)
+    if pairs is not None:
+        total += byte_size * len(pairs)
+    return total
+
+
 def _group_of(device: int, groups: Groups) -> Tuple[int, ...]:
     for group in groups:
         if device in group:

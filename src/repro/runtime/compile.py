@@ -51,6 +51,8 @@ import numpy as np
 from repro.hlo.instruction import Instruction, ShardIndex
 from repro.hlo.module import HloModule
 from repro.hlo.opcode import Opcode, SOURCE_OPS
+from repro.obs.events import instruction_bytes, phase_of
+from repro.obs.tracer import Tracer
 from repro.runtime import vectorized
 from repro.runtime.collectives import validate_permute_pairs
 from repro.runtime.executor import (
@@ -58,7 +60,12 @@ from repro.runtime.executor import (
     PerDevice,
     unknown_output_error,
 )
-from repro.runtime.plan import CompiledPlan, ParamBinding, PlanStats
+from repro.runtime.plan import (
+    CompiledPlan,
+    ParamBinding,
+    PlanStats,
+    StepMeta,
+)
 
 _UFUNCS = {
     Opcode.ADD: np.add,
@@ -284,6 +291,9 @@ class _Lowering:
         self.copies_elided = 0
         self.donations = 0
         self.nested_stats: List[PlanStats] = []
+        # Shared with the emitted While steps so traced runs reach into
+        # body plans; None outside execute_traced.
+        self.tracer_box: List[Optional[Tracer]] = [None]
 
     # --- value plumbing ------------------------------------------------------
 
@@ -604,11 +614,17 @@ class _Lowering:
             trip_count = attrs["trip_count"]
             result_index = attrs["result_index"]
             state_slots = tuple(slots)
+            tracer_box = self.tracer_box
 
             def step(env, it):
                 state = [env[s] for s in state_slots]
-                for i in range(trip_count):
-                    state = body_plan.execute(state, iteration=i)
+                tracer = tracer_box[0]
+                if tracer is None:
+                    for i in range(trip_count):
+                        state = body_plan.execute(state, iteration=i)
+                else:
+                    for i in range(trip_count):
+                        state = body_plan.execute_traced(state, i, tracer)
                 env[so] = state[result_index]
             return step
 
@@ -741,6 +757,7 @@ def lower(
 
     steps = []
     labels = []
+    metas = []
     for t, node in enumerate(lowering.nodes):
         step = lowering.emit(t, node)
         releases = tuple(
@@ -756,6 +773,18 @@ def lower(
             f"{node.instr.opcode.value}"
             + (f" (free {list(releases)})" if releases else "")
         )
+        instr = node.instr
+        metas.append(StepMeta(
+            name=instr.name,
+            opcode=instr.opcode.value,
+            kind=phase_of(instr.opcode),
+            bytes=instruction_bytes(instr),
+            transfer_of=(
+                instr.operands[0].name
+                if instr.opcode is Opcode.COLLECTIVE_PERMUTE_DONE
+                else None
+            ),
+        ))
 
     stats = PlanStats(
         instructions=len(instructions),
@@ -781,6 +810,8 @@ def lower(
         },
         output_order=wanted,
         stats=stats,
+        meta=metas,
+        tracer_box=lowering.tracer_box,
     )
 
 
@@ -810,10 +841,13 @@ class CompiledExecutor:
     and this class for clean, fast execution (e.g. as the chaos oracle).
     """
 
-    def __init__(self, num_devices: int) -> None:
+    def __init__(
+        self, num_devices: int, tracer: Optional[Tracer] = None
+    ) -> None:
         if num_devices <= 0:
             raise ValueError("num_devices must be positive")
         self.num_devices = num_devices
+        self.tracer = tracer
         self._plans: Dict[Tuple, Tuple[Tuple, CompiledPlan]] = {}
 
     def plan_for(
@@ -825,9 +859,14 @@ class CompiledExecutor:
         fingerprint = tuple(id(i) for i in module)
         cached = self._plans.get(key)
         if cached is not None and cached[0] == fingerprint:
+            if self.tracer is not None:
+                self.tracer.count("plan.cache_hits")
             return cached[1]
         plan = lower(module, self.num_devices, outputs)
         self._plans[key] = (fingerprint, plan)
+        if self.tracer is not None:
+            self.tracer.count("plan.cache_misses")
+            self.tracer.count("plan.donations", plan.stats.donations)
         return plan
 
     def run(
@@ -842,7 +881,9 @@ class CompiledExecutor:
         Returned shards are row views into stacked buffers — read-only
         by convention.
         """
-        return self.plan_for(module, outputs).run(arguments, iteration)
+        return self.plan_for(module, outputs).run(
+            arguments, iteration, tracer=self.tracer
+        )
 
 
 def run_compiled(

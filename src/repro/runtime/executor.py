@@ -22,6 +22,14 @@ import numpy as np
 from repro.hlo.instruction import Instruction
 from repro.hlo.module import HloModule
 from repro.hlo.opcode import Opcode
+from repro.obs.events import (
+    ASYNC_DONE,
+    ASYNC_START,
+    TRANSFER,
+    instruction_bytes,
+    phase_of,
+)
+from repro.obs.tracer import Tracer
 from repro.runtime import collectives
 
 PerDevice = List[np.ndarray]
@@ -53,12 +61,22 @@ def _replicated_readonly(value: np.ndarray, n: int) -> PerDevice:
 
 
 class Executor:
-    """Executes an SPMD module on ``num_devices`` simulated devices."""
+    """Executes an SPMD module on ``num_devices`` simulated devices.
 
-    def __init__(self, num_devices: int) -> None:
+    An optional :class:`~repro.obs.Tracer` records one wall-clock span
+    per executed instruction (phase-classified, with fabric payload
+    bytes on communication ops) plus a synthesized TRANSFER window per
+    async permute pair covering issue → delivery. Without a tracer the
+    run loop is untouched apart from one ``is None`` test.
+    """
+
+    def __init__(
+        self, num_devices: int, tracer: Optional[Tracer] = None
+    ) -> None:
         if num_devices <= 0:
             raise ValueError("num_devices must be positive")
         self.num_devices = num_devices
+        self.tracer = tracer
         self._iteration = 0
 
     def run(
@@ -111,18 +129,65 @@ class Executor:
                     np.asarray(s, dtype=np.float64) for s in shards
                 ]
 
+        tracer = self.tracer
         for instruction in module:
             if instruction.opcode is Opcode.PARAMETER:
                 continue
-            values[instruction.name] = self._execute(
-                instruction, values, in_flight
-            )
+            if tracer is None:
+                values[instruction.name] = self._execute(
+                    instruction, values, in_flight
+                )
+            else:
+                values[instruction.name] = self._execute_traced(
+                    instruction, values, in_flight, tracer
+                )
 
         wanted = list(outputs) if outputs is not None else [module.root.name]
         for name in wanted:
             if name not in values:
                 raise unknown_output_error(name, module)
         return {name: values[name] for name in wanted}
+
+    # --- tracing ----------------------------------------------------------------
+
+    def _execute_traced(
+        self,
+        instruction: Instruction,
+        values: Dict[str, PerDevice],
+        in_flight: Dict[str, PerDevice],
+        tracer: Tracer,
+    ) -> PerDevice:
+        """Execute one instruction under the tracer: a span per op, a
+        byte counter per collective, and a synthesized in-flight
+        TRANSFER window per async permute pair. Nested execution (While
+        bodies, resilient retries) records one level deeper."""
+        start = tracer.now()
+        depth = tracer.push()
+        try:
+            result = self._execute(instruction, values, in_flight)
+        finally:
+            tracer.pop()
+        end = tracer.now()
+        opcode = instruction.opcode
+        kind = phase_of(opcode)
+        nbytes = instruction_bytes(instruction)
+        tracer.add(
+            instruction.name, kind, "compute", start, end,
+            bytes=nbytes, depth=depth,
+        )
+        if kind is ASYNC_START:
+            tracer.count(f"bytes.{opcode.value}", nbytes)
+            tracer.mark_issue(instruction.name, start)
+        elif kind is ASYNC_DONE:
+            origin = instruction.operands[0]
+            tracer.add(
+                origin.name, TRANSFER, f"link:{origin.name}",
+                tracer.pop_issue(origin.name, default=start), end,
+                bytes=nbytes, depth=0,
+            )
+        elif nbytes:
+            tracer.count(f"bytes.{opcode.value}", nbytes)
+        return result
 
     # --- per-opcode dispatch ----------------------------------------------------
 

@@ -26,6 +26,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.hlo.shapes import Shape
+from repro.obs.events import ASYNC_DONE, ASYNC_START, TRANSFER
+from repro.obs.tracer import Tracer
 
 #: A step mutates the environment in place; ``iteration`` is the
 #: enclosing loop index (plans compiled from While bodies read it).
@@ -56,6 +58,19 @@ class PlanStats:
 
 
 @dataclasses.dataclass(frozen=True)
+class StepMeta:
+    """Observability sidecar of one step: everything the traced run
+    loop needs, precomputed at lowering time so the untraced loop pays
+    nothing for it."""
+
+    name: str              # instruction name
+    opcode: str            # opcode value string
+    kind: str              # timeline phase (repro.obs.events)
+    bytes: int             # fabric payload (0 for non-communication)
+    transfer_of: Optional[str] = None  # done steps: their start's name
+
+
+@dataclasses.dataclass(frozen=True)
 class ParamBinding:
     """Where one parameter's stacked value goes in the environment."""
 
@@ -78,6 +93,8 @@ class CompiledPlan:
         output_slots: Dict[str, int],
         output_order: Sequence[str],
         stats: PlanStats,
+        meta: Sequence[StepMeta] = (),
+        tracer_box: Optional[List[Optional[Tracer]]] = None,
     ) -> None:
         self.module_name = module_name
         self.num_devices = num_devices
@@ -88,6 +105,13 @@ class CompiledPlan:
         self.output_slots = dict(output_slots)
         self.output_order: Tuple[str, ...] = tuple(output_order)
         self.stats = stats
+        self.meta: Tuple[StepMeta, ...] = tuple(meta)
+        # The one-element cell nested While-body steps read to decide
+        # whether to trace their body plan (set by execute_traced only,
+        # so the untraced path never pays for it).
+        self.tracer_box: List[Optional[Tracer]] = (
+            tracer_box if tracer_box is not None else [None]
+        )
 
     # --- execution --------------------------------------------------------------
 
@@ -107,10 +131,58 @@ class CompiledPlan:
             step(env, iteration)
         return [env[self.output_slots[name]] for name in self.output_order]
 
+    def execute_traced(
+        self,
+        stacked_args: Sequence[np.ndarray],
+        iteration: int,
+        tracer: Tracer,
+    ) -> List[np.ndarray]:
+        """Like :meth:`execute`, but record one span per step (plus the
+        synthesized in-flight TRANSFER window per async permute pair)
+        into ``tracer``. While-body steps see the tracer through
+        ``tracer_box`` and trace their iterations one level deeper."""
+        if len(self.meta) != len(self.steps):  # plan built without meta
+            return self.execute(stacked_args, iteration)
+        env = self.initial_env.copy()
+        for binding, value in zip(self.params, stacked_args):
+            env[binding.slot] = value
+        box = self.tracer_box
+        previous = box[0]
+        box[0] = tracer
+        try:
+            for step, meta in zip(self.steps, self.meta):
+                start = tracer.now()
+                depth = tracer.push()
+                try:
+                    step(env, iteration)
+                finally:
+                    tracer.pop()
+                end = tracer.now()
+                tracer.add(
+                    meta.name, meta.kind, "compute", start, end,
+                    bytes=meta.bytes, depth=depth,
+                )
+                if meta.kind == ASYNC_START:
+                    tracer.count(f"bytes.{meta.opcode}", meta.bytes)
+                    tracer.mark_issue(meta.name, start)
+                elif meta.kind == ASYNC_DONE:
+                    origin = meta.transfer_of or meta.name
+                    tracer.add(
+                        origin, TRANSFER, f"link:{origin}",
+                        tracer.pop_issue(origin, default=start), end,
+                        bytes=meta.bytes, depth=0,
+                    )
+                elif meta.bytes:
+                    tracer.count(f"bytes.{meta.opcode}", meta.bytes)
+        finally:
+            box[0] = previous
+        return [env[self.output_slots[name]] for name in self.output_order]
+
     def run(
         self,
         arguments: Dict[str, Sequence[np.ndarray]],
         iteration: int = 0,
+        tracer: Optional[Tracer] = None,
     ) -> Dict[str, PerDevice]:
         """Execute with per-device shard lists, like ``Executor.run``.
 
@@ -144,7 +216,10 @@ class CompiledPlan:
                 # buffer donation can never mutate caller-owned memory.
                 stacked = stacked.copy()
             stacked_args.append(stacked)
-        results = self.execute(stacked_args, iteration)
+        if tracer is None:
+            results = self.execute(stacked_args, iteration)
+        else:
+            results = self.execute_traced(stacked_args, iteration, tracer)
         return {
             name: list(stacked)
             for name, stacked in zip(self.output_order, results)

@@ -42,6 +42,8 @@ from repro.faults.injector import CLEAN, FaultInjector
 from repro.hlo.instruction import Instruction
 from repro.hlo.module import HloModule
 from repro.hlo.opcode import Opcode
+from repro.obs.events import RETRY
+from repro.obs.tracer import Tracer
 from repro.runtime import collectives
 from repro.runtime.executor import Executor, PerDevice
 
@@ -93,8 +95,9 @@ class ResilientExecutor(Executor):
         num_devices: int,
         injector: Optional[FaultInjector] = None,
         policy: Optional[RetryPolicy] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
-        super().__init__(num_devices)
+        super().__init__(num_devices, tracer=tracer)
         self.injector = injector
         self.policy = policy or RetryPolicy()
         self.stats = ResilienceStats()
@@ -151,7 +154,20 @@ class ResilientExecutor(Executor):
         pairs = start.pairs
         index = self._transfer_ids.pop(start.name, 0)
         policy = self.policy
+        tracer = self.tracer
         self.stats.transfers += 1
+        if tracer is not None:
+            tracer.count("transfers")
+
+        def note_failed_attempt(attempt: int, why: str, begin: float) -> None:
+            """Record one failed delivery attempt on the transfer's
+            retry lane (wall-clock; the virtual backoff lives in stats)."""
+            if tracer is not None:
+                tracer.add(
+                    f"{start.name}#attempt{attempt}:{why}", RETRY,
+                    f"retry:{start.name}", begin, tracer.now(),
+                )
+                tracer.count(why)
 
         # Source-side NaN/Inf guard: a payload that is already corrupt at
         # the sender cannot be repaired by retransmission.
@@ -167,9 +183,12 @@ class ResilientExecutor(Executor):
 
         for attempt in range(policy.max_attempts):
             self.stats.attempts += 1
+            attempt_begin = 0.0 if tracer is None else tracer.now()
             if attempt:
                 self.stats.retries += 1
                 self.stats.virtual_delay += policy.backoff(attempt - 1)
+                if tracer is not None:
+                    tracer.count("retries")
             outcome = (
                 self.injector.transfer_outcome(index, attempt)
                 if self.injector is not None
@@ -185,6 +204,7 @@ class ResilientExecutor(Executor):
             if outcome.dropped or outcome.delay > policy.timeout:
                 self.stats.timeouts += 1
                 self.stats.virtual_delay += policy.timeout
+                note_failed_attempt(attempt, "timeouts", attempt_begin)
                 continue
             self.stats.virtual_delay += outcome.delay
             delivered = collectives.collective_permute(snapshot, pairs)
@@ -204,6 +224,7 @@ class ResilientExecutor(Executor):
             if self._checksum_ok(snapshot, delivered, pairs):
                 return delivered
             # Checksum mismatch: corrupted in flight — retransmit.
+            note_failed_attempt(attempt, "checksum_failures", attempt_begin)
         raise TransferTimeoutError(
             f"transfer {start.name} failed after {policy.max_attempts} "
             f"attempts",
@@ -282,6 +303,7 @@ def run_with_fallback(
     injector: Optional[FaultInjector] = None,
     policy: Optional[RetryPolicy] = None,
     outputs: Optional[Sequence[str]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ResilientResult:
     """Execute ``primary`` resiliently; degrade to ``fallback`` on link
     faults.
@@ -295,7 +317,9 @@ def run_with_fallback(
     Non-link faults (device failure, unrepairable corruption) propagate:
     no program rewrite survives a dead device.
     """
-    executor = ResilientExecutor(num_devices, injector=injector, policy=policy)
+    executor = ResilientExecutor(
+        num_devices, injector=injector, policy=policy, tracer=tracer
+    )
     try:
         values = executor.run(primary, arguments, outputs=outputs)
         return ResilientResult(
@@ -305,7 +329,9 @@ def run_with_fallback(
             failure=None,
         )
     except LINK_FAULTS as failure:
-        values = Executor(num_devices).run(
+        if tracer is not None:
+            tracer.count("fallbacks")
+        values = Executor(num_devices, tracer=tracer).run(
             fallback, arguments, outputs=outputs
         )
         return ResilientResult(
