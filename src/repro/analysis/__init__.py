@@ -1,0 +1,74 @@
+"""Static analysis over the HLO-like IR: verifier and lint passes.
+
+The decomposition, scheduling and lowering passes are miscompile
+factories (wrong slice offsets, torn Start/Done pairs, donated-buffer
+races); this package is the repo's counterpart of XLA's HloVerifier —
+six passes over :class:`~repro.hlo.module.HloModule` producing
+:class:`Diagnostic` findings keyed by a stable rule catalog.
+
+Entry points:
+
+* :func:`analyze_module` — run every pass, get an :class:`AnalysisResult`.
+* :func:`verify_module` — analyze and raise :class:`AnalysisError` on
+  errors (the pipeline's ``verify_after_each_pass`` hook).
+* ``repro verify`` — the CLI over the golden modules and pipeline stages.
+
+Import discipline: this package depends only on ``repro.hlo``; the one
+runtime dependency (re-lowering for donation records) is imported
+lazily inside the donation pass so ``repro.runtime`` can call into the
+collective-legality helpers without a cycle.
+"""
+
+from repro.analysis.analyzer import (
+    PASS_NAMES,
+    analyze_module,
+    verify_module,
+)
+from repro.analysis.async_check import check_async_pairs
+from repro.analysis.collective_check import (
+    check_collectives,
+    permute_pair_problems,
+    replica_group_problems,
+)
+from repro.analysis.diagnostics import (
+    ERROR,
+    RULES,
+    RULES_BY_ID,
+    WARNING,
+    AnalysisError,
+    AnalysisResult,
+    Diagnostic,
+    Rule,
+    error,
+    merge_results,
+    warning,
+)
+from repro.analysis.donation_check import check_donations
+from repro.analysis.schedule_check import check_schedule
+from repro.analysis.shape_check import check_shapes
+from repro.analysis.ssa_check import check_ssa
+
+__all__ = [
+    "PASS_NAMES",
+    "ERROR",
+    "WARNING",
+    "RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "Diagnostic",
+    "AnalysisResult",
+    "AnalysisError",
+    "analyze_module",
+    "verify_module",
+    "check_shapes",
+    "check_ssa",
+    "check_collectives",
+    "check_async_pairs",
+    "check_schedule",
+    "check_donations",
+    "permute_pair_problems",
+    "replica_group_problems",
+    "error",
+    "warning",
+    "merge_results",
+]

@@ -1,0 +1,121 @@
+"""The analyzer driver: run every pass over a module (and its bodies).
+
+``analyze_module`` is the one entry point the pipeline hook, the
+``repro verify`` CLI and the tests share. It runs the six passes in a
+fixed order, recurses into While bodies, and returns one merged
+:class:`~repro.analysis.diagnostics.AnalysisResult`.
+
+The donation-race pass is gated on the earlier passes finding no
+errors: it re-derives liveness (and, when no records are supplied,
+invokes the real lowering), both of which presuppose a structurally
+sound module — running them on a module that already failed SSA would
+only crash into exceptions instead of adding findings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.async_check import check_async_pairs
+from repro.analysis.collective_check import check_collectives
+from repro.analysis.diagnostics import (
+    AnalysisError,
+    AnalysisResult,
+    Diagnostic,
+)
+from repro.analysis.donation_check import check_donations
+from repro.analysis.schedule_check import check_schedule
+from repro.analysis.shape_check import check_shapes
+from repro.analysis.ssa_check import check_ssa
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+
+#: Pass order: structural soundness first, semantic cross-checks last.
+PASS_NAMES: Tuple[str, ...] = (
+    "shape", "ssa", "collective", "async", "schedule", "donation",
+)
+
+
+def analyze_module(
+    module: HloModule,
+    *,
+    num_devices: Optional[int] = None,
+    max_in_flight: Optional[int] = None,
+    donation_records: Optional[Sequence] = None,
+    outputs: Optional[Sequence[str]] = None,
+    check_donation: Optional[bool] = None,
+) -> AnalysisResult:
+    """Run every analysis pass; returns the merged report.
+
+    ``num_devices`` enables the device-set checks (collective coverage,
+    pair ranges) and, unless disabled, the donation cross-check against
+    a real lowering. ``donation_records`` supplies planner decisions to
+    audit directly (the mutation tests fabricate bad ones);
+    ``check_donation`` forces the donation pass on/off (default: on
+    exactly when records or a device count are available).
+    """
+    diagnostics = _structural_passes(module, num_devices, max_in_flight)
+    passes_run = list(PASS_NAMES[:5])
+
+    if check_donation is None:
+        check_donation = (
+            donation_records is not None or num_devices is not None
+        )
+    if check_donation:
+        structurally_sound = not any(d.is_error for d in diagnostics)
+        if structurally_sound:
+            diagnostics.extend(
+                check_donations(
+                    module,
+                    records=donation_records,
+                    num_devices=num_devices if num_devices else 2,
+                    outputs=outputs,
+                )
+            )
+            passes_run.append("donation")
+
+    return AnalysisResult(
+        module.name, tuple(diagnostics), tuple(passes_run)
+    )
+
+
+def _structural_passes(
+    module: HloModule,
+    num_devices: Optional[int],
+    max_in_flight: Optional[int],
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(check_shapes(module))
+    diagnostics.extend(check_ssa(module))
+    diagnostics.extend(check_collectives(module, num_devices))
+    diagnostics.extend(check_async_pairs(module, max_in_flight))
+    diagnostics.extend(check_schedule(module))
+    for instruction in module:
+        if instruction.opcode is Opcode.WHILE:
+            body = instruction.attrs.get("body")
+            if isinstance(body, HloModule):
+                diagnostics.extend(
+                    _structural_passes(body, num_devices, max_in_flight)
+                )
+    return diagnostics
+
+
+def verify_module(
+    module: HloModule,
+    *,
+    stage: Optional[str] = None,
+    num_devices: Optional[int] = None,
+    max_in_flight: Optional[int] = None,
+) -> AnalysisResult:
+    """Analyze and raise :class:`AnalysisError` on any error finding.
+
+    This is the ``verify_after_each_pass`` hook body: ``stage`` names
+    the pipeline pass that just ran, so a violation is pinned to the
+    pass that introduced it rather than surfacing modules later.
+    """
+    result = analyze_module(
+        module, num_devices=num_devices, max_in_flight=max_in_flight
+    )
+    if not result.ok:
+        raise AnalysisError(result, stage)
+    return result

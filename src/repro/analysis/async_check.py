@@ -1,0 +1,133 @@
+"""Async-pair linter for split CollectivePermute Start/Done pairs.
+
+The Start/Done split (Section 5.3's overlap mechanism) introduces the
+classic async hazards: a Start whose Done was dropped by a rewrite
+(payload never lands), a Done duplicated by unrolling (double landing),
+two in-flight transfers sharing one channel (the fabric serializes or
+corrupts them), and more simultaneous transfers than the scheduler
+budgeted for.
+
+Rules:
+
+* A001 (error) — a Start with no Done: the transfer is never awaited.
+* A002 (error) — a Done whose operand is not a Start, or a Start awaited
+  by more than one Done.
+* A003 (error) — interleaved reuse of one channel id: two Starts with
+  the same ``channel_id`` are simultaneously in flight.
+* A004 (error, opt-in) — more than ``max_in_flight`` transfers in
+  flight at once. Only checked when the caller passes the budget, since
+  the legal bound belongs to the scheduler configuration, not the IR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.diagnostics import Diagnostic, error
+from repro.hlo.instruction import Instruction
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+
+PASS_NAME = "async"
+
+
+def check_async_pairs(
+    module: HloModule, max_in_flight: Optional[int] = None
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    done_count: Dict[int, int] = {}
+    starts: List[Instruction] = []
+    for instruction in module:
+        if instruction.opcode is Opcode.COLLECTIVE_PERMUTE_START:
+            starts.append(instruction)
+            done_count[id(instruction)] = 0
+        elif instruction.opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+            operand = (
+                instruction.operands[0] if instruction.operands else None
+            )
+            if (
+                operand is None
+                or operand.opcode is not Opcode.COLLECTIVE_PERMUTE_START
+            ):
+                diagnostics.append(
+                    error(
+                        "A002",
+                        "done does not consume a collective-permute-start",
+                        instruction.name,
+                        module.name,
+                    )
+                )
+            elif id(operand) in done_count:
+                done_count[id(operand)] += 1
+            # A start defined elsewhere (not in this module) is V001.
+
+    for start in starts:
+        count = done_count[id(start)]
+        if count == 0:
+            diagnostics.append(
+                error(
+                    "A001",
+                    "collective-permute-start has no matching done; the "
+                    "transfer is never awaited",
+                    start.name,
+                    module.name,
+                    hint="emit a collective-permute-done for it",
+                )
+            )
+        elif count > 1:
+            diagnostics.append(
+                error(
+                    "A002",
+                    f"collective-permute-start is awaited by {count} dones",
+                    start.name,
+                    module.name,
+                )
+            )
+
+    diagnostics.extend(_check_in_flight(module, max_in_flight))
+    return diagnostics
+
+
+def _check_in_flight(
+    module: HloModule, max_in_flight: Optional[int]
+) -> List[Diagnostic]:
+    """Walk program order tracking which Starts are in flight."""
+    diagnostics: List[Diagnostic] = []
+    in_flight: Dict[int, Instruction] = {}
+    peak = 0
+    peak_at: Optional[Instruction] = None
+    for instruction in module:
+        if instruction.opcode is Opcode.COLLECTIVE_PERMUTE_START:
+            channel = instruction.attrs.get("channel_id")
+            if channel is not None:
+                for other in in_flight.values():
+                    if other.attrs.get("channel_id") == channel:
+                        diagnostics.append(
+                            error(
+                                "A003",
+                                f"channel {channel} reused while "
+                                f"{other.name} is still in flight",
+                                instruction.name,
+                                module.name,
+                                hint="await the first transfer, or give "
+                                "this start a fresh channel id",
+                            )
+                        )
+            in_flight[id(instruction)] = instruction
+            if len(in_flight) > peak:
+                peak = len(in_flight)
+                peak_at = instruction
+        elif instruction.opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+            if instruction.operands:
+                in_flight.pop(id(instruction.operands[0]), None)
+    if max_in_flight is not None and peak > max_in_flight:
+        diagnostics.append(
+            error(
+                "A004",
+                f"{peak} async permutes in flight exceeds the budget of "
+                f"{max_in_flight}",
+                peak_at.name if peak_at is not None else None,
+                module.name,
+            )
+        )
+    return diagnostics

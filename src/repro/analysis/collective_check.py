@@ -1,0 +1,238 @@
+"""Collective legality: replica groups and permute pairs.
+
+This is the single home of replica-group / permute-pair validation. The
+analyzer's pass-facing entry point is :func:`check_collectives`; the
+runtime (``runtime/collectives.py``) calls the lower-level
+:func:`permute_pair_problems` / :func:`replica_group_problems` helpers
+and re-raises selected problems as its typed fault errors, so the exact
+message wording lives here once.
+
+Rules:
+
+* C001 (error)   — a device is missing from, or duplicated across, the
+  replica groups: they must partition the device set.
+* C002 (warning) — replica group sizes are non-uniform. The runtime
+  supports ragged groups through a slow fallback path, so this is legal
+  but worth flagging: the SPMD partitioner never emits it.
+* C003 (error)   — a permute pair sends a device to itself.
+* C004 (error)   — a device is the source (or destination) of two pairs.
+* C005 (error)   — a pair names a device outside the mesh.
+* C006 (warning) — the pairs do not close into a ring (union of
+  cycles). Point-to-point sends are legal, but every permute the
+  decomposition passes emit is a (bi)ring, so an open chain in a
+  decomposed module usually means a dropped pair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import ERROR, WARNING, Diagnostic
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+
+PASS_NAME = "collective"
+
+Pairs = Sequence[Tuple[int, int]]
+Groups = Sequence[Sequence[int]]
+
+#: Opcodes carrying a ``groups`` attribute.
+GROUPED_OPS = frozenset(
+    {
+        Opcode.ALL_GATHER,
+        Opcode.REDUCE_SCATTER,
+        Opcode.ALL_REDUCE,
+        Opcode.ALL_TO_ALL,
+    }
+)
+
+#: Opcodes carrying a ``pairs`` attribute.
+PAIRED_OPS = frozenset(
+    {Opcode.COLLECTIVE_PERMUTE, Opcode.COLLECTIVE_PERMUTE_START}
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Problem:
+    """One legality violation, decoupled from the Diagnostic machinery
+    so the runtime can consume it without importing the analyzer."""
+
+    rule: str
+    severity: str
+    message: str
+    device: Optional[int] = None
+    pair: Optional[Tuple[int, int]] = None
+
+
+def permute_pair_problems(
+    pairs: Pairs, num_devices: Optional[int] = None
+) -> List[Problem]:
+    """All legality problems with a CollectivePermute pair list.
+
+    Problems are reported in the order the runtime historically raised
+    them (per pair: range, duplicate destination, duplicate source) so
+    that ``validate_permute_pairs`` — which raises on the first match —
+    keeps its exact behaviour and message wording.
+    """
+    problems: List[Problem] = []
+    destinations: set = set()
+    sources: set = set()
+    for src, dst in pairs:
+        if num_devices is not None:
+            for role, device in (("source", src), ("destination", dst)):
+                if not 0 <= device < num_devices:
+                    problems.append(
+                        Problem(
+                            "C005",
+                            ERROR,
+                            f"{role} device {device} out of range for "
+                            f"{num_devices} devices",
+                            device=device,
+                            pair=(src, dst),
+                        )
+                    )
+        if dst in destinations:
+            problems.append(
+                Problem(
+                    "C004",
+                    ERROR,
+                    f"device {dst} is the destination of two pairs",
+                    device=dst,
+                    pair=(src, dst),
+                )
+            )
+        if src in sources:
+            problems.append(
+                Problem(
+                    "C004",
+                    ERROR,
+                    f"device {src} is the source of two pairs",
+                    device=src,
+                    pair=(src, dst),
+                )
+            )
+        if src == dst:
+            problems.append(
+                Problem(
+                    "C003",
+                    ERROR,
+                    f"pair ({src}, {dst}) sends device {src} to itself",
+                    device=src,
+                    pair=(src, dst),
+                )
+            )
+        sources.add(src)
+        destinations.add(dst)
+    # Ring closure: with <=1 out-edge and <=1 in-edge per device the pair
+    # graph is a union of paths and cycles; it is all cycles iff every
+    # source is also a destination.
+    if pairs and not problems and sources != destinations:
+        open_ends = sorted(sources.symmetric_difference(destinations))
+        problems.append(
+            Problem(
+                "C006",
+                WARNING,
+                f"pairs form an open chain, not a ring "
+                f"(unbalanced devices {open_ends})",
+            )
+        )
+    return problems
+
+
+def replica_group_problems(
+    groups: Groups, num_devices: Optional[int] = None
+) -> List[Problem]:
+    """All legality problems with a replica-group list.
+
+    The C001 coverage message matches the wording the runtime raises as
+    :class:`ReplicaGroupError` when a device has no group.
+    """
+    problems: List[Problem] = []
+    seen: dict = {}
+    for group in groups:
+        for device in group:
+            if device in seen:
+                problems.append(
+                    Problem(
+                        "C001",
+                        ERROR,
+                        f"device {device} appears in more than one "
+                        "replica group",
+                        device=device,
+                    )
+                )
+            seen[device] = True
+            if num_devices is not None and not 0 <= device < num_devices:
+                problems.append(
+                    Problem(
+                        "C005",
+                        ERROR,
+                        f"replica group device {device} out of range for "
+                        f"{num_devices} devices",
+                        device=device,
+                    )
+                )
+    if num_devices is not None:
+        for device in range(num_devices):
+            if device not in seen:
+                problems.append(
+                    Problem(
+                        "C001",
+                        ERROR,
+                        f"device {device} missing from replica groups "
+                        f"{[tuple(g) for g in groups]}",
+                        device=device,
+                    )
+                )
+    sizes = {len(group) for group in groups}
+    if len(sizes) > 1:
+        problems.append(
+            Problem(
+                "C002",
+                WARNING,
+                f"replica group sizes are non-uniform ({sorted(sizes)}); "
+                "the vectorized fast path does not apply",
+            )
+        )
+    return problems
+
+
+def group_of(device: int, groups: Groups) -> Sequence[int]:
+    """The replica group containing ``device``.
+
+    Raises ``KeyError`` when no group contains it; the runtime converts
+    that into its typed ``ReplicaGroupError``.
+    """
+    for group in groups:
+        if device in group:
+            return group
+    raise KeyError(device)
+
+
+def check_collectives(
+    module: HloModule, num_devices: Optional[int] = None
+) -> List[Diagnostic]:
+    """The analyzer pass: lint every collective in the module."""
+    diagnostics: List[Diagnostic] = []
+    for instruction in module:
+        problems: List[Problem] = []
+        if instruction.opcode in GROUPED_OPS:
+            groups = instruction.attrs.get("groups")
+            if groups is not None:  # a missing attr is the shape pass's S003
+                problems = replica_group_problems(groups, num_devices)
+        elif instruction.opcode in PAIRED_OPS:
+            pairs = instruction.attrs.get("pairs")
+            if pairs is not None:
+                problems = permute_pair_problems(pairs, num_devices)
+        for problem in problems:
+            diagnostics.append(
+                Diagnostic(
+                    problem.rule,
+                    problem.severity,
+                    problem.message,
+                    instruction.name,
+                    module.name,
+                )
+            )
+    return diagnostics

@@ -1,0 +1,334 @@
+"""Seeded-defect mutations: the analyzer's own test corpus.
+
+Each :class:`Mutation` plants one specific defect into a compiled module
+— bypassing the builder-time checks on purpose, the way a buggy pass
+would — and names the rule id the analyzer must report for it. The
+mutation tests run every mutation over every compiled golden module and
+assert (a) the expected rule fires and (b) un-mutated modules stay
+clean, which pins each rule to a concrete defect class instead of
+trusting that "no findings" means "nothing to find".
+
+A mutation's ``apply`` edits the module in place and returns a dict of
+extra keyword arguments for :func:`repro.analysis.analyze_module`
+(usually empty; the donation mutation returns fabricated planner
+records), or ``None`` when the module has no site the defect applies
+to (e.g. no While loop to corrupt).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.hlo.dtypes import F32, S32
+from repro.hlo.instruction import Instruction
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+
+_ELEMENTWISE = (Opcode.ADD, Opcode.MULTIPLY, Opcode.MAXIMUM)
+
+
+@dataclasses.dataclass(frozen=True)
+class Mutation:
+    """One seeded defect and the rule id that must catch it."""
+
+    name: str
+    expected_rule: str
+    description: str
+    apply: Callable[[HloModule], Optional[Dict[str, Any]]]
+
+
+def _positions(module: HloModule) -> Dict[str, int]:
+    return {i.name: p for p, i in enumerate(module)}
+
+
+def _first(module: HloModule, *opcodes: Opcode) -> Optional[Instruction]:
+    for instruction in module:
+        if instruction.opcode in opcodes:
+            return instruction
+    return None
+
+
+# --- shape / dtype -------------------------------------------------------
+
+
+def _corrupt_shape_dim(module: HloModule) -> Optional[Dict[str, Any]]:
+    target = _first(module, Opcode.EINSUM, *_ELEMENTWISE)
+    if target is None or not target.shape.dims:
+        return None
+    dims = list(target.shape.dims)
+    dims[0] += 1
+    target.shape = Shape(tuple(dims), target.shape.dtype)
+    return {}
+
+
+def _corrupt_dtype(module: HloModule) -> Optional[Dict[str, Any]]:
+    target = _first(module, *_ELEMENTWISE, Opcode.NEGATE, Opcode.COPY)
+    if target is None:
+        return None
+    flipped = S32 if target.shape.dtype is not S32 else F32
+    target.shape = Shape(target.shape.dims, flipped)
+    return {}
+
+
+def _swap_einsum_operands(module: HloModule) -> Optional[Dict[str, Any]]:
+    from repro.hlo.einsum_spec import EinsumSpec
+
+    for instruction in module:
+        if instruction.opcode is Opcode.EINSUM and len(
+            instruction.operands
+        ) == 2:
+            lhs, rhs = instruction.operands
+            try:
+                EinsumSpec.parse(
+                    instruction.attrs["equation"]
+                ).output_shape(rhs.shape, lhs.shape)
+            except ValueError:
+                instruction.operands = [rhs, lhs]
+                return {}
+    return None
+
+
+# --- async pairs ---------------------------------------------------------
+
+
+def _drop_done(module: HloModule) -> Optional[Dict[str, Any]]:
+    done = _first(module, Opcode.COLLECTIVE_PERMUTE_DONE)
+    if done is None:
+        return None
+    module.replace_all_uses(done, done.operands[0])
+    module.remove(done)
+    return {}
+
+
+def _duplicate_done(module: HloModule) -> Optional[Dict[str, Any]]:
+    done = _first(module, Opcode.COLLECTIVE_PERMUTE_DONE)
+    if done is None:
+        return None
+    twin = Instruction(
+        name=Instruction.fresh_name("collective-permute-done"),
+        opcode=Opcode.COLLECTIVE_PERMUTE_DONE,
+        shape=done.shape,
+        operands=[done.operands[0]],
+    )
+    module.insert_before(done, twin)
+    return {}
+
+
+def _reuse_channel(module: HloModule) -> Optional[Dict[str, Any]]:
+    """Give two *simultaneously in-flight* starts the same channel."""
+    position = _positions(module)
+    spans: List[Tuple[int, int, Instruction]] = []
+    for instruction in module:
+        if instruction.opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+            start = instruction.operands[0]
+            spans.append(
+                (position[start.name], position[instruction.name], start)
+            )
+    spans.sort()
+    for (s1, d1, first), (s2, _, second) in zip(spans, spans[1:]):
+        if s1 < s2 < d1:  # second launches while the first is in flight
+            second.attrs["channel_id"] = first.attrs.get("channel_id", 1)
+            return {}
+    return None
+
+
+# --- collectives ---------------------------------------------------------
+
+
+def _corrupt_replica_group(module: HloModule) -> Optional[Dict[str, Any]]:
+    for instruction in module:
+        groups = instruction.attrs.get("groups")
+        if groups and any(len(group) > 1 for group in groups):
+            mutated = [list(group) for group in groups]
+            for group in mutated:
+                if len(group) > 1:
+                    group.pop()  # that device is now in no group
+                    break
+            instruction.attrs["groups"] = [
+                tuple(group) for group in mutated
+            ]
+            return {}
+    return None
+
+
+def _self_send(module: HloModule) -> Optional[Dict[str, Any]]:
+    for instruction in module:
+        pairs = instruction.attrs.get("pairs")
+        if pairs:
+            src, _ = pairs[0]
+            instruction.attrs["pairs"] = [(src, src)] + [
+                tuple(p) for p in pairs[1:]
+            ]
+            return {}
+    return None
+
+
+def _duplicate_receiver(module: HloModule) -> Optional[Dict[str, Any]]:
+    for instruction in module:
+        pairs = instruction.attrs.get("pairs")
+        if pairs and len(pairs) > 1:
+            mutated = [tuple(p) for p in pairs]
+            mutated[1] = (mutated[1][0], mutated[0][1])
+            instruction.attrs["pairs"] = mutated
+            return {}
+    return None
+
+
+# --- schedule ------------------------------------------------------------
+
+
+def _scramble_order(module: HloModule) -> Optional[Dict[str, Any]]:
+    """Hoist an instruction above its operands (a broken scheduler)."""
+    order = module.instructions
+    for instruction in order:
+        if instruction.operands:
+            order.remove(instruction)
+            order.insert(0, instruction)
+            module._instructions = order
+            return {}
+    return None
+
+
+def _interleave_fusion_group(module: HloModule) -> Optional[Dict[str, Any]]:
+    """Wedge an unrelated instruction into a fusion group's middle."""
+    order = module.instructions
+    position = _positions(module)
+    users = module.user_map()
+    runs: Dict[int, List[int]] = {}
+    for instruction in order:
+        if instruction.fusion_group is not None:
+            runs.setdefault(instruction.fusion_group, []).append(
+                position[instruction.name]
+            )
+    for run in runs.values():
+        if len(run) < 2:
+            continue
+        gap = run[0] + 1  # insertion point between the first two members
+        for intruder in order:
+            if intruder.fusion_group is not None:
+                continue
+            if position[intruder.name] >= run[0]:
+                continue
+            earliest_user = min(
+                (position[u.name] for u in users[intruder]),
+                default=len(order),
+            )
+            if earliest_user > gap:  # the move keeps def-before-use
+                order.remove(intruder)
+                order.insert(gap - 1, intruder)
+                module._instructions = order
+                return {}
+    return None
+
+
+# --- control flow / donation ---------------------------------------------
+
+
+def _corrupt_while_signature(module: HloModule) -> Optional[Dict[str, Any]]:
+    loop = _first(module, Opcode.WHILE)
+    if loop is None:
+        return None
+    outputs = list(loop.attrs.get("body_outputs", []))
+    if not outputs:
+        return None
+    outputs[0] = "no-such-instruction.999"
+    loop.attrs["body_outputs"] = outputs
+    return {}
+
+
+def _alias_live_slot(module: HloModule) -> Optional[Dict[str, Any]]:
+    """Fabricate a planner record donating a buffer someone still reads."""
+    from repro.runtime.plan import DonationRecord
+
+    position = _positions(module)
+    users = module.user_map()
+    for value in module:
+        # A done is not a reader — the transfer snapshots its operand at
+        # issue time — so a later done must not be the record's witness.
+        readers = sorted(
+            (
+                u for u in users[value]
+                if u.opcode is not Opcode.COLLECTIVE_PERMUTE_DONE
+            ),
+            key=lambda u: position[u.name],
+        )
+        if len(readers) >= 2:
+            step, later = readers[0], readers[-1]
+            if position[step.name] < position[later.name]:
+                record = DonationRecord(module.name, step.name, value.name)
+                return {"donation_records": [record]}
+    return None
+
+
+#: Every seeded defect, each pinned to the rule id that must catch it.
+MUTATIONS: Tuple[Mutation, ...] = (
+    Mutation(
+        "corrupt-shape-dim", "S001",
+        "grow one result dimension without touching the operands",
+        _corrupt_shape_dim,
+    ),
+    Mutation(
+        "corrupt-dtype", "S002",
+        "flip an elementwise result dtype away from its operands'",
+        _corrupt_dtype,
+    ),
+    Mutation(
+        "swap-einsum-operands", "S003",
+        "swap lhs/rhs of an einsum whose operand shapes differ",
+        _swap_einsum_operands,
+    ),
+    Mutation(
+        "drop-done", "A001",
+        "delete a collective-permute-done, rewiring users to the start",
+        _drop_done,
+    ),
+    Mutation(
+        "duplicate-done", "A002",
+        "give one start a second done",
+        _duplicate_done,
+    ),
+    Mutation(
+        "reuse-channel", "A003",
+        "issue two overlapping transfers on the same channel",
+        _reuse_channel,
+    ),
+    Mutation(
+        "corrupt-replica-group", "C001",
+        "drop a device from a replica group, leaving it uncovered",
+        _corrupt_replica_group,
+    ),
+    Mutation(
+        "self-send", "C003",
+        "turn a permute pair into a device-to-itself send",
+        _self_send,
+    ),
+    Mutation(
+        "duplicate-receiver", "C004",
+        "point two permute pairs at the same destination",
+        _duplicate_receiver,
+    ),
+    Mutation(
+        "scramble-order", "V001",
+        "hoist an instruction above its operands' definitions",
+        _scramble_order,
+    ),
+    Mutation(
+        "interleave-fusion-group", "L003",
+        "move an unrelated instruction inside a fusion group's span",
+        _interleave_fusion_group,
+    ),
+    Mutation(
+        "corrupt-while-signature", "V005",
+        "point a While body_outputs entry at a missing instruction",
+        _corrupt_while_signature,
+    ),
+    Mutation(
+        "alias-live-slot", "D001",
+        "fabricate a planner donation of a buffer with later readers",
+        _alias_live_slot,
+    ),
+)
+
+MUTATIONS_BY_NAME: Dict[str, Mutation] = {m.name: m for m in MUTATIONS}

@@ -1,0 +1,128 @@
+"""Schedule legality for the orderings the schedulers produce.
+
+The bottom-up / top-down schedulers (Algorithm 2) reorder the module to
+hide CollectivePermute latency. A legal order must keep every data
+dependence intact and must not tear apart the fusion groups the cost
+model prices as single kernels.
+
+Rules:
+
+* L001 (error)   — an instruction is scheduled before one of its
+  operands.
+* L002 (error)   — a Done is scheduled before its matching Start (the
+  specific, most common instance of L001 after overlap scheduling — a
+  Done hoisted above its Start awaits a transfer not yet issued).
+* L003 (warning) — a fusion group is not contiguous: the perfsim costs
+  it as one kernel, so a schedule splitting it misprices the program.
+* L004 (error)   — the proposed order is not a permutation of the
+  module's instructions.
+
+The pass checks the module's own program order by default; pass
+``order`` to vet a proposed schedule *before* committing it with
+``HloModule.reorder`` (which hard-fails instead of reporting).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, error, warning
+from repro.hlo.instruction import Instruction
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+
+PASS_NAME = "schedule"
+
+
+def check_schedule(
+    module: HloModule, order: Optional[Sequence[Instruction]] = None
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    sequence = list(order) if order is not None else module.instructions
+
+    members = {id(i) for i in module}
+    proposed = {id(i) for i in sequence}
+    if proposed != members or len(sequence) != len(module):
+        missing = [i.name for i in module if id(i) not in proposed]
+        extra = [i.name for i in sequence if id(i) not in members]
+        detail = []
+        if missing:
+            detail.append(f"missing {missing}")
+        if extra:
+            detail.append(f"extra {extra}")
+        if len(sequence) != len(proposed):
+            detail.append("duplicates present")
+        diagnostics.append(
+            error(
+                "L004",
+                "schedule is not a permutation of the module: "
+                + "; ".join(detail),
+                None,
+                module.name,
+            )
+        )
+        # Dependence checks below still run on the well-formed subset.
+
+    position: Dict[int, int] = {
+        id(instruction): index for index, instruction in enumerate(sequence)
+    }
+    for index, instruction in enumerate(sequence):
+        for operand in instruction.operands:
+            operand_pos = position.get(id(operand))
+            if operand_pos is None or operand_pos >= index:
+                if (
+                    instruction.opcode is Opcode.COLLECTIVE_PERMUTE_DONE
+                    and operand.opcode is Opcode.COLLECTIVE_PERMUTE_START
+                ):
+                    diagnostics.append(
+                        error(
+                            "L002",
+                            f"done scheduled before its start {operand.name}",
+                            instruction.name,
+                            module.name,
+                            hint="the transfer must be issued before it "
+                            "can be awaited",
+                        )
+                    )
+                else:
+                    diagnostics.append(
+                        error(
+                            "L001",
+                            f"scheduled before operand {operand.name}",
+                            instruction.name,
+                            module.name,
+                        )
+                    )
+
+    diagnostics.extend(_check_fusion_contiguity(module, sequence))
+    return diagnostics
+
+
+def _check_fusion_contiguity(
+    module: HloModule, sequence: Sequence[Instruction]
+) -> List[Diagnostic]:
+    """L003: each fusion group must occupy consecutive positions."""
+    diagnostics: List[Diagnostic] = []
+    spans: Dict[int, List[int]] = {}
+    for index, instruction in enumerate(sequence):
+        if instruction.fusion_group is not None:
+            spans.setdefault(instruction.fusion_group, []).append(index)
+    for group, positions in sorted(spans.items()):
+        if positions[-1] - positions[0] + 1 != len(positions):
+            intruders = [
+                sequence[i].name
+                for i in range(positions[0], positions[-1] + 1)
+                if sequence[i].fusion_group != group
+            ]
+            diagnostics.append(
+                warning(
+                    "L003",
+                    f"fusion group {group} is not contiguous; interleaved "
+                    f"with {intruders[:4]}"
+                    + ("..." if len(intruders) > 4 else ""),
+                    sequence[positions[0]].name,
+                    module.name,
+                    hint="the perfsim costs a fusion group as one kernel",
+                )
+            )
+    return diagnostics

@@ -1,0 +1,297 @@
+"""Shape/dtype verifier: re-infer every result shape from the operands.
+
+The decomposition passes hand-compute slice offsets, shard sizes and
+einsum output shapes; a single off-by-one silently corrupts numerics.
+This pass re-derives every instruction's shape with an *independent*
+implementation of the inference rules (it deliberately does not call
+:class:`repro.hlo.builder.GraphBuilder`) and diffs against the stored
+shape — the same role XLA's HloVerifier shape-inference check plays
+between passes.
+
+Rules: S001 (shape mismatch), S002 (dtype mismatch), S003 (malformed or
+inconsistent attributes — missing keys, out-of-bounds slices,
+non-divisible scatters, inconsistent einsum label sizes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.diagnostics import Diagnostic, error
+from repro.hlo.einsum_spec import EinsumSpec
+from repro.hlo.instruction import Instruction
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+
+PASS_NAME = "shape"
+
+
+def check_shapes(module: HloModule) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for instruction in module:
+        try:
+            inferred = _infer(instruction)
+        except _AttrProblem as problem:
+            diagnostics.append(
+                error(
+                    "S003", str(problem), instruction.name, module.name,
+                    hint=problem.hint,
+                )
+            )
+            continue
+        if inferred is None:
+            continue
+        if inferred.dims != instruction.shape.dims:
+            diagnostics.append(
+                error(
+                    "S001",
+                    f"stored shape {instruction.shape} but operands imply "
+                    f"{inferred}",
+                    instruction.name,
+                    module.name,
+                    hint="re-run shape inference or fix the operand links",
+                )
+            )
+        elif inferred.dtype != instruction.shape.dtype:
+            diagnostics.append(
+                error(
+                    "S002",
+                    f"stored dtype {instruction.shape.dtype} but operands "
+                    f"imply {inferred.dtype}",
+                    instruction.name,
+                    module.name,
+                )
+            )
+    return diagnostics
+
+
+class _AttrProblem(Exception):
+    """Internal: an S003 finding, raised mid-inference."""
+
+    def __init__(self, message: str, hint: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.hint = hint
+
+
+def _attr(instruction: Instruction, key: str):
+    try:
+        return instruction.attrs[key]
+    except KeyError:
+        raise _AttrProblem(
+            f"{instruction.opcode.value} is missing attribute {key!r}"
+        ) from None
+
+
+def _operand_shape(instruction: Instruction, index: int) -> Shape:
+    try:
+        return instruction.operands[index].shape
+    except IndexError:
+        raise _AttrProblem(
+            f"{instruction.opcode.value} needs operand {index} but has "
+            f"{len(instruction.operands)}"
+        ) from None
+
+
+def _check_axis(shape: Shape, axis: int, what: str) -> None:
+    if not 0 <= axis < shape.rank:
+        raise _AttrProblem(f"{what} {axis} out of range for rank {shape.rank}")
+
+
+def _infer(instruction: Instruction) -> Optional[Shape]:
+    """Result shape implied by the operands, or None when the opcode's
+    shape is free (parameters and other sources define their own)."""
+    opcode = instruction.opcode
+
+    if opcode in (Opcode.PARAMETER, Opcode.ZEROS, Opcode.IOTA):
+        return None
+    if opcode is Opcode.CONSTANT:
+        value = _attr(instruction, "value")
+        dims = tuple(_np_shape(value))
+        return Shape(dims, instruction.shape.dtype)
+
+    if opcode in (
+        Opcode.ADD, Opcode.MULTIPLY, Opcode.MAXIMUM,
+    ):
+        a = _operand_shape(instruction, 0)
+        b = _operand_shape(instruction, 1)
+        if a.dims != b.dims:
+            raise _AttrProblem(
+                f"element-wise operand shapes differ: {a} vs {b}"
+            )
+        return a
+    if opcode in (Opcode.NEGATE, Opcode.COPY):
+        return _operand_shape(instruction, 0)
+
+    if opcode is Opcode.EINSUM:
+        equation = _attr(instruction, "equation")
+        lhs = _operand_shape(instruction, 0)
+        rhs = _operand_shape(instruction, 1)
+        try:
+            return EinsumSpec.parse(equation).output_shape(lhs, rhs)
+        except ValueError as problem:
+            raise _AttrProblem(str(problem)) from None
+
+    if opcode is Opcode.RESHAPE:
+        a = _operand_shape(instruction, 0)
+        if instruction.shape.num_elements != a.num_elements:
+            raise _AttrProblem(
+                f"reshape changes element count: {a} -> {instruction.shape}"
+            )
+        return Shape(instruction.shape.dims, a.dtype)
+    if opcode is Opcode.TRANSPOSE:
+        a = _operand_shape(instruction, 0)
+        perm = tuple(_attr(instruction, "perm"))
+        if sorted(perm) != list(range(a.rank)):
+            raise _AttrProblem(f"perm {perm} is not a permutation of rank {a.rank}")
+        return Shape(tuple(a.dims[p] for p in perm), a.dtype)
+    if opcode is Opcode.SLICE:
+        a = _operand_shape(instruction, 0)
+        dim = _attr(instruction, "dim")
+        start = _attr(instruction, "start")
+        size = _attr(instruction, "size")
+        _check_axis(a, dim, "slice dim")
+        if start < 0 or start + size > a.dims[dim]:
+            raise _AttrProblem(
+                f"slice [{start}, {start + size}) out of bounds for "
+                f"dim {dim} of {a}"
+            )
+        return a.with_dim(dim, size)
+    if opcode is Opcode.PAD:
+        a = _operand_shape(instruction, 0)
+        dim = _attr(instruction, "dim")
+        _check_axis(a, dim, "pad dim")
+        low, high = _attr(instruction, "low"), _attr(instruction, "high")
+        if low < 0 or high < 0:
+            raise _AttrProblem(f"negative padding ({low}, {high})")
+        return a.with_dim(dim, a.dims[dim] + low + high)
+    if opcode is Opcode.CONCATENATE:
+        if not instruction.operands:
+            raise _AttrProblem("concatenate has no operands")
+        dim = _attr(instruction, "dim")
+        first = _operand_shape(instruction, 0)
+        _check_axis(first, dim, "concatenate dim")
+        total = 0
+        for index, operand in enumerate(instruction.operands):
+            shape = operand.shape
+            mismatched = [
+                axis for axis in range(first.rank)
+                if axis != dim and shape.dims[axis] != first.dims[axis]
+            ]
+            if shape.rank != first.rank or mismatched:
+                raise _AttrProblem(
+                    f"concatenate operand {index} shape {shape} is "
+                    f"incompatible with {first} along non-dim axes"
+                )
+            total += shape.dims[dim]
+        return first.with_dim(dim, total)
+    if opcode is Opcode.DYNAMIC_SLICE:
+        a = _operand_shape(instruction, 0)
+        dim = _attr(instruction, "dim")
+        size = _attr(instruction, "size")
+        _check_axis(a, dim, "dynamic-slice dim")
+        if size < 0 or size > a.dims[dim]:
+            raise _AttrProblem(
+                f"dynamic-slice size {size} exceeds dim {dim} of {a}"
+            )
+        _attr(instruction, "start")  # presence check
+        return a.with_dim(dim, size)
+    if opcode is Opcode.DYNAMIC_UPDATE_SLICE:
+        target = _operand_shape(instruction, 0)
+        update = _operand_shape(instruction, 1)
+        dim = _attr(instruction, "dim")
+        _check_axis(target, dim, "dynamic-update-slice dim")
+        _attr(instruction, "start")
+        if update.rank != target.rank or any(
+            update.dims[axis] != target.dims[axis]
+            for axis in range(target.rank)
+            if axis != dim
+        ):
+            raise _AttrProblem(
+                f"update shape {update} incompatible with target {target}"
+            )
+        if update.dims[dim] > target.dims[dim]:
+            raise _AttrProblem(
+                f"update larger than target along dim {dim}: "
+                f"{update.dims[dim]} > {target.dims[dim]}"
+            )
+        return target
+
+    if opcode is Opcode.ALL_GATHER:
+        a = _operand_shape(instruction, 0)
+        dim = _attr(instruction, "dim")
+        groups = _attr(instruction, "groups")
+        _check_axis(a, dim, "all-gather dim")
+        return a.with_dim(dim, a.dims[dim] * _group_size(groups))
+    if opcode is Opcode.REDUCE_SCATTER:
+        a = _operand_shape(instruction, 0)
+        dim = _attr(instruction, "dim")
+        groups = _attr(instruction, "groups")
+        _check_axis(a, dim, "reduce-scatter dim")
+        size = _group_size(groups)
+        if a.dims[dim] % size:
+            raise _AttrProblem(
+                f"reduce-scatter dim {dim} of {a} not divisible by "
+                f"group size {size}"
+            )
+        return a.with_dim(dim, a.dims[dim] // size)
+    if opcode is Opcode.ALL_REDUCE:
+        _attr(instruction, "groups")
+        return _operand_shape(instruction, 0)
+    if opcode is Opcode.ALL_TO_ALL:
+        a = _operand_shape(instruction, 0)
+        split = _attr(instruction, "split_dim")
+        concat = _attr(instruction, "concat_dim")
+        size = _group_size(_attr(instruction, "groups"))
+        _check_axis(a, split, "all-to-all split_dim")
+        _check_axis(a, concat, "all-to-all concat_dim")
+        if a.dims[split] % size:
+            raise _AttrProblem(
+                f"all-to-all split_dim {split} of {a} not divisible by "
+                f"group size {size}"
+            )
+        inferred = a.with_dim(split, a.dims[split] // size)
+        return inferred.with_dim(concat, inferred.dims[concat] * size)
+    if opcode in (Opcode.COLLECTIVE_PERMUTE, Opcode.COLLECTIVE_PERMUTE_START):
+        _attr(instruction, "pairs")
+        return _operand_shape(instruction, 0)
+    if opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+        return _operand_shape(instruction, 0)
+
+    if opcode is Opcode.WHILE:
+        result_index = _attr(instruction, "result_index")
+        if not 0 <= result_index < len(instruction.operands):
+            raise _AttrProblem(
+                f"result_index {result_index} out of range for "
+                f"{len(instruction.operands)} state operands"
+            )
+        return _operand_shape(instruction, result_index)
+
+    return None  # FUSION and future opcodes: no inference rule yet.
+
+
+def _group_size(groups) -> int:
+    sizes = {len(group) for group in groups}
+    if not sizes:
+        raise _AttrProblem("collective has no replica groups")
+    if len(sizes) != 1:
+        # Ragged groups cannot imply a single result shape: the shape
+        # rule is per-device. Collective legality reports C002; here it
+        # is an attribute problem for shape purposes.
+        raise _AttrProblem(
+            f"replica group sizes differ ({sorted(sizes)}); per-device "
+            "result shapes diverge"
+        )
+    return sizes.pop()
+
+
+def _np_shape(value) -> tuple:
+    shape = getattr(value, "shape", None)
+    if shape is not None:
+        return tuple(shape)
+    dims = []
+    probe = value
+    while isinstance(probe, (list, tuple)):
+        dims.append(len(probe))
+        probe = probe[0] if probe else None
+    return tuple(dims)

@@ -1,0 +1,157 @@
+"""SSA / def-use checker.
+
+An independent (and stricter) re-implementation of the invariants
+``HloModule.verify`` enforces, reported as diagnostics instead of a
+first-failure exception:
+
+* V001 (error)   — an operand is used before its definition, or is not a
+  member of the module at all (a dangling reference left by a rewrite).
+* V002 (error)   — a non-source instruction has no operands.
+* V003 (error)   — the module root is missing or not in the module.
+* V004 (warning) — an orphan: no users and not the root. Legal (DCE will
+  drop it) but in a freshly rewritten module it usually means a pass
+  forgot to wire a result in.
+* V005 (error)   — a While's body disagrees with its signature: state
+  arity vs. body parameters, ``body_outputs`` naming missing
+  instructions, or output/parameter/state shape mismatches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.analysis.diagnostics import Diagnostic, error, warning
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode, SOURCE_OPS
+
+PASS_NAME = "ssa"
+
+
+def check_ssa(module: HloModule) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    defined: Set[int] = set()
+    members = {id(i) for i in module}
+    for instruction in module:
+        for operand in instruction.operands:
+            if id(operand) not in members:
+                diagnostics.append(
+                    error(
+                        "V001",
+                        f"operand {operand.name} is not part of the module",
+                        instruction.name,
+                        module.name,
+                        hint="a rewrite replaced it without updating users",
+                    )
+                )
+            elif id(operand) not in defined:
+                diagnostics.append(
+                    error(
+                        "V001",
+                        f"operand {operand.name} is used before its "
+                        "definition",
+                        instruction.name,
+                        module.name,
+                    )
+                )
+        if instruction.opcode not in SOURCE_OPS and not instruction.operands:
+            diagnostics.append(
+                error(
+                    "V002",
+                    f"{instruction.opcode.value} has no operands",
+                    instruction.name,
+                    module.name,
+                )
+            )
+        if instruction.opcode is Opcode.WHILE:
+            diagnostics.extend(_check_while(module, instruction))
+        defined.add(id(instruction))
+
+    if module.root is None:
+        if len(module):
+            diagnostics.append(
+                error("V003", "module has instructions but no root", None,
+                      module.name)
+            )
+    elif id(module.root) not in members:
+        diagnostics.append(
+            error(
+                "V003",
+                f"root {module.root.name} is not part of the module",
+                None,
+                module.name,
+            )
+        )
+
+    # Not HloModule.user_map(), which assumes well-formed operand links —
+    # this pass must keep reporting on modules where they dangle (V001).
+    used: Set[int] = set()
+    for instruction in module:
+        for operand in instruction.operands:
+            used.add(id(operand))
+    for instruction in module:
+        if instruction is module.root:
+            continue
+        if id(instruction) not in used:
+            diagnostics.append(
+                warning(
+                    "V004",
+                    "orphan: no users and not the root",
+                    instruction.name,
+                    module.name,
+                    hint="dead-code-eliminate, or wire the value in",
+                )
+            )
+    return diagnostics
+
+
+def _check_while(module: HloModule, instruction) -> List[Diagnostic]:
+    """V005: the While body must agree with the loop signature."""
+    diagnostics: List[Diagnostic] = []
+
+    def v005(message: str) -> None:
+        diagnostics.append(
+            error("V005", message, instruction.name, module.name)
+        )
+
+    body = instruction.attrs.get("body")
+    outputs = instruction.attrs.get("body_outputs")
+    if not isinstance(body, HloModule) or outputs is None:
+        v005("While is missing its body module or body_outputs")
+        return diagnostics
+
+    state = instruction.operands
+    parameters = body.parameters()
+    if len(parameters) != len(state):
+        v005(
+            f"body has {len(parameters)} parameters but the loop carries "
+            f"{len(state)} state values"
+        )
+        return diagnostics
+    if len(outputs) != len(state):
+        v005(
+            f"body_outputs names {len(outputs)} values for "
+            f"{len(state)} state elements"
+        )
+        return diagnostics
+    for position, (name, parameter, init) in enumerate(
+        zip(outputs, parameters, state)
+    ):
+        try:
+            produced = body.get(name)
+        except KeyError:
+            v005(f"body_outputs[{position}] names missing instruction {name!r}")
+            continue
+        if produced.shape.dims != parameter.shape.dims:
+            v005(
+                f"body output {name!r} shape {produced.shape} does not "
+                f"match loop parameter {parameter.name} ({parameter.shape})"
+            )
+        if parameter.shape.dims != init.shape.dims:
+            v005(
+                f"initial state {init.name} shape {init.shape} does not "
+                f"match body parameter {parameter.name} ({parameter.shape})"
+            )
+    trip_count = instruction.attrs.get("trip_count")
+    if not isinstance(trip_count, int) or trip_count < 1:
+        v005(f"trip_count must be a positive integer, got {trip_count!r}")
+    return diagnostics

@@ -21,6 +21,11 @@ Commands:
   :class:`repro.obs.Tracer`, simulate the same programs in perfsim, and
   export every timeline into one Chrome ``trace_event`` JSON file that
   ``chrome://tracing`` or Perfetto loads directly.
+* ``verify [paths...] [--json] [--out PATH]`` — run the static analyzer.
+  With no paths: compile every golden module under every pipeline
+  variant with ``verify_after_each_pass`` and report per-stage findings.
+  With paths: parse each HLO text dump and lint it. Exits non-zero if
+  any error-severity diagnostic is found.
 """
 
 from __future__ import annotations
@@ -171,7 +176,10 @@ def _cmd_dump(args) -> int:
     print(f"// one {kind} layer of {cfg.name} after compilation")
     print(format_module(module))
     print()
-    print(summarize_opcodes(module))
+    # Comment-prefixed so the dump stays parseable: the output feeds
+    # straight into ``repro verify <file>`` (and parse_module).
+    for line in summarize_opcodes(module).splitlines():
+        print(f"// {line}")
     return 0
 
 
@@ -356,6 +364,118 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+#: The pipeline variants ``repro verify`` sweeps for each golden module.
+#: Cost gating is off for all but the baseline so every decomposition
+#: stage actually materializes and gets verified.
+_VERIFY_VARIANTS = (
+    ("baseline", lambda: OverlapConfig.baseline()),
+    (
+        "decomposed",
+        lambda: OverlapConfig(
+            use_cost_model=False, scheduler="in_order", unroll=False
+        ),
+    ),
+    ("scheduled", lambda: OverlapConfig(use_cost_model=False, unroll=False)),
+    ("unrolled", lambda: OverlapConfig(use_cost_model=False)),
+)
+
+
+def _cmd_verify(args) -> int:
+    import json
+
+    from repro.analysis import AnalysisError, analyze_module
+    from repro.faults.chaos import GOLDEN_CASES
+    from repro.hlo.parser import ParseError, parse_module
+    from repro.sharding.mesh import DeviceMesh
+
+    targets: List[dict] = []
+
+    def report(label: str, results, failed_stage: Optional[str]) -> None:
+        errors = sum(len(r.errors) for r in results)
+        warnings = sum(len(r.warnings) for r in results)
+        targets.append(
+            {
+                "target": label,
+                "ok": failed_stage is None and errors == 0,
+                "failed_stage": failed_stage,
+                "errors": errors,
+                "warnings": warnings,
+                "stages": [r.to_json() for r in results],
+            }
+        )
+        if not args.json:
+            if failed_stage is not None:
+                print(f"FAIL {label}: errors after pass {failed_stage!r}")
+            else:
+                status = "ok" if errors == 0 else "FAIL"
+                print(
+                    f"{status:<4} {label}: {len(results)} stage(s), "
+                    f"{errors} error(s), {warnings} warning(s)"
+                )
+            for result in results:
+                for diagnostic in result.diagnostics:
+                    if diagnostic.is_error or args.verbose:
+                        print(f"  {diagnostic.format()}")
+
+    if args.paths:
+        for path in args.paths:
+            try:
+                with open(path) as handle:
+                    module = parse_module(handle.read())
+            except OSError as error:
+                print(f"cannot read {path}: {error}", file=sys.stderr)
+                return 2
+            except ParseError as error:
+                print(f"{path}: parse error: {error}", file=sys.stderr)
+                return 2
+            result = analyze_module(
+                module,
+                num_devices=args.devices,
+                max_in_flight=args.max_in_flight,
+            )
+            report(path, [result], None)
+    else:
+        for case in GOLDEN_CASES:
+            for ring in case.rings:
+                mesh = DeviceMesh.ring(ring)
+                for variant, make_config in _VERIFY_VARIANTS:
+                    label = f"{case.name}/ring{ring}/{variant}"
+                    module = case.build(mesh)
+                    try:
+                        compiled = compile_module(
+                            module,
+                            mesh,
+                            make_config(),
+                            verify_after_each_pass=True,
+                        )
+                    except AnalysisError as error:
+                        report(label, [error.result], error.stage)
+                    else:
+                        report(label, compiled.verification, None)
+
+    ok = all(t["ok"] for t in targets)
+    payload = {
+        "ok": ok,
+        "targets": targets,
+        "errors": sum(t["errors"] for t in targets),
+        "warnings": sum(t["warnings"] for t in targets),
+    }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if not args.json:
+            print(f"wrote {args.out}")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif ok:
+        print(
+            f"verify passed: {len(targets)} target(s), "
+            f"{payload['warnings']} warning(s)"
+        )
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -488,6 +608,40 @@ def build_parser() -> argparse.ArgumentParser:
         "more communication than the baseline on both engines",
     )
     trace.set_defaults(handler=_cmd_trace)
+
+    verify = commands.add_parser(
+        "verify",
+        help="statically verify golden modules (or HLO text dumps)",
+    )
+    verify.add_argument(
+        "paths", nargs="*",
+        help="HLO text dumps to lint; with none given, compile every "
+        "golden module under every pipeline variant and verify after "
+        "each pass",
+    )
+    verify.add_argument(
+        "--devices", type=int, default=None,
+        help="device count for collective/donation checks on text dumps "
+        "(golden sweep always uses each case's own ring sizes)",
+    )
+    verify.add_argument(
+        "--max-in-flight", type=int, default=None, metavar="K",
+        help="also flag more than K simultaneously in-flight async "
+        "transfers (rule A004)",
+    )
+    verify.add_argument(
+        "--json", action="store_true",
+        help="print the full report as JSON instead of text",
+    )
+    verify.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the JSON report to PATH (the CI artifact)",
+    )
+    verify.add_argument(
+        "--verbose", action="store_true",
+        help="print warning-severity findings too, not just errors",
+    )
+    verify.set_defaults(handler=_cmd_verify)
     return parser
 
 

@@ -25,6 +25,18 @@ def split_collective_permutes(
     pairs: List[Tuple[Instruction, Instruction]] = []
     replacement: dict = {}
     new_order: List[Instruction] = []
+    # Each pair gets a module-unique channel id (as in XLA, where every
+    # async collective owns a channel): the static analyzer's async-pair
+    # linter keys interleaved-reuse detection on it, and the text format
+    # round-trips it.
+    next_channel = 1 + max(
+        (
+            i.attrs.get("channel_id", 0)
+            for i in module
+            if i.opcode is Opcode.COLLECTIVE_PERMUTE_START
+        ),
+        default=0,
+    )
     for instruction in module.instructions:
         if instruction.opcode is not Opcode.COLLECTIVE_PERMUTE:
             instruction.operands = [
@@ -37,6 +49,8 @@ def split_collective_permutes(
         # start instruction is the original transfer, just asynchronous.
         attrs = dict(instruction.attrs)
         attrs["pairs"] = list(instruction.pairs)
+        attrs["channel_id"] = next_channel
+        next_channel += 1
         start = Instruction(
             name=Instruction.fresh_name("collective-permute-start"),
             opcode=Opcode.COLLECTIVE_PERMUTE_START,

@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
+from repro.analysis import AnalysisResult, verify_module
 from repro.core.async_cp import split_collective_permutes
 from repro.core.config import BOTTOM_UP, TOP_DOWN, OverlapConfig
 from repro.core.cost_model import CostModel, OverlapEstimate, estimate_overlap
@@ -50,6 +51,11 @@ class CompilationResult:
     estimates: List[OverlapEstimate]
     fusion_groups: int
     standalone_loops: List = dataclasses.field(default_factory=list)
+    #: One clean AnalysisResult per pipeline stage when the module was
+    #: compiled with ``verify_after_each_pass=True``; empty otherwise.
+    verification: List[AnalysisResult] = dataclasses.field(
+        default_factory=list
+    )
 
     @property
     def decomposed(self) -> int:
@@ -61,14 +67,36 @@ def compile_module(
     mesh: DeviceMesh,
     config: Optional[OverlapConfig] = None,
     chip: ChipSpec = TPU_V4,
+    verify_after_each_pass: bool = False,
 ) -> CompilationResult:
-    """Run the overlap pipeline in place; returns bookkeeping."""
+    """Run the overlap pipeline in place; returns bookkeeping.
+
+    With ``verify_after_each_pass`` the static analyzer
+    (:func:`repro.analysis.verify_module`) runs on the module after
+    every pipeline pass; the first error finding raises
+    :class:`repro.analysis.AnalysisError` with ``stage`` naming the
+    pass that introduced it, instead of surfacing as a miscompile at
+    execution time.
+    """
     config = config or OverlapConfig()
     cost_model = CostModel(chip)
     loops: List[DecomposedLoop] = []
     skipped: Dict[str, str] = {}
     estimates: List[OverlapEstimate] = []
+    verification: List[AnalysisResult] = []
 
+    def verify(stage: str) -> None:
+        if verify_after_each_pass:
+            verification.append(
+                verify_module(
+                    module,
+                    stage=stage,
+                    num_devices=mesh.num_devices,
+                    max_in_flight=config.max_in_flight,
+                )
+            )
+
+    verify("input")
     if config.enabled:
         candidates = find_candidates(module)
         chosen = _select_candidates(
@@ -90,12 +118,16 @@ def compile_module(
     else:
         candidates_found = 0
         standalone_loops = []
+    verify("decompose")
 
     rewrite_concat_as_pad_max(module)
+    verify("rewrite_concat_as_pad_max")
     split_collective_permutes(module)
+    verify("split_collective_permutes")
     fusion_groups = run_fusion(
         module, overlap_aware=config.overlap_aware_fusion
     )
+    verify("run_fusion")
 
     graph = ScheduleGraph.build(module)
     if config.scheduler == BOTTOM_UP:
@@ -106,6 +138,7 @@ def compile_module(
         order = list(graph.units)
     validate_unit_order(graph, order)
     graph.apply(order)
+    verify("schedule")
 
     return CompilationResult(
         module=module,
@@ -116,6 +149,7 @@ def compile_module(
         estimates=estimates,
         fusion_groups=fusion_groups,
         standalone_loops=standalone_loops,
+        verification=verification,
     )
 
 

@@ -258,10 +258,13 @@ class GraphBuilder:
     def collective_permute_start(
         self, a: Instruction, pairs: Sequence[Tuple[int, int]],
         name: Optional[str] = None, direction: Optional[str] = None,
+        channel_id: Optional[int] = None,
     ) -> Instruction:
-        attrs = {"pairs": list(pairs)}
+        attrs: dict = {"pairs": list(pairs)}
         if direction is not None:
             attrs["direction"] = direction
+        if channel_id is not None:
+            attrs["channel_id"] = channel_id
         return self._emit(
             Opcode.COLLECTIVE_PERMUTE_START, a.shape, [a], name=name, **attrs
         )

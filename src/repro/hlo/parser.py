@@ -41,10 +41,55 @@ _OPCODES_BY_VALUE = {opcode.value: opcode for opcode in Opcode}
 
 
 def parse_module(text: str) -> HloModule:
-    """Parse an HLO text dump into a fresh :class:`HloModule`."""
-    lines = [line.strip() for line in text.strip().splitlines() if line.strip()]
-    if not lines:
+    """Parse an HLO text dump into a fresh :class:`HloModule`.
+
+    The text may contain several module blocks: the first is the result,
+    the rest are While bodies referenced by name through ``body="..."``
+    attributes (the layout :func:`repro.hlo.printer.format_module`
+    emits). Body references are resolved after all blocks are parsed, so
+    bodies may appear in any order after the main module.
+    """
+    blocks = _split_blocks(text)
+    if not blocks:
         raise ParseError("empty module text")
+    modules: List[HloModule] = [_parse_block(block) for block in blocks]
+    by_module_name: Dict[str, HloModule] = {}
+    for module in modules:
+        if module.name in by_module_name:
+            raise ParseError(f"duplicate module name {module.name!r}")
+        by_module_name[module.name] = module
+    for module in modules:
+        _resolve_bodies(module, by_module_name)
+    return modules[0]
+
+
+def _split_blocks(text: str) -> List[List[str]]:
+    """Group non-empty lines into ``HloModule ... { ... }`` blocks."""
+    blocks: List[List[str]] = []
+    current: Optional[List[str]] = None
+    for raw in text.strip().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("//"):
+            # Comment lines are legal anywhere, as in XLA dumps — the
+            # ``repro dump`` banner and opcode summary use them.
+            continue
+        if _HEADER.match(line):
+            if current is not None:
+                raise ParseError("module block not closed before the next")
+            current = [line]
+        elif current is None:
+            raise ParseError(f"bad module header: {line!r}")
+        else:
+            current.append(line)
+            if _FOOTER.match(line):
+                blocks.append(current)
+                current = None
+    if current is not None:
+        raise ParseError("bad module footer: block never closed")
+    return blocks
+
+
+def _parse_block(lines: List[str]) -> HloModule:
     header = _HEADER.match(lines[0])
     if not header:
         raise ParseError(f"bad module header: {lines[0]!r}")
@@ -67,6 +112,22 @@ def parse_module(text: str) -> HloModule:
             raise ParseError(f"root {root_name!r} not defined") from None
     module.verify()
     return module
+
+
+def _resolve_bodies(
+    module: HloModule, by_module_name: Dict[str, HloModule]
+) -> None:
+    """Replace ``body="name"`` string references with the parsed modules."""
+    for instruction in module:
+        body = instruction.attrs.get("body")
+        if isinstance(body, str):
+            try:
+                instruction.attrs["body"] = by_module_name[body]
+            except KeyError:
+                raise ParseError(
+                    f"{instruction.name} references body module {body!r}, "
+                    "which is not defined in the text"
+                ) from None
 
 
 def _parse_instruction(

@@ -3,6 +3,11 @@
 The format round-trips through :mod:`repro.hlo.parser`: string attributes
 are quoted, numeric and structured attributes use their Python literal
 forms, and ShardIndex attributes use their affine expression syntax.
+*Every* attribute is printed — known keys in a canonical order first,
+anything else (``channel_id``, future annotations) after them in sorted
+order — so a printed-then-parsed module carries identical metadata and
+verifies identically. While bodies print as additional module blocks
+after the enclosing module, referenced by name via ``body="..."``.
 """
 
 from __future__ import annotations
@@ -12,13 +17,20 @@ from typing import List
 from repro.hlo.instruction import Instruction
 from repro.hlo.module import HloModule
 
+#: Canonical leading order for well-known attribute keys (readability
+#: only — the parser accepts any order, and unknown keys follow these).
 _ATTR_ORDER = (
     "equation", "dim", "split_dim", "concat_dim", "start", "size",
     "low", "high", "value", "perm", "pairs", "groups", "direction",
+    "channel_id", "trip_count", "body", "body_outputs", "result_index",
 )
 
 
 def _format_attr(value) -> str:
+    if isinstance(value, HloModule):
+        # Nested modules (While bodies) are printed as separate blocks
+        # by format_module; the attribute refers to them by name.
+        return repr(value.name)
     if hasattr(value, "tolist"):
         # numpy payloads (constants) print as nested lists so the text
         # round-trips through ast.literal_eval in the parser.
@@ -29,9 +41,10 @@ def _format_attr(value) -> str:
 def format_instruction(instruction: Instruction) -> str:
     operands = ", ".join(op.name for op in instruction.operands)
     parts: List[str] = []
-    for key in _ATTR_ORDER:
-        if key in instruction.attrs:
-            parts.append(f"{key}={_format_attr(instruction.attrs[key])}")
+    ordered = [key for key in _ATTR_ORDER if key in instruction.attrs]
+    ordered += sorted(set(instruction.attrs) - set(_ATTR_ORDER))
+    for key in ordered:
+        parts.append(f"{key}={_format_attr(instruction.attrs[key])}")
     attrs = (", " + ", ".join(parts)) if parts else ""
     fusion = (
         f"  #fusion_group={instruction.fusion_group}"
@@ -44,12 +57,27 @@ def format_instruction(instruction: Instruction) -> str:
     )
 
 
-def format_module(module: HloModule) -> str:
+def _format_block(module: HloModule) -> str:
     lines = [f"HloModule {module.name} {{"]
     lines.extend(format_instruction(i) for i in module)
     root = module.root.name if module.root is not None else "<none>"
     lines.append(f"}}  // root = {root}")
     return "\n".join(lines)
+
+
+def _nested_modules(module: HloModule, seen: List[HloModule]) -> None:
+    for instruction in module:
+        body = instruction.attrs.get("body")
+        if isinstance(body, HloModule) and body not in seen:
+            seen.append(body)
+            _nested_modules(body, seen)
+
+
+def format_module(module: HloModule) -> str:
+    """The module's text dump, followed by any nested body modules."""
+    blocks = [module]
+    _nested_modules(module, blocks)
+    return "\n\n".join(_format_block(block) for block in blocks)
 
 
 def summarize_opcodes(module: HloModule) -> str:

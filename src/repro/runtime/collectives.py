@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis import collective_check
 from repro.faults.errors import InvalidPermuteError, ReplicaGroupError
 
 Groups = Sequence[Tuple[int, ...]]
@@ -49,14 +50,14 @@ def payload_bytes(
 
 
 def _group_of(device: int, groups: Groups) -> Tuple[int, ...]:
-    for group in groups:
-        if device in group:
-            return group
-    raise ReplicaGroupError(
-        f"device {device} missing from replica groups "
-        f"{[tuple(g) for g in groups]}",
-        device=device,
-    )
+    try:
+        return tuple(collective_check.group_of(device, groups))
+    except KeyError:
+        raise ReplicaGroupError(
+            f"device {device} missing from replica groups "
+            f"{[tuple(g) for g in groups]}",
+            device=device,
+        ) from None
 
 
 def _check_coverage(inputs: PerDevice, groups: Groups) -> None:
@@ -83,30 +84,17 @@ def validate_permute_pairs(
 
     A device may be the source of at most one pair and the destination
     of at most one pair, and (when ``num_devices`` is known) every id
-    must name an existing device.
+    must name an existing device. The legality logic itself lives in the
+    static analyzer's collective pass; this thin wrapper re-raises its
+    first hard finding (duplicate endpoint C004, out-of-range C005) as
+    the runtime's typed error. Self-sends and non-ring pair sets stay
+    executable — the analyzer lints them, the runtime runs them.
     """
-    destinations = set()
-    sources = set()
-    for src, dst in pairs:
-        if num_devices is not None:
-            for role, device in (("source", src), ("destination", dst)):
-                if not 0 <= device < num_devices:
-                    raise InvalidPermuteError(
-                        f"{role} device {device} out of range for "
-                        f"{num_devices} devices",
-                        pair=(src, dst),
-                    )
-        if dst in destinations:
-            raise InvalidPermuteError(
-                f"device {dst} is the destination of two pairs",
-                pair=(src, dst),
-            )
-        if src in sources:
-            raise InvalidPermuteError(
-                f"device {src} is the source of two pairs", pair=(src, dst)
-            )
-        sources.add(src)
-        destinations.add(dst)
+    for problem in collective_check.permute_pair_problems(
+        pairs, num_devices
+    ):
+        if problem.rule in ("C004", "C005"):
+            raise InvalidPermuteError(problem.message, pair=problem.pair)
 
 
 def all_gather(inputs: PerDevice, dim: int, groups: Groups) -> PerDevice:

@@ -62,6 +62,7 @@ from repro.runtime.executor import (
 )
 from repro.runtime.plan import (
     CompiledPlan,
+    DonationRecord,
     ParamBinding,
     PlanStats,
     StepMeta,
@@ -290,6 +291,10 @@ class _Lowering:
         self.cse_eliminated = 0
         self.copies_elided = 0
         self.donations = 0
+        self.donation_records: List[DonationRecord] = []
+        # slot -> name of the instruction whose value lives there (the
+        # CSE representative); lets donation records name real HLO values.
+        self.slot_producer: Dict[int, str] = {}
         self.nested_stats: List[PlanStats] = []
         # Shared with the emitted While steps so traced runs reach into
         # body plans; None outside execute_traced.
@@ -318,12 +323,28 @@ class _Lowering:
         self.buffers[of.buffer].slots.append(slot)
         return _Value(slot, of.buffer)
 
+    def _register(self, instr: Instruction, value: _Value) -> None:
+        """Remember which instruction's value a slot holds. ``setdefault``
+        keeps the CSE representative when a later duplicate maps here."""
+        self.slot_producer.setdefault(value.slot, instr.name)
+
+    def _record_donation(self, instr: Instruction, donated: _Value) -> None:
+        self.donations += 1
+        self.donation_records.append(
+            DonationRecord(
+                self.module.name,
+                instr.name,
+                self.slot_producer[donated.slot],
+            )
+        )
+
     # --- instruction walk ----------------------------------------------------
 
     def add_instruction(self, instr: Instruction) -> None:
         if instr.opcode is Opcode.PARAMETER:
             value = self._fresh(donatable=self.donate_params)
             self.values[id(instr)] = value
+            self._register(instr, value)
             self.params.append(
                 ParamBinding(instr.name, instr.shape, value.slot)
             )
@@ -333,7 +354,9 @@ class _Lowering:
 
         shard = _fold(instr, [v.shard for v in operands])
         if shard is not None:
-            self.values[id(instr)] = self._const(shard)
+            value = self._const(shard)
+            self.values[id(instr)] = value
+            self._register(instr, value)
             if instr.opcode not in SOURCE_OPS:
                 self.folded += 1
             return
@@ -354,6 +377,9 @@ class _Lowering:
 
         node = self._make_node(instr, operands)
         self.values[id(instr)] = node.out
+        self._register(instr, node.out)
+        if node.payload is not None:
+            self._register(instr, node.payload)
         self.nodes.append(node)
         if key is not None:
             self.cse[key] = node.out
@@ -446,13 +472,12 @@ class _Lowering:
                     t, node.operands[candidate], [node.operands[other]]
                 ):
                     donate = slots[candidate]
+                    self._record_donation(instr, node.operands[candidate])
                     break
             if donate is None:
                 def step(env, it):
                     env[so] = ufunc(env[s0], env[s1])
             else:
-                self.donations += 1
-
                 def step(env, it):
                     out = env[donate]
                     if out.flags.writeable:
@@ -464,7 +489,7 @@ class _Lowering:
         if opcode is Opcode.NEGATE:
             (s0,) = slots
             if self.may_donate(t, node.operands[0], []):
-                self.donations += 1
+                self._record_donation(instr, node.operands[0])
 
                 def step(env, it):
                     a = env[s0]
@@ -579,7 +604,7 @@ class _Lowering:
                 t, node.operands[0], [node.operands[1]]
             )
             if donate:
-                self.donations += 1
+                self._record_donation(instr, node.operands[0])
             if start.iteration_dependent:
                 def step(env, it):
                     target = env[s0]
@@ -611,6 +636,7 @@ class _Lowering:
                 donate_params=False,
             )
             self.nested_stats.append(body_plan.stats)
+            self.donation_records.extend(body_plan.donations)
             trip_count = attrs["trip_count"]
             result_index = attrs["result_index"]
             state_slots = tuple(slots)
@@ -812,6 +838,7 @@ def lower(
         stats=stats,
         meta=metas,
         tracer_box=lowering.tracer_box,
+        donations=tuple(lowering.donation_records),
     )
 
 

@@ -58,6 +58,22 @@ class PlanStats:
 
 
 @dataclasses.dataclass(frozen=True)
+class DonationRecord:
+    """One buffer-donation decision the lowering pass committed to.
+
+    ``step`` is the instruction that writes in place; ``value`` names the
+    instruction whose buffer it overwrites (the representative producer,
+    after CSE). The static analyzer's donation-race pass re-derives
+    liveness independently and cross-checks every record — this is the
+    planner *showing its work*, not the analysis itself.
+    """
+
+    module: str            # name of the (possibly nested) module
+    step: str              # donating instruction
+    value: str             # producer of the donated buffer's value
+
+
+@dataclasses.dataclass(frozen=True)
 class StepMeta:
     """Observability sidecar of one step: everything the traced run
     loop needs, precomputed at lowering time so the untraced loop pays
@@ -95,6 +111,7 @@ class CompiledPlan:
         stats: PlanStats,
         meta: Sequence[StepMeta] = (),
         tracer_box: Optional[List[Optional[Tracer]]] = None,
+        donations: Sequence[DonationRecord] = (),
     ) -> None:
         self.module_name = module_name
         self.num_devices = num_devices
@@ -112,6 +129,9 @@ class CompiledPlan:
         self.tracer_box: List[Optional[Tracer]] = (
             tracer_box if tracer_box is not None else [None]
         )
+        # Every in-place write the lowering decided on (own module plus
+        # nested While bodies, each tagged with its module name).
+        self.donations: Tuple[DonationRecord, ...] = tuple(donations)
 
     # --- execution --------------------------------------------------------------
 

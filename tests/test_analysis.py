@@ -1,0 +1,426 @@
+"""Tests for the static analyzer: rule catalog, passes, pipeline hook,
+donation cross-check, and the parser/printer/verifier round-trip."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    RULES_BY_ID,
+    AnalysisError,
+    Diagnostic,
+    analyze_module,
+    check_async_pairs,
+    check_schedule,
+    check_shapes,
+    check_ssa,
+    collective_check,
+    merge_results,
+    verify_module,
+)
+from repro.analysis.donation_check import check_donations
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import compile_module
+from repro.faults.chaos import GOLDEN_CASES
+from repro.hlo.dtypes import F32, S32
+from repro.hlo.instruction import Instruction
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+from repro.hlo.parser import parse_module
+from repro.hlo.printer import format_module
+from repro.hlo.shapes import Shape
+from repro.runtime.compile import lower
+from repro.runtime.plan import DonationRecord
+from repro.sharding.mesh import DeviceMesh
+
+CASES = {case.name: case for case in GOLDEN_CASES}
+GRID = [
+    (case.name, ring) for case in GOLDEN_CASES for ring in case.rings
+]
+
+
+def _shape(*dims):
+    return Shape(tuple(dims), F32)
+
+
+def _instr(name, opcode, shape, operands=(), **attrs):
+    return Instruction(
+        name=name, opcode=opcode, shape=shape,
+        operands=list(operands), attrs=attrs,
+    )
+
+
+def _compiled(name, ring, **config):
+    case = CASES[name]
+    mesh = DeviceMesh.ring(ring)
+    module = case.build(mesh)
+    compile_module(
+        module, mesh, OverlapConfig(use_cost_model=False, **config)
+    )
+    return module, mesh
+
+
+class TestRuleCatalog:
+    def test_ids_unique_and_indexed(self):
+        assert len({rule.rule_id for rule in RULES}) == len(RULES)
+        assert set(RULES_BY_ID) == {rule.rule_id for rule in RULES}
+
+    def test_every_family_present(self):
+        families = {rule.rule_id[0] for rule in RULES}
+        assert families == {"S", "V", "A", "C", "D", "L"}
+
+    def test_diagnostic_rejects_unknown_rule(self):
+        with pytest.raises(ValueError):
+            Diagnostic(rule="X999", severity="error", message="nope")
+
+    def test_diagnostic_formats_location_and_hint(self):
+        diagnostic = Diagnostic(
+            rule="S001", severity="error", message="bad",
+            instruction="add.1", module="m", hint="fix it",
+        )
+        text = diagnostic.format()
+        assert "S001" in text and "m:add.1" in text and "fix it" in text
+
+
+class TestAnalyzeCleanGolden:
+    @pytest.mark.parametrize("name,ring", GRID)
+    def test_scheduled_modules_are_error_free(self, name, ring):
+        module, mesh = _compiled(name, ring, unroll=False)
+        result = analyze_module(module, num_devices=mesh.num_devices)
+        assert result.ok, result.format_text()
+        assert "donation" in result.passes_run
+
+    @pytest.mark.parametrize("name,ring", GRID)
+    def test_unrolled_modules_are_error_free(self, name, ring):
+        module, mesh = _compiled(name, ring)
+        result = analyze_module(module, num_devices=mesh.num_devices)
+        assert result.ok, result.format_text()
+
+    def test_result_serializes(self):
+        module, mesh = _compiled("mlp-chain", 4)
+        result = analyze_module(module, num_devices=mesh.num_devices)
+        payload = json.loads(json.dumps(result.to_json()))
+        assert payload["ok"] is True
+        assert payload["module"] == module.name
+        assert payload["passes"] == list(result.passes_run)
+
+
+class TestPipelineHook:
+    def test_off_by_default(self):
+        case = CASES["mlp-chain"]
+        mesh = DeviceMesh.ring(4)
+        result = compile_module(
+            case.build(mesh), mesh, OverlapConfig(use_cost_model=False)
+        )
+        assert result.verification == []
+
+    def test_every_stage_verified(self):
+        case = CASES["mlp-chain"]
+        mesh = DeviceMesh.ring(4)
+        result = compile_module(
+            case.build(mesh), mesh, OverlapConfig(use_cost_model=False),
+            verify_after_each_pass=True,
+        )
+        assert len(result.verification) == 6
+        assert all(r.ok for r in result.verification)
+
+    def test_error_pins_the_stage(self):
+        case = CASES["mlp-chain"]
+        mesh = DeviceMesh.ring(4)
+        module = case.build(mesh)
+        einsum = next(
+            i for i in module if i.opcode is Opcode.EINSUM
+        )
+        einsum.shape = Shape(
+            (einsum.shape.dims[0] + 1,) + einsum.shape.dims[1:], F32
+        )
+        with pytest.raises(AnalysisError) as info:
+            compile_module(
+                module, mesh, OverlapConfig(use_cost_model=False),
+                verify_after_each_pass=True,
+            )
+        assert info.value.stage == "input"
+        assert "S001" in info.value.result.rule_ids
+
+    def test_verify_module_raises_with_result(self):
+        module = HloModule("broken")
+        a = _instr("a", Opcode.PARAMETER, _shape(2, 2))
+        b = _instr("b", Opcode.NEGATE, _shape(3, 3), [a])
+        module.add(a)
+        module.add(b)
+        with pytest.raises(AnalysisError) as info:
+            verify_module(module, stage="test")
+        assert not info.value.result.ok
+        assert "test" in str(info.value)
+
+
+class TestShapePass:
+    def test_clean_elementwise(self):
+        module = HloModule("m")
+        a = module.add(_instr("a", Opcode.PARAMETER, _shape(2)))
+        module.add(_instr("n", Opcode.NEGATE, _shape(2), [a]))
+        assert check_shapes(module) == []
+
+    def test_dim_mismatch_is_s001(self):
+        module = HloModule("m")
+        a = module.add(_instr("a", Opcode.PARAMETER, _shape(2)))
+        module.add(_instr("n", Opcode.NEGATE, _shape(3), [a]))
+        assert [d.rule for d in check_shapes(module)] == ["S001"]
+
+    def test_dtype_mismatch_is_s002(self):
+        module = HloModule("m")
+        a = module.add(_instr("a", Opcode.PARAMETER, _shape(2)))
+        module.add(
+            _instr("n", Opcode.NEGATE, Shape((2,), S32), [a])
+        )
+        assert [d.rule for d in check_shapes(module)] == ["S002"]
+
+    def test_missing_attr_is_s003(self):
+        module = HloModule("m")
+        a = module.add(_instr("a", Opcode.PARAMETER, _shape(2, 2)))
+        b = module.add(_instr("b", Opcode.PARAMETER, _shape(2, 2)))
+        module.add(_instr("e", Opcode.EINSUM, _shape(2, 2), [a, b]))
+        assert [d.rule for d in check_shapes(module)] == ["S003"]
+
+
+class TestSSAPass:
+    def test_use_before_def_is_v001(self):
+        module = HloModule("m")
+        a = _instr("a", Opcode.PARAMETER, _shape(2))
+        n = _instr("n", Opcode.NEGATE, _shape(2), [a])
+        module.add(n)  # a never added: dangling operand
+        assert "V001" in [d.rule for d in check_ssa(module)]
+
+    def test_orphan_is_a_warning(self):
+        module = HloModule("m")
+        a = module.add(_instr("a", Opcode.PARAMETER, _shape(2)))
+        module.add(_instr("n", Opcode.NEGATE, _shape(2), [a]))
+        module.add(_instr("b", Opcode.PARAMETER, _shape(2)))
+        module.root = module.get("n")
+        findings = [d for d in check_ssa(module) if d.rule == "V004"]
+        assert findings and all(not d.is_error for d in findings)
+
+
+class TestAsyncPass:
+    def _pair(self, module, name, operand, channel):
+        start = module.add(
+            _instr(
+                f"{name}.start", Opcode.COLLECTIVE_PERMUTE_START,
+                operand.shape, [operand],
+                pairs=[(0, 1), (1, 0)], channel_id=channel,
+            )
+        )
+        done = module.add(
+            _instr(
+                f"{name}.done", Opcode.COLLECTIVE_PERMUTE_DONE,
+                operand.shape, [start],
+            )
+        )
+        return start, done
+
+    def test_adjacent_pairs_clean(self):
+        module = HloModule("m")
+        a = module.add(_instr("a", Opcode.PARAMETER, _shape(2)))
+        self._pair(module, "p1", a, 1)
+        self._pair(module, "p2", a, 2)
+        assert check_async_pairs(module) == []
+
+    def test_in_flight_budget_is_a004(self):
+        module = HloModule("m")
+        a = module.add(_instr("a", Opcode.PARAMETER, _shape(2)))
+        s1 = module.add(
+            _instr(
+                "s1", Opcode.COLLECTIVE_PERMUTE_START, _shape(2), [a],
+                pairs=[(0, 1), (1, 0)], channel_id=1,
+            )
+        )
+        s2 = module.add(
+            _instr(
+                "s2", Opcode.COLLECTIVE_PERMUTE_START, _shape(2), [a],
+                pairs=[(0, 1), (1, 0)], channel_id=2,
+            )
+        )
+        module.add(
+            _instr("d1", Opcode.COLLECTIVE_PERMUTE_DONE, _shape(2), [s1])
+        )
+        module.add(
+            _instr("d2", Opcode.COLLECTIVE_PERMUTE_DONE, _shape(2), [s2])
+        )
+        assert check_async_pairs(module) == []
+        rules = [
+            d.rule for d in check_async_pairs(module, max_in_flight=1)
+        ]
+        assert rules == ["A004"]
+
+
+class TestCollectiveCheck:
+    def test_pair_problem_order_matches_runtime(self):
+        problems = collective_check.permute_pair_problems(
+            [(0, 5)], num_devices=4
+        )
+        assert problems[0].rule == "C005"
+        assert "device 5 out of range" in problems[0].message
+
+    def test_duplicate_destination_before_source(self):
+        problems = collective_check.permute_pair_problems(
+            [(0, 2), (1, 2)], num_devices=4
+        )
+        assert problems[0].rule == "C004"
+        assert "destination of two pairs" in problems[0].message
+
+    def test_open_chain_is_a_warning(self):
+        problems = collective_check.permute_pair_problems(
+            [(0, 1), (1, 2)], num_devices=4
+        )
+        assert [p.rule for p in problems] == ["C006"]
+        assert problems[0].severity == "warning"
+
+    def test_ring_is_clean(self):
+        assert (
+            collective_check.permute_pair_problems(
+                [(0, 1), (1, 2), (2, 3), (3, 0)], num_devices=4
+            )
+            == []
+        )
+
+    def test_coverage_gap_is_c001(self):
+        problems = collective_check.replica_group_problems(
+            [(0, 1)], num_devices=4
+        )
+        assert {p.rule for p in problems} == {"C001"}
+
+    def test_group_of_raises_on_missing_device(self):
+        with pytest.raises(KeyError):
+            collective_check.group_of(3, [(0, 1)])
+
+
+class TestSchedulePass:
+    def test_explicit_order_must_be_permutation(self):
+        module = HloModule("m")
+        a = module.add(_instr("a", Opcode.PARAMETER, _shape(2)))
+        module.add(_instr("n", Opcode.NEGATE, _shape(2), [a]))
+        rules = [d.rule for d in check_schedule(module, order=[a])]
+        assert "L004" in rules
+
+    def test_done_before_start_is_l002(self):
+        module = HloModule("m")
+        a = module.add(_instr("a", Opcode.PARAMETER, _shape(2)))
+        start = module.add(
+            _instr(
+                "s", Opcode.COLLECTIVE_PERMUTE_START, _shape(2), [a],
+                pairs=[(0, 1), (1, 0)],
+            )
+        )
+        done = module.add(
+            _instr("d", Opcode.COLLECTIVE_PERMUTE_DONE, _shape(2), [start])
+        )
+        rules = [
+            d.rule for d in check_schedule(module, order=[a, done, start])
+        ]
+        assert "L002" in rules
+
+
+class TestDonationCrossCheck:
+    @pytest.mark.parametrize("name,ring", GRID)
+    def test_planner_records_audit_clean(self, name, ring):
+        module, mesh = _compiled(name, ring)
+        plan = lower(module, mesh.num_devices)
+        findings = check_donations(
+            module, records=plan.donations,
+            num_devices=mesh.num_devices,
+        )
+        assert findings == [], [d.format() for d in findings]
+
+    def test_planner_actually_donates_somewhere(self):
+        module, mesh = _compiled("mlp-chain", 4)
+        plan = lower(module, mesh.num_devices)
+        assert plan.donations, "expected in-place reuse in the plan"
+        for record in plan.donations:
+            assert isinstance(record, DonationRecord)
+            module.get(record.step)  # the step must exist
+            module.get(record.value)  # and so must the donated value
+
+    def test_fabricated_race_is_d001(self):
+        module, mesh = _compiled("mlp-chain", 4)
+        users = module.user_map()
+        position = {i.name: p for p, i in enumerate(module)}
+        value, readers = next(
+            (value, sorted(us, key=lambda u: position[u.name]))
+            for value, us in users.items()
+            if len(
+                [
+                    u for u in us
+                    if u.opcode is not Opcode.COLLECTIVE_PERMUTE_DONE
+                ]
+            ) >= 2
+        )
+        bad = DonationRecord(module.name, readers[0].name, value.name)
+        findings = check_donations(
+            module, records=[bad], num_devices=mesh.num_devices
+        )
+        assert "D001" in [d.rule for d in findings]
+
+    def test_unknown_value_is_d002(self):
+        module, mesh = _compiled("mlp-chain", 4)
+        bad = DonationRecord(module.name, "nope.1", "missing.2")
+        findings = check_donations(
+            module, records=[bad], num_devices=mesh.num_devices
+        )
+        assert [d.rule for d in findings] == ["D002"]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name,ring", GRID)
+    def test_compiled_modules_round_trip(self, name, ring):
+        module, mesh = _compiled(name, ring)
+        text = format_module(module)
+        reparsed = parse_module(text)
+        assert format_module(reparsed) == text
+        original = analyze_module(module, num_devices=mesh.num_devices)
+        recovered = analyze_module(
+            reparsed, num_devices=mesh.num_devices
+        )
+        assert recovered.to_json() == original.to_json()
+
+    def test_channel_ids_survive(self):
+        module, _ = _compiled("mlp-chain", 4, unroll=False)
+        channels = [
+            i.attrs["channel_id"]
+            for i in module
+            if i.opcode is Opcode.COLLECTIVE_PERMUTE_START
+        ]
+        assert channels and len(set(channels)) == len(channels)
+        reparsed = parse_module(format_module(module))
+        assert channels == [
+            i.attrs["channel_id"]
+            for i in reparsed
+            if i.opcode is Opcode.COLLECTIVE_PERMUTE_START
+        ]
+
+    def test_rolled_while_round_trips(self):
+        from repro.core.loop import emit_rolled
+        from repro.core.patterns import find_candidates
+
+        case = CASES["allgather-einsum"]
+        mesh = DeviceMesh.ring(4)
+        module = case.build(mesh)
+        emit_rolled(module, find_candidates(module)[0], mesh)
+        text = format_module(module)
+        reparsed = parse_module(text)
+        assert format_module(reparsed) == text
+        loop = next(i for i in reparsed if i.opcode is Opcode.WHILE)
+        body = loop.attrs["body"]
+        assert isinstance(body, HloModule)
+        assert loop.attrs["trip_count"] >= 1
+
+
+class TestMergeResults:
+    def test_merge_combines_diagnostics(self):
+        module = HloModule("m")
+        a = module.add(_instr("a", Opcode.PARAMETER, _shape(2)))
+        module.add(_instr("n", Opcode.NEGATE, _shape(3), [a]))
+        first = analyze_module(module)
+        merged = merge_results("both", [first, first])
+        assert merged.module_name == "both"
+        assert len(merged.diagnostics) == 2 * len(first.diagnostics)
