@@ -1,0 +1,65 @@
+"""Serving benchmark: cold compile vs warm plan-cache acquisition.
+
+The serving subsystem's headline property is that lowering is a
+once-per-program cost: the first request for a program pays the full
+pipeline-and-lowering price, every later request (from any worker, any
+batch) pays a cache lookup. This benchmark measures both sides on the
+catalog's decomposed programs and gates the acceptance floor — warm
+plan acquisition at least 5x cheaper than a cold compile — plus a full
+loadgen pass whose report must clear every serving gate.
+"""
+
+from bench_utils import run_once
+
+from repro.models.serving import default_catalog
+from repro.serve import (
+    ServeConfig,
+    check_report,
+    format_report,
+    measure_compile_overhead,
+    run_loadgen,
+)
+
+
+def test_cold_vs_warm_plan_acquisition(benchmark):
+    catalog = default_catalog()
+    overheads = run_once(
+        benchmark,
+        lambda: [
+            measure_compile_overhead(catalog[name], repeats=5)
+            for name in sorted(catalog)
+            if name.endswith("+overlap")
+        ],
+    )
+    print()
+    for overhead in overheads:
+        print(
+            f"{overhead.program:<30} cold {overhead.cold * 1e3:8.3f}ms  "
+            f"warm {overhead.warm * 1e6:8.1f}µs  ({overhead.speedup:7.1f}x)"
+        )
+        benchmark.extra_info[overhead.program] = (
+            f"{overhead.speedup:.0f}x"
+        )
+
+    # Acceptance floor: caching buys >= 5x lower per-request compile
+    # overhead on every decomposed program.
+    assert all(o.speedup >= 5.0 for o in overheads)
+
+
+def test_loadgen_sustains_the_serving_gates(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: run_loadgen(
+            requests=200, config=ServeConfig(workers=2), seed=20230325
+        ),
+    )
+    print()
+    print(format_report(report))
+    benchmark.extra_info["throughput"] = f"{report.throughput:.0f} req/s"
+    benchmark.extra_info["p99_ms"] = f"{report.p99_ms:.3f}"
+    benchmark.extra_info["cache_hit_rate"] = (
+        f"{report.cache_hit_rate:.1%}"
+    )
+    assert check_report(report) == []
+    assert report.completed == 200
+    assert report.cache_hit_rate >= 0.9

@@ -5,8 +5,9 @@ Subpackages:
 
 * :mod:`repro.hlo` — HLO-like SSA IR (einsums, collectives, slices).
 * :mod:`repro.sharding` — device meshes, sharding specs, SPMD partitioner.
-* :mod:`repro.runtime` — functional multi-device executor (numpy), used to
-  validate that graph transformations are semantically equivalent.
+* :mod:`repro.runtime` — functional multi-device executors behind the
+  unified :func:`create_engine` API, plus the content-addressed
+  :class:`PlanCache` the compiled engine lowers through.
 * :mod:`repro.core` — the paper's contribution: Looped CollectiveEinsum
   decomposition, async CollectivePermute scheduling, unrolling,
   bidirectional transfer, fusion rewrites, and the cost-model gate.
@@ -15,9 +16,44 @@ Subpackages:
 * :mod:`repro.obs` — structured observability: one trace-event schema
   shared by both executors and the simulator, Chrome/Perfetto export,
   counters, and the hidden-communication overlap summary.
-* :mod:`repro.models` — model zoo reproducing Tables 1 and 2.
+* :mod:`repro.models` — model zoo reproducing Tables 1 and 2, plus the
+  serving catalog.
 * :mod:`repro.experiments` — per-figure/table harnesses for the paper's
   evaluation (Figures 1, 12-16; Tables 1-2; Sections 6.4 and 7.1).
+* :mod:`repro.serve` — serving subsystem: plan-cached continuous
+  batching with typed admission control and a gated load generator.
+
+The names below are the supported public surface; everything else is
+reachable through its subpackage but may move between releases.
 """
 
-__version__ = "1.0.0"
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import (
+    CompilationResult,
+    compile_module,
+    compile_module_cached,
+)
+from repro.obs.tracer import Tracer
+from repro.runtime.engine import Engine, create_engine
+from repro.runtime.plan_cache import PlanCache
+from repro.serve.loadgen import run_loadgen
+from repro.serve.server import ServeConfig, Server
+from repro.sharding.mesh import DeviceMesh
+
+__all__ = [
+    "CompilationResult",
+    "DeviceMesh",
+    "Engine",
+    "OverlapConfig",
+    "PlanCache",
+    "ServeConfig",
+    "Server",
+    "Tracer",
+    "compile_module",
+    "compile_module_cached",
+    "create_engine",
+    "run_loadgen",
+    "__version__",
+]
+
+__version__ = "1.1.0"

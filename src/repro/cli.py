@@ -26,6 +26,14 @@ Commands:
   variant with ``verify_after_each_pass`` and report per-stage findings.
   With paths: parse each HLO text dump and lint it. Exits non-zero if
   any error-severity diagnostic is found.
+* ``serve [--selftest]`` — run the in-process serving subsystem over the
+  program catalog: one request per program in demo mode, or the gated
+  self-test (typed failures only, warm plan cache) with ``--selftest``.
+* ``loadgen [--requests N] [--selftest] [--out PATH]`` — drive the
+  serving stack with a reproducible request stream; reports p50/p95/p99
+  latency, throughput, plan-cache hit-rate and the typed/untyped
+  failure split. ``--selftest`` additionally enforces the CI gates
+  (zero untyped failures, hit-rate and compile-speedup floors).
 """
 
 from __future__ import annotations
@@ -251,8 +259,7 @@ def _cmd_trace(args) -> int:
         validate_chrome_trace,
     )
     from repro.perfsim.simulator import simulate_with_trace
-    from repro.runtime.compile import CompiledExecutor
-    from repro.runtime.executor import Executor
+    from repro.runtime.engine import create_engine
     from repro.sharding.mesh import DeviceMesh
 
     cases = {case.name: case for case in GOLDEN_CASES}
@@ -292,12 +299,9 @@ def _cmd_trace(args) -> int:
             compile_module(module, mesh, config)
         for engine in engines:
             tracer = Tracer()
-            executor = (
-                Executor(mesh.num_devices, tracer=tracer)
-                if engine == "interpreted"
-                else CompiledExecutor(mesh.num_devices, tracer=tracer)
+            create_engine(engine).run(
+                module, arguments, mesh=mesh, tracer=tracer
             )
-            executor.run(module, arguments)
             stream = f"{engine}/{variant}"
             streams[stream] = tracer.events
             counters[stream] = dict(tracer.counters)
@@ -361,6 +365,102 @@ def _cmd_trace(args) -> int:
             "check passed: decomposed hides strictly more communication "
             "than baseline on both engines"
         )
+    return 0
+
+
+def _serve_config(args):
+    from repro.serve import ServeConfig
+
+    return ServeConfig(
+        engine=args.engine,
+        max_batch_size=args.max_batch,
+        max_wait=args.max_wait,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        default_deadline=args.deadline,
+    )
+
+
+def _gate(problems: List[str], passed: str) -> int:
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(passed)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.serve import UnknownProgramError, check_report, run_loadgen
+    from repro.serve import format_report as format_loadgen
+    from repro.serve import write_report
+
+    try:
+        report = run_loadgen(
+            requests=args.requests,
+            config=_serve_config(args),
+            programs=args.programs or None,
+            seed=args.seed,
+        )
+    except UnknownProgramError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(format_loadgen(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if args.selftest:
+        return _gate(
+            check_report(report),
+            "selftest passed: every request resolved typed, plan cache "
+            "warm, cold compile amortized",
+        )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.models.serving import default_catalog
+    from repro.serve import Server, check_report, run_loadgen
+    from repro.serve import format_report as format_loadgen
+
+    if args.selftest:
+        report = run_loadgen(
+            requests=args.requests, config=_serve_config(args), seed=args.seed
+        )
+        print(format_loadgen(report))
+        return _gate(
+            check_report(report),
+            "selftest passed: every request resolved typed, plan cache "
+            "warm, cold compile amortized",
+        )
+
+    # Demo mode: one request per catalog program through a live server.
+    catalog = default_catalog()
+    with Server(_serve_config(args), catalog=catalog) as server:
+        tickets = [
+            (name, server.submit(name, seed=args.seed))
+            for name in sorted(catalog)
+        ]
+        print(f"{'program':<28} {'ring':>4} {'latency':>10}  outputs")
+        for name, ticket in tickets:
+            values = ticket.result(timeout=30)
+            shapes = ", ".join(
+                f"{key}{tuple(shards[0].shape)}"
+                for key, shards in values.items()
+            )
+            latency_ms = (ticket.latency or 0.0) * 1e3
+            print(
+                f"{name:<28} {catalog[name].num_devices:>4} "
+                f"{latency_ms:>8.3f}ms  {shapes}"
+            )
+        stats = server.stats()
+    cache = stats.plan_cache
+    print(
+        f"{len(tickets)} requests in {stats.batches} batches; "
+        f"plan cache: {cache.hits} hits / {cache.misses} misses"
+        if cache is not None
+        else f"{len(tickets)} requests in {stats.batches} batches"
+    )
     return 0
 
 
@@ -642,6 +742,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="print warning-severity findings too, not just errors",
     )
     verify.set_defaults(handler=_cmd_verify)
+
+    def add_serve_options(sub, requests_default: int) -> None:
+        sub.add_argument(
+            "--requests", type=int, default=requests_default,
+            help=f"requests to generate (default {requests_default})",
+        )
+        sub.add_argument(
+            "--engine", default="compiled",
+            choices=("interpreted", "compiled", "resilient"),
+            help="execution back end (default compiled)",
+        )
+        sub.add_argument(
+            "--workers", type=int, default=2,
+            help="server worker threads (default 2)",
+        )
+        sub.add_argument(
+            "--max-batch", type=int, default=8,
+            help="max requests per same-program batch (default 8)",
+        )
+        sub.add_argument(
+            "--max-wait", type=float, default=0.002,
+            help="seconds a batch waits for stragglers (default 0.002)",
+        )
+        sub.add_argument(
+            "--queue-depth", type=int, default=64,
+            help="bounded queue capacity; beyond it, typed rejection "
+            "(default 64)",
+        )
+        sub.add_argument(
+            "--deadline", type=float, default=None, metavar="S",
+            help="per-request deadline in seconds (default: none)",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=20230325,
+            help="request-payload seed (default 20230325)",
+        )
+        sub.add_argument(
+            "--selftest", action="store_true",
+            help="enforce the serving gates: zero untyped failures, warm "
+            "plan-cache hit rate, cold-vs-warm compile speedup",
+        )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the in-process serving subsystem over the program catalog",
+    )
+    add_serve_options(serve, requests_default=60)
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive the serving stack with a reproducible request stream "
+        "and report latency/throughput/cache metrics",
+    )
+    add_serve_options(loadgen, requests_default=200)
+    loadgen.add_argument(
+        "--programs", nargs="*", default=None, metavar="NAME",
+        help="restrict the stream to these catalog programs "
+        "(default: the full catalog)",
+    )
+    loadgen.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the JSON report to PATH (the CI artifact)",
+    )
+    loadgen.set_defaults(handler=_cmd_loadgen)
     return parser
 
 

@@ -36,16 +36,33 @@ from repro.core.schedule_top_down import schedule_top_down
 from repro.hlo.module import HloModule
 from repro.hlo.opcode import Opcode
 from repro.perfsim.hardware import TPU_V4, ChipSpec
+from repro.runtime.plan_cache import (
+    CacheStats,
+    PlanCache,
+    fingerprint_config,
+    fingerprint_mesh,
+    fingerprint_module,
+)
 from repro.sharding.mesh import DeviceMesh
 
 
 @dataclasses.dataclass
 class CompilationResult:
-    """What the pipeline did to a module."""
+    """What the pipeline did to a module.
+
+    Field naming is normalized across the compile layers: counts of
+    pipeline decisions use the ``candidates_*`` family
+    (``candidates_found`` / ``candidates_skipped`` /
+    ``candidates_decomposed``), and materialized loop lists use the
+    ``*_loops`` family (``decomposed_loops`` / ``standalone_loops``) —
+    matching the ``*_eliminated`` convention of
+    :class:`repro.runtime.plan.PlanStats`. ``loops`` and ``decomposed``
+    remain as aliases for pre-redesign callers.
+    """
 
     module: HloModule
     config: OverlapConfig
-    loops: List[DecomposedLoop]
+    decomposed_loops: List[DecomposedLoop]
     candidates_found: int
     candidates_skipped: Dict[str, str]   # candidate description -> reason
     estimates: List[OverlapEstimate]
@@ -58,8 +75,20 @@ class CompilationResult:
     )
 
     @property
+    def candidates_decomposed(self) -> int:
+        return len(self.decomposed_loops)
+
+    # --- pre-redesign aliases ------------------------------------------------
+
+    @property
+    def loops(self) -> List[DecomposedLoop]:
+        """Alias of :attr:`decomposed_loops` (pre-redesign name)."""
+        return self.decomposed_loops
+
+    @property
     def decomposed(self) -> int:
-        return len(self.loops)
+        """Alias of :attr:`candidates_decomposed` (pre-redesign name)."""
+        return self.candidates_decomposed
 
 
 def compile_module(
@@ -143,7 +172,7 @@ def compile_module(
     return CompilationResult(
         module=module,
         config=config,
-        loops=loops,
+        decomposed_loops=loops,
         candidates_found=candidates_found,
         candidates_skipped=skipped,
         estimates=estimates,
@@ -151,6 +180,56 @@ def compile_module(
         standalone_loops=standalone_loops,
         verification=verification,
     )
+
+
+#: Process-wide cache of pipeline compilations, shared by the experiment
+#: sweeps, the model-zoo step simulator and the serving catalog. Keyed on
+#: the module's *content* fingerprint plus mesh/config/chip, so the
+#: repeated (layer graph, config) pairs the sweeps produce compile once.
+_COMPILE_CACHE = PlanCache(capacity=256)
+
+
+def compile_cache_stats() -> CacheStats:
+    """Hit/miss statistics of the shared pipeline-compilation cache."""
+    return _COMPILE_CACHE.stats
+
+
+def clear_compile_cache() -> None:
+    _COMPILE_CACHE.clear()
+
+
+def compile_module_cached(
+    module: HloModule,
+    mesh: DeviceMesh,
+    config: Optional[OverlapConfig] = None,
+    chip: ChipSpec = TPU_V4,
+    cache: Optional[PlanCache] = None,
+) -> CompilationResult:
+    """Memoized :func:`compile_module` keyed on module content.
+
+    On a hit the caller's ``module`` is left untouched and the earlier,
+    already-compiled :class:`CompilationResult` is returned — use
+    ``result.module`` (not the argument) downstream. Content addressing
+    means two separately built copies of the same program share one
+    compilation, which is exactly what the experiment sweeps do when
+    they rebuild a model's layer graph per configuration.
+
+    Not applicable when ``verify_after_each_pass`` diagnostics are
+    wanted — use :func:`compile_module` directly for that.
+    """
+    config = config or OverlapConfig()
+    cache = cache if cache is not None else _COMPILE_CACHE
+    key = (
+        "pipeline",
+        fingerprint_module(module),
+        fingerprint_mesh(mesh),
+        fingerprint_config(config),
+        fingerprint_config(chip),
+    )
+    result, _ = cache.get_or_build(
+        key, lambda: compile_module(module, mesh, config, chip=chip)
+    )
+    return result
 
 
 def _select_candidates(

@@ -3,7 +3,12 @@
 Every experiment module exposes ``run()`` returning structured rows and
 ``format_report(rows)`` rendering the same table/series the paper shows.
 Step simulations are memoized per (model, overlap-config, chip) within
-the process — the ablation figures re-use each model's baseline.
+the process — the ablation figures re-use each model's baseline — and
+the per-layer pipeline compilations underneath go through the shared
+content-addressed compile cache
+(:func:`repro.core.pipeline.compile_module_cached`), so even a cleared
+step cache never re-lowers a layer module the process has already
+compiled.
 """
 
 from __future__ import annotations
@@ -12,10 +17,12 @@ import dataclasses
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import OverlapConfig
+from repro.core.pipeline import clear_compile_cache, compile_cache_stats
 from repro.models.configs import ModelConfig
 from repro.models.step import StepSimulation, simulate_step
 from repro.perfsim.hardware import TPU_V4, ChipSpec
 from repro.perfsim.metrics import StepReport
+from repro.runtime.plan_cache import CacheStats
 
 _CACHE: Dict[Tuple, StepSimulation] = {}
 
@@ -33,8 +40,18 @@ def cached_step(
     return _CACHE[key]
 
 
-def clear_cache() -> None:
+def clear_cache(compilations: bool = False) -> None:
+    """Drop the memoized step simulations (and, when ``compilations``
+    is set, the shared pipeline-compilation cache underneath)."""
     _CACHE.clear()
+    if compilations:
+        clear_compile_cache()
+
+
+def cache_stats() -> CacheStats:
+    """Statistics of the shared pipeline-compilation cache the sweeps
+    funnel through (re-exported for the sweep tests and reports)."""
+    return compile_cache_stats()
 
 
 @dataclasses.dataclass(frozen=True)

@@ -29,9 +29,14 @@ from repro.hlo.module import HloModule
 from repro.hlo.opcode import Opcode
 from repro.hlo.shapes import Shape
 from repro.obs.tracer import Tracer
-from repro.runtime.compile import run_compiled
+from repro.runtime.engine import create_engine
 from repro.runtime.resilient import RetryPolicy, run_with_fallback
 from repro.sharding.mesh import DeviceMesh
+
+#: One compiled engine shared by every chaos run in the process: the
+#: golden modules are rebuilt per run but content-fingerprint to the
+#: same plans, so a chaos batch lowers each (case, ring) oracle once.
+_ORACLE_ENGINE = create_engine("compiled")
 
 #: Outcome labels.
 RECOVERED = "recovered"            # primary ran through, oracle-exact
@@ -187,7 +192,7 @@ def run_one(
     # The oracle runs on the compiled engine (bit-identical to the
     # interpreter, ~an order of magnitude faster over a chaos batch).
     oracle_module = case.build(mesh)
-    oracle = run_compiled(oracle_module, arguments, mesh.num_devices)[
+    oracle = _ORACLE_ENGINE.run(oracle_module, arguments, mesh=mesh)[
         oracle_module.root.name
     ]
 

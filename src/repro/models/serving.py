@@ -1,0 +1,90 @@
+"""Request-shaped catalog of servable programs.
+
+The serving subsystem (:mod:`repro.serve`) does not accept arbitrary
+modules over the wire — requests name a program out of a fixed catalog,
+the way a production inference service exposes a model registry. Each
+:class:`ServableProgram` pins a golden module family to a concrete ring
+size and (optionally) an :class:`~repro.core.config.OverlapConfig`;
+compiled variants go through the shared pipeline-compilation cache
+(:func:`repro.core.pipeline.compile_module_cached`), so every server,
+benchmark and test in the process lowers a given program exactly once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import compile_module_cached
+from repro.faults.chaos import GOLDEN_CASES, GoldenCase
+from repro.hlo.module import HloModule
+from repro.sharding.mesh import DeviceMesh
+
+
+@dataclasses.dataclass(frozen=True)
+class ServableProgram:
+    """One named, immutable entry of the serving catalog."""
+
+    name: str
+    case: GoldenCase
+    num_devices: int
+    #: ``None`` serves the raw (undecomposed) module; otherwise the
+    #: module is compiled through the overlap pipeline under this config.
+    config: Optional[OverlapConfig] = None
+
+    def mesh(self) -> DeviceMesh:
+        return DeviceMesh.ring(self.num_devices)
+
+    def build_module(self) -> HloModule:
+        """The module this program executes.
+
+        Compiled variants return the *cached* compilation's module: two
+        servers (or a server and a benchmark) asking for the same
+        program share one lowering — and, because the same object comes
+        back, the plan cache's fingerprint memo short-circuits too.
+        """
+        mesh = self.mesh()
+        module = self.case.build(mesh)
+        if self.config is not None:
+            module = compile_module_cached(module, mesh, self.config).module
+        return module
+
+    def make_inputs(
+        self, rng: np.random.Generator
+    ) -> Dict[str, List[np.ndarray]]:
+        """Request payload: per-device shard lists for every parameter."""
+        return self.case.make_arguments(self.mesh(), rng)
+
+    def make_inputs_seeded(self, seed: int) -> Dict[str, List[np.ndarray]]:
+        return self.make_inputs(np.random.default_rng([seed, self.num_devices]))
+
+
+#: Config for the catalog's decomposed variants: the cost gate is off so
+#: the small golden shapes actually decompose (matching the chaos
+#: harness), and the scheduler is the paper's default bottom-up.
+OVERLAP_VARIANT = OverlapConfig(use_cost_model=False)
+
+
+def default_catalog(
+    rings: Optional[Sequence[int]] = None,
+    include_overlap: bool = True,
+) -> Dict[str, "ServableProgram"]:
+    """Every golden module family at every ring size, raw and (when
+    ``include_overlap``) decomposed — named ``<case>@<ring>[+overlap]``."""
+    catalog: Dict[str, ServableProgram] = {}
+    for case in GOLDEN_CASES:
+        sizes: Tuple[int, ...] = tuple(rings) if rings else case.rings
+        for ring in sizes:
+            if ring not in case.rings:
+                continue
+            name = f"{case.name}@{ring}"
+            catalog[name] = ServableProgram(name, case, ring)
+            if include_overlap:
+                overlap_name = f"{name}+overlap"
+                catalog[overlap_name] = ServableProgram(
+                    overlap_name, case, ring, config=OVERLAP_VARIANT
+                )
+    return catalog

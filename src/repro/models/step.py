@@ -14,7 +14,7 @@ import dataclasses
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import OverlapConfig
-from repro.core.pipeline import CompilationResult, compile_module
+from repro.core.pipeline import CompilationResult, compile_module_cached
 from repro.models.configs import (
     DECODER,
     ENCODER,
@@ -88,8 +88,13 @@ def simulate_step(
 
     for kind, repeats, graph in layer_graphs(cfg):
         module = partition(graph, mesh)
-        compilations.append(compile_module(module, mesh, overlap, chip=chip))
-        report = simulate(module, mesh, chip=chip)
+        # Content-addressed: a layer module already compiled under this
+        # (mesh, config, chip) — by any sweep in the process — is reused
+        # instead of re-validated and re-lowered; simulate the cached
+        # result's module, not the freshly partitioned copy.
+        compilation = compile_module_cached(module, mesh, overlap, chip=chip)
+        compilations.append(compilation)
+        report = simulate(compilation.module, mesh, chip=chip)
         layer_reports.append((kind, repeats, report))
         scaled = report.scaled(repeats)
         total = scaled if total is None else _combine(total, scaled)

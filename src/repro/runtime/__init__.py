@@ -1,4 +1,12 @@
-"""Functional multi-device runtime: the correctness oracle."""
+"""Functional multi-device runtime: the correctness oracle.
+
+The unified entry point is :func:`create_engine` — it returns one of the
+three back ends (interpreted oracle, compiled vectorized engine behind a
+content-addressed :class:`PlanCache`, resilient fault-tolerant
+interpreter) behind a single ``run(module, inputs, mesh=...)``
+signature. The legacy executor classes remain importable and functional
+but warn on direct construction.
+"""
 
 from repro.runtime.collectives import (
     all_gather,
@@ -10,9 +18,25 @@ from repro.runtime.collectives import (
     validate_permute_pairs,
 )
 from repro.runtime.compile import CompiledExecutor, lower, run_compiled
+from repro.runtime.engine import (
+    ENGINE_KINDS,
+    CompiledEngine,
+    Engine,
+    InterpretedEngine,
+    ResilientEngine,
+    create_engine,
+)
 from repro.runtime.executor import ExecutionError, Executor, run_spmd
 from repro.runtime.memory import MemoryProfile, profile_memory
 from repro.runtime.plan import CompiledPlan, PlanStats
+from repro.runtime.plan_cache import (
+    CacheStats,
+    PlanCache,
+    fingerprint_config,
+    fingerprint_mesh,
+    fingerprint_module,
+    plan_key,
+)
 from repro.runtime.resilient import (
     ResilienceStats,
     ResilientExecutor,
@@ -22,13 +46,20 @@ from repro.runtime.resilient import (
 )
 
 __all__ = [
+    "CacheStats",
+    "CompiledEngine",
     "CompiledExecutor",
     "CompiledPlan",
+    "ENGINE_KINDS",
+    "Engine",
     "ExecutionError",
     "Executor",
+    "InterpretedEngine",
     "MemoryProfile",
+    "PlanCache",
     "PlanStats",
     "ResilienceStats",
+    "ResilientEngine",
     "ResilientExecutor",
     "ResilientResult",
     "RetryPolicy",
@@ -36,8 +67,13 @@ __all__ = [
     "all_reduce",
     "all_to_all",
     "collective_permute",
+    "create_engine",
+    "fingerprint_config",
+    "fingerprint_mesh",
+    "fingerprint_module",
     "lower",
     "payload_bytes",
+    "plan_key",
     "profile_memory",
     "reduce_scatter",
     "run_compiled",

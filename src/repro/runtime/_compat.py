@@ -1,0 +1,44 @@
+"""Deprecation plumbing for the legacy executor constructors.
+
+Direct construction of :class:`~repro.runtime.executor.Executor`,
+:class:`~repro.runtime.compile.CompiledExecutor` and
+:class:`~repro.runtime.resilient.ResilientExecutor` is deprecated in
+favour of :func:`repro.runtime.create_engine`. The engines (and the
+still-supported convenience wrappers like ``run_spmd``) construct the
+executors internally; :func:`internal_construction` marks those sites
+so only *user* constructions warn. The depth is thread-local because
+the serving worker pool constructs executors concurrently.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import warnings
+from typing import Iterator
+
+_state = threading.local()
+
+
+@contextlib.contextmanager
+def internal_construction() -> Iterator[None]:
+    """Suppress the legacy-constructor warning inside the block."""
+    depth = getattr(_state, "depth", 0)
+    _state.depth = depth + 1
+    try:
+        yield
+    finally:
+        _state.depth = depth
+
+
+def warn_legacy_constructor(name: str) -> None:
+    """Emit the DeprecationWarning for a direct executor construction."""
+    if getattr(_state, "depth", 0):
+        return
+    warnings.warn(
+        f"constructing {name} directly is deprecated; use "
+        f'repro.runtime.create_engine("...") and its run(module, inputs, '
+        f"mesh=...) method instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -54,6 +54,7 @@ from repro.hlo.opcode import Opcode, SOURCE_OPS
 from repro.obs.events import instruction_bytes, phase_of
 from repro.obs.tracer import Tracer
 from repro.runtime import vectorized
+from repro.runtime._compat import internal_construction, warn_legacy_constructor
 from repro.runtime.collectives import validate_permute_pairs
 from repro.runtime.executor import (
     ExecutionError,
@@ -871,6 +872,8 @@ class CompiledExecutor:
     def __init__(
         self, num_devices: int, tracer: Optional[Tracer] = None
     ) -> None:
+        if type(self) is CompiledExecutor:
+            warn_legacy_constructor("CompiledExecutor")
         if num_devices <= 0:
             raise ValueError("num_devices must be positive")
         self.num_devices = num_devices
@@ -920,5 +923,9 @@ def run_compiled(
     outputs: Optional[Sequence[str]] = None,
 ) -> Dict[str, PerDevice]:
     """Convenience wrapper around :class:`CompiledExecutor` (one-shot:
-    lowers, runs once and discards the plan — use the class to amortize)."""
-    return CompiledExecutor(num_devices).run(module, arguments, outputs)
+    lowers, runs once and discards the plan — use
+    :func:`repro.runtime.create_engine` with a shared plan cache to
+    amortize)."""
+    with internal_construction():
+        executor = CompiledExecutor(num_devices)
+    return executor.run(module, arguments, outputs)

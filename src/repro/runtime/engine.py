@@ -1,0 +1,284 @@
+"""The unified Engine facade over the three execution back ends.
+
+Every entry point that used to hand-pick one of the executor classes —
+the interpreted oracle (:class:`~repro.runtime.executor.Executor`), the
+compiled vectorized engine
+(:class:`~repro.runtime.compile.CompiledExecutor`) and the
+fault-tolerant interpreter
+(:class:`~repro.runtime.resilient.ResilientExecutor`) — goes through
+one protocol instead:
+
+    engine = create_engine("compiled")
+    outputs = engine.run(module, inputs, mesh=mesh)
+
+``run`` takes the mesh (or a bare device count) *per call*, so one
+engine serves programs of any ring size; the compiled engine keys its
+:class:`~repro.runtime.plan_cache.PlanCache` on the module's content
+fingerprint plus the device count, so lowering happens once per
+program, not once per call — the property the serving subsystem
+(:mod:`repro.serve`) is built on.
+
+The legacy constructors keep working but emit a ``DeprecationWarning``;
+the engines construct them through
+:func:`repro.runtime._compat.internal_construction`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Union
+
+if TYPE_CHECKING:
+    from repro.runtime.resilient import ResilienceStats
+
+import numpy as np
+
+from repro.obs.tracer import Tracer
+from repro.runtime._compat import internal_construction
+from repro.runtime.plan import CompiledPlan
+from repro.runtime.plan_cache import PlanCache, plan_key
+
+#: The back ends :func:`create_engine` accepts.
+ENGINE_KINDS = ("interpreted", "compiled", "resilient")
+
+PerDevice = Any  # List[np.ndarray]; kept loose to avoid import cycles
+MeshLike = Union[int, Any]  # DeviceMesh or a bare device count
+
+
+def _num_devices(mesh: MeshLike) -> int:
+    if isinstance(mesh, int):
+        if mesh <= 0:
+            raise ValueError("mesh device count must be positive")
+        return mesh
+    return mesh.num_devices
+
+
+class Engine(abc.ABC):
+    """One execution back end behind the unified ``run`` signature."""
+
+    kind: str = "abstract"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        module,
+        inputs: Dict[str, Sequence[np.ndarray]],
+        *,
+        mesh: MeshLike,
+        outputs: Optional[Sequence[str]] = None,
+        iteration: int = 0,
+        tracer: Optional[Tracer] = None,
+    ) -> Dict[str, PerDevice]:
+        """Execute ``module`` with per-device shard lists ``inputs`` on
+        ``mesh`` (a DeviceMesh or a device count); same output contract
+        as the legacy ``Executor.run``."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} kind={self.kind!r}>"
+
+
+class InterpretedEngine(Engine):
+    """The per-device reference interpreter — the correctness oracle."""
+
+    kind = "interpreted"
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.tracer = tracer
+
+    def run(
+        self,
+        module,
+        inputs,
+        *,
+        mesh,
+        outputs=None,
+        iteration=0,
+        tracer=None,
+    ):
+        from repro.runtime.executor import Executor
+
+        with internal_construction():
+            executor = Executor(
+                _num_devices(mesh), tracer=tracer or self.tracer
+            )
+        return executor.run(module, inputs, outputs, iteration)
+
+
+class CompiledEngine(Engine):
+    """The vectorized engine, fronted by a content-addressed plan cache.
+
+    Unlike the legacy ``CompiledExecutor`` (whose per-instance cache was
+    keyed on module *identity*), the plan cache is keyed on the module's
+    content fingerprint — two separately built copies of the same
+    program share one plan, and the cache can be shared across engines,
+    serving workers and benchmark sweeps.
+    """
+
+    kind = "compiled"
+
+    def __init__(
+        self,
+        plan_cache: Optional[PlanCache] = None,
+        donate_params: bool = True,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.donate_params = donate_params
+        self.tracer = tracer
+
+    def plan_for(
+        self,
+        module,
+        num_devices: Optional[int] = None,
+        outputs: Optional[Sequence[str]] = None,
+        *,
+        mesh: Optional[MeshLike] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> CompiledPlan:
+        """The cached lowered plan for ``module`` on ``num_devices``
+        (or ``mesh``); lowers on first use."""
+        from repro.runtime.compile import lower
+
+        if num_devices is None:
+            if mesh is None:
+                raise ValueError("plan_for needs num_devices or mesh")
+            num_devices = _num_devices(mesh)
+        key = plan_key(
+            module,
+            num_devices=num_devices,
+            outputs=outputs,
+            options=("donate_params", self.donate_params),
+        )
+        plan, hit = self.plan_cache.get_or_build(
+            key,
+            lambda: lower(
+                module,
+                num_devices,
+                outputs,
+                donate_params=self.donate_params,
+            ),
+        )
+        tracer = tracer or self.tracer
+        if tracer is not None:
+            tracer.count("plan.cache_hits" if hit else "plan.cache_misses")
+            if not hit:
+                tracer.count("plan.donations", plan.stats.donations)
+        return plan
+
+    def run(
+        self,
+        module,
+        inputs,
+        *,
+        mesh,
+        outputs=None,
+        iteration=0,
+        tracer=None,
+    ):
+        tracer = tracer or self.tracer
+        plan = self.plan_for(
+            module, _num_devices(mesh), outputs, tracer=tracer
+        )
+        values = plan.run(inputs, iteration, tracer=tracer)
+        if outputs is None and module.root is not None:
+            # A content-cache hit returns the plan lowered from an
+            # *earlier*, content-identical module whose auto-generated
+            # root name differs; rekey the single root entry so callers
+            # index by their own module's names. Explicit ``outputs``
+            # names participate in the cache key, so they never alias.
+            root = module.root.name
+            if root not in values and len(values) == 1:
+                (value,) = values.values()
+                return {root: value}
+        return values
+
+
+class ResilientEngine(Engine):
+    """The fault-tolerant interpreter: retries, guardrails, typed errors.
+
+    ``injector`` and ``policy`` are fixed at engine construction;
+    ``last_stats`` holds the :class:`ResilienceStats` of the most recent
+    ``run`` (per-call, so inspect it before the next submission when
+    sharing the engine across threads).
+    """
+
+    kind = "resilient"
+
+    def __init__(
+        self,
+        injector=None,
+        policy=None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.injector = injector
+        self.policy = policy
+        self.tracer = tracer
+        self.last_stats: Optional["ResilienceStats"] = None
+
+    def run(
+        self,
+        module,
+        inputs,
+        *,
+        mesh,
+        outputs=None,
+        iteration=0,
+        tracer=None,
+    ):
+        from repro.runtime.resilient import ResilientExecutor
+
+        with internal_construction():
+            executor = ResilientExecutor(
+                _num_devices(mesh),
+                injector=self.injector,
+                policy=self.policy,
+                tracer=tracer or self.tracer,
+            )
+        values = executor.run(module, inputs, outputs, iteration)
+        self.last_stats = executor.stats
+        return values
+
+
+def create_engine(
+    kind: str = "compiled",
+    *,
+    tracer: Optional[Tracer] = None,
+    plan_cache: Optional[PlanCache] = None,
+    donate_params: bool = True,
+    injector=None,
+    policy=None,
+) -> Engine:
+    """The one way to obtain an execution engine.
+
+    * ``"interpreted"`` — the per-device reference interpreter.
+    * ``"compiled"`` — the vectorized engine behind a shared
+      :class:`PlanCache` (pass ``plan_cache`` to share one cache across
+      engines; ``donate_params=False`` forbids in-place parameter reuse).
+    * ``"resilient"`` — the fault-tolerant interpreter (``injector`` and
+      ``policy`` configure fault injection and the retry budget).
+
+    Options that do not apply to the requested kind are rejected, so a
+    typo like ``create_engine("interpreted", injector=...)`` fails loudly
+    instead of silently dropping the injector.
+    """
+    if kind not in ENGINE_KINDS:
+        raise ValueError(
+            f"unknown engine kind {kind!r}; expected one of {ENGINE_KINDS}"
+        )
+    if kind != "compiled" and plan_cache is not None:
+        raise ValueError(f"plan_cache does not apply to {kind!r} engines")
+    if kind != "compiled" and donate_params is not True:
+        raise ValueError(
+            f"donate_params only applies to compiled engines, not {kind!r}"
+        )
+    if kind != "resilient" and (injector is not None or policy is not None):
+        raise ValueError(
+            f"injector/policy only apply to resilient engines, not {kind!r}"
+        )
+    if kind == "interpreted":
+        return InterpretedEngine(tracer=tracer)
+    if kind == "compiled":
+        return CompiledEngine(
+            plan_cache=plan_cache, donate_params=donate_params, tracer=tracer
+        )
+    return ResilientEngine(injector=injector, policy=policy, tracer=tracer)

@@ -31,6 +31,7 @@ from repro.obs.events import (
 )
 from repro.obs.tracer import Tracer
 from repro.runtime import collectives
+from repro.runtime._compat import internal_construction, warn_legacy_constructor
 
 PerDevice = List[np.ndarray]
 
@@ -73,6 +74,8 @@ class Executor:
     def __init__(
         self, num_devices: int, tracer: Optional[Tracer] = None
     ) -> None:
+        if type(self) is Executor:
+            warn_legacy_constructor("Executor")
         if num_devices <= 0:
             raise ValueError("num_devices must be positive")
         self.num_devices = num_devices
@@ -351,4 +354,6 @@ def run_spmd(
     outputs: Optional[Sequence[str]] = None,
 ) -> Dict[str, PerDevice]:
     """Convenience wrapper around :class:`Executor`."""
-    return Executor(num_devices).run(module, arguments, outputs)
+    with internal_construction():
+        executor = Executor(num_devices)
+    return executor.run(module, arguments, outputs)

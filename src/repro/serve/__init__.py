@@ -1,0 +1,57 @@
+"""Serving subsystem: plan-cached, continuously-batched execution.
+
+The pieces, bottom-up:
+
+* a program **catalog** (:mod:`repro.models.serving`) names the modules
+  a server will execute;
+* the **plan cache** (:class:`repro.runtime.plan_cache.PlanCache`,
+  shared with the compiled engine) makes lowering a once-per-program
+  cost instead of a per-request one;
+* the :class:`Server` adds continuous batching, bounded-queue admission
+  control, per-request deadlines and typed rejections on top of the
+  unified :func:`repro.runtime.create_engine` API;
+* the **load generator** (:func:`run_loadgen`) measures the whole stack
+  and :func:`check_report` gates it in CI.
+"""
+
+from repro.serve.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServeError,
+    ServerClosedError,
+    UnknownProgramError,
+)
+from repro.serve.loadgen import (
+    CompileOverhead,
+    LoadgenReport,
+    check_report,
+    format_report,
+    measure_compile_overhead,
+    run_loadgen,
+    write_report,
+)
+from repro.serve.server import (
+    PendingRequest,
+    ServeConfig,
+    Server,
+    ServerStats,
+)
+
+__all__ = [
+    "CompileOverhead",
+    "DeadlineExceededError",
+    "LoadgenReport",
+    "PendingRequest",
+    "QueueFullError",
+    "ServeConfig",
+    "ServeError",
+    "Server",
+    "ServerClosedError",
+    "ServerStats",
+    "UnknownProgramError",
+    "check_report",
+    "format_report",
+    "measure_compile_overhead",
+    "run_loadgen",
+    "write_report",
+]

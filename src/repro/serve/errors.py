@@ -1,0 +1,67 @@
+"""Typed request-level failures of the serving subsystem.
+
+Mirrors the fault subsystem's contract (:mod:`repro.faults.errors`):
+anything that can go wrong with a *request* — as opposed to the devices
+executing it — surfaces as a :class:`ServeError` subclass carrying the
+fields a client needs to react (retry after backoff, resubmit with a
+longer deadline, fix the program name). An exception that is neither a
+``ServeError`` nor a :class:`~repro.faults.errors.FaultError` escaping a
+request is an *untyped failure* — the serving analogue of the chaos
+harness's contract violation, counted separately and gated to zero in
+CI.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class ServeError(Exception):
+    """Base of every typed serving failure."""
+
+    def __init__(self, message: str, *, program: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.program = program
+
+
+class UnknownProgramError(ServeError):
+    """The request named a program outside the server's catalog."""
+
+    def __init__(self, program: str, available: Iterable[str]) -> None:
+        super().__init__(
+            f"unknown program {program!r}; catalog serves: "
+            f"{', '.join(sorted(available))}",
+            program=program,
+        )
+        self.available = tuple(sorted(available))
+
+
+class QueueFullError(ServeError):
+    """Admission control rejected the request: the bounded queue is at
+    capacity. Back-pressure, not failure — retry after a backoff."""
+
+    def __init__(self, program: str, depth: int) -> None:
+        super().__init__(
+            f"request for {program!r} rejected: queue at capacity "
+            f"({depth} pending)",
+            program=program,
+        )
+        self.depth = depth
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline elapsed before execution started."""
+
+    def __init__(self, program: str, deadline: float, waited: float) -> None:
+        super().__init__(
+            f"request for {program!r} missed its {deadline * 1e3:.1f}ms "
+            f"deadline after waiting {waited * 1e3:.1f}ms in queue",
+            program=program,
+        )
+        self.deadline = deadline
+        self.waited = waited
+
+
+class ServerClosedError(ServeError):
+    """The server is shut down (or shutting down) — submissions after
+    ``close()`` and requests still queued at shutdown land here."""

@@ -1,0 +1,333 @@
+"""Closed-loop load generator and latency report for the serve stack.
+
+``run_loadgen`` drives a real :class:`~repro.serve.server.Server` —
+worker threads, bounded queue, plan cache and all — with a reproducible
+request stream, then reduces the tickets to the numbers a serving
+system is judged by: p50/p95/p99 latency, sustained throughput, plan
+cache hit-rate, queue-depth peak and the typed/untyped failure split.
+``check_report`` turns the report into CI gates (zero untyped failures,
+warm hit-rate, cold-vs-warm compile speedup); ``repro loadgen`` is the
+CLI face of both.
+
+The generator is *closed-loop with bounded outstanding work*: it keeps
+at most ``max_outstanding`` requests in flight and, when admission
+control pushes back with ``QueueFullError``, waits for the oldest
+ticket instead of hot-looping — so a report reflects the server's
+steady state, not the generator's ability to spam.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+from repro.faults.errors import FaultError
+from repro.models.serving import ServableProgram, default_catalog
+from repro.runtime.engine import CompiledEngine
+from repro.runtime.plan_cache import PlanCache
+from repro.serve.errors import QueueFullError, ServeError, UnknownProgramError
+from repro.serve.server import PendingRequest, ServeConfig, Server
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    index = (len(sorted_values) - 1) * q
+    lo = int(math.floor(index))
+    hi = int(math.ceil(index))
+    if lo == hi:
+        return sorted_values[lo]
+    frac = index - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+@dataclasses.dataclass(frozen=True)
+class CompileOverhead:
+    """Cold (first lowering) vs warm (cache hit) plan acquisition."""
+
+    program: str
+    cold: float    # seconds for the first plan_for on an empty cache
+    warm: float    # seconds for the same plan_for once cached
+
+    @property
+    def speedup(self) -> float:
+        return self.cold / max(self.warm, 1e-9)
+
+
+def measure_compile_overhead(
+    program: Optional[ServableProgram] = None, repeats: int = 3
+) -> CompileOverhead:
+    """Median cold and warm plan-acquisition time for one program.
+
+    Each repeat uses a fresh empty :class:`PlanCache`, so "cold" is a
+    true first lowering; "warm" re-requests the identical plan and must
+    be a pure cache lookup.
+    """
+    if program is None:
+        catalog = default_catalog()
+        name = next(
+            (n for n in sorted(catalog) if n.endswith("+overlap")),
+            sorted(catalog)[0],
+        )
+        program = catalog[name]
+    module = program.build_module()
+    colds: List[float] = []
+    warms: List[float] = []
+    for _ in range(max(1, repeats)):
+        engine = CompiledEngine(plan_cache=PlanCache())
+        begin = time.perf_counter()
+        engine.plan_for(module, num_devices=program.num_devices)
+        colds.append(time.perf_counter() - begin)
+        begin = time.perf_counter()
+        engine.plan_for(module, num_devices=program.num_devices)
+        warms.append(time.perf_counter() - begin)
+    colds.sort()
+    warms.sort()
+    return CompileOverhead(
+        program=program.name,
+        cold=_percentile(colds, 0.5),
+        warm=_percentile(warms, 0.5),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadgenReport:
+    """Everything one load-generation run measured."""
+
+    engine: str
+    programs: List[str]
+    requests: int
+    warmup: int
+    completed: int
+    typed_failures: int
+    untyped_failures: int
+    deadline_exceeded: int
+    queue_full_backoffs: int
+    duration: float                 # seconds, timed phase only
+    throughput: float               # completed requests per second
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    peak_queue_depth: int
+    batches: int
+    mean_batch_size: float
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    compile_overhead: Optional[CompileOverhead]
+    counters: Dict[str, float]
+
+    def to_json(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        if self.compile_overhead is not None:
+            payload["compile_overhead"] = {
+                "program": self.compile_overhead.program,
+                "cold_s": self.compile_overhead.cold,
+                "warm_s": self.compile_overhead.warm,
+                "speedup": self.compile_overhead.speedup,
+            }
+        return payload
+
+
+def run_loadgen(
+    requests: int = 200,
+    config: Optional[ServeConfig] = None,
+    programs: Optional[Sequence[str]] = None,
+    seed: int = 20230325,
+    warmup: Optional[int] = None,
+    deadline: Optional[float] = None,
+    max_outstanding: Optional[int] = None,
+    measure_compile: bool = True,
+) -> LoadgenReport:
+    """Drive a server with ``requests`` round-robin requests and report.
+
+    The warmup phase (defaulting to one request per program, excluded
+    from every latency/throughput number) populates the module table and
+    the plan cache, so the timed phase measures the steady state the
+    cache-hit-rate gate is about.
+    """
+    if requests < 1:
+        raise ValueError("requests must be at least 1")
+    config = config or ServeConfig()
+    catalog = default_catalog()
+    if programs:
+        unknown = [name for name in programs if name not in catalog]
+        if unknown:
+            raise UnknownProgramError(unknown[0], catalog)
+        catalog = {name: catalog[name] for name in programs}
+    names = sorted(catalog)
+    if warmup is None:
+        warmup = len(names)
+    if max_outstanding is None:
+        max_outstanding = max(1, config.queue_depth // 2)
+
+    server = Server(config, catalog=catalog)
+    queue_full_backoffs = 0
+    tickets: List[PendingRequest] = []
+    try:
+        for index in range(warmup):
+            server.submit(
+                names[index % len(names)], seed=seed - 1 - index
+            ).result()
+
+        outstanding: Deque[PendingRequest] = deque()
+
+        def drain_one() -> None:
+            ticket = outstanding.popleft()
+            try:
+                ticket.result()
+            except (ServeError, FaultError):
+                pass  # typed failures are tallied from the ticket later
+
+        begin = time.perf_counter()
+        for index in range(requests):
+            name = names[index % len(names)]
+            while True:
+                try:
+                    ticket = server.submit(
+                        name, deadline=deadline, seed=seed + index
+                    )
+                    break
+                except QueueFullError:
+                    queue_full_backoffs += 1
+                    if outstanding:
+                        drain_one()
+                    else:
+                        time.sleep(config.max_wait or 0.001)
+            tickets.append(ticket)
+            outstanding.append(ticket)
+            if len(outstanding) >= max_outstanding:
+                drain_one()
+        while outstanding:
+            drain_one()
+        duration = time.perf_counter() - begin
+    finally:
+        server.close()
+
+    completed = [t for t in tickets if t.error is None]
+    typed = [
+        t for t in tickets
+        if isinstance(t.error, (ServeError, FaultError))
+    ]
+    untyped = [
+        t for t in tickets
+        if t.error is not None
+        and not isinstance(t.error, (ServeError, FaultError))
+    ]
+    latencies = sorted(
+        t.latency * 1e3 for t in completed if t.latency is not None
+    )
+    stats = server.stats()
+    cache = stats.plan_cache
+    overhead = measure_compile_overhead() if measure_compile else None
+    return LoadgenReport(
+        engine=config.engine,
+        programs=names,
+        requests=requests,
+        warmup=warmup,
+        completed=len(completed),
+        typed_failures=len(typed),
+        untyped_failures=len(untyped),
+        deadline_exceeded=int(
+            stats.counters.get("serve.deadline_exceeded", 0)
+        ),
+        queue_full_backoffs=queue_full_backoffs,
+        duration=duration,
+        throughput=len(completed) / duration if duration > 0 else 0.0,
+        p50_ms=_percentile(latencies, 0.50),
+        p95_ms=_percentile(latencies, 0.95),
+        p99_ms=_percentile(latencies, 0.99),
+        mean_ms=sum(latencies) / len(latencies) if latencies else 0.0,
+        peak_queue_depth=stats.peak_queue_depth,
+        batches=stats.batches,
+        mean_batch_size=stats.mean_batch_size,
+        cache_hits=cache.hits if cache else 0,
+        cache_misses=cache.misses if cache else 0,
+        cache_hit_rate=cache.hit_rate if cache else 0.0,
+        compile_overhead=overhead,
+        counters=stats.counters,
+    )
+
+
+def check_report(
+    report: LoadgenReport,
+    min_hit_rate: float = 0.9,
+    min_compile_speedup: float = 5.0,
+) -> List[str]:
+    """The CI gates. Empty list means the serving contract held."""
+    problems: List[str] = []
+    if report.untyped_failures:
+        problems.append(
+            f"{report.untyped_failures} request(s) failed with an untyped "
+            f"exception — the serving contract requires typed failures only"
+        )
+    accounted = (
+        report.completed + report.typed_failures + report.untyped_failures
+    )
+    if accounted != report.requests:
+        problems.append(
+            f"{report.requests - accounted} request(s) unaccounted for "
+            f"({report.requests} submitted, {accounted} resolved)"
+        )
+    if not report.completed:
+        problems.append("no request completed successfully")
+    if report.engine == "compiled":
+        if report.cache_hit_rate < min_hit_rate:
+            problems.append(
+                f"plan-cache hit rate {report.cache_hit_rate:.1%} below the "
+                f"{min_hit_rate:.0%} floor after warmup"
+            )
+        overhead = report.compile_overhead
+        if overhead is not None and overhead.speedup < min_compile_speedup:
+            problems.append(
+                f"warm plan acquisition only {overhead.speedup:.1f}x faster "
+                f"than cold compile (floor {min_compile_speedup:.0f}x)"
+            )
+    return problems
+
+
+def format_report(report: LoadgenReport) -> str:
+    """Human-readable latency report."""
+    lines = [
+        f"loadgen: {report.requests} requests over {len(report.programs)} "
+        f"programs, engine={report.engine} "
+        f"(+{report.warmup} warmup, excluded)",
+        f"  completed            {report.completed:6d}",
+        f"  typed failures       {report.typed_failures:6d} "
+        f"(deadline: {report.deadline_exceeded})",
+        f"  untyped failures     {report.untyped_failures:6d}",
+        f"  queue-full backoffs  {report.queue_full_backoffs:6d}",
+        f"  throughput           {report.throughput:10.1f} req/s",
+        f"  latency p50/p95/p99  {report.p50_ms:8.3f} / "
+        f"{report.p95_ms:8.3f} / {report.p99_ms:8.3f} ms "
+        f"(mean {report.mean_ms:.3f})",
+        f"  peak queue depth     {report.peak_queue_depth:6d}",
+        f"  batches              {report.batches:6d} "
+        f"(mean size {report.mean_batch_size:.2f})",
+    ]
+    if report.engine == "compiled":
+        lines.append(
+            f"  plan cache           {report.cache_hits} hits / "
+            f"{report.cache_misses} misses "
+            f"(hit rate {report.cache_hit_rate:.1%})"
+        )
+    if report.compile_overhead is not None:
+        overhead = report.compile_overhead
+        lines.append(
+            f"  compile overhead     cold {overhead.cold * 1e3:.3f}ms vs "
+            f"warm {overhead.warm * 1e6:.1f}µs on {overhead.program} "
+            f"({overhead.speedup:.0f}x)"
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: LoadgenReport, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -21,7 +21,13 @@ from repro.experiments import (
     inference,
     tables,
 )
-from repro.experiments.common import Comparison, clear_cache, compare, format_table
+from repro.experiments.common import (
+    Comparison,
+    cache_stats,
+    clear_cache,
+    compare,
+    format_table,
+)
 from repro.models.configs import GPT_32B, TABLE1, TABLE2
 
 SMALL = [
@@ -172,3 +178,21 @@ class TestCommon:
         lines = text.splitlines()
         assert len(lines) == 4
         assert lines[0].startswith("a")
+
+
+class TestCompileCacheRouting:
+    def test_sweep_recompilations_hit_the_shared_compile_cache(self):
+        # Route check for the plan-cache satellite: a sweep that
+        # re-simulates a model it has seen (here: the step memo is
+        # dropped, the compile cache is not) must *hit* the shared
+        # content-addressed compile cache instead of re-lowering.
+        clear_cache(compilations=True)
+        compare(SMALL[0])
+        misses_after_first = cache_stats().misses
+        assert misses_after_first > 0
+        clear_cache()  # step memo only; compilations survive
+        compare(SMALL[0])
+        stats = cache_stats()
+        assert stats.hits > 0
+        assert stats.hit_rate > 0
+        assert stats.misses == misses_after_first

@@ -1,0 +1,182 @@
+"""Tests for the content-addressed plan cache and its fingerprints.
+
+The cache's whole value rests on two properties: the fingerprint is
+*stable* across separately built copies of the same program (instruction
+names embed a process-global counter, so printed text would never
+match), and it *changes* whenever anything semantically relevant does —
+content, mesh, overlap config, chip. Plus the LRU bound: a capacity-K
+cache holds at most K plans and reports what it evicted.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import (
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_module,
+    compile_module_cached,
+)
+from repro.faults.chaos import GOLDEN_CASES
+from repro.perfsim.hardware import TPU_V4
+from repro.runtime.plan_cache import (
+    CacheStats,
+    PlanCache,
+    fingerprint_config,
+    fingerprint_mesh,
+    fingerprint_module,
+    plan_key,
+)
+from repro.sharding.mesh import DeviceMesh
+
+MLP = next(c for c in GOLDEN_CASES if c.name == "mlp-chain")
+AG = next(c for c in GOLDEN_CASES if c.name == "allgather-einsum")
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self):
+        mesh = DeviceMesh.ring(4)
+        first, second = MLP.build(mesh), MLP.build(mesh)
+        # Same content, different auto-generated instruction names.
+        assert {i.name for i in first.instructions} != {
+            i.name for i in second.instructions
+        }
+        assert fingerprint_module(first) == fingerprint_module(second)
+
+    def test_differs_across_programs_and_meshes(self):
+        ring4 = DeviceMesh.ring(4)
+        assert fingerprint_module(MLP.build(ring4)) != fingerprint_module(
+            AG.build(ring4)
+        )
+        assert fingerprint_module(MLP.build(ring4)) != fingerprint_module(
+            MLP.build(DeviceMesh.ring(2))
+        )
+
+    def test_compilation_changes_the_fingerprint(self):
+        mesh = DeviceMesh.ring(4)
+        module = MLP.build(mesh)
+        before = fingerprint_module(module)
+        compile_module(module, mesh, OverlapConfig(use_cost_model=False))
+        assert fingerprint_module(module) != before
+
+    def test_memo_survives_repeat_queries(self):
+        module = MLP.build(DeviceMesh.ring(4))
+        assert fingerprint_module(module) == fingerprint_module(module)
+
+    def test_config_fingerprints_are_distinct(self):
+        default = OverlapConfig()
+        assert fingerprint_config(default) != fingerprint_config(
+            OverlapConfig(unroll=False)
+        )
+        assert fingerprint_config(default) != fingerprint_config(None)
+        assert fingerprint_config(TPU_V4) != fingerprint_config(
+            dataclasses.replace(TPU_V4, link_bandwidth=1.0)
+        )
+
+    def test_mesh_fingerprint_accepts_bare_counts(self):
+        assert fingerprint_mesh(2) != fingerprint_mesh(4)
+        assert fingerprint_mesh(DeviceMesh.ring(2)) != fingerprint_mesh(
+            DeviceMesh.ring(4)
+        )
+
+
+class TestPlanKey:
+    def test_invalidates_on_every_dimension(self):
+        mesh = DeviceMesh.ring(4)
+        module = MLP.build(mesh)
+        base = plan_key(module, num_devices=4)
+        assert plan_key(module, num_devices=4) == base
+        assert plan_key(module, num_devices=2) != base
+        assert plan_key(module, num_devices=4, outputs=("h",)) != base
+        assert (
+            plan_key(module, num_devices=4, config=OverlapConfig()) != base
+        )
+        assert (
+            plan_key(module, num_devices=4, options=("donate", False)) != base
+        )
+        rebuilt = MLP.build(mesh)
+        assert plan_key(rebuilt, num_devices=4) == base
+
+
+class TestPlanCache:
+    def test_get_or_build_counts_hits_and_misses(self):
+        cache = PlanCache(capacity=4)
+        calls = []
+        value, hit = cache.get_or_build("k", lambda: calls.append(1) or "v")
+        assert (value, hit) == ("v", False)
+        value, hit = cache.get_or_build("k", lambda: calls.append(1) or "w")
+        assert (value, hit) == ("v", True)
+        assert len(calls) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_bounded_eviction_drops_least_recent(self):
+        cache = PlanCache(capacity=2)
+        for key in ("a", "b", "c"):
+            cache.get_or_build(key, lambda key=key: key.upper())
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert "a" not in cache and "b" in cache and "c" in cache
+        # Touching "b" makes "c" the eviction victim next.
+        cache.get_or_build("b", lambda: "never")
+        cache.get_or_build("d", lambda: "D")
+        assert "b" in cache and "c" not in cache
+
+    def test_clear_resets_contents_and_stats(self):
+        cache = PlanCache(capacity=2)
+        cache.get_or_build("a", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_stats_json_roundtrip(self):
+        stats = CacheStats(hits=3, misses=1, evictions=2)
+        payload = stats.to_json()
+        assert payload["hits"] == 3
+        assert payload["hit_rate"] == pytest.approx(0.75)
+
+
+class TestCompileCache:
+    def test_cached_compile_reuses_result_and_spares_the_argument(self):
+        clear_compile_cache()
+        try:
+            mesh = DeviceMesh.ring(4)
+            config = OverlapConfig(use_cost_model=False)
+            first_module = MLP.build(mesh)
+            first = compile_module_cached(first_module, mesh, config)
+            assert first.module is first_module  # miss compiles in place
+
+            second_module = MLP.build(mesh)
+            before = list(second_module.instructions)
+            second = compile_module_cached(second_module, mesh, config)
+            assert second is first
+            # On a hit the caller's module is untouched.
+            assert list(second_module.instructions) == before
+            stats = compile_cache_stats()
+            assert stats.hits == 1 and stats.misses == 1
+        finally:
+            clear_compile_cache()
+
+    def test_config_change_invalidates(self):
+        clear_compile_cache()
+        try:
+            mesh = DeviceMesh.ring(4)
+            one = compile_module_cached(
+                MLP.build(mesh), mesh, OverlapConfig(use_cost_model=False)
+            )
+            two = compile_module_cached(
+                MLP.build(mesh),
+                mesh,
+                OverlapConfig(use_cost_model=False, unroll=False),
+            )
+            assert one is not two
+            assert compile_cache_stats().misses == 2
+        finally:
+            clear_compile_cache()

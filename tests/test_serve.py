@@ -1,0 +1,256 @@
+"""Tests for the serving subsystem: catalog, server, load generator.
+
+The server's contract mirrors the chaos harness's: every request either
+completes with engine-exact output or fails with a *typed* error —
+queue-full at submission, deadline-exceeded at dequeue, unknown-program
+immediately — and the untyped-failure counter stays zero on healthy
+runs. Determinism in the threaded tests comes from holding the server's
+module-build lock: a worker that has dequeued a batch blocks there,
+letting the test shape the queue behind it.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.models.serving import ServableProgram, default_catalog
+from repro.runtime.engine import create_engine
+from repro.serve import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServeConfig,
+    Server,
+    ServerClosedError,
+    UnknownProgramError,
+    check_report,
+    format_report,
+    measure_compile_overhead,
+    run_loadgen,
+    write_report,
+)
+
+MLP2 = "mlp-chain@2"
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return
+        time.sleep(0.001)
+    raise AssertionError("condition not reached within timeout")
+
+
+class TestCatalog:
+    def test_default_catalog_covers_cases_rings_and_variants(self):
+        catalog = default_catalog()
+        assert MLP2 in catalog and "mlp-chain@4+overlap" in catalog
+        assert len(catalog) == 12  # 3 cases x 2 rings x {raw, overlap}
+        for name, program in catalog.items():
+            assert program.name == name
+            assert isinstance(program, ServableProgram)
+
+    def test_overlap_variant_decomposes(self):
+        program = default_catalog()["mlp-chain@4+overlap"]
+        module = program.build_module()
+        opcodes = {i.opcode.name for i in module.instructions}
+        assert "WHILE" in opcodes or "COLLECTIVE_PERMUTE_START" in opcodes
+
+    def test_seeded_inputs_are_reproducible(self):
+        program = default_catalog()[MLP2]
+        a = program.make_inputs_seeded(7)
+        b = program.make_inputs_seeded(7)
+        for key in a:
+            for x, y in zip(a[key], b[key]):
+                assert np.array_equal(x, y)
+
+
+class TestServer:
+    def test_request_matches_direct_engine_run(self):
+        catalog = default_catalog()
+        program = catalog[MLP2]
+        inputs = program.make_inputs_seeded(3)
+        with Server(ServeConfig(workers=1), catalog=catalog) as server:
+            values = server.submit(MLP2, inputs).result(timeout=10)
+        oracle = create_engine("interpreted").run(
+            program.build_module(), inputs, mesh=program.num_devices
+        )
+        (got,) = values.values()
+        (want,) = oracle.values()
+        for x, y in zip(got, want):
+            assert np.array_equal(x, y)
+
+    def test_unknown_program_rejected_typed(self):
+        with Server(ServeConfig(workers=1)) as server:
+            with pytest.raises(UnknownProgramError, match="nonesuch"):
+                server.submit("nonesuch")
+        assert server.stats().counters["serve.rejected_unknown_program"] == 1
+
+    def test_queue_full_rejected_typed(self):
+        config = ServeConfig(workers=1, queue_depth=1, max_wait=0.0)
+        server = Server(config, catalog=default_catalog())
+        accepted = []
+        try:
+            with server._module_lock:  # first build blocks the worker
+                with pytest.raises(QueueFullError):
+                    for _ in range(3):
+                        accepted.append(server.submit(MLP2))
+            for ticket in accepted:
+                ticket.result(timeout=10)
+        finally:
+            server.close()
+        assert server.stats().counters["serve.rejected_queue_full"] >= 1
+
+    def test_deadline_checked_at_dequeue(self):
+        config = ServeConfig(workers=1, max_wait=0.0)
+        server = Server(config, catalog=default_catalog())
+        try:
+            with server._module_lock:
+                first = server.submit(MLP2)
+                _wait_until(lambda: not server._queue)  # worker holds it
+                late = server.submit(MLP2, deadline=0.005)
+                time.sleep(0.05)
+            first.result(timeout=10)
+            with pytest.raises(DeadlineExceededError, match="deadline"):
+                late.result(timeout=10)
+        finally:
+            server.close()
+        counters = server.stats().counters
+        assert counters["serve.deadline_exceeded"] == 1
+        assert counters["serve.typed_failures"] == 1
+        assert counters.get("serve.untyped_failures", 0) == 0
+
+    def test_same_program_requests_batch(self):
+        # max_wait=0 turns off the straggler window, so the batch split
+        # is deterministic: the worker takes `first` alone (nothing else
+        # queued yet), blocks on the module lock, and the four requests
+        # queued meanwhile form exactly one follow-up batch.
+        config = ServeConfig(workers=1, max_batch_size=8, max_wait=0.0)
+        server = Server(config, catalog=default_catalog())
+        try:
+            with server._module_lock:
+                first = server.submit(MLP2)
+                _wait_until(lambda: not server._queue)
+                rest = [server.submit(MLP2) for _ in range(4)]
+            for ticket in [first, *rest]:
+                ticket.result(timeout=10)
+        finally:
+            server.close()
+        stats = server.stats()
+        assert stats.batches == 2  # the blocked single + one batch of 4
+        assert stats.counters["serve.batched_requests"] == 5
+        assert stats.mean_batch_size == pytest.approx(2.5)
+
+    def test_bad_inputs_fail_only_their_request_untyped(self):
+        with Server(ServeConfig(workers=1)) as server:
+            bad = server.submit(MLP2, inputs={})
+            good = server.submit(MLP2)
+            with pytest.raises(Exception) as excinfo:
+                bad.result(timeout=10)
+            assert not isinstance(
+                excinfo.value, (UnknownProgramError, QueueFullError)
+            )
+            good.result(timeout=10)
+        counters = server.stats().counters
+        assert counters["serve.untyped_failures"] == 1
+        assert counters["serve.completed"] == 1
+
+    def test_submit_after_close_rejected(self):
+        server = Server(ServeConfig(workers=1))
+        server.close()
+        with pytest.raises(ServerClosedError):
+            server.submit(MLP2)
+
+    def test_close_without_drain_fails_queued_typed(self):
+        server = Server(ServeConfig(workers=1, max_wait=0.0))
+        with server._module_lock:
+            first = server.submit(MLP2)
+            _wait_until(lambda: not server._queue)
+            queued = server.submit(MLP2)
+            # close() joins the workers, and the worker is blocked on
+            # the module lock this test holds — so close from a helper
+            # thread and release the lock before joining it.
+            closer = threading.Thread(
+                target=lambda: server.close(drain=False)
+            )
+            closer.start()
+            _wait_until(lambda: queued.done)  # dropped typed, not run
+        first.result(timeout=10)
+        closer.join(timeout=10)
+        with pytest.raises(ServerClosedError):
+            queued.result(timeout=10)
+
+    def test_plan_cache_warm_after_repeat_requests(self):
+        with Server(ServeConfig(workers=2)) as server:
+            for _ in range(3):
+                server.submit(MLP2).result(timeout=10)
+        cache = server.stats().plan_cache
+        assert cache.misses == 1
+        assert cache.hits >= 2
+
+    def test_interpreted_engine_serves_too(self):
+        config = ServeConfig(engine="interpreted", workers=1)
+        with Server(config) as server:
+            values = server.submit(MLP2).result(timeout=10)
+        assert values
+        assert server.stats().plan_cache is None
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ServeConfig(engine="jit")
+        with pytest.raises(ValueError):
+            ServeConfig(queue_depth=0)
+        with pytest.raises(ValueError):
+            ServeConfig(max_batch_size=0)
+
+
+class TestLoadgen:
+    def test_selftest_run_passes_the_gates(self, tmp_path):
+        report = run_loadgen(
+            requests=30,
+            config=ServeConfig(workers=2, max_batch_size=4),
+            programs=[MLP2, "mlp-chain@2+overlap"],
+            seed=7,
+        )
+        assert report.completed == 30
+        assert report.untyped_failures == 0
+        assert report.cache_misses == 2  # one per program
+        assert check_report(report) == []
+        text = format_report(report)
+        assert "p50" in text and "hit rate" in text
+        path = tmp_path / "report.json"
+        write_report(report, str(path))
+        assert path.exists()
+        payload = report.to_json()
+        assert payload["requests"] == 30
+        assert payload["compile_overhead"]["speedup"] > 1.0
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(UnknownProgramError):
+            run_loadgen(requests=2, programs=["nonesuch"])
+
+    def test_check_report_flags_untyped_failures_and_cold_cache(self):
+        report = run_loadgen(
+            requests=6,
+            config=ServeConfig(workers=1),
+            programs=[MLP2],
+            measure_compile=False,
+        )
+        broken = report.__class__(
+            **{
+                **report.__dict__,
+                "untyped_failures": 2,
+                "completed": report.completed - 2,
+                "cache_hit_rate": 0.0,
+            }
+        )
+        problems = check_report(broken)
+        assert any("untyped" in p for p in problems)
+        assert any("hit rate" in p for p in problems)
+
+    def test_compile_overhead_measures_real_speedup(self):
+        overhead = measure_compile_overhead(repeats=3)
+        assert overhead.cold > overhead.warm
+        assert overhead.speedup >= 5.0
