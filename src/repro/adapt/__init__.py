@@ -1,0 +1,79 @@
+"""Straggler-aware adaptation: close the loop from timings to schedule.
+
+The paper gates overlap with a one-shot analytic cost model and assumes
+a homogeneous fabric. This package turns the repo's existing
+observability into a *feedback* path:
+
+* :class:`LinkHealthMonitor` (:mod:`repro.adapt.health`) consumes
+  per-step :class:`~repro.obs.events.TraceEvent` timings — measured or
+  simulated — and maintains per-channel EWMA latency/loss scores,
+  emitting typed :class:`HealthVerdict`\\ s.
+* :class:`RebalancePolicy` (:mod:`repro.adapt.policy`) maps verdicts to
+  typed schedule edits along a graceful-degradation ladder
+  (:class:`LadderState`): shrink the decomposed transfer step,
+  re-apportion ring chunks across uneven links, drop to a
+  unidirectional loop on the healthy direction, and only as a last
+  resort fall back to the undecomposed program. Edits are plain
+  :class:`~repro.core.config.OverlapConfig` replacements, applied by
+  recompiling through the content-addressed plan cache — switching
+  rungs mid-workload costs one cache lookup once warm.
+* :func:`run_with_ladder` (:mod:`repro.adapt.ladder`) executes a
+  program down the ladder under fault injection, recording every
+  transition as a typed, seeded trace event.
+* :mod:`repro.adapt.scenarios` / :mod:`repro.adapt.tail` score the
+  closed loop on heterogeneous-fabric perfsim scenarios at p50/p99 and
+  gate ``decomposed+rebalanced <= undecomposed`` at p99 (the
+  ``CHAOS_p99.json`` CI artifact).
+"""
+
+from repro.adapt.health import (
+    CRITICAL,
+    DEAD,
+    DEGRADED,
+    HEALTHY,
+    HealthVerdict,
+    LinkHealthMonitor,
+    direction_of_channel,
+)
+from repro.adapt.ladder import LadderResult, run_with_ladder
+from repro.adapt.policy import (
+    LadderState,
+    LadderTransition,
+    RebalancePolicy,
+    ScheduleEdit,
+)
+from repro.adapt.scenarios import SCENARIOS, HeteroScenario
+from repro.adapt.tail import (
+    ScenarioTail,
+    TailReport,
+    VariantTail,
+    compare_tail_reports,
+    format_tail_report,
+    run_tail,
+    write_tail_report,
+)
+
+__all__ = [
+    "CRITICAL",
+    "DEAD",
+    "DEGRADED",
+    "HEALTHY",
+    "HealthVerdict",
+    "HeteroScenario",
+    "LadderResult",
+    "LadderState",
+    "LadderTransition",
+    "LinkHealthMonitor",
+    "RebalancePolicy",
+    "SCENARIOS",
+    "ScenarioTail",
+    "ScheduleEdit",
+    "TailReport",
+    "VariantTail",
+    "compare_tail_reports",
+    "direction_of_channel",
+    "format_tail_report",
+    "run_tail",
+    "run_with_ladder",
+    "write_tail_report",
+]

@@ -1,0 +1,277 @@
+"""Link health monitor: EWMA channel scores from observed step timings.
+
+The monitor is the sensing half of the adaptation loop. Feed it one
+timeline per step — a measured :class:`~repro.obs.tracer.Tracer` log or
+a simulated :class:`~repro.perfsim.trace.Trace` — and it folds each into
+per-lane normalized costs via :func:`repro.obs.health_feed.lane_costs`,
+then tracks an exponentially weighted moving average of each lane's cost
+*ratio* against a calibrated nominal::
+
+    ewma = alpha * sample + (1 - alpha) * ewma
+
+A ratio of 1.0 means the lane behaves as calibrated; 3.0 means bytes
+take three times as long per unit as they should. Loss is tracked the
+same way from the retry fraction. Typed link faults
+(:class:`~repro.faults.errors.LinkDownError`,
+:class:`~repro.faults.errors.TransferTimeoutError`) mark their channel
+``DEAD`` outright via :meth:`LinkHealthMonitor.observe_fault`.
+
+The monitor emits :class:`HealthVerdict` values only; what to *do* about
+a verdict is :class:`repro.adapt.policy.RebalancePolicy`'s job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.faults.errors import FaultError
+from repro.obs.events import TraceEvent
+from repro.obs.health_feed import lane_costs, retry_fraction
+from repro.perfsim.topology import MINUS, PLUS, TopologyError, classify_permute
+from repro.sharding.mesh import DeviceMesh
+
+#: Verdict statuses, in increasing severity.
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+CRITICAL = "critical"
+DEAD = "dead"
+
+_SEVERITY = {HEALTHY: 0, DEGRADED: 1, CRITICAL: 2, DEAD: 3}
+
+
+def direction_of_channel(channel: str) -> Optional[str]:
+    """Ring direction encoded in a link lane name, if any.
+
+    Lane names follow ``link:<axis>:<direction>[...suffix]`` — the
+    symmetric simulator emits ``link:x:minus``, the per-device walk
+    ``link:x:minus:dev3``, and fault-derived channels reuse the same
+    shape. Non-link lanes (``compute:dev0``, ``device:0``) have no
+    direction.
+    """
+    parts = channel.split(":")
+    if len(parts) >= 3 and parts[0] == "link" and parts[2] in (MINUS, PLUS):
+        return parts[2]
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class HealthVerdict:
+    """Typed health assessment of one channel.
+
+    ``latency_score`` is the EWMA cost ratio against the calibrated
+    nominal (1.0 = as calibrated); ``loss_score`` the EWMA retry
+    fraction. ``samples`` counts observations folded into the scores.
+    """
+
+    channel: str
+    status: str
+    latency_score: float
+    loss_score: float
+    samples: int
+
+    def __post_init__(self) -> None:
+        if self.status not in _SEVERITY:
+            raise ValueError(
+                f"HealthVerdict.status must be one of {sorted(_SEVERITY)}, "
+                f"got {self.status!r}"
+            )
+
+    @property
+    def severity(self) -> int:
+        return _SEVERITY[self.status]
+
+    @property
+    def is_healthy(self) -> bool:
+        return self.status == HEALTHY
+
+    def describe(self) -> str:
+        return (
+            f"{self.channel}: {self.status} "
+            f"(latency x{self.latency_score:.2f}, "
+            f"loss {self.loss_score:.3f}, {self.samples} samples)"
+        )
+
+
+class LinkHealthMonitor:
+    """Per-channel EWMA health scores from per-step trace timings.
+
+    ``alpha`` weights the newest sample (0 < alpha <= 1); higher reacts
+    faster but is noisier. A lane is DEGRADED once its EWMA cost ratio
+    crosses ``degraded_threshold`` or its loss crosses ``loss_degraded``,
+    CRITICAL past ``critical_threshold`` / ``loss_critical``, and DEAD
+    once a typed link fault names it.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.4,
+        degraded_threshold: float = 1.5,
+        critical_threshold: float = 3.0,
+        loss_degraded: float = 0.1,
+        loss_critical: float = 0.5,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(
+                f"LinkHealthMonitor.alpha must be in (0, 1], got {alpha}"
+            )
+        if not 1.0 < degraded_threshold < critical_threshold:
+            raise ValueError(
+                "LinkHealthMonitor thresholds must satisfy "
+                "1.0 < degraded_threshold < critical_threshold, got "
+                f"{degraded_threshold} / {critical_threshold}"
+            )
+        if not 0.0 < loss_degraded < loss_critical <= 1.0:
+            raise ValueError(
+                "LinkHealthMonitor loss thresholds must satisfy "
+                "0 < loss_degraded < loss_critical <= 1, got "
+                f"{loss_degraded} / {loss_critical}"
+            )
+        self.alpha = alpha
+        self.degraded_threshold = degraded_threshold
+        self.critical_threshold = critical_threshold
+        self.loss_degraded = loss_degraded
+        self.loss_critical = loss_critical
+        self._nominal: Dict[str, float] = {}
+        self._ewma: Dict[str, float] = {}
+        self._samples: Dict[str, int] = {}
+        self._loss_ewma = 0.0
+        self._dead: Set[str] = set()
+
+    def calibrate(self, events: Iterable[TraceEvent]) -> None:
+        """Record a healthy step's per-lane costs as the nominal.
+
+        Without calibration the first observed sample of each lane
+        becomes its nominal — calibration just makes "healthy" explicit
+        instead of "whatever we saw first".
+        """
+        for resource, lane in lane_costs(events).items():
+            if lane.cost > 0.0:
+                self._nominal[resource] = lane.cost
+
+    def observe(self, events: Iterable[TraceEvent]) -> None:
+        """Fold one step's timeline into the EWMA scores."""
+        events = list(events)
+        for resource, lane in lane_costs(events).items():
+            if lane.cost <= 0.0:
+                continue
+            nominal = self._nominal.setdefault(resource, lane.cost)
+            ratio = lane.cost / nominal if nominal > 0.0 else 1.0
+            previous = self._ewma.get(resource)
+            if previous is None:
+                self._ewma[resource] = ratio
+            else:
+                self._ewma[resource] = (
+                    self.alpha * ratio + (1.0 - self.alpha) * previous
+                )
+            self._samples[resource] = self._samples.get(resource, 0) + 1
+        loss = retry_fraction(events)
+        self._loss_ewma = (
+            self.alpha * loss + (1.0 - self.alpha) * self._loss_ewma
+        )
+
+    def observe_fault(
+        self, error: FaultError, mesh: Optional[DeviceMesh] = None
+    ) -> str:
+        """Mark the channel a typed link fault names as DEAD.
+
+        Localizes the channel from the error's context: with ``pairs``
+        and a mesh the permute is classified to ``link:<axis>:<dir>``;
+        with only a direction the axis is wildcarded; otherwise the
+        whole fabric is marked. Returns the channel marked.
+        """
+        context = getattr(error, "context", {}) or {}
+        direction = context.get("direction")
+        pairs = context.get("pairs")
+        channel = "fabric"
+        if pairs and mesh is not None:
+            try:
+                route = classify_permute(
+                    [tuple(pair) for pair in pairs], mesh, direction
+                )
+                channel = f"link:{route.axis}:{route.direction}"
+            except (TopologyError, ValueError):
+                channel = (
+                    f"link:*:{direction}" if direction else "fabric"
+                )
+        elif direction:
+            channel = f"link:*:{direction}"
+        self._dead.add(channel)
+        self._samples[channel] = self._samples.get(channel, 0) + 1
+        return channel
+
+    def _status_of(self, latency: float, dead: bool) -> str:
+        if dead:
+            return DEAD
+        if latency >= self.critical_threshold or (
+            self._loss_ewma >= self.loss_critical
+        ):
+            return CRITICAL
+        if latency >= self.degraded_threshold or (
+            self._loss_ewma >= self.loss_degraded
+        ):
+            return DEGRADED
+        return HEALTHY
+
+    def verdicts(self) -> Tuple[HealthVerdict, ...]:
+        """Current typed verdict per observed channel, sorted by name."""
+        channels = sorted(set(self._ewma) | self._dead)
+        out: List[HealthVerdict] = []
+        for channel in channels:
+            dead = self._matches_dead(channel)
+            latency = self._ewma.get(channel, math.inf if dead else 1.0)
+            out.append(
+                HealthVerdict(
+                    channel=channel,
+                    status=self._status_of(latency, dead),
+                    latency_score=latency,
+                    loss_score=self._loss_ewma,
+                    samples=self._samples.get(channel, 0),
+                )
+            )
+        return tuple(out)
+
+    def _matches_dead(self, channel: str) -> bool:
+        if channel in self._dead:
+            return True
+        direction = direction_of_channel(channel)
+        return direction is not None and f"link:*:{direction}" in self._dead
+
+    def worst(self) -> Optional[HealthVerdict]:
+        """Most severe verdict (ties broken by latency score)."""
+        verdicts = self.verdicts()
+        if not verdicts:
+            return None
+        return max(
+            verdicts, key=lambda v: (v.severity, v.latency_score)
+        )
+
+    def healthy_direction(self) -> Optional[str]:
+        """The ring direction still healthy when exactly one is not.
+
+        Used to pick the loop direction for the unidirectional ladder
+        rung: if every unhealthy link lane points one way and the
+        mirrored direction has no unhealthy lane, the mirror is the safe
+        side. Returns ``None`` when both (or neither) direction is
+        implicated.
+        """
+        return healthy_direction(self.verdicts())
+
+
+def healthy_direction(
+    verdicts: Sequence[HealthVerdict],
+) -> Optional[str]:
+    """Module-level form of :meth:`LinkHealthMonitor.healthy_direction`
+    so policies can work from a verdict list alone."""
+    unhealthy: Set[str] = set()
+    for verdict in verdicts:
+        if verdict.is_healthy:
+            continue
+        direction = direction_of_channel(verdict.channel)
+        if direction is not None:
+            unhealthy.add(direction)
+    if len(unhealthy) != 1:
+        return None
+    (bad,) = unhealthy
+    return PLUS if bad == MINUS else MINUS

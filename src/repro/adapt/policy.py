@@ -1,0 +1,252 @@
+"""Rebalance policy: map health verdicts to typed schedule edits.
+
+The acting half of the adaptation loop. Given the monitor's verdicts the
+policy picks a rung on the graceful-degradation ladder and materializes
+it as an :class:`~repro.core.config.OverlapConfig` replacement — the
+edit is *compiled in*, not patched at runtime, so every rung goes
+through the full pass pipeline (and the content-addressed plan cache
+makes revisiting a rung a cache hit).
+
+The ladder, in order of increasing degradation::
+
+    FULL            paper-exact decomposed schedule
+    REBALANCED      shrink the transfer step (finer granularity) and/or
+                    re-apportion ring chunks across uneven links
+    UNIDIRECTIONAL  drop bidirectional transfer; circulate on the
+                    healthy ring direction only
+    SYNC_FALLBACK   undecomposed synchronous collectives (last resort)
+
+Every rung is bit-identical to the oracle — the ladder trades
+*performance*, never numerics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Mapping, Optional, Sequence, Tuple
+
+from repro.adapt.health import (
+    CRITICAL,
+    DEAD,
+    HealthVerdict,
+    direction_of_channel,
+    healthy_direction,
+)
+from repro.core.config import OverlapConfig
+from repro.perfsim.topology import MINUS
+
+#: Schedule-edit kinds, one per ladder mechanism.
+SHRINK_STEP = "shrink-step"
+REBALANCE_CHUNKS = "rebalance-chunks"
+DROP_BIDIRECTIONAL = "drop-bidirectional"
+SYNC_FALLBACK_EDIT = "sync-fallback"
+NO_CHANGE = "no-change"
+
+_EDIT_KINDS = frozenset(
+    {SHRINK_STEP, REBALANCE_CHUNKS, DROP_BIDIRECTIONAL, SYNC_FALLBACK_EDIT,
+     NO_CHANGE}
+)
+
+
+class LadderState(enum.IntEnum):
+    """Rungs of the graceful-degradation ladder, mildest first."""
+
+    FULL = 0
+    REBALANCED = 1
+    UNIDIRECTIONAL = 2
+    SYNC_FALLBACK = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleEdit:
+    """One typed edit to the overlap schedule.
+
+    ``changes`` are the exact :class:`OverlapConfig` field replacements
+    the edit compiles to — an empty mapping is the identity edit.
+    """
+
+    kind: str
+    reason: str
+    changes: Mapping[str, object] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _EDIT_KINDS:
+            raise ValueError(
+                f"ScheduleEdit.kind must be one of {sorted(_EDIT_KINDS)}, "
+                f"got {self.kind!r}"
+            )
+
+    def apply(self, config: OverlapConfig) -> OverlapConfig:
+        if not self.changes:
+            return config
+        return config.replace(**dict(self.changes))
+
+    def describe(self) -> str:
+        if not self.changes:
+            return f"{self.kind}: {self.reason}"
+        fields = ", ".join(
+            f"{name}={value!r}" for name, value in sorted(self.changes.items())
+        )
+        return f"{self.kind} ({fields}): {self.reason}"
+
+
+@dataclasses.dataclass(frozen=True)
+class LadderTransition:
+    """One typed, seeded descent of the ladder."""
+
+    from_state: LadderState
+    to_state: LadderState
+    edit: ScheduleEdit
+    seed: Optional[int]
+    error_type: Optional[str] = None
+
+    def describe(self) -> str:
+        text = (
+            f"ladder:{self.from_state.name.lower()}->"
+            f"{self.to_state.name.lower()} {self.edit.kind}"
+        )
+        if self.error_type:
+            text += f" after {self.error_type}"
+        if self.seed is not None:
+            text += f" [replay with seed={self.seed}]"
+        return text
+
+
+def _worst(verdicts: Sequence[HealthVerdict]) -> Optional[HealthVerdict]:
+    if not verdicts:
+        return None
+    return max(verdicts, key=lambda v: (v.severity, v.latency_score))
+
+
+def _slow_direction(
+    verdicts: Sequence[HealthVerdict],
+) -> Optional[str]:
+    """The single implicated ring direction, if exactly one is."""
+    healthy = healthy_direction(verdicts)
+    if healthy is None:
+        return None
+    return "plus" if healthy == MINUS else "minus"
+
+
+class RebalancePolicy:
+    """Choose ladder rungs and materialize their schedule edits.
+
+    ``max_granularity`` caps the shrink-step rung's transfer splitting
+    (the config itself caps at 8); ``pair_bias`` is how far the
+    two-device chunk split leans away from a slow link (0.5 - bias to
+    the slow side).
+    """
+
+    def __init__(
+        self, max_granularity: int = 4, pair_bias: float = 0.25
+    ) -> None:
+        if not 1 <= max_granularity <= 8:
+            raise ValueError(
+                f"RebalancePolicy.max_granularity must be in [1, 8], got "
+                f"{max_granularity}"
+            )
+        if not 0.0 < pair_bias < 0.5:
+            raise ValueError(
+                f"RebalancePolicy.pair_bias must be in (0, 0.5), got "
+                f"{pair_bias}"
+            )
+        self.max_granularity = max_granularity
+        self.pair_bias = pair_bias
+
+    def next_state(self, state: LadderState) -> LadderState:
+        """The rung below ``state`` (SYNC_FALLBACK is terminal)."""
+        return LadderState(min(int(state) + 1, int(LadderState.SYNC_FALLBACK)))
+
+    def choose_state(
+        self, verdicts: Sequence[HealthVerdict]
+    ) -> LadderState:
+        """Closed-loop rung selection from health verdicts alone.
+
+        Only *channel* degradation warrants a schedule edit — a compute
+        straggler doesn't change what the schedule should be (overlap
+        already hides what it can under the stretched compute), so
+        compute-lane verdicts leave the paper schedule in place.
+        DEAD/CRITICAL on exactly one ring direction drops straight to
+        the unidirectional rung on the mirror; other link degradation
+        rebalances. The policy never *chooses* SYNC_FALLBACK from
+        timings — that rung is reserved for repeated typed faults (see
+        :func:`repro.adapt.ladder.run_with_ladder`).
+        """
+        links = [
+            v
+            for v in verdicts
+            if not v.is_healthy
+            and (v.channel.startswith("link") or v.channel == "fabric")
+        ]
+        worst = _worst(links)
+        if worst is None:
+            return LadderState.FULL
+        if worst.status in (CRITICAL, DEAD):
+            if (
+                direction_of_channel(worst.channel) is not None
+                and healthy_direction(verdicts) is not None
+            ):
+                return LadderState.UNIDIRECTIONAL
+        return LadderState.REBALANCED
+
+    def config_for(
+        self,
+        state: LadderState,
+        base: OverlapConfig,
+        verdicts: Sequence[HealthVerdict] = (),
+    ) -> Tuple[OverlapConfig, ScheduleEdit]:
+        """The config and typed edit realizing ``state`` over ``base``."""
+        edit = self.edit_for(state, base, verdicts)
+        return edit.apply(base), edit
+
+    def edit_for(
+        self,
+        state: LadderState,
+        base: OverlapConfig,
+        verdicts: Sequence[HealthVerdict] = (),
+    ) -> ScheduleEdit:
+        worst = _worst(verdicts)
+        culprit = worst.describe() if worst and not worst.is_healthy else None
+        if state is LadderState.FULL:
+            return ScheduleEdit(
+                kind=NO_CHANGE, reason="all channels healthy"
+            )
+        if state is LadderState.REBALANCED:
+            changes = {
+                "transfer_granularity": min(
+                    self.max_granularity,
+                    max(2, base.transfer_granularity * 2),
+                )
+            }
+            kind = SHRINK_STEP
+            slow = _slow_direction(verdicts)
+            if slow is not None:
+                # Lean the two-device chunk split away from the slow
+                # link; harmless on rings > 2 (split only exists there).
+                changes["pair_split"] = (
+                    0.5 - self.pair_bias
+                    if slow == MINUS
+                    else 0.5 + self.pair_bias
+                )
+                kind = REBALANCE_CHUNKS
+            return ScheduleEdit(
+                kind=kind,
+                reason=culprit or "degraded channel",
+                changes=changes,
+            )
+        if state is LadderState.UNIDIRECTIONAL:
+            direction = healthy_direction(verdicts)
+            changes = {"bidirectional": False, "unroll": False}
+            if direction is not None:
+                changes["preferred_direction"] = direction
+            return ScheduleEdit(
+                kind=DROP_BIDIRECTIONAL,
+                reason=culprit or "ring direction unusable",
+                changes=changes,
+            )
+        return ScheduleEdit(
+            kind=SYNC_FALLBACK_EDIT,
+            reason=culprit or "decomposed schedules exhausted",
+            changes={"enabled": False},
+        )

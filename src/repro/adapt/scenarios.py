@@ -1,0 +1,107 @@
+"""Heterogeneous-fabric scenarios for the tail harness.
+
+Each scenario is a seeded generator of :class:`ChannelConditions`
+modelling one real-world way a fabric stops being the homogeneous torus
+the paper assumes. They deliberately target the multi-device walk
+(:func:`repro.perfsim.multidevice.simulate_per_device`): per-device
+scales are invisible to the symmetric single-device simulator.
+
+The scenarios are where the adaptation loop earns its keep:
+
+* ``mixed-generation`` — half the ring is a slower chip generation;
+  compute stretches, so overlap has *more* room to hide transfers.
+* ``oversubscribed-host`` — two devices share a congested host NIC;
+  their outgoing links slow down, gating the undecomposed collective by
+  the slowest participant.
+* ``asymmetric-ring`` — one ring direction runs at a fraction of
+  nominal (a flapping optical link); the unidirectional rung simply
+  routes around it.
+* ``flaky-straggler`` — one random device computes slowly *and* jitters
+  run to run; the classic p99 tail.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.faults.conditions import ChannelConditions
+from repro.perfsim.topology import MINUS
+
+
+@dataclasses.dataclass(frozen=True)
+class HeteroScenario:
+    """One named, seeded fault-plan family for the tail harness."""
+
+    name: str
+    description: str
+    draw: Callable[[np.random.Generator, int], ChannelConditions]
+
+    def conditions(
+        self, rng: np.random.Generator, ring: int
+    ) -> ChannelConditions:
+        """Draw one run's conditions for a ring of ``ring`` devices."""
+        return self.draw(rng, ring)
+
+
+def _mixed_generation(
+    rng: np.random.Generator, ring: int
+) -> ChannelConditions:
+    older = max(1, ring // 2)
+    scale = float(rng.uniform(0.5, 0.7))
+    return ChannelConditions(
+        per_device_compute_scale={d: scale for d in range(older)}
+    )
+
+
+def _oversubscribed_host(
+    rng: np.random.Generator, ring: int
+) -> ChannelConditions:
+    scale = float(rng.uniform(0.3, 0.5))
+    shared = {0: scale}
+    if ring > 1:
+        shared[1] = scale
+    return ChannelConditions(per_device_link_scale=shared)
+
+
+def _asymmetric_ring(
+    rng: np.random.Generator, ring: int
+) -> ChannelConditions:
+    scale = float(rng.uniform(0.15, 0.35))
+    return ChannelConditions(link_scale={("x", MINUS): scale})
+
+
+def _flaky_straggler(
+    rng: np.random.Generator, ring: int
+) -> ChannelConditions:
+    device = int(rng.integers(ring))
+    slowdown = float(rng.uniform(1.5, 4.0))
+    return ChannelConditions(
+        per_device_compute_scale={device: 1.0 / slowdown}
+    )
+
+
+SCENARIOS: Tuple[HeteroScenario, ...] = (
+    HeteroScenario(
+        name="mixed-generation",
+        description="half the ring is a slower chip generation",
+        draw=_mixed_generation,
+    ),
+    HeteroScenario(
+        name="oversubscribed-host",
+        description="two devices share a congested host uplink",
+        draw=_oversubscribed_host,
+    ),
+    HeteroScenario(
+        name="asymmetric-ring",
+        description="one ring direction at a fraction of nominal bandwidth",
+        draw=_asymmetric_ring,
+    ),
+    HeteroScenario(
+        name="flaky-straggler",
+        description="one random device computes slowly, jittering per run",
+        draw=_flaky_straggler,
+    ),
+)

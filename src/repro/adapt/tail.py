@@ -1,0 +1,319 @@
+"""Tail harness: p50/p99 step time of the closed adaptation loop.
+
+For every heterogeneous scenario in :mod:`repro.adapt.scenarios` this
+harness runs many seeded draws of degraded conditions through the
+multi-device simulator and scores three variants:
+
+* ``undecomposed`` — the baseline program; its bulk collective is gated
+  by the slowest link in the ring.
+* ``decomposed`` — the paper's static overlapped schedule.
+* ``rebalanced`` — the closed loop: calibrate the
+  :class:`~repro.adapt.health.LinkHealthMonitor` on a healthy step,
+  observe the degraded step's per-device trace, let the
+  :class:`~repro.adapt.policy.RebalancePolicy` choose a ladder rung,
+  recompile through the plan cache, re-simulate.
+
+Step time is the *max* over per-device timelines — the straggler's
+finish is the step's finish. The harness gates
+``rebalanced.p99 <= undecomposed.p99`` per scenario (the resilience
+contract: adapting must never be worse at the tail than giving up on
+decomposition) and emits the ``CHAOS_p99.json`` artifact CI uploads and
+diffs against the committed baseline.
+
+Everything is seeded — same seed, same report, bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.adapt.health import LinkHealthMonitor
+from repro.adapt.policy import LadderState, RebalancePolicy
+from repro.adapt.scenarios import SCENARIOS, HeteroScenario
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import compile_module_cached
+from repro.faults.conditions import ChannelConditions
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import BF16
+from repro.hlo.module import HloModule
+from repro.hlo.shapes import Shape
+from repro.obs.comm_volume import comm_volume_summary
+from repro.perfsim.hardware import TPU_V4, ChipSpec
+from repro.perfsim.multidevice import simulate_per_device
+from repro.perfsim.trace import Trace
+from repro.sharding.mesh import DeviceMesh
+
+RING = 8
+RUNS = 24
+SEED = 20230325
+
+
+def _layer(mesh: DeviceMesh) -> HloModule:
+    """The degraded-tail workload: one AllGather→Einsum layer (the same
+    shape family as :mod:`repro.experiments.degraded`)."""
+    builder = GraphBuilder("tail_layer")
+    x = builder.parameter(Shape((8192, 4096), BF16), name="x")
+    w = builder.parameter(Shape((4096, 1024), BF16), name="w")
+    gathered = builder.all_gather(w, 1, mesh.rings("x"))
+    builder.einsum("bf,fh->bh", x, gathered)
+    return builder.module
+
+
+def _compile(
+    mesh: DeviceMesh, config: OverlapConfig, chip: ChipSpec
+) -> HloModule:
+    return compile_module_cached(_layer(mesh), mesh, config, chip=chip).module
+
+
+def _step_time(
+    module: HloModule,
+    mesh: DeviceMesh,
+    chip: ChipSpec,
+    conditions: ChannelConditions,
+    trace: Optional[Trace] = None,
+) -> float:
+    timelines = simulate_per_device(
+        module, mesh, chip=chip, conditions=conditions, trace=trace
+    )
+    return max(t.total_time for t in timelines)
+
+
+@dataclasses.dataclass(frozen=True)
+class VariantTail:
+    """Tail statistics of one variant over one scenario's runs."""
+
+    p50: float
+    p99: float
+    mean: float
+
+    @staticmethod
+    def of(samples: Sequence[float]) -> "VariantTail":
+        data = np.asarray(samples, dtype=np.float64)
+        return VariantTail(
+            p50=float(np.percentile(data, 50)),
+            p99=float(np.percentile(data, 99)),
+            mean=float(data.mean()),
+        )
+
+    def to_json(self) -> Dict[str, float]:
+        return {"p50": self.p50, "p99": self.p99, "mean": self.mean}
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioTail:
+    """One scenario's scored tail, with the p99 gate verdict."""
+
+    scenario: str
+    description: str
+    runs: int
+    undecomposed: VariantTail
+    decomposed: VariantTail
+    rebalanced: VariantTail
+    ladder_states: Mapping[str, int]  # rung name -> runs that chose it
+    bytes_on_wire: Mapping[str, int]  # variant -> comm-volume bytes
+
+    @property
+    def gate_ok(self) -> bool:
+        """The resilience gate: adapting beats giving up, at the tail."""
+        return self.rebalanced.p99 <= self.undecomposed.p99
+
+    @property
+    def p99_win(self) -> float:
+        """Undecomposed p99 over rebalanced p99 (>1 means we win)."""
+        if self.rebalanced.p99 <= 0:
+            return float("inf")
+        return self.undecomposed.p99 / self.rebalanced.p99
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "description": self.description,
+            "runs": self.runs,
+            "undecomposed": self.undecomposed.to_json(),
+            "decomposed": self.decomposed.to_json(),
+            "rebalanced": self.rebalanced.to_json(),
+            "ladder_states": dict(self.ladder_states),
+            "bytes_on_wire": dict(self.bytes_on_wire),
+            "gate_ok": self.gate_ok,
+            "p99_win": self.p99_win,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class TailReport:
+    """The full CHAOS_p99 artifact."""
+
+    seed: int
+    runs: int
+    ring: int
+    scenarios: Tuple[ScenarioTail, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(s.gate_ok for s in self.scenarios)
+
+    @property
+    def wins(self) -> int:
+        """Scenarios where rebalanced strictly beats undecomposed p99."""
+        return sum(1 for s in self.scenarios if s.p99_win > 1.0)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "runs": self.runs,
+            "ring": self.ring,
+            "ok": self.ok,
+            "scenarios": [s.to_json() for s in self.scenarios],
+        }
+
+
+def run_tail(
+    seed: int = SEED,
+    runs: int = RUNS,
+    ring: int = RING,
+    chip: ChipSpec = TPU_V4,
+    scenarios: Sequence[HeteroScenario] = SCENARIOS,
+    rebalance: Optional[RebalancePolicy] = None,
+) -> TailReport:
+    """Score the closed loop on every scenario; fully deterministic."""
+    mesh = DeviceMesh.ring(ring)
+    rebalance = rebalance or RebalancePolicy()
+    base = OverlapConfig(use_cost_model=False)
+    undecomposed = _compile(mesh, OverlapConfig.baseline(), chip)
+    decomposed = _compile(mesh, base, chip)
+
+    # Calibrate once on the healthy fabric: the monitor's notion of
+    # nominal is what the decomposed schedule costs when nothing is wrong.
+    healthy_trace = Trace()
+    _step_time(
+        decomposed, mesh, chip, ChannelConditions.healthy(), healthy_trace
+    )
+
+    tails: List[ScenarioTail] = []
+    for index, scenario in enumerate(scenarios):
+        undecomposed_times: List[float] = []
+        decomposed_times: List[float] = []
+        rebalanced_times: List[float] = []
+        states: Dict[str, int] = {}
+        bytes_on_wire: Dict[str, int] = {}
+        for run in range(runs):
+            rng = np.random.default_rng([seed, index, run])
+            conditions = scenario.conditions(rng, ring)
+            undecomposed_times.append(
+                _step_time(undecomposed, mesh, chip, conditions)
+            )
+            observed = Trace()
+            decomposed_times.append(
+                _step_time(decomposed, mesh, chip, conditions, observed)
+            )
+            # Close the loop: observe the degraded step, pick a rung,
+            # recompile through the plan cache, re-simulate.
+            monitor = LinkHealthMonitor()
+            monitor.calibrate(healthy_trace.events)
+            monitor.observe(observed.events)
+            state = rebalance.choose_state(monitor.verdicts())
+            config, _ = rebalance.config_for(
+                state, base, monitor.verdicts()
+            )
+            rebalanced = _compile(mesh, config, chip)
+            states[state.name.lower()] = states.get(state.name.lower(), 0) + 1
+            rebalanced_trace: Optional[Trace] = Trace() if run == 0 else None
+            rebalanced_times.append(
+                _step_time(rebalanced, mesh, chip, conditions, rebalanced_trace)
+            )
+            if run == 0:
+                bytes_on_wire["decomposed"] = comm_volume_summary(
+                    observed.events
+                ).total_bytes
+                bytes_on_wire["rebalanced"] = comm_volume_summary(
+                    rebalanced_trace.events
+                ).total_bytes
+        tails.append(
+            ScenarioTail(
+                scenario=scenario.name,
+                description=scenario.description,
+                runs=runs,
+                undecomposed=VariantTail.of(undecomposed_times),
+                decomposed=VariantTail.of(decomposed_times),
+                rebalanced=VariantTail.of(rebalanced_times),
+                ladder_states=states,
+                bytes_on_wire=bytes_on_wire,
+            )
+        )
+    return TailReport(seed=seed, runs=runs, ring=ring, scenarios=tuple(tails))
+
+
+def write_tail_report(report: TailReport, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def compare_tail_reports(
+    report: TailReport,
+    baseline: Mapping[str, object],
+    max_regression: float = 0.25,
+) -> List[str]:
+    """Diff a fresh report against the committed baseline JSON.
+
+    Returns human-readable problems: a scenario whose rebalanced p99
+    regressed more than ``max_regression`` past the baseline, or a gate
+    that held in the baseline but fails now. An empty list means CI may
+    proceed.
+    """
+    problems: List[str] = []
+    by_name = {s.scenario: s for s in report.scenarios}
+    for entry in baseline.get("scenarios", ()):
+        name = entry.get("scenario")
+        current = by_name.get(name)
+        if current is None:
+            problems.append(f"scenario {name!r} missing from current report")
+            continue
+        old_p99 = float(entry["rebalanced"]["p99"])
+        budget = old_p99 * (1.0 + max_regression)
+        if current.rebalanced.p99 > budget:
+            problems.append(
+                f"{name}: rebalanced p99 {current.rebalanced.p99:.6f}s "
+                f"regressed past baseline {old_p99:.6f}s "
+                f"(+{max_regression:.0%} budget {budget:.6f}s)"
+            )
+        if entry.get("gate_ok", True) and not current.gate_ok:
+            problems.append(
+                f"{name}: p99 gate newly failing — rebalanced "
+                f"{current.rebalanced.p99:.6f}s > undecomposed "
+                f"{current.undecomposed.p99:.6f}s"
+            )
+    return problems
+
+
+def format_tail_report(report: TailReport) -> str:
+    """Render the report as the table ``repro chaos --tail`` prints."""
+    header = (
+        f"{'scenario':<22} {'undecomp p99':>13} {'decomp p99':>12} "
+        f"{'rebal p99':>12} {'win':>7}  gate  rungs"
+    )
+    lines = [
+        f"Tail latency (ring of {report.ring}, {report.runs} seeded runs "
+        f"per scenario, seed {report.seed})",
+        header,
+    ]
+    for s in report.scenarios:
+        rungs = ", ".join(
+            f"{name} x{count}" for name, count in sorted(s.ladder_states.items())
+        )
+        lines.append(
+            f"{s.scenario:<22} {s.undecomposed.p99 * 1e3:>10.3f} ms "
+            f"{s.decomposed.p99 * 1e3:>9.3f} ms "
+            f"{s.rebalanced.p99 * 1e3:>9.3f} ms "
+            f"{s.p99_win:>6.2f}x  {'PASS' if s.gate_ok else 'FAIL'}  {rungs}"
+        )
+    lines.append(
+        f"gate: decomposed+rebalanced <= undecomposed at p99 — "
+        f"{'PASS' if report.ok else 'FAIL'} "
+        f"({report.wins}/{len(report.scenarios)} scenarios strictly faster)"
+    )
+    return "\n".join(lines)

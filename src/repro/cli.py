@@ -65,6 +65,12 @@ from repro.models.configs import TABLE1, TABLE2, by_name
 from repro.models.step import layer_graphs, simulate_step
 from repro.sharding.partitioner import partition
 
+def _tail_artifact() -> str:
+    from repro.adapt import format_tail_report, run_tail
+
+    return format_tail_report(run_tail())
+
+
 ARTIFACTS: Dict[str, Callable[[], str]] = {
     "fig1": lambda: fig01_breakdown.format_report(fig01_breakdown.run()),
     "fig12": lambda: fig12_overall.format_report(fig12_overall.run()),
@@ -85,6 +91,7 @@ ARTIFACTS: Dict[str, Callable[[], str]] = {
     "ablations": ablations.format_report,
     "future": lambda: future_overlap.format_report(future_overlap.run()),
     "degraded": lambda: degraded.format_report(degraded.run()),
+    "tail": _tail_artifact,
 }
 
 _DESCRIPTIONS = {
@@ -103,6 +110,8 @@ _DESCRIPTIONS = {
     "ablations": "Design ablations (fusion priority, cost gate, liveness)",
     "future": "Future work: decomposing standalone collectives",
     "degraded": "Tail effects: decomposed vs baseline on a degraded fabric",
+    "tail": "Adaptive rebalancing: p50/p99 vs undecomposed on "
+    "heterogeneous fabrics",
 }
 
 
@@ -192,10 +201,54 @@ def _cmd_dump(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from repro.faults.chaos import format_report, run_chaos, run_one
+    import json
+
+    from repro.faults.chaos import (
+        format_report, run_chaos, run_one, run_one_ladder,
+    )
+
+    if args.tail:
+        from repro.adapt import (
+            compare_tail_reports,
+            format_tail_report,
+            run_tail,
+            write_tail_report,
+        )
+
+        report = run_tail(seed=args.seed, runs=args.tail_runs)
+        print(format_tail_report(report))
+        if args.out:
+            write_tail_report(report, args.out)
+            print(f"wrote {args.out}")
+        problems = [
+            f"{s.scenario}: rebalanced p99 {s.rebalanced.p99:.6f}s exceeds "
+            f"undecomposed p99 {s.undecomposed.p99:.6f}s"
+            for s in report.scenarios
+            if not s.gate_ok
+        ]
+        if args.baseline:
+            try:
+                with open(args.baseline) as handle:
+                    baseline = json.load(handle)
+            except (OSError, json.JSONDecodeError) as error:
+                problems.append(
+                    f"cannot read baseline report {args.baseline}: {error}"
+                )
+            else:
+                problems.extend(
+                    compare_tail_reports(
+                        report, baseline, max_regression=args.max_regression
+                    )
+                )
+        return _gate(
+            problems,
+            "tail gate passed: decomposed+rebalanced <= undecomposed at "
+            "p99 on every scenario",
+        )
 
     if args.replay is not None:
-        result = run_one(args.replay, intensity=args.intensity)
+        runner = run_one_ladder if args.ladder else run_one
+        result = runner(args.replay, intensity=args.intensity)
         print(
             f"replay seed={result.seed}: case={result.case} "
             f"ring={result.ring} scheduler={result.scheduler} "
@@ -203,11 +256,18 @@ def _cmd_chaos(args) -> int:
         )
         detail = f" {result.error_type}: {result.message}" if result.message else ""
         print(f"outcome: {result.outcome}{detail}")
+        if result.ladder_state is not None:
+            print(
+                f"ladder: {result.transitions} descent(s), final rung "
+                f"{result.ladder_state}"
+            )
         return 1 if result.is_violation else 0
     if args.runs < 1:
         print("--runs must be at least 1", file=sys.stderr)
         return 2
-    report = run_chaos(args.seed, args.runs, intensity=args.intensity)
+    report = run_chaos(
+        args.seed, args.runs, intensity=args.intensity, ladder=args.ladder
+    )
     print(format_report(report))
     return 0 if report.ok else 1
 
@@ -254,6 +314,8 @@ def _cmd_trace(args) -> int:
     from repro.faults.chaos import GOLDEN_CASES
     from repro.obs import (
         Tracer,
+        comm_volume_summary,
+        format_comm_volume,
         overlap_summary,
         to_chrome_trace,
         validate_chrome_trace,
@@ -342,6 +404,14 @@ def _cmd_trace(args) -> int:
         if table:
             row = ", ".join(f"{k}={table[k]:g}" for k in sorted(table))
             print(f"counters[{stream}]: {row}")
+    volumes = {
+        stream: comm_volume_summary(events)
+        for stream, events in streams.items()
+    }
+    print()
+    for stream, volume in volumes.items():
+        print(f"comm volume [{stream}]:")
+        print(format_comm_volume(volume, indent="  "))
     if args.check:
         failures = []
         for engine in engines:
@@ -357,13 +427,25 @@ def _cmd_trace(args) -> int:
                     f"communication, baseline "
                     f"{base.hidden_communication_fraction:.1%}"
                 )
+        for stream, volume in volumes.items():
+            if volume.total_bytes <= 0:
+                failures.append(
+                    f"{stream}: comm-volume lens accounted zero bytes on "
+                    f"wire"
+                )
+            if "decomposed" in stream and volume.transfer_bytes <= 0:
+                failures.append(
+                    f"{stream}: decomposed stream moved no bytes over "
+                    f"point-to-point transfers"
+                )
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}", file=sys.stderr)
             return 1
         print(
             "check passed: decomposed hides strictly more communication "
-            "than baseline on both engines"
+            "than baseline on both engines, and every stream's bytes on "
+            "wire are accounted"
         )
     return 0
 
@@ -640,6 +722,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay", type=int, default=None, metavar="SEED",
         help="replay the single run whose failure message said "
         "'replay with seed=SEED'",
+    )
+    chaos.add_argument(
+        "--ladder", action="store_true",
+        help="execute each schedule through the adaptive degradation "
+        "ladder (rebalance -> unidirectional -> sync fallback) instead "
+        "of the one-cliff undecomposed fallback",
+    )
+    chaos.add_argument(
+        "--tail", action="store_true",
+        help="score the closed rebalancing loop on the heterogeneous "
+        "perfsim scenarios at p50/p99 and enforce the "
+        "'rebalanced <= undecomposed at p99' gate",
+    )
+    chaos.add_argument(
+        "--tail-runs", type=int, default=24, metavar="N",
+        help="seeded condition draws per tail scenario (default 24)",
+    )
+    chaos.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="with --tail: write the CHAOS_p99.json artifact to PATH",
+    )
+    chaos.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="with --tail: committed CHAOS_p99.json to regression-gate "
+        "against",
+    )
+    chaos.add_argument(
+        "--max-regression", type=float, default=0.25, metavar="F",
+        help="with --tail --baseline: allowed relative rebalanced-p99 "
+        "regression (default 0.25)",
     )
     chaos.set_defaults(handler=_cmd_chaos)
 

@@ -3,12 +3,17 @@
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 BOTTOM_UP = "bottom_up"
 TOP_DOWN = "top_down"
 IN_ORDER = "in_order"
 
 _SCHEDULERS = (BOTTOM_UP, TOP_DOWN, IN_ORDER)
+
+# Ring directions, mirroring repro.perfsim.topology (string literals to
+# keep this module dependency-free).
+_DIRECTIONS = (None, "minus", "plus")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -34,6 +39,24 @@ class OverlapConfig:
       scheduler can hide them under surrounding computation. Off by
       default — the paper's evaluated configuration leaves them
       synchronous.
+
+    Adaptive-rebalancing knobs (consumed by :mod:`repro.adapt`; the
+    defaults reproduce the paper's static schedules exactly):
+
+    * ``transfer_granularity`` — split every emitted ring permute into
+      this many equal sub-permutes along the shard axis (when the axis
+      divides evenly; otherwise the whole shard travels as one
+      transfer). Finer transfers shorten the longest single occupancy of
+      a degraded link at the cost of per-transfer overhead.
+    * ``preferred_direction`` — force *unidirectional* loops to
+      circulate in one ring direction: ``"minus"`` (the default loop's
+      ``+1`` shifts) or ``"plus"`` (the mirrored ``-1`` loop, which
+      avoids the minus links entirely). ``None`` keeps the paper's
+      direction.
+    * ``pair_split`` — on two-device bidirectional rings, the fraction
+      of the shard sent over the *minus* link (the rest travels plus);
+      ``0.5`` is the paper's even split, other values re-apportion
+      traffic across uneven links.
     """
 
     enabled: bool = True
@@ -45,6 +68,9 @@ class OverlapConfig:
     max_in_flight: int = 8
     min_ring_size: int = 2
     decompose_standalone: bool = False
+    transfer_granularity: int = 1
+    preferred_direction: Optional[str] = None
+    pair_split: float = 0.5
 
     def __post_init__(self) -> None:
         if self.scheduler not in _SCHEDULERS:
@@ -53,6 +79,20 @@ class OverlapConfig:
             )
         if self.max_in_flight < 1:
             raise ValueError("max_in_flight must be at least 1")
+        if not 1 <= self.transfer_granularity <= 8:
+            raise ValueError(
+                f"transfer_granularity must be in [1, 8], got "
+                f"{self.transfer_granularity}"
+            )
+        if self.preferred_direction not in _DIRECTIONS:
+            raise ValueError(
+                f"preferred_direction must be one of {_DIRECTIONS}, got "
+                f"{self.preferred_direction!r}"
+            )
+        if not 0.0 < self.pair_split < 1.0:
+            raise ValueError(
+                f"pair_split must be in (0, 1), got {self.pair_split}"
+            )
 
     @staticmethod
     def baseline() -> "OverlapConfig":

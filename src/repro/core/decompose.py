@@ -127,14 +127,25 @@ class _RingContext:
 class _LoopEmitter:
     """Emits loop instructions before the consumer and tracks bookkeeping."""
 
-    def __init__(self, module: HloModule, anchor: Instruction, copies: bool):
+    def __init__(
+        self,
+        module: HloModule,
+        anchor: Instruction,
+        copies: bool,
+        granularity: int = 1,
+    ):
         self.builder = GraphBuilder.into(module, anchor)
         self.copies = copies
+        self.granularity = granularity
         self.permutes: List[Instruction] = []
         self.partial_einsums: List[Instruction] = []
 
     def permute(
-        self, ring: _RingContext, value: Instruction, shift: int
+        self,
+        ring: _RingContext,
+        value: Instruction,
+        shift: int,
+        split_axis: Optional[int] = None,
     ) -> Instruction:
         """Ring-shift ``value``; an identity shift returns it unchanged.
 
@@ -142,19 +153,46 @@ class _LoopEmitter:
         "minus" link direction), negative shifts the opposite way; the
         direction is recorded on the instruction so the link model can
         tell the two apart even on two-device rings.
+
+        With ``granularity > 1`` and a ``split_axis`` whose extent it
+        divides, the payload travels as ``granularity`` independent
+        sub-permutes concatenated back on arrival — same bytes, same
+        route, finer link occupancy (the rebalance ladder's
+        "shrink the decomposed step" edit). Each sub-permute is a
+        per-device pure data movement, so the result is bit-identical
+        to the single-transfer form.
         """
         if shift % ring.n == 0:
             return value
         direction = MINUS if shift > 0 else PLUS
-        permute = self.builder.collective_permute(
-            value, ring.permute_pairs(shift), direction=direction
-        )
-        self.permutes.append(permute)
+        pairs = ring.permute_pairs(shift)
+        g = self.granularity
+        if (
+            g > 1
+            and split_axis is not None
+            and value.shape.dims[split_axis] >= g
+            and value.shape.dims[split_axis] % g == 0
+        ):
+            size = value.shape.dims[split_axis] // g
+            chunks = []
+            for k in range(g):
+                piece = self.builder.slice(value, split_axis, k * size, size)
+                sent = self.builder.collective_permute(
+                    piece, pairs, direction=direction
+                )
+                self.permutes.append(sent)
+                chunks.append(sent)
+            permuted = self.builder.concatenate(chunks, split_axis)
+        else:
+            permuted = self.builder.collective_permute(
+                value, pairs, direction=direction
+            )
+            self.permutes.append(permuted)
         if self.copies:
             # Loop-carried aliasing: the rolled loop must copy the received
             # buffer before reuse (removed by unrolling, Section 5.4.1).
-            return self.builder.copy(permute)
-        return permute
+            return self.builder.copy(permuted)
+        return permuted
 
     def einsum(
         self,
@@ -312,16 +350,28 @@ def _all_gather_unidirectional(
     config: OverlapConfig,
 ) -> DecomposedLoop:
     parts = _dissect_gather(candidate, ring)
-    emit = _LoopEmitter(module, candidate.einsum, copies=not config.unroll)
+    emit = _LoopEmitter(
+        module, candidate.einsum, copies=not config.unroll,
+        granularity=config.transfer_granularity,
+    )
     builder = emit.builder
+    # The mirrored loop (preferred_direction == "plus") circulates the
+    # buffer with -1 shifts, so iteration i holds shard r - i: the minus
+    # links stay idle — the degradation ladder's escape from a bad link.
+    sign = -1 if config.preferred_direction == PLUS else +1
 
     result = builder.zeros(candidate.einsum.shape)
     looped = parts.local
     for i in range(ring.n):
         # Send the current shard first so its transfer can overlap the
         # partial einsum of the same iteration (Algorithm 1).
-        next_looped = emit.permute(ring, looped, +1) if i < ring.n - 1 else None
-        result = _gather_step(emit, parts, ring, candidate, looped, i, result)
+        next_looped = (
+            emit.permute(ring, looped, sign, split_axis=parts.gather_axis)
+            if i < ring.n - 1 else None
+        )
+        result = _gather_step(
+            emit, parts, ring, candidate, looped, sign * i, result
+        )
         looped = next_looped
     return _finish_gather(
         module, candidate, emit, result, ring, config, ring.n, False
@@ -343,18 +393,33 @@ def _all_gather_pair_split(
     is the degenerate bidirectional case behind the paper's 2-way
     inference result (Section 7.1). Requires an even shard size; odd
     shards fall back to the unidirectional loop.
+
+    ``config.pair_split`` re-apportions the shard across the two links:
+    ``split = round(shard * pair_split)`` elements travel minus, the
+    rest plus — the rebalance policy's answer to one slow direction on a
+    two-device ring. The even default keeps the legacy odd-shard
+    fallback; a weighted split only needs two or more elements.
     """
     parts = _dissect_gather(candidate, ring)
-    if parts.shard_size % 2:
-        return _all_gather_unidirectional(module, candidate, ring, config)
-    emit = _LoopEmitter(module, candidate.einsum, copies=not config.unroll)
+    shard = parts.shard_size
+    if config.pair_split == 0.5:
+        if shard % 2:
+            return _all_gather_unidirectional(module, candidate, ring, config)
+        split = shard // 2
+    else:
+        if shard < 2:
+            return _all_gather_unidirectional(module, candidate, ring, config)
+        split = min(max(int(round(shard * config.pair_split)), 1), shard - 1)
+    emit = _LoopEmitter(
+        module, candidate.einsum, copies=not config.unroll,
+        granularity=config.transfer_granularity,
+    )
     builder = emit.builder
-    half = parts.shard_size // 2
 
-    low = builder.slice(parts.local, parts.gather_axis, 0, half)
-    high = builder.slice(parts.local, parts.gather_axis, half, half)
-    sent_low = emit.permute(ring, low, +1)
-    sent_high = emit.permute(ring, high, -1)
+    low = builder.slice(parts.local, parts.gather_axis, 0, split)
+    high = builder.slice(parts.local, parts.gather_axis, split, shard - split)
+    sent_low = emit.permute(ring, low, +1, split_axis=parts.gather_axis)
+    sent_high = emit.permute(ring, high, -1, split_axis=parts.gather_axis)
 
     result = builder.zeros(candidate.einsum.shape)
     result = _gather_step(emit, parts, ring, candidate, parts.local, 0, result)
@@ -372,17 +437,21 @@ def _all_gather_bidirectional(
     config: OverlapConfig,
 ) -> DecomposedLoop:
     parts = _dissect_gather(candidate, ring)
-    emit = _LoopEmitter(module, candidate.einsum, copies=not config.unroll)
+    emit = _LoopEmitter(
+        module, candidate.einsum, copies=not config.unroll,
+        granularity=config.transfer_granularity,
+    )
     builder = emit.builder
     half = ring.n // 2
+    axis = parts.gather_axis
 
     result = builder.zeros(candidate.einsum.shape)
     buf_ccw = parts.local                     # shards r, r+1, ... (left)
-    buf_cw = emit.permute(ring, parts.local, -1)  # prologue: shards r-1, r-2, ...
+    buf_cw = emit.permute(ring, parts.local, -1, split_axis=axis)  # prologue
     for t in range(half):
         if t < half - 1:
-            next_ccw = emit.permute(ring, buf_ccw, +1)
-            next_cw = emit.permute(ring, buf_cw, -1)
+            next_ccw = emit.permute(ring, buf_ccw, +1, split_axis=axis)
+            next_cw = emit.permute(ring, buf_cw, -1, split_axis=axis)
         else:
             next_ccw = next_cw = None
         result = _bidirectional_gather_step(
@@ -551,15 +620,25 @@ def _reduce_scatter_unidirectional(
     config: OverlapConfig,
 ) -> DecomposedLoop:
     parts = _dissect_scatter(candidate, ring)
-    emit = _LoopEmitter(module, candidate.einsum, copies=not config.unroll)
+    emit = _LoopEmitter(
+        module, candidate.einsum, copies=not config.unroll,
+        granularity=config.transfer_granularity,
+    )
     builder = emit.builder
+    out_axis = parts.spec.out_axis_of(parts.label)
+    # Mirrored loop: the accumulator travels on the plus links and
+    # iteration i folds in the partial for shard r - (i + 1); after N
+    # hops each device still ends with exactly its own shard's sum.
+    sign = -1 if config.preferred_direction == PLUS else +1
 
     acc = builder.zeros(parts.out_shape)
     for i in range(ring.n):
         # The accumulator travels before this iteration's update
         # (Algorithm 1 performs the CollectivePermute before the Update).
-        received = emit.permute(ring, acc, +1)
-        partial = _scatter_partial(emit, parts, ring, candidate, i + 1)
+        received = emit.permute(ring, acc, sign, split_axis=out_axis)
+        partial = _scatter_partial(
+            emit, parts, ring, candidate, sign * (i + 1)
+        )
         acc = builder.add(received, partial)
     return _finish_scatter(
         module, candidate, emit, acc, config, ring.n, False, False
@@ -582,21 +661,25 @@ def _reduce_scatter_unrolled(
     final Add.
     """
     parts = _dissect_scatter(candidate, ring)
-    emit = _LoopEmitter(module, candidate.einsum, copies=False)
+    emit = _LoopEmitter(
+        module, candidate.einsum, copies=False,
+        granularity=config.transfer_granularity,
+    )
     builder = emit.builder
     half = ring.n // 2
+    out_axis = parts.spec.out_axis_of(parts.label)
 
     acc_a = builder.zeros(parts.out_shape)
     acc_b = builder.zeros(parts.out_shape)
     for t in range(half):
-        received_b = emit.permute(ring, acc_b, +2)
+        received_b = emit.permute(ring, acc_b, +2, split_axis=out_axis)
         partial_a = _scatter_partial(emit, parts, ring, candidate, 2 * (t + 1))
         acc_a = builder.add(acc_a, partial_a)
         if t < half - 1:
-            acc_a = emit.permute(ring, acc_a, +2)
+            acc_a = emit.permute(ring, acc_a, +2, split_axis=out_axis)
         partial_b = _scatter_partial(emit, parts, ring, candidate, 2 * t + 3)
         acc_b = builder.add(received_b, partial_b)
-    aligned_b = emit.permute(ring, acc_b, -1)
+    aligned_b = emit.permute(ring, acc_b, -1, split_axis=out_axis)
     result = builder.add(acc_a, aligned_b)
     return _finish_scatter(
         module, candidate, emit, result, config, half, False, True
@@ -610,15 +693,19 @@ def _reduce_scatter_bidirectional(
     config: OverlapConfig,
 ) -> DecomposedLoop:
     parts = _dissect_scatter(candidate, ring)
-    emit = _LoopEmitter(module, candidate.einsum, copies=not config.unroll)
+    emit = _LoopEmitter(
+        module, candidate.einsum, copies=not config.unroll,
+        granularity=config.transfer_granularity,
+    )
     builder = emit.builder
     half = ring.n // 2
+    acc_axis = parts.spec.out_axis_of(parts.label)
 
     acc_left = builder.zeros(parts.out_shape)
     acc_right = builder.zeros(parts.out_shape)
     for t in range(half):
-        received_left = emit.permute(ring, acc_left, +1)
-        received_right = emit.permute(ring, acc_right, -1)
+        received_left = emit.permute(ring, acc_left, +1, split_axis=acc_axis)
+        received_right = emit.permute(ring, acc_right, -1, split_axis=acc_axis)
         offset_left = t + 1 + half
         offset_right = (ring.n - t - half) % ring.n
         slice_left = builder.dynamic_slice(
@@ -641,7 +728,7 @@ def _reduce_scatter_bidirectional(
         partial_right = builder.slice(partial, out_axis, shard, shard)
         acc_left = builder.add(received_left, partial_left)
         acc_right = builder.add(received_right, partial_right)
-    aligned_right = emit.permute(ring, acc_right, -1)
+    aligned_right = emit.permute(ring, acc_right, -1, split_axis=acc_axis)
     result = builder.add(acc_left, aligned_right)
     return _finish_scatter(
         module, candidate, emit, result, config, half, True, config.unroll

@@ -23,9 +23,10 @@ from repro.hlo.builder import GraphBuilder
 from repro.hlo.dtypes import BF16
 from repro.hlo.module import HloModule
 from repro.hlo.shapes import Shape
+from repro.obs.comm_volume import human_bytes, comm_volume_summary
 from repro.perfsim.hardware import TPU_V4, ChipSpec
 from repro.perfsim.metrics import StepReport
-from repro.perfsim.simulator import simulate
+from repro.perfsim.simulator import simulate_with_trace
 from repro.perfsim.topology import MINUS, PLUS
 from repro.sharding.mesh import DeviceMesh
 
@@ -67,6 +68,8 @@ class DegradedRow:
     scenario: str
     baseline: StepReport
     overlapped: StepReport
+    baseline_bytes: int = 0    # bytes on wire (comm-volume lens)
+    overlapped_bytes: int = 0
 
     @property
     def speedup(self) -> float:
@@ -89,15 +92,23 @@ def run(
 
     rows = []
     for name, conditions in scenarios:
+        baseline_report, baseline_trace = simulate_with_trace(
+            baseline, mesh, chip, conditions=conditions
+        )
+        overlapped_report, overlapped_trace = simulate_with_trace(
+            overlapped, mesh, chip, conditions=conditions
+        )
         rows.append(
             DegradedRow(
                 scenario=name,
-                baseline=simulate(
-                    baseline, mesh, chip, conditions=conditions
-                ),
-                overlapped=simulate(
-                    overlapped, mesh, chip, conditions=conditions
-                ),
+                baseline=baseline_report,
+                overlapped=overlapped_report,
+                baseline_bytes=comm_volume_summary(
+                    baseline_trace.events
+                ).total_bytes,
+                overlapped_bytes=comm_volume_summary(
+                    overlapped_trace.events
+                ).total_bytes,
             )
         )
     return rows
@@ -122,7 +133,7 @@ def format_report(rows: Optional[Sequence[DegradedRow]] = None) -> str:
             "scenario",
             "baseline step", "baseline exposed",
             "overlap step", "overlap exposed",
-            "speedup",
+            "speedup", "bytes on wire",
         ],
         [
             (
@@ -132,6 +143,8 @@ def format_report(rows: Optional[Sequence[DegradedRow]] = None) -> str:
                 f"{r.overlapped.total_time * 1e3:.3f} ms",
                 percent(r.overlapped.communication_fraction),
                 times(r.speedup),
+                f"{human_bytes(r.baseline_bytes)} / "
+                f"{human_bytes(r.overlapped_bytes)}",
             )
             for r in rows
         ],

@@ -22,12 +22,13 @@ from repro.core.config import OverlapConfig
 from repro.core.pipeline import compile_module
 from repro.faults.errors import FaultError
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 from repro.hlo.builder import GraphBuilder
 from repro.hlo.dtypes import F32
 from repro.hlo.module import HloModule
 from repro.hlo.opcode import Opcode
 from repro.hlo.shapes import Shape
+from repro.obs.events import ADAPT
 from repro.obs.tracer import Tracer
 from repro.runtime.engine import create_engine
 from repro.runtime.resilient import RetryPolicy, run_with_fallback
@@ -40,6 +41,7 @@ _ORACLE_ENGINE = create_engine("compiled")
 
 #: Outcome labels.
 RECOVERED = "recovered"            # primary ran through, oracle-exact
+ADAPTED = "adapted"                # recovered on an intermediate ladder rung
 FALLBACK = "fallback"              # degraded to the sync program, exact
 TYPED_FAILURE = "typed-failure"    # a seeded FaultError (acceptable)
 SILENT_CORRUPTION = "silent-corruption"      # wrong numbers, no error
@@ -147,6 +149,8 @@ class ChaosRunResult:
     message: Optional[str] = None
     retries: int = 0
     used_fallback: bool = False
+    ladder_state: Optional[str] = None  # final rung (ladder mode only)
+    transitions: int = 0                # ladder descents taken
 
     @property
     def is_violation(self) -> bool:
@@ -160,7 +164,8 @@ class ChaosRunResult:
         return (
             self.seed, self.case, self.ring, self.scheduler, self.unroll,
             self.bidirectional, self.plan, self.outcome, self.error_type,
-            self.retries, self.used_fallback,
+            self.retries, self.used_fallback, self.ladder_state,
+            self.transitions,
         )
 
 
@@ -265,6 +270,174 @@ def run_one(
     )
 
 
+# --- ladder mode -----------------------------------------------------------------
+
+
+def _with_directions(plan: FaultPlan, rng: np.random.Generator) -> FaultPlan:
+    """Scope each LINK_DOWN spec to a seeded ring direction.
+
+    A third of outages stay fabric-wide (``None``), the rest down only
+    one direction — the outages the ladder's unidirectional rung can
+    route around. Applied as a post-pass so :meth:`FaultPlan.random`'s
+    draw sequence (and thus every non-ladder signature) is untouched.
+    """
+    specs = []
+    for spec in plan.specs:
+        if spec.kind is FaultKind.LINK_DOWN:
+            choice = (None, "minus", "plus")[int(rng.integers(3))]
+            specs.append(dataclasses.replace(spec, direction=choice))
+        else:
+            specs.append(spec)
+    return FaultPlan(seed=plan.seed, specs=tuple(specs))
+
+
+def run_one_ladder(
+    seed: int,
+    intensity: float = 0.5,
+    atol: float = 1e-9,
+    tracer: Optional[Tracer] = None,
+) -> ChaosRunResult:
+    """One seeded chaos schedule through the full degradation ladder.
+
+    Derives the same case/ring/config/policy as :func:`run_one` from the
+    same seed, then executes via
+    :func:`repro.adapt.ladder.run_with_ladder` instead of the one-cliff
+    fallback, with LINK_DOWN faults direction-scoped by a separate
+    seeded stream. The audit adds two ladder-specific checks: every
+    transition object must carry the replay seed, and every transition
+    must appear as an ``ADAPT`` trace event embedding ``seed=<seed>`` —
+    a transition without its seed is an :data:`UNSEEDED_FAILURE`
+    violation even if the numbers come out right.
+    """
+    from repro.adapt.ladder import run_with_ladder
+
+    rng = np.random.default_rng([seed, 1])
+    case = GOLDEN_CASES[int(rng.integers(len(GOLDEN_CASES)))]
+    ring = int(case.rings[int(rng.integers(len(case.rings)))])
+    mesh = DeviceMesh.ring(ring)
+    config = OverlapConfig(
+        use_cost_model=False,
+        scheduler=SCHEDULERS[int(rng.integers(len(SCHEDULERS)))],
+        unroll=bool(rng.integers(2)),
+        bidirectional=bool(rng.integers(2)),
+    )
+    policy = RetryPolicy(max_attempts=int(rng.integers(2, 6)))
+
+    arguments = case.make_arguments(mesh, rng)
+    oracle_module = case.build(mesh)
+    oracle = _ORACLE_ENGINE.run(oracle_module, arguments, mesh=mesh)[
+        oracle_module.root.name
+    ]
+
+    probe = case.build(mesh)
+    compile_module(probe, mesh, config)
+    num_transfers = probe.count(Opcode.COLLECTIVE_PERMUTE_START)
+    plan = _with_directions(
+        FaultPlan.random(
+            seed,
+            num_devices=mesh.num_devices,
+            max_transfer_index=max(1, num_transfers),
+            intensity=intensity,
+            timeout_hint=policy.timeout,
+        ),
+        np.random.default_rng([seed, 7]),
+    )
+    # The ladder's own tracer, so the ADAPT-event audit sees exactly
+    # this run's transitions even when the caller shares a tracer.
+    audit = Tracer()
+
+    def describe(
+        outcome, error=None, retries=0, used_fallback=False,
+        ladder_state=None, transitions=0,
+    ):
+        if tracer is not None:
+            tracer.count(f"chaos.{outcome}")
+        return ChaosRunResult(
+            seed=seed,
+            case=case.name,
+            ring=ring,
+            scheduler=config.scheduler,
+            unroll=config.unroll,
+            bidirectional=config.bidirectional,
+            plan=repr(plan),
+            outcome=outcome,
+            error_type=type(error).__name__ if error is not None else None,
+            message=str(error) if error is not None else None,
+            retries=retries,
+            used_fallback=used_fallback,
+            ladder_state=ladder_state,
+            transitions=transitions,
+        )
+
+    try:
+        result = run_with_ladder(
+            lambda: case.build(mesh),
+            mesh,
+            arguments,
+            base_config=config,
+            injector=FaultInjector(plan),
+            policy=policy,
+            tracer=audit,
+        )
+    except FaultError as error:
+        if f"seed={seed}" not in str(error):
+            return describe(UNSEEDED_FAILURE, error)
+        return describe(TYPED_FAILURE, error)
+    except Exception as error:  # noqa: BLE001 - the harness audits these
+        return describe(UNTYPED_FAILURE, error)
+
+    state = result.state.name.lower()
+    descents = len(result.transitions)
+    adapt_events = [e for e in audit.events if e.kind == ADAPT]
+    if (
+        len(adapt_events) != descents
+        or any(f"seed={seed}" not in e.name for e in adapt_events)
+        or any(t.seed != seed for t in result.transitions)
+    ):
+        return describe(
+            UNSEEDED_FAILURE,
+            error=FaultError(
+                "ladder transition missing its typed, seeded trace event",
+                seed=seed,
+            ),
+            retries=result.stats.retries,
+            used_fallback=result.used_fallback,
+            ladder_state=state,
+            transitions=descents,
+        )
+
+    worst = max(
+        float(np.abs(got - want).max())
+        for got, want in zip(result.root, oracle)
+    )
+    if worst > atol:
+        return describe(
+            SILENT_CORRUPTION,
+            error=FaultError(
+                f"output diverges from oracle by {worst:.3e} without an "
+                f"error",
+                seed=seed,
+            ),
+            retries=result.stats.retries,
+            used_fallback=result.used_fallback,
+            ladder_state=state,
+            transitions=descents,
+        )
+    if result.used_fallback:
+        outcome = FALLBACK
+    elif result.transitions:
+        outcome = ADAPTED
+    else:
+        outcome = RECOVERED
+    return describe(
+        outcome,
+        retries=result.stats.retries,
+        used_fallback=result.used_fallback,
+        ladder_state=state,
+        transitions=descents,
+    )
+
+
 # --- batches ---------------------------------------------------------------------
 
 
@@ -293,14 +466,19 @@ class ChaosReport:
 
 
 def run_chaos(
-    seed: int, runs: int, intensity: float = 0.5
+    seed: int, runs: int, intensity: float = 0.5, ladder: bool = False
 ) -> ChaosReport:
-    """Run ``runs`` independent seeded schedules derived from ``seed``."""
+    """Run ``runs`` independent seeded schedules derived from ``seed``.
+
+    ``ladder=True`` executes each schedule through the full degradation
+    ladder (:func:`run_one_ladder`) instead of the one-cliff fallback.
+    """
     run_seeds = [
         int(s) for s in
         np.random.SeedSequence(seed).generate_state(runs, dtype=np.uint32)
     ]
-    results = tuple(run_one(s, intensity=intensity) for s in run_seeds)
+    runner = run_one_ladder if ladder else run_one
+    results = tuple(runner(s, intensity=intensity) for s in run_seeds)
     return ChaosReport(seed=seed, intensity=intensity, runs=results)
 
 
@@ -311,10 +489,10 @@ def format_report(report: ChaosReport) -> str:
         f"intensity={report.intensity}",
     ]
     for outcome in (
-        RECOVERED, FALLBACK, TYPED_FAILURE, *VIOLATIONS
+        RECOVERED, ADAPTED, FALLBACK, TYPED_FAILURE, *VIOLATIONS
     ):
         count = report.counts.get(outcome, 0)
-        if count or outcome not in VIOLATIONS:
+        if count or outcome in (RECOVERED, FALLBACK, TYPED_FAILURE):
             lines.append(f"  {outcome:18} {count:4d}")
     retries = sum(run.retries for run in report.runs)
     lines.append(f"  total retransmissions  {retries}")

@@ -37,6 +37,25 @@ class FaultError(RuntimeError):
             message = f"{message} [replay with seed={seed}]"
         super().__init__(message)
 
+    def attach_seed(self, seed: Optional[int]) -> "FaultError":
+        """Stamp a replay seed onto an error that lacks one.
+
+        Used by recovery wrappers (fallback, the degradation ladder)
+        whose later rungs run without an injector: a fault raised there
+        still happened under the original seeded schedule, so the error
+        must carry that seed for replay. A seed already present wins;
+        returns ``self`` for raise-chaining.
+        """
+        if seed is None or self.seed is not None:
+            return self
+        self.seed = seed
+        suffix = f"[replay with seed={seed}]"
+        if self.args:
+            self.args = (f"{self.args[0]} {suffix}",) + self.args[1:]
+        else:
+            self.args = (suffix,)
+        return self
+
 
 class TransferTimeoutError(FaultError):
     """A CollectivePermute transfer exhausted its retry budget."""

@@ -70,15 +70,20 @@ class FaultInjector:
         return index
 
     def transfer_outcome(
-        self, transfer_index: int, attempt: int
+        self,
+        transfer_index: int,
+        attempt: int,
+        direction: Optional[str] = None,
     ) -> TransferOutcome:
         """The fabric's behaviour for one delivery attempt.
 
         Transfer-scoped specs fail the first ``spec.attempts`` attempts
         and then let retransmission succeed; a LINK_DOWN spec fails every
-        attempt of every transfer at or past its index.
+        attempt of every transfer at or past its index (scoped to
+        ``direction`` when the spec names one and the caller routes the
+        transfer).
         """
-        if self.plan.link_down_at(transfer_index) is not None:
+        if self.plan.link_down_at(transfer_index, direction) is not None:
             return TransferOutcome(link_down=True, dropped=True)
         delay = 0.0
         dropped = False

@@ -59,6 +59,11 @@ class FaultSpec:
     * ``magnitude`` — slowdown factor for ``STRAGGLER`` (>= 1).
     * ``device`` — target device for ``STRAGGLER``/``DEVICE_FAIL``.
     * ``step`` — instruction index at which ``DEVICE_FAIL`` strikes.
+    * ``direction`` — optionally scope a ``LINK_DOWN`` to one ring
+      direction (``"minus"``/``"plus"``); ``None`` (the default, and
+      what :meth:`FaultPlan.random` draws) downs both directions.
+      Direction-scoped outages are what the degradation ladder's
+      unidirectional rung routes around.
     """
 
     kind: FaultKind
@@ -68,10 +73,19 @@ class FaultSpec:
     magnitude: float = 1.0
     device: Optional[int] = None
     step: int = 0
+    direction: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
             raise ValueError("attempts must be at least 1")
+        if self.direction is not None:
+            if self.kind is not FaultKind.LINK_DOWN:
+                raise ValueError("direction only applies to link-down")
+            if self.direction not in ("minus", "plus"):
+                raise ValueError(
+                    f"direction must be 'minus' or 'plus', got "
+                    f"{self.direction!r}"
+                )
         if self.kind in TRANSFER_FAULTS or self.kind is FaultKind.LINK_DOWN:
             if self.transfer_index is None:
                 raise ValueError(f"{self.kind.value} needs a transfer_index")
@@ -173,16 +187,27 @@ class FaultPlan:
             and spec.transfer_index == transfer_index
         ]
 
-    def link_down_at(self, transfer_index: int) -> Optional[FaultSpec]:
+    def link_down_at(
+        self, transfer_index: int, direction: Optional[str] = None
+    ) -> Optional[FaultSpec]:
         """The LINK_DOWN spec active at ``transfer_index``, if any.
 
         A downed link stays down: the first transfer at or after the
         spec's index (and every later one) fails permanently.
+        ``direction`` is the ring direction the transfer travels; a
+        direction-scoped spec only hits transfers in its direction
+        (``None`` on either side matches everything — un-routed callers
+        keep the legacy both-directions behaviour).
         """
         for spec in self.specs:
             if (
                 spec.kind is FaultKind.LINK_DOWN
                 and transfer_index >= spec.transfer_index
+                and (
+                    spec.direction is None
+                    or direction is None
+                    or spec.direction == direction
+                )
             ):
                 return spec
         return None

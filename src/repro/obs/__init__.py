@@ -19,7 +19,14 @@ attached the hot paths are untouched — a single ``is None`` test per
 instruction.
 """
 
+from repro.obs.comm_volume import (
+    ChannelVolume,
+    CommVolumeSummary,
+    comm_volume_summary,
+    format_comm_volume,
+)
 from repro.obs.events import (
+    ADAPT,
     ASYNC_DONE,
     ASYNC_START,
     COLLECTIVE,
@@ -34,6 +41,7 @@ from repro.obs.events import (
     instruction_bytes,
     phase_of,
 )
+from repro.obs.health_feed import LaneCost, lane_costs, retry_fraction
 from repro.obs.export import (
     diff_timelines,
     events_from_chrome,
@@ -45,25 +53,33 @@ from repro.obs.overlap import OverlapSummary, overlap_summary
 from repro.obs.tracer import Tracer
 
 __all__ = [
+    "ADAPT",
     "ASYNC_DONE",
     "ASYNC_START",
     "COLLECTIVE",
     "COMPUTE",
     "CONTROL",
+    "ChannelVolume",
+    "CommVolumeSummary",
     "EventLog",
     "KINDS",
+    "LaneCost",
     "OverlapSummary",
     "RETRY",
     "STALL",
     "TRANSFER",
     "TraceEvent",
     "Tracer",
+    "comm_volume_summary",
     "diff_timelines",
     "events_from_chrome",
+    "format_comm_volume",
     "instruction_bytes",
+    "lane_costs",
     "metrics_dict",
     "overlap_summary",
     "phase_of",
+    "retry_fraction",
     "to_chrome_trace",
     "validate_chrome_trace",
 ]

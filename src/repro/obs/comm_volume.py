@@ -1,0 +1,139 @@
+"""Comm-volume accounting lens: bytes-on-wire per channel and collective.
+
+Step time alone hides *why* a schedule is slow; pairing every channel's
+occupancy with the bytes it actually carried shows whether a slowdown is
+more traffic or a slower link. :func:`comm_volume_summary` folds any
+:class:`~repro.obs.events.TraceEvent` list — measured or simulated —
+into per-resource byte/time totals plus a per-kind breakdown, and
+:func:`format_comm_volume` renders the table ``repro trace`` prints.
+
+Byte accounting avoids double counting: an async permute appears as an
+``ASYNC_START`` span, an ``ASYNC_DONE`` span *and* (on measured
+timelines) a synthesized ``TRANSFER`` window, each annotated with the
+payload. Only one representative per kind is summed into
+``total_bytes``: ``TRANSFER`` windows when the log has them, otherwise
+``ASYNC_START`` spans, plus synchronous ``COLLECTIVE`` payloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs.events import (
+    ASYNC_START,
+    COLLECTIVE,
+    TRANSFER,
+    TraceEvent,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelVolume:
+    """Traffic through one resource lane."""
+
+    resource: str
+    kind: str
+    bytes: int
+    events: int
+    busy_time: float
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved bytes/second over the lane's busy time (0 if idle)."""
+        return self.bytes / self.busy_time if self.busy_time > 0 else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CommVolumeSummary:
+    """Bytes-on-wire of one timeline, next to its step time."""
+
+    channels: Tuple[ChannelVolume, ...]
+    bytes_by_kind: Dict[str, int]
+    total_bytes: int
+    total_time: float
+
+    @property
+    def transfer_bytes(self) -> int:
+        return self.bytes_by_kind.get(TRANSFER, 0) or self.bytes_by_kind.get(
+            ASYNC_START, 0
+        )
+
+    @property
+    def collective_bytes(self) -> int:
+        return self.bytes_by_kind.get(COLLECTIVE, 0)
+
+
+def comm_volume_summary(
+    events: Iterable[TraceEvent],
+) -> CommVolumeSummary:
+    """Aggregate a timeline's communication bytes per (resource, kind).
+
+    Accepts any event iterable — a :class:`~repro.obs.tracer.Tracer`'s
+    measured spans, a perfsim :class:`~repro.perfsim.trace.Trace`'s
+    simulated occupancy, or a merged log.
+    """
+    events = list(events)
+    per_lane: Dict[Tuple[str, str], List[TraceEvent]] = {}
+    bytes_by_kind: Dict[str, int] = {}
+    for event in events:
+        if event.bytes <= 0:
+            continue
+        per_lane.setdefault((event.resource, event.kind), []).append(event)
+        bytes_by_kind[event.kind] = (
+            bytes_by_kind.get(event.kind, 0) + event.bytes
+        )
+    channels = tuple(
+        ChannelVolume(
+            resource=resource,
+            kind=kind,
+            bytes=sum(e.bytes for e in lane),
+            events=len(lane),
+            busy_time=sum(e.duration for e in lane),
+        )
+        for (resource, kind), lane in sorted(per_lane.items())
+    )
+    # One representative kind per transport avoids counting the same
+    # payload at issue, in flight and at delivery.
+    transfer = bytes_by_kind.get(TRANSFER, 0) or bytes_by_kind.get(
+        ASYNC_START, 0
+    )
+    total = transfer + bytes_by_kind.get(COLLECTIVE, 0)
+    return CommVolumeSummary(
+        channels=channels,
+        bytes_by_kind=bytes_by_kind,
+        total_bytes=total,
+        total_time=max((e.end for e in events), default=0.0),
+    )
+
+
+def human_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def format_comm_volume(
+    summary: CommVolumeSummary, indent: str = ""
+) -> str:
+    """Render one summary as the per-channel table the CLI prints."""
+    lines = [
+        f"{indent}{'channel':<28} {'kind':<12} {'bytes':>10} "
+        f"{'events':>7} {'busy':>10}"
+    ]
+    for channel in summary.channels:
+        lines.append(
+            f"{indent}{channel.resource:<28} {channel.kind:<12} "
+            f"{human_bytes(channel.bytes):>10} {channel.events:>7} "
+            f"{channel.busy_time * 1e3:>8.3f}ms"
+        )
+    lines.append(
+        f"{indent}bytes on wire: {human_bytes(summary.total_bytes)} "
+        f"(transfers {human_bytes(summary.transfer_bytes)}, collectives "
+        f"{human_bytes(summary.collective_bytes)}) over "
+        f"{summary.total_time * 1e3:.3f}ms"
+    )
+    return "\n".join(lines)

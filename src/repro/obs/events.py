@@ -30,6 +30,7 @@ ASYNC_START = "async-permute-start"       # issue of an async transfer
 ASYNC_DONE = "async-permute-done"         # delivery of an async transfer
 RETRY = "retry"                           # a failed delivery attempt
 CONTROL = "control"                       # While loops: a container, not work
+ADAPT = "adapt"                           # a degradation-ladder transition
 
 #: Every kind the exporters and validators accept.
 KINDS = frozenset(
@@ -42,6 +43,7 @@ KINDS = frozenset(
         ASYNC_DONE,
         RETRY,
         CONTROL,
+        ADAPT,
     }
 )
 

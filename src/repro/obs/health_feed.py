@@ -1,0 +1,84 @@
+"""Health-feed lens: per-lane normalized costs for the adaptation layer.
+
+:mod:`repro.adapt`'s :class:`~repro.adapt.health.LinkHealthMonitor`
+scores channels by comparing *observed* cost against a calibrated
+nominal. This lens computes the observation: for every resource lane
+that carried work, the cost per unit — seconds/byte for byte-carrying
+lanes (links, collectives), mean seconds/event for compute lanes — plus
+the retry count the loss score is built from. It is pure trace
+aggregation, so it works identically on measured wall-clock tracers and
+simulated perfsim traces; the EWMA state and thresholds live in
+``repro.adapt``, keeping observability free of policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable
+
+from repro.obs.events import RETRY, STALL, TraceEvent
+
+#: Kinds that measure waiting, not work — excluded from lane costs so a
+#: stalled receiver doesn't make its own lane look slow.
+_NON_WORK = frozenset({STALL})
+
+
+@dataclasses.dataclass(frozen=True)
+class LaneCost:
+    """Observed cost of one resource lane over one step."""
+
+    resource: str
+    busy_time: float
+    bytes: int
+    events: int
+
+    @property
+    def cost(self) -> float:
+        """Normalized cost: seconds/byte when bytes flowed, else mean
+        seconds/event. Comparable across steps of the same program."""
+        if self.bytes > 0:
+            return self.busy_time / self.bytes
+        if self.events > 0:
+            return self.busy_time / self.events
+        return 0.0
+
+
+def lane_costs(events: Iterable[TraceEvent]) -> Dict[str, LaneCost]:
+    """Fold a timeline into per-lane costs, keyed by resource name."""
+    busy: Dict[str, float] = {}
+    payload: Dict[str, int] = {}
+    count: Dict[str, int] = {}
+    for event in events:
+        if event.kind in _NON_WORK or event.kind == RETRY:
+            continue
+        busy[event.resource] = busy.get(event.resource, 0.0) + event.duration
+        payload[event.resource] = payload.get(event.resource, 0) + event.bytes
+        count[event.resource] = count.get(event.resource, 0) + 1
+    return {
+        resource: LaneCost(
+            resource=resource,
+            busy_time=busy[resource],
+            bytes=payload[resource],
+            events=count[resource],
+        )
+        for resource in busy
+    }
+
+
+def retry_fraction(events: Iterable[TraceEvent]) -> float:
+    """Failed-attempt fraction of one step: RETRY events over delivery
+    attempts (retries + one successful delivery per transfer lane is an
+    approximation — the tracer does not record clean attempts, so the
+    denominator uses retries + non-retry events on retry-adjacent
+    lanes). Returns 0.0 for retry-free logs."""
+    retries = 0
+    deliveries = 0
+    for event in events:
+        if event.kind == RETRY:
+            retries += 1
+        elif event.resource.startswith("link:") or event.kind in (
+            "transfer", "async-permute-done"
+        ):
+            deliveries += 1
+    total = retries + deliveries
+    return retries / total if total else 0.0

@@ -22,11 +22,19 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.faults.conditions import ChannelConditions
 
+from repro.obs.events import (
+    COLLECTIVE,
+    COMPUTE,
+    STALL,
+    TRANSFER,
+    instruction_bytes,
+)
 from repro.perfsim.costs import CostModel
 from repro.perfsim.efficiency import DEFAULT_EFFICIENCY, EfficiencyModel
 from repro.perfsim.hardware import TPU_V4, ChipSpec
 from repro.perfsim.sched_graph import ScheduleGraph
 from repro.perfsim.topology import route_of_permute
+from repro.perfsim.trace import Trace
 from repro.hlo.module import HloModule
 from repro.hlo.opcode import SYNC_COLLECTIVES
 from repro.sharding.mesh import DeviceMesh
@@ -46,6 +54,7 @@ def simulate_per_device(
     chip: ChipSpec = TPU_V4,
     efficiency: Optional[EfficiencyModel] = None,
     conditions: Optional["ChannelConditions"] = None,
+    trace: Optional[Trace] = None,
 ) -> List[DeviceTimeline]:
     """Simulate every device; returns one timeline per device id.
 
@@ -53,6 +62,12 @@ def simulate_per_device(
     compute scales model stragglers, per-device link scales model one
     chip's flaky outgoing serdes — the per-device timelines then diverge
     and the worst device's stall is the step's tail latency.
+
+    ``trace`` (optional) records per-device occupancy lanes —
+    ``compute:dev<d>`` for every device's compute stream and
+    ``link:<axis>:<direction>:dev<src>`` for every source's outgoing
+    link — the health feed the adaptation layer's monitor consumes to
+    localize a straggler or a flaky serdes to its device.
     """
     graph = ScheduleGraph.build(module)
     cost_model = CostModel(chip, efficiency or DEFAULT_EFFICIENCY)
@@ -84,6 +99,7 @@ def simulate_per_device(
             for d in range(devices):
                 clock[d] = max(clock[d], ready[d])
                 finish[unit.index][d] = clock[d]
+            payload = start.operands[0].shape.byte_size
             for source, destination in start.pairs:
                 resource = (source, route.axis, route.direction)
                 effective = duration
@@ -95,6 +111,12 @@ def simulate_per_device(
                 completes = begin + effective
                 link_free[resource] = completes
                 arrivals[(id(start), destination)] = completes
+                if trace is not None:
+                    trace.add(
+                        start.name, TRANSFER,
+                        f"link:{route.axis}:{route.direction}:dev{source}",
+                        begin, completes, bytes=payload,
+                    )
             continue
         if unit.is_permute_done:
             start = unit.head.operands[0]
@@ -103,6 +125,11 @@ def simulate_per_device(
                 arrival = arrivals.get((id(start), d), clock[d])
                 stall = max(0.0, arrival - clock[d])
                 wait[d] += stall
+                if trace is not None and stall > 0.0:
+                    trace.add(
+                        f"{unit.head.name}:stall", STALL,
+                        f"compute:dev{d}", clock[d], arrival,
+                    )
                 clock[d] = max(clock[d], arrival)
                 finish[unit.index][d] = clock[d]
             continue
@@ -115,6 +142,7 @@ def simulate_per_device(
             if conditions is not None:
                 effective *= conditions.collective_multiplier()
             groups = unit.head.groups
+            payload = instruction_bytes(unit.head)
             for group in groups:
                 barrier = max(
                     max(clock[d], ready[d]) for d in group
@@ -122,13 +150,25 @@ def simulate_per_device(
                 for d in group:
                     clock[d] = barrier + effective
                     finish[unit.index][d] = clock[d]
+                    if trace is not None:
+                        trace.add(
+                            unit.head.name, COLLECTIVE,
+                            f"compute:dev{d}", barrier, clock[d],
+                            bytes=payload,
+                        )
         else:
             for d in range(devices):
                 effective = duration
                 if conditions is not None:
                     effective *= conditions.compute_multiplier(d)
-                clock[d] = max(clock[d], ready[d]) + effective
+                begin = max(clock[d], ready[d])
+                clock[d] = begin + effective
                 finish[unit.index][d] = clock[d]
+                if trace is not None:
+                    trace.add(
+                        unit.head.name, COMPUTE,
+                        f"compute:dev{d}", begin, clock[d],
+                    )
 
     return [
         DeviceTimeline(total_time=clock[d], permute_wait_time=wait[d])

@@ -36,6 +36,7 @@ from repro.perfsim.efficiency import DEFAULT_EFFICIENCY, EfficiencyModel
 from repro.perfsim.hardware import TPU_V4, ChipSpec
 from repro.perfsim.metrics import StepReport
 from repro.perfsim.topology import route_of_permute
+from repro.obs.events import instruction_bytes
 from repro.perfsim.trace import COLLECTIVE, COMPUTE, STALL, TRANSFER, Trace
 from repro.sharding.mesh import DeviceMesh
 
@@ -148,7 +149,10 @@ class Simulator:
             if is_sync:
                 sync_collective_time += duration
                 if trace is not None:
-                    trace.add(unit.tail.name, COLLECTIVE, "compute", begin, clock)
+                    trace.add(
+                        unit.tail.name, COLLECTIVE, "compute", begin, clock,
+                        bytes=sum(instruction_bytes(m) for m in unit.members),
+                    )
             else:
                 compute_time += duration
                 if trace is not None:

@@ -60,9 +60,20 @@ class RetryPolicy:
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
-            raise ValueError("max_attempts must be at least 1")
+            raise ValueError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
         if self.timeout <= 0:
-            raise ValueError("timeout must be positive")
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.backoff_base < 0:
+            raise ValueError(
+                f"backoff_base must be non-negative, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be at least 1.0, got "
+                f"{self.backoff_factor}"
+            )
 
     def backoff(self, attempt: int) -> float:
         """Extra wait before retry number ``attempt`` (0-based)."""
@@ -155,6 +166,7 @@ class ResilientExecutor(Executor):
         start = instruction.operands[0]
         snapshot = in_flight.pop(start.name)
         pairs = start.pairs
+        direction = start.attrs.get("direction")
         index = self._transfer_ids.pop(start.name, 0)
         policy = self.policy
         tracer = self.tracer
@@ -193,16 +205,18 @@ class ResilientExecutor(Executor):
                 if tracer is not None:
                     tracer.count("retries")
             outcome = (
-                self.injector.transfer_outcome(index, attempt)
+                self.injector.transfer_outcome(index, attempt, direction)
                 if self.injector is not None
                 else CLEAN
             )
             if outcome.link_down:
+                context = dict(transfer=start.name, pairs=list(pairs))
+                if direction is not None:
+                    context["direction"] = direction
                 raise LinkDownError(
                     f"link carrying transfer {start.name} is down",
                     seed=self._seed,
-                    transfer=start.name,
-                    pairs=list(pairs),
+                    **context,
                 )
             if outcome.dropped or outcome.delay > policy.timeout:
                 self.stats.timeouts += 1
@@ -228,13 +242,16 @@ class ResilientExecutor(Executor):
                 return delivered
             # Checksum mismatch: corrupted in flight — retransmit.
             note_failed_attempt(attempt, "checksum_failures", attempt_begin)
+        context = dict(
+            transfer=start.name, pairs=list(pairs), timeout=policy.timeout
+        )
+        if direction is not None:
+            context["direction"] = direction
         raise TransferTimeoutError(
             f"transfer {start.name} failed after {policy.max_attempts} "
             f"attempts",
             seed=self._seed,
-            transfer=start.name,
-            pairs=list(pairs),
-            timeout=policy.timeout,
+            **context,
         )
 
     # --- guardrails -------------------------------------------------------------
@@ -337,7 +354,19 @@ def run_with_fallback(
             tracer.count("fallbacks")
         with internal_construction():
             fallback_executor = Executor(num_devices, tracer=tracer)
-        values = fallback_executor.run(fallback, arguments, outputs=outputs)
+        try:
+            values = fallback_executor.run(
+                fallback, arguments, outputs=outputs
+            )
+        except FaultError as second:
+            # The fallback executor has no injector, so a fault raised
+            # here (malformed permute, replica-group violation, ...)
+            # carries no seed of its own — but it still happened under
+            # the original seeded schedule. Stamp that seed on so the
+            # chaos harness classifies it typed-and-replayable.
+            raise second.attach_seed(
+                injector.seed if injector is not None else None
+            )
         return ResilientResult(
             values=values,
             used_fallback=True,

@@ -9,13 +9,17 @@ The pieces, bottom-up:
   cost instead of a per-request one;
 * the :class:`Server` adds continuous batching, bounded-queue admission
   control, per-request deadlines and typed rejections on top of the
-  unified :func:`repro.runtime.create_engine` API;
+  unified :func:`repro.runtime.create_engine` API — including
+  health-aware shedding: :meth:`Server.report_ladder_state` shrinks the
+  queue while the adaptation ladder (:mod:`repro.adapt`) runs degraded,
+  rejecting excess load with a typed :class:`DegradedServiceError`;
 * the **load generator** (:func:`run_loadgen`) measures the whole stack
   and :func:`check_report` gates it in CI.
 """
 
 from repro.serve.errors import (
     DeadlineExceededError,
+    DegradedServiceError,
     QueueFullError,
     ServeError,
     ServerClosedError,
@@ -31,6 +35,7 @@ from repro.serve.loadgen import (
     write_report,
 )
 from repro.serve.server import (
+    SHED_FACTOR,
     PendingRequest,
     ServeConfig,
     Server,
@@ -40,6 +45,8 @@ from repro.serve.server import (
 __all__ = [
     "CompileOverhead",
     "DeadlineExceededError",
+    "DegradedServiceError",
+    "SHED_FACTOR",
     "LoadgenReport",
     "PendingRequest",
     "QueueFullError",

@@ -49,6 +49,24 @@ class QueueFullError(ServeError):
         self.depth = depth
 
 
+class DegradedServiceError(ServeError):
+    """Admission control shed the request because the execution engine
+    is running degraded (the adaptation ladder is below its FULL rung)
+    and the queue has been shrunk to protect latency. Typed
+    back-pressure with a reason — clients should back off longer than
+    for a plain :class:`QueueFullError` or reroute to a healthy
+    replica."""
+
+    def __init__(self, program: str, ladder_state: str, depth: int) -> None:
+        super().__init__(
+            f"request for {program!r} shed: engine degraded "
+            f"({ladder_state}), queue shrunk to {depth}",
+            program=program,
+        )
+        self.ladder_state = ladder_state
+        self.depth = depth
+
+
 class DeadlineExceededError(ServeError):
     """The request's deadline elapsed before execution started."""
 

@@ -35,6 +35,7 @@ from typing import Any, Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.adapt.policy import LadderState
 from repro.faults.errors import FaultError
 from repro.models.serving import ServableProgram, default_catalog
 from repro.obs.tracer import Tracer
@@ -42,11 +43,25 @@ from repro.runtime.engine import ENGINE_KINDS, CompiledEngine, create_engine
 from repro.runtime.plan_cache import CacheStats, PlanCache
 from repro.serve.errors import (
     DeadlineExceededError,
+    DegradedServiceError,
     QueueFullError,
     ServeError,
     ServerClosedError,
     UnknownProgramError,
 )
+
+#: Queue-depth multiplier per ladder rung: the deeper the engine has
+#: degraded, the less work admission lets pile up behind it. REBALANCED
+#: keeps full capacity (same throughput class, different schedule);
+#: UNIDIRECTIONAL halves it (half the fabric is out of service);
+#: SYNC_FALLBACK quarters it (no overlap — every step pays exposed
+#: communication).
+SHED_FACTOR = {
+    LadderState.FULL: 1.0,
+    LadderState.REBALANCED: 1.0,
+    LadderState.UNIDIRECTIONAL: 0.5,
+    LadderState.SYNC_FALLBACK: 0.25,
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -147,6 +162,7 @@ class ServerStats:
     counters: Dict[str, float]
     peak_queue_depth: int
     plan_cache: Optional[CacheStats]
+    ladder_state: str = LadderState.FULL.name.lower()
 
     @property
     def requests(self) -> int:
@@ -178,6 +194,7 @@ class ServerStats:
                 self.plan_cache.to_json() if self.plan_cache else None
             ),
             "mean_batch_size": self.mean_batch_size,
+            "ladder_state": self.ladder_state,
         }
 
 
@@ -207,6 +224,7 @@ class Server:
         self._queue: Deque[PendingRequest] = deque()
         self._cond = threading.Condition()
         self._closed = False
+        self._ladder_state = LadderState.FULL
         self.peak_queue_depth = 0
         self._workers = [
             threading.Thread(
@@ -226,6 +244,8 @@ class Server:
     def stats(self) -> ServerStats:
         with self._counter_lock:
             counters = dict(self.tracer.counters)
+        with self._cond:
+            ladder_state = self._ladder_state
         return ServerStats(
             counters=counters,
             peak_queue_depth=self.peak_queue_depth,
@@ -234,7 +254,31 @@ class Server:
                 if self.config.engine == "compiled"
                 else None
             ),
+            ladder_state=ladder_state.name.lower(),
         )
+
+    # --- health-aware admission ---------------------------------------------------
+
+    def report_ladder_state(self, state: LadderState) -> None:
+        """Feed the engine's degradation rung into admission control.
+
+        Called by whoever runs the adaptation loop (the ladder executor,
+        or an operator reacting to the health monitor). Below FULL, the
+        effective queue depth shrinks by :data:`SHED_FACTOR` and excess
+        load is shed with a typed
+        :class:`~repro.serve.errors.DegradedServiceError` so clients
+        back off or reroute instead of queueing behind a degraded
+        engine.
+        """
+        state = LadderState(state)
+        with self._cond:
+            changed = state is not self._ladder_state
+            self._ladder_state = state
+        if changed:
+            self._count(f"serve.ladder.{state.name.lower()}")
+
+    def _effective_queue_depth(self, state: LadderState) -> int:
+        return max(1, int(self.config.queue_depth * SHED_FACTOR[state]))
 
     # --- submission (client side) ------------------------------------------------
 
@@ -276,7 +320,14 @@ class Server:
                     f"server is closed; request for {program!r} not accepted",
                     program=program,
                 )
-            if len(self._queue) >= self.config.queue_depth:
+            state = self._ladder_state
+            depth = self._effective_queue_depth(state)
+            if len(self._queue) >= depth:
+                if depth < self.config.queue_depth:
+                    self._count("serve.shed_degraded")
+                    raise DegradedServiceError(
+                        program, state.name.lower(), depth
+                    )
                 self._count("serve.rejected_queue_full")
                 raise QueueFullError(program, len(self._queue))
             self._queue.append(request)

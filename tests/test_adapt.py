@@ -1,0 +1,587 @@
+"""Tests for the adaptive-rebalancing loop (:mod:`repro.adapt`).
+
+Covers the three halves of the closed loop and their composition:
+
+* the :class:`LinkHealthMonitor` (EWMA scoring, calibration, fault
+  localization, healthy-direction inference);
+* the :class:`RebalancePolicy` (rung selection, typed schedule edits,
+  parameter validation);
+* :func:`run_with_ladder` (descent under persistent faults, seeded
+  typed transitions, bit-identity against the oracle on every rung);
+* the chaos harness's ladder mode and the heterogeneous-fabric p99
+  tail gate (``rebalanced.p99 <= undecomposed.p99`` on every scenario).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.adapt import (
+    CRITICAL,
+    DEAD,
+    DEGRADED,
+    HEALTHY,
+    HealthVerdict,
+    LadderState,
+    LinkHealthMonitor,
+    RebalancePolicy,
+    SCENARIOS,
+    compare_tail_reports,
+    direction_of_channel,
+    format_tail_report,
+    run_tail,
+    run_with_ladder,
+    write_tail_report,
+)
+from repro.adapt.policy import (
+    DROP_BIDIRECTIONAL,
+    NO_CHANGE,
+    REBALANCE_CHUNKS,
+    SHRINK_STEP,
+    SYNC_FALLBACK_EDIT,
+    ScheduleEdit,
+)
+from repro.core.config import OverlapConfig
+from repro.faults.chaos import (
+    ADAPTED,
+    FALLBACK,
+    RECOVERED,
+    run_chaos,
+    run_one_ladder,
+)
+from repro.faults.errors import FaultError, LinkDownError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.dtypes import F32
+from repro.hlo.shapes import Shape
+from repro.obs.events import ADAPT, RETRY, TRANSFER, EventLog
+from repro.obs.tracer import Tracer
+from repro.runtime.executor import run_spmd
+from repro.runtime.resilient import RetryPolicy
+from repro.sharding.mesh import DeviceMesh
+
+from helpers import split_shards
+
+RING = 4
+
+
+def build_case(mesh):
+    n = mesh.num_devices
+    builder = GraphBuilder("adapt_case")
+    lhs = builder.parameter(Shape((24 // n, 5), F32), name="lhs")
+    rhs = builder.parameter(Shape((5, 7), F32), name="rhs")
+    gathered = builder.all_gather(lhs, 0, mesh.rings("x"))
+    builder.einsum("bf,fh->bh", gathered, rhs)
+    return builder.module
+
+
+def case_arguments(rng, ring):
+    lhs = rng.normal(size=(24, 5))
+    rhs = rng.normal(size=(5, 7))
+    return {
+        "lhs": split_shards(lhs, 0, ring),
+        "rhs": [rhs.copy() for _ in range(ring)],
+    }
+
+
+def link_events(resource, busy, payload=1000):
+    """A one-transfer timeline with ``busy`` seconds over ``payload``
+    bytes on ``resource``."""
+    log = EventLog()
+    log.add("t0", TRANSFER, resource, 0.0, busy, bytes=payload)
+    return log.events
+
+
+def verdict(channel, status, latency=1.0):
+    return HealthVerdict(
+        channel=channel,
+        status=status,
+        latency_score=latency,
+        loss_score=0.0,
+        samples=1,
+    )
+
+
+RING_PAIRS = [(i, (i + 1) % RING) for i in range(RING)]
+
+
+class TestDirectionOfChannel:
+    def test_simulator_lanes(self):
+        assert direction_of_channel("link:x:minus") == "minus"
+        assert direction_of_channel("link:x:plus") == "plus"
+
+    def test_per_device_lanes(self):
+        assert direction_of_channel("link:x:minus:dev3") == "minus"
+
+    def test_non_link_lanes(self):
+        assert direction_of_channel("compute:dev0") is None
+        assert direction_of_channel("fabric") is None
+        assert direction_of_channel("link:collective-permute-start.3") is None
+
+
+class TestHealthVerdict:
+    def test_invalid_status_rejected(self):
+        with pytest.raises(ValueError, match="status"):
+            HealthVerdict("link:x:minus", "sluggish", 1.0, 0.0, 1)
+
+    def test_severity_ordering(self):
+        severities = [
+            verdict("c", status).severity
+            for status in (HEALTHY, DEGRADED, CRITICAL, DEAD)
+        ]
+        assert severities == sorted(severities)
+        assert len(set(severities)) == 4
+
+    def test_describe_names_channel_and_status(self):
+        text = verdict("link:x:plus", DEGRADED, latency=2.0).describe()
+        assert "link:x:plus" in text
+        assert "degraded" in text
+
+
+class TestMonitorValidation:
+    def test_alpha_range(self):
+        with pytest.raises(ValueError, match="alpha"):
+            LinkHealthMonitor(alpha=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            LinkHealthMonitor(alpha=1.5)
+
+    def test_threshold_ordering(self):
+        with pytest.raises(ValueError, match="threshold"):
+            LinkHealthMonitor(degraded_threshold=3.0, critical_threshold=1.5)
+        with pytest.raises(ValueError, match="threshold"):
+            LinkHealthMonitor(degraded_threshold=0.9)
+
+    def test_loss_threshold_ordering(self):
+        with pytest.raises(ValueError, match="loss"):
+            LinkHealthMonitor(loss_degraded=0.6, loss_critical=0.5)
+
+
+class TestMonitorScoring:
+    def test_first_sample_defines_nominal(self):
+        monitor = LinkHealthMonitor()
+        monitor.observe(link_events("link:x:minus", busy=2.0))
+        (v,) = monitor.verdicts()
+        assert v.status == HEALTHY
+        assert v.latency_score == pytest.approx(1.0)
+
+    def test_calibrated_slowdown_detected(self):
+        monitor = LinkHealthMonitor()
+        monitor.calibrate(link_events("link:x:minus", busy=1.0))
+        monitor.observe(link_events("link:x:minus", busy=2.0))
+        (v,) = monitor.verdicts()
+        assert v.status == DEGRADED
+        assert v.latency_score == pytest.approx(2.0)
+
+    def test_ewma_decays_back_to_healthy(self):
+        # alpha=0.4: 2.0 -> 0.4*1 + 0.6*2 = 1.6 (degraded) ->
+        # 0.4*1 + 0.6*1.6 = 1.36 (healthy again).
+        monitor = LinkHealthMonitor(alpha=0.4)
+        monitor.calibrate(link_events("link:x:minus", busy=1.0))
+        monitor.observe(link_events("link:x:minus", busy=2.0))
+        monitor.observe(link_events("link:x:minus", busy=1.0))
+        (v,) = monitor.verdicts()
+        assert v.status == DEGRADED
+        assert v.latency_score == pytest.approx(1.6)
+        monitor.observe(link_events("link:x:minus", busy=1.0))
+        (v,) = monitor.verdicts()
+        assert v.status == HEALTHY
+        assert v.latency_score == pytest.approx(1.36)
+
+    def test_critical_threshold(self):
+        monitor = LinkHealthMonitor()
+        monitor.calibrate(link_events("link:x:minus", busy=1.0))
+        monitor.observe(link_events("link:x:minus", busy=4.0))
+        (v,) = monitor.verdicts()
+        assert v.status == CRITICAL
+
+    def test_retries_raise_loss_score(self):
+        monitor = LinkHealthMonitor()
+        log = EventLog()
+        log.add("t0", TRANSFER, "link:x:minus", 0.0, 1.0, bytes=1000)
+        log.add("retry", RETRY, "link:x:minus", 1.0, 1.0)
+        monitor.observe(log.events)
+        (v,) = monitor.verdicts()
+        # one retry / (1 retry + 1 delivery) = 0.5; EWMA from 0 -> 0.2.
+        assert v.loss_score == pytest.approx(0.2)
+        assert v.status == DEGRADED
+
+    def test_worst_picks_most_severe(self):
+        monitor = LinkHealthMonitor()
+        monitor.calibrate(link_events("link:x:minus", busy=1.0))
+        monitor.calibrate(link_events("link:x:plus", busy=1.0))
+        monitor.observe(link_events("link:x:minus", busy=1.0))
+        monitor.observe(link_events("link:x:plus", busy=4.0))
+        assert monitor.worst().channel == "link:x:plus"
+
+
+class TestMonitorFaults:
+    def test_localizes_pairs_to_channel(self):
+        monitor = LinkHealthMonitor()
+        error = LinkDownError(
+            "link down", pairs=RING_PAIRS, direction="minus"
+        )
+        channel = monitor.observe_fault(error, DeviceMesh.ring(RING))
+        assert channel == "link:x:minus"
+        (v,) = monitor.verdicts()
+        assert v.status == DEAD
+        assert v.latency_score == float("inf")
+
+    def test_direction_only_context_wildcards_axis(self):
+        monitor = LinkHealthMonitor()
+        channel = monitor.observe_fault(
+            LinkDownError("link down", direction="plus")
+        )
+        assert channel == "link:*:plus"
+
+    def test_wildcard_dead_marks_concrete_lanes(self):
+        monitor = LinkHealthMonitor()
+        monitor.observe(link_events("link:x:minus", busy=1.0))
+        monitor.observe_fault(LinkDownError("down", direction="minus"))
+        by_channel = {v.channel: v for v in monitor.verdicts()}
+        assert by_channel["link:x:minus"].status == DEAD
+
+    def test_contextless_fault_marks_fabric(self):
+        monitor = LinkHealthMonitor()
+        assert monitor.observe_fault(FaultError("anonymous")) == "fabric"
+
+    def test_healthy_direction_single_bad_side(self):
+        monitor = LinkHealthMonitor()
+        monitor.observe_fault(LinkDownError("down", direction="minus"))
+        assert monitor.healthy_direction() == "plus"
+
+    def test_healthy_direction_none_when_both_bad(self):
+        monitor = LinkHealthMonitor()
+        monitor.observe_fault(LinkDownError("down", direction="minus"))
+        monitor.observe_fault(LinkDownError("down", direction="plus"))
+        assert monitor.healthy_direction() is None
+
+    def test_healthy_direction_none_when_all_healthy(self):
+        assert LinkHealthMonitor().healthy_direction() is None
+
+
+class TestRebalancePolicy:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="max_granularity"):
+            RebalancePolicy(max_granularity=0)
+        with pytest.raises(ValueError, match="max_granularity"):
+            RebalancePolicy(max_granularity=9)
+        with pytest.raises(ValueError, match="pair_bias"):
+            RebalancePolicy(pair_bias=0.0)
+        with pytest.raises(ValueError, match="pair_bias"):
+            RebalancePolicy(pair_bias=0.5)
+
+    def test_edit_kind_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            ScheduleEdit(kind="defragment", reason="nope")
+
+    def test_next_state_descends_and_saturates(self):
+        policy = RebalancePolicy()
+        chain = [LadderState.FULL]
+        for _ in range(4):
+            chain.append(policy.next_state(chain[-1]))
+        assert chain == [
+            LadderState.FULL,
+            LadderState.REBALANCED,
+            LadderState.UNIDIRECTIONAL,
+            LadderState.SYNC_FALLBACK,
+            LadderState.SYNC_FALLBACK,
+        ]
+
+    def test_no_verdicts_stays_full(self):
+        assert RebalancePolicy().choose_state(()) is LadderState.FULL
+
+    def test_compute_straggler_stays_full(self):
+        # Overlap already hides communication under a slow device; a
+        # schedule edit would only add per-transfer overhead.
+        verdicts = (verdict("compute:dev3", CRITICAL, latency=4.0),)
+        assert RebalancePolicy().choose_state(verdicts) is LadderState.FULL
+
+    def test_degraded_link_rebalances(self):
+        verdicts = (verdict("link:x:minus", DEGRADED, latency=2.0),)
+        assert (
+            RebalancePolicy().choose_state(verdicts)
+            is LadderState.REBALANCED
+        )
+
+    def test_dead_direction_goes_unidirectional(self):
+        verdicts = (verdict("link:x:minus", DEAD, latency=9.0),)
+        assert (
+            RebalancePolicy().choose_state(verdicts)
+            is LadderState.UNIDIRECTIONAL
+        )
+
+    def test_fabric_wide_critical_rebalances(self):
+        # No single direction to route around -> no unidirectional rung.
+        verdicts = (verdict("fabric", CRITICAL, latency=5.0),)
+        assert (
+            RebalancePolicy().choose_state(verdicts)
+            is LadderState.REBALANCED
+        )
+
+    def test_full_edit_is_identity(self):
+        base = OverlapConfig()
+        config, edit = RebalancePolicy().config_for(LadderState.FULL, base)
+        assert edit.kind == NO_CHANGE
+        assert config == base
+
+    def test_rebalanced_edit_doubles_granularity(self):
+        base = OverlapConfig(transfer_granularity=1)
+        config, edit = RebalancePolicy().config_for(
+            LadderState.REBALANCED, base
+        )
+        assert edit.kind == SHRINK_STEP
+        assert config.transfer_granularity == 2
+        config2, _ = RebalancePolicy().config_for(
+            LadderState.REBALANCED, config
+        )
+        assert config2.transfer_granularity == 4  # capped at max
+
+    def test_rebalanced_edit_skews_pair_split_off_slow_link(self):
+        base = OverlapConfig()
+        verdicts = (verdict("link:x:minus", DEGRADED, latency=2.0),)
+        config, edit = RebalancePolicy(pair_bias=0.25).config_for(
+            LadderState.REBALANCED, base, verdicts
+        )
+        assert edit.kind == REBALANCE_CHUNKS
+        assert config.pair_split == pytest.approx(0.25)  # lean off minus
+
+    def test_unidirectional_edit_picks_healthy_direction(self):
+        verdicts = (verdict("link:x:minus", DEAD, latency=9.0),)
+        config, edit = RebalancePolicy().config_for(
+            LadderState.UNIDIRECTIONAL, OverlapConfig(), verdicts
+        )
+        assert edit.kind == DROP_BIDIRECTIONAL
+        assert config.bidirectional is False
+        assert config.preferred_direction == "plus"
+
+    def test_sync_fallback_edit_disables_decomposition(self):
+        config, edit = RebalancePolicy().config_for(
+            LadderState.SYNC_FALLBACK, OverlapConfig()
+        )
+        assert edit.kind == SYNC_FALLBACK_EDIT
+        assert config.enabled is False
+
+
+class TestRunWithLadder:
+    def oracle(self, rng):
+        mesh = DeviceMesh.ring(RING)
+        arguments = case_arguments(rng, RING)
+        reference_module = build_case(mesh)
+        reference = run_spmd(reference_module, arguments, RING)
+        return mesh, arguments, reference[reference_module.root.name]
+
+    def run_ladder(self, mesh, arguments, plan=None, tracer=None):
+        return run_with_ladder(
+            lambda: build_case(mesh),
+            mesh,
+            arguments,
+            base_config=OverlapConfig(use_cost_model=False),
+            injector=FaultInjector(plan) if plan is not None else None,
+            policy=RetryPolicy(max_attempts=2),
+            tracer=tracer,
+        )
+
+    def test_fault_free_run_stays_full(self, rng):
+        mesh, arguments, expected = self.oracle(rng)
+        result = self.run_ladder(mesh, arguments)
+        assert result.state is LadderState.FULL
+        assert result.transitions == ()
+        assert not result.adapted and not result.used_fallback
+        for got, want in zip(result.root, expected):
+            np.testing.assert_array_equal(got, want)
+
+    def test_directional_outage_recovers_unidirectional(self, rng):
+        mesh, arguments, expected = self.oracle(rng)
+        plan = FaultPlan(
+            seed=777,
+            specs=(
+                FaultSpec(
+                    kind=FaultKind.LINK_DOWN,
+                    transfer_index=0,
+                    direction="minus",
+                ),
+            ),
+        )
+        result = self.run_ladder(mesh, arguments, plan)
+        # FULL and REBALANCED both still use the minus links; only the
+        # unidirectional rung routes every transfer onto the plus ring.
+        assert result.state is LadderState.UNIDIRECTIONAL
+        assert len(result.transitions) == 2
+        assert result.adapted and not result.used_fallback
+        assert all(t.seed == 777 for t in result.transitions)
+        final = result.transitions[-1]
+        assert final.to_state is LadderState.UNIDIRECTIONAL
+        assert final.edit.changes.get("preferred_direction") == "plus"
+        for got, want in zip(result.root, expected):
+            np.testing.assert_array_equal(got, want)
+
+    def test_fabric_outage_falls_to_sync_fallback(self, rng):
+        mesh, arguments, expected = self.oracle(rng)
+        plan = FaultPlan(
+            seed=778,
+            specs=(
+                FaultSpec(kind=FaultKind.LINK_DOWN, transfer_index=0),
+            ),
+        )
+        tracer = Tracer()
+        result = self.run_ladder(mesh, arguments, plan, tracer=tracer)
+        assert result.state is LadderState.SYNC_FALLBACK
+        assert result.used_fallback and not result.adapted
+        assert len(result.transitions) == 3
+        for got, want in zip(result.root, expected):
+            np.testing.assert_array_equal(got, want)
+        # Every descent is mirrored as a seeded ADAPT trace event.
+        adapt_events = [e for e in tracer.events if e.kind == ADAPT]
+        assert len(adapt_events) == 3
+        assert all("seed=778" in e.name for e in adapt_events)
+        assert tracer.counters["fallbacks"] == 1
+        assert tracer.counters["ladder.rebalanced"] == 1
+        assert tracer.counters["ladder.unidirectional"] == 1
+        assert tracer.counters["ladder.sync_fallback"] == 1
+
+    def test_non_link_fault_propagates_seeded(self, rng):
+        mesh, arguments, _ = self.oracle(rng)
+        plan = FaultPlan(
+            seed=779,
+            specs=(
+                FaultSpec(
+                    kind=FaultKind.DEVICE_FAIL, device=1, step=3
+                ),
+            ),
+        )
+        with pytest.raises(FaultError, match="seed=779"):
+            self.run_ladder(mesh, arguments, plan)
+
+
+class TestChaosLadder:
+    def test_fault_free_run_recovers_on_full(self):
+        result = run_one_ladder(11, intensity=0.0)
+        assert result.outcome == RECOVERED
+        assert result.ladder_state == "full"
+        assert result.transitions == 0
+
+    def test_replay_is_deterministic(self):
+        first = run_one_ladder(20230325, intensity=0.7)
+        second = run_one_ladder(20230325, intensity=0.7)
+        assert first.signature == second.signature
+
+    def test_batch_contract_and_adaptation(self):
+        report = run_chaos(20230325, runs=30, intensity=0.6, ladder=True)
+        violations = [r for r in report.runs if r.is_violation]
+        assert violations == []
+        adapted = [r for r in report.runs if r.outcome == ADAPTED]
+        assert adapted, "no run recovered on an intermediate rung"
+        for result in adapted:
+            assert result.transitions >= 1
+            assert result.ladder_state in ("rebalanced", "unidirectional")
+        for result in report.runs:
+            if result.outcome == FALLBACK:
+                assert result.ladder_state == "sync_fallback"
+            if result.outcome == RECOVERED:
+                assert result.transitions == 0
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+    def test_draws_are_degraded_and_deterministic(self, scenario):
+        conditions = scenario.conditions(
+            np.random.default_rng([1, 2]), RING
+        )
+        again = scenario.conditions(np.random.default_rng([1, 2]), RING)
+        assert conditions == again
+        assert not conditions.is_healthy
+
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+    def test_degraded_conditions_round_trip(self, scenario):
+        # Satellite: every scenario draw survives ChannelConditions'
+        # validation (scales strictly positive) and yields multipliers
+        # >= 1 on every channel of a ring mesh.
+        conditions = scenario.conditions(
+            np.random.default_rng([3, 4]), RING
+        )
+        for direction in ("minus", "plus"):
+            for source in range(RING):
+                assert (
+                    conditions.transfer_multiplier(
+                        ("x", direction), source=source
+                    )
+                    >= 1.0
+                )
+        for device in range(RING):
+            assert conditions.compute_multiplier(device) >= 1.0
+        assert conditions.collective_multiplier() >= 1.0
+
+
+class TestTailGate:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_tail(seed=20230325, runs=8, ring=8)
+
+    def test_p99_gate_holds_on_every_scenario(self, report):
+        assert report.ok, format_tail_report(report)
+        for scenario in report.scenarios:
+            assert scenario.gate_ok, scenario.scenario
+
+    def test_rebalanced_strictly_wins_on_most_scenarios(self, report):
+        assert report.wins >= 3, format_tail_report(report)
+
+    def test_ladder_picks_the_right_rung_per_scenario(self, report):
+        by_name = {s.scenario: s for s in report.scenarios}
+        # Asymmetric link -> route around it; compute stragglers -> the
+        # paper schedule is already optimal, no edit.
+        assert by_name["asymmetric-ring"].ladder_states == {
+            "unidirectional": 8
+        }
+        assert by_name["mixed-generation"].ladder_states == {"full": 8}
+        assert by_name["flaky-straggler"].ladder_states == {"full": 8}
+        assert by_name["oversubscribed-host"].ladder_states == {
+            "rebalanced": 8
+        }
+
+    def test_report_is_seed_deterministic(self, report):
+        again = run_tail(seed=20230325, runs=8, ring=8)
+        assert again.to_json() == report.to_json()
+
+    def test_bytes_on_wire_accounted(self, report):
+        for scenario in report.scenarios:
+            assert scenario.bytes_on_wire["decomposed"] > 0
+            assert scenario.bytes_on_wire["rebalanced"] > 0
+
+    def test_write_and_compare_round_trip(self, report, tmp_path):
+        path = tmp_path / "CHAOS_p99.json"
+        write_tail_report(report, str(path))
+        baseline = json.loads(path.read_text())
+        assert baseline["ok"] is True
+        assert compare_tail_reports(report, baseline) == []
+
+    def test_compare_flags_regression(self, report, tmp_path):
+        path = tmp_path / "CHAOS_p99.json"
+        write_tail_report(report, str(path))
+        baseline = json.loads(path.read_text())
+        for entry in baseline["scenarios"]:
+            entry["rebalanced"]["p99"] *= 0.1
+        problems = compare_tail_reports(
+            report, baseline, max_regression=0.25
+        )
+        assert len(problems) == len(report.scenarios)
+        assert all("regressed past baseline" in p for p in problems)
+
+    def test_compare_flags_missing_scenario(self, report):
+        baseline = {
+            "scenarios": [
+                {
+                    "scenario": "quantum-decoherence",
+                    "rebalanced": {"p99": 1.0},
+                }
+            ]
+        }
+        (problem,) = compare_tail_reports(report, baseline)
+        assert "missing from current report" in problem
+
+    def test_format_names_gate_and_rungs(self, report):
+        text = format_tail_report(report)
+        assert "gate: decomposed+rebalanced <= undecomposed at p99" in text
+        assert "PASS" in text
+        assert "unidirectional" in text

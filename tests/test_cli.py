@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import ARTIFACTS, build_parser, main
@@ -247,3 +249,46 @@ class TestTraceCommand:
             "compiled/baseline", "compiled/decomposed",
             "simulated/baseline", "simulated/decomposed",
         }
+
+
+class TestChaosLadderCli:
+    def test_ladder_batch_holds_contract(self, capsys):
+        assert main(
+            ["chaos", "--ladder", "--runs", "8", "--seed", "11",
+             "--intensity", "0.6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "contract held" in out
+
+    def test_ladder_replay_reports_rung(self, capsys):
+        assert main(["chaos", "--ladder", "--replay", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "final rung" in out
+
+    def test_tail_gate_passes_and_writes_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "CHAOS_p99.json"
+        assert main(
+            ["chaos", "--tail", "--tail-runs", "4", "--out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gate: decomposed+rebalanced <= undecomposed at p99" in out
+        assert out_path.exists()
+        payload = json.loads(out_path.read_text())
+        assert payload["ok"] is True
+
+    def test_tail_baseline_regression_fails(self, capsys, tmp_path):
+        good = tmp_path / "baseline.json"
+        assert main(
+            ["chaos", "--tail", "--tail-runs", "4", "--out", str(good)]
+        ) == 0
+        capsys.readouterr()
+        baseline = json.loads(good.read_text())
+        for entry in baseline["scenarios"]:
+            entry["rebalanced"]["p99"] *= 1e-6
+        tightened = tmp_path / "tightened.json"
+        tightened.write_text(json.dumps(baseline))
+        assert main(
+            ["chaos", "--tail", "--tail-runs", "4",
+             "--baseline", str(tightened)]
+        ) == 1
+        assert "regressed past baseline" in capsys.readouterr().err

@@ -35,6 +35,21 @@ VARIANTS = [
                  id="bidirectional"),
     pytest.param(OverlapConfig(unroll=True, bidirectional=True),
                  id="unrolled-bidirectional"),
+    # Adaptive-rebalancing variants (PR 6): schedule-only edits, so the
+    # same bit-exact equivalence must hold.
+    pytest.param(OverlapConfig(transfer_granularity=2),
+                 id="granularity-2"),
+    pytest.param(OverlapConfig(unroll=False, bidirectional=False,
+                               transfer_granularity=4),
+                 id="plain-granularity-4"),
+    pytest.param(OverlapConfig(unroll=False, bidirectional=False,
+                               preferred_direction="plus"),
+                 id="mirrored-plus"),
+    pytest.param(OverlapConfig(unroll=False, bidirectional=False,
+                               preferred_direction="minus"),
+                 id="explicit-minus"),
+    pytest.param(OverlapConfig(pair_split=0.75),
+                 id="pair-split-75"),
 ]
 
 RINGS = [2, 3, 4, 8]

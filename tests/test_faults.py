@@ -201,3 +201,109 @@ class TestChannelConditions:
         conditions = conditions_from_plan(plan, DeviceMesh.ring(4))
         assert conditions.compute_multiplier(3) == pytest.approx(2.0)
         assert conditions.compute_multiplier(0) == 1.0
+
+
+class TestAttachSeed:
+    """Recovery wrappers stamp the original replay seed onto late faults."""
+
+    def test_stamps_seed_and_message(self):
+        error = FaultError("late fault")
+        assert error.attach_seed(42) is error
+        assert error.seed == 42
+        assert "replay with seed=42" in str(error)
+
+    def test_existing_seed_wins(self):
+        error = FaultError("early fault", seed=7)
+        error.attach_seed(42)
+        assert error.seed == 7
+        assert "seed=42" not in str(error)
+
+    def test_none_is_a_no_op(self):
+        error = FaultError("no injector")
+        error.attach_seed(None)
+        assert error.seed is None
+        assert "replay" not in str(error)
+
+
+class TestDirectionScopedLinkDown:
+    def test_direction_only_valid_on_link_down(self):
+        with pytest.raises(ValueError, match="direction"):
+            FaultSpec(
+                kind=FaultKind.DROP, transfer_index=0, direction="minus"
+            )
+
+    def test_direction_value_validated(self):
+        with pytest.raises(ValueError, match="direction"):
+            FaultSpec(
+                kind=FaultKind.LINK_DOWN,
+                transfer_index=0,
+                direction="sideways",
+            )
+
+    def test_scoped_outage_misses_the_mirror_direction(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(
+                    kind=FaultKind.LINK_DOWN,
+                    transfer_index=0,
+                    direction="minus",
+                ),
+            ),
+        )
+        assert plan.link_down_at(0, "minus") is not None
+        assert plan.link_down_at(5, "minus") is not None  # persistent
+        assert plan.link_down_at(0, "plus") is None
+
+    def test_unscoped_outage_hits_both_directions(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(kind=FaultKind.LINK_DOWN, transfer_index=0),
+            ),
+        )
+        assert plan.link_down_at(0, "minus") is not None
+        assert plan.link_down_at(0, "plus") is not None
+        assert plan.link_down_at(0, None) is not None
+
+
+class TestConditionsEdgeCases:
+    """ChannelConditions corners (PR 6 satellite)."""
+
+    def test_per_device_zero_scales_rejected(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            ChannelConditions(per_device_compute_scale={0: 0.0})
+        with pytest.raises(ValueError, match="must be > 0"):
+            ChannelConditions(per_device_link_scale={1: -0.5})
+
+    def test_conditions_from_plan_empty_plan_is_healthy(self):
+        plan = FaultPlan(seed=0, specs=())
+        conditions = conditions_from_plan(plan, DeviceMesh.ring(4))
+        assert conditions.is_healthy
+
+    def test_conditions_from_plan_ignores_transfer_faults(self):
+        # Drops and corruption have no steady-state timing analogue.
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(kind=FaultKind.DROP, transfer_index=0),
+                FaultSpec(
+                    kind=FaultKind.CORRUPT_NAN, transfer_index=1
+                ),
+            ),
+        )
+        conditions = conditions_from_plan(plan, DeviceMesh.ring(4))
+        assert conditions.is_healthy
+
+    def test_absent_channels_run_at_nominal(self):
+        # A mesh axis the conditions never mention is untouched.
+        conditions = ChannelConditions.degraded_link("x", "minus", 0.5)
+        assert conditions.transfer_multiplier(("y", "minus")) == 1.0
+        assert conditions.transfer_multiplier(("x", "plus")) == 1.0
+
+    def test_collective_gated_by_slowest_of_link_and_serdes(self):
+        conditions = ChannelConditions(
+            link_scale={("x", "minus"): 0.5},
+            per_device_link_scale={0: 0.25},
+        )
+        assert conditions.collective_multiplier() == pytest.approx(4.0)

@@ -75,3 +75,74 @@ def test_baseline_has_no_waits():
     compile_module(module, mesh, OverlapConfig.baseline())
     for timeline in simulate_per_device(module, mesh):
         assert timeline.permute_wait_time == 0.0
+
+
+class TestPerDeviceTraceLanes:
+    """The multi-device walk emits the per-device lanes the adaptation
+    monitor consumes (PR 6)."""
+
+    def trace_of(self, ring=4, conditions=None):
+        from repro.perfsim.trace import Trace
+
+        mesh = DeviceMesh.ring(ring)
+        module = overlap_module(mesh)
+        compile_module(module, mesh, OverlapConfig(use_cost_model=False))
+        trace = Trace()
+        timelines = simulate_per_device(
+            module, mesh, conditions=conditions, trace=trace
+        )
+        return timelines, trace
+
+    def test_link_lanes_carry_direction_and_source(self):
+        from repro.obs.events import TRANSFER
+
+        _, trace = self.trace_of()
+        transfers = [e for e in trace.events if e.kind == TRANSFER]
+        assert transfers
+        for event in transfers:
+            parts = event.resource.split(":")
+            assert parts[0] == "link"
+            assert parts[2] in ("minus", "plus")
+            assert parts[3].startswith("dev")
+            assert event.bytes > 0
+
+    def test_compute_lanes_are_per_device(self):
+        _, trace = self.trace_of(ring=4)
+        compute_lanes = {
+            e.resource
+            for e in trace.events
+            if e.resource.startswith("compute:")
+        }
+        assert compute_lanes == {f"compute:dev{d}" for d in range(4)}
+
+    def test_straggler_shows_up_on_its_own_lanes(self):
+        from repro.faults.conditions import ChannelConditions
+
+        healthy, healthy_trace = self.trace_of(ring=4)
+        degraded, degraded_trace = self.trace_of(
+            ring=4,
+            conditions=ChannelConditions(
+                per_device_compute_scale={2: 0.5}
+            ),
+        )
+        assert max(t.total_time for t in degraded) > max(
+            t.total_time for t in healthy
+        )
+
+        from repro.obs.events import COMPUTE
+
+        def compute_busy(trace, device):
+            return sum(
+                e.duration
+                for e in trace.events
+                if e.resource == f"compute:dev{device}"
+                and e.kind == COMPUTE
+            )
+
+        # Device 2's compute lane stretches 2x; device 0's is untouched.
+        assert compute_busy(degraded_trace, 2) == pytest.approx(
+            2 * compute_busy(healthy_trace, 2)
+        )
+        assert compute_busy(degraded_trace, 0) == pytest.approx(
+            compute_busy(healthy_trace, 0)
+        )

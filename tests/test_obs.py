@@ -35,6 +35,7 @@ from repro.obs import (
     to_chrome_trace,
     validate_chrome_trace,
 )
+from repro.obs.health_feed import lane_costs, retry_fraction
 from repro.perfsim.simulator import simulate_with_trace
 from repro.perfsim.trace import Trace
 from repro.runtime.collectives import payload_bytes
@@ -418,3 +419,121 @@ class TestSimulatedTraceSchema:
         assert sum(e.bytes for e in transfers) == sum(
             report.link_bytes.values()
         )
+
+
+class TestCommVolumeLens:
+    """The bytes-on-wire accounting lens (PR 6 satellite)."""
+
+    def synthetic(self):
+        log = EventLog()
+        log.add("p0", ASYNC_START, "compute", 0.0, 0.1, bytes=100)
+        log.add("p0", TRANSFER, "link:x:minus", 0.0, 1.0, bytes=100)
+        log.add("p0", ASYNC_DONE, "compute", 1.0, 1.1, bytes=100)
+        log.add("p1", TRANSFER, "link:x:plus", 0.0, 2.0, bytes=300)
+        log.add("ag", COLLECTIVE, "compute", 1.0, 3.0, bytes=50)
+        log.add("mm", COMPUTE, "compute", 0.0, 3.0)
+        return log.events
+
+    def test_counts_each_payload_once(self):
+        from repro.obs.comm_volume import comm_volume_summary
+
+        summary = comm_volume_summary(self.synthetic())
+        # The async start/done spans mirror the transfer windows; only
+        # the transfers plus the sync collective land in the total.
+        assert summary.transfer_bytes == 400
+        assert summary.collective_bytes == 50
+        assert summary.total_bytes == 450
+        assert summary.total_time == 3.0
+
+    def test_channels_grouped_by_resource_and_kind(self):
+        from repro.obs.comm_volume import comm_volume_summary
+
+        summary = comm_volume_summary(self.synthetic())
+        lanes = {(c.resource, c.kind): c for c in summary.channels}
+        minus = lanes[("link:x:minus", TRANSFER)]
+        assert minus.bytes == 100
+        assert minus.events == 1
+        assert minus.bandwidth == pytest.approx(100.0)
+        # Zero-byte compute spans never become channels.
+        assert ("compute", COMPUTE) not in lanes
+
+    def test_async_starts_count_when_no_transfer_windows(self):
+        from repro.obs.comm_volume import comm_volume_summary
+
+        log = EventLog()
+        log.add("p0", ASYNC_START, "compute", 0.0, 0.1, bytes=128)
+        summary = comm_volume_summary(log.events)
+        assert summary.transfer_bytes == 128
+        assert summary.total_bytes == 128
+
+    def test_empty_log_is_all_zero(self):
+        from repro.obs.comm_volume import comm_volume_summary
+
+        summary = comm_volume_summary([])
+        assert summary.total_bytes == 0
+        assert summary.channels == ()
+
+    def test_human_bytes_units(self):
+        from repro.obs.comm_volume import human_bytes
+
+        assert human_bytes(0) == "0 B"
+        assert human_bytes(96) == "96 B"
+        assert human_bytes(1536) == "1.5 KiB"
+        assert human_bytes(56 * 1024 * 1024) == "56.0 MiB"
+
+    def test_format_renders_totals(self):
+        from repro.obs.comm_volume import (
+            comm_volume_summary,
+            format_comm_volume,
+        )
+
+        text = format_comm_volume(comm_volume_summary(self.synthetic()))
+        assert "bytes on wire: 450 B" in text
+        assert "link:x:minus" in text
+
+    def test_simulated_baseline_collectives_carry_bytes(self):
+        # The symmetric simulator annotates sync-collective spans with
+        # the same payload model the executors use, so the lens accounts
+        # an undecomposed program's traffic too.
+        from repro.obs.comm_volume import comm_volume_summary
+
+        case = golden("mlp-chain")
+        mesh = DeviceMesh.ring(4)
+        module = case.build(mesh)
+        compile_module(module, mesh, OverlapConfig.baseline())
+        report, trace = simulate_with_trace(module, mesh)
+        summary = comm_volume_summary(trace.events)
+        assert summary.collective_bytes > 0
+        assert summary.total_bytes == summary.collective_bytes
+
+
+class TestHealthFeedLens:
+    """Per-lane normalized costs feeding the adaptation monitor."""
+
+    def test_byte_lane_cost_is_seconds_per_byte(self):
+        log = EventLog()
+        log.add("t", TRANSFER, "link:x:minus", 0.0, 2.0, bytes=1000)
+        costs = lane_costs(log.events)
+        assert costs["link:x:minus"].cost == pytest.approx(0.002)
+
+    def test_compute_lane_cost_is_seconds_per_event(self):
+        log = EventLog()
+        log.add("a", COMPUTE, "compute:dev0", 0.0, 1.0)
+        log.add("b", COMPUTE, "compute:dev0", 1.0, 4.0)
+        costs = lane_costs(log.events)
+        assert costs["compute:dev0"].cost == pytest.approx(2.0)
+
+    def test_stalls_and_retries_excluded(self):
+        log = EventLog()
+        log.add("t", TRANSFER, "link:x:minus", 0.0, 1.0, bytes=100)
+        log.add("stall", "stall", "link:x:minus", 1.0, 9.0)
+        log.add("retry", RETRY, "link:x:minus", 1.0, 1.5)
+        costs = lane_costs(log.events)
+        assert costs["link:x:minus"].busy_time == pytest.approx(1.0)
+
+    def test_retry_fraction(self):
+        log = EventLog()
+        log.add("t", TRANSFER, "link:x:minus", 0.0, 1.0, bytes=100)
+        log.add("retry", RETRY, "link:x:minus", 1.0, 1.0)
+        assert retry_fraction(log.events) == pytest.approx(0.5)
+        assert retry_fraction([]) == 0.0

@@ -130,6 +130,19 @@ class TestRetryAndTimeout:
             RetryPolicy(max_attempts=0)
         with pytest.raises(ValueError, match="timeout"):
             RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError, match="timeout"):
+            RetryPolicy(timeout=-1.0)
+        with pytest.raises(ValueError, match="backoff_base"):
+            RetryPolicy(backoff_base=-1e-6)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_policy_boundary_values_accepted(self):
+        policy = RetryPolicy(
+            max_attempts=1, backoff_base=0.0, backoff_factor=1.0
+        )
+        assert policy.backoff(0) == 0.0
+        assert policy.backoff(3) == 0.0
 
 
 class TestGuardrails:
@@ -285,3 +298,64 @@ class TestFallback:
                 primary, self.build(mesh), arguments, 4,
                 injector=FaultInjector(plan),
             )
+
+
+class TestDirectionScopedFaults:
+    """Direction-labelled transfers only trip direction-matching outages
+    (PR 6: what the ladder's unidirectional rung routes around)."""
+
+    @staticmethod
+    def directed_module(direction):
+        builder = GraphBuilder("directed")
+        a = builder.parameter(Shape((2,), F32), name="a")
+        start = builder.collective_permute_start(
+            a, PAIRS, direction=direction
+        )
+        done = builder.collective_permute_done(start)
+        builder.add(done, a)
+        return builder.module
+
+    def run_directed(self, direction, plan):
+        xs = [np.ones(2), 2 * np.ones(2)]
+        module = self.directed_module(direction)
+        executor = ResilientExecutor(
+            2, injector=FaultInjector(plan), policy=RetryPolicy(max_attempts=2)
+        )
+        return executor.run(module, {"a": xs})[module.root.name]
+
+    def test_mirror_direction_dodges_scoped_outage(self):
+        plan = plan_of(
+            FaultSpec(
+                kind=FaultKind.LINK_DOWN, transfer_index=0,
+                direction="minus",
+            )
+        )
+        values = self.run_directed("plus", plan)
+        assert len(values) == 2  # delivered clean, no fault raised
+
+    def test_matching_direction_still_fails_typed(self):
+        plan = plan_of(
+            FaultSpec(
+                kind=FaultKind.LINK_DOWN, transfer_index=0,
+                direction="minus",
+            ),
+            seed=31,
+        )
+        with pytest.raises(LinkDownError, match="seed=31") as excinfo:
+            self.run_directed("minus", plan)
+        assert excinfo.value.context.get("direction") == "minus"
+
+    def test_timeout_error_carries_direction_context(self):
+        plan = plan_of(
+            FaultSpec(kind=FaultKind.DROP, transfer_index=0, attempts=9),
+            seed=32,
+        )
+        xs = [np.ones(2), 2 * np.ones(2)]
+        module = self.directed_module("plus")
+        executor = ResilientExecutor(
+            2, injector=FaultInjector(plan), policy=RetryPolicy(max_attempts=2)
+        )
+        with pytest.raises(TransferTimeoutError) as excinfo:
+            executor.run(module, {"a": xs})
+        assert excinfo.value.context.get("direction") == "plus"
+        assert excinfo.value.context.get("pairs") == PAIRS

@@ -254,3 +254,73 @@ class TestLoadgen:
         overhead = measure_compile_overhead(repeats=3)
         assert overhead.cold > overhead.warm
         assert overhead.speedup >= 5.0
+
+
+class TestHealthAwareShedding:
+    """Admission control rides the degradation ladder (PR 6)."""
+
+    def test_full_state_is_legacy_behavior(self):
+        from repro.adapt import LadderState
+        from repro.serve import SHED_FACTOR
+
+        assert SHED_FACTOR[LadderState.FULL] == 1.0
+        assert SHED_FACTOR[LadderState.REBALANCED] == 1.0
+        with Server(ServeConfig(workers=1)) as server:
+            assert server.stats().ladder_state == "full"
+            server.submit(MLP2).result(timeout=10)
+
+    def test_degraded_state_shrinks_queue_and_sheds_typed(self):
+        from repro.adapt import LadderState
+        from repro.serve import DegradedServiceError
+
+        config = ServeConfig(workers=1, queue_depth=4, max_wait=0.0)
+        server = Server(config, catalog=default_catalog())
+        accepted = []
+        try:
+            server.report_ladder_state(LadderState.UNIDIRECTIONAL)
+            with server._module_lock:  # first build blocks the worker
+                with pytest.raises(DegradedServiceError) as excinfo:
+                    for _ in range(4):
+                        accepted.append(server.submit(MLP2))
+            for ticket in accepted:
+                ticket.result(timeout=10)
+        finally:
+            server.close()
+        # Depth 4 halves to 2: the worker holds one request, the queue
+        # holds two more, the next submission is shed.
+        error = excinfo.value
+        assert error.ladder_state == "unidirectional"
+        assert error.depth == 2
+        assert "degraded" in str(error)
+        counters = server.stats().counters
+        assert counters["serve.shed_degraded"] >= 1
+        assert counters["serve.ladder.unidirectional"] == 1
+        assert server.stats().ladder_state == "unidirectional"
+
+    def test_recovery_restores_full_depth(self):
+        from repro.adapt import LadderState
+
+        config = ServeConfig(workers=1, queue_depth=4, max_wait=0.0)
+        with Server(config, catalog=default_catalog()) as server:
+            server.report_ladder_state(LadderState.SYNC_FALLBACK)
+            server.report_ladder_state(LadderState.FULL)
+            assert server.stats().ladder_state == "full"
+            for ticket in [server.submit(MLP2) for _ in range(3)]:
+                ticket.result(timeout=10)
+
+    def test_repeated_report_counts_only_transitions(self):
+        from repro.adapt import LadderState
+
+        with Server(ServeConfig(workers=1)) as server:
+            server.report_ladder_state(LadderState.REBALANCED)
+            server.report_ladder_state(LadderState.REBALANCED)
+            counters = server.stats().counters
+        assert counters["serve.ladder.rebalanced"] == 1
+
+    def test_stats_json_reports_ladder_state(self):
+        from repro.adapt import LadderState
+
+        with Server(ServeConfig(workers=1)) as server:
+            server.report_ladder_state(LadderState.REBALANCED)
+            payload = server.stats().to_json()
+        assert payload["ladder_state"] == "rebalanced"
