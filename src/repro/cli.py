@@ -246,9 +246,15 @@ def _cmd_chaos(args) -> int:
             "p99 on every scenario",
         )
 
+    try:
+        oracle = _oracle_engine(args.engine, args.workers)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
     if args.replay is not None:
         runner = run_one_ladder if args.ladder else run_one
-        result = runner(args.replay, intensity=args.intensity)
+        result = runner(args.replay, intensity=args.intensity, oracle=oracle)
         print(
             f"replay seed={result.seed}: case={result.case} "
             f"ring={result.ring} scheduler={result.scheduler} "
@@ -266,10 +272,27 @@ def _cmd_chaos(args) -> int:
         print("--runs must be at least 1", file=sys.stderr)
         return 2
     report = run_chaos(
-        args.seed, args.runs, intensity=args.intensity, ladder=args.ladder
+        args.seed, args.runs, intensity=args.intensity, ladder=args.ladder,
+        oracle=oracle,
     )
     print(format_report(report))
     return 0 if report.ok else 1
+
+
+def _oracle_engine(kind, workers):
+    """Build the oracle/timed engine for ``repro chaos``/``repro bench``.
+
+    Validation is :func:`create_engine`'s: unknown kinds and options
+    that do not apply (``--workers`` on anything but the parallel
+    backend) fail loudly with the registry's dynamic kind list.
+    """
+    from repro.runtime.engine import create_engine
+
+    if kind is None or (kind == "compiled" and workers is None):
+        return None  # keep the harness's shared default engine
+    if workers is not None:
+        return create_engine(kind, workers=workers)
+    return create_engine(kind)
 
 
 def _cmd_bench(args) -> int:
@@ -279,7 +302,17 @@ def _cmd_bench(args) -> int:
         check_report, compare_reports, format_report, run_bench, write_report,
     )
 
-    report = run_bench(quick=args.quick, repeats=args.repeats)
+    try:
+        report = run_bench(
+            quick=args.quick,
+            repeats=args.repeats,
+            engine=args.engine,
+            workers=args.workers,
+            parallel=args.parallel,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     print(format_report(report))
     if args.output:
         write_report(report, args.output)
@@ -287,7 +320,9 @@ def _cmd_bench(args) -> int:
     # Bit-identity is always a gate — a bench run whose compiled outputs
     # diverge from the oracle must fail even without an explicit floor.
     problems = check_report(
-        report, args.min_speedup if args.min_speedup is not None else 0.0
+        report,
+        args.min_speedup if args.min_speedup is not None else 0.0,
+        min_parallel_speedup=args.min_parallel_speedup,
     )
     if args.baseline:
         try:
@@ -351,7 +386,7 @@ def _cmd_trace(args) -> int:
             OverlapConfig(use_cost_model=False, scheduler=args.scheduler),
         ),
     )
-    engines = ("interpreted", "compiled")
+    engines = ("interpreted", "compiled", "parallel")
     streams: Dict[str, list] = {}
     counters: Dict[str, Dict[str, float]] = {}
     summaries = {}
@@ -460,6 +495,7 @@ def _serve_config(args):
         queue_depth=args.queue_depth,
         workers=args.workers,
         default_deadline=args.deadline,
+        engine_workers=args.engine_workers,
     )
 
 
@@ -484,7 +520,7 @@ def _cmd_loadgen(args) -> int:
             programs=args.programs or None,
             seed=args.seed,
         )
-    except UnknownProgramError as error:
+    except (UnknownProgramError, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 2
     print(format_loadgen(report))
@@ -505,9 +541,15 @@ def _cmd_serve(args) -> int:
     from repro.serve import Server, check_report, run_loadgen
     from repro.serve import format_report as format_loadgen
 
+    try:
+        config = _serve_config(args)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
     if args.selftest:
         report = run_loadgen(
-            requests=args.requests, config=_serve_config(args), seed=args.seed
+            requests=args.requests, config=config, seed=args.seed
         )
         print(format_loadgen(report))
         return _gate(
@@ -518,7 +560,7 @@ def _cmd_serve(args) -> int:
 
     # Demo mode: one request per catalog program through a live server.
     catalog = default_catalog()
-    with Server(_serve_config(args), catalog=catalog) as server:
+    with Server(config, catalog=catalog) as server:
         tickets = [
             (name, server.submit(name, seed=args.seed))
             for name in sorted(catalog)
@@ -753,6 +795,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --tail --baseline: allowed relative rebalanced-p99 "
         "regression (default 0.25)",
     )
+    chaos.add_argument(
+        "--engine", default="compiled", metavar="KIND",
+        help="oracle engine kind (default compiled; any registered kind "
+        "— unknown kinds fail with the registry's list)",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker threads for --engine parallel (rejected loudly for "
+        "engines that take no workers)",
+    )
     chaos.set_defaults(handler=_cmd_chaos)
 
     bench = commands.add_parser(
@@ -784,6 +836,28 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--max-drop", type=float, default=0.2, metavar="F",
         help="allowed relative speedup drop vs --baseline (default 0.2)",
+    )
+    bench.add_argument(
+        "--engine", default="compiled", metavar="KIND",
+        help="engine timed against the interpreter (default compiled; "
+        "any registered kind — unknown kinds fail with the registry's "
+        "list)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker threads for --engine parallel (rejected loudly for "
+        "engines that take no workers); also sizes the --parallel sweep",
+    )
+    bench.add_argument(
+        "--parallel", action="store_true",
+        help="also run the large-ring parallel-vs-compiled sweep "
+        "(8/64/256 devices; 8/64 with --quick) and attach it to the "
+        "report's 'parallel' section",
+    )
+    bench.add_argument(
+        "--min-parallel-speedup", type=float, default=1.0, metavar="X",
+        help="with --parallel: fail unless the parallel/compiled geomean "
+        "at 8+ devices reaches X (default 1.0)",
     )
     bench.set_defaults(handler=_cmd_bench)
 
@@ -861,13 +935,19 @@ def build_parser() -> argparse.ArgumentParser:
             help=f"requests to generate (default {requests_default})",
         )
         sub.add_argument(
-            "--engine", default="compiled",
-            choices=("interpreted", "compiled", "resilient"),
-            help="execution back end (default compiled)",
+            "--engine", default="compiled", metavar="KIND",
+            help="execution back end (default compiled; any kind in the "
+            "engine registry — unknown kinds fail with the registry's "
+            "list)",
         )
         sub.add_argument(
             "--workers", type=int, default=2,
             help="server worker threads (default 2)",
+        )
+        sub.add_argument(
+            "--engine-workers", type=int, default=None, metavar="N",
+            help="thread-pool size for --engine parallel (rejected "
+            "loudly for engines that take no workers)",
         )
         sub.add_argument(
             "--max-batch", type=int, default=8,

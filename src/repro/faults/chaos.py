@@ -30,13 +30,16 @@ from repro.hlo.opcode import Opcode
 from repro.hlo.shapes import Shape
 from repro.obs.events import ADAPT
 from repro.obs.tracer import Tracer
-from repro.runtime.engine import create_engine
+from repro.runtime.engine import Engine, create_engine
 from repro.runtime.resilient import RetryPolicy, run_with_fallback
 from repro.sharding.mesh import DeviceMesh
 
 #: One compiled engine shared by every chaos run in the process: the
 #: golden modules are rebuilt per run but content-fingerprint to the
 #: same plans, so a chaos batch lowers each (case, ring) oracle once.
+#: Runs accept an ``oracle`` override (any bit-identical engine — the
+#: parallel backend qualifies); it replaces this default, never the
+#: seed-determined draw sequence.
 _ORACLE_ENGINE = create_engine("compiled")
 
 #: Outcome labels.
@@ -174,13 +177,16 @@ def run_one(
     intensity: float = 0.5,
     atol: float = 1e-9,
     tracer: Optional[Tracer] = None,
+    oracle: Optional[Engine] = None,
 ) -> ChaosRunResult:
     """Execute one fully seed-determined chaos schedule.
 
     ``tracer`` (optional) records the resilient run's spans, retry
     lanes and counters, and tallies the audited outcome under
     ``chaos.<outcome>`` — so a traced chaos batch shows where faulty
-    schedules spent their time."""
+    schedules spent their time. ``oracle`` (optional) replaces the
+    shared compiled oracle engine; the run's seed-derived draw sequence
+    is independent of it, so signatures stay stable across oracles."""
     rng = np.random.default_rng([seed, 1])
     case = GOLDEN_CASES[int(rng.integers(len(GOLDEN_CASES)))]
     ring = int(case.rings[int(rng.integers(len(case.rings)))])
@@ -194,10 +200,11 @@ def run_one(
     policy = RetryPolicy(max_attempts=int(rng.integers(2, 6)))
 
     arguments = case.make_arguments(mesh, rng)
-    # The oracle runs on the compiled engine (bit-identical to the
-    # interpreter, ~an order of magnitude faster over a chaos batch).
+    # The oracle runs on the compiled engine by default (bit-identical
+    # to the interpreter, ~an order of magnitude faster over a batch).
+    oracle_engine = oracle if oracle is not None else _ORACLE_ENGINE
     oracle_module = case.build(mesh)
-    oracle = _ORACLE_ENGINE.run(oracle_module, arguments, mesh=mesh)[
+    oracle_values = oracle_engine.run(oracle_module, arguments, mesh=mesh)[
         oracle_module.root.name
     ]
 
@@ -250,7 +257,7 @@ def run_one(
 
     worst = max(
         float(np.abs(got - want).max())
-        for got, want in zip(result.root, oracle)
+        for got, want in zip(result.root, oracle_values)
     )
     if worst > atol:
         return describe(
@@ -296,6 +303,7 @@ def run_one_ladder(
     intensity: float = 0.5,
     atol: float = 1e-9,
     tracer: Optional[Tracer] = None,
+    oracle: Optional[Engine] = None,
 ) -> ChaosRunResult:
     """One seeded chaos schedule through the full degradation ladder.
 
@@ -324,8 +332,9 @@ def run_one_ladder(
     policy = RetryPolicy(max_attempts=int(rng.integers(2, 6)))
 
     arguments = case.make_arguments(mesh, rng)
+    oracle_engine = oracle if oracle is not None else _ORACLE_ENGINE
     oracle_module = case.build(mesh)
-    oracle = _ORACLE_ENGINE.run(oracle_module, arguments, mesh=mesh)[
+    oracle_values = oracle_engine.run(oracle_module, arguments, mesh=mesh)[
         oracle_module.root.name
     ]
 
@@ -408,7 +417,7 @@ def run_one_ladder(
 
     worst = max(
         float(np.abs(got - want).max())
-        for got, want in zip(result.root, oracle)
+        for got, want in zip(result.root, oracle_values)
     )
     if worst > atol:
         return describe(
@@ -466,19 +475,27 @@ class ChaosReport:
 
 
 def run_chaos(
-    seed: int, runs: int, intensity: float = 0.5, ladder: bool = False
+    seed: int,
+    runs: int,
+    intensity: float = 0.5,
+    ladder: bool = False,
+    oracle: Optional[Engine] = None,
 ) -> ChaosReport:
     """Run ``runs`` independent seeded schedules derived from ``seed``.
 
     ``ladder=True`` executes each schedule through the full degradation
     ladder (:func:`run_one_ladder`) instead of the one-cliff fallback.
+    ``oracle`` (optional) replaces the shared compiled oracle engine for
+    every run in the batch.
     """
     run_seeds = [
         int(s) for s in
         np.random.SeedSequence(seed).generate_state(runs, dtype=np.uint32)
     ]
     runner = run_one_ladder if ladder else run_one
-    results = tuple(runner(s, intensity=intensity) for s in run_seeds)
+    results = tuple(
+        runner(s, intensity=intensity, oracle=oracle) for s in run_seeds
+    )
     return ChaosReport(seed=seed, intensity=intensity, runs=results)
 
 

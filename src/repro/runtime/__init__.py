@@ -1,11 +1,11 @@
 """Functional multi-device runtime: the correctness oracle.
 
 The unified entry point is :func:`create_engine` — it returns one of the
-three back ends (interpreted oracle, compiled vectorized engine behind a
-content-addressed :class:`PlanCache`, resilient fault-tolerant
-interpreter) behind a single ``run(module, inputs, mesh=...)``
-signature. The legacy executor classes remain importable and functional
-but warn on direct construction.
+four back ends (interpreted oracle, compiled vectorized engine behind a
+content-addressed :class:`PlanCache`, the multi-worker parallel backend,
+resilient fault-tolerant interpreter) behind a single
+``run(module, inputs, mesh=...)`` signature. The legacy executor classes
+remain importable and functional but warn on direct construction.
 """
 
 from repro.runtime.collectives import (
@@ -45,6 +45,14 @@ from repro.runtime.resilient import (
     run_with_fallback,
 )
 
+# Imported last: the parallel package registers its engine kind with the
+# ENGINE_KINDS registry above (and imports repro.runtime.* itself).
+from repro.runtime.parallel import (  # noqa: E402
+    ParallelEngine,
+    ParallelPlan,
+    lower_parallel,
+)
+
 __all__ = [
     "CacheStats",
     "CompiledEngine",
@@ -56,6 +64,8 @@ __all__ = [
     "Executor",
     "InterpretedEngine",
     "MemoryProfile",
+    "ParallelEngine",
+    "ParallelPlan",
     "PlanCache",
     "PlanStats",
     "ResilienceStats",
@@ -72,6 +82,7 @@ __all__ = [
     "fingerprint_mesh",
     "fingerprint_module",
     "lower",
+    "lower_parallel",
     "payload_bytes",
     "plan_key",
     "profile_memory",

@@ -138,13 +138,45 @@ def _geomean(values: Sequence[float]) -> float:
     return float(np.exp(np.mean(np.log(values))))
 
 
+def _timed_engine(engine: str, workers: Optional[int], parallel: bool):
+    """The engine one bench grid times against the interpreter.
+
+    Validation is the registry's: an unknown ``engine`` or an option
+    that does not apply to it (``workers`` on anything but the parallel
+    backend) raises the same loud ``ValueError`` as ``create_engine``.
+    Exception: with ``parallel=True`` the ``workers`` count sizes the
+    parallel-vs-compiled sweep, so it is only forwarded to timed
+    engines that accept it.
+    """
+    from repro.runtime.engine import ENGINE_KINDS
+
+    if workers is not None:
+        if "workers" in ENGINE_KINDS.options_for(engine):
+            return create_engine(engine, workers=workers)
+        if not parallel:
+            # Loud: --workers without --parallel must size the timed
+            # engine, and this one has no pool to size.
+            return create_engine(engine, workers=workers)
+    return create_engine(engine)
+
+
 def run_bench(
     quick: bool = False,
     repeats: int = 3,
     inner: int = 10,
     device_counts: Optional[Sequence[int]] = None,
+    engine: str = "compiled",
+    workers: Optional[int] = None,
+    parallel: bool = False,
 ) -> Dict:
-    """Run the full benchmark grid; returns the JSON-ready report."""
+    """Run the full benchmark grid; returns the JSON-ready report.
+
+    ``engine`` selects the back end timed against the interpreter
+    (any registered kind; ``workers`` sizes the parallel backend's
+    pool). ``parallel=True`` additionally runs the large-ring
+    parallel-vs-compiled sweep (:func:`run_parallel_bench`) and attaches
+    it under the report's ``"parallel"`` key.
+    """
     if device_counts is None:
         device_counts = QUICK_DEVICE_COUNTS if quick else DEVICE_COUNTS
     if quick:
@@ -157,7 +189,7 @@ def run_bench(
     # content-addressed plan cache holds every (module, devices) plan,
     # so the timed loop measures the warm serving path.
     interpreter = create_engine("interpreted")
-    compiled = CompiledEngine()
+    compiled = _timed_engine(engine, workers, parallel)
     rows: List[Dict] = []
     for case_name, build in BENCH_CASES:
         for label, config in VARIANTS:
@@ -172,7 +204,6 @@ def run_bench(
                 reference = interpreter.run(module, arguments, mesh=n)
                 result = compiled.run(module, arguments, mesh=n)  # lowers
                 identical = _bit_identical(reference, result)
-                stats = compiled.plan_for(module, num_devices=n).stats
 
                 interpreted_s = _best_seconds(
                     lambda: interpreter.run(module, arguments, mesh=n),
@@ -182,7 +213,7 @@ def run_bench(
                     lambda: compiled.run(module, arguments, mesh=n),
                     repeats, inner,
                 )
-                rows.append({
+                row = {
                     "case": case_name,
                     "variant": label,
                     "devices": n,
@@ -190,29 +221,136 @@ def run_bench(
                     "compiled_ms": compiled_s * 1e3,
                     "speedup": interpreted_s / compiled_s,
                     "bit_identical": identical,
-                    "plan": {
+                }
+                if hasattr(compiled, "plan_for"):
+                    stats = compiled.plan_for(module, num_devices=n).stats
+                    row["plan"] = {
                         "steps": stats.steps,
                         "folded": stats.folded,
                         "cse_eliminated": stats.cse_eliminated,
                         "copies_elided": stats.copies_elided,
                         "donations": stats.donations,
-                    },
-                })
+                    }
+                rows.append(row)
 
     speedups = [row["speedup"] for row in rows]
     at_8plus = [row["speedup"] for row in rows if row["devices"] >= 8]
-    return {
+    report = {
         "benchmark": "executor",
         "quick": quick,
         "repeats": repeats,
         "inner": inner,
+        "engine": engine,
         "device_counts": list(device_counts),
         "rows": rows,
         "summary": {
             "geomean_speedup": _geomean(speedups),
             "speedup_at_8plus": _geomean(at_8plus),
             "all_bit_identical": all(row["bit_identical"] for row in rows),
-            "plan_cache": compiled.plan_cache.stats.to_json(),
+        },
+    }
+    if hasattr(compiled, "plan_cache"):
+        report["summary"]["plan_cache"] = compiled.plan_cache.stats.to_json()
+    if parallel:
+        report["parallel"] = run_parallel_bench(
+            quick=quick, repeats=repeats, inner=inner, workers=workers
+        )
+    return report
+
+
+# --- the large-ring parallel sweep -------------------------------------------
+
+#: Ring sizes for the parallel-vs-compiled sweep: 8 anchors against the
+#: interpreter-verified main grid, 64 and 256 are where row-partitioned
+#: workers have real arrays to chew on.
+PARALLEL_DEVICE_COUNTS: Tuple[int, ...] = (8, 64, 256)
+QUICK_PARALLEL_DEVICE_COUNTS: Tuple[int, ...] = (8, 64)
+
+
+def run_parallel_bench(
+    quick: bool = False,
+    repeats: int = 3,
+    inner: int = 10,
+    workers: Optional[int] = None,
+    device_counts: Optional[Sequence[int]] = None,
+) -> Dict:
+    """Time the parallel backend against the compiled engine at large
+    ring sizes; returns the JSON-ready ``report["parallel"]`` section.
+
+    Every row is verified **bit-identical against the interpreter** (one
+    oracle run per row — the sweep times only compiled vs parallel), and
+    carries the measured hidden-communication fraction from one traced
+    parallel run: the decomposed/unrolled variants must hide some
+    transfer time behind computation, the undecomposed reference (which
+    has no async transfers at all) must report exactly zero.
+    """
+    from repro.obs import overlap_summary
+    from repro.obs.tracer import Tracer
+    from repro.runtime.parallel import ParallelEngine
+
+    if device_counts is None:
+        device_counts = (
+            QUICK_PARALLEL_DEVICE_COUNTS if quick else PARALLEL_DEVICE_COUNTS
+        )
+    if quick:
+        inner = min(inner, 5)
+    interpreter = create_engine("interpreted")
+    compiled = CompiledEngine()
+    engine = ParallelEngine(workers=workers)
+    rows: List[Dict] = []
+    for case_name, build in BENCH_CASES:
+        for label, config in VARIANTS:
+            for n in device_counts:
+                mesh = DeviceMesh.ring(n)
+                rng = np.random.default_rng([20230325, n])
+                module = build(mesh)
+                arguments = _arguments(mesh, rng, module)
+                if config is not None:
+                    compile_module(module, mesh, config)
+
+                reference = interpreter.run(module, arguments, mesh=n)
+                identical = _bit_identical(
+                    reference, compiled.run(module, arguments, mesh=n)
+                ) and _bit_identical(
+                    reference, engine.run(module, arguments, mesh=n)
+                )
+                tracer = Tracer()
+                engine.run(module, arguments, mesh=n, tracer=tracer)
+                hidden = overlap_summary(tracer.events).hidden_fraction
+
+                compiled_s = _best_seconds(
+                    lambda: compiled.run(module, arguments, mesh=n),
+                    repeats, inner,
+                )
+                parallel_s = _best_seconds(
+                    lambda: engine.run(module, arguments, mesh=n),
+                    repeats, inner,
+                )
+                rows.append({
+                    "case": case_name,
+                    "variant": label,
+                    "devices": n,
+                    "workers": engine.effective_workers(n),
+                    "compiled_ms": compiled_s * 1e3,
+                    "parallel_ms": parallel_s * 1e3,
+                    "speedup": compiled_s / parallel_s,
+                    "bit_identical": identical,
+                    "hidden_fraction": hidden,
+                })
+
+    at_8plus = [r["speedup"] for r in rows if r["devices"] >= 8]
+    return {
+        "benchmark": "executor-parallel",
+        "quick": quick,
+        "repeats": repeats,
+        "inner": inner,
+        "workers": workers,
+        "device_counts": list(device_counts),
+        "rows": rows,
+        "summary": {
+            "geomean_speedup": _geomean([r["speedup"] for r in rows]),
+            "speedup_at_8plus": _geomean(at_8plus),
+            "all_bit_identical": all(r["bit_identical"] for r in rows),
         },
     }
 
@@ -240,10 +378,40 @@ def format_report(report: Dict) -> str:
         f"(at 8+ devices: {summary['speedup_at_8plus']:.2f}x), "
         f"bit-identical: {'yes' if summary['all_bit_identical'] else 'NO'}"
     )
+    if "parallel" in report:
+        lines.append("")
+        lines.append(format_parallel_report(report["parallel"]))
     return "\n".join(lines)
 
 
-def check_report(report: Dict, min_speedup: float) -> List[str]:
+def format_parallel_report(section: Dict) -> str:
+    lines = [
+        f"{'case':<22} {'variant':<15} {'devs':>4} {'wrk':>3} "
+        f"{'compiled ms':>12} {'parallel ms':>12} {'speedup':>8} "
+        f"{'hidden':>6}  exact"
+    ]
+    for row in section["rows"]:
+        lines.append(
+            f"{row['case']:<22} {row['variant']:<15} {row['devices']:>4} "
+            f"{row['workers']:>3} {row['compiled_ms']:>12.3f} "
+            f"{row['parallel_ms']:>12.3f} {row['speedup']:>7.2f}x "
+            f"{row['hidden_fraction']:>5.1%}  "
+            f"{'yes' if row['bit_identical'] else 'NO'}"
+        )
+    summary = section["summary"]
+    lines.append(
+        f"parallel vs compiled geomean {summary['geomean_speedup']:.2f}x "
+        f"(at 8+ devices: {summary['speedup_at_8plus']:.2f}x), "
+        f"bit-identical: {'yes' if summary['all_bit_identical'] else 'NO'}"
+    )
+    return "\n".join(lines)
+
+
+def check_report(
+    report: Dict,
+    min_speedup: float,
+    min_parallel_speedup: float = 1.0,
+) -> List[str]:
     """Gate failures (empty list == pass) for CI and the CLI."""
     problems = []
     summary = report["summary"]
@@ -259,6 +427,64 @@ def check_report(report: Dict, min_speedup: float) -> List[str]:
         problems.append(
             f"geomean speedup {summary['geomean_speedup']:.2f}x below the "
             f"required {min_speedup:.2f}x"
+        )
+    if "parallel" in report:
+        problems.extend(
+            check_parallel_report(report["parallel"], min_parallel_speedup)
+        )
+    return problems
+
+
+def check_parallel_report(
+    section: Dict, min_speedup: float = 1.0
+) -> List[str]:
+    """Gates on the parallel sweep (empty list == pass).
+
+    * every row bit-identical to the interpreter oracle;
+    * parallel at least ``min_speedup`` times the compiled engine,
+      geomean over the rows at 8+ devices (single rows are too noisy);
+    * measured hidden-communication fraction exactly zero on every
+      undecomposed reference row, and strictly positive on at least one
+      decomposed bottom-up (``unrolled-bidir``) row — the fraction is
+      *measured* wall-clock, so whether one tiny case's start→done
+      window happens to straddle compute is schedule- and pool-size-
+      dependent, but a sweep that hides nothing anywhere means the
+      deferred permutes are not actually deferred, and overlap measured
+      where none can exist means the clock lanes are wrong.
+    """
+    problems: List[str] = []
+    rows = section["rows"]
+    bad = [
+        f"{r['case']}/{r['variant']}@{r['devices']}"
+        for r in rows if not r["bit_identical"]
+    ]
+    if bad:
+        problems.append(
+            f"parallel outputs diverge from the oracle: {', '.join(bad)}"
+        )
+    at_8plus = _geomean(
+        [r["speedup"] for r in rows if r["devices"] >= 8]
+    )
+    if at_8plus < min_speedup:
+        problems.append(
+            f"parallel/compiled geomean {at_8plus:.2f}x at 8+ devices "
+            f"below the required {min_speedup:.2f}x"
+        )
+    for row in rows:
+        where = f"{row['case']}/{row['variant']}@{row['devices']}"
+        if row["variant"] == "reference" and row["hidden_fraction"] != 0.0:
+            problems.append(
+                f"{where}: undecomposed baseline reports a nonzero hidden "
+                f"fraction {row['hidden_fraction']:.3f}"
+            )
+    hidden = [
+        row["hidden_fraction"]
+        for row in rows if row["variant"] == "unrolled-bidir"
+    ]
+    if hidden and max(hidden) <= 0:
+        problems.append(
+            "no unrolled-bidir row measures any hidden communication — "
+            "deferred permutes are not overlapping with compute"
         )
     return problems
 
@@ -296,6 +522,13 @@ def compare_reports(
             "(case/variant/devices grids are disjoint)"
         )
         return problems
+    # Speedup trends only compare like with like: a fresh report timing
+    # a different engine than the baseline (e.g. --engine parallel vs
+    # the committed compiled run) keeps the bit-identity gate but skips
+    # the drop gate — the ratio to the interpreter is engine-specific.
+    same_engine = (
+        baseline.get("engine", "compiled") == fresh.get("engine", "compiled")
+    )
     by_case: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
     for key in shared:
         case, variant, devices = key
@@ -307,12 +540,76 @@ def compare_reports(
         by_case.setdefault((case, variant), []).append(
             (base["speedup"], new["speedup"])
         )
-    for (case, variant), pairs in sorted(by_case.items()):
+    trend = sorted(by_case.items()) if same_engine else []
+    for (case, variant), pairs in trend:
         base_mean = _geomean([b for b, _ in pairs])
         new_mean = _geomean([n for _, n in pairs])
         if new_mean < base_mean * (1.0 - max_drop):
             problems.append(
                 f"{case}/{variant}: speedup {new_mean:.2f}x dropped more "
                 f"than {max_drop:.0%} below the baseline {base_mean:.2f}x"
+            )
+    if "parallel" in baseline and "parallel" in fresh:
+        problems.extend(
+            compare_parallel_sections(
+                baseline["parallel"], fresh["parallel"], max_drop=max_drop
+            )
+        )
+    return problems
+
+
+def compare_parallel_sections(
+    baseline: Dict, fresh: Dict, max_drop: float = 0.2
+) -> List[str]:
+    """Trend gate on the parallel sweep: matched on ``(case, variant,
+    devices, workers)``, geomean per case, bit-identity may never flip.
+    Worker counts are part of the key because parallel/compiled ratios
+    at different pool sizes are not comparable (thread contention is a
+    property of the host, not the code) — a CI matrix entry whose pool
+    size is absent from the committed baseline skips the trend quietly
+    and is held to its floor gate instead. Two sections that *do* share
+    a pool size but no rows is a failure: a gate that compares nothing
+    protects nothing.
+    """
+    problems: List[str] = []
+
+    def keyed(section: Dict) -> Dict[Tuple[str, str, int, int], Dict]:
+        return {
+            (row["case"], row["variant"], row["devices"], row["workers"]):
+                row
+            for row in section["rows"]
+        }
+
+    base_rows, fresh_rows = keyed(baseline), keyed(fresh)
+    shared = sorted(base_rows.keys() & fresh_rows.keys())
+    if not shared:
+        base_pools = {key[3] for key in base_rows}
+        fresh_pools = {key[3] for key in fresh_rows}
+        if base_pools & fresh_pools:
+            problems.append(
+                "no comparable parallel rows between baseline and fresh "
+                "reports"
+            )
+        return problems
+    by_case: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    for key in shared:
+        case, variant, devices, _ = key
+        base, new = base_rows[key], fresh_rows[key]
+        if base["bit_identical"] and not new["bit_identical"]:
+            problems.append(
+                f"parallel {case}/{variant}@{devices}: bit_identical "
+                f"flipped to false"
+            )
+        by_case.setdefault((case, variant), []).append(
+            (base["speedup"], new["speedup"])
+        )
+    for (case, variant), pairs in sorted(by_case.items()):
+        base_mean = _geomean([b for b, _ in pairs])
+        new_mean = _geomean([n for _, n in pairs])
+        if new_mean < base_mean * (1.0 - max_drop):
+            problems.append(
+                f"parallel {case}/{variant}: speedup {new_mean:.2f}x "
+                f"dropped more than {max_drop:.0%} below the baseline "
+                f"{base_mean:.2f}x"
             )
     return problems

@@ -1,12 +1,13 @@
-"""The unified Engine facade over the three execution back ends.
+"""The unified Engine facade over the execution back ends.
 
 Every entry point that used to hand-pick one of the executor classes —
 the interpreted oracle (:class:`~repro.runtime.executor.Executor`), the
 compiled vectorized engine
-(:class:`~repro.runtime.compile.CompiledExecutor`) and the
+(:class:`~repro.runtime.compile.CompiledExecutor`), the
 fault-tolerant interpreter
-(:class:`~repro.runtime.resilient.ResilientExecutor`) — goes through
-one protocol instead:
+(:class:`~repro.runtime.resilient.ResilientExecutor`) and the
+multi-worker parallel backend (:mod:`repro.runtime.parallel`) — goes
+through one protocol instead:
 
     engine = create_engine("compiled")
     outputs = engine.run(module, inputs, mesh=mesh)
@@ -26,7 +27,20 @@ the engines construct them through
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 if TYPE_CHECKING:
     from repro.runtime.resilient import ResilienceStats
@@ -38,8 +52,105 @@ from repro.runtime._compat import internal_construction
 from repro.runtime.plan import CompiledPlan
 from repro.runtime.plan_cache import PlanCache, plan_key
 
-#: The back ends :func:`create_engine` accepts.
-ENGINE_KINDS = ("interpreted", "compiled", "resilient")
+
+class _EngineSpec(NamedTuple):
+    """How to build one engine kind and which options it accepts."""
+
+    factory: Callable[..., "Engine"]
+    options: FrozenSet[str]
+
+
+class EngineRegistry:
+    """Ordered ``kind -> factory`` registry behind :func:`create_engine`.
+
+    It quacks like the old ``("interpreted", "compiled", "resilient")``
+    tuple — iteration, ``in``, ``len``, indexing and ``repr`` all behave
+    as before — so every existing validator and error message keeps
+    working, while new back ends (the parallel engine registers itself
+    on import of :mod:`repro.runtime.parallel`) extend it without
+    touching this module's callers.
+    """
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, _EngineSpec] = {}
+        self._autoloaded = False
+
+    # -- registration -------------------------------------------------
+    def register(
+        self,
+        kind: str,
+        factory: Callable[..., "Engine"],
+        *,
+        options: Iterable[str] = (),
+    ) -> None:
+        """Register (or re-register, idempotently) one engine kind.
+
+        ``options`` names the :func:`create_engine` keyword arguments
+        that apply to this kind; any other non-default option is
+        rejected loudly at construction time.
+        """
+        if not kind or not isinstance(kind, str):
+            raise ValueError("engine kind must be a non-empty string")
+        self._specs[kind] = _EngineSpec(factory, frozenset(options))
+
+    def spec(self, kind: str) -> _EngineSpec:
+        self._autoload()
+        return self._specs[kind]
+
+    def kinds(self) -> Tuple[str, ...]:
+        self._autoload()
+        return tuple(self._specs)
+
+    def options_for(self, kind: str) -> FrozenSet[str]:
+        return self.spec(kind).options
+
+    def accepting(self, option: str) -> Tuple[str, ...]:
+        """The kinds whose factories accept ``option``."""
+        return tuple(k for k in self.kinds() if option in self._specs[k].options)
+
+    # -- lazy self-registration of optional back ends -----------------
+    def _autoload(self) -> None:
+        # The parallel backend lives in its own package and registers
+        # itself on import; load it the first time anybody looks at the
+        # registry so ``create_engine("parallel")`` works without the
+        # caller importing repro.runtime.parallel explicitly.
+        if not self._autoloaded:
+            self._autoloaded = True
+            try:
+                import repro.runtime.parallel  # noqa: F401
+            except ImportError:  # pragma: no cover - partial installs
+                pass
+
+    # -- tuple-compatible surface -------------------------------------
+    def __contains__(self, kind: object) -> bool:
+        return kind in self.kinds()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.kinds())
+
+    def __len__(self) -> int:
+        return len(self.kinds())
+
+    def __getitem__(self, index: Any) -> Any:
+        return self.kinds()[index]
+
+    def __repr__(self) -> str:
+        return repr(self.kinds())
+
+
+#: The back ends :func:`create_engine` accepts (a live registry; new
+#: kinds appear here when their module registers them).
+ENGINE_KINDS = EngineRegistry()
+
+
+def register_engine(
+    kind: str,
+    factory: Callable[..., "Engine"],
+    *,
+    options: Iterable[str] = (),
+) -> None:
+    """Register an engine kind with :data:`ENGINE_KINDS`."""
+    ENGINE_KINDS.register(kind, factory, options=options)
 
 PerDevice = Any  # List[np.ndarray]; kept loose to avoid import cycles
 MeshLike = Union[int, Any]  # DeviceMesh or a bare device count
@@ -239,12 +350,20 @@ class ResilientEngine(Engine):
         return values
 
 
+register_engine("interpreted", InterpretedEngine, options=())
+register_engine(
+    "compiled", CompiledEngine, options=("plan_cache", "donate_params")
+)
+register_engine("resilient", ResilientEngine, options=("injector", "policy"))
+
+
 def create_engine(
     kind: str = "compiled",
     *,
     tracer: Optional[Tracer] = None,
     plan_cache: Optional[PlanCache] = None,
     donate_params: bool = True,
+    workers: Optional[int] = None,
     injector=None,
     policy=None,
 ) -> Engine:
@@ -254,31 +373,38 @@ def create_engine(
     * ``"compiled"`` — the vectorized engine behind a shared
       :class:`PlanCache` (pass ``plan_cache`` to share one cache across
       engines; ``donate_params=False`` forbids in-place parameter reuse).
+    * ``"parallel"`` — the multi-worker shared-memory backend
+      (``workers`` caps the worker threads; also accepts ``plan_cache``
+      and ``donate_params``).
     * ``"resilient"`` — the fault-tolerant interpreter (``injector`` and
       ``policy`` configure fault injection and the retry budget).
 
-    Options that do not apply to the requested kind are rejected, so a
-    typo like ``create_engine("interpreted", injector=...)`` fails loudly
-    instead of silently dropping the injector.
+    Kinds come from the live :data:`ENGINE_KINDS` registry; options that
+    do not apply to the requested kind are rejected, so a typo like
+    ``create_engine("interpreted", injector=...)`` fails loudly instead
+    of silently dropping the injector.
     """
     if kind not in ENGINE_KINDS:
         raise ValueError(
             f"unknown engine kind {kind!r}; expected one of {ENGINE_KINDS}"
         )
-    if kind != "compiled" and plan_cache is not None:
-        raise ValueError(f"plan_cache does not apply to {kind!r} engines")
-    if kind != "compiled" and donate_params is not True:
-        raise ValueError(
-            f"donate_params only applies to compiled engines, not {kind!r}"
-        )
-    if kind != "resilient" and (injector is not None or policy is not None):
-        raise ValueError(
-            f"injector/policy only apply to resilient engines, not {kind!r}"
-        )
-    if kind == "interpreted":
-        return InterpretedEngine(tracer=tracer)
-    if kind == "compiled":
-        return CompiledEngine(
-            plan_cache=plan_cache, donate_params=donate_params, tracer=tracer
-        )
-    return ResilientEngine(injector=injector, policy=policy, tracer=tracer)
+    provided: Dict[str, Any] = {}
+    if plan_cache is not None:
+        provided["plan_cache"] = plan_cache
+    if donate_params is not True:
+        provided["donate_params"] = donate_params
+    if workers is not None:
+        provided["workers"] = workers
+    if injector is not None:
+        provided["injector"] = injector
+    if policy is not None:
+        provided["policy"] = policy
+    spec = ENGINE_KINDS.spec(kind)
+    for name in provided:
+        if name not in spec.options:
+            takers = ENGINE_KINDS.accepting(name)
+            raise ValueError(
+                f"{name} does not apply to {kind!r} engines"
+                + (f" (only to {takers})" if takers else "")
+            )
+    return spec.factory(tracer=tracer, **provided)

@@ -1,0 +1,118 @@
+"""The parallel engine: CompiledEngine semantics, multi-worker plans.
+
+``ParallelEngine`` is plug-compatible with
+:class:`~repro.runtime.engine.CompiledEngine` — same plan-cache
+behavior, same root-rekey on content-cache hits, same tracer counters —
+but lowers through :func:`~repro.runtime.parallel.lowering.lower_parallel`
+into :class:`~repro.runtime.parallel.plan.ParallelPlan`s whose execution
+is partitioned across ``workers`` threads. The worker count participates
+in the plan-cache key, so one shared cache can hold plans for several
+worker counts side by side.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+from repro.obs.tracer import Tracer
+from repro.runtime.engine import Engine, MeshLike, _num_devices
+from repro.runtime.plan_cache import PlanCache, plan_key
+
+
+class ParallelEngine(Engine):
+    """The multi-worker shared-memory backend.
+
+    ``workers=None`` sizes the pool from ``os.cpu_count()``; either way
+    the count is clamped to the device count per plan (one worker must
+    own at least one device row).
+    """
+
+    kind = "parallel"
+
+    def __init__(
+        self,
+        plan_cache: Optional[PlanCache] = None,
+        donate_params: bool = True,
+        workers: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive integer")
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.donate_params = donate_params
+        self.workers = workers
+        self.tracer = tracer
+
+    def effective_workers(self, num_devices: int) -> int:
+        """The worker count a plan for ``num_devices`` will use."""
+        requested = self.workers or os.cpu_count() or 1
+        return max(1, min(requested, num_devices))
+
+    def plan_for(
+        self,
+        module,
+        num_devices: Optional[int] = None,
+        outputs: Optional[Sequence[str]] = None,
+        *,
+        mesh: Optional[MeshLike] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        """The cached :class:`ParallelPlan` for ``module`` on
+        ``num_devices`` (or ``mesh``); lowers on first use."""
+        from repro.runtime.parallel.lowering import lower_parallel
+
+        if num_devices is None:
+            if mesh is None:
+                raise ValueError("plan_for needs num_devices or mesh")
+            num_devices = _num_devices(mesh)
+        workers = self.effective_workers(num_devices)
+        key = plan_key(
+            module,
+            num_devices=num_devices,
+            outputs=outputs,
+            options=(
+                "parallel", workers, "donate_params", self.donate_params
+            ),
+        )
+        plan, hit = self.plan_cache.get_or_build(
+            key,
+            lambda: lower_parallel(
+                module,
+                num_devices,
+                outputs,
+                workers=workers,
+                donate_params=self.donate_params,
+            ),
+        )
+        tracer = tracer or self.tracer
+        if tracer is not None:
+            tracer.count("plan.cache_hits" if hit else "plan.cache_misses")
+            if not hit:
+                tracer.count("plan.donations", plan.stats.donations)
+        return plan
+
+    def run(
+        self,
+        module,
+        inputs,
+        *,
+        mesh,
+        outputs=None,
+        iteration=0,
+        tracer=None,
+    ):
+        tracer = tracer or self.tracer
+        plan = self.plan_for(
+            module, _num_devices(mesh), outputs, tracer=tracer
+        )
+        values = plan.run(inputs, iteration, tracer=tracer)
+        if outputs is None and module.root is not None:
+            # Same root-rekey as CompiledEngine.run: a content-cache hit
+            # may have been lowered from an earlier module whose
+            # auto-generated root name differs.
+            root = module.root.name
+            if root not in values and len(values) == 1:
+                (value,) = values.values()
+                return {root: value}
+        return values

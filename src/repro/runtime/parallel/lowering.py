@@ -1,0 +1,851 @@
+"""Lowering HLO modules to :class:`ParallelPlan`s.
+
+This reuses the whole single-pass analysis machinery of
+:mod:`repro.runtime.compile` — DCE, constant folding, CSE, view-chain
+buffer tracking, liveness and donation — via :class:`_Lowering`, and
+swaps only the closure emission:
+
+* ``workers == 1``: every step is the compiled engine's own closure,
+  except async collective permutes, which become *deferred*: the start
+  is a pure passthrough (the operand buffer's liveness is pinned to the
+  matching done, so nothing can mutate or release it while the
+  transfer is in flight — snapshot-at-issue by immutability instead of
+  by copying) and the done materializes the permute with
+  :func:`~repro.runtime.parallel.shard_ops.deferred_permute`, skipping
+  the eager kernel's zero-fill pass.
+
+* ``workers > 1``: each worker gets its own step list writing only the
+  device rows it owns. Elementwise/window ops slice the shared stacked
+  arrays by row range; synchronous collectives run worker-restricted
+  kernels between the run barrier's entry and exit waits; async permute
+  starts post snapshot row-copies into the mailbox and dones consume
+  them. While bodies are lowered recursively with the same worker
+  split and execute out of parity-double-buffered arenas.
+
+Donation carries over to both modes unchanged: decisions are made once
+per node (on the shared analysis), in-place writes touch only the
+owner's rows, and the barrier bracketing orders every foreign-row read
+before any later overwrite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hlo.instruction import ShardIndex
+from repro.hlo.module import HloModule
+from repro.hlo.opcode import Opcode
+from repro.obs.events import instruction_bytes, phase_of
+from repro.runtime import vectorized
+from repro.runtime.collectives import validate_permute_pairs
+from repro.runtime.compile import (
+    _UFUNCS,
+    _Lowering,
+    _Node,
+    _live_set,
+    _resolve_outputs,
+    _with_releases,
+)
+from repro.runtime.executor import ExecutionError
+from repro.runtime.parallel import shard_ops
+from repro.runtime.parallel.plan import (
+    ParallelPlan,
+    WorkerStep,
+    run_worker_steps,
+)
+from repro.runtime.plan import PlanStats, StepMeta
+
+
+class _Counters:
+    """Identifiers shared across one lowering tree (outer plan plus all
+    nested While bodies): arena uids and mailbox transfer ids."""
+
+    def __init__(self) -> None:
+        self.uids = itertools.count()
+        self.tids = itertools.count()
+
+
+def lower_parallel(
+    module: HloModule,
+    num_devices: int,
+    outputs: Optional[Sequence[str]] = None,
+    *,
+    workers: int = 1,
+    donate_params: bool = True,
+) -> ParallelPlan:
+    """Lower ``module`` once into a :class:`ParallelPlan`.
+
+    ``workers`` is clamped to ``[1, num_devices]``; a single worker
+    yields the inline (compiled-equivalent) mode.
+    """
+    if num_devices <= 0:
+        raise ValueError("num_devices must be positive")
+    workers = max(1, min(int(workers), num_devices))
+    return _lower(
+        module, num_devices, outputs, workers, donate_params, _Counters()
+    )
+
+
+def _worker_bounds(num_devices: int, workers: int) -> Tuple[int, ...]:
+    """Contiguous row split: worker ``w`` owns ``[bounds[w], bounds[w+1])``."""
+    return tuple(num_devices * w // workers for w in range(workers + 1))
+
+
+def _node_meta(node: _Node) -> StepMeta:
+    instr = node.instr
+    return StepMeta(
+        name=instr.name,
+        opcode=instr.opcode.value,
+        kind=phase_of(instr.opcode),
+        bytes=instruction_bytes(instr),
+        transfer_of=(
+            instr.operands[0].name
+            if instr.opcode is Opcode.COLLECTIVE_PERMUTE_DONE
+            else None
+        ),
+    )
+
+
+def _node_label(node: _Node, releases: Tuple[int, ...]) -> str:
+    return (
+        f"[{node.out.slot:3d}] {node.instr.name} = "
+        f"{node.instr.opcode.value}"
+        + (f" (free {list(releases)})" if releases else "")
+    )
+
+
+def _lower(
+    module: HloModule,
+    num_devices: int,
+    outputs: Optional[Sequence[str]],
+    workers: int,
+    donate_params: bool,
+    counters: _Counters,
+) -> ParallelPlan:
+    module.verify()
+    wanted = _resolve_outputs(module, outputs)
+    live = _live_set(module, wanted)
+    instructions = [
+        i for i in module
+        if id(i) in live or i.opcode is Opcode.PARAMETER
+    ]
+    starts_with_live_done = frozenset(
+        id(i.operands[0]) for i in instructions
+        if i.opcode is Opcode.COLLECTIVE_PERMUTE_DONE
+    )
+    low = _Lowering(
+        module, num_devices, donate_params, starts_with_live_done
+    )
+    for instr in instructions:
+        low.add_instruction(instr)
+    output_values = [
+        low.values[id(module.get(name))] for name in wanted
+    ]
+    low.compute_liveness(output_values)
+    uid = next(counters.uids)
+    bounds = _worker_bounds(num_devices, workers)
+
+    if workers == 1:
+        _pin_deferred_operands(low)
+        steps, labels, metas, body_plans = _emit_inline(low, counters)
+        worker_steps: Sequence[Sequence[WorkerStep]] = ()
+        arena_spec: Dict[int, Tuple[int, ...]] = {}
+    else:
+        emitter = _SlicedEmitter(low, workers, bounds, counters)
+        worker_steps, labels, metas = emitter.emit_all()
+        steps = ()
+        body_plans = emitter.body_plans
+        arena_spec = emitter.arena_spec
+
+    stats = PlanStats(
+        instructions=len(instructions),
+        steps=len(low.nodes),
+        dce_eliminated=len(module) - len(instructions),
+        folded=low.folded,
+        cse_eliminated=low.cse_eliminated,
+        copies_elided=low.copies_elided,
+        donations=low.donations,
+    )
+    for nested in low.nested_stats:
+        stats = stats.merge(nested)
+
+    return ParallelPlan(
+        module_name=module.name,
+        num_devices=num_devices,
+        workers=workers,
+        bounds=bounds,
+        steps=steps,
+        worker_steps=worker_steps,
+        labels=labels,
+        initial_env=low.initial_env,
+        params=low.params,
+        output_slots={
+            name: value.slot for name, value in zip(wanted, output_values)
+        },
+        output_order=wanted,
+        stats=stats,
+        meta=metas,
+        tracer_box=low.tracer_box,
+        donations=tuple(low.donation_records),
+        uid=uid,
+        arena_spec=arena_spec,
+        body_plans=body_plans,
+    )
+
+
+# --- single-worker (inline) emission ----------------------------------------
+
+
+def _pin_deferred_operands(low: _Lowering) -> None:
+    """Extend each deferred permute operand's liveness to its done step.
+
+    The single-worker start is a pure passthrough; the done reads the
+    operand *then* — so the operand buffer must stay unreleased and
+    undonated for the whole in-flight window. (This can only reduce
+    donation relative to the compiled plan, never unsoundly add one.)
+    """
+    for t, node in enumerate(low.nodes):
+        if node.instr.opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+            start_node = low._start_node_of(node.instr)
+            buffer = low.buffers[start_node.operands[0].buffer]
+            if buffer.last_use < t:
+                buffer.last_use = t
+
+
+def _emit_inline(low: _Lowering, counters: _Counters):
+    steps, labels, metas = [], [], []
+    body_plans: List[ParallelPlan] = []
+    for t, node in enumerate(low.nodes):
+        opcode = node.instr.opcode
+        if opcode is Opcode.WHILE:
+            step, body_plan = _emit_inline_while(low, node, counters)
+            body_plans.append(body_plan)
+        elif (
+            opcode is Opcode.COLLECTIVE_PERMUTE_START
+            and node.payload is not None
+        ):
+            step = _emit_inline_start(low, node)
+        elif opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+            step = _emit_inline_done(low, node)
+        else:
+            step = low.emit(t, node)
+        releases = tuple(
+            s for s in low.releases_at(t)
+            if s != node.out.slot
+            and (node.payload is None or s != node.payload.slot)
+        )
+        if releases:
+            step = _with_releases(step, releases)
+        steps.append(step)
+        labels.append(_node_label(node, releases))
+        metas.append(_node_meta(node))
+    return steps, labels, metas, body_plans
+
+
+def _emit_inline_start(low: _Lowering, node: _Node):
+    """Deferred start: validate once, pass the operand through untouched.
+
+    The permute itself happens at the done (see
+    :func:`_pin_deferred_operands` for why that is still
+    snapshot-at-issue)."""
+    validate_permute_pairs(node.instr.pairs, low.n)
+    (s0,) = [v.slot for v in node.operands]
+    so = node.out.slot
+
+    def step(env, it):
+        env[so] = env[s0]
+
+    return step
+
+
+def _emit_inline_done(low: _Lowering, node: _Node):
+    start_node = low._start_node_of(node.instr)
+    s_operand = start_node.operands[0].slot
+    sp = node.operands[0].slot  # the hidden payload slot
+    so = node.out.slot
+    sources, destinations = vectorized.permute_index(start_node.instr.pairs)
+    shape = start_node.instr.shape.stacked(low.n)
+    kernel = shard_ops.deferred_permute(sources, destinations, shape)
+
+    def step(env, it):
+        out = kernel(env[s_operand])
+        env[sp] = out
+        env[so] = out
+
+    return step
+
+
+def _emit_inline_while(low: _Lowering, node: _Node, counters: _Counters):
+    attrs = node.instr.attrs
+    body_plan = _lower(
+        attrs["body"],
+        low.n,
+        attrs["body_outputs"],
+        workers=1,
+        donate_params=False,
+        counters=counters,
+    )
+    low.nested_stats.append(body_plan.stats)
+    low.donation_records.extend(body_plan.donations)
+    trip_count = attrs["trip_count"]
+    result_index = attrs["result_index"]
+    state_slots = tuple(v.slot for v in node.operands)
+    so = node.out.slot
+    tracer_box = low.tracer_box
+
+    def step(env, it):
+        state = [env[s] for s in state_slots]
+        tracer = tracer_box[0]
+        if tracer is None:
+            for i in range(trip_count):
+                state = body_plan.execute(state, iteration=i)
+        else:
+            for i in range(trip_count):
+                state = body_plan.execute_traced(state, i, tracer)
+        env[so] = state[result_index]
+
+    return step, body_plan
+
+
+# --- multi-worker (sliced) emission -----------------------------------------
+
+
+class _SlicedEmitter:
+    """Emits one step closure per (node, worker) writing only the rows
+    that worker owns. Donation decisions are made once per node on the
+    shared analysis, then baked into every worker's closure."""
+
+    def __init__(
+        self,
+        low: _Lowering,
+        workers: int,
+        bounds: Tuple[int, ...],
+        counters: _Counters,
+    ) -> None:
+        self.low = low
+        self.workers = workers
+        self.bounds = bounds
+        self.counters = counters
+        self.arena_spec: Dict[int, Tuple[int, ...]] = {}
+        self.body_plans: List[ParallelPlan] = []
+        # id(start instruction) -> (tid, incoming routes, destinations)
+        self.routes: Dict[int, Tuple[int, dict, np.ndarray]] = {}
+
+    def emit_all(self):
+        worker_steps: List[List[WorkerStep]] = [
+            [] for _ in range(self.workers)
+        ]
+        labels, metas = [], []
+        for t, node in enumerate(self.low.nodes):
+            for w, step in enumerate(self.emit(t, node)):
+                worker_steps[w].append(step)
+            labels.append(_node_label(node, ()))
+            metas.append(_node_meta(node))
+        return worker_steps, labels, metas
+
+    # -- helpers -------------------------------------------------------
+
+    def _ranges(self):
+        return [
+            (w, self.bounds[w], self.bounds[w + 1])
+            for w in range(self.workers)
+        ]
+
+    def _arena(self, node: _Node, slot: Optional[int] = None) -> None:
+        target = node.out.slot if slot is None else slot
+        self.arena_spec[target] = node.instr.shape.stacked(self.low.n)
+
+    def _alias(self, s0: int, so: int) -> List[WorkerStep]:
+        def step(wctx, env, it):
+            env[so] = env[s0]
+
+        return [step] * self.workers
+
+    # -- dispatch ------------------------------------------------------
+
+    def emit(self, t: int, node: _Node) -> List[WorkerStep]:
+        instr = node.instr
+        opcode = instr.opcode
+        attrs = instr.attrs
+        n = self.low.n
+        slots = [v.slot for v in node.operands]
+        so = node.out.slot
+
+        if opcode in _UFUNCS:
+            return self._emit_ufunc(t, node, _UFUNCS[opcode])
+
+        if opcode is Opcode.NEGATE:
+            return self._emit_negate(t, node)
+
+        if opcode is Opcode.COPY:
+            return self._alias(slots[0], so)
+
+        if opcode is Opcode.RESHAPE:
+            # ``.reshape`` on a non-contiguous view would silently copy,
+            # giving each worker a private array whose foreign rows are
+            # unsynchronized garbage — materialize rows into a shared
+            # arena instead.
+            (s0,) = slots
+            shard_shape = tuple(instr.shape.dims)
+            self._arena(node)
+            steps = []
+            for _, lo, hi in self._ranges():
+                sl = slice(lo, hi)
+                rows = (hi - lo,) + shard_shape
+
+                def step(wctx, env, it, s0=s0, so=so, sl=sl, rows=rows):
+                    out = wctx.arena[so]
+                    out[sl] = env[s0][sl].reshape(rows)
+                    env[so] = out
+
+                steps.append(step)
+            return steps
+
+        if opcode is Opcode.TRANSPOSE:
+            (s0,) = slots
+            axes = (0,) + tuple(p + 1 for p in attrs["perm"])
+
+            def step(wctx, env, it):
+                env[so] = np.transpose(env[s0], axes)
+
+            return [step] * self.workers
+
+        if opcode is Opcode.SLICE:
+            (s0,) = slots
+            index = [slice(None)] * (instr.operands[0].shape.rank + 1)
+            index[attrs["dim"] + 1] = slice(
+                attrs["start"], attrs["start"] + attrs["size"]
+            )
+            index_t = tuple(index)
+
+            def step(wctx, env, it):
+                env[so] = env[s0][index_t]
+
+            return [step] * self.workers
+
+        if opcode is Opcode.PAD:
+            (s0,) = slots
+            pad_width = [(0, 0)] * (instr.operands[0].shape.rank + 1)
+            pad_width[attrs["dim"] + 1] = (attrs["low"], attrs["high"])
+            pad_t = tuple(pad_width)
+            value = attrs["value"]
+            self._arena(node)
+            steps = []
+            for _, lo, hi in self._ranges():
+                sl = slice(lo, hi)
+
+                def step(wctx, env, it, s0=s0, so=so, sl=sl):
+                    out = wctx.arena[so]
+                    out[sl] = np.pad(
+                        env[s0][sl], pad_t, constant_values=value
+                    )
+                    env[so] = out
+
+                steps.append(step)
+            return steps
+
+        if opcode is Opcode.CONCATENATE:
+            axis = attrs["dim"] + 1
+            operand_slots = tuple(slots)
+            self._arena(node)
+            steps = []
+            for _, lo, hi in self._ranges():
+                sl = slice(lo, hi)
+
+                def step(wctx, env, it, sl=sl):
+                    out = wctx.arena[so]
+                    np.concatenate(
+                        [env[s][sl] for s in operand_slots],
+                        axis=axis,
+                        out=out[sl],
+                    )
+                    env[so] = out
+
+                steps.append(step)
+            return steps
+
+        if opcode is Opcode.EINSUM:
+            equation = vectorized.batched_equation(attrs["equation"])
+            s0, s1 = slots
+            self._arena(node)
+            steps = []
+            for _, lo, hi in self._ranges():
+                sl = slice(lo, hi)
+
+                def step(wctx, env, it, sl=sl):
+                    out = wctx.arena[so]
+                    np.einsum(equation, env[s0][sl], env[s1][sl],
+                              out=out[sl])
+                    env[so] = out
+
+                steps.append(step)
+            return steps
+
+        if opcode is Opcode.DYNAMIC_SLICE:
+            return self._emit_dynamic_slice(node)
+
+        if opcode is Opcode.DYNAMIC_UPDATE_SLICE:
+            return self._emit_dynamic_update_slice(t, node)
+
+        if opcode is Opcode.WHILE:
+            return self._emit_while(node)
+
+        if opcode is Opcode.ALL_GATHER:
+            index = vectorized.GroupIndex.build(n, instr.groups)
+            return self._emit_sync_collective(
+                node,
+                lambda lo, hi: shard_ops.make_all_gather(
+                    index, attrs["dim"], lo, hi
+                ),
+            )
+
+        if opcode is Opcode.REDUCE_SCATTER:
+            index = vectorized.GroupIndex.build(n, instr.groups)
+            # Divisibility check once at lowering, like the full kernel.
+            if instr.operands[0].shape.dims[attrs["dim"]] % index.group_size:
+                raise ExecutionError(
+                    f"{instr.name}: dimension {attrs['dim']} not divisible "
+                    f"by group size {index.group_size}"
+                )
+            return self._emit_sync_collective(
+                node,
+                lambda lo, hi: shard_ops.make_reduce_scatter(
+                    index, attrs["dim"], lo, hi
+                ),
+            )
+
+        if opcode is Opcode.ALL_REDUCE:
+            index = vectorized.GroupIndex.build(n, instr.groups)
+            return self._emit_sync_collective(
+                node,
+                lambda lo, hi: shard_ops.make_all_reduce(index, lo, hi),
+            )
+
+        if opcode is Opcode.ALL_TO_ALL:
+            index = vectorized.GroupIndex.build(n, instr.groups)
+            return self._emit_sync_collective(
+                node,
+                lambda lo, hi: shard_ops.make_all_to_all(
+                    index, attrs["split_dim"], attrs["concat_dim"], lo, hi
+                ),
+            )
+
+        if opcode is Opcode.COLLECTIVE_PERMUTE:
+            validate_permute_pairs(instr.pairs, n)
+            sources, destinations = vectorized.permute_index(instr.pairs)
+            return self._emit_sync_collective(
+                node,
+                lambda lo, hi: shard_ops.make_collective_permute(
+                    sources, destinations, lo, hi
+                ),
+            )
+
+        if opcode is Opcode.COLLECTIVE_PERMUTE_START:
+            return self._emit_permute_start(node)
+
+        if opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+            return self._emit_permute_done(node)
+
+        raise ExecutionError(f"unsupported opcode {opcode.value}")
+
+    # -- per-opcode emitters -------------------------------------------
+
+    def _emit_ufunc(self, t: int, node: _Node, ufunc) -> List[WorkerStep]:
+        s0, s1 = [v.slot for v in node.operands]
+        so = node.out.slot
+        self._arena(node)
+        donate = None
+        for candidate, other in ((0, 1), (1, 0)):
+            if self.low.may_donate(
+                t, node.operands[candidate], [node.operands[other]]
+            ):
+                donate = node.operands[candidate].slot
+                self.low._record_donation(
+                    node.instr, node.operands[candidate]
+                )
+                break
+        steps = []
+        for _, lo, hi in self._ranges():
+            sl = slice(lo, hi)
+            if donate is None:
+                def step(wctx, env, it, sl=sl):
+                    out = wctx.arena[so]
+                    ufunc(env[s0][sl], env[s1][sl], out=out[sl])
+                    env[so] = out
+            else:
+                def step(wctx, env, it, sl=sl, sd=donate):
+                    target = env[sd]
+                    if target.flags.writeable:
+                        ufunc(env[s0][sl], env[s1][sl], out=target[sl])
+                        env[so] = target
+                    else:
+                        out = wctx.arena[so]
+                        ufunc(env[s0][sl], env[s1][sl], out=out[sl])
+                        env[so] = out
+            steps.append(step)
+        return steps
+
+    def _emit_negate(self, t: int, node: _Node) -> List[WorkerStep]:
+        (s0,) = [v.slot for v in node.operands]
+        so = node.out.slot
+        self._arena(node)
+        donate = self.low.may_donate(t, node.operands[0], [])
+        if donate:
+            self.low._record_donation(node.instr, node.operands[0])
+        steps = []
+        for _, lo, hi in self._ranges():
+            sl = slice(lo, hi)
+            if donate:
+                def step(wctx, env, it, sl=sl):
+                    target = env[s0]
+                    if target.flags.writeable:
+                        np.negative(target[sl], out=target[sl])
+                        env[so] = target
+                    else:
+                        out = wctx.arena[so]
+                        np.negative(target[sl], out=out[sl])
+                        env[so] = out
+            else:
+                def step(wctx, env, it, sl=sl):
+                    out = wctx.arena[so]
+                    np.negative(env[s0][sl], out=out[sl])
+                    env[so] = out
+            steps.append(step)
+        return steps
+
+    def _emit_dynamic_slice(self, node: _Node) -> List[WorkerStep]:
+        instr = node.instr
+        attrs = instr.attrs
+        (s0,) = [v.slot for v in node.operands]
+        so = node.out.slot
+        dim = attrs["dim"]
+        size = attrs["size"]
+        start: ShardIndex = attrs["start"]
+        rank = instr.operands[0].shape.rank
+        axis = dim + 1
+        n = self.low.n
+        self._arena(node)
+        steps = []
+        for _, lo, hi in self._ranges():
+            sl = slice(lo, hi)
+            if start.iteration_dependent:
+                def step(wctx, env, it, sl=sl, lo=lo, hi=hi):
+                    index = vectorized.along_axis_index(
+                        start.offsets(n, it)[lo:hi], size, rank, dim
+                    )
+                    out = wctx.arena[so]
+                    out[sl] = np.take_along_axis(
+                        env[s0][sl], index, axis=axis
+                    )
+                    env[so] = out
+            else:
+                index_w = vectorized.along_axis_index(
+                    start.offsets(n)[lo:hi], size, rank, dim
+                )
+
+                def step(wctx, env, it, sl=sl, index_w=index_w):
+                    out = wctx.arena[so]
+                    out[sl] = np.take_along_axis(
+                        env[s0][sl], index_w, axis=axis
+                    )
+                    env[so] = out
+            steps.append(step)
+        return steps
+
+    def _emit_dynamic_update_slice(
+        self, t: int, node: _Node
+    ) -> List[WorkerStep]:
+        instr = node.instr
+        attrs = instr.attrs
+        s0, s1 = [v.slot for v in node.operands]
+        so = node.out.slot
+        dim = attrs["dim"]
+        start: ShardIndex = attrs["start"]
+        size = instr.operands[1].shape.dims[dim]
+        rank = instr.operands[0].shape.rank
+        axis = dim + 1
+        n = self.low.n
+        self._arena(node)
+        donate = self.low.may_donate(t, node.operands[0], [node.operands[1]])
+        if donate:
+            self.low._record_donation(instr, node.operands[0])
+        steps = []
+        for _, lo, hi in self._ranges():
+            sl = slice(lo, hi)
+            if start.iteration_dependent:
+                def step(wctx, env, it, sl=sl, lo=lo, hi=hi,
+                         donate=donate):
+                    target = env[s0]
+                    if donate and target.flags.writeable:
+                        dst = target
+                    else:
+                        dst = wctx.arena[so]
+                        dst[sl] = target[sl]
+                    index = vectorized.along_axis_index(
+                        start.offsets(n, it)[lo:hi], size, rank, dim
+                    )
+                    np.put_along_axis(dst[sl], index, env[s1][sl],
+                                      axis=axis)
+                    env[so] = dst
+            else:
+                index_w = vectorized.along_axis_index(
+                    start.offsets(n)[lo:hi], size, rank, dim
+                )
+
+                def step(wctx, env, it, sl=sl, index_w=index_w,
+                         donate=donate):
+                    target = env[s0]
+                    if donate and target.flags.writeable:
+                        dst = target
+                    else:
+                        dst = wctx.arena[so]
+                        dst[sl] = target[sl]
+                    np.put_along_axis(dst[sl], index_w, env[s1][sl],
+                                      axis=axis)
+                    env[so] = dst
+            steps.append(step)
+        return steps
+
+    def _emit_while(self, node: _Node) -> List[WorkerStep]:
+        attrs = node.instr.attrs
+        body_plan = _lower(
+            attrs["body"],
+            self.low.n,
+            attrs["body_outputs"],
+            workers=self.workers,
+            donate_params=False,
+            counters=self.counters,
+        )
+        self.low.nested_stats.append(body_plan.stats)
+        self.low.donation_records.extend(body_plan.donations)
+        self.body_plans.append(body_plan)
+        self._arena(node)
+        trip_count = attrs["trip_count"]
+        result_index = attrs["result_index"]
+        state_slots = tuple(v.slot for v in node.operands)
+        so = node.out.slot
+        body_uid = body_plan.uid
+        steps = []
+        for _, lo, hi in self._ranges():
+            sl = slice(lo, hi)
+
+            def step(wctx, env, it, sl=sl):
+                state = [env[s] for s in state_slots]
+                arenas = wctx.ctx.arenas[body_uid]
+                outer_arena = wctx.arena
+                try:
+                    for i in range(trip_count):
+                        wctx.arena = arenas[i & 1]
+                        benv = body_plan.initial_env.copy()
+                        for binding, value in zip(body_plan.params, state):
+                            benv[binding.slot] = value
+                        run_worker_steps(
+                            body_plan, wctx.worker, wctx, benv, i
+                        )
+                        state = [
+                            benv[body_plan.output_slots[name]]
+                            for name in body_plan.output_order
+                        ]
+                finally:
+                    wctx.arena = outer_arena
+                # The loop result must outlive the body arenas (which the
+                # next outer iteration would overwrite): copy this
+                # worker's rows into the While node's own arena array.
+                out = outer_arena[so]
+                out[sl] = state[result_index][sl]
+                env[so] = out
+
+            steps.append(step)
+        return steps
+
+    def _emit_sync_collective(self, node: _Node, make) -> List[WorkerStep]:
+        """Entry barrier (operand rows all written), restricted kernel,
+        exit barrier (foreign reads finished before anyone moves on)."""
+        (s0,) = [v.slot for v in node.operands]
+        so = node.out.slot
+        self._arena(node)
+        steps = []
+        for _, lo, hi in self._ranges():
+            kernel = make(lo, hi)
+
+            def step(wctx, env, it, kernel=kernel):
+                out = wctx.arena[so]
+                wctx.barrier()
+                kernel(env[s0], out)
+                wctx.barrier()
+                env[so] = out
+
+            steps.append(step)
+        return steps
+
+    def _emit_permute_start(self, node: _Node) -> List[WorkerStep]:
+        instr = node.instr
+        (s0,) = [v.slot for v in node.operands]
+        so = node.out.slot
+        if node.payload is None:
+            # The matching done was DCE'd: nothing ever consumes the
+            # transfer, so nothing is posted.
+            return self._alias(s0, so)
+        validate_permute_pairs(instr.pairs, self.low.n)
+        _, destinations = vectorized.permute_index(instr.pairs)
+        outgoing, incoming = shard_ops.route_pairs(instr.pairs, self.bounds)
+        tid = next(self.counters.tids)
+        sp = node.payload.slot
+        self._arena(node, slot=sp)
+        self.routes[id(instr)] = (tid, incoming, destinations)
+        steps = []
+        for w, lo, hi in self._ranges():
+            posts = tuple(outgoing.get(w, ()))
+
+            def step(wctx, env, it, posts=posts):
+                operand = env[s0]
+                parity = it & 1
+                for v, src_rows in posts:
+                    # Advanced indexing copies: the payload is a snapshot
+                    # of the source rows at issue time.
+                    wctx.mailbox.post(
+                        (tid, wctx.worker, v, parity), operand[src_rows]
+                    )
+                env[so] = operand
+
+            steps.append(step)
+        return steps
+
+    def _emit_permute_done(self, node: _Node) -> List[WorkerStep]:
+        start_node = self.low._start_node_of(node.instr)
+        tid, incoming, destinations = self.routes[id(start_node.instr)]
+        sp = node.operands[0].slot
+        so = node.out.slot
+        origin = start_node.instr.name
+        steps = []
+        for w, lo, hi in self._ranges():
+            inbound = tuple(incoming.get(w, ()))
+            zero_rows = shard_ops.missing_rows(destinations, lo, hi)
+
+            def step(wctx, env, it, inbound=inbound, zero_rows=zero_rows):
+                out = wctx.arena[sp]
+                if zero_rows.size:
+                    out[zero_rows] = 0.0
+                parity = it & 1
+                recorder = wctx.recorder
+                for u, dst_rows in inbound:
+                    payload, posted_at = wctx.mailbox.consume(
+                        (tid, u, wctx.worker, parity)
+                    )
+                    out[dst_rows] = payload
+                    if recorder is not None:
+                        recorder.transfer(
+                            origin,
+                            f"link:{origin}:w{u}->w{wctx.worker}@{parity}",
+                            posted_at,
+                            recorder.now(),
+                            payload.nbytes,
+                        )
+                env[sp] = out
+                env[so] = out
+
+            steps.append(step)
+        return steps

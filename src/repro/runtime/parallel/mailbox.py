@@ -1,0 +1,85 @@
+"""The double-buffered transfer mailbox behind async ring permutes.
+
+A ``CollectivePermuteStart`` step *posts* one cell per destination
+worker: the producer copies the source rows it owns out of its operand
+(the snapshot-at-issue contract — later in-place writes to the operand
+cannot leak into the transfer) and publishes the copy. The matching
+``CollectivePermuteDone`` step *consumes* the cell, scattering the
+payload into the destination rows it owns.
+
+Cells are keyed ``(transfer_id, src_worker, dst_worker, parity)`` where
+``parity = iteration & 1``: a While body may have the same permute in
+flight for two consecutive iterations (that is exactly the overlap the
+paper decomposes for), so each direction of each worker pair gets two
+independent cells. Posting into a cell whose previous payload has not
+been consumed yet blocks — double-buffered backpressure — which bounds
+worker skew around a transfer and guarantees the same-parity window of
+a transfer never overlaps its successor (the property the per-transfer
+trace lanes rely on).
+
+Visibility: ``post`` fills the cell *then* sets its ``full`` event;
+``consume`` waits on ``full`` *then* reads — the event's internal lock
+orders the payload write before the read (see the memory-ordering note
+in :mod:`repro.runtime.parallel.sync`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.parallel.sync import RunContext
+
+Key = Tuple[int, int, int, int]  # (transfer_id, src, dst, parity)
+
+
+class _Cell:
+    __slots__ = ("full", "free", "payload", "posted_at")
+
+    def __init__(self) -> None:
+        self.full = threading.Event()
+        self.free = threading.Event()
+        self.free.set()
+        self.payload: Optional[np.ndarray] = None
+        self.posted_at = 0.0
+
+
+class TransferMailbox:
+    """All in-flight permute payloads of one run."""
+
+    def __init__(self, ctx: RunContext) -> None:
+        self._ctx = ctx
+        self._cells: Dict[Key, _Cell] = {}
+        self._lock = threading.Lock()
+
+    def _cell(self, key: Key) -> _Cell:
+        with self._lock:
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = self._cells[key] = _Cell()
+            return cell
+
+    def post(self, key: Key, payload: np.ndarray) -> None:
+        """Publish ``payload`` (already a snapshot copy) into ``key``."""
+        cell = self._cell(key)
+        self._ctx.wait_event(cell.free)
+        cell.free.clear()
+        cell.payload = payload
+        clock = self._ctx.clock
+        if clock is not None:
+            cell.posted_at = clock()
+        cell.full.set()
+
+    def consume(self, key: Key) -> Tuple[np.ndarray, float]:
+        """Take the payload posted into ``key`` (blocks until posted)."""
+        cell = self._cell(key)
+        self._ctx.wait_event(cell.full)
+        cell.full.clear()
+        payload = cell.payload
+        posted_at = cell.posted_at
+        cell.payload = None
+        cell.free.set()
+        assert payload is not None
+        return payload, posted_at

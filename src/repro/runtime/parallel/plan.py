@@ -1,0 +1,295 @@
+"""ParallelPlan: a lowered module executable by shard-partitioned workers.
+
+A ParallelPlan extends :class:`~repro.runtime.plan.CompiledPlan` with a
+second execution mode. With ``workers == 1`` it *is* a compiled plan —
+same flat step list, same run loop, inherited unchanged — except that
+async collective permutes are deferred: the start step is a free
+passthrough (the lowering pins the operand buffer live and immutable
+until the matching done, so snapshot-at-issue holds without copying)
+and the done step materializes the permute without the eager kernel's
+zero-fill pass.
+
+With ``workers > 1`` the device-stacked execution is partitioned by
+rows: worker ``w`` owns device rows ``[bounds[w], bounds[w+1])`` of
+every stacked array and runs its own step list over a private slot
+environment whose arrays are shared. Non-view steps write their rows
+of a per-run arena array; synchronous collectives are bracketed by the
+run barrier; async permutes post snapshot row-copies through the
+:class:`~repro.runtime.parallel.mailbox.TransferMailbox`. numpy
+releases the GIL on the hot kernels, so worker compute genuinely
+overlaps — the transfer windows recorded from mailbox timestamps are
+measured wall-clock, not simulated.
+
+Determinism: every output row is written exactly once, by its owning
+worker, from values that do not depend on scheduling (the restricted
+kernels in :mod:`repro.runtime.parallel.shard_ops` preserve reduction
+order), so repeated runs are byte-identical no matter how threads
+interleave.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs.events import ASYNC_DONE, TRANSFER
+from repro.obs.tracer import Tracer
+from repro.runtime.parallel.mailbox import TransferMailbox
+from repro.runtime.parallel.sync import Aborted, RunContext, WorkerContext
+from repro.runtime.plan import CompiledPlan, StepMeta
+
+#: A multi-worker step: mutates the worker's environment (and its rows
+#: of the shared arrays) in place.
+WorkerStep = Callable[[WorkerContext, List[Optional[np.ndarray]], int], None]
+
+
+class _WorkerRecorder:
+    """Per-worker trace recorder: an append-only event list plus a depth
+    counter, merged into the caller's (thread-unsafe) Tracer after the
+    workers join. ``now`` is the caller tracer's clock — reading it
+    cross-thread is safe, so all lanes share one time origin."""
+
+    __slots__ = ("resource", "now", "depth", "events", "counters",
+                 "count_enabled")
+
+    def __init__(
+        self, worker: int, now: Callable[[], float], count_enabled: bool
+    ) -> None:
+        self.resource = f"w{worker}"
+        self.now = now
+        self.depth = 0
+        self.events: List[Tuple[str, str, str, float, float, int, int]] = []
+        self.counters: Dict[str, int] = {}
+        # Byte counters are per-instruction, not per-worker; only worker
+        # 0 counts them so merged totals match the compiled engine.
+        self.count_enabled = count_enabled
+
+    def push(self) -> int:
+        depth = self.depth
+        self.depth += 1
+        return depth
+
+    def pop(self) -> None:
+        self.depth -= 1
+
+    def count(self, key: str, value: int) -> None:
+        if self.count_enabled:
+            self.counters[key] = self.counters.get(key, 0) + value
+
+    def record(
+        self, meta: StepMeta, start: float, end: float, depth: int
+    ) -> None:
+        # Each worker spans the same logical step; only worker 0's copy
+        # carries the instruction's bytes, so byte-accounting lenses
+        # (comm volume, counters) see each op once, not ``workers``
+        # times. TRANSFER events are exempt: their payloads are disjoint
+        # row ranges whose sizes genuinely sum to the full transfer.
+        nbytes = meta.bytes if self.count_enabled else 0
+        self.events.append(
+            (meta.name, meta.kind, self.resource, start, end, nbytes, depth)
+        )
+        if nbytes and meta.kind != ASYNC_DONE:
+            self.count(f"bytes.{meta.opcode}", nbytes)
+
+    def transfer(
+        self, origin: str, resource: str, start: float, end: float,
+        nbytes: int,
+    ) -> None:
+        self.events.append((origin, TRANSFER, resource, start, end,
+                            nbytes, 0))
+
+
+def run_worker_steps(
+    plan: "ParallelPlan",
+    worker: int,
+    wctx: WorkerContext,
+    env: List[Optional[np.ndarray]],
+    iteration: int,
+) -> None:
+    """One worker's pass over a (possibly nested) plan's step list."""
+    steps = plan.worker_steps[worker]
+    recorder = wctx.recorder
+    if recorder is None:
+        for step in steps:
+            step(wctx, env, iteration)
+        return
+    for step, meta in zip(steps, plan.meta):
+        start = recorder.now()
+        depth = recorder.push()
+        try:
+            step(wctx, env, iteration)
+        finally:
+            recorder.pop()
+        recorder.record(meta, start, recorder.now(), depth)
+
+
+class ParallelPlan(CompiledPlan):
+    """A lowered module with per-worker step lists (see module docs)."""
+
+    def __init__(
+        self,
+        *,
+        module_name: str,
+        num_devices: int,
+        workers: int,
+        bounds: Tuple[int, ...],
+        steps: Sequence[Any],
+        worker_steps: Sequence[Sequence[WorkerStep]],
+        labels: Sequence[str],
+        initial_env: Sequence[Optional[np.ndarray]],
+        params: Sequence[Any],
+        output_slots: Dict[str, int],
+        output_order: Sequence[str],
+        stats: Any,
+        meta: Sequence[StepMeta] = (),
+        tracer_box: Optional[List[Optional[Tracer]]] = None,
+        donations: Sequence[Any] = (),
+        uid: int = 0,
+        arena_spec: Optional[Dict[int, Tuple[int, ...]]] = None,
+        body_plans: Sequence["ParallelPlan"] = (),
+    ) -> None:
+        super().__init__(
+            module_name=module_name,
+            num_devices=num_devices,
+            steps=steps,
+            labels=labels,
+            initial_env=initial_env,
+            params=params,
+            output_slots=output_slots,
+            output_order=output_order,
+            stats=stats,
+            meta=meta,
+            tracer_box=tracer_box,
+            donations=donations,
+        )
+        self.workers = workers
+        self.bounds = bounds
+        self.worker_steps: Tuple[Tuple[WorkerStep, ...], ...] = tuple(
+            tuple(s) for s in worker_steps
+        )
+        self.uid = uid
+        self.arena_spec: Dict[int, Tuple[int, ...]] = dict(arena_spec or {})
+        self.body_plans: Tuple["ParallelPlan", ...] = tuple(body_plans)
+
+    # --- execution ----------------------------------------------------
+
+    def execute(
+        self, stacked_args: Sequence[np.ndarray], iteration: int = 0
+    ) -> List[np.ndarray]:
+        if self.workers == 1:
+            return super().execute(stacked_args, iteration)
+        return self._execute_parallel(stacked_args, iteration, None)
+
+    def execute_traced(
+        self,
+        stacked_args: Sequence[np.ndarray],
+        iteration: int,
+        tracer: Tracer,
+    ) -> List[np.ndarray]:
+        if self.workers == 1:
+            return super().execute_traced(stacked_args, iteration, tracer)
+        return self._execute_parallel(stacked_args, iteration, tracer)
+
+    def _layouts(self) -> List[Tuple["ParallelPlan", int]]:
+        """Every (plan, parity count) needing arenas: this plan single-
+        buffered, While bodies double-buffered (consecutive iterations
+        read the previous parity's arrays while writing their own)."""
+        layouts: List[Tuple["ParallelPlan", int]] = []
+
+        def visit(plan: "ParallelPlan", parities: int) -> None:
+            layouts.append((plan, parities))
+            for body in plan.body_plans:
+                visit(body, 2)
+
+        visit(self, 1)
+        return layouts
+
+    def _execute_parallel(
+        self,
+        stacked_args: Sequence[np.ndarray],
+        iteration: int,
+        tracer: Optional[Tracer],
+    ) -> List[np.ndarray]:
+        workers = self.workers
+        ctx = RunContext(workers)
+        if tracer is not None:
+            ctx.clock = tracer.now
+        mailbox = TransferMailbox(ctx)
+        for plan, parities in self._layouts():
+            ctx.arenas[plan.uid] = [
+                {
+                    slot: np.empty(shape, dtype=np.float64)
+                    for slot, shape in plan.arena_spec.items()
+                }
+                for _ in range(parities)
+            ]
+        recorders: List[Optional[_WorkerRecorder]] = [None] * workers
+        if tracer is not None:
+            recorders = [
+                _WorkerRecorder(w, tracer.now, count_enabled=(w == 0))
+                for w in range(workers)
+            ]
+        envs: List[Optional[List[Optional[np.ndarray]]]] = [None] * workers
+
+        def work(worker: int) -> None:
+            try:
+                wctx = WorkerContext(
+                    worker, self.bounds[worker], self.bounds[worker + 1],
+                    ctx, mailbox,
+                )
+                wctx.arena = ctx.arenas[self.uid][0]
+                wctx.recorder = recorders[worker]
+                env: List[Optional[np.ndarray]] = self.initial_env.copy()
+                for binding, value in zip(self.params, stacked_args):
+                    env[binding.slot] = value
+                envs[worker] = env
+                run_worker_steps(self, worker, wctx, env, iteration)
+            except Aborted:
+                pass
+            except BaseException as error:  # noqa: BLE001 - reraised below
+                ctx.fail(error)
+
+        threads = [
+            threading.Thread(
+                target=work, args=(w,), name=f"repro-worker-{w}", daemon=True
+            )
+            for w in range(1, workers)
+        ]
+        for thread in threads:
+            thread.start()
+        work(0)  # worker 0 runs on the caller thread
+        for thread in threads:
+            thread.join()
+        if ctx.error is not None:
+            raise ctx.error
+        if tracer is not None:
+            for recorder in recorders:
+                assert recorder is not None
+                for name, kind, resource, start, end, nbytes, depth in (
+                    recorder.events
+                ):
+                    tracer.add(
+                        name, kind, resource, start, end,
+                        bytes=nbytes, depth=depth,
+                    )
+                for key, value in recorder.counters.items():
+                    tracer.count(key, value)
+        env0 = envs[0]
+        assert env0 is not None
+        return [env0[self.output_slots[name]] for name in self.output_order]
+
+    # --- introspection ------------------------------------------------
+
+    def describe(self) -> str:
+        return (
+            f"parallel[workers={self.workers}, bounds={list(self.bounds)}] "
+            + super().describe()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelPlan({self.module_name!r}, {self.workers} workers, "
+            f"{self.num_devices} devices)"
+        )

@@ -39,7 +39,7 @@ from repro.adapt.policy import LadderState
 from repro.faults.errors import FaultError
 from repro.models.serving import ServableProgram, default_catalog
 from repro.obs.tracer import Tracer
-from repro.runtime.engine import ENGINE_KINDS, CompiledEngine, create_engine
+from repro.runtime.engine import ENGINE_KINDS, create_engine
 from repro.runtime.plan_cache import CacheStats, PlanCache
 from repro.serve.errors import (
     DeadlineExceededError,
@@ -75,6 +75,7 @@ class ServeConfig:
     workers: int = 2
     default_deadline: Optional[float] = None   # seconds; None = no deadline
     plan_cache_capacity: int = 64
+    engine_workers: Optional[int] = None   # parallel backend's thread pool
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_KINDS:
@@ -90,6 +91,15 @@ class ServeConfig:
             raise ValueError("workers must be at least 1")
         if self.max_wait < 0:
             raise ValueError("max_wait must be non-negative")
+        if self.engine_workers is not None:
+            if self.engine_workers < 1:
+                raise ValueError("engine_workers must be at least 1")
+            if "workers" not in ENGINE_KINDS.options_for(self.engine):
+                takers = ENGINE_KINDS.accepting("workers")
+                raise ValueError(
+                    f"engine_workers does not apply to {self.engine!r} "
+                    f"engines (only to {takers})"
+                )
 
 
 class PendingRequest:
@@ -214,10 +224,15 @@ class Server:
         # The engine runs untraced (worker threads would race on the
         # tracer's event list); cache behaviour is observable through
         # ``plan_cache.stats`` and the locked serve.* counters instead.
-        if self.config.engine == "compiled":
-            self.engine = create_engine("compiled", plan_cache=self.plan_cache)
-        else:
-            self.engine = create_engine(self.config.engine)
+        # Every plan-caching back end (compiled, parallel) shares the
+        # server's cache, so stats/prefetch work identically for both.
+        options: Dict[str, Any] = {}
+        kind_options = ENGINE_KINDS.options_for(self.config.engine)
+        if "plan_cache" in kind_options:
+            options["plan_cache"] = self.plan_cache
+        if self.config.engine_workers is not None:
+            options["workers"] = self.config.engine_workers
+        self.engine = create_engine(self.config.engine, **options)
         self._modules: Dict[str, Any] = {}
         self._module_lock = threading.Lock()
         self._counter_lock = threading.Lock()
@@ -251,7 +266,7 @@ class Server:
             peak_queue_depth=self.peak_queue_depth,
             plan_cache=(
                 self.plan_cache.stats
-                if self.config.engine == "compiled"
+                if "plan_cache" in ENGINE_KINDS.options_for(self.config.engine)
                 else None
             ),
             ladder_state=ladder_state.name.lower(),
@@ -419,8 +434,9 @@ class Server:
         spec = self.catalog[live[0].program]
         try:
             module = self._module_for(spec)
-            if isinstance(self.engine, CompiledEngine):
-                # Plan-warm: one cache fetch covers the whole batch.
+            if hasattr(self.engine, "plan_for"):
+                # Plan-warm: one cache fetch covers the whole batch
+                # (compiled and parallel engines share this surface).
                 self.engine.plan_for(module, num_devices=spec.num_devices)
         except BaseException as error:  # noqa: BLE001 - audited & classified
             for request in live:

@@ -239,7 +239,7 @@ class TestTraceCommand:
         with open(out) as handle:
             obj = json.load(handle)
         assert validate_chrome_trace(obj) == []
-        # Both engines, both variants, plus the simulated streams.
+        # Every engine, both variants, plus the simulated streams.
         processes = {
             e["args"]["name"] for e in obj["traceEvents"]
             if e.get("ph") == "M" and e["name"] == "process_name"
@@ -247,6 +247,7 @@ class TestTraceCommand:
         assert processes == {
             "interpreted/baseline", "interpreted/decomposed",
             "compiled/baseline", "compiled/decomposed",
+            "parallel/baseline", "parallel/decomposed",
             "simulated/baseline", "simulated/decomposed",
         }
 

@@ -59,8 +59,12 @@ class TestParity:
             span_names[kind] = [event.name for event in tracer.events]
         _values_identical(results["interpreted"], results["compiled"])
         _values_identical(results["interpreted"], results["resilient"])
+        _values_identical(results["interpreted"], results["parallel"])
         assert span_names["interpreted"] == span_names["compiled"]
         assert span_names["interpreted"] == span_names["resilient"]
+        # The parallel backend's single-worker path inherits the
+        # compiled run loop, so its spans match too.
+        assert span_names["interpreted"] == span_names["parallel"]
 
     @pytest.mark.parametrize("case,ring", CASES_BY_RING, ids=IDS)
     def test_decomposed_modules_bit_identical(self, case, ring, rng):
@@ -74,6 +78,7 @@ class TestParity:
         }
         _values_identical(results["interpreted"], results["compiled"])
         _values_identical(results["interpreted"], results["resilient"])
+        _values_identical(results["interpreted"], results["parallel"])
 
     def test_mesh_accepts_bare_device_count(self, rng):
         case, ring = GOLDEN_CASES[0], 4
@@ -145,6 +150,12 @@ class TestFactory:
             create_engine("resilient", donate_params=False)
         with pytest.raises(ValueError, match="injector"):
             create_engine("compiled", injector=object())
+        with pytest.raises(ValueError, match="workers"):
+            create_engine("compiled", workers=2)
+
+    def test_rejection_names_the_kinds_that_accept_the_option(self):
+        with pytest.raises(ValueError, match="parallel"):
+            create_engine("compiled", workers=2)
 
     def test_resilient_engine_exposes_stats(self, rng):
         case = GOLDEN_CASES[0]
