@@ -1,0 +1,67 @@
+"""Overlap-autotuner benchmark: tuned configs vs the analytic default.
+
+Runs the full budgeted sweep (perfsim-scored, with measured spot checks
+against the interpreter oracle) over the golden modules, gates the
+headline property — a tuned config never loses to the analytic-gate
+default and stays bit-identical — trend-gates against the committed
+``BENCH_tune.json``, and rewrites the artifact so the next run compares
+against this one.
+"""
+
+import json
+import pathlib
+
+from bench_utils import run_once
+
+from repro.tune import (
+    TuningDB,
+    check_tune_report,
+    compare_tune_reports,
+    format_tune_report,
+    tune_golden,
+    tune_report,
+    write_tune_report,
+)
+
+BUDGET = 24
+HERE = pathlib.Path(__file__).resolve().parent
+REPORT_PATH = HERE / "BENCH_tune.json"
+DB_PATH = HERE / "TUNING_DB.json"
+
+
+def test_tuned_never_loses_to_default(benchmark, tmp_path):
+    db = TuningDB(path=str(tmp_path / "tuning_db.json"))
+    records = run_once(
+        benchmark,
+        lambda: tune_golden(budget=BUDGET, db=db, measure=True, force=True),
+    )
+    report = tune_report(records, budget=BUDGET, measured=True)
+    print()
+    print(format_tune_report(report))
+
+    summary = report["summary"]
+    benchmark.extra_info["tuned_vs_default_geomean"] = (
+        f"{summary['tuned_vs_default_geomean']:.3f}x"
+    )
+    benchmark.extra_info["entries"] = summary["entries"]
+
+    # Trend gate against the committed artifact before overwriting it:
+    # deterministic perfsim speedups must not drop, labels must match,
+    # and no entry may flip from exact to inexact.
+    baseline = json.loads(REPORT_PATH.read_text())
+    assert compare_tune_reports(baseline, report, max_drop=0.2) == []
+
+    write_tune_report(report, str(REPORT_PATH))
+
+    # Hard gates: tuned >= default on every golden module (the default
+    # is candidate 0 of the search space, so this holds by construction
+    # unless scoring regresses) and measured runs match the interpreter
+    # oracle bit-for-bit.
+    assert check_tune_report(report, min_ratio=1.0) == []
+    assert summary["all_bit_identical"] is True
+
+    # The persisted DB round-trips: every record is retrievable by its
+    # content-addressed key with zero re-search.
+    db.save()
+    reloaded = TuningDB.load(db.path)
+    assert sorted(r.key for r in reloaded) == sorted(r.key for r in records)

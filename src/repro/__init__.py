@@ -22,6 +22,10 @@ Subpackages:
   evaluation (Figures 1, 12-16; Tables 1-2; Sections 6.4 and 7.1).
 * :mod:`repro.serve` — serving subsystem: plan-cached continuous
   batching with typed admission control and a gated load generator.
+* :mod:`repro.tune` — overlap autotuner: budgeted per-program search
+  over decomposition/scheduling knobs, persisted in a content-addressed
+  :class:`TuningDB` the engines, server and bench harness pick up by
+  fingerprint (``create_engine(..., tuned=True)``).
 
 The names below are the supported public surface; everything else is
 reachable through its subpackage but may move between releases.
@@ -39,6 +43,8 @@ from repro.runtime.plan_cache import PlanCache
 from repro.serve.loadgen import run_loadgen
 from repro.serve.server import ServeConfig, Server
 from repro.sharding.mesh import DeviceMesh
+from repro.tune.db import TuningDB, TuningDBError, TuningRecord
+from repro.tune.search import tune_golden, tune_module
 
 __all__ = [
     "CompilationResult",
@@ -49,11 +55,16 @@ __all__ = [
     "ServeConfig",
     "Server",
     "Tracer",
+    "TuningDB",
+    "TuningDBError",
+    "TuningRecord",
     "compile_module",
     "compile_module_cached",
     "create_engine",
     "run_loadgen",
+    "tune_golden",
+    "tune_module",
     "__version__",
 ]
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

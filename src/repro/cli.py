@@ -16,6 +16,15 @@ Commands:
   golden modules and write ``BENCH_executor.json``; exits non-zero on
   any bit-identity failure, a missed speedup floor, or a >20% trend
   regression against a committed baseline report.
+* ``tune [--budget N] [--measure] [--db PATH] [--inspect] [--evict K]``
+  — budgeted per-program search over overlap configs (scheduler,
+  unrolling, bidirectional transfers, in-flight budget, decomposition
+  granularity) on the golden modules, scored by perfsim (and measured
+  engine runs with ``--measure``); persists winners in the
+  content-addressed tuning database that ``bench --tuned``,
+  ``serve --tuned`` and ``create_engine(..., tuned=True)`` pick up by
+  fingerprint with zero re-search. Exits non-zero if any tuned config
+  loses to the analytic default or diverges from the oracle.
 * ``trace [--module M] [--devices N] [--out PATH] [--check]`` — run one
   golden module (baseline and decomposed) under both executors with a
   :class:`repro.obs.Tracer`, simulate the same programs in perfsim, and
@@ -59,6 +68,7 @@ from repro.experiments import (
     interconnect_sweep,
     pipeline_parallel,
     tables,
+    tuned,
 )
 from repro.hlo.printer import format_module, summarize_opcodes
 from repro.models.configs import TABLE1, TABLE2, by_name
@@ -92,6 +102,7 @@ ARTIFACTS: Dict[str, Callable[[], str]] = {
     "future": lambda: future_overlap.format_report(future_overlap.run()),
     "degraded": lambda: degraded.format_report(degraded.run()),
     "tail": _tail_artifact,
+    "tuned": lambda: tuned.format_report(tuned.run()),
 }
 
 _DESCRIPTIONS = {
@@ -112,6 +123,8 @@ _DESCRIPTIONS = {
     "degraded": "Tail effects: decomposed vs baseline on a degraded fabric",
     "tail": "Adaptive rebalancing: p50/p99 vs undecomposed on "
     "heterogeneous fabrics",
+    "tuned": "Autotuner: tuned vs default overlap configs on Table 1 "
+    "training steps",
 }
 
 
@@ -295,6 +308,17 @@ def _oracle_engine(kind, workers):
     return create_engine(kind)
 
 
+def _tuned_spec(args):
+    """The ``tuned=`` value for an engine from ``--tuned``/``--tuning-db``.
+
+    ``--tuning-db PATH`` implies ``--tuned``; bare ``--tuned`` uses the
+    committed default database path.
+    """
+    if getattr(args, "tuning_db", None):
+        return args.tuning_db
+    return True if getattr(args, "tuned", False) else None
+
+
 def _cmd_bench(args) -> int:
     import json
 
@@ -309,6 +333,7 @@ def _cmd_bench(args) -> int:
             engine=args.engine,
             workers=args.workers,
             parallel=args.parallel,
+            tuned=_tuned_spec(args),
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)
@@ -339,6 +364,107 @@ def _cmd_bench(args) -> int:
     for problem in problems:
         print(f"FAIL: {problem}", file=sys.stderr)
     return 1 if problems else 0
+
+
+def _cmd_tune(args) -> int:
+    import json
+
+    from repro.tune import (
+        TuningDB,
+        TuningDBError,
+        check_tune_report,
+        compare_tune_reports,
+        format_tune_report,
+        require_tuned_capable,
+        tune_golden,
+        tune_report,
+        write_tune_report,
+    )
+    from repro.tune.db import default_db_path
+
+    db_path = args.db if args.db is not None else default_db_path()
+
+    if args.inspect or args.evict:
+        # Inspect/evict operate on the file as it is: corruption is a
+        # typed, loud failure here, not a silent fall-back.
+        try:
+            db = TuningDB.load(db_path)
+        except TuningDBError as error:
+            print(f"FAIL: {error}", file=sys.stderr)
+            return 1
+        if args.evict:
+            evicted = db.evict(args.evict)
+            db.save(db_path)
+            for record in evicted:
+                print(f"evicted {record.label} ({record.key.split('|')[0]})")
+            print(f"evicted {len(evicted)} record(s); {len(db)} remain")
+            return 0
+        print(f"{db_path}: {len(db)} record(s)")
+        for record in db:
+            print(
+                f"  {record.label:<26} speedup {record.speedup:.3f}x "
+                f"trials {record.trials:>3} scored by {record.scored_by}  "
+                f"{record.key.split('|')[0]}"
+            )
+        return 0
+
+    try:
+        if args.measure:
+            require_tuned_capable(args.engine)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    db = TuningDB.load_or_default(db_path)
+    if db.load_error is not None:
+        print(
+            f"WARN: {db.load_error} — starting from an empty database "
+            f"(default analytic-gate configs)",
+            file=sys.stderr,
+        )
+    try:
+        records = tune_golden(
+            budget=args.budget,
+            db=db,
+            measure=args.measure,
+            engine=args.engine,
+            workers=args.workers,
+            force=args.force,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    db.save(db_path)
+    report = tune_report(records, budget=args.budget, measured=args.measure)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_tune_report(report))
+        print(f"wrote {db_path} ({len(db)} record(s))")
+    if args.out:
+        write_tune_report(report, args.out)
+        if not args.json:
+            print(f"wrote {args.out}")
+
+    problems = check_tune_report(report)
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            problems.append(
+                f"cannot read baseline report {args.baseline}: {error}"
+            )
+        else:
+            problems.extend(
+                compare_tune_reports(baseline, report, max_drop=args.max_drop)
+            )
+    return _gate(
+        problems,
+        "tune gate passed: tuned configs never lose to the analytic "
+        "default" + (" and match the oracle bit-for-bit" if args.measure
+                     else ""),
+    )
 
 
 def _cmd_trace(args) -> int:
@@ -496,6 +622,7 @@ def _serve_config(args):
         workers=args.workers,
         default_deadline=args.deadline,
         engine_workers=args.engine_workers,
+        tuned=_tuned_spec(args),
     )
 
 
@@ -859,7 +986,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --parallel: fail unless the parallel/compiled geomean "
         "at 8+ devices reaches X (default 1.0)",
     )
+    bench.add_argument(
+        "--tuned", action="store_true",
+        help="attach the committed tuning database to the timed engine: "
+        "raw reference rows pick up autotuned overlap configs by content "
+        "fingerprint (rejected loudly for engines without tuning "
+        "support)",
+    )
+    bench.add_argument(
+        "--tuning-db", default=None, metavar="PATH",
+        help="tuning database to use with --tuned (default: "
+        "benchmarks/TUNING_DB.json or $REPRO_TUNING_DB; implies --tuned)",
+    )
     bench.set_defaults(handler=_cmd_bench)
+
+    tune = commands.add_parser(
+        "tune",
+        help="search overlap configs for the golden modules and persist "
+        "the winners in the tuning database",
+    )
+    tune.add_argument(
+        "--budget", type=int, default=24, metavar="N",
+        help="candidates scored per program, including the analytic "
+        "default (default 24; the full space is larger)",
+    )
+    tune.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="tuning database file (default benchmarks/TUNING_DB.json "
+        "or $REPRO_TUNING_DB)",
+    )
+    tune.add_argument(
+        "--out", default="BENCH_tune.json", metavar="PATH",
+        help="where to write the JSON report (default BENCH_tune.json; "
+        "empty string disables)",
+    )
+    tune.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="committed BENCH_tune.json to trend-gate against: fail if "
+        "any entry's tuned speedup drops more than --max-drop",
+    )
+    tune.add_argument(
+        "--max-drop", type=float, default=0.2, metavar="F",
+        help="allowed relative speedup drop vs --baseline (default 0.2)",
+    )
+    tune.add_argument(
+        "--measure", action="store_true",
+        help="cross-check each winner on a real engine (wall clock + "
+        "bit-identity against the interpreter oracle)",
+    )
+    tune.add_argument(
+        "--engine", default="compiled", metavar="KIND",
+        help="engine for --measure spot checks (default compiled; must "
+        "accept tuned configs — others are rejected loudly)",
+    )
+    tune.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker threads when --engine is the parallel backend",
+    )
+    tune.add_argument(
+        "--force", action="store_true",
+        help="re-search programs already in the database instead of "
+        "returning their persisted records",
+    )
+    tune.add_argument(
+        "--json", action="store_true",
+        help="print the report as JSON instead of text",
+    )
+    tune.add_argument(
+        "--inspect", action="store_true",
+        help="list the database's records and exit (no search)",
+    )
+    tune.add_argument(
+        "--evict", default=None, metavar="NEEDLE",
+        help="evict records whose key starts with NEEDLE or whose label "
+        "equals it, save, and exit (no search)",
+    )
+    tune.set_defaults(handler=_cmd_tune)
 
     trace = commands.add_parser(
         "trace",
@@ -974,6 +1176,19 @@ def build_parser() -> argparse.ArgumentParser:
             "--selftest", action="store_true",
             help="enforce the serving gates: zero untyped failures, warm "
             "plan-cache hit rate, cold-vs-warm compile speedup",
+        )
+        sub.add_argument(
+            "--tuned", action="store_true",
+            help="serve with the committed tuning database: catalog "
+            "programs pick up autotuned overlap configs by content "
+            "fingerprint (rejected loudly for engines without tuning "
+            "support)",
+        )
+        sub.add_argument(
+            "--tuning-db", default=None, metavar="PATH",
+            help="tuning database to use with --tuned (default: "
+            "benchmarks/TUNING_DB.json or $REPRO_TUNING_DB; implies "
+            "--tuned)",
         )
 
     serve = commands.add_parser(

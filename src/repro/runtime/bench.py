@@ -138,26 +138,36 @@ def _geomean(values: Sequence[float]) -> float:
     return float(np.exp(np.mean(np.log(values))))
 
 
-def _timed_engine(engine: str, workers: Optional[int], parallel: bool):
+def _timed_engine(
+    engine: str,
+    workers: Optional[int],
+    parallel: bool,
+    tuned=None,
+):
     """The engine one bench grid times against the interpreter.
 
     Validation is the registry's: an unknown ``engine`` or an option
     that does not apply to it (``workers`` on anything but the parallel
-    backend) raises the same loud ``ValueError`` as ``create_engine``.
+    backend, ``tuned`` on a kind without tuning support) raises the
+    same loud ``ValueError`` as ``create_engine``.
     Exception: with ``parallel=True`` the ``workers`` count sizes the
     parallel-vs-compiled sweep, so it is only forwarded to timed
     engines that accept it.
     """
     from repro.runtime.engine import ENGINE_KINDS
 
-    if workers is not None:
-        if "workers" in ENGINE_KINDS.options_for(engine):
-            return create_engine(engine, workers=workers)
-        if not parallel:
-            # Loud: --workers without --parallel must size the timed
-            # engine, and this one has no pool to size.
-            return create_engine(engine, workers=workers)
-    return create_engine(engine)
+    options: Dict[str, object] = {}
+    if tuned is not None and tuned is not False:
+        # Loud: --tuned must actually tune the timed engine. Never
+        # silently time an untuned run under a tuned label.
+        options["tuned"] = tuned
+    if workers is not None and (
+        "workers" in ENGINE_KINDS.options_for(engine) or not parallel
+    ):
+        # Loud when not parallel: --workers without --parallel must size
+        # the timed engine, and this one has no pool to size.
+        options["workers"] = workers
+    return create_engine(engine, **options)
 
 
 def run_bench(
@@ -168,6 +178,7 @@ def run_bench(
     engine: str = "compiled",
     workers: Optional[int] = None,
     parallel: bool = False,
+    tuned=None,
 ) -> Dict:
     """Run the full benchmark grid; returns the JSON-ready report.
 
@@ -175,7 +186,11 @@ def run_bench(
     (any registered kind; ``workers`` sizes the parallel backend's
     pool). ``parallel=True`` additionally runs the large-ring
     parallel-vs-compiled sweep (:func:`run_parallel_bench`) and attaches
-    it under the report's ``"parallel"`` key.
+    it under the report's ``"parallel"`` key. ``tuned`` (``True``, a
+    path, or a ``TuningDB``) attaches the autotuner database to the
+    timed engine: the raw ``reference`` rows then pick up tuned overlap
+    configs by content fingerprint, exactly as serving does — kinds
+    that cannot take a database are rejected loudly.
     """
     if device_counts is None:
         device_counts = QUICK_DEVICE_COUNTS if quick else DEVICE_COUNTS
@@ -189,7 +204,7 @@ def run_bench(
     # content-addressed plan cache holds every (module, devices) plan,
     # so the timed loop measures the warm serving path.
     interpreter = create_engine("interpreted")
-    compiled = _timed_engine(engine, workers, parallel)
+    compiled = _timed_engine(engine, workers, parallel, tuned)
     rows: List[Dict] = []
     for case_name, build in BENCH_CASES:
         for label, config in VARIANTS:
@@ -241,6 +256,7 @@ def run_bench(
         "repeats": repeats,
         "inner": inner,
         "engine": engine,
+        "tuned": bool(tuned),
         "device_counts": list(device_counts),
         "rows": rows,
         "summary": {
@@ -251,6 +267,8 @@ def run_bench(
     }
     if hasattr(compiled, "plan_cache"):
         report["summary"]["plan_cache"] = compiled.plan_cache.stats.to_json()
+    if getattr(compiled, "tuning_db", None) is not None:
+        report["summary"]["tuning_db"] = compiled.tuning_db.stats.to_json()
     if parallel:
         report["parallel"] = run_parallel_bench(
             quick=quick, repeats=repeats, inner=inner, workers=workers
@@ -524,10 +542,12 @@ def compare_reports(
         return problems
     # Speedup trends only compare like with like: a fresh report timing
     # a different engine than the baseline (e.g. --engine parallel vs
-    # the committed compiled run) keeps the bit-identity gate but skips
-    # the drop gate — the ratio to the interpreter is engine-specific.
+    # the committed compiled run, or a --tuned run vs an untuned one)
+    # keeps the bit-identity gate but skips the drop gate — the ratio
+    # to the interpreter is engine- and tuning-specific.
     same_engine = (
         baseline.get("engine", "compiled") == fresh.get("engine", "compiled")
+        and baseline.get("tuned", False) == fresh.get("tuned", False)
     )
     by_case: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
     for key in shared:

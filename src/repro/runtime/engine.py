@@ -155,6 +155,10 @@ def register_engine(
 PerDevice = Any  # List[np.ndarray]; kept loose to avoid import cycles
 MeshLike = Union[int, Any]  # DeviceMesh or a bare device count
 
+#: The ``tuned=`` spellings engines accept: a bool (``True`` = the
+#: committed default database), a database path, or a TuningDB object.
+TunedLike = Union[None, bool, str, Any]
+
 
 def _num_devices(mesh: MeshLike) -> int:
     if isinstance(mesh, int):
@@ -162,6 +166,36 @@ def _num_devices(mesh: MeshLike) -> int:
             raise ValueError("mesh device count must be positive")
         return mesh
     return mesh.num_devices
+
+
+def resolve_tuned_module(
+    module, mesh: MeshLike, db, tracer: Optional[Tracer] = None
+):
+    """Swap a raw module for its autotuned compilation when ``db`` holds
+    a record for it.
+
+    The lookup is content-addressed (:func:`repro.tune.db.tuning_key`):
+    a *raw* module whose fingerprint was tuned — the serving catalog's
+    programs, the bench harness's golden modules — resolves to the
+    winning config's compilation (through the shared pipeline cache, so
+    lowering still happens once per program). A module that was already
+    pipeline-compiled fingerprints differently, misses, and passes
+    through untouched — tuning never double-applies.
+    """
+    record = db.lookup(module, mesh)
+    if record is None:
+        if tracer is not None:
+            tracer.count("tune.misses")
+        return module
+    if tracer is not None:
+        tracer.count("tune.hits")
+    from repro.core.pipeline import compile_module_cached
+    from repro.sharding.mesh import DeviceMesh
+
+    mesh_obj = DeviceMesh.ring(mesh) if isinstance(mesh, int) else mesh
+    return compile_module_cached(
+        module, mesh_obj, record.overlap_config()
+    ).module
 
 
 class Engine(abc.ABC):
@@ -223,6 +257,12 @@ class CompiledEngine(Engine):
     content fingerprint — two separately built copies of the same
     program share one plan, and the cache can be shared across engines,
     serving workers and benchmark sweeps.
+
+    ``tuned`` attaches a tuning database (``True`` = the committed
+    default, a path, or a :class:`~repro.tune.db.TuningDB`): raw
+    modules whose fingerprints were autotuned are compiled with their
+    winning overlap config before lowering (see
+    :func:`resolve_tuned_module`).
     """
 
     kind = "compiled"
@@ -231,10 +271,14 @@ class CompiledEngine(Engine):
         self,
         plan_cache: Optional[PlanCache] = None,
         donate_params: bool = True,
+        tuned: TunedLike = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
+        from repro.tune.db import resolve_tuning_db
+
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.donate_params = donate_params
+        self.tuning_db = resolve_tuning_db(tuned)
         self.tracer = tracer
 
     def plan_for(
@@ -287,17 +331,23 @@ class CompiledEngine(Engine):
         tracer=None,
     ):
         tracer = tracer or self.tracer
+        # The caller indexes outputs by *their* module's root name; hold
+        # on to it before tuned resolution may swap the module.
+        root = module.root.name if module.root is not None else None
+        if self.tuning_db is not None:
+            module = resolve_tuned_module(
+                module, mesh, self.tuning_db, tracer
+            )
         plan = self.plan_for(
             module, _num_devices(mesh), outputs, tracer=tracer
         )
         values = plan.run(inputs, iteration, tracer=tracer)
-        if outputs is None and module.root is not None:
+        if outputs is None and root is not None:
             # A content-cache hit returns the plan lowered from an
             # *earlier*, content-identical module whose auto-generated
             # root name differs; rekey the single root entry so callers
             # index by their own module's names. Explicit ``outputs``
             # names participate in the cache key, so they never alias.
-            root = module.root.name
             if root not in values and len(values) == 1:
                 (value,) = values.values()
                 return {root: value}
@@ -352,7 +402,9 @@ class ResilientEngine(Engine):
 
 register_engine("interpreted", InterpretedEngine, options=())
 register_engine(
-    "compiled", CompiledEngine, options=("plan_cache", "donate_params")
+    "compiled",
+    CompiledEngine,
+    options=("plan_cache", "donate_params", "tuned"),
 )
 register_engine("resilient", ResilientEngine, options=("injector", "policy"))
 
@@ -363,6 +415,7 @@ def create_engine(
     tracer: Optional[Tracer] = None,
     plan_cache: Optional[PlanCache] = None,
     donate_params: bool = True,
+    tuned: TunedLike = None,
     workers: Optional[int] = None,
     injector=None,
     policy=None,
@@ -372,10 +425,12 @@ def create_engine(
     * ``"interpreted"`` — the per-device reference interpreter.
     * ``"compiled"`` — the vectorized engine behind a shared
       :class:`PlanCache` (pass ``plan_cache`` to share one cache across
-      engines; ``donate_params=False`` forbids in-place parameter reuse).
+      engines; ``donate_params=False`` forbids in-place parameter reuse;
+      ``tuned`` attaches an autotuner database — ``True`` for the
+      committed default, a path, or a ``TuningDB``).
     * ``"parallel"`` — the multi-worker shared-memory backend
-      (``workers`` caps the worker threads; also accepts ``plan_cache``
-      and ``donate_params``).
+      (``workers`` caps the worker threads; also accepts ``plan_cache``,
+      ``donate_params`` and ``tuned``).
     * ``"resilient"`` — the fault-tolerant interpreter (``injector`` and
       ``policy`` configure fault injection and the retry budget).
 
@@ -393,6 +448,8 @@ def create_engine(
         provided["plan_cache"] = plan_cache
     if donate_params is not True:
         provided["donate_params"] = donate_params
+    if tuned is not None and tuned is not False:
+        provided["tuned"] = tuned
     if workers is not None:
         provided["workers"] = workers
     if injector is not None:

@@ -24,7 +24,7 @@ from repro.runtime.parallel.sync import RunContext, WorkerContext
 register_engine(
     "parallel",
     ParallelEngine,
-    options=("plan_cache", "donate_params", "workers"),
+    options=("plan_cache", "donate_params", "workers", "tuned"),
 )
 
 __all__ = [

@@ -35,13 +35,17 @@ class ParallelEngine(Engine):
         plan_cache: Optional[PlanCache] = None,
         donate_params: bool = True,
         workers: Optional[int] = None,
+        tuned=None,
         tracer: Optional[Tracer] = None,
     ) -> None:
+        from repro.tune.db import resolve_tuning_db
+
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive integer")
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.donate_params = donate_params
         self.workers = workers
+        self.tuning_db = resolve_tuning_db(tuned)
         self.tracer = tracer
 
     def effective_workers(self, num_devices: int) -> int:
@@ -102,16 +106,22 @@ class ParallelEngine(Engine):
         iteration=0,
         tracer=None,
     ):
+        from repro.runtime.engine import resolve_tuned_module
+
         tracer = tracer or self.tracer
+        root = module.root.name if module.root is not None else None
+        if self.tuning_db is not None:
+            module = resolve_tuned_module(
+                module, mesh, self.tuning_db, tracer
+            )
         plan = self.plan_for(
             module, _num_devices(mesh), outputs, tracer=tracer
         )
         values = plan.run(inputs, iteration, tracer=tracer)
-        if outputs is None and module.root is not None:
+        if outputs is None and root is not None:
             # Same root-rekey as CompiledEngine.run: a content-cache hit
             # may have been lowered from an earlier module whose
             # auto-generated root name differs.
-            root = module.root.name
             if root not in values and len(values) == 1:
                 (value,) = values.values()
                 return {root: value}

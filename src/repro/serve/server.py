@@ -76,6 +76,9 @@ class ServeConfig:
     default_deadline: Optional[float] = None   # seconds; None = no deadline
     plan_cache_capacity: int = 64
     engine_workers: Optional[int] = None   # parallel backend's thread pool
+    #: Autotuner database for the engine: ``True`` = the committed
+    #: default path, a string = that path, ``None``/``False`` = off.
+    tuned: Any = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_KINDS:
@@ -99,6 +102,13 @@ class ServeConfig:
                 raise ValueError(
                     f"engine_workers does not apply to {self.engine!r} "
                     f"engines (only to {takers})"
+                )
+        if self.tuned is not None and self.tuned is not False:
+            if "tuned" not in ENGINE_KINDS.options_for(self.engine):
+                takers = ENGINE_KINDS.accepting("tuned")
+                raise ValueError(
+                    f"tuned does not apply to {self.engine!r} engines"
+                    + (f" (only to {takers})" if takers else "")
                 )
 
 
@@ -173,6 +183,7 @@ class ServerStats:
     peak_queue_depth: int
     plan_cache: Optional[CacheStats]
     ladder_state: str = LadderState.FULL.name.lower()
+    tuning_db: Optional[Dict[str, int]] = None
 
     @property
     def requests(self) -> int:
@@ -205,6 +216,7 @@ class ServerStats:
             ),
             "mean_batch_size": self.mean_batch_size,
             "ladder_state": self.ladder_state,
+            "tuning_db": self.tuning_db,
         }
 
 
@@ -232,6 +244,8 @@ class Server:
             options["plan_cache"] = self.plan_cache
         if self.config.engine_workers is not None:
             options["workers"] = self.config.engine_workers
+        if self.config.tuned is not None and self.config.tuned is not False:
+            options["tuned"] = self.config.tuned
         self.engine = create_engine(self.config.engine, **options)
         self._modules: Dict[str, Any] = {}
         self._module_lock = threading.Lock()
@@ -261,6 +275,7 @@ class Server:
             counters = dict(self.tracer.counters)
         with self._cond:
             ladder_state = self._ladder_state
+        db = getattr(self.engine, "tuning_db", None)
         return ServerStats(
             counters=counters,
             peak_queue_depth=self.peak_queue_depth,
@@ -270,6 +285,7 @@ class Server:
                 else None
             ),
             ladder_state=ladder_state.name.lower(),
+            tuning_db=None if db is None else db.stats.to_json(),
         )
 
     # --- health-aware admission ---------------------------------------------------
@@ -401,6 +417,17 @@ class Server:
             module = self._modules.get(spec.name)
             if module is None:
                 module = spec.build_module()
+                db = getattr(self.engine, "tuning_db", None)
+                if db is not None:
+                    # Resolve the tuned compilation once, up front, so
+                    # the plan-warm prefetch below and every later run
+                    # all see the tuned program (``engine.run`` would
+                    # otherwise resolve it per call).
+                    from repro.runtime.engine import resolve_tuned_module
+
+                    module = resolve_tuned_module(
+                        module, spec.num_devices, db
+                    )
                 self._modules[spec.name] = module
         return module
 

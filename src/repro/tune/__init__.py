@@ -1,0 +1,62 @@
+"""``repro.tune``: the overlap autotuner and its persisted tuning DB.
+
+Replaces the paper's one-shot analytic decomposition gate with a
+budgeted per-program search over schedulers, unrolling, bidirectional
+transfers, in-flight budgets and decomposition granularity, persisting
+winners in a content-addressed database the engines, server, bench
+harness and experiments all pick up by fingerprint.
+"""
+
+from repro.tune.db import (
+    DEFAULT_DB_PATH,
+    SCHEMA_VERSION,
+    TuningDB,
+    TuningDBError,
+    TuningError,
+    TuningRecord,
+    config_from_json,
+    config_to_json,
+    default_db_path,
+    resolve_tuning_db,
+    tuning_key,
+)
+from repro.tune.report import (
+    check_tune_report,
+    compare_tune_reports,
+    format_tune_report,
+    tune_report,
+    write_tune_report,
+)
+from repro.tune.search import (
+    require_tuned_capable,
+    score_config,
+    tune_golden,
+    tune_module,
+)
+from repro.tune.space import FULL_SPACE, SearchPoint, candidate_space, default_config
+
+__all__ = [
+    "DEFAULT_DB_PATH",
+    "FULL_SPACE",
+    "SCHEMA_VERSION",
+    "SearchPoint",
+    "TuningDB",
+    "TuningDBError",
+    "TuningError",
+    "TuningRecord",
+    "candidate_space",
+    "check_tune_report",
+    "compare_tune_reports",
+    "config_from_json",
+    "config_to_json",
+    "default_config",
+    "default_db_path",
+    "format_tune_report",
+    "require_tuned_capable",
+    "resolve_tuning_db",
+    "score_config",
+    "tune_golden",
+    "tune_module",
+    "tune_report",
+    "write_tune_report",
+]

@@ -1,0 +1,114 @@
+"""The autotuner's search space over overlap-pipeline knobs.
+
+The paper gates decomposition with one analytic inequality per
+collective and then always compiles its single default schedule. The
+tuner instead enumerates :class:`~repro.core.config.OverlapConfig`
+candidates over the knobs that actually change the compiled schedule:
+
+* ``scheduler`` — bottom-up (Algorithm 2) vs top-down;
+* ``unroll`` — degree-2 loop unrolling on/off (Section 5.4.1);
+* ``bidirectional`` — bidirectional ring transfer on/off (Section 5.4.2);
+* ``max_in_flight`` — the asynchronous-collective budget (Section 5.2);
+* ``transfer_granularity`` — decomposition granularity: how many
+  sub-permutes each ring transfer splits into (the PR-6 rebalancing
+  knob, here searched proactively instead of reactively).
+
+Candidate 0 is always the **default analytic-gate config** —
+``OverlapConfig()`` with the cost model on — so a budgeted search can
+never return something worse than the paper's gate: the minimum over a
+set containing the default is bounded by the default. Every other
+candidate turns the analytic gate off (``use_cost_model=False``):
+search *replaces* the inequality, it does not stack on top of it.
+
+The enumeration order is deterministic and most-promising-first (the
+paper's defaults vary before the long tail of granularity/in-flight
+tweaks), so a small ``budget`` still explores the axes that matter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.config import BOTTOM_UP, TOP_DOWN, OverlapConfig
+
+#: Knob grids, in exploration-priority order.
+SCHEDULERS: Tuple[str, ...] = (BOTTOM_UP, TOP_DOWN)
+UNROLL: Tuple[bool, ...] = (True, False)
+BIDIRECTIONAL: Tuple[bool, ...] = (True, False)
+MAX_IN_FLIGHT: Tuple[int, ...] = (8, 4, 2)
+TRANSFER_GRANULARITY: Tuple[int, ...] = (1, 2, 4)
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchPoint:
+    """One scored candidate: its index, config, and provenance label."""
+
+    index: int
+    config: OverlapConfig
+    label: str
+
+    @property
+    def is_default(self) -> bool:
+        return self.index == 0
+
+
+def default_config() -> OverlapConfig:
+    """The paper's configuration: analytic cost gate, default schedule."""
+    return OverlapConfig()
+
+
+def _grid(base: OverlapConfig) -> Iterator[Tuple[OverlapConfig, str]]:
+    for in_flight in MAX_IN_FLIGHT:
+        for granularity in TRANSFER_GRANULARITY:
+            for scheduler in SCHEDULERS:
+                for unroll in UNROLL:
+                    for bidirectional in BIDIRECTIONAL:
+                        config = base.replace(
+                            enabled=True,
+                            use_cost_model=False,
+                            scheduler=scheduler,
+                            unroll=unroll,
+                            bidirectional=bidirectional,
+                            max_in_flight=in_flight,
+                            transfer_granularity=granularity,
+                        )
+                        label = (
+                            f"{scheduler}"
+                            f"{'+unroll' if unroll else ''}"
+                            f"{'+bidir' if bidirectional else ''}"
+                            f" inflight={in_flight} gran={granularity}"
+                        )
+                        yield config, label
+
+
+def candidate_space(
+    budget: Optional[int] = None,
+    base: Optional[OverlapConfig] = None,
+) -> List[SearchPoint]:
+    """The first ``budget`` candidates (all of them when ``None``).
+
+    ``base`` seeds non-searched fields (e.g. ``min_ring_size``,
+    ``pair_split``) so a caller with site-specific constraints keeps
+    them across the whole space; the searched knobs are overwritten.
+    ``budget`` counts *scored candidates* including the default, and
+    must be at least 2 — a search that can only afford the default is
+    not a search.
+    """
+    if budget is not None and budget < 2:
+        raise ValueError(f"search budget must be at least 2, got {budget}")
+    base = base if base is not None else OverlapConfig()
+    points = [SearchPoint(0, default_config(), "default (analytic gate)")]
+    seen = {points[0].config}
+    for config, label in _grid(base):
+        if budget is not None and len(points) >= budget:
+            break
+        if config in seen:
+            continue
+        seen.add(config)
+        points.append(SearchPoint(len(points), config, label))
+    return points
+
+
+#: Size of the full space (for reports and ``repro tune`` help text).
+FULL_SPACE = len(candidate_space())
