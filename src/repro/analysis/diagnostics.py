@@ -63,6 +63,14 @@ RULES: Tuple[Rule, ...] = (
     Rule("L002", "schedule", "done scheduled before its matching start"),
     Rule("L003", "schedule", "fusion group is not contiguous in the schedule"),
     Rule("L004", "schedule", "schedule is not a permutation of the module"),
+    # Parallel-plan concurrency verifier (see DESIGN.md section 15).
+    # The C0xx block was already taken by collective legality when this
+    # pass landed, and ids are never reused, so these carry a CC prefix.
+    Rule("CC001", "concurrency", "unordered write/write or write/read race on shared rows"),
+    Rule("CC002", "concurrency", "parity-window overflow: in-flight transfer reuses a live mailbox cell"),
+    Rule("CC003", "concurrency", "barrier divergence or deadlock across workers"),
+    Rule("CC004", "concurrency", "mailbox post without consume, or consume without post"),
+    Rule("CC005", "concurrency", "donated buffer mutated while a pending snapshot still reads it"),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in RULES}

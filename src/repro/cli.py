@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.config import OverlapConfig
 from repro.core.pipeline import compile_module
@@ -260,7 +260,9 @@ def _cmd_chaos(args) -> int:
         )
 
     try:
-        oracle = _oracle_engine(args.engine, args.workers)
+        oracle = _oracle_engine(
+            args.engine, args.workers, getattr(args, "sanitize", False)
+        )
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -292,20 +294,28 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
-def _oracle_engine(kind, workers):
+def _oracle_engine(kind, workers, sanitize=False):
     """Build the oracle/timed engine for ``repro chaos``/``repro bench``.
 
     Validation is :func:`create_engine`'s: unknown kinds and options
-    that do not apply (``--workers`` on anything but the parallel
-    backend) fail loudly with the registry's dynamic kind list.
+    that do not apply (``--workers`` or ``--sanitize`` on anything but
+    the parallel backend) fail loudly with the registry's dynamic kind
+    list. ``--sanitize`` without an explicit engine kind means "the
+    sanitized parallel backend" — the sanitizer only instruments that
+    one.
     """
     from repro.runtime.engine import create_engine
 
+    if sanitize and (kind is None or kind == "compiled"):
+        kind = "parallel"
     if kind is None or (kind == "compiled" and workers is None):
         return None  # keep the harness's shared default engine
+    options: Dict[str, Any] = {}
     if workers is not None:
-        return create_engine(kind, workers=workers)
-    return create_engine(kind)
+        options["workers"] = workers
+    if sanitize:
+        options["sanitize"] = True
+    return create_engine(kind, **options)
 
 
 def _tuned_spec(args):
@@ -334,6 +344,7 @@ def _cmd_bench(args) -> int:
             workers=args.workers,
             parallel=args.parallel,
             tuned=_tuned_spec(args),
+            sanitize=args.sanitize,
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)
@@ -731,6 +742,80 @@ _VERIFY_VARIANTS = (
 )
 
 
+def _verify_variants(case, mesh, db):
+    """The pipeline variants to sweep for one golden target: the four
+    standard ones, plus the tuned config when a tuning database carries
+    a record for this module/mesh (``repro verify --tuned``). The tuned
+    config's own ``max_in_flight`` budget rides into every per-pass
+    analyzer run through the pipeline."""
+    variants = list(_VERIFY_VARIANTS)
+    if db is not None:
+        record = db.lookup(case.build(mesh), mesh)
+        if record is not None:
+            variants.append(("tuned", record.overlap_config))
+    return variants
+
+
+def _verify_parallel(args, report, targets) -> None:
+    """The ``verify --engine parallel`` sweep: lower every golden
+    module under every variant and worker count, run the static
+    concurrency verifier on each plan, and (with ``--mutations``) check
+    the seeded-defect corpus is caught by its expected rules."""
+    from repro.analysis.concurrency import analyze_plan
+    from repro.analysis.mutations import (
+        PARALLEL_MUTATIONS, build_parallel_target,
+    )
+    from repro.faults.chaos import GOLDEN_CASES
+    from repro.runtime.parallel.lowering import lower_parallel
+    from repro.sharding.mesh import DeviceMesh
+    from repro.tune.db import resolve_tuning_db
+
+    db = resolve_tuning_db(_tuned_spec(args))
+    requested = tuple(args.workers) if args.workers else (1, 2, 4)
+    for case in GOLDEN_CASES:
+        for ring in case.rings:
+            mesh = DeviceMesh.ring(ring)
+            counts = sorted({min(w, ring) for w in requested})
+            for variant, make_config in _verify_variants(case, mesh, db):
+                module = case.build(mesh)
+                compile_module(module, mesh, make_config())
+                for workers in counts:
+                    plan = lower_parallel(module, ring, workers=workers)
+                    result = analyze_plan(plan)
+                    report(
+                        f"{case.name}/ring{ring}/{variant}/w{workers}",
+                        [result],
+                        None,
+                    )
+    if not args.mutations:
+        return
+    for mutation in PARALLEL_MUTATIONS:
+        plan, _ = build_parallel_target(mutation)
+        applied = mutation.apply(plan)
+        result = analyze_plan(plan)
+        caught = sorted({d.rule for d in result.errors})
+        ok = bool(applied) and mutation.expected_rule in caught
+        targets.append(
+            {
+                "target": f"mutation:{mutation.name}",
+                "ok": ok,
+                "failed_stage": None,
+                "errors": 0 if ok else 1,
+                "warnings": 0,
+                "expected_rule": mutation.expected_rule,
+                "caught_rules": caught,
+                "stages": [result.to_json()],
+            }
+        )
+        if not args.json:
+            status = "ok" if ok else "FAIL"
+            print(
+                f"{status:<4} mutation:{mutation.name}: expected "
+                f"{mutation.expected_rule}, caught "
+                f"{', '.join(caught) or 'nothing'}"
+            )
+
+
 def _cmd_verify(args) -> int:
     import json
 
@@ -785,11 +870,18 @@ def _cmd_verify(args) -> int:
                 max_in_flight=args.max_in_flight,
             )
             report(path, [result], None)
+    elif args.engine == "parallel":
+        _verify_parallel(args, report, targets)
     else:
+        from repro.tune.db import resolve_tuning_db
+
+        db = resolve_tuning_db(_tuned_spec(args))
         for case in GOLDEN_CASES:
             for ring in case.rings:
                 mesh = DeviceMesh.ring(ring)
-                for variant, make_config in _VERIFY_VARIANTS:
+                for variant, make_config in _verify_variants(
+                    case, mesh, db
+                ):
                     label = f"{case.name}/ring{ring}/{variant}"
                     module = case.build(mesh)
                     try:
@@ -932,6 +1024,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for --engine parallel (rejected loudly for "
         "engines that take no workers)",
     )
+    chaos.add_argument(
+        "--sanitize", action="store_true",
+        help="arm the runtime concurrency sanitizer on the oracle "
+        "engine (implies --engine parallel when no kind is named; "
+        "concurrency defects then surface as typed CC-rule errors "
+        "instead of wrong numbers)",
+    )
     chaos.set_defaults(handler=_cmd_chaos)
 
     bench = commands.add_parser(
@@ -985,6 +1084,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-parallel-speedup", type=float, default=1.0, metavar="X",
         help="with --parallel: fail unless the parallel/compiled geomean "
         "at 8+ devices reaches X (default 1.0)",
+    )
+    bench.add_argument(
+        "--sanitize", action="store_true",
+        help="with --parallel: time the sweep with the runtime "
+        "concurrency sanitizer armed, so the speedup floor doubles as "
+        "the sanitizer-overhead gate",
     )
     bench.add_argument(
         "--tuned", action="store_true",
@@ -1116,6 +1221,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-in-flight", type=int, default=None, metavar="K",
         help="also flag more than K simultaneously in-flight async "
         "transfers (rule A004)",
+    )
+    verify.add_argument(
+        "--engine", default="compiled", choices=("compiled", "parallel"),
+        help="what to verify: 'compiled' checks the HLO after every "
+        "pipeline pass; 'parallel' additionally lowers each golden "
+        "module to multi-worker plans and runs the static concurrency "
+        "verifier (rules CC001-CC005) on each",
+    )
+    verify.add_argument(
+        "--workers", type=int, nargs="+", default=None, metavar="N",
+        help="worker counts for the --engine parallel sweep (default "
+        "1 2 4; clamped to each target's ring size)",
+    )
+    verify.add_argument(
+        "--mutations", action="store_true",
+        help="with --engine parallel: also apply the seeded "
+        "concurrency-defect corpus and require each defect to be "
+        "caught by its expected rule",
+    )
+    verify.add_argument(
+        "--tuned", action="store_true",
+        help="also sweep the tuned overlap config (including its "
+        "max_in_flight budget) for every target with a tuning record",
+    )
+    verify.add_argument(
+        "--tuning-db", default=None, metavar="PATH",
+        help="tuning database to use with --tuned (default: "
+        "benchmarks/TUNING_DB.json or $REPRO_TUNING_DB; implies "
+        "--tuned)",
     )
     verify.add_argument(
         "--json", action="store_true",

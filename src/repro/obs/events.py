@@ -31,6 +31,7 @@ ASYNC_DONE = "async-permute-done"         # delivery of an async transfer
 RETRY = "retry"                           # a failed delivery attempt
 CONTROL = "control"                       # While loops: a container, not work
 ADAPT = "adapt"                           # a degradation-ladder transition
+SANITIZE = "sanitize"                     # concurrency-sanitizer bookkeeping
 
 #: Every kind the exporters and validators accept.
 KINDS = frozenset(
@@ -44,6 +45,7 @@ KINDS = frozenset(
         RETRY,
         CONTROL,
         ADAPT,
+        SANITIZE,
     }
 )
 

@@ -179,6 +179,7 @@ def run_bench(
     workers: Optional[int] = None,
     parallel: bool = False,
     tuned=None,
+    sanitize: bool = False,
 ) -> Dict:
     """Run the full benchmark grid; returns the JSON-ready report.
 
@@ -271,7 +272,8 @@ def run_bench(
         report["summary"]["tuning_db"] = compiled.tuning_db.stats.to_json()
     if parallel:
         report["parallel"] = run_parallel_bench(
-            quick=quick, repeats=repeats, inner=inner, workers=workers
+            quick=quick, repeats=repeats, inner=inner, workers=workers,
+            sanitize=sanitize,
         )
     return report
 
@@ -291,6 +293,7 @@ def run_parallel_bench(
     inner: int = 10,
     workers: Optional[int] = None,
     device_counts: Optional[Sequence[int]] = None,
+    sanitize: bool = False,
 ) -> Dict:
     """Time the parallel backend against the compiled engine at large
     ring sizes; returns the JSON-ready ``report["parallel"]`` section.
@@ -314,7 +317,10 @@ def run_parallel_bench(
         inner = min(inner, 5)
     interpreter = create_engine("interpreted")
     compiled = CompiledEngine()
-    engine = ParallelEngine(workers=workers)
+    # sanitize=True times the sanitized parallel path against the same
+    # compiled reference — the speedup floors then double as the
+    # sanitizer-overhead gate.
+    engine = ParallelEngine(workers=workers, sanitize=sanitize)
     rows: List[Dict] = []
     for case_name, build in BENCH_CASES:
         for label, config in VARIANTS:
@@ -363,6 +369,7 @@ def run_parallel_bench(
         "repeats": repeats,
         "inner": inner,
         "workers": workers,
+        "sanitize": sanitize,
         "device_counts": list(device_counts),
         "rows": rows,
         "summary": {

@@ -417,6 +417,7 @@ def create_engine(
     donate_params: bool = True,
     tuned: TunedLike = None,
     workers: Optional[int] = None,
+    sanitize: bool = False,
     injector=None,
     policy=None,
 ) -> Engine:
@@ -429,8 +430,10 @@ def create_engine(
       ``tuned`` attaches an autotuner database — ``True`` for the
       committed default, a path, or a ``TuningDB``).
     * ``"parallel"`` — the multi-worker shared-memory backend
-      (``workers`` caps the worker threads; also accepts ``plan_cache``,
-      ``donate_params`` and ``tuned``).
+      (``workers`` caps the worker threads; ``sanitize=True`` arms the
+      runtime concurrency sanitizer, see
+      :mod:`repro.runtime.parallel.sanitize`; also accepts
+      ``plan_cache``, ``donate_params`` and ``tuned``).
     * ``"resilient"`` — the fault-tolerant interpreter (``injector`` and
       ``policy`` configure fault injection and the retry budget).
 
@@ -452,6 +455,8 @@ def create_engine(
         provided["tuned"] = tuned
     if workers is not None:
         provided["workers"] = workers
+    if sanitize:
+        provided["sanitize"] = sanitize
     if injector is not None:
         provided["injector"] = injector
     if policy is not None:

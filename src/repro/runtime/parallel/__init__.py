@@ -16,6 +16,15 @@ explicit import.
 
 from repro.runtime.engine import register_engine
 from repro.runtime.parallel.engine import ParallelEngine
+from repro.runtime.parallel.errors import (
+    BarrierDivergenceError,
+    ConcurrencyError,
+    DonationRaceError,
+    MailboxOverflowError,
+    MailboxRoutingError,
+    MailboxTimeoutError,
+    RaceError,
+)
 from repro.runtime.parallel.lowering import lower_parallel
 from repro.runtime.parallel.mailbox import TransferMailbox
 from repro.runtime.parallel.plan import ParallelPlan
@@ -24,12 +33,21 @@ from repro.runtime.parallel.sync import RunContext, WorkerContext
 register_engine(
     "parallel",
     ParallelEngine,
-    options=("plan_cache", "donate_params", "workers", "tuned"),
+    options=(
+        "plan_cache", "donate_params", "workers", "tuned", "sanitize"
+    ),
 )
 
 __all__ = [
+    "BarrierDivergenceError",
+    "ConcurrencyError",
+    "DonationRaceError",
+    "MailboxOverflowError",
+    "MailboxRoutingError",
+    "MailboxTimeoutError",
     "ParallelEngine",
     "ParallelPlan",
+    "RaceError",
     "RunContext",
     "TransferMailbox",
     "WorkerContext",

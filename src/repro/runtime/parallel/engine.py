@@ -37,6 +37,7 @@ class ParallelEngine(Engine):
         workers: Optional[int] = None,
         tuned=None,
         tracer: Optional[Tracer] = None,
+        sanitize: bool = False,
     ) -> None:
         from repro.tune.db import resolve_tuning_db
 
@@ -47,6 +48,10 @@ class ParallelEngine(Engine):
         self.workers = workers
         self.tuning_db = resolve_tuning_db(tuned)
         self.tracer = tracer
+        # Execution-time instrumentation only — deliberately NOT part of
+        # the plan-cache key: a sanitized and an unsanitized engine can
+        # share one cache and the same lowered plans.
+        self.sanitize = sanitize
 
     def effective_workers(self, num_devices: int) -> int:
         """The worker count a plan for ``num_devices`` will use."""
@@ -117,7 +122,9 @@ class ParallelEngine(Engine):
         plan = self.plan_for(
             module, _num_devices(mesh), outputs, tracer=tracer
         )
-        values = plan.run(inputs, iteration, tracer=tracer)
+        values = plan.run(
+            inputs, iteration, tracer=tracer, sanitize=self.sanitize
+        )
         if outputs is None and root is not None:
             # Same root-rekey as CompiledEngine.run: a content-cache hit
             # may have been lowered from an earlier module whose

@@ -51,6 +51,10 @@ from repro.runtime.compile import (
 )
 from repro.runtime.executor import ExecutionError
 from repro.runtime.parallel import shard_ops
+from repro.runtime.parallel.model import (
+    build_inline_model,
+    build_sliced_model,
+)
 from repro.runtime.parallel.plan import (
     ParallelPlan,
     WorkerStep,
@@ -148,17 +152,23 @@ def _lower(
     uid = next(counters.uids)
     bounds = _worker_bounds(num_devices, workers)
 
+    output_buffers = tuple(v.buffer for v in output_values)
     if workers == 1:
         _pin_deferred_operands(low)
         steps, labels, metas, body_plans = _emit_inline(low, counters)
         worker_steps: Sequence[Sequence[WorkerStep]] = ()
         arena_spec: Dict[int, Tuple[int, ...]] = {}
+        model = build_inline_model(low, uid, module.name, output_buffers)
     else:
         emitter = _SlicedEmitter(low, workers, bounds, counters)
         worker_steps, labels, metas = emitter.emit_all()
         steps = ()
         body_plans = emitter.body_plans
         arena_spec = emitter.arena_spec
+        model = build_sliced_model(
+            low, emitter.routes, workers, bounds, uid, module.name,
+            output_buffers,
+        )
 
     stats = PlanStats(
         instructions=len(instructions),
@@ -193,6 +203,7 @@ def _lower(
         uid=uid,
         arena_spec=arena_spec,
         body_plans=body_plans,
+        model=model,
     )
 
 

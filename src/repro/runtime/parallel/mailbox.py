@@ -30,6 +30,10 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.runtime.parallel.errors import (
+    MailboxOverflowError,
+    MailboxTimeoutError,
+)
 from repro.runtime.parallel.sync import RunContext
 
 Key = Tuple[int, int, int, int]  # (transfer_id, src, dst, parity)
@@ -62,20 +66,50 @@ class TransferMailbox:
             return cell
 
     def post(self, key: Key, payload: np.ndarray) -> None:
-        """Publish ``payload`` (already a snapshot copy) into ``key``."""
+        """Publish ``payload`` (already a snapshot copy) into ``key``.
+
+        A post into a cell whose previous payload is still unconsumed
+        blocks (double-buffered backpressure); if the consumer never
+        drains it within the run's mailbox timeout, that is a
+        parity-window overflow — a third in-flight transfer on one
+        ``(tid, src, dst, parity)`` cell — and raises the typed
+        :class:`MailboxOverflowError` instead of hanging.
+        """
+        ctx = self._ctx
+        sanitizer = ctx.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_post(key)
         cell = self._cell(key)
-        self._ctx.wait_event(cell.free)
+        if not ctx.wait_event(cell.free, ctx.mailbox_timeout):
+            raise MailboxOverflowError(
+                "post would overwrite a live cell that was never "
+                "consumed", key, worker=key[1],
+            )
         cell.free.clear()
         cell.payload = payload
-        clock = self._ctx.clock
+        clock = ctx.clock
         if clock is not None:
             cell.posted_at = clock()
         cell.full.set()
 
     def consume(self, key: Key) -> Tuple[np.ndarray, float]:
-        """Take the payload posted into ``key`` (blocks until posted)."""
+        """Take the payload posted into ``key`` (blocks until posted).
+
+        A consume whose producer never posts within the run's mailbox
+        timeout raises the typed :class:`MailboxTimeoutError` carrying
+        the cell key, so orphaned transfers are reported rather than
+        deadlocking the pool.
+        """
+        ctx = self._ctx
+        sanitizer = ctx.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_consume(key)
         cell = self._cell(key)
-        self._ctx.wait_event(cell.full)
+        if not ctx.wait_event(cell.full, ctx.mailbox_timeout):
+            raise MailboxTimeoutError(
+                "consume timed out: the matching post never happened",
+                key, worker=key[2],
+            )
         cell.full.clear()
         payload = cell.payload
         posted_at = cell.posted_at

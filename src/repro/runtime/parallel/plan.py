@@ -111,11 +111,22 @@ def run_worker_steps(
     """One worker's pass over a (possibly nested) plan's step list."""
     steps = plan.worker_steps[worker]
     recorder = wctx.recorder
-    if recorder is None:
+    sanitized = wctx.ctx.sanitizer is not None
+    if recorder is None and not sanitized:
         for step in steps:
             step(wctx, env, iteration)
         return
+    if recorder is None:
+        # Sanitizer only: publish the step name so a barrier arrival can
+        # be pinned to its plan site (the divergence check compares
+        # these across workers).
+        for step, meta in zip(steps, plan.meta):
+            wctx.site = meta.name
+            step(wctx, env, iteration)
+        return
     for step, meta in zip(steps, plan.meta):
+        if sanitized:
+            wctx.site = meta.name
         start = recorder.now()
         depth = recorder.push()
         try:
@@ -149,6 +160,7 @@ class ParallelPlan(CompiledPlan):
         uid: int = 0,
         arena_spec: Optional[Dict[int, Tuple[int, ...]]] = None,
         body_plans: Sequence["ParallelPlan"] = (),
+        model: Optional[Any] = None,
     ) -> None:
         super().__init__(
             module_name=module_name,
@@ -172,15 +184,52 @@ class ParallelPlan(CompiledPlan):
         self.uid = uid
         self.arena_spec: Dict[int, Tuple[int, ...]] = dict(arena_spec or {})
         self.body_plans: Tuple["ParallelPlan", ...] = tuple(body_plans)
+        #: Concurrency model for repro.analysis.concurrency (a
+        #: :class:`~repro.runtime.parallel.model.PlanModel`).
+        self.model = model
 
     # --- execution ----------------------------------------------------
+
+    #: Set per run() call; class default keeps cached plans cheap to
+    #: share when the sanitizer is off.
+    _sanitize = False
+
+    def run(
+        self,
+        arguments,
+        iteration: int = 0,
+        tracer: Optional[Tracer] = None,
+        *,
+        sanitize: bool = False,
+    ):
+        """Validate/stack arguments and execute (see CompiledPlan.run).
+
+        ``sanitize=True`` turns on the runtime concurrency sanitizer for
+        this call (see :mod:`repro.runtime.parallel.sanitize`). The flag
+        is stashed on the plan for the duration of the call, so don't
+        share one plan between a sanitized and a concurrent unsanitized
+        caller — the sanitizer is a debugging mode, not a serving mode.
+        """
+        if not sanitize:
+            return super().run(arguments, iteration, tracer)
+        self._sanitize = True
+        try:
+            return super().run(arguments, iteration, tracer)
+        finally:
+            self._sanitize = False
 
     def execute(
         self, stacked_args: Sequence[np.ndarray], iteration: int = 0
     ) -> List[np.ndarray]:
         if self.workers == 1:
+            if self._sanitize:
+                return self._execute_inline_sanitized(
+                    stacked_args, iteration
+                )
             return super().execute(stacked_args, iteration)
-        return self._execute_parallel(stacked_args, iteration, None)
+        return self._execute_parallel(
+            stacked_args, iteration, None, sanitize=self._sanitize
+        )
 
     def execute_traced(
         self,
@@ -189,8 +238,82 @@ class ParallelPlan(CompiledPlan):
         tracer: Tracer,
     ) -> List[np.ndarray]:
         if self.workers == 1:
+            if self._sanitize:
+                # Sanitized single-worker runs trade per-step spans for
+                # the pin-window checks; the run still lands in the
+                # trace as one SANITIZE summary span.
+                from repro.obs.events import SANITIZE
+
+                start = tracer.now()
+                values = self._execute_inline_sanitized(
+                    stacked_args, iteration
+                )
+                tracer.add(
+                    self.module_name, SANITIZE, "sanitizer",
+                    start, tracer.now(),
+                )
+                return values
             return super().execute_traced(stacked_args, iteration, tracer)
-        return self._execute_parallel(stacked_args, iteration, tracer)
+        return self._execute_parallel(
+            stacked_args, iteration, tracer, sanitize=self._sanitize
+        )
+
+    def _execute_inline_sanitized(
+        self, stacked_args: Sequence[np.ndarray], iteration: int
+    ) -> List[np.ndarray]:
+        """The CompiledPlan run loop plus CC005 pin-window checksums.
+
+        After a deferred permute start, the operand array must stay
+        bit-identical until the matching done reads it (the lowering
+        pins its buffer against release and donation). A strided
+        checksum armed at the start and verified at the done catches
+        any step that mutates the window anyway.
+        """
+        from repro.runtime.parallel.sanitize import (
+            checksum, verify_pin_window,
+        )
+
+        env: List[Optional[np.ndarray]] = self.initial_env.copy()
+        for binding, value in zip(self.params, stacked_args):
+            env[binding.slot] = value
+        model = self.model
+        step_models = model.steps if model is not None else []
+        # slot -> (origin step, checksum, live pin count): overlapping
+        # transfers may pin one operand more than once, and the window
+        # stays armed until the last done unpins it.
+        pins: Dict[int, Tuple[str, float, int]] = {}
+        for index, step in enumerate(self.steps):
+            ops = (
+                step_models[index].ops[0]
+                if index < len(step_models) else ()
+            )
+            for op in ops:
+                if op.kind == "unpin" and op.slot in pins:
+                    origin, expected, count = pins[op.slot]
+                    verify_pin_window(
+                        self.module_name, step_models[index].name,
+                        (origin, expected), env[op.slot],
+                    )
+                    if count > 1:
+                        pins[op.slot] = (origin, expected, count - 1)
+                    else:
+                        del pins[op.slot]
+            step(env, iteration)
+            for op in ops:
+                if op.kind == "pin":
+                    array = env[op.slot]
+                    assert array is not None
+                    if op.slot in pins:
+                        origin, expected, count = pins[op.slot]
+                        verify_pin_window(
+                            self.module_name, step_models[index].name,
+                            (origin, expected), array,
+                        )
+                        pins[op.slot] = (origin, expected, count + 1)
+                    else:
+                        pins[op.slot] = (step_models[index].name,
+                                         checksum(array), 1)
+        return [env[self.output_slots[name]] for name in self.output_order]
 
     def _layouts(self) -> List[Tuple["ParallelPlan", int]]:
         """Every (plan, parity count) needing arenas: this plan single-
@@ -211,9 +334,17 @@ class ParallelPlan(CompiledPlan):
         stacked_args: Sequence[np.ndarray],
         iteration: int,
         tracer: Optional[Tracer],
+        sanitize: bool = False,
     ) -> List[np.ndarray]:
         workers = self.workers
         ctx = RunContext(workers)
+        sanitizer = None
+        if sanitize:
+            from repro.runtime.parallel.sanitize import Sanitizer
+
+            sanitizer = Sanitizer(self)
+            sanitizer.check_bounds()
+            sanitizer.install(ctx)
         if tracer is not None:
             ctx.clock = tracer.now
         mailbox = TransferMailbox(ctx)
@@ -235,6 +366,8 @@ class ParallelPlan(CompiledPlan):
 
         def work(worker: int) -> None:
             try:
+                if sanitizer is not None:
+                    sanitizer.register_thread(worker)
                 wctx = WorkerContext(
                     worker, self.bounds[worker], self.bounds[worker + 1],
                     ctx, mailbox,
@@ -276,6 +409,8 @@ class ParallelPlan(CompiledPlan):
                     )
                 for key, value in recorder.counters.items():
                     tracer.count(key, value)
+        if sanitizer is not None and tracer is not None:
+            sanitizer.emit_summary(tracer)
         env0 = envs[0]
         assert env0 is not None
         return [env0[self.output_slots[name]] for name in self.output_order]

@@ -37,6 +37,12 @@ class Aborted(Exception):
     """Internal unwind signal: another worker already failed."""
 
 
+#: A consume (or backpressured post) that waits this long has lost its
+#: producer (or consumer): fail with a typed mailbox error instead of
+#: hanging the run. The sanitizer tightens this to seconds.
+DEFAULT_MAILBOX_TIMEOUT = 60.0
+
+
 class RunContext:
     """Shared state of one multi-worker plan execution."""
 
@@ -50,6 +56,13 @@ class RunContext:
         self.arenas: Dict[int, List[Dict[int, np.ndarray]]] = {}
         # tracer.now of the caller's tracer; None on untraced runs.
         self.clock: Optional[Callable[[], float]] = None
+        # Runtime sanitizer (repro.runtime.parallel.sanitize), installed
+        # before the workers start; None on ordinary runs.
+        self.sanitizer = None
+        self.mailbox_timeout: Optional[float] = DEFAULT_MAILBOX_TIMEOUT
+        # Barrier waits are unbounded unless the sanitizer arms a
+        # deadlock timeout.
+        self.barrier_timeout: Optional[float] = None
 
     def fail(self, error: BaseException) -> None:
         """Record the first failure and wake every blocked worker."""
@@ -61,19 +74,48 @@ class RunContext:
 
     def wait_barrier(self) -> None:
         try:
-            self.barrier.wait()
+            self.barrier.wait(self.barrier_timeout)
         except threading.BrokenBarrierError:
+            # A broken barrier usually means another worker failed (the
+            # abort flag is set before the barrier is aborted). Under a
+            # sanitizer deadlock timeout it can also mean nobody else
+            # arrived: give the abort flag a grace window (the peer that
+            # broke the barrier by raising sets it within microseconds)
+            # before calling it a deadlock.
+            if self.abort.is_set() or (
+                self.barrier_timeout is not None and self.abort.wait(0.25)
+            ):
+                raise Aborted() from None
+            if self.barrier_timeout is not None:
+                from repro.runtime.parallel.errors import (
+                    BarrierDivergenceError,
+                )
+
+                raise BarrierDivergenceError(
+                    "barrier deadlock: no worker arrived within "
+                    f"{self.barrier_timeout:.1f}s (some worker is stuck "
+                    "or its plan reaches fewer barriers)"
+                ) from None
             raise Aborted() from None
 
-    def wait_event(self, event: threading.Event) -> None:
+    def wait_event(
+        self, event: threading.Event, timeout: Optional[float] = None
+    ) -> bool:
         """Block on ``event``, aborting promptly if the run failed.
 
-        The timeout only bounds how long an *abort* goes unnoticed; a
-        normal ``set`` wakes the waiter immediately.
+        Returns True once the event is set, False when ``timeout``
+        seconds elapse first. The 0.05s poll only bounds how long an
+        *abort* goes unnoticed; a normal ``set`` wakes the waiter
+        immediately.
         """
+        waited = 0.0
         while not event.wait(0.05):
             if self.abort.is_set():
                 raise Aborted()
+            waited += 0.05
+            if timeout is not None and waited >= timeout:
+                return False
+        return True
 
 
 class WorkerContext:
@@ -85,7 +127,8 @@ class WorkerContext:
     ``recorder`` is the per-worker trace recorder (None when untraced).
     """
 
-    __slots__ = ("worker", "lo", "hi", "ctx", "mailbox", "arena", "recorder")
+    __slots__ = ("worker", "lo", "hi", "ctx", "mailbox", "arena",
+                 "recorder", "site")
 
     def __init__(self, worker: int, lo: int, hi: int, ctx: RunContext,
                  mailbox) -> None:
@@ -96,6 +139,12 @@ class WorkerContext:
         self.mailbox = mailbox
         self.arena: Dict[int, np.ndarray] = {}
         self.recorder = None
+        # Current plan step name, published by run_worker_steps when the
+        # sanitizer is on, so each barrier arrival carries its site.
+        self.site = ""
 
     def barrier(self) -> None:
+        sanitizer = self.ctx.sanitizer
+        if sanitizer is not None:
+            sanitizer.arrive(self.worker, self.site)
         self.ctx.wait_barrier()
