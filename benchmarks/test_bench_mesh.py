@@ -1,0 +1,44 @@
+"""Composed multi-axis training-step benchmark (the bench-mesh gate).
+
+Simulates the full training step (forward + backward + optimizer) on
+2D/3D meshes where the TP ring, DP gradient-bucket and PP stage-handoff
+overlap families compose, prints the per-axis hidden-fraction table,
+and enforces the same gates as the ``bench-mesh`` CI job: every case
+bit-identical to the undecomposed oracle, every family above its
+hidden-fraction floor, and no slowdown on the cost-model-gated case.
+Writes ``BENCH_mesh.json`` at the repo root for the artifact upload.
+"""
+
+import json
+import pathlib
+
+from bench_utils import run_once
+
+from repro.experiments.mesh_step import (
+    as_json,
+    check_report,
+    format_report,
+    run,
+)
+
+REPORT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_mesh.json"
+
+
+def test_mesh_overlap_families_compose(benchmark):
+    results = run_once(benchmark, run)
+    print()
+    print(format_report(results))
+
+    for result in results:
+        label = result.case.label
+        benchmark.extra_info[f"{label}_speedup"] = f"{result.speedup:.3f}x"
+        for row in result.axes:
+            benchmark.extra_info[f"{label}_{row.axis}_hidden"] = (
+                f"{row.hidden_fraction:.0%}"
+            )
+
+    REPORT_PATH.write_text(
+        json.dumps(as_json(results), indent=2, sort_keys=True) + "\n"
+    )
+
+    assert check_report(results) == []

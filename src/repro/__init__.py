@@ -10,7 +10,10 @@ Subpackages:
   :class:`PlanCache` the compiled engine lowers through.
 * :mod:`repro.core` — the paper's contribution: Looped CollectiveEinsum
   decomposition, async CollectivePermute scheduling, unrolling,
-  bidirectional transfer, fusion rewrites, and the cost-model gate.
+  bidirectional transfer, fusion rewrites, and the cost-model gate —
+  generalized over the :class:`OverlappableCollective` protocol so TP
+  permutes, DP reduce-scatter/all-gather buckets and PP p2p sends all
+  schedule through one code path on 2D/3D meshes.
 * :mod:`repro.perfsim` — discrete-event performance simulator standing in
   for TPU v4 pods.
 * :mod:`repro.obs` — structured observability: one trace-event schema
@@ -31,40 +34,75 @@ The names below are the supported public surface; everything else is
 reachable through its subpackage but may move between releases.
 """
 
-from repro.core.config import OverlapConfig
+from repro.core.collective import (
+    OverlappableCollective,
+    P2PSend,
+    RingAllGather,
+    RingAllReduce,
+    RingPermute,
+    RingReduceScatter,
+    as_overlappable,
+)
+from repro.core.config import AxisOverride, OverlapConfig
 from repro.core.pipeline import (
     CompilationResult,
     compile_module,
     compile_module_cached,
 )
+from repro.experiments.mesh_step import MeshStepCase, MeshStepResult
+from repro.experiments.mesh_step import run as run_mesh_step
+from repro.models.trainstep import train_step_graph, train_step_mesh
+from repro.obs.overlap import per_axis_overlap_summary
 from repro.obs.tracer import Tracer
 from repro.runtime.engine import Engine, create_engine
 from repro.runtime.plan_cache import PlanCache
 from repro.serve.loadgen import run_loadgen
 from repro.serve.server import ServeConfig, Server
 from repro.sharding.mesh import DeviceMesh
+from repro.sharding.partitioner import LogicalGraph, partition
+from repro.sharding.sharder import shard_array
+from repro.sharding.spec import ShardingSpec, entry_axes
 from repro.tune.db import TuningDB, TuningDBError, TuningRecord
 from repro.tune.search import tune_golden, tune_module
 
 __all__ = [
+    "AxisOverride",
     "CompilationResult",
     "DeviceMesh",
     "Engine",
+    "LogicalGraph",
+    "MeshStepCase",
+    "MeshStepResult",
     "OverlapConfig",
+    "OverlappableCollective",
+    "P2PSend",
     "PlanCache",
+    "RingAllGather",
+    "RingAllReduce",
+    "RingPermute",
+    "RingReduceScatter",
     "ServeConfig",
     "Server",
+    "ShardingSpec",
     "Tracer",
     "TuningDB",
     "TuningDBError",
     "TuningRecord",
+    "as_overlappable",
     "compile_module",
     "compile_module_cached",
     "create_engine",
+    "entry_axes",
+    "partition",
+    "per_axis_overlap_summary",
     "run_loadgen",
+    "run_mesh_step",
+    "shard_array",
+    "train_step_graph",
+    "train_step_mesh",
     "tune_golden",
     "tune_module",
     "__version__",
 ]
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"

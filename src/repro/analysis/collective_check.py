@@ -20,7 +20,13 @@ Rules:
 * C006 (warning) — the pairs do not close into a ring (union of
   cycles). Point-to-point sends are legal, but every permute the
   decomposition passes emit is a (bi)ring, so an open chain in a
-  decomposed module usually means a dropped pair.
+  decomposed module usually means a dropped pair. Permutes annotated
+  ``comm_kind="p2p"`` (the partitioner's pipeline-stage handoffs) are
+  *intentionally* open chains and are exempt.
+* C007 (warning) — a permute annotated ``comm_kind="p2p"`` whose pairs
+  *do* close into a ring: the annotation contradicts the topology (a
+  closed ring is a shift, not a stage handoff), so either the marker or
+  the pair list is wrong.
 """
 
 from __future__ import annotations
@@ -225,6 +231,19 @@ def check_collectives(
             pairs = instruction.attrs.get("pairs")
             if pairs is not None:
                 problems = permute_pair_problems(pairs, num_devices)
+                if instruction.attrs.get("comm_kind") == "p2p":
+                    is_open = any(p.rule == "C006" for p in problems)
+                    problems = [p for p in problems if p.rule != "C006"]
+                    if pairs and not problems and not is_open:
+                        problems.append(
+                            Problem(
+                                "C007",
+                                WARNING,
+                                "permute marked comm_kind=p2p but its "
+                                "pairs close into a ring; a stage handoff "
+                                "is an open chain",
+                            )
+                        )
         for problem in problems:
             diagnostics.append(
                 Diagnostic(

@@ -55,6 +55,7 @@ RULES: Tuple[Rule, ...] = (
     Rule("C004", "collective", "device is the source/destination of two pairs"),
     Rule("C005", "collective", "pair names a device outside the mesh"),
     Rule("C006", "collective", "permute pairs do not close into a ring"),
+    Rule("C007", "collective", "permute marked comm_kind=p2p closes into a ring"),
     # Donation-race detector.
     Rule("D001", "donation", "donated buffer written while a prior value is read"),
     Rule("D002", "donation", "donation record names an unknown step or value"),

@@ -66,6 +66,7 @@ from repro.experiments import (
     future_overlap,
     inference,
     interconnect_sweep,
+    mesh_step,
     pipeline_parallel,
     tables,
     tuned,
@@ -98,6 +99,7 @@ ARTIFACTS: Dict[str, Callable[[], str]] = {
         interconnect_sweep.run()
     ),
     "pipeline": lambda: pipeline_parallel.format_report(),
+    "mesh": lambda: mesh_step.format_report(mesh_step.run()),
     "ablations": ablations.format_report,
     "future": lambda: future_overlap.format_report(future_overlap.run()),
     "degraded": lambda: degraded.format_report(degraded.run()),
@@ -118,6 +120,7 @@ _DESCRIPTIONS = {
     "inference": "Section 7.1: 2-way inference latency",
     "interconnect": "Section 7.2: interconnect-bandwidth sensitivity",
     "pipeline": "Section 7.3: pipeline-parallelism trade-off",
+    "mesh": "Composed TP x DP (x PP) overlap on 2D/3D meshes",
     "ablations": "Design ablations (fusion priority, cost gate, liveness)",
     "future": "Future work: decomposing standalone collectives",
     "degraded": "Tail effects: decomposed vs baseline on a degraded fabric",
@@ -489,6 +492,7 @@ def _cmd_trace(args) -> int:
         comm_volume_summary,
         format_comm_volume,
         overlap_summary,
+        per_axis_overlap_summary,
         to_chrome_trace,
         validate_chrome_trace,
     )
@@ -571,6 +575,13 @@ def _cmd_trace(args) -> int:
             f"{summary.hidden_transfer_time * 1e3:>8.3f}ms "
             f"{summary.hidden_communication_fraction:>8.1%}"
         )
+        per_axis = per_axis_overlap_summary(streams[stream])
+        for axis, axis_summary in per_axis.items():
+            print(
+                f"  axis {axis:<4} transfer "
+                f"{axis_summary.transfer_time * 1e3:.3f}ms hidden "
+                f"{axis_summary.hidden_fraction:.1%}"
+            )
     for stream in sorted(counters):
         table = counters[stream]
         if table:
@@ -610,16 +621,79 @@ def _cmd_trace(args) -> int:
                     f"{stream}: decomposed stream moved no bytes over "
                     f"point-to-point transfers"
                 )
+        sim_axes = per_axis_overlap_summary(streams["simulated/decomposed"])
+        if not sim_axes:
+            failures.append(
+                "simulated/decomposed: no axis-attributed transfer lanes"
+            )
+        for axis, axis_summary in sim_axes.items():
+            if not axis_summary.hidden_fraction > 0:
+                failures.append(
+                    f"simulated/decomposed: axis {axis!r} hides none of "
+                    f"its transfer time"
+                )
+        # The composed training step: all three overlap families on one
+        # 3D mesh, each axis's hidden fraction positive and the
+        # optimized program bit-identical to the undecomposed oracle.
+        from repro.experiments import mesh_step
+
+        mesh_result = mesh_step.run_case(
+            mesh_step.MeshStepCase(tp=2, dp=4, pp=2, d_ff=4096)
+        )
+        print()
+        print(
+            f"composed mesh step ({mesh_result.case.label}, "
+            f"{mesh_result.num_devices} devices): "
+            f"{'bit-identical' if mesh_result.bit_identical else 'DIVERGED'}"
+        )
+        for row in mesh_result.axes:
+            print(
+                f"  axis {row.axis:<4} {row.family:<16} hidden "
+                f"{row.hidden_fraction:.1%}"
+            )
+        if not mesh_result.bit_identical:
+            failures.append(
+                "mesh step: optimized program diverges from the oracle"
+            )
+        mesh_axes = {row.axis for row in mesh_result.axes}
+        for axis in ("tp", "dp", "pp"):
+            if axis not in mesh_axes:
+                failures.append(
+                    f"mesh step: no transfers attributed to axis {axis!r}"
+                )
+        for row in mesh_result.axes:
+            if not row.hidden_fraction > 0:
+                failures.append(
+                    f"mesh step: {row.family} (axis {row.axis!r}) hides "
+                    f"none of its transfer time"
+                )
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}", file=sys.stderr)
             return 1
         print(
             "check passed: decomposed hides strictly more communication "
-            "than baseline on both engines, and every stream's bytes on "
-            "wire are accounted"
+            "than baseline on both engines, every stream's bytes on wire "
+            "are accounted, and the composed mesh step hides "
+            "communication on every axis bit-identically"
         )
     return 0
+
+
+def _cmd_bench_mesh(args) -> int:
+    import json
+
+    from repro.experiments import mesh_step
+
+    results = mesh_step.run(seed=args.seed)
+    print(mesh_step.format_report(results))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(mesh_step.as_json(results), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 1 if mesh_step.check_report(results) else 0
 
 
 def _serve_config(args):
@@ -1201,6 +1275,21 @@ def build_parser() -> argparse.ArgumentParser:
         "more communication than the baseline on both engines",
     )
     trace.set_defaults(handler=_cmd_trace)
+
+    bench_mesh = commands.add_parser(
+        "bench-mesh",
+        help="composed multi-axis training step: per-family "
+        "hidden-fraction floors and oracle bit-identity",
+    )
+    bench_mesh.add_argument(
+        "--output", default="BENCH_mesh.json", metavar="PATH",
+        help="where to write the JSON report (default BENCH_mesh.json)",
+    )
+    bench_mesh.add_argument(
+        "--seed", type=int, default=20230325,
+        help="oracle-argument seed (default 20230325)",
+    )
+    bench_mesh.set_defaults(handler=_cmd_bench_mesh)
 
     verify = commands.add_parser(
         "verify",

@@ -1,7 +1,25 @@
 """The paper's contribution: decomposition, async scheduling, fusion, gating."""
 
 from repro.core.async_cp import split_collective_permutes
-from repro.core.config import BOTTOM_UP, IN_ORDER, TOP_DOWN, OverlapConfig
+from repro.core.collective import (
+    CollectiveClassificationError,
+    OverlappableCollective,
+    P2PSend,
+    RingAllGather,
+    RingAllReduce,
+    RingPermute,
+    RingReduceScatter,
+    as_overlappable,
+    module_axes,
+    ring_axis_of_groups,
+)
+from repro.core.config import (
+    BOTTOM_UP,
+    IN_ORDER,
+    TOP_DOWN,
+    AxisOverride,
+    OverlapConfig,
+)
 from repro.core.cost_model import CostModel, OverlapEstimate, estimate_overlap
 from repro.core.decompose import (
     DecomposedLoop,
@@ -31,16 +49,21 @@ from repro.perfsim.sched_graph import (
     max_in_flight,
     validate_unit_order,
 )
-from repro.core.schedule_bottom_up import schedule_bottom_up
-from repro.core.schedule_top_down import schedule_top_down
+from repro.core.scheduling import (
+    schedule_bottom_up,
+    schedule_module,
+    schedule_top_down,
+)
 
 __all__ = [
     "AG_EINSUM",
+    "AxisOverride",
     "BOTTOM_UP",
     "CASE_BATCH",
     "CASE_CONTRACTING",
     "CASE_FREE",
     "Candidate",
+    "CollectiveClassificationError",
     "CompilationResult",
     "CostModel",
     "DecomposedLoop",
@@ -49,9 +72,16 @@ __all__ = [
     "IN_ORDER",
     "OverlapConfig",
     "OverlapEstimate",
+    "OverlappableCollective",
+    "P2PSend",
+    "RingAllGather",
+    "RingAllReduce",
+    "RingPermute",
+    "RingReduceScatter",
     "ScheduleGraph",
     "ScheduleUnit",
     "TOP_DOWN",
+    "as_overlappable",
     "clear_fusion",
     "compile_module",
     "StandaloneLoop",
@@ -62,9 +92,12 @@ __all__ = [
     "find_candidates",
     "find_ring_axis",
     "max_in_flight",
+    "module_axes",
     "rewrite_concat_as_pad_max",
+    "ring_axis_of_groups",
     "run_fusion",
     "schedule_bottom_up",
+    "schedule_module",
     "schedule_top_down",
     "split_collective_permutes",
     "unroll_while",

@@ -28,13 +28,12 @@ def split_collective_permutes(
     # Each pair gets a module-unique channel id (as in XLA, where every
     # async collective owns a channel): the static analyzer's async-pair
     # linter keys interleaved-reuse detection on it, and the text format
-    # round-trips it.
+    # round-trips it. The counter seeds past every channel id anywhere in
+    # the module — not just permute starts — so multi-axis lowering that
+    # splits permutes in several passes (TP rings, then DP buckets, then
+    # PP sends) can never hand two axes the same channel.
     next_channel = 1 + max(
-        (
-            i.attrs.get("channel_id", 0)
-            for i in module
-            if i.opcode is Opcode.COLLECTIVE_PERMUTE_START
-        ),
+        (i.attrs.get("channel_id", 0) for i in module),
         default=0,
     )
     for instruction in module.instructions:

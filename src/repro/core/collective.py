@@ -1,0 +1,266 @@
+"""The generic OverlappableCollective protocol (multi-axis redesign).
+
+The paper's passes were written against one hard-coded op: the ring
+CollectivePermute on the single tensor-parallel axis. Real training
+stacks overlap three *families* of communication on a 2D/3D device
+mesh — TP ring permutes, DP gradient reduce-scatter / parameter
+all-gather buckets, and PP microbatch point-to-point sends — and every
+one of them is, to the decomposition/scheduling pipeline, the same
+thing: a typed, axis-attributed, decomposable transfer.
+
+:class:`OverlappableCollective` is that type. It is a structural
+protocol — anything exposing the attributes below can be scheduled —
+plus a set of concrete views (:class:`RingPermute`, :class:`P2PSend`,
+:class:`RingAllGather`, :class:`RingReduceScatter`,
+:class:`RingAllReduce`) that classify the instructions the partitioner
+and decomposition emit. :func:`as_overlappable` is the single factory
+the passes use instead of switching on opcodes.
+
+Axis attribution: emitters stamp ``attrs["axis"]`` on the permutes they
+create (see :class:`repro.core.decompose._LoopEmitter`); for foreign
+instructions the factory re-derives the axis from the mesh — replica
+groups must equal the rings of exactly one axis, permute pairs must
+shift along exactly one axis. Point-to-point sends are permutes whose
+pair set deliberately does *not* close into a ring; they carry
+``attrs["comm_kind"] = "p2p"`` so the collective-legality linter knows
+an open chain is intended (rule C007 flags the converse).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import OverlapConfig
+from repro.hlo.instruction import Instruction
+from repro.hlo.opcode import Opcode
+
+try:  # Protocol requires 3.8+; runtime_checkable for isinstance tests.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - py3.7 fallback, not supported
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+#: Collective kinds, the vocabulary of the protocol.
+PERMUTE = "permute"
+P2P_SEND = "p2p-send"
+ALL_GATHER = "all-gather"
+REDUCE_SCATTER = "reduce-scatter"
+ALL_REDUCE = "all-reduce"
+
+#: The ``attrs["comm_kind"]`` marker for point-to-point permutes.
+P2P_COMM_KIND = "p2p"
+
+
+class CollectiveClassificationError(ValueError):
+    """Raised when an instruction cannot be attributed to one mesh axis."""
+
+
+@runtime_checkable
+class OverlappableCollective(Protocol):
+    """A typed description of one overlappable communication op.
+
+    Everything the decomposition/scheduling pipeline needs to know about
+    a collective, decoupled from its opcode:
+
+    * ``kind`` — one of :data:`PERMUTE`, :data:`P2P_SEND`,
+      :data:`ALL_GATHER`, :data:`REDUCE_SCATTER`, :data:`ALL_REDUCE`;
+    * ``axis`` — the mesh axis whose rings (or chains) carry the data;
+    * ``ring_size`` — devices per ring group along that axis;
+    * ``payload_bytes`` — per-device payload one step injects;
+    * ``granularity`` — how many sub-transfers the payload may split
+      into (the decomposable granularity, from the axis-resolved
+      config);
+    * ``direction_preference`` — ``"minus"``/``"plus"``/``None`` ring
+      direction preference for unidirectional lowering;
+    * ``decomposable`` — whether the decomposition passes can rewrite
+      this op into an asynchronous permute chain at all.
+    """
+
+    instruction: Instruction
+    kind: str
+    axis: str
+    ring_size: int
+    payload_bytes: int
+    granularity: int
+    direction_preference: Optional[str]
+
+    @property
+    def decomposable(self) -> bool: ...
+
+
+@dataclasses.dataclass(frozen=True)
+class _CollectiveView:
+    """Shared implementation of the protocol's data surface."""
+
+    instruction: Instruction
+    kind: str
+    axis: str
+    ring_size: int
+    payload_bytes: int
+    granularity: int = 1
+    direction_preference: Optional[str] = None
+
+    @property
+    def decomposable(self) -> bool:
+        return self.kind in (ALL_GATHER, REDUCE_SCATTER) and self.ring_size >= 2
+
+
+@dataclasses.dataclass(frozen=True)
+class RingPermute(_CollectiveView):
+    """A ring-shift CollectivePermute (the paper's decomposed step)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class P2PSend(_CollectiveView):
+    """A point-to-point send: an open permute chain along one axis.
+
+    The pipeline-parallel microbatch handoff: stage ``i`` sends to stage
+    ``i + 1`` and the last stage sends nowhere. Never decomposed further
+    (it is already a single transfer); overlap comes from the async
+    start/done split plus scheduling, exactly like a decomposed ring
+    step.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class RingAllGather(_CollectiveView):
+    """A subgroup AllGather along one mesh axis."""
+
+
+@dataclasses.dataclass(frozen=True)
+class RingReduceScatter(_CollectiveView):
+    """A subgroup ReduceScatter along one mesh axis."""
+
+
+@dataclasses.dataclass(frozen=True)
+class RingAllReduce(_CollectiveView):
+    """A subgroup AllReduce along one mesh axis (never decomposed —
+    kept for axis attribution and budget accounting)."""
+
+
+def ring_axis_of_groups(mesh, groups) -> str:
+    """The mesh axis whose rings equal the collective's replica groups."""
+    wanted = {tuple(g) for g in groups}
+    for axis in mesh.axis_names:
+        if {tuple(g) for g in mesh.rings(axis)} == wanted:
+            return axis
+    raise CollectiveClassificationError(
+        f"replica groups {groups} match no mesh axis of {mesh}"
+    )
+
+
+def permute_axis(instruction: Instruction, mesh) -> str:
+    """The mesh axis a (start/done/sync) permute's pairs travel along.
+
+    Prefers the emitter-stamped ``attrs["axis"]``; otherwise classifies
+    the pair set against the mesh topology.
+    """
+    target = instruction
+    if target.opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+        target = target.operands[0]
+    axis = target.attrs.get("axis")
+    if axis is not None:
+        return axis
+    from repro.perfsim.topology import TopologyError, classify_permute
+
+    try:
+        return classify_permute(
+            target.pairs, mesh, target.attrs.get("direction")
+        ).axis
+    except TopologyError as error:
+        raise CollectiveClassificationError(str(error)) from error
+
+
+def pairs_close_ring(pairs: Sequence[Tuple[int, int]]) -> bool:
+    """Whether a permute pair set closes into a union of cycles."""
+    sources = {src for src, _ in pairs}
+    destinations = {dst for _, dst in pairs}
+    return bool(pairs) and sources == destinations
+
+
+def as_overlappable(
+    instruction: Instruction,
+    mesh,
+    config: Optional[OverlapConfig] = None,
+) -> Optional[OverlappableCollective]:
+    """Classify one instruction as an overlappable collective.
+
+    Returns ``None`` for non-communication instructions and for
+    collectives that cannot be attributed to a single mesh axis (e.g. a
+    replica-group set spanning two axes — the cross-mesh resharding
+    case the pipeline leaves synchronous).
+    """
+    config = config or OverlapConfig()
+    opcode = instruction.opcode
+    if opcode in (
+        Opcode.COLLECTIVE_PERMUTE,
+        Opcode.COLLECTIVE_PERMUTE_START,
+        Opcode.COLLECTIVE_PERMUTE_DONE,
+    ):
+        target = instruction
+        if opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+            target = target.operands[0]
+        try:
+            axis = permute_axis(instruction, mesh)
+        except CollectiveClassificationError:
+            return None
+        effective = config.for_axis(axis)
+        is_p2p = (
+            target.attrs.get("comm_kind") == P2P_COMM_KIND
+            or not pairs_close_ring(target.pairs)
+        )
+        cls = P2PSend if is_p2p else RingPermute
+        return cls(
+            instruction=instruction,
+            kind=P2P_SEND if is_p2p else PERMUTE,
+            axis=axis,
+            ring_size=mesh.axis_size(axis),
+            payload_bytes=target.operands[0].shape.byte_size,
+            granularity=effective.transfer_granularity,
+            direction_preference=(
+                target.attrs.get("direction")
+                or effective.preferred_direction
+            ),
+        )
+    grouped = {
+        Opcode.ALL_GATHER: (RingAllGather, ALL_GATHER),
+        Opcode.REDUCE_SCATTER: (RingReduceScatter, REDUCE_SCATTER),
+        Opcode.ALL_REDUCE: (RingAllReduce, ALL_REDUCE),
+    }
+    if opcode in grouped:
+        try:
+            axis = ring_axis_of_groups(mesh, instruction.groups)
+        except CollectiveClassificationError:
+            return None
+        effective = config.for_axis(axis)
+        cls, kind = grouped[opcode]
+        if opcode is Opcode.ALL_GATHER:
+            payload = instruction.operands[0].shape.byte_size
+        else:
+            payload = instruction.shape.byte_size
+        return cls(
+            instruction=instruction,
+            kind=kind,
+            axis=axis,
+            ring_size=len(instruction.groups[0]),
+            payload_bytes=payload,
+            granularity=effective.transfer_granularity,
+            direction_preference=effective.preferred_direction,
+        )
+    return None
+
+
+def module_axes(module, mesh) -> List[str]:
+    """Mesh axes that carry at least one overlappable collective."""
+    axes: List[str] = []
+    for instruction in module:
+        if instruction.opcode is Opcode.COLLECTIVE_PERMUTE_DONE:
+            continue  # counted at the start
+        view = as_overlappable(instruction, mesh)
+        if view is not None and view.axis not in axes:
+            axes.append(view.axis)
+    return axes

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+import warnings
+from typing import Mapping, Optional, Sequence, Tuple, Union
 
 BOTTOM_UP = "bottom_up"
 TOP_DOWN = "top_down"
@@ -14,6 +15,61 @@ _SCHEDULERS = (BOTTOM_UP, TOP_DOWN, IN_ORDER)
 # Ring directions, mirroring repro.perfsim.topology (string literals to
 # keep this module dependency-free).
 _DIRECTIONS = (None, "minus", "plus")
+
+
+@dataclasses.dataclass(frozen=True)
+class AxisOverride:
+    """Per-mesh-axis overrides of the single-axis overlap knobs.
+
+    Every field is optional; ``None`` defers to the flat
+    :class:`OverlapConfig` field of the same name. An override applies
+    only to collectives whose ring groups run along the named mesh axis
+    — the unit the multi-axis scheduler budgets and the rebalance ladder
+    edits independently per axis (TP permutes, DP gradient buckets and
+    PP microbatch sends each live on their own axis of the mesh).
+    """
+
+    transfer_granularity: Optional[int] = None
+    preferred_direction: Optional[str] = None
+    max_in_flight: Optional[int] = None
+    bidirectional: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.transfer_granularity is not None and not (
+            1 <= self.transfer_granularity <= 8
+        ):
+            raise ValueError(
+                f"transfer_granularity must be in [1, 8], got "
+                f"{self.transfer_granularity}"
+            )
+        if self.preferred_direction not in _DIRECTIONS:
+            raise ValueError(
+                f"preferred_direction must be one of {_DIRECTIONS}, got "
+                f"{self.preferred_direction!r}"
+            )
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+
+    @property
+    def is_empty(self) -> bool:
+        return all(
+            getattr(self, field.name) is None
+            for field in dataclasses.fields(self)
+        )
+
+
+AxisOverrides = Union[
+    Mapping[str, AxisOverride], Tuple[Tuple[str, AxisOverride], ...]
+]
+
+#: The flat fields ``axis_overrides`` can shadow; used by the
+#: single-axis-alias deprecation warning below.
+_PER_AXIS_FIELDS = (
+    "transfer_granularity",
+    "preferred_direction",
+    "max_in_flight",
+    "bidirectional",
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,8 +127,64 @@ class OverlapConfig:
     transfer_granularity: int = 1
     preferred_direction: Optional[str] = None
     pair_split: float = 0.5
+    #: Per-mesh-axis overrides (``{axis_name: AxisOverride}`` or the
+    #: normalized sorted-tuple form). The flat fields above act as the
+    #: *single-axis aliases*: they keep meaning "every axis" so PR-6
+    #: ladder edits and PR-8 TuningDB records load unchanged, and an
+    #: override shadows them only for its own axis. Mixing a non-default
+    #: flat per-axis field with an override that re-specifies the same
+    #: knob is deprecated (the override wins).
+    axis_overrides: AxisOverrides = ()
 
     def __post_init__(self) -> None:
+        overrides = self.axis_overrides
+        if isinstance(overrides, Mapping):
+            overrides = tuple(sorted(overrides.items()))
+            object.__setattr__(self, "axis_overrides", overrides)
+        else:
+            normalized = tuple(
+                (axis, override) for axis, override in overrides
+            )
+            if normalized != overrides or list(normalized) != sorted(
+                normalized, key=lambda item: item[0]
+            ):
+                normalized = tuple(
+                    sorted(normalized, key=lambda item: item[0])
+                )
+            object.__setattr__(self, "axis_overrides", normalized)
+        axes = [axis for axis, _ in self.axis_overrides]
+        if len(set(axes)) != len(axes):
+            raise ValueError(
+                f"duplicate axis in axis_overrides: {axes}"
+            )
+        for axis, override in self.axis_overrides:
+            if not isinstance(override, AxisOverride):
+                raise ValueError(
+                    f"axis_overrides[{axis!r}] must be an AxisOverride, "
+                    f"got {override!r}"
+                )
+        if self.axis_overrides:
+            defaults = {
+                f.name: f.default for f in dataclasses.fields(OverlapConfig)
+            }
+            shadowed = [
+                field
+                for field in _PER_AXIS_FIELDS
+                if getattr(self, field) != defaults[field]
+                and any(
+                    getattr(override, field) is not None
+                    for _, override in self.axis_overrides
+                )
+            ]
+            if shadowed:
+                warnings.warn(
+                    f"flat OverlapConfig field(s) {shadowed} are deprecated "
+                    "single-axis aliases; the axis_overrides entries that "
+                    "re-specify them take precedence on their axes — move "
+                    "per-axis settings into axis_overrides",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
         if self.scheduler not in _SCHEDULERS:
             raise ValueError(
                 f"scheduler must be one of {_SCHEDULERS}, got {self.scheduler!r}"
@@ -101,3 +213,55 @@ class OverlapConfig:
 
     def replace(self, **changes) -> "OverlapConfig":
         return dataclasses.replace(self, **changes)
+
+    # --- multi-axis resolution ------------------------------------------------
+
+    def axis_override(self, axis: Optional[str]) -> Optional[AxisOverride]:
+        """The override registered for ``axis``, or ``None``."""
+        for name, override in self.axis_overrides:
+            if name == axis:
+                return override
+        return None
+
+    def for_axis(self, axis: Optional[str]) -> "OverlapConfig":
+        """The effective single-axis config for collectives on ``axis``.
+
+        Resolves :attr:`axis_overrides` into the flat fields the
+        decomposition emitters consume, so every pass keeps reading one
+        flat config — this is the canonical accessor that replaces
+        reading the flat per-axis fields directly on multi-axis meshes.
+        The returned config carries no overrides (it is fully resolved).
+        """
+        override = self.axis_override(axis)
+        if override is None or override.is_empty:
+            if not self.axis_overrides:
+                return self
+            return dataclasses.replace(self, axis_overrides=())
+        changes: dict = {"axis_overrides": ()}
+        for field in _PER_AXIS_FIELDS:
+            value = getattr(override, field)
+            if value is not None:
+                changes[field] = value
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return dataclasses.replace(self, **changes)
+
+    def in_flight_budget(self, axis: Optional[str]) -> int:
+        """The async-collective budget for one mesh axis."""
+        override = self.axis_override(axis)
+        if override is not None and override.max_in_flight is not None:
+            return override.max_in_flight
+        return self.max_in_flight
+
+    def total_in_flight_budget(self, axes: Sequence[str] = ()) -> int:
+        """Whole-module in-flight bound across the given mesh axes.
+
+        With per-axis budgets each axis's transfers are capped
+        independently, so the module-wide bound the async-pair linter
+        enforces is the *sum* of the per-axis budgets. Without
+        overrides this is exactly ``max_in_flight`` (the single-ring
+        behaviour).
+        """
+        if not self.axis_overrides or not axes:
+            return self.max_in_flight
+        return sum(self.in_flight_budget(axis) for axis in axes)

@@ -40,6 +40,10 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Tuple
 
+from repro.core.collective import (
+    CollectiveClassificationError,
+    ring_axis_of_groups,
+)
 from repro.core.config import OverlapConfig
 from repro.core.patterns import (
     AG_EINSUM,
@@ -80,13 +84,10 @@ class DecomposedLoop:
 
 def find_ring_axis(mesh: DeviceMesh, groups) -> str:
     """The mesh axis whose rings equal the collective's replica groups."""
-    wanted = {tuple(g) for g in groups}
-    for axis in mesh.axis_names:
-        if {tuple(g) for g in mesh.rings(axis)} == wanted:
-            return axis
-    raise DecompositionError(
-        f"replica groups {groups} match no mesh axis of {mesh}"
-    )
+    try:
+        return ring_axis_of_groups(mesh, groups)
+    except CollectiveClassificationError as error:
+        raise DecompositionError(str(error)) from error
 
 
 @dataclasses.dataclass
@@ -180,6 +181,7 @@ class _LoopEmitter:
                 sent = self.builder.collective_permute(
                     piece, pairs, direction=direction
                 )
+                sent.attrs["axis"] = ring.axis
                 self.permutes.append(sent)
                 chunks.append(sent)
             permuted = self.builder.concatenate(chunks, split_axis)
@@ -187,6 +189,7 @@ class _LoopEmitter:
             permuted = self.builder.collective_permute(
                 value, pairs, direction=direction
             )
+            permuted.attrs["axis"] = ring.axis
             self.permutes.append(permuted)
         if self.copies:
             # Loop-carried aliasing: the rolled loop must copy the received
@@ -215,6 +218,10 @@ def decompose_candidate(
 ) -> DecomposedLoop:
     """Rewrite one candidate in place; returns the loop bookkeeping."""
     ring = _RingContext.create(mesh, candidate.collective.groups)
+    # Resolve the axis's overrides once: every knob the emitters read
+    # below (granularity, direction, unroll/bidirectional choices) is the
+    # effective single-axis view for this collective's ring.
+    config = config.for_axis(ring.axis)
     if ring.n < config.min_ring_size:
         raise DecompositionError(f"ring of {ring.n} below minimum")
     bidirectional = config.bidirectional and ring.n % 2 == 0 and ring.n >= 2

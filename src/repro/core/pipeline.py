@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 
 from repro.analysis import AnalysisResult, verify_module
 from repro.core.async_cp import split_collective_permutes
-from repro.core.config import BOTTOM_UP, TOP_DOWN, OverlapConfig
+from repro.core.config import OverlapConfig
 from repro.core.cost_model import CostModel, OverlapEstimate, estimate_overlap
 from repro.core.decompose import DecomposedLoop, decompose_candidate
 from repro.core.fusion import rewrite_concat_as_pad_max, run_fusion
@@ -30,9 +30,8 @@ from repro.core.patterns import (
     find_candidates,
     reduce_scatter_blocks_einsum,
 )
-from repro.perfsim.sched_graph import ScheduleGraph, validate_unit_order
-from repro.core.schedule_bottom_up import schedule_bottom_up
-from repro.core.schedule_top_down import schedule_top_down
+from repro.perfsim.sched_graph import ScheduleGraph
+from repro.core.scheduling import schedule_module
 from repro.hlo.module import HloModule
 from repro.hlo.opcode import Opcode
 from repro.perfsim.hardware import TPU_V4, ChipSpec
@@ -121,7 +120,12 @@ def compile_module(
                     module,
                     stage=stage,
                     num_devices=mesh.num_devices,
-                    max_in_flight=config.max_in_flight,
+                    # Per-axis budgets cap each axis independently; the
+                    # module-wide bound the async-pair linter enforces is
+                    # their sum.
+                    max_in_flight=config.total_in_flight_budget(
+                        mesh.axis_names
+                    ),
                 )
             )
 
@@ -159,13 +163,7 @@ def compile_module(
     verify("run_fusion")
 
     graph = ScheduleGraph.build(module)
-    if config.scheduler == BOTTOM_UP:
-        order = schedule_bottom_up(graph, cost_model, mesh, config.max_in_flight)
-    elif config.scheduler == TOP_DOWN:
-        order = schedule_top_down(graph, cost_model, mesh, config.max_in_flight)
-    else:
-        order = list(graph.units)
-    validate_unit_order(graph, order)
+    order = schedule_module(graph, cost_model, mesh, config)
     graph.apply(order)
     verify("schedule")
 

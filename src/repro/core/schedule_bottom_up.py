@@ -1,123 +1,33 @@
-"""Bottom-up scheduling (the paper's Algorithm 2).
+"""Deprecated location of the bottom-up scheduler (Algorithm 2).
 
-Instructions are scheduled in *reverse*, starting from the roots of the
-dataflow graph (units without consumers). Two queues drive the choice:
-
-* ``ready_queue`` — units whose consumers are all scheduled and whose
-  estimated ready time has been reached. CollectivePermuteDones are
-  prioritized (scheduling a done early in reverse order places it *late*
-  in the final program, maximizing its overlap window), subject to the
-  in-flight budget.
-* ``pending_queue`` — units whose consumers are all scheduled but whose
-  ready time is still in the future. The crucial inhabitants are
-  CollectivePermuteStarts: when a done is reverse-scheduled at time ``T``,
-  its start only becomes ready at ``T + transfer_time``, which forces at
-  least a transfer-time's worth of computation to be scheduled between the
-  pair. Picking from the pending queue (earliest ready time first) only
-  happens when nothing is ready — the reverse-time jump this implies is an
-  exposed transfer the schedule could not cover.
-
-Ties follow reverse program order, preserving the memory-friendly order
-produced upstream (footnote 10 of the paper).
+The permute-specific schedulers were generalized over the
+:class:`repro.core.collective.OverlappableCollective` protocol and moved
+to :mod:`repro.core.scheduling`; import :func:`schedule_bottom_up` from
+there (or call :func:`repro.core.scheduling.schedule_module`, which also
+resolves per-axis in-flight budgets).
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, List, Optional
+import warnings
 
-from repro.perfsim.costs import CostModel
-from repro.perfsim.sched_graph import ScheduleGraph, ScheduleUnit
-from repro.sharding.mesh import DeviceMesh
+_MOVED = ("schedule_bottom_up",)
 
 
-def schedule_bottom_up(
-    graph: ScheduleGraph,
-    cost_model: CostModel,
-    mesh: DeviceMesh,
-    max_in_flight: int,
-) -> List[ScheduleUnit]:
-    """Return a unit order maximizing start->done overlap windows."""
-    units = graph.units
-    original_position = {unit.index: i for i, unit in enumerate(units)}
-    unscheduled_users: Dict[int, int] = {
-        unit.index: len(graph.successors[unit.index]) for unit in units
-    }
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.core.schedule_bottom_up.{name} moved to "
+            f"repro.core.scheduling.{name}; this permute-specific module "
+            "is a deprecated alias and will be removed — the scheduling "
+            "module speaks the OverlappableCollective protocol and "
+            "honours OverlapConfig.axis_overrides",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core import scheduling
 
-    # Priority queues hold (sort_key, unit_index); ready prefers dones and
-    # then later program positions (we are scheduling from the back).
-    ready: List[tuple] = []
-    pending: List[tuple] = []  # (ready_time, sort_key, unit_index)
-    ready_time: Dict[int, float] = {unit.index: 0.0 for unit in units}
-
-    def sort_key(unit: ScheduleUnit) -> tuple:
-        priority = 0 if unit.is_permute_done else 1
-        return (priority, -original_position[unit.index])
-
-    current_time = 0.0
-    in_flight = 0
-    scheduled_reverse: List[ScheduleUnit] = []
-
-    def push(unit: ScheduleUnit) -> None:
-        if ready_time[unit.index] <= current_time:
-            heapq.heappush(ready, (sort_key(unit), unit.index))
-        else:
-            heapq.heappush(
-                pending, (ready_time[unit.index], sort_key(unit), unit.index)
-            )
-
-    for unit in units:
-        if unscheduled_users[unit.index] == 0:
-            push(unit)
-
-    def pop_ready() -> Optional[ScheduleUnit]:
-        """Best ready unit, skipping dones that would bust the budget."""
-        skipped: List[tuple] = []
-        chosen: Optional[ScheduleUnit] = None
-        while ready:
-            key, index = heapq.heappop(ready)
-            unit = units[index]
-            if unit.is_permute_done and in_flight >= max_in_flight:
-                skipped.append((key, index))
-                continue
-            chosen = unit
-            break
-        for item in skipped:
-            heapq.heappush(ready, item)
-        return chosen
-
-    while len(scheduled_reverse) < len(units):
-        # Promote pending units whose time has come.
-        while pending and pending[0][0] <= current_time:
-            _, key, index = heapq.heappop(pending)
-            heapq.heappush(ready, (key, index))
-
-        candidate = pop_ready()
-        if candidate is None:
-            if not pending:
-                raise RuntimeError("scheduler deadlock: no candidates left")
-            # Nothing ready: jump time to the earliest pending unit. This
-            # is an exposed-transfer gap (SelectNodeFromPendingQ).
-            current_time = pending[0][0]
-            continue
-
-        scheduled_reverse.append(candidate)
-
-        if candidate.is_permute_done:
-            in_flight += 1
-            start = candidate.head.operands[0]
-            start_unit = graph.unit_of[id(start)]
-            transfer = graph.transfer_time(candidate, cost_model, mesh)
-            ready_time[start_unit.index] = current_time + transfer
-        elif candidate.is_permute_start:
-            in_flight -= 1
-
-        current_time += graph.compute_time(candidate, cost_model, mesh)
-
-        for producer in graph.predecessors[candidate.index]:
-            unscheduled_users[producer.index] -= 1
-            if unscheduled_users[producer.index] == 0:
-                push(producer)
-
-    scheduled_reverse.reverse()
-    return scheduled_reverse
+        return getattr(scheduling, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

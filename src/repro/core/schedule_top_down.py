@@ -1,212 +1,33 @@
-"""Top-down scheduling (Section 5.2, second approach).
+"""Deprecated location of the top-down scheduler (Section 5.2).
 
-A simple-yet-effective rule applied to the existing (memory-minimizing)
-program order: hoist every CollectivePermuteStart as early as its
-producers allow, and sink every CollectivePermuteDone as late as its first
-consumer allows. Non-permute units keep their original relative order —
-after a light "rebalancing" step that hoists the producers feeding a
-permute-chain's first start (the paper's pattern-matched instruction
-reordering).
-
-Compared to the bottom-up scheduler this is local: computation that the
-original order placed *outside* a start/done window is never pulled into
-it, so unbalanced programs leave transfers partially exposed — the source
-of the ~5% average gap in Figure 16.
+The permute-specific schedulers were generalized over the
+:class:`repro.core.collective.OverlappableCollective` protocol and moved
+to :mod:`repro.core.scheduling`; import :func:`schedule_top_down` from
+there (or call :func:`repro.core.scheduling.schedule_module`, which also
+resolves per-axis in-flight budgets).
 """
 
 from __future__ import annotations
 
-from typing import List, Set
+import warnings
 
-from repro.perfsim.costs import CostModel
-from repro.perfsim.sched_graph import ScheduleGraph, ScheduleUnit
-from repro.sharding.mesh import DeviceMesh
+_MOVED = ("schedule_top_down",)
 
 
-def schedule_top_down(
-    graph: ScheduleGraph,
-    cost_model: CostModel,
-    mesh: DeviceMesh,
-    max_in_flight: int,
-) -> List[ScheduleUnit]:
-    """ASAP starts, ALAP dones, original order otherwise."""
-    order = _hoist_chain_feeders(graph, list(graph.units))
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.core.schedule_top_down.{name} moved to "
+            f"repro.core.scheduling.{name}; this permute-specific module "
+            "is a deprecated alias and will be removed — the scheduling "
+            "module speaks the OverlappableCollective protocol and "
+            "honours OverlapConfig.axis_overrides",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core import scheduling
 
-    predecessor_sets = {
-        unit.index: {p.index for p in graph.predecessors[unit.index]}
-        for unit in graph.units
-    }
-    successor_sets = {
-        unit.index: {s.index for s in graph.successors[unit.index]}
-        for unit in graph.units
-    }
-
-    # Sink dones first: walk backward, bubbling each done down past every
-    # unit that does not depend on it. In a permute chain this stops just
-    # before the next start (which consumes the done), leaving that
-    # iteration's computation inside the transfer window.
-    for index in range(len(order) - 1, -1, -1):
-        if order[index].is_permute_done:
-            _bubble_down(order, index, successor_sets)
-
-    # Then hoist starts past everything they do not depend on — but no
-    # further than the transfer needs: pushing every start maximally early
-    # just queues transfers behind each other on the link. Order matters:
-    # hoisting first would park each chain's next start directly behind
-    # the previous done and the dones could never sink.
-    for index in range(len(order)):
-        if order[index].is_permute_start:
-            budget = 1.5 * graph.transfer_time(order[index], cost_model, mesh)
-            _bubble_up(
-                order, index, predecessor_sets,
-                graph, cost_model, mesh, budget,
-            )
-
-    order = _rebalance_windows(graph, order, cost_model, mesh)
-    return _enforce_budget(graph, order, max_in_flight)
-
-
-def _bubble_up(
-    order: List[ScheduleUnit],
-    index: int,
-    predecessor_sets,
-    graph: ScheduleGraph,
-    cost_model: CostModel,
-    mesh: DeviceMesh,
-    compute_budget: float,
-) -> None:
-    unit = order[index]
-    wanted: Set[int] = predecessor_sets[unit.index]
-    hoisted_past = 0.0
-    while index > 0 and order[index - 1].index not in wanted:
-        if hoisted_past >= compute_budget:
-            break
-        hoisted_past += graph.compute_time(order[index - 1], cost_model, mesh)
-        order[index], order[index - 1] = order[index - 1], order[index]
-        index -= 1
-
-
-def _bubble_down(
-    order: List[ScheduleUnit], index: int, successor_sets
-) -> None:
-    unit = order[index]
-    blocking: Set[int] = successor_sets[unit.index]
-    while index + 1 < len(order) and order[index + 1].index not in blocking:
-        order[index], order[index + 1] = order[index + 1], order[index]
-        index += 1
-
-
-def _rebalance_windows(
-    graph: ScheduleGraph,
-    order: List[ScheduleUnit],
-    cost_model: CostModel,
-    mesh: DeviceMesh,
-    lookahead: int = 400,
-) -> List[ScheduleUnit]:
-    """Redistribute compute into under-filled transfer windows.
-
-    The paper's top-down pass "rebalances the instructions among each
-    CollectivePermute interval based on the runtime cost": when the
-    computation sitting between a start and its done is shorter than the
-    transfer, later units that do not (transitively) depend on the done
-    are pulled into the window — bounded by a lookahead so the pass stays
-    local (which is also why it remains weaker than the global bottom-up
-    scheduler on heavily unbalanced programs).
-    """
-    order = list(order)
-    index = 0
-    while index < len(order):
-        unit = order[index]
-        if not unit.is_permute_done:
-            index += 1
-            continue
-        transfer = graph.transfer_time(unit, cost_model, mesh)
-        start_unit = graph.unit_of[id(unit.head.operands[0])]
-        window_compute = 0.0
-        for other in order[:index]:
-            if other is start_unit:
-                window_compute = 0.0  # reset at the window's start
-            elif not (other.is_permute_start or other.is_permute_done):
-                window_compute += graph.compute_time(other, cost_model, mesh)
-        deficit = transfer - window_compute
-
-        scan = index + 1
-        position = {u.index: i for i, u in enumerate(order)}
-        while deficit > 0 and scan < min(len(order), index + 1 + lookahead):
-            candidate = order[scan]
-            if candidate.is_permute_start or candidate.is_permute_done:
-                scan += 1
-                continue
-            producers_before = all(
-                position[p.index] < index
-                for p in graph.predecessors[candidate.index]
-            )
-            if producers_before:
-                order.pop(scan)
-                order.insert(index, candidate)
-                index += 1  # the done moved one slot right
-                deficit -= graph.compute_time(candidate, cost_model, mesh)
-                position = {u.index: i for i, u in enumerate(order)}
-            scan += 1
-        index += 1
-    return order
-
-
-def _hoist_chain_feeders(
-    graph: ScheduleGraph, order: List[ScheduleUnit]
-) -> List[ScheduleUnit]:
-    """Move units feeding a permute-chain's first start as early as legal.
-
-    The top-down approach "moves certain instruction that feeds into a
-    CollectivePermute chain start to an earlier position" so the first
-    transfer can begin sooner. A chain's first start is a permute start
-    with no permute-done producer; each of its non-permute producers is
-    hoisted to just after its own last producer.
-    """
-    for unit in graph.units:
-        if not unit.is_permute_start:
-            continue
-        if any(p.is_permute_done for p in graph.predecessors[unit.index]):
-            continue
-        for producer in graph.predecessors[unit.index]:
-            current_slot = order.index(producer)
-            own_producer_slots = [
-                order.index(p) for p in graph.predecessors[producer.index]
-            ]
-            earliest = (max(own_producer_slots) + 1) if own_producer_slots else 0
-            if earliest < current_slot:
-                order.pop(current_slot)
-                order.insert(earliest, producer)
-    return order
-
-
-def _enforce_budget(
-    graph: ScheduleGraph, order: List[ScheduleUnit], max_in_flight: int
-) -> List[ScheduleUnit]:
-    """Pull dones earlier when too many transfers are in flight at once.
-
-    Walking the order, when a start would push the outstanding count past
-    the budget, the oldest outstanding done is emitted immediately before
-    it — shrinking that transfer's window instead of reordering
-    computation (footnote 11 of the paper).
-    """
-    result: List[ScheduleUnit] = []
-    outstanding: List[ScheduleUnit] = []  # dones of in-flight transfers
-    emitted_early = set()
-    for unit in order:
-        if unit.is_permute_done:
-            if unit.index in emitted_early:
-                continue
-            outstanding = [d for d in outstanding if d.index != unit.index]
-            result.append(unit)
-            continue
-        if unit.is_permute_start:
-            if len(outstanding) >= max_in_flight:
-                oldest = outstanding.pop(0)
-                result.append(oldest)
-                emitted_early.add(oldest.index)
-            result.append(unit)
-            outstanding.append(graph.successors[unit.index][0])
-            continue
-        result.append(unit)
-    return result
+        return getattr(scheduling, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -57,16 +57,25 @@ def decompose_standalone_collectives(
         lambda i: i.opcode in (Opcode.ALL_GATHER, Opcode.REDUCE_SCATTER)
     ):
         ring = _RingContext.create(mesh, collective.groups)
-        if ring.n < max(config.min_ring_size, 2):
+        # Per-axis knobs: a DP-axis override tunes the gradient/param
+        # rings without touching the TP loops (and vice versa).
+        axis_config = config.for_axis(ring.axis)
+        if ring.n < max(axis_config.min_ring_size, 2):
             continue
-        bidirectional = config.bidirectional and ring.n % 2 == 0 and ring.n > 2
+        bidirectional = (
+            axis_config.bidirectional and ring.n % 2 == 0 and ring.n > 2
+        )
         if collective.opcode is Opcode.ALL_GATHER:
             loops.append(
-                _standalone_all_gather(module, collective, ring, bidirectional)
+                _standalone_all_gather(
+                    module, collective, ring, bidirectional, axis_config
+                )
             )
         else:
             loops.append(
-                _standalone_reduce_scatter(module, collective, ring, bidirectional)
+                _standalone_reduce_scatter(
+                    module, collective, ring, bidirectional, axis_config
+                )
             )
     module.verify()
     return loops
@@ -77,8 +86,12 @@ def _standalone_all_gather(
     gather: Instruction,
     ring: _RingContext,
     bidirectional: bool,
+    config: OverlapConfig,
 ) -> StandaloneLoop:
-    emit = _LoopEmitter(module, gather, copies=False)
+    emit = _LoopEmitter(
+        module, gather, copies=False,
+        granularity=config.transfer_granularity,
+    )
     builder = emit.builder
     local = gather.operands[0]
     dim = gather.attrs["dim"]
@@ -91,16 +104,16 @@ def _standalone_all_gather(
             result, local, dim, ring.shard_index(0, shard)
         )
         buf_ccw = local
-        buf_cw = emit.permute(ring, local, -1)
+        buf_cw = emit.permute(ring, local, -1, split_axis=dim)
         result = builder.dynamic_update_slice(
             result, buf_cw, dim, ring.shard_index(ring.n - 1, shard)
         )
         for step in range(1, half):
-            buf_ccw = emit.permute(ring, buf_ccw, +1)
+            buf_ccw = emit.permute(ring, buf_ccw, +1, split_axis=dim)
             result = builder.dynamic_update_slice(
                 result, buf_ccw, dim, ring.shard_index(step, shard)
             )
-            buf_cw = emit.permute(ring, buf_cw, -1)
+            buf_cw = emit.permute(ring, buf_cw, -1, split_axis=dim)
             result = builder.dynamic_update_slice(
                 result, buf_cw, dim, ring.shard_index(ring.n - 1 - step, shard)
             )
@@ -111,7 +124,7 @@ def _standalone_all_gather(
                 result, buffer, dim, ring.shard_index(step, shard)
             )
             if step < ring.n - 1:
-                buffer = emit.permute(ring, buffer, +1)
+                buffer = emit.permute(ring, buffer, +1, split_axis=dim)
     emit.builder.flush()
     module.replace_all_uses(gather, result)
     module.remove(gather)
@@ -123,6 +136,7 @@ def _standalone_reduce_scatter(
     scatter: Instruction,
     ring: _RingContext,
     bidirectional: bool,
+    config: OverlapConfig,
 ) -> StandaloneLoop:
     """Accumulator ring: at step ``i`` each device adds the slice for
     shard ``(r + i + 1) mod N`` of its local input to the received
@@ -130,7 +144,10 @@ def _standalone_reduce_scatter(
     ``r``. (The bidirectional variant is left unidirectional here — the
     standalone scatter carries one accumulator; splitting it is exactly
     the dual-chain unrolling already exercised by the looped form.)"""
-    emit = _LoopEmitter(module, scatter, copies=False)
+    emit = _LoopEmitter(
+        module, scatter, copies=False,
+        granularity=config.transfer_granularity,
+    )
     builder = emit.builder
     operand = scatter.operands[0]
     dim = scatter.attrs["dim"]
@@ -138,7 +155,7 @@ def _standalone_reduce_scatter(
 
     acc = builder.zeros(scatter.shape)
     for step in range(ring.n):
-        received = emit.permute(ring, acc, +1)
+        received = emit.permute(ring, acc, +1, split_axis=dim)
         piece = builder.dynamic_slice(
             operand, dim, ring.shard_index(step + 1, shard), shard
         )

@@ -1,0 +1,337 @@
+"""Composed multi-axis overlap: the training step on 2D/3D meshes.
+
+Runs the :mod:`repro.models.trainstep` graph — forward, backward and
+optimizer of a two-matmul layer — on TP x DP (x PP) meshes, and measures
+how much of each mesh axis's communication the decomposition pipeline
+hides behind dependent compute:
+
+* the **tensor-parallel** family (``tp``): the forward output's
+  Einsum-then-ReduceScatter loop;
+* the **data-parallel** family (``dp``): the on-demand parameter
+  AllGathers (one dependent, one standalone) and both weight-gradient
+  ReduceScatters overlapped with backward compute;
+* the **pipeline** family (``pp``): the stage-output point-to-point
+  permute overlapped with the backward einsums.
+
+Each case simulates the unoptimized partition against the decomposed +
+scheduled one on the same chip, splits the overlapped timeline's hidden
+fractions per mesh axis (:func:`repro.obs.per_axis_overlap_summary`),
+and re-runs a small-shape copy of the same graph through the functional
+executor to prove the optimized program **bit-identical** to the
+undecomposed oracle — every collective is integer-exact in float64, so
+any miscompile shows up as a hard mismatch, not a tolerance failure.
+
+``check_report`` gates the result the way CI's ``bench-mesh`` job does:
+bit-identity on every case, a hidden-fraction floor per overlap family,
+and no slowdown on the cost-model-gated case.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import OverlapConfig
+from repro.core.pipeline import compile_module
+from repro.models.trainstep import (
+    CHECK_OUTPUTS,
+    train_step_graph,
+    train_step_mesh,
+)
+from repro.obs import per_axis_overlap_summary
+from repro.perfsim.hardware import TPU_V4, ChipSpec
+from repro.perfsim.simulator import simulate, simulate_with_trace
+from repro.runtime.executor import run_spmd
+from repro.sharding import partition, shard_array
+
+#: Which overlap family runs on which mesh axis.
+AXIS_FAMILIES = {
+    "tp": "tensor-parallel",
+    "dp": "data-parallel",
+    "pp": "pipeline",
+}
+
+#: Hidden-fraction floor per mesh axis, enforced by ``check_report`` on
+#: every case where the axis is present. Values are deliberately below
+#: the simulated results (tp >= 31%, dp >= 79%, pp = 100% on the default
+#: cases) so the gate catches scheduling regressions, not noise — the
+#: simulation is deterministic.
+HIDDEN_FLOORS = {"tp": 0.2, "dp": 0.5, "pp": 0.5}
+
+#: Shapes for the executor bit-identity leg: small enough that running
+#: 8-16 interpreted devices stays in milliseconds, divisible by every
+#: mesh extent the default cases use.
+_ORACLE_SHAPES = (64, 64, 128)
+
+
+@dataclasses.dataclass(frozen=True)
+class MeshStepCase:
+    """One mesh/shape configuration of the composed training step."""
+
+    tp: int
+    dp: int
+    pp: int = 1
+    batch: int = 8192
+    d_model: int = 1024
+    d_ff: int = 8192
+    #: Force-decompose every candidate (and standalone collective)
+    #: instead of letting the cost model keep the unprofitable ones
+    #: synchronous — the maximum-composition configuration.
+    forced: bool = True
+
+    @property
+    def label(self) -> str:
+        mesh = f"{self.tp}x{self.dp}" + (f"x{self.pp}" if self.pp > 1 else "")
+        return f"{mesh}/{'forced' if self.forced else 'cost-model'}"
+
+    def mesh(self):
+        return train_step_mesh(self.tp, self.dp, self.pp)
+
+    def config(self) -> OverlapConfig:
+        return OverlapConfig(
+            use_cost_model=not self.forced, decompose_standalone=True
+        )
+
+
+#: The report's default cases: the ISSUE's 4x2 mesh, a 3D mesh carrying
+#: all three families, and a cost-model-gated 4x4 run whose end-to-end
+#: speedup the gate holds above 1.
+DEFAULT_CASES: Tuple[MeshStepCase, ...] = (
+    MeshStepCase(tp=4, dp=2),
+    MeshStepCase(tp=2, dp=4, pp=2, d_ff=4096),
+    MeshStepCase(tp=4, dp=4, forced=False),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AxisOverlapRow:
+    """One mesh axis's share of an overlapped timeline."""
+
+    axis: str
+    family: str
+    transfer_time: float
+    hidden_time: float
+    hidden_fraction: float
+
+
+@dataclasses.dataclass
+class MeshStepResult:
+    """One case's simulated + executed outcome."""
+
+    case: MeshStepCase
+    num_devices: int
+    baseline_time: float
+    overlapped_time: float
+    candidates_decomposed: int
+    standalone_loops: int
+    axes: List[AxisOverlapRow]
+    bit_identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_time / self.overlapped_time
+
+
+def _bit_identity(case: MeshStepCase, seed: int) -> bool:
+    """Run a small-shape copy through the executor against the oracle.
+
+    Uses the *forced* configuration regardless of the case's: the point
+    is that every loop the pipeline can emit computes the same values,
+    including the ones the cost model would have skipped. Integer-valued
+    float64 inputs make every sum-of-products exact, so the comparison
+    is ``array_equal``, not ``allclose``.
+    """
+    batch, d_model, d_ff = _ORACLE_SHAPES
+    mesh = case.mesh()
+    graph = train_step_graph(batch, d_model, d_ff, pipeline=case.pp > 1)
+    baseline = partition(graph, mesh)
+    optimized = partition(graph, mesh)
+    compile_module(
+        optimized, mesh,
+        OverlapConfig(use_cost_model=False, decompose_standalone=True),
+    )
+    rng = np.random.default_rng(seed)
+    arguments = {
+        name: shard_array(
+            rng.integers(-4, 5, size=graph.tensors[name].shape.dims).astype(
+                np.float64
+            ),
+            graph.tensors[name].spec,
+            mesh,
+        )
+        for name in graph.inputs
+    }
+    expected = run_spmd(
+        baseline, arguments, mesh.num_devices, outputs=CHECK_OUTPUTS
+    )
+    actual = run_spmd(
+        optimized, arguments, mesh.num_devices, outputs=CHECK_OUTPUTS
+    )
+    return all(
+        np.array_equal(expected[name][device], actual[name][device])
+        for name in CHECK_OUTPUTS
+        for device in range(mesh.num_devices)
+    )
+
+
+def run_case(
+    case: MeshStepCase, chip: ChipSpec = TPU_V4, seed: int = 20230325
+) -> MeshStepResult:
+    mesh = case.mesh()
+    graph = train_step_graph(
+        case.batch, case.d_model, case.d_ff, pipeline=case.pp > 1
+    )
+    baseline = partition(graph, mesh)
+    optimized = partition(graph, mesh)
+    compilation = compile_module(optimized, mesh, case.config(), chip=chip)
+
+    baseline_report = simulate(baseline, mesh, chip=chip)
+    overlapped_report, trace = simulate_with_trace(
+        compilation.module, mesh, chip=chip
+    )
+    per_axis = per_axis_overlap_summary(trace.events)
+    axes = [
+        AxisOverlapRow(
+            axis=axis,
+            family=AXIS_FAMILIES.get(axis, axis),
+            transfer_time=summary.transfer_time,
+            hidden_time=summary.hidden_transfer_time,
+            hidden_fraction=summary.hidden_fraction,
+        )
+        for axis, summary in per_axis.items()
+    ]
+    return MeshStepResult(
+        case=case,
+        num_devices=mesh.num_devices,
+        baseline_time=baseline_report.total_time,
+        overlapped_time=overlapped_report.total_time,
+        candidates_decomposed=compilation.candidates_decomposed,
+        standalone_loops=len(compilation.standalone_loops),
+        axes=axes,
+        bit_identical=_bit_identity(case, seed),
+    )
+
+
+def run(
+    cases: Tuple[MeshStepCase, ...] = DEFAULT_CASES,
+    chip: ChipSpec = TPU_V4,
+    seed: int = 20230325,
+) -> List[MeshStepResult]:
+    return [run_case(case, chip=chip, seed=seed) for case in cases]
+
+
+def check_report(
+    results: List[MeshStepResult],
+    floors: Optional[Dict[str, float]] = None,
+) -> List[str]:
+    """The ``bench-mesh`` gates; returns human-readable failures."""
+    floors = HIDDEN_FLOORS if floors is None else floors
+    failures: List[str] = []
+    seen_axes = set()
+    for result in results:
+        label = result.case.label
+        if not result.bit_identical:
+            failures.append(
+                f"{label}: optimized step diverges from the undecomposed "
+                "oracle"
+            )
+        for row in result.axes:
+            seen_axes.add(row.axis)
+            floor = floors.get(row.axis)
+            if floor is not None and not row.hidden_fraction > floor:
+                failures.append(
+                    f"{label}: {row.family} ({row.axis}) hides only "
+                    f"{row.hidden_fraction:.1%} of its transfers "
+                    f"(floor {floor:.0%})"
+                )
+        if not result.case.forced and not result.speedup >= 1.0:
+            failures.append(
+                f"{label}: cost-model-gated overlap is slower than the "
+                f"baseline ({result.speedup:.3f}x)"
+            )
+    for axis in floors:
+        if axis not in seen_axes:
+            failures.append(
+                f"no case exercised the {AXIS_FAMILIES.get(axis, axis)} "
+                f"family (axis {axis!r})"
+            )
+    return failures
+
+
+def as_json(results: List[MeshStepResult]) -> Dict:
+    """The BENCH_mesh.json payload."""
+    return {
+        "benchmark": "mesh-step",
+        "floors": dict(HIDDEN_FLOORS),
+        "cases": [
+            {
+                "label": result.case.label,
+                "mesh": {
+                    "tp": result.case.tp,
+                    "dp": result.case.dp,
+                    "pp": result.case.pp,
+                },
+                "devices": result.num_devices,
+                "shapes": {
+                    "batch": result.case.batch,
+                    "d_model": result.case.d_model,
+                    "d_ff": result.case.d_ff,
+                },
+                "forced": result.case.forced,
+                "baseline_time": result.baseline_time,
+                "overlapped_time": result.overlapped_time,
+                "speedup": result.speedup,
+                "candidates_decomposed": result.candidates_decomposed,
+                "standalone_loops": result.standalone_loops,
+                "bit_identical": result.bit_identical,
+                "axes": {
+                    row.axis: {
+                        "family": row.family,
+                        "transfer_time": row.transfer_time,
+                        "hidden_time": row.hidden_time,
+                        "hidden_fraction": row.hidden_fraction,
+                    }
+                    for row in result.axes
+                },
+            }
+            for result in results
+        ],
+    }
+
+
+def format_report(results: List[MeshStepResult]) -> str:
+    lines = [
+        "Composed training step on 2D/3D meshes",
+        "(forced = every candidate decomposed; cost-model = only "
+        "profitable ones)",
+        "",
+        f"{'case':<22} {'devs':>4} {'base':>10} {'overlap':>10} "
+        f"{'speedup':>8} {'oracle':>7}  per-axis hidden",
+    ]
+    for result in results:
+        per_axis = ", ".join(
+            f"{row.axis}={row.hidden_fraction:.0%}" for row in result.axes
+        )
+        lines.append(
+            f"{result.case.label:<22} {result.num_devices:>4} "
+            f"{result.baseline_time * 1e3:>8.3f}ms "
+            f"{result.overlapped_time * 1e3:>8.3f}ms "
+            f"{result.speedup:>7.3f}x "
+            f"{'exact' if result.bit_identical else 'FAIL':>7}  {per_axis}"
+        )
+    failures = check_report(results)
+    lines.append("")
+    if failures:
+        lines.extend(f"FAIL: {failure}" for failure in failures)
+    else:
+        lines.append(
+            "check passed: every family hides communication above its "
+            "floor and the optimized step is bit-identical to the oracle"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(format_report(run()))

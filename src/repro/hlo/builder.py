@@ -185,11 +185,12 @@ class GraphBuilder:
         return self._emit(Opcode.CONCATENATE, shape, operands, dim=dim)
 
     def dynamic_slice(
-        self, a: Instruction, dim: int, start: ShardIndex, size: int
+        self, a: Instruction, dim: int, start: ShardIndex, size: int,
+        name: Optional[str] = None,
     ) -> Instruction:
         return self._emit(
             Opcode.DYNAMIC_SLICE, a.shape.with_dim(dim, size), [a],
-            dim=dim, start=start, size=size,
+            name=name, dim=dim, start=start, size=size,
         )
 
     def dynamic_update_slice(

@@ -60,11 +60,19 @@ SYNC_COLLECTIVES = frozenset(
     }
 )
 
+#: Starts of asynchronous collectives: launch a transfer, cost (almost)
+#: nothing on the compute stream. Today the only async-split op is the
+#: collective permute every overlappable collective lowers to; new async
+#: op kinds join these sets rather than being special-cased in the
+#: schedulers.
+ASYNC_START_OPS = frozenset({Opcode.COLLECTIVE_PERMUTE_START})
+
+#: Dones of asynchronous collectives: block until the paired transfer
+#: has arrived.
+ASYNC_DONE_OPS = frozenset({Opcode.COLLECTIVE_PERMUTE_DONE})
+
 #: All opcodes that involve inter-device communication.
-COMMUNICATION_OPS = SYNC_COLLECTIVES | {
-    Opcode.COLLECTIVE_PERMUTE_START,
-    Opcode.COLLECTIVE_PERMUTE_DONE,
-}
+COMMUNICATION_OPS = SYNC_COLLECTIVES | ASYNC_START_OPS | ASYNC_DONE_OPS
 
 #: Element-wise ops eligible for fusion.
 ELEMENTWISE_OPS = frozenset(
@@ -96,8 +104,8 @@ def is_communication(opcode: Opcode) -> bool:
 
 
 def is_async_pair_start(opcode: Opcode) -> bool:
-    return opcode is Opcode.COLLECTIVE_PERMUTE_START
+    return opcode in ASYNC_START_OPS
 
 
 def is_async_pair_done(opcode: Opcode) -> bool:
-    return opcode is Opcode.COLLECTIVE_PERMUTE_DONE
+    return opcode in ASYNC_DONE_OPS

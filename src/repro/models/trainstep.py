@@ -1,0 +1,119 @@
+"""A composed training step on a 2D/3D mesh: TP + DP (+ PP) overlap.
+
+One simulated step of a two-matmul layer — forward, backward and a
+shard-wise optimizer update — sharded over a ``tp`` x ``dp`` (optionally
+x ``pp``) mesh so that every overlap family the generic
+:class:`~repro.core.collective.OverlappableCollective` pipeline handles
+appears on its own mesh axis:
+
+* **tensor parallel** (axis ``tp``): the forward output einsum contracts
+  a ``tp``-sharded dimension and resolves its partial sums with a
+  ReduceScatter — the paper's Einsum-then-ReduceScatter loop;
+* **data parallel** (axis ``dp``): parameters are ZeRO-style sharded
+  over ``dp`` and gathered on demand (``w1`` as a dependent
+  AllGather-then-Einsum loop, ``w2`` — consumed by both the forward and
+  backward einsums — as a *standalone* decomposed AllGather), and both
+  weight-gradient einsums resolve their batch-contraction partial sums
+  with ReduceScatters over ``dp`` (the gradient-bucketing pattern);
+* **pipeline parallel** (axis ``pp``, when present): the forward output
+  hops to the next stage as an open-chain point-to-point
+  CollectivePermute that the async split + schedulers overlap with the
+  backward compute.
+
+A final ``gnorm`` einsum over both updated parameters contracts a
+``tp``-sharded dimension with no output dimension left for it, forcing a
+blocking AllReduce — so the step also carries a collective the pipeline
+must classify and *leave alone*.
+
+All tensors are float64 and all operations are sums of products, so
+running the step on integer-valued inputs is exact: the decomposed and
+scheduled module must be **bit-identical** to the unoptimized one.
+"""
+
+from __future__ import annotations
+
+from repro.hlo.dtypes import DType, F32
+from repro.hlo.shapes import Shape
+from repro.sharding.mesh import DeviceMesh
+from repro.sharding.partitioner import LogicalGraph
+from repro.sharding.spec import ShardingSpec
+
+S = ShardingSpec
+
+
+def train_step_mesh(
+    tp: int = 4, dp: int = 2, pp: int = 1
+) -> DeviceMesh:
+    """The ``tp`` x ``dp`` (x ``pp``) mesh the composed step runs on."""
+    shape = {"tp": tp, "dp": dp}
+    if pp > 1:
+        shape["pp"] = pp
+    return DeviceMesh.grid(shape)
+
+
+def train_step_graph(
+    batch: int = 8,
+    d_model: int = 32,
+    d_ff: int = 64,
+    dtype: DType = F32,
+    pipeline: bool = False,
+) -> LogicalGraph:
+    """Forward + backward + update of ``y = act(x @ w1) @ w2``.
+
+    Activations shard their batch dimension over ``dp``; ``w1[d, f]`` is
+    sharded ``[dp, tp]`` and ``w2[f, d]`` is sharded ``[tp, dp]`` — each
+    parameter splits one dimension over ``tp`` (tensor parallelism) and
+    the other over ``dp`` (ZeRO-style parameter sharding), so gathers
+    ride the ``dp`` rings while the forward partial sums ride ``tp``.
+    With ``pipeline`` the forward output additionally hops one ``pp``
+    stage before the (stand-in) next-stage compute.
+    """
+    graph = LogicalGraph("train-step")
+    graph.add_input("x", Shape((batch, d_model), dtype), S(("dp", None)))
+    graph.add_input("w1", Shape((d_model, d_ff), dtype), S(("dp", "tp")))
+    graph.add_input("w2", Shape((d_ff, d_model), dtype), S(("tp", "dp")))
+    graph.add_input("dy", Shape((batch, d_model), dtype), S(("dp", None)))
+
+    # Forward: gather w1 over dp (single consumer -> dependent
+    # AllGather-then-Einsum), then contract d_ff over tp -> ReduceScatter.
+    graph.add_reshard("w1", "w1g", S((None, "tp")))
+    graph.add_einsum("bd,df->bf", "x", "w1g", "h", S(("dp", "tp")))
+    graph.add_pointwise("h", "hact")
+    # w2 is consumed by both the forward and the backward einsum, so its
+    # dp-gather is not a dependent candidate — the standalone pass
+    # decomposes it instead.
+    graph.add_reshard("w2", "w2g", S(("tp", None)))
+    graph.add_einsum("bf,fd->bd", "hact", "w2g", "y", S(("dp", "tp")))
+
+    loss_src = "y"
+    if pipeline:
+        # Hand the stage output to the next pipeline stage and run that
+        # stage's (stand-in) compute on it.
+        graph.add_p2p_send("y", "ysend", "pp")
+        graph.add_pointwise("ysend", "ystage")
+        loss_src = "ystage"
+    graph.add_pointwise(loss_src, "loss")
+
+    # Backward: dh needs no communication; both weight gradients contract
+    # the dp-sharded batch dimension -> ReduceScatters over dp that land
+    # each gradient directly in its parameter's [dp, tp] / [tp, dp]
+    # layout (the gradient-bucketing reduce-scatter of data parallelism).
+    graph.add_einsum("bd,fd->bf", "dy", "w2g", "dh", S(("dp", "tp")))
+    graph.add_einsum("bf,bd->fd", "hact", "dy", "dw2", S(("tp", "dp")))
+    graph.add_einsum("bd,bf->df", "x", "dh", "dw1", S(("dp", "tp")))
+
+    # Optimizer: shard-wise SGD stand-in on each parameter's home layout.
+    graph.add_update("w1", "dw1", "w1n")
+    graph.add_update("w2", "dw2", "w2n")
+
+    # Step-scale diagnostic: contracting d_ff (sharded tp on both
+    # operands) with no tp-sharded output dimension forces a blocking
+    # AllReduce over tp; the d_model batch dimension stays on dp.
+    graph.add_einsum("df,fd->d", "w1n", "w2n", "gnorm", S(("dp",)))
+    return graph
+
+
+#: The tensors a bit-identity check should compare: the stage output,
+#: both updated parameters and the AllReduced diagnostic — between them
+#: they depend on every collective the step emits.
+CHECK_OUTPUTS = ("loss", "w1n", "w2n", "gnorm")

@@ -49,7 +49,13 @@ from repro.obs.export import (
     to_chrome_trace,
     validate_chrome_trace,
 )
-from repro.obs.overlap import OverlapSummary, overlap_summary
+from repro.obs.overlap import (
+    UNATTRIBUTED,
+    OverlapSummary,
+    overlap_summary,
+    per_axis_overlap_summary,
+    transfer_axis,
+)
 from repro.obs.tracer import Tracer
 
 __all__ = [
@@ -70,6 +76,7 @@ __all__ = [
     "TRANSFER",
     "TraceEvent",
     "Tracer",
+    "UNATTRIBUTED",
     "comm_volume_summary",
     "diff_timelines",
     "events_from_chrome",
@@ -78,8 +85,10 @@ __all__ = [
     "lane_costs",
     "metrics_dict",
     "overlap_summary",
+    "per_axis_overlap_summary",
     "phase_of",
     "retry_fraction",
+    "transfer_axis",
     "to_chrome_trace",
     "validate_chrome_trace",
 ]

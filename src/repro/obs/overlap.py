@@ -21,9 +21,14 @@ same module must report strictly more.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.obs.events import COLLECTIVE, COMPUTE, STALL, TRANSFER, TraceEvent
+
+#: Bucket for TRANSFER lanes that do not name a mesh axis (measured
+#: executor traces use ``link:<instruction-name>`` lanes, which carry no
+#: axis attribution).
+UNATTRIBUTED = "?"
 
 
 def _merge(intervals: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
@@ -106,3 +111,52 @@ def overlap_summary(events: Sequence[TraceEvent]) -> OverlapSummary:
         hidden_transfer_time=hidden,
         stall_time=sum(e.duration for e in events if e.kind == STALL),
     )
+
+
+def transfer_axis(event: TraceEvent) -> Optional[str]:
+    """The mesh axis a TRANSFER event's lane is attributed to, if any.
+
+    Simulated timelines name link lanes ``link:<axis>:<direction>`` (the
+    per-device walk appends ``:dev<n>``); the axis is the second token.
+    Measured executor lanes are ``link:<instruction-name>`` and carry no
+    axis, so they return ``None``.
+    """
+    if event.kind != TRANSFER:
+        return None
+    parts = event.resource.split(":")
+    if len(parts) >= 3 and parts[0] == "link" and parts[2] in ("plus", "minus"):
+        return parts[1]
+    return None
+
+
+def per_axis_overlap_summary(
+    events: Sequence[TraceEvent],
+) -> Dict[str, OverlapSummary]:
+    """Split the overlap summary by the mesh axis each transfer rode on.
+
+    On a multi-axis mesh the overlap families run on different physical
+    rings — tensor-parallel loops on one axis, gradient reduce-scatters
+    on another, pipeline sends on a third — and a single aggregate hidden
+    fraction can mask one family being fully exposed. Each returned
+    summary shares the timeline's compute/collective/stall totals but
+    counts only that axis's transfers; transfers whose lane names no axis
+    (measured traces) land under :data:`UNATTRIBUTED`. Summing the
+    per-axis ``transfer_time``/``hidden_transfer_time`` reconciles with
+    :func:`overlap_summary` on the same events.
+    """
+    axes = sorted(
+        {transfer_axis(e) or UNATTRIBUTED for e in events if e.kind == TRANSFER}
+    )
+    rest = [e for e in events if e.kind != TRANSFER]
+    return {
+        axis: overlap_summary(
+            rest
+            + [
+                e
+                for e in events
+                if e.kind == TRANSFER
+                and (transfer_axis(e) or UNATTRIBUTED) == axis
+            ]
+        )
+        for axis in axes
+    }

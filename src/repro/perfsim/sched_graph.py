@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence
 from repro.perfsim.costs import CostModel
 from repro.hlo.instruction import Instruction
 from repro.hlo.module import HloModule
-from repro.hlo.opcode import Opcode
+from repro.hlo.opcode import ASYNC_DONE_OPS, ASYNC_START_OPS, Opcode
 from repro.sharding.mesh import DeviceMesh
 
 
@@ -34,18 +34,24 @@ class ScheduleUnit:
         return self.members[-1]
 
     @property
-    def is_permute_start(self) -> bool:
+    def is_async_start(self) -> bool:
+        """A lone asynchronous-collective start (launches a transfer)."""
         return (
-            len(self.members) == 1
-            and self.head.opcode is Opcode.COLLECTIVE_PERMUTE_START
+            len(self.members) == 1 and self.head.opcode in ASYNC_START_OPS
         )
 
     @property
-    def is_permute_done(self) -> bool:
+    def is_async_done(self) -> bool:
+        """A lone asynchronous-collective done (blocks on a transfer)."""
         return (
-            len(self.members) == 1
-            and self.head.opcode is Opcode.COLLECTIVE_PERMUTE_DONE
+            len(self.members) == 1 and self.head.opcode in ASYNC_DONE_OPS
         )
+
+    # Pre-redesign names (the schedulers now speak the generic
+    # OverlappableCollective vocabulary; the permute spelling remains for
+    # existing callers).
+    is_permute_start = is_async_start
+    is_permute_done = is_async_done
 
     def __repr__(self) -> str:
         names = ",".join(m.name for m in self.members)

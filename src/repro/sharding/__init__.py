@@ -6,9 +6,11 @@ from repro.sharding.partitioner import (
     LogicalAllToAll,
     LogicalEinsum,
     LogicalGraph,
+    LogicalP2PSend,
     LogicalPointwise,
     LogicalReshard,
     LogicalTensor,
+    LogicalUpdate,
     partition,
 )
 from repro.sharding.propagation import (
@@ -19,7 +21,7 @@ from repro.sharding.propagation import (
     plan_einsum,
 )
 from repro.sharding.sharder import random_arguments, shard_array, unit_mesh_like
-from repro.sharding.spec import ShardingSpec
+from repro.sharding.spec import ShardingSpec, entry_axes
 
 __all__ = [
     "DeviceMesh",
@@ -29,12 +31,15 @@ __all__ = [
     "LogicalAllToAll",
     "LogicalEinsum",
     "LogicalGraph",
+    "LogicalP2PSend",
     "LogicalPointwise",
     "LogicalReshard",
     "LogicalTensor",
+    "LogicalUpdate",
     "ReduceDecision",
     "ShardingError",
     "ShardingSpec",
+    "entry_axes",
     "partition",
     "plan_einsum",
     "random_arguments",

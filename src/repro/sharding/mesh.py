@@ -117,6 +117,22 @@ class DeviceMesh:
         axis = self.axis_index(axis_name)
         return math.prod(self.axis_sizes[axis + 1:]) if axis + 1 < self.rank else 1
 
+    def reshape(self, shape: Dict[str, int]) -> "DeviceMesh":
+        """The same devices re-factored into a new named-axis grid.
+
+        Device ids are row-major in both meshes, so a reshape is a pure
+        re-labelling — device ``d`` keeps id ``d`` and only its
+        coordinates change (e.g. an 8-ring becomes a ``tp=4, dp=2``
+        mesh). The device count must match exactly.
+        """
+        new = DeviceMesh.grid(shape)
+        if new.num_devices != self.num_devices:
+            raise ValueError(
+                f"cannot reshape {self} ({self.num_devices} devices) "
+                f"to {new} ({new.num_devices} devices)"
+            )
+        return new
+
     def position_in_ring(self, device_id: int, axis_name: str) -> int:
         """The device's coordinate along ``axis_name`` (its ring index)."""
         return self.coordinates(device_id)[self.axis_index(axis_name)]

@@ -85,6 +85,38 @@ class LogicalAllReduce:
 
 
 @dataclasses.dataclass(frozen=True)
+class LogicalP2PSend:
+    """A point-to-point handoff along one mesh axis (pipeline stages).
+
+    Lowered as an *open-chain* CollectivePermute: stage ``i`` sends its
+    local shard to stage ``i + 1``; the first stage receives zeros (XLA's
+    non-destination semantics) and the last stage's output leaves the
+    chain. The permute carries ``comm_kind="p2p"`` so the collective
+    linter knows the open chain is intended, and the async split +
+    schedulers overlap it with microbatch compute like any other
+    overlappable collective.
+    """
+
+    src: str
+    out: str
+    axis: str
+
+
+@dataclasses.dataclass(frozen=True)
+class LogicalUpdate:
+    """An optimizer update: ``out = param - grad`` (shard-wise).
+
+    The simulated training step's SGD stand-in; lowered as
+    ``Add(param, Negate(grad))`` so the optimizer is real dataflow the
+    scheduler can move into transfer windows.
+    """
+
+    param: str
+    grad: str
+    out: str
+
+
+@dataclasses.dataclass(frozen=True)
 class LogicalPointwise:
     """A memory-bound element-wise pass over a tensor.
 
@@ -168,6 +200,18 @@ class LogicalGraph:
         self.nodes.append(LogicalPointwise(src, out))
         return tensor
 
+    def add_p2p_send(self, src: str, out: str, axis: str) -> LogicalTensor:
+        source = self.tensors[src]
+        tensor = self._register(LogicalTensor(out, source.shape, source.spec))
+        self.nodes.append(LogicalP2PSend(src, out, axis))
+        return tensor
+
+    def add_update(self, param: str, grad: str, out: str) -> LogicalTensor:
+        source = self.tensors[param]
+        tensor = self._register(LogicalTensor(out, source.shape, source.spec))
+        self.nodes.append(LogicalUpdate(param, grad, out))
+        return tensor
+
 
 @dataclasses.dataclass
 class _ShardedValue:
@@ -195,7 +239,8 @@ def partition(graph: LogicalGraph, mesh: DeviceMesh) -> HloModule:
         elif isinstance(node, LogicalReshard):
             out_tensor = graph.tensors[node.out]
             values[node.out] = _reshard(
-                builder, mesh, values[node.src], out_tensor.spec
+                builder, mesh, values[node.src], out_tensor.spec,
+                name=node.out,
             )
         elif isinstance(node, LogicalAllToAll):
             value = values[node.src]
@@ -233,6 +278,37 @@ def partition(graph: LogicalGraph, mesh: DeviceMesh) -> HloModule:
                 value.instruction, value.instruction, name=node.out
             )
             values[node.out] = _ShardedValue(touched, value.spec, value.full_shape)
+        elif isinstance(node, LogicalP2PSend):
+            value = values[node.src]
+            pairs = []
+            for group in mesh.rings(node.axis):
+                pairs.extend(
+                    (group[i], group[i + 1]) for i in range(len(group) - 1)
+                )
+            # "plus" mirrors repro.perfsim.topology.PLUS (string literal:
+            # sharding must not import perfsim, which imports this package).
+            sent = builder.collective_permute(
+                value.instruction, pairs, name=node.out, direction="plus"
+            )
+            sent.attrs["comm_kind"] = "p2p"
+            sent.attrs["axis"] = node.axis
+            values[node.out] = _ShardedValue(sent, value.spec, value.full_shape)
+        elif isinstance(node, LogicalUpdate):
+            param, grad = values[node.param], values[node.grad]
+            if param.instruction.shape.dims != grad.instruction.shape.dims:
+                raise ShardingError(
+                    f"update {node.out!r}: param shard "
+                    f"{param.instruction.shape} != grad shard "
+                    f"{grad.instruction.shape}"
+                )
+            stepped = builder.add(
+                param.instruction,
+                builder.negate(grad.instruction),
+                name=node.out,
+            )
+            values[node.out] = _ShardedValue(
+                stepped, param.spec, param.full_shape
+            )
         else:
             raise TypeError(f"unknown logical node {node!r}")
 
@@ -260,18 +336,31 @@ def _lower_einsum(
             builder, mesh, value, gather.dim, gather.axis
         )
 
+    # The logical tensor's name goes on the *last* instruction of the
+    # lowered chain (einsum -> reduces -> residual reshard), so named
+    # outputs resolve to the finished value.
+    needs_reshard = any(
+        plan.out_spec.axes_of_dim(dim) != out_tensor.spec.axes_of_dim(dim)
+        for dim in range(out_tensor.spec.rank)
+    )
     local_out = builder.einsum(
         node.equation,
         operand_values[LHS].instruction,
         operand_values[1].instruction,
-        name=node.out if not plan.reduces else None,
+        name=node.out if not plan.reduces and not needs_reshard else None,
     )
     result = _ShardedValue(local_out, plan.out_spec, out_tensor.shape)
 
-    for reduce in plan.reduces:
-        result = _resolve_partial_sum(builder, mesh, result, reduce)
+    for index, reduce in enumerate(plan.reduces):
+        last = index == len(plan.reduces) - 1 and not needs_reshard
+        result = _resolve_partial_sum(
+            builder, mesh, result, reduce, name=node.out if last else None
+        )
 
-    return _reshard(builder, mesh, result, out_tensor.spec)
+    return _reshard(
+        builder, mesh, result, out_tensor.spec,
+        name=node.out if needs_reshard else None,
+    )
 
 
 def _all_gather_dim(
@@ -280,13 +369,44 @@ def _all_gather_dim(
     value: _ShardedValue,
     dim: int,
     axis: str,
+    name: Optional[str] = None,
 ) -> _ShardedValue:
-    if value.spec.axis_of_dim(dim) != axis:
+    axes = value.spec.axes_of_dim(dim)
+    if not axes or axes[-1] != axis:
         raise ShardingError(
-            f"cannot gather dim {dim} over {axis!r}: value sharded as {value.spec}"
+            f"cannot gather dim {dim} over {axis!r}: value sharded as "
+            f"{value.spec} (multi-axis dims gather innermost-first)"
         )
-    gathered = builder.all_gather(value.instruction, dim, mesh.rings(axis))
-    return _ShardedValue(gathered, value.spec.with_dim(dim, None), value.full_shape)
+    gathered = builder.all_gather(
+        value.instruction, dim, mesh.rings(axis), name=name
+    )
+    return _ShardedValue(
+        gathered, value.spec.with_dim(dim, axes[:-1]), value.full_shape
+    )
+
+
+def _slice_own_shard(
+    builder: GraphBuilder,
+    mesh: DeviceMesh,
+    value: _ShardedValue,
+    dim: int,
+    axis: str,
+    name: Optional[str] = None,
+) -> _ShardedValue:
+    """Shard one more axis onto ``dim`` by slicing the device's own block."""
+    size = mesh.axis_size(axis)
+    shard = value.instruction.shape.dims[dim] // size
+    start = ShardIndex.shard(
+        coeff=1, offset=0, num_shards=size, shard_size=shard,
+        div=mesh.axis_stride(axis),
+    )
+    sliced = builder.dynamic_slice(
+        value.instruction, dim, start, shard, name=name
+    )
+    axes = value.spec.axes_of_dim(dim) + (axis,)
+    return _ShardedValue(
+        sliced, value.spec.with_dim(dim, axes), value.full_shape
+    )
 
 
 def _resolve_partial_sum(
@@ -294,15 +414,23 @@ def _resolve_partial_sum(
     mesh: DeviceMesh,
     value: _ShardedValue,
     reduce,
+    name: Optional[str] = None,
 ) -> _ShardedValue:
     groups = mesh.rings(reduce.axis)
     if reduce.scatter_dim is None:
-        summed = builder.all_reduce(value.instruction, groups)
+        summed = builder.all_reduce(value.instruction, groups, name=name)
         return _ShardedValue(summed, value.spec, value.full_shape)
     scattered = builder.reduce_scatter(
-        value.instruction, reduce.scatter_dim, groups
+        value.instruction, reduce.scatter_dim, groups, name=name
     )
-    spec = value.spec.with_dim(reduce.scatter_dim, reduce.axis)
+    # Each scatter slices the output dimension one axis deeper. The plan's
+    # out_spec already names every scatter axis (in outermost-first
+    # order), so this is a no-op for plan-driven reduces and an append
+    # only for explicit callers.
+    axes = value.spec.axes_of_dim(reduce.scatter_dim)
+    if reduce.axis not in axes:
+        axes = axes + (reduce.axis,)
+    spec = value.spec.with_dim(reduce.scatter_dim, axes)
     return _ShardedValue(scattered, spec, value.full_shape)
 
 
@@ -311,6 +439,7 @@ def _reshard(
     mesh: DeviceMesh,
     value: _ShardedValue,
     wanted: ShardingSpec,
+    name: Optional[str] = None,
 ) -> _ShardedValue:
     """Fix residual spec mismatches with AllGather / DynamicSlice.
 
@@ -318,29 +447,32 @@ def _reshard(
     dimension the plan kept sharded that the caller wants replicated
     (AllGather) or kept replicated that the caller wants sharded
     (DynamicSlice of the device's own shard — compute was already paid,
-    this just drops the remote portions).
+    this just drops the remote portions). Multi-axis dims reshard when
+    one placement extends the other: extra held axes are gathered
+    innermost-first, missing wanted axes are sliced outermost-first.
+    Swapping a dimension *between* axes stays rejected — that is a
+    cross-mesh exchange (an all-to-all or permute pattern), not a
+    gather/slice residue.
     """
-    current = value
+    steps = []
     for dim in range(wanted.rank):
-        have = current.spec.axis_of_dim(dim)
-        want = wanted.axis_of_dim(dim)
+        have = value.spec.axes_of_dim(dim)
+        want = wanted.axes_of_dim(dim)
         if have == want:
             continue
-        if have is not None and want is None:
-            current = _all_gather_dim(builder, mesh, current, dim, have)
-        elif have is None and want is not None:
-            size = mesh.axis_size(want)
-            shard = current.instruction.shape.dims[dim] // size
-            start = ShardIndex.shard(
-                coeff=1, offset=0, num_shards=size, shard_size=shard,
-                div=mesh.axis_stride(want),
-            )
-            sliced = builder.dynamic_slice(current.instruction, dim, start, shard)
-            current = _ShardedValue(
-                sliced, current.spec.with_dim(dim, want), current.full_shape
-            )
-        else:
+        common = 0
+        while common < min(len(have), len(want)) and have[common] == want[common]:
+            common += 1
+        if have[common:] and want[common:]:
             raise ShardingError(
                 f"cannot reshard dim {dim} from {have!r} to {want!r} directly"
             )
+        for axis in reversed(have[common:]):
+            steps.append((_all_gather_dim, dim, axis))
+        for axis in want[common:]:
+            steps.append((_slice_own_shard, dim, axis))
+    current = value
+    for index, (lower, dim, axis) in enumerate(steps):
+        step_name = name if index == len(steps) - 1 else None
+        current = lower(builder, mesh, current, dim, axis, name=step_name)
     return current

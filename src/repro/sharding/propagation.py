@@ -12,8 +12,15 @@ spec, decide which communication the SPMD partitioner must insert:
 * dimensions the local einsum keeps sharded without any communication
   (batch dims and free dims whose sharding matches the output spec).
 
-This is the single-axis subset of GSPMD's einsum handling — exactly what
-the paper's partitioning strategies (Figures 2 and 3) exercise.
+Dimensions may be sharded over *several* mesh axes (outermost first, see
+:class:`repro.sharding.spec.ShardingSpec`); the plan then carries one
+decision per axis: gathers peel axes innermost-first (each AllGather
+reconstructs the blocks of the axis it gathers, so the nested layout
+unwinds from the inside out), reductions run outermost-first (each
+ReduceScatter slices the output dimension one axis deeper). This is the
+per-axis subset of GSPMD's einsum handling — exactly what the paper's
+partitioning strategies (Figures 2 and 3) and their 2D/3D mesh
+extensions exercise.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ import dataclasses
 from typing import List, Optional, Tuple
 
 from repro.hlo.einsum_spec import LHS, RHS, EinsumSpec
-from repro.sharding.spec import ShardingSpec
+from repro.sharding.spec import ShardingSpec, entry_axes
 
 
 class ShardingError(ValueError):
@@ -31,7 +38,12 @@ class ShardingError(ValueError):
 
 @dataclasses.dataclass(frozen=True)
 class GatherDecision:
-    """One AllGather the partitioner must insert on an operand."""
+    """One AllGather the partitioner must insert on an operand.
+
+    For a multi-axis dimension the plan emits one decision per axis,
+    ordered innermost-first — the only order in which each AllGather's
+    ring-ordered concatenation reassembles the nested block layout.
+    """
 
     operand: int          # LHS or RHS
     dim: int              # operand dimension to gather
@@ -71,54 +83,58 @@ def plan_einsum(
     gathers: List[GatherDecision] = []
     reduces: List[ReduceDecision] = []
 
-    def label_axis(operand_spec: ShardingSpec, labels: str, label: str) -> Optional[str]:
+    def label_entry(
+        operand_spec: ShardingSpec, labels: str, label: str
+    ) -> Tuple[str, ...]:
         index = labels.find(label)
-        return None if index < 0 else operand_spec.axis_of_dim(index)
+        return () if index < 0 else operand_spec.axes_of_dim(index)
 
-    result_axes: List[Optional[str]] = [None] * len(spec.out_labels)
+    def gather_all(operand: int, label: str, axes: Tuple[str, ...]) -> None:
+        # Innermost axis first: each AllGather unwinds one nesting level.
+        dim = spec.axis_of(operand, label)
+        for axis in reversed(axes):
+            gathers.append(GatherDecision(operand, dim, axis))
 
-    # Contracting labels: matched shardings become partial sums; a label
-    # sharded on only one operand forces an AllGather of that operand dim.
+    result_axes: List[Tuple[str, ...]] = [()] * len(spec.out_labels)
+
+    # Contracting labels: matched shardings become partial sums; any
+    # mismatch forces the sharded sides to be gathered.
     for label in spec.contracting_labels:
-        lhs_axis = label_axis(lhs_spec, spec.lhs_labels, label)
-        rhs_axis = label_axis(rhs_spec, spec.rhs_labels, label)
-        if lhs_axis is not None and lhs_axis == rhs_axis:
-            scatter_dim = out_spec.dim_of_axis(lhs_axis)
-            reduces.append(ReduceDecision(lhs_axis, scatter_dim))
-            if scatter_dim is not None:
-                result_axes[scatter_dim] = lhs_axis
+        lhs_axes = label_entry(lhs_spec, spec.lhs_labels, label)
+        rhs_axes = label_entry(rhs_spec, spec.rhs_labels, label)
+        if lhs_axes and lhs_axes == rhs_axes:
+            # Outermost first: each ReduceScatter slices one axis deeper.
+            for axis in lhs_axes:
+                scatter_dim = out_spec.dim_of_axis(axis)
+                reduces.append(ReduceDecision(axis, scatter_dim))
+                if scatter_dim is not None:
+                    result_axes[scatter_dim] = result_axes[scatter_dim] + (axis,)
             continue
-        if lhs_axis is not None:
-            gathers.append(
-                GatherDecision(LHS, spec.axis_of(LHS, label), lhs_axis)
-            )
-        if rhs_axis is not None:
-            gathers.append(
-                GatherDecision(RHS, spec.axis_of(RHS, label), rhs_axis)
-            )
+        if lhs_axes:
+            gather_all(LHS, label, lhs_axes)
+        if rhs_axes:
+            gather_all(RHS, label, rhs_axes)
 
     # Batch labels must be sharded consistently on both operands (or
     # gathered when they disagree); a consistent sharding carries through.
     for label in spec.batch_labels:
-        lhs_axis = label_axis(lhs_spec, spec.lhs_labels, label)
-        rhs_axis = label_axis(rhs_spec, spec.rhs_labels, label)
-        if lhs_axis == rhs_axis:
-            if lhs_axis is not None:
-                result_axes[spec.out_axis_of(label)] = lhs_axis
+        lhs_axes = label_entry(lhs_spec, spec.lhs_labels, label)
+        rhs_axes = label_entry(rhs_spec, spec.rhs_labels, label)
+        if lhs_axes == rhs_axes:
+            if lhs_axes:
+                result_axes[spec.out_axis_of(label)] = lhs_axes
             continue
         # Disagreement: gather whichever side the output does not want.
-        wanted = out_spec.axis_of_dim(spec.out_axis_of(label))
-        if lhs_axis is not None and lhs_axis != wanted:
-            gathers.append(GatherDecision(LHS, spec.axis_of(LHS, label), lhs_axis))
-            lhs_axis = None
-        if rhs_axis is not None and rhs_axis != wanted:
-            gathers.append(GatherDecision(RHS, spec.axis_of(RHS, label), rhs_axis))
-            rhs_axis = None
-        surviving = lhs_axis if lhs_axis is not None else rhs_axis
-        if surviving is not None and lhs_axis != rhs_axis:
+        wanted = entry_axes(out_spec.axis_of_dim(spec.out_axis_of(label)))
+        if lhs_axes and lhs_axes != wanted:
+            gather_all(LHS, label, lhs_axes)
+            lhs_axes = ()
+        if rhs_axes and rhs_axes != wanted:
+            gather_all(RHS, label, rhs_axes)
+            rhs_axes = ()
+        if (lhs_axes or rhs_axes) and lhs_axes != rhs_axes:
             # One side still sharded: the other side must be gathered too —
             # a batch dim cannot be half sharded.
-            operand = LHS if lhs_axis is None else RHS
             raise ShardingError(
                 f"batch label {label!r} sharded on one operand only; "
                 "pre-shard the other operand or replicate both"
@@ -129,22 +145,20 @@ def plan_einsum(
     for operand, labels in ((LHS, spec.lhs_free_labels), (RHS, spec.rhs_free_labels)):
         operand_spec = lhs_spec if operand == LHS else rhs_spec
         for label in labels:
-            axis = label_axis(
+            axes = label_entry(
                 operand_spec, spec.operand_labels(operand), label
             )
-            if axis is None:
+            if not axes:
                 continue
             out_dim = spec.out_axis_of(label)
-            if out_spec.axis_of_dim(out_dim) == axis:
-                result_axes[out_dim] = axis
+            if entry_axes(out_spec.axis_of_dim(out_dim)) == axes:
+                result_axes[out_dim] = axes
             else:
-                gathers.append(
-                    GatherDecision(operand, spec.axis_of(operand, label), axis)
-                )
+                gather_all(operand, label, axes)
 
     # An axis cannot shard the result twice and cannot be both kept and
     # reduced; detect conflicts early with a clear error.
-    used = [a for a in result_axes if a is not None]
+    used = [a for axes in result_axes for a in axes]
     used += [r.axis for r in reduces if r.scatter_dim is None]
     if len(set(used)) != len(used):
         raise ShardingError(

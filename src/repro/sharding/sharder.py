@@ -29,12 +29,14 @@ def shard_array(
     shards: List[np.ndarray] = []
     for device in range(mesh.num_devices):
         view = full
-        for dim, axis in enumerate(spec.dim_axes):
-            if axis is None:
-                continue
-            count = mesh.axis_size(axis)
-            position = mesh.position_in_ring(device, axis)
-            view = np.split(view, count, axis=dim)[position]
+        for dim in range(spec.rank):
+            # Outermost axis first: each split picks the device's block one
+            # nesting level deeper — the layout multi-axis AllGathers
+            # (innermost-first) reassemble.
+            for axis in spec.axes_of_dim(dim):
+                count = mesh.axis_size(axis)
+                position = mesh.position_in_ring(device, axis)
+                view = np.split(view, count, axis=dim)[position]
         shards.append(view.copy())
     return shards
 

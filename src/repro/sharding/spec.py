@@ -1,34 +1,70 @@
 """Sharding specifications: how a logical tensor maps onto a device mesh.
 
 A :class:`ShardingSpec` assigns to each tensor dimension either ``None``
-(replicated along that dimension) or a mesh axis name (evenly partitioned
-over that axis). This is the single-axis-per-dimension subset of GSPMD
-sharding, which covers every partitioning strategy in the paper
-(Figures 2 and 3).
+(replicated along that dimension), a mesh axis name (evenly partitioned
+over that axis), or a *tuple* of mesh axis names (partitioned over their
+product, outermost axis first — GSPMD's multi-axis dim sharding, e.g. a
+weight matrix's feature dimension split over ``("dp", "tp")`` for a
+fully-sharded-data-parallel layout on a 2D mesh). The single-axis form
+covers every partitioning strategy in the paper (Figures 2 and 3); the
+multi-axis form is what 2D/3D training meshes add on top.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from repro.hlo.shapes import Shape
 from repro.sharding.mesh import DeviceMesh
+
+#: One dimension's placement: replicated, one axis, or nested axes
+#: (outermost first — device blocks are ordered by the first axis's
+#: coordinate, then the next).
+DimEntry = Union[None, str, Tuple[str, ...]]
+
+
+def _normalize_entry(entry: DimEntry) -> DimEntry:
+    """Canonical form: ``()`` -> ``None``, 1-tuples -> the bare axis."""
+    if entry is None or isinstance(entry, str):
+        return entry
+    entry = tuple(entry)
+    for axis in entry:
+        if not isinstance(axis, str):
+            raise ValueError(f"mesh axis names must be strings, got {axis!r}")
+    if not entry:
+        return None
+    if len(entry) == 1:
+        return entry[0]
+    return entry
+
+
+def entry_axes(entry: DimEntry) -> Tuple[str, ...]:
+    """A dim entry as a (possibly empty) tuple of axis names."""
+    if entry is None:
+        return ()
+    if isinstance(entry, str):
+        return (entry,)
+    return tuple(entry)
 
 
 @dataclasses.dataclass(frozen=True)
 class ShardingSpec:
     """Per-dimension mesh-axis assignment for one tensor.
 
-    ``dim_axes[i]`` is the mesh axis partitioning tensor dimension ``i``,
-    or ``None`` when that dimension is replicated. An axis may appear at
-    most once (a tensor dimension set cannot reuse a mesh axis).
+    ``dim_axes[i]`` places tensor dimension ``i``: ``None`` (replicated),
+    a mesh axis name, or a tuple of axis names partitioning the dimension
+    over the axes' product (outermost first). An axis may appear at most
+    once across the whole spec (a tensor cannot reuse a mesh axis).
     """
 
-    dim_axes: Tuple[Optional[str], ...]
+    dim_axes: Tuple[DimEntry, ...]
 
     def __post_init__(self) -> None:
-        used = [a for a in self.dim_axes if a is not None]
+        normalized = tuple(_normalize_entry(e) for e in self.dim_axes)
+        if normalized != tuple(self.dim_axes):
+            object.__setattr__(self, "dim_axes", normalized)
+        used = [a for e in self.dim_axes for a in entry_axes(e)]
         if len(set(used)) != len(used):
             raise ValueError(f"mesh axis used twice in sharding {self.dim_axes}")
 
@@ -51,21 +87,25 @@ class ShardingSpec:
     def is_replicated(self) -> bool:
         return all(a is None for a in self.dim_axes)
 
-    def axis_of_dim(self, dim: int) -> Optional[str]:
+    def axis_of_dim(self, dim: int) -> DimEntry:
         return self.dim_axes[dim]
 
+    def axes_of_dim(self, dim: int) -> Tuple[str, ...]:
+        """The dimension's axes as a tuple (empty when replicated)."""
+        return entry_axes(self.dim_axes[dim])
+
     def dim_of_axis(self, axis: str) -> Optional[int]:
-        for dim, dim_axis in enumerate(self.dim_axes):
-            if dim_axis == axis:
+        for dim in range(self.rank):
+            if axis in self.axes_of_dim(dim):
                 return dim
         return None
 
     def sharded_dims(self) -> Tuple[int, ...]:
         return tuple(d for d, a in enumerate(self.dim_axes) if a is not None)
 
-    def with_dim(self, dim: int, axis: Optional[str]) -> "ShardingSpec":
+    def with_dim(self, dim: int, entry: DimEntry) -> "ShardingSpec":
         axes = list(self.dim_axes)
-        axes[dim] = axis
+        axes[dim] = entry
         return ShardingSpec(tuple(axes))
 
     def shard_shape(self, full: Shape, mesh: DeviceMesh) -> Shape:
@@ -75,18 +115,20 @@ class ShardingSpec:
                 f"sharding rank {self.rank} does not match shape {full}"
             )
         shape = full
-        for dim, axis in enumerate(self.dim_axes):
-            if axis is not None:
+        for dim in range(self.rank):
+            for axis in self.axes_of_dim(dim):
                 shape = shape.divided_dim(dim, mesh.axis_size(axis))
         return shape
 
     def num_shards(self, mesh: DeviceMesh) -> int:
         count = 1
-        for axis in self.dim_axes:
-            if axis is not None:
+        for dim in range(self.rank):
+            for axis in self.axes_of_dim(dim):
                 count *= mesh.axis_size(axis)
         return count
 
     def __repr__(self) -> str:
-        parts = ",".join("*" if a is None else a for a in self.dim_axes)
+        parts = ",".join(
+            "*" if a is None else "+".join(entry_axes(a)) for a in self.dim_axes
+        )
         return f"[{parts}]"

@@ -32,7 +32,7 @@ import tempfile
 from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
-from repro.core.config import OverlapConfig
+from repro.core.config import AxisOverride, OverlapConfig
 from repro.hlo.module import HloModule
 from repro.perfsim.hardware import TPU_V4, ChipSpec
 from repro.runtime.plan_cache import (
@@ -70,14 +70,60 @@ class TuningDBError(TuningError):
 
 
 _CONFIG_FIELDS = {f.name for f in dataclasses.fields(OverlapConfig)}
+_OVERRIDE_FIELDS = {f.name for f in dataclasses.fields(AxisOverride)}
 
 
 def config_to_json(config: OverlapConfig) -> Dict[str, Any]:
-    """The JSON-safe field dict of an :class:`OverlapConfig`."""
-    return {
+    """The JSON-safe field dict of an :class:`OverlapConfig`.
+
+    ``axis_overrides`` is flattened to ``{axis: {knob: value}}`` with
+    unset (``None``) knobs dropped, so single-axis records — the entire
+    pre-multi-axis database — serialize exactly as before (``{}``).
+    """
+    payload = {
         f.name: getattr(config, f.name)
         for f in dataclasses.fields(OverlapConfig)
     }
+    payload["axis_overrides"] = {
+        axis: {
+            name: getattr(override, name)
+            for name in sorted(_OVERRIDE_FIELDS)
+            if getattr(override, name) is not None
+        }
+        for axis, override in config.axis_overrides
+    }
+    return payload
+
+
+def _overrides_from_json(overrides: Any) -> Dict[str, AxisOverride]:
+    """Rebuild ``axis_overrides`` from its JSON form (or legacy ``[]``)."""
+    if isinstance(overrides, Mapping):
+        items = list(overrides.items())
+    elif isinstance(overrides, (list, tuple)):
+        items = [tuple(item) for item in overrides]
+    else:
+        raise TuningDBError(
+            f"axis_overrides must be an object, got "
+            f"{type(overrides).__name__}"
+        )
+    rebuilt: Dict[str, AxisOverride] = {}
+    for axis, fields in items:
+        if isinstance(fields, AxisOverride):
+            rebuilt[axis] = fields
+            continue
+        if not isinstance(fields, Mapping):
+            raise TuningDBError(
+                f"axis_overrides[{axis!r}] must be an object, got "
+                f"{type(fields).__name__}"
+            )
+        unknown = sorted(set(fields) - _OVERRIDE_FIELDS)
+        if unknown:
+            raise TuningDBError(
+                f"axis_overrides[{axis!r}] carries unknown AxisOverride "
+                f"fields: {unknown}"
+            )
+        rebuilt[axis] = AxisOverride(**dict(fields))
+    return rebuilt
 
 
 def config_from_json(payload: Mapping[str, Any]) -> OverlapConfig:
@@ -85,7 +131,9 @@ def config_from_json(payload: Mapping[str, Any]) -> OverlapConfig:
 
     Unknown fields and out-of-range values both raise
     :class:`TuningDBError` — a database written by a future schema (or
-    corrupted in place) must never silently half-apply.
+    corrupted in place) must never silently half-apply. Records written
+    before ``axis_overrides`` existed carry no such key and load
+    unchanged.
     """
     if not isinstance(payload, Mapping):
         raise TuningDBError(
@@ -96,8 +144,13 @@ def config_from_json(payload: Mapping[str, Any]) -> OverlapConfig:
         raise TuningDBError(
             f"tuned config carries unknown OverlapConfig fields: {unknown}"
         )
+    fields = dict(payload)
+    if "axis_overrides" in fields:
+        fields["axis_overrides"] = _overrides_from_json(
+            fields["axis_overrides"]
+        )
     try:
-        return OverlapConfig(**dict(payload))
+        return OverlapConfig(**fields)
     except (TypeError, ValueError) as error:
         raise TuningDBError(f"invalid tuned config: {error}") from error
 

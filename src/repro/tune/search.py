@@ -146,6 +146,7 @@ def tune_module(
     chip: ChipSpec = TPU_V4,
     budget: Optional[int] = 24,
     base: Optional[OverlapConfig] = None,
+    axes: Sequence[str] = (),
     db: Optional[TuningDB] = None,
     force: bool = False,
     measure: bool = False,
@@ -165,7 +166,10 @@ def tune_module(
     :func:`repro.adapt.ladder.run_with_ladder`). When ``db`` already
     holds a record for this program's tuning key and ``force`` is off,
     that record is returned untouched: persisted results mean zero
-    re-search.
+    re-search. ``axes`` appends per-mesh-axis override candidates to
+    the end of the space (see :func:`candidate_space`); the tuning key
+    and the flat-grid indices are unchanged, so per-axis wins persist
+    into the same DB slots the single-axis search used.
     """
     key = tuning_key(build(), mesh, chip)
     if db is not None and not force:
@@ -173,7 +177,7 @@ def tune_module(
         if existing is not None:
             return existing
 
-    points = candidate_space(budget, base=base)
+    points = candidate_space(budget, base=base, axes=axes)
     best: Optional[Tuple[float, SearchPoint, Any]] = None
     default_time = math.inf
     for point in points:

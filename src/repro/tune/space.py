@@ -11,7 +11,9 @@ candidates over the knobs that actually change the compiled schedule:
 * ``max_in_flight`` — the asynchronous-collective budget (Section 5.2);
 * ``transfer_granularity`` — decomposition granularity: how many
   sub-permutes each ring transfer splits into (the PR-6 rebalancing
-  knob, here searched proactively instead of reactively).
+  knob, here searched proactively instead of reactively);
+* ``axis_overrides`` — per-mesh-axis granularity / in-flight overrides
+  (multi-axis meshes only, via ``candidate_space(axes=...)``).
 
 Candidate 0 is always the **default analytic-gate config** —
 ``OverlapConfig()`` with the cost model on — so a budgeted search can
@@ -23,14 +25,17 @@ search *replaces* the inequality, it does not stack on top of it.
 The enumeration order is deterministic and most-promising-first (the
 paper's defaults vary before the long tail of granularity/in-flight
 tweaks), so a small ``budget`` still explores the axes that matter.
+Per-axis candidates are appended strictly *after* the flat grid:
+existing TuningDB records and budgeted searches keep seeing the same
+candidate at the same index whether or not ``axes`` is passed.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.config import BOTTOM_UP, TOP_DOWN, OverlapConfig
+from repro.core.config import BOTTOM_UP, TOP_DOWN, AxisOverride, OverlapConfig
 
 #: Knob grids, in exploration-priority order.
 SCHEDULERS: Tuple[str, ...] = (BOTTOM_UP, TOP_DOWN)
@@ -38,6 +43,10 @@ UNROLL: Tuple[bool, ...] = (True, False)
 BIDIRECTIONAL: Tuple[bool, ...] = (True, False)
 MAX_IN_FLIGHT: Tuple[int, ...] = (8, 4, 2)
 TRANSFER_GRANULARITY: Tuple[int, ...] = (1, 2, 4)
+
+#: Per-axis override grids (multi-axis meshes; see ``candidate_space``).
+AXIS_GRANULARITY: Tuple[int, ...] = (2, 4)
+AXIS_IN_FLIGHT: Tuple[int, ...] = (4, 2)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -82,9 +91,37 @@ def _grid(base: OverlapConfig) -> Iterator[Tuple[OverlapConfig, str]]:
                         yield config, label
 
 
+def _axis_grid(
+    base: OverlapConfig, axes: Sequence[str]
+) -> Iterator[Tuple[OverlapConfig, str]]:
+    """Per-axis override candidates, one knob and one axis at a time.
+
+    Each candidate perturbs exactly one mesh axis away from the flat
+    default — the smallest step that can beat a flat config when one
+    axis's ring (say a congested DP axis) wants different treatment
+    than the others.
+    """
+    flat = base.replace(enabled=True, use_cost_model=False)
+    for granularity in AXIS_GRANULARITY:
+        for axis in axes:
+            override = AxisOverride(transfer_granularity=granularity)
+            yield (
+                flat.replace(axis_overrides={axis: override}),
+                f"axis {axis} gran={granularity}",
+            )
+    for in_flight in AXIS_IN_FLIGHT:
+        for axis in axes:
+            override = AxisOverride(max_in_flight=in_flight)
+            yield (
+                flat.replace(axis_overrides={axis: override}),
+                f"axis {axis} inflight={in_flight}",
+            )
+
+
 def candidate_space(
     budget: Optional[int] = None,
     base: Optional[OverlapConfig] = None,
+    axes: Sequence[str] = (),
 ) -> List[SearchPoint]:
     """The first ``budget`` candidates (all of them when ``None``).
 
@@ -94,19 +131,27 @@ def candidate_space(
     ``budget`` counts *scored candidates* including the default, and
     must be at least 2 — a search that can only afford the default is
     not a search.
+
+    ``axes`` names the mesh axes of a multi-axis program; when given,
+    per-axis :class:`AxisOverride` candidates are appended **after**
+    the flat grid. The flat prefix is byte-for-byte the axes-free
+    space, so TuningDB records and budget prefixes stay index-stable;
+    reaching the per-axis tail takes a budget above the flat-grid size
+    (or ``budget=None``).
     """
     if budget is not None and budget < 2:
         raise ValueError(f"search budget must be at least 2, got {budget}")
     base = base if base is not None else OverlapConfig()
     points = [SearchPoint(0, default_config(), "default (analytic gate)")]
     seen = {points[0].config}
-    for config, label in _grid(base):
-        if budget is not None and len(points) >= budget:
-            break
-        if config in seen:
-            continue
-        seen.add(config)
-        points.append(SearchPoint(len(points), config, label))
+    for grid in (_grid(base), _axis_grid(base, axes)):
+        for config, label in grid:
+            if budget is not None and len(points) >= budget:
+                break
+            if config in seen:
+                continue
+            seen.add(config)
+            points.append(SearchPoint(len(points), config, label))
     return points
 
 

@@ -1,0 +1,189 @@
+"""Unit tests for the OverlappableCollective protocol (as_overlappable)."""
+
+import pytest
+
+from repro.core.collective import (
+    ALL_GATHER,
+    ALL_REDUCE,
+    P2P_SEND,
+    PERMUTE,
+    REDUCE_SCATTER,
+    OverlappableCollective,
+    P2PSend,
+    RingAllGather,
+    RingAllReduce,
+    RingPermute,
+    RingReduceScatter,
+    as_overlappable,
+    module_axes,
+    pairs_close_ring,
+    ring_axis_of_groups,
+)
+from repro.core.config import AxisOverride, OverlapConfig
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.shapes import Shape
+from repro.sharding.mesh import DeviceMesh
+
+
+def mesh_2d(tp=4, dp=2):
+    return DeviceMesh.grid({"tp": tp, "dp": dp})
+
+
+def ring_pairs(group):
+    return [(group[i], group[(i + 1) % len(group)]) for i in range(len(group))]
+
+
+def chain_pairs(group):
+    return [(group[i], group[i + 1]) for i in range(len(group) - 1)]
+
+
+class TestClassification:
+    def test_ring_permute_classifies_with_axis(self):
+        mesh = mesh_2d()
+        b = GraphBuilder("m")
+        p = b.parameter(Shape((8, 8)), name="p")
+        pairs = [pair for ring in mesh.rings("tp") for pair in ring_pairs(ring)]
+        cp = b.collective_permute(p, pairs)
+        view = as_overlappable(cp, mesh)
+        assert isinstance(view, RingPermute)
+        assert view.kind == PERMUTE
+        assert view.axis == "tp"
+        assert view.ring_size == 4
+        assert view.payload_bytes == p.shape.byte_size
+        assert isinstance(view, OverlappableCollective)
+
+    def test_stamped_axis_attr_wins(self):
+        mesh = mesh_2d()
+        b = GraphBuilder("m")
+        p = b.parameter(Shape((8, 8)), name="p")
+        pairs = [pair for ring in mesh.rings("dp") for pair in ring_pairs(ring)]
+        cp = b.collective_permute(p, pairs)
+        cp.attrs["axis"] = "dp"
+        view = as_overlappable(cp, mesh)
+        assert view.axis == "dp"
+
+    def test_open_chain_is_p2p_send(self):
+        mesh = DeviceMesh.grid({"pp": 4})
+        b = GraphBuilder("m")
+        p = b.parameter(Shape((8,)), name="p")
+        cp = b.collective_permute(p, chain_pairs([0, 1, 2, 3]))
+        cp.attrs["comm_kind"] = "p2p"
+        cp.attrs["axis"] = "pp"
+        view = as_overlappable(cp, mesh)
+        assert isinstance(view, P2PSend)
+        assert view.kind == P2P_SEND
+        assert view.axis == "pp"
+        assert not view.decomposable
+
+    def test_comm_kind_marker_forces_p2p_even_on_closed_pairs(self):
+        mesh = DeviceMesh.ring(4, "x")
+        b = GraphBuilder("m")
+        p = b.parameter(Shape((8,)), name="p")
+        cp = b.collective_permute(p, ring_pairs([0, 1, 2, 3]))
+        cp.attrs["comm_kind"] = "p2p"
+        view = as_overlappable(cp, mesh)
+        assert isinstance(view, P2PSend)
+
+    def test_all_gather_and_reduce_scatter_are_decomposable(self):
+        mesh = mesh_2d()
+        b = GraphBuilder("m")
+        p = b.parameter(Shape((8, 8)), name="p")
+        ag = b.all_gather(p, 0, mesh.rings("dp"))
+        rs = b.reduce_scatter(p, 0, mesh.rings("tp"))
+        ag_view = as_overlappable(ag, mesh)
+        rs_view = as_overlappable(rs, mesh)
+        assert isinstance(ag_view, RingAllGather)
+        assert ag_view.kind == ALL_GATHER
+        assert ag_view.axis == "dp"
+        assert ag_view.decomposable
+        # an AllGather's wire payload is its *operand* (per-shard) bytes
+        assert ag_view.payload_bytes == p.shape.byte_size
+        assert isinstance(rs_view, RingReduceScatter)
+        assert rs_view.kind == REDUCE_SCATTER
+        assert rs_view.axis == "tp"
+        assert rs_view.decomposable
+        assert rs_view.payload_bytes == rs.shape.byte_size
+
+    def test_all_reduce_classified_but_not_decomposable(self):
+        mesh = mesh_2d()
+        b = GraphBuilder("m")
+        p = b.parameter(Shape((8, 8)), name="p")
+        ar = b.all_reduce(p, mesh.rings("tp"))
+        view = as_overlappable(ar, mesh)
+        assert isinstance(view, RingAllReduce)
+        assert view.kind == ALL_REDUCE
+        assert not view.decomposable
+
+    def test_cross_axis_groups_return_none(self):
+        mesh = mesh_2d()
+        b = GraphBuilder("m")
+        p = b.parameter(Shape((8, 8)), name="p")
+        # one group spanning the whole mesh matches no single axis
+        ag = b.all_gather(p, 0, [list(range(mesh.num_devices))])
+        assert as_overlappable(ag, mesh) is None
+
+    def test_non_collective_returns_none(self):
+        mesh = mesh_2d()
+        b = GraphBuilder("m")
+        p = b.parameter(Shape((8, 8)), name="p")
+        s = b.add(p, p)
+        assert as_overlappable(s, mesh) is None
+
+    def test_pairs_close_ring(self):
+        assert pairs_close_ring(ring_pairs([0, 1, 2, 3]))
+        assert not pairs_close_ring(chain_pairs([0, 1, 2, 3]))
+        assert not pairs_close_ring([])
+
+    def test_ring_axis_of_groups(self):
+        mesh = mesh_2d()
+        assert ring_axis_of_groups(mesh, mesh.rings("dp")) == "dp"
+
+
+class TestAxisResolvedConfig:
+    def test_axis_override_sets_granularity_and_direction(self):
+        mesh = mesh_2d()
+        config = OverlapConfig(
+            axis_overrides={
+                "tp": AxisOverride(
+                    transfer_granularity=4, preferred_direction="plus"
+                )
+            }
+        )
+        b = GraphBuilder("m")
+        p = b.parameter(Shape((8, 8)), name="p")
+        tp_pairs = [
+            pair for ring in mesh.rings("tp") for pair in ring_pairs(ring)
+        ]
+        dp_pairs = [
+            pair for ring in mesh.rings("dp") for pair in ring_pairs(ring)
+        ]
+        tp_view = as_overlappable(b.collective_permute(p, tp_pairs), mesh, config)
+        dp_view = as_overlappable(b.collective_permute(p, dp_pairs), mesh, config)
+        assert tp_view.granularity == 4
+        assert tp_view.direction_preference == "plus"
+        assert dp_view.granularity == 1
+        assert dp_view.direction_preference is None
+
+    def test_per_axis_in_flight_budgets(self):
+        config = OverlapConfig(
+            max_in_flight=8,
+            axis_overrides={"dp": AxisOverride(max_in_flight=2)},
+        )
+        assert config.in_flight_budget("dp") == 2
+        assert config.in_flight_budget("tp") == 8
+        assert config.total_in_flight_budget(("tp", "dp")) == 10
+        assert OverlapConfig(max_in_flight=8).total_in_flight_budget(
+            ("tp", "dp")
+        ) == 8
+
+    def test_module_axes_lists_every_overlappable_axis(self):
+        mesh = mesh_2d()
+        b = GraphBuilder("m")
+        p = b.parameter(Shape((8, 8)), name="p")
+        tp_pairs = [
+            pair for ring in mesh.rings("tp") for pair in ring_pairs(ring)
+        ]
+        cp = b.collective_permute(p, tp_pairs)
+        ag = b.all_gather(cp, 0, mesh.rings("dp"))
+        b.add(ag, ag)
+        assert module_axes(b.module, mesh) == ["tp", "dp"]

@@ -1,0 +1,275 @@
+"""Multi-axis (2D/3D mesh) sharding: propagation, lowering, observability.
+
+Covers the ISSUE-10 satellite surface: 2D sharding-spec propagation
+(conflicting axis placements, replicated dims, mesh reshape), the
+cross-axis channel-id uniqueness regression in
+``split_collective_permutes``, and the per-axis ``overlap_summary``
+lenses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.async_cp import split_collective_permutes
+from repro.hlo.builder import GraphBuilder
+from repro.hlo.einsum_spec import LHS, RHS, EinsumSpec
+from repro.hlo.instruction import Instruction
+from repro.hlo.opcode import Opcode
+from repro.hlo.shapes import Shape
+from repro.obs import (
+    UNATTRIBUTED,
+    overlap_summary,
+    per_axis_overlap_summary,
+    transfer_axis,
+)
+from repro.obs.events import COMPUTE, TRANSFER, TraceEvent
+from repro.sharding.mesh import DeviceMesh
+from repro.sharding.propagation import ShardingError, plan_einsum
+from repro.sharding.sharder import shard_array
+from repro.sharding.spec import ShardingSpec, entry_axes
+
+S = ShardingSpec
+MATMUL = EinsumSpec.parse("bf,fh->bh")
+
+
+class TestMultiAxisSpec:
+    def test_nested_entry_normalization(self):
+        spec = S(((), ("dp",), ("dp2", "tp")))
+        assert spec.dim_axes == (None, "dp", ("dp2", "tp"))
+        assert spec.axes_of_dim(2) == ("dp2", "tp")
+        assert spec.dim_of_axis("tp") == 2
+
+    def test_axis_reuse_across_dims_rejected(self):
+        with pytest.raises(ValueError, match="used twice"):
+            S((("dp", "tp"), "dp"))
+
+    def test_shard_shape_divides_by_axis_product(self):
+        mesh = DeviceMesh.grid({"dp": 2, "tp": 4})
+        spec = S((("dp", "tp"), None))
+        assert spec.shard_shape(Shape((32, 8)), mesh).dims == (4, 8)
+        assert spec.num_shards(mesh) == 8
+
+    def test_shard_array_nested_outermost_first(self):
+        mesh = DeviceMesh.grid({"dp": 2, "tp": 2})
+        full = np.arange(8, dtype=np.float64)
+        shards = shard_array(full, S((("dp", "tp"),)), mesh)
+        # outermost-first: dp picks the half, tp the quarter within it
+        assert [list(s) for s in shards] == [
+            [0, 1], [2, 3], [4, 5], [6, 7]
+        ]
+
+
+class TestPropagation2D:
+    def test_nested_contracting_reduces_outermost_first(self):
+        plan = plan_einsum(
+            MATMUL,
+            S((None, ("dp", "tp"))),
+            S((("dp", "tp"), None)),
+            S((None, ("dp", "tp"))),
+        )
+        assert not plan.gathers
+        assert [r.axis for r in plan.reduces] == ["dp", "tp"]
+        assert all(r.scatter_dim == 1 for r in plan.reduces)
+        assert plan.out_spec.axes_of_dim(1) == ("dp", "tp")
+
+    def test_nested_gather_peels_innermost_first(self):
+        plan = plan_einsum(
+            MATMUL,
+            S((None, ("dp", "tp"))),
+            S.replicated(2),
+            S.replicated(2),
+        )
+        assert [g.axis for g in plan.gathers] == ["tp", "dp"]
+        assert all(g.operand == LHS and g.dim == 1 for g in plan.gathers)
+
+    def test_conflicting_batch_placements_gather_both_sides(self):
+        # lhs puts the batch dim on "dp", rhs on "tp": conflicting
+        # placements of one logical dim. With a replicated output both
+        # sides must be reconstructed before the local einsum.
+        batched = EinsumSpec.parse("gbf,gfh->gbh")
+        plan = plan_einsum(
+            batched,
+            S(("dp", None, None)),
+            S(("tp", None, None)),
+            S.replicated(3),
+        )
+        assert sorted((g.operand, g.axis) for g in plan.gathers) == [
+            (LHS, "dp"), (RHS, "tp")
+        ]
+        assert plan.out_spec.is_replicated
+
+    def test_conflicting_batch_placement_with_kept_side_rejected(self):
+        # The output wants the lhs placement kept; the rhs conflict
+        # cannot be silently resolved (a batch dim cannot be half
+        # sharded), so the plan refuses.
+        batched = EinsumSpec.parse("gbf,gfh->gbh")
+        with pytest.raises(ShardingError, match="batch label"):
+            plan_einsum(
+                batched,
+                S(("dp", None, None)),
+                S(("tp", None, None)),
+                S(("dp", None, None)),
+            )
+
+    def test_half_sharded_batch_dim_rejected(self):
+        batched = EinsumSpec.parse("gbf,gfh->gbh")
+        with pytest.raises(ShardingError, match="batch label"):
+            plan_einsum(
+                batched,
+                S(("dp", None, None)),
+                S.replicated(3),
+                S(("dp", None, None)),
+            )
+
+    def test_replicated_dims_plan_no_communication(self):
+        plan = plan_einsum(
+            MATMUL, S.replicated(2), S.replicated(2), S.replicated(2)
+        )
+        assert not plan.gathers
+        assert not plan.reduces
+        assert plan.out_spec.is_replicated
+
+    def test_mismatched_nesting_gathers_the_operand(self):
+        # lhs shards the contracting dim ("tp",) vs rhs ("dp", "tp"):
+        # not identical, so both sides must be reconstructed.
+        plan = plan_einsum(
+            MATMUL,
+            S((None, "tp")),
+            S((("dp", "tp"), None)),
+            S.replicated(2),
+        )
+        assert {g.operand for g in plan.gathers} == {LHS, RHS}
+        rhs_axes = [g.axis for g in plan.gathers if g.operand == RHS]
+        assert rhs_axes == ["tp", "dp"]
+
+
+class TestMeshReshape:
+    def test_reshape_preserves_device_ids(self):
+        ring = DeviceMesh.ring(8, "x")
+        grid = ring.reshape({"tp": 4, "dp": 2})
+        assert grid.num_devices == 8
+        assert grid.rings("dp") == [
+            (0, 1), (2, 3), (4, 5), (6, 7)
+        ]
+        assert grid.rings("tp") == [
+            (0, 2, 4, 6), (1, 3, 5, 7)
+        ]
+
+    def test_reshape_wrong_count_rejected(self):
+        with pytest.raises(ValueError, match="cannot reshape"):
+            DeviceMesh.ring(8, "x").reshape({"tp": 4, "dp": 4})
+
+    def test_reshard_across_reshape_by_reslicing(self):
+        # A tensor sharded on the 8-ring re-shards on the reshaped 4x2
+        # grid's ("tp", "dp") nesting with identical per-device shards —
+        # the row-major re-labelling is a no-op on the data.
+        ring = DeviceMesh.ring(8, "x")
+        grid = ring.reshape({"tp": 4, "dp": 2})
+        full = np.arange(16, dtype=np.float64).reshape(8, 2)
+        before = shard_array(full, S(("x", None)), ring)
+        after = shard_array(full, S((("tp", "dp"), None)), grid)
+        assert all(
+            np.array_equal(b, a) for b, a in zip(before, after)
+        )
+
+
+class TestChannelIdUniqueness:
+    def _ring_permute(self, builder, value, mesh, axis):
+        pairs = [
+            (group[i], group[(i + 1) % len(group)])
+            for group in mesh.rings(axis)
+            for i in range(len(group))
+        ]
+        cp = builder.collective_permute(value, pairs)
+        cp.attrs["axis"] = axis
+        return cp
+
+    def test_channels_unique_across_multi_pass_splitting(self):
+        # Multi-axis lowering splits permutes in several passes (TP
+        # rings, then DP buckets, then PP sends). Channel ids must stay
+        # module-unique across passes, not merely within one call.
+        mesh = DeviceMesh.grid({"tp": 2, "dp": 2})
+        b = GraphBuilder("m")
+        p = b.parameter(Shape((4, 4)), name="p")
+        self._ring_permute(b, p, mesh, "tp")
+        module = b.module
+        first = split_collective_permutes(module)
+        assert len(first) == 1
+
+        tp_done = first[0][1]
+        dp_pairs = [
+            (group[i], group[(i + 1) % len(group)])
+            for group in mesh.rings("dp")
+            for i in range(len(group))
+        ]
+        dp = Instruction(
+            name=Instruction.fresh_name("collective-permute"),
+            opcode=Opcode.COLLECTIVE_PERMUTE,
+            shape=tp_done.shape,
+            operands=[tp_done],
+            attrs={"pairs": dp_pairs, "axis": "dp"},
+        )
+        module.rebuild(list(module.instructions) + [dp], dp)
+        second = split_collective_permutes(module)
+        assert len(second) == 1
+
+        starts = [s for s, _ in first + second]
+        channels = [s.attrs["channel_id"] for s in starts]
+        assert len(set(channels)) == len(channels), channels
+
+    def test_counter_seeds_past_foreign_channel_ids(self):
+        mesh = DeviceMesh.grid({"pp": 2})
+        b = GraphBuilder("m")
+        p = b.parameter(Shape((4,)), name="p")
+        cp = self._ring_permute(b, p, mesh, "pp")
+        # a pre-existing instruction already owns channel 7
+        p.attrs["channel_id"] = 7
+        pairs = split_collective_permutes(b.module)
+        assert pairs[0][0].attrs["channel_id"] == 8
+
+
+def _event(kind, resource, start, end, name="e"):
+    return TraceEvent(name, kind, resource, start, end)
+
+
+class TestPerAxisOverlap:
+    def test_transfer_axis_parses_simulated_lanes(self):
+        assert transfer_axis(_event(TRANSFER, "link:tp:plus", 0, 1)) == "tp"
+        assert transfer_axis(
+            _event(TRANSFER, "link:dp:minus:dev3", 0, 1)
+        ) == "dp"
+        # measured-executor lanes carry no axis
+        assert transfer_axis(_event(TRANSFER, "link:permute.3", 0, 1)) is None
+
+    def test_per_axis_summaries_reconcile_with_aggregate(self):
+        events = [
+            _event(COMPUTE, "compute", 0.0, 4.0),
+            _event(TRANSFER, "link:tp:plus", 1.0, 3.0),
+            _event(TRANSFER, "link:dp:minus", 2.0, 6.0),
+        ]
+        total = overlap_summary(events)
+        per_axis = per_axis_overlap_summary(events)
+        assert set(per_axis) == {"tp", "dp"}
+        assert per_axis["tp"].transfer_time == pytest.approx(2.0)
+        assert per_axis["tp"].hidden_fraction == pytest.approx(1.0)
+        assert per_axis["dp"].transfer_time == pytest.approx(4.0)
+        assert per_axis["dp"].hidden_fraction == pytest.approx(0.5)
+        assert sum(
+            s.transfer_time for s in per_axis.values()
+        ) == pytest.approx(total.transfer_time)
+        assert sum(
+            s.hidden_transfer_time for s in per_axis.values()
+        ) == pytest.approx(total.hidden_transfer_time)
+
+    def test_unattributed_lanes_bucket_separately(self):
+        events = [
+            _event(COMPUTE, "compute", 0.0, 2.0),
+            _event(TRANSFER, "link:permute.1", 0.0, 2.0),
+        ]
+        per_axis = per_axis_overlap_summary(events)
+        assert set(per_axis) == {UNATTRIBUTED}
+        assert per_axis[UNATTRIBUTED].hidden_fraction == pytest.approx(1.0)
+
+    def test_no_transfers_yields_empty_mapping(self):
+        events = [_event(COMPUTE, "compute", 0.0, 1.0)]
+        assert per_axis_overlap_summary(events) == {}

@@ -1,0 +1,150 @@
+"""Tests for the composed multi-axis training-step experiment."""
+
+import pytest
+
+from repro.experiments.mesh_step import (
+    AXIS_FAMILIES,
+    HIDDEN_FLOORS,
+    AxisOverlapRow,
+    MeshStepCase,
+    MeshStepResult,
+    as_json,
+    check_report,
+    format_report,
+    run_case,
+)
+from repro.models.trainstep import CHECK_OUTPUTS, train_step_graph, train_step_mesh
+
+SMALL_2D = MeshStepCase(tp=2, dp=2, batch=64, d_model=32, d_ff=64)
+SMALL_3D = MeshStepCase(tp=2, dp=2, pp=2, batch=64, d_model=32, d_ff=64)
+
+
+def _row(axis, hidden=0.9, transfer=1.0):
+    return AxisOverlapRow(
+        axis=axis,
+        family=AXIS_FAMILIES.get(axis, axis),
+        transfer_time=transfer,
+        hidden_time=hidden * transfer,
+        hidden_fraction=hidden,
+    )
+
+
+def _result(case, axes, bit_identical=True, baseline=2.0, overlapped=1.0):
+    return MeshStepResult(
+        case=case,
+        num_devices=case.tp * case.dp * case.pp,
+        baseline_time=baseline,
+        overlapped_time=overlapped,
+        candidates_decomposed=3,
+        standalone_loops=1,
+        axes=axes,
+        bit_identical=bit_identical,
+    )
+
+
+class TestTrainStepGraph:
+    def test_mesh_axes_match_case(self):
+        assert train_step_mesh(4, 2).axis_names == ("tp", "dp")
+        assert train_step_mesh(2, 2, 2).axis_names == ("tp", "dp", "pp")
+
+    def test_graph_outputs_cover_loss_params_and_norm(self):
+        graph = train_step_graph(64, 32, 64)
+        for name in CHECK_OUTPUTS:
+            assert name in graph.tensors, name
+
+    def test_pipeline_flag_adds_stage_handoff(self):
+        without = train_step_graph(64, 32, 64, pipeline=False)
+        with_pp = train_step_graph(64, 32, 64, pipeline=True)
+        assert "ysend" not in without.tensors
+        assert "ysend" in with_pp.tensors
+
+
+class TestRunCase:
+    def test_2d_case_is_bit_identical_with_both_families(self):
+        result = run_case(SMALL_2D)
+        assert result.bit_identical
+        assert result.num_devices == 4
+        axes = {row.axis for row in result.axes}
+        assert axes == {"tp", "dp"}
+        assert all(row.transfer_time > 0 for row in result.axes)
+        assert result.candidates_decomposed > 0
+
+    def test_3d_case_adds_the_pipeline_family(self):
+        result = run_case(SMALL_3D)
+        assert result.bit_identical
+        axes = {row.axis for row in result.axes}
+        assert axes == {"tp", "dp", "pp"}
+
+
+class TestCheckReport:
+    PASSING = [
+        _result(SMALL_2D, [_row("tp"), _row("dp")]),
+        _result(SMALL_3D, [_row("tp"), _row("dp"), _row("pp")]),
+    ]
+
+    def test_passing_report_has_no_failures(self):
+        assert check_report(self.PASSING) == []
+
+    def test_bit_identity_failure_reported(self):
+        results = [
+            _result(SMALL_2D, [_row("tp"), _row("dp")], bit_identical=False),
+            self.PASSING[1],
+        ]
+        failures = check_report(results)
+        assert any("diverges" in f for f in failures)
+
+    def test_hidden_floor_violation_reported(self):
+        low = [_row("tp", hidden=0.05), _row("dp"), _row("pp")]
+        failures = check_report([_result(SMALL_3D, low)])
+        assert any("tensor-parallel" in f and "floor" in f for f in failures)
+
+    def test_missing_family_reported(self):
+        failures = check_report([_result(SMALL_2D, [_row("tp"), _row("dp")])])
+        assert any("pipeline" in f for f in failures)
+
+    def test_cost_model_case_must_not_be_slower(self):
+        case = MeshStepCase(tp=2, dp=2, pp=2, forced=False)
+        rows = [_row("tp"), _row("dp"), _row("pp")]
+        slower = _result(case, rows, baseline=1.0, overlapped=2.0)
+        failures = check_report([slower])
+        assert any("slower" in f for f in failures)
+
+    def test_custom_floors_override_defaults(self):
+        rows = [_row("tp", hidden=0.4), _row("dp"), _row("pp")]
+        result = _result(SMALL_3D, rows)
+        assert check_report([result], floors={"tp": 0.3}) == []
+        assert check_report([result], floors={"tp": 0.5}) != []
+
+
+class TestReporting:
+    def test_as_json_payload_shape(self):
+        payload = as_json(self.results())
+        assert payload["benchmark"] == "mesh-step"
+        assert payload["floors"] == HIDDEN_FLOORS
+        case = payload["cases"][0]
+        assert case["label"] == SMALL_2D.label
+        assert case["mesh"] == {"tp": 2, "dp": 2, "pp": 1}
+        assert case["speedup"] == pytest.approx(2.0)
+        assert case["bit_identical"] is True
+        assert set(case["axes"]) == {"tp", "dp"}
+        assert case["axes"]["tp"]["hidden_fraction"] == pytest.approx(0.9)
+
+    def test_format_report_labels_and_verdict(self):
+        text = format_report(self.results())
+        assert SMALL_2D.label in text
+        assert "exact" in text
+        # only two of the three families present -> the check fails
+        assert "FAIL" in text
+
+    @staticmethod
+    def results():
+        return [_result(SMALL_2D, [_row("tp"), _row("dp")])]
+
+
+class TestCaseLabels:
+    def test_labels_encode_mesh_and_gating(self):
+        assert MeshStepCase(tp=4, dp=2).label == "4x2/forced"
+        assert (
+            MeshStepCase(tp=2, dp=4, pp=2, forced=False).label
+            == "2x4x2/cost-model"
+        )

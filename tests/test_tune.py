@@ -100,6 +100,53 @@ class TestSearchSpace:
             assert point.config.enabled is True
 
 
+class TestPerAxisSpace:
+    def test_axis_candidates_append_after_the_flat_grid(self):
+        flat = candidate_space()
+        with_axes = candidate_space(axes=("tp", "dp"))
+        # index-stability: the flat prefix is identical, so TuningDB
+        # records and budget prefixes mean the same thing either way
+        assert [p.config for p in with_axes[: len(flat)]] == [
+            p.config for p in flat
+        ]
+        tail = with_axes[len(flat):]
+        assert tail, "axes must extend the space"
+        for point in tail:
+            assert point.config.axis_overrides
+            assert point.config.use_cost_model is False
+
+    def test_axis_candidates_perturb_one_axis_each(self):
+        flat_size = len(candidate_space())
+        tail = candidate_space(axes=("tp", "dp"))[flat_size:]
+        for point in tail:
+            assert len(point.config.axis_overrides) == 1
+            axis, override = point.config.axis_overrides[0]
+            assert axis in ("tp", "dp")
+            assert axis in point.label
+
+    def test_budget_prefix_unchanged_by_axes(self):
+        assert [p.config for p in candidate_space(6, axes=("tp",))] == [
+            p.config for p in candidate_space(6)
+        ]
+
+    def test_axis_override_config_roundtrips_through_db_codec(self):
+        flat_size = len(candidate_space())
+        point = candidate_space(axes=("dp",))[flat_size]
+        payload = json.loads(json.dumps(config_to_json(point.config)))
+        assert config_from_json(payload) == point.config
+
+    def test_legacy_payload_without_axis_overrides_loads(self):
+        payload = config_to_json(OverlapConfig())
+        payload.pop("axis_overrides")
+        assert config_from_json(payload) == OverlapConfig()
+
+    def test_unknown_override_field_rejected(self):
+        payload = config_to_json(OverlapConfig())
+        payload["axis_overrides"] = {"tp": {"warp_speed": 9}}
+        with pytest.raises(TuningDBError, match="warp_speed"):
+            config_from_json(payload)
+
+
 class TestTuningKey:
     def test_stable_across_separately_built_modules(self):
         assert tuning_key(CASE.build(MESH), MESH) == tuning_key(
